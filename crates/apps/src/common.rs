@@ -1,0 +1,201 @@
+//! Workload harness: build a memory system, run a program, harvest results.
+//!
+//! The paper evaluates each benchmark on three memory systems. A
+//! [`Workload`] is written once, generically over [`MemoryProtocol`]; a
+//! [`SystemKind`] picks the protocol and matching compilation strategy
+//! (explicit copying for Stache, LCM directives for LCM) and
+//! [`execute`] returns the measured [`RunResult`].
+
+use lcm_core::{Lcm, LcmVariant};
+use lcm_cstar::{Runtime, RuntimeConfig, Strategy};
+use lcm_rsm::MemoryProtocol;
+use lcm_sim::{MachineConfig, NodeStats};
+use lcm_stache::Stache;
+use std::fmt;
+
+/// The three memory systems of the paper's evaluation (§6.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// The unmodified Stache protocol with compiler-generated explicit
+    /// copying (the baseline).
+    Stache,
+    /// LCM keeping a single clean copy at each block's home node.
+    LcmScc,
+    /// LCM keeping a clean copy on every node that obtains a marked block.
+    LcmMcc,
+}
+
+impl SystemKind {
+    /// All systems, in the paper's presentation order.
+    pub fn all() -> [SystemKind; 3] {
+        [SystemKind::LcmScc, SystemKind::LcmMcc, SystemKind::Stache]
+    }
+
+    /// The short name used in tables ("LCM-scc", "LCM-mcc", "Stache").
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Stache => "Stache",
+            SystemKind::LcmScc => "LCM-scc",
+            SystemKind::LcmMcc => "LCM-mcc",
+        }
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A C\*\* program, written once and runnable on any memory system.
+pub trait Workload {
+    /// Application-level output (checksums, counts) used for validation.
+    type Output;
+
+    /// Runs the program to completion on the given runtime.
+    fn run<P: MemoryProtocol>(&self, rt: &mut Runtime<P>) -> Self::Output;
+}
+
+/// The measurements of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Which system ran.
+    pub system: SystemKind,
+    /// Execution time in simulated cycles (max node clock at completion).
+    pub time: u64,
+    /// Sum of all nodes' protocol counters.
+    pub totals: NodeStats,
+}
+
+impl RunResult {
+    /// The paper's "cache misses" metric.
+    pub fn misses(&self) -> u64 {
+        self.totals.misses()
+    }
+
+    /// The paper's "clean copies" metric.
+    pub fn clean_copies(&self) -> u64 {
+        self.totals.clean_copies
+    }
+}
+
+/// Runs `workload` on `system` with `nodes` processors, returning the
+/// program output and the measurements.
+pub fn execute<W: Workload>(
+    system: SystemKind,
+    nodes: usize,
+    config: RuntimeConfig,
+    workload: &W,
+) -> (W::Output, RunResult) {
+    execute_with_cost(system, nodes, lcm_sim::CostModel::default(), config, workload)
+}
+
+/// [`execute`] under an explicit [`lcm_sim::CostModel`] — for sensitivity
+/// sweeps over the machine parameters.
+pub fn execute_with_cost<W: Workload>(
+    system: SystemKind,
+    nodes: usize,
+    cost: lcm_sim::CostModel,
+    config: RuntimeConfig,
+    workload: &W,
+) -> (W::Output, RunResult) {
+    let mc = MachineConfig::new(nodes).with_cost(cost);
+    match system {
+        SystemKind::Stache => {
+            let mut rt = Runtime::with_config(Stache::new(mc), Strategy::ExplicitCopy, config);
+            let out = workload.run(&mut rt);
+            let result = harvest(system, rt.mem());
+            (out, result)
+        }
+        SystemKind::LcmScc => {
+            let mut rt =
+                Runtime::with_config(Lcm::new(mc, LcmVariant::Scc), Strategy::LcmDirectives, config);
+            let out = workload.run(&mut rt);
+            let result = harvest(system, rt.mem());
+            (out, result)
+        }
+        SystemKind::LcmMcc => {
+            let mut rt =
+                Runtime::with_config(Lcm::new(mc, LcmVariant::Mcc), Strategy::LcmDirectives, config);
+            let out = workload.run(&mut rt);
+            let result = harvest(system, rt.mem());
+            (out, result)
+        }
+    }
+}
+
+/// Runs `workload` on all three systems, asserting the outputs agree, and
+/// returns the results in [`SystemKind::all`] order.
+pub fn execute_all<W: Workload>(nodes: usize, config: RuntimeConfig, workload: &W) -> Vec<RunResult>
+where
+    W::Output: PartialEq + fmt::Debug,
+{
+    let mut results = Vec::new();
+    let mut reference: Option<W::Output> = None;
+    for system in SystemKind::all() {
+        let (out, result) = execute(system, nodes, config, workload);
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(r, &out, "{system} computed a different result"),
+        }
+        results.push(result);
+    }
+    results
+}
+
+fn harvest<P: MemoryProtocol>(system: SystemKind, mem: &P) -> RunResult {
+    let machine = &mem.tempest().machine;
+    RunResult { system, time: machine.time(), totals: machine.total_stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_cstar::Partition;
+    use lcm_tempest::Placement;
+
+    /// A trivial workload: every element incremented once.
+    struct Increment {
+        len: usize,
+    }
+
+    impl Workload for Increment {
+        type Output = Vec<i32>;
+
+        fn run<P: MemoryProtocol>(&self, rt: &mut Runtime<P>) -> Vec<i32> {
+            let a = rt.new_aggregate1::<i32>(self.len, Placement::Blocked, "v");
+            rt.init1(a, |i| i as i32);
+            rt.apply1(a, Partition::Static, |inv, i| {
+                let v = inv.get(a.at(i));
+                inv.set(a.at(i), v + 1);
+            });
+            (0..self.len).map(|i| rt.peek1(a, i)).collect()
+        }
+    }
+
+    #[test]
+    fn all_systems_compute_the_same_answer() {
+        let results = execute_all(4, RuntimeConfig::default(), &Increment { len: 64 });
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.time > 0);
+            assert!(r.totals.accesses() > 0);
+        }
+    }
+
+    #[test]
+    fn lcm_runs_report_clean_copies_stache_does_not() {
+        let results = execute_all(4, RuntimeConfig::default(), &Increment { len: 64 });
+        let by = |k: SystemKind| results.iter().find(|r| r.system == k).unwrap();
+        assert!(by(SystemKind::LcmScc).clean_copies() > 0);
+        assert!(by(SystemKind::LcmMcc).clean_copies() >= by(SystemKind::LcmScc).clean_copies());
+        assert_eq!(by(SystemKind::Stache).clean_copies(), 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SystemKind::Stache.to_string(), "Stache");
+        assert_eq!(SystemKind::LcmScc.label(), "LCM-scc");
+        assert_eq!(SystemKind::all().len(), 3);
+    }
+}

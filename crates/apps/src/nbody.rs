@@ -1,0 +1,249 @@
+//! **N-body with stale far-field data** (paper §7.5's motivating
+//! application).
+//!
+//! "In some scientific applications, such as N-body simulations,
+//! contributions from distant elements are less significant than those of
+//! closer elements. Repeatedly using old information about distant
+//! elements may not adversely affect the computation."
+//!
+//! This is a direct-summation 2-D gravitational simulation whose body
+//! positions live in a stale-data region: every processor advances its
+//! own bodies (writes that do *not* invalidate anyone), and reads other
+//! processors' positions from snapshots it refreshes every `k`
+//! iterations. `k = 1` on coherent memory is the exact baseline; growing
+//! `k` trades a little trajectory accuracy for a proportional drop in
+//! miss traffic — measured, not assumed: the workload returns both.
+
+use crate::common::{RunResult, SystemKind};
+use lcm_core::{Lcm, LcmVariant};
+use lcm_rsm::MemoryProtocol;
+use lcm_sim::mem::Addr;
+use lcm_sim::{MachineConfig, NodeId, Pcg32};
+use lcm_stache::Stache;
+use lcm_tempest::Placement;
+
+/// The N-body workload.
+#[derive(Copy, Clone, Debug)]
+pub struct NBody {
+    /// Number of bodies (partitioned contiguously across processors).
+    pub bodies: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// Position-snapshot refresh interval (1 = always fresh).
+    pub refresh_every: usize,
+    /// Initial-condition seed.
+    pub seed: u64,
+}
+
+impl NBody {
+    /// A representative configuration.
+    pub fn default_size() -> NBody {
+        NBody { bodies: 128, steps: 20, refresh_every: 4, seed: 7 }
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn small() -> NBody {
+        NBody { bodies: 48, steps: 8, refresh_every: 2, seed: 7 }
+    }
+}
+
+/// The memory discipline for the position arrays.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NBodySystem {
+    /// Coherent positions (Stache): every write invalidates readers.
+    Coherent,
+    /// LCM stale-data region with the workload's refresh interval.
+    StaleRegion,
+}
+
+struct Layout {
+    px: Addr,
+    py: Addr,
+    mass: Addr,
+}
+
+fn body_addr(base: Addr, i: usize) -> Addr {
+    base.offset(i as u64 * 4)
+}
+
+/// Runs the simulation, returning the final positions and measurements.
+#[allow(clippy::needless_range_loop)] // vel[i] deliberately parallels the shared arrays' index space
+fn simulate<P: MemoryProtocol>(mem: &mut P, w: &NBody, lay: &Layout, refresh: bool) -> Vec<(f32, f32)> {
+    let nodes = mem.tempest().nodes();
+    let n = w.bodies;
+    // Host-private per-body velocities: each body's velocity is touched
+    // only by its owner, so a real program would keep it in plain local
+    // memory; modeling it there keeps the focus on the shared positions.
+    let mut vel = vec![(0.0f32, 0.0f32); n];
+    let chunk = |k: usize| (n * k / nodes, n * (k + 1) / nodes);
+
+    for step in 0..w.steps {
+        for k in 0..nodes {
+            let node = NodeId(k as u16);
+            let (lo, hi) = chunk(k);
+            if refresh && step % w.refresh_every == 0 {
+                for i in 0..n {
+                    mem.refresh_stale(node, body_addr(lay.px, i));
+                    mem.refresh_stale(node, body_addr(lay.py, i));
+                }
+            }
+            for i in lo..hi {
+                let xi = mem.read_f32(node, body_addr(lay.px, i));
+                let yi = mem.read_f32(node, body_addr(lay.py, i));
+                let (mut ax, mut ay) = (0.0f32, 0.0f32);
+                for j in 0..n {
+                    if j == i {
+                        continue;
+                    }
+                    let xj = mem.read_f32(node, body_addr(lay.px, j));
+                    let yj = mem.read_f32(node, body_addr(lay.py, j));
+                    let mj = mem.read_f32(node, body_addr(lay.mass, j));
+                    let (dx, dy) = (xj - xi, yj - yi);
+                    let d2 = dx * dx + dy * dy + 0.05;
+                    let inv = 1.0 / (d2 * d2.sqrt());
+                    ax += mj * dx * inv;
+                    ay += mj * dy * inv;
+                }
+                let dt = 0.01;
+                vel[i].0 += ax * dt;
+                vel[i].1 += ay * dt;
+            }
+        }
+        // Position update phase: owners write their bodies.
+        for k in 0..nodes {
+            let node = NodeId(k as u16);
+            let (lo, hi) = chunk(k);
+            for i in lo..hi {
+                let xi = mem.read_f32(node, body_addr(lay.px, i));
+                let yi = mem.read_f32(node, body_addr(lay.py, i));
+                mem.write_f32(node, body_addr(lay.px, i), xi + vel[i].0 * 0.01);
+                mem.write_f32(node, body_addr(lay.py, i), yi + vel[i].1 * 0.01);
+            }
+        }
+        mem.barrier();
+    }
+    (0..n)
+        .map(|i| {
+            let t = mem.tempest();
+            (t.mem.read_f32(body_addr(lay.px, i)), t.mem.read_f32(body_addr(lay.py, i)))
+        })
+        .collect()
+}
+
+fn setup<P: MemoryProtocol>(mem: &mut P, w: &NBody) -> Layout {
+    let bytes = (w.bodies * 4) as u64;
+    let lay = Layout {
+        px: mem.tempest_mut().alloc(bytes, Placement::Blocked, "px"),
+        py: mem.tempest_mut().alloc(bytes, Placement::Blocked, "py"),
+        mass: mem.tempest_mut().alloc(bytes, Placement::Blocked, "mass"),
+    };
+    let mut rng = Pcg32::new(w.seed, 13);
+    for i in 0..w.bodies {
+        // Initialization through home memory: the measured run starts at
+        // the first force step, as the paper's programs do.
+        let t = mem.tempest_mut();
+        t.mem.write_f32(body_addr(lay.px, i), rng.next_f32() * 10.0 - 5.0);
+        t.mem.write_f32(body_addr(lay.py, i), rng.next_f32() * 10.0 - 5.0);
+        t.mem.write_f32(body_addr(lay.mass, i), 0.5 + rng.next_f32());
+    }
+    lay
+}
+
+/// Runs the workload under the given discipline on `nodes` processors.
+/// Returns the final positions and the measurements.
+pub fn run_nbody(system: NBodySystem, nodes: usize, w: &NBody) -> (Vec<(f32, f32)>, RunResult) {
+    match system {
+        NBodySystem::Coherent => {
+            let mut mem = Stache::new(MachineConfig::new(nodes));
+            let lay = setup(&mut mem, w);
+            let pos = simulate(&mut mem, w, &lay, false);
+            let machine = &mem.tempest().machine;
+            (pos, RunResult { system: SystemKind::Stache, time: machine.time(), totals: machine.total_stats() })
+        }
+        NBodySystem::StaleRegion => {
+            let mut mem = Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc);
+            let lay = setup(&mut mem, w);
+            let bytes = (w.bodies * 4) as u64;
+            mem.register_stale_region(lay.px, bytes);
+            mem.register_stale_region(lay.py, bytes);
+            mem.register_stale_region(lay.mass, bytes);
+            let pos = simulate(&mut mem, w, &lay, true);
+            let machine = &mem.tempest().machine;
+            (pos, RunResult { system: SystemKind::LcmMcc, time: machine.time(), totals: machine.total_stats() })
+        }
+    }
+}
+
+/// Root-mean-square distance between two position sets.
+pub fn rms_error(a: &[(f32, f32)], b: &[(f32, f32)]) -> f64 {
+    assert_eq!(a.len(), b.len(), "position sets must match");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(p, q)| {
+            let (dx, dy) = ((p.0 - q.0) as f64, (p.1 - q.1) as f64);
+            dx * dx + dy * dy
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// The typical body-to-body distance scale of the initial conditions
+/// (bodies start uniform in a 10×10 box).
+pub const POSITION_SCALE: f64 = 10.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_and_coherent_agree_at_refresh_one() {
+        let w = NBody { refresh_every: 1, ..NBody::small() };
+        let (fresh, _) = run_nbody(NBodySystem::Coherent, 4, &w);
+        let (stale, _) = run_nbody(NBodySystem::StaleRegion, 4, &w);
+        assert_eq!(fresh, stale, "refreshing every step is exact");
+    }
+
+    #[test]
+    fn staleness_trades_bounded_error_for_fewer_misses() {
+        let reference = run_nbody(NBodySystem::Coherent, 4, &NBody::small()).0;
+        let mut last_misses = u64::MAX;
+        for k in [2usize, 4, 8] {
+            let w = NBody { refresh_every: k, ..NBody::small() };
+            let (pos, run) = run_nbody(NBodySystem::StaleRegion, 4, &w);
+            let err = rms_error(&reference, &pos);
+            assert!(
+                err < POSITION_SCALE * 0.05,
+                "k={k}: stale far-field data should not derail the simulation (rms {err})"
+            );
+            assert!(run.misses() < last_misses, "k={k}: misses should keep falling");
+            last_misses = run.misses();
+        }
+    }
+
+    #[test]
+    fn stale_is_faster_than_coherent() {
+        let w = NBody::default_size();
+        let (_, coherent) = run_nbody(NBodySystem::Coherent, 8, &w);
+        let (_, stale) = run_nbody(NBodySystem::StaleRegion, 8, &w);
+        assert!(
+            coherent.time > stale.time,
+            "coherent {} vs stale {}",
+            coherent.time,
+            stale.time
+        );
+        assert!(coherent.misses() > stale.misses());
+    }
+
+    #[test]
+    fn rms_error_basics() {
+        let a = vec![(0.0, 0.0), (1.0, 1.0)];
+        assert_eq!(rms_error(&a, &a), 0.0);
+        let b = vec![(3.0, 4.0), (1.0, 1.0)];
+        let e = rms_error(&a, &b);
+        assert!((e - (25.0f64 / 2.0).sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! **Stale data** (paper §7.5): consumers tolerating aged values.
+//!
+//! In N-body-style applications, contributions from distant elements
+//! change slowly, so consumers can reuse old copies of a producer's data
+//! for many iterations. On coherent memory every producer update
+//! invalidates the consumers' copies and the next read misses; with an
+//! RSM stale-data region the consumers keep snapshots and refetch only at
+//! explicit refresh points, dividing the miss traffic by the refresh
+//! interval.
+//!
+//! This is not a C\*\* program: it drives the protocols directly through
+//! [`MemoryProtocol`].
+
+use crate::common::{RunResult, SystemKind};
+use lcm_core::{Lcm, LcmVariant};
+use lcm_rsm::MemoryProtocol;
+use lcm_sim::{MachineConfig, NodeId};
+use lcm_stache::Stache;
+use lcm_tempest::Placement;
+
+/// The producer/consumer far-field workload.
+#[derive(Copy, Clone, Debug)]
+pub struct StaleData {
+    /// Field size in words (producer-owned).
+    pub field_words: usize,
+    /// Producer update / consumer read iterations.
+    pub iters: usize,
+    /// Consumers refresh their snapshots every `refresh_every` iterations
+    /// (1 = always fresh; the coherent baseline is effectively 1).
+    pub refresh_every: usize,
+}
+
+impl StaleData {
+    /// A representative configuration.
+    pub fn default_size() -> StaleData {
+        StaleData { field_words: 512, iters: 40, refresh_every: 8 }
+    }
+
+    /// A scaled-down configuration for tests.
+    pub fn small() -> StaleData {
+        StaleData { field_words: 64, iters: 10, refresh_every: 4 }
+    }
+}
+
+/// Which memory discipline the consumers run under.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StaleSystem {
+    /// Ordinary coherent memory: every producer write invalidates the
+    /// consumers' copies.
+    Coherent,
+    /// An LCM stale-data region with explicit refreshes.
+    StaleRegion,
+}
+
+impl StaleSystem {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StaleSystem::Coherent => "coherent",
+            StaleSystem::StaleRegion => "stale-region",
+        }
+    }
+}
+
+fn drive<P: MemoryProtocol>(mem: &mut P, base: lcm_sim::Addr, w: &StaleData, refresh: bool) -> f64 {
+    let nodes = mem.tempest().nodes();
+    let producer = NodeId(0);
+    let mut staleness = 0.0f64;
+    for iter in 0..w.iters {
+        // Producer updates the whole field.
+        for i in 0..w.field_words {
+            mem.write_f32(producer, base.offset(i as u64 * 4), (iter * w.field_words + i) as f32);
+        }
+        mem.barrier();
+        // Consumers sweep the field.
+        for n in 1..nodes {
+            let node = NodeId(n as u16);
+            if refresh && iter % w.refresh_every == 0 {
+                for i in 0..w.field_words {
+                    mem.refresh_stale(node, base.offset(i as u64 * 4));
+                }
+            }
+            for i in 0..w.field_words {
+                let current = (iter * w.field_words + i) as f32;
+                let seen = mem.read_f32(node, base.offset(i as u64 * 4));
+                staleness += (current - seen) as f64;
+            }
+        }
+        mem.barrier();
+    }
+    staleness
+}
+
+/// Runs the workload under the given discipline on `nodes` processors.
+/// Returns the accumulated staleness (how far behind the consumers read;
+/// 0 under coherence) and the measurements.
+pub fn run_stale(system: StaleSystem, nodes: usize, w: &StaleData) -> (f64, RunResult) {
+    let mc = MachineConfig::new(nodes);
+    match system {
+        StaleSystem::Coherent => {
+            let mut mem = Stache::new(mc);
+            let base = mem.tempest_mut().alloc((w.field_words * 4) as u64, Placement::OnNode(NodeId(0)), "field");
+            let staleness = drive(&mut mem, base, w, false);
+            let machine = &mem.tempest().machine;
+            (staleness, RunResult { system: SystemKind::Stache, time: machine.time(), totals: machine.total_stats() })
+        }
+        StaleSystem::StaleRegion => {
+            let mut mem = Lcm::new(mc, LcmVariant::Mcc);
+            let base = mem.tempest_mut().alloc((w.field_words * 4) as u64, Placement::OnNode(NodeId(0)), "field");
+            mem.register_stale_region(base, (w.field_words * 4) as u64);
+            let staleness = drive(&mut mem, base, w, true);
+            let machine = &mem.tempest().machine;
+            (staleness, RunResult { system: SystemKind::LcmMcc, time: machine.time(), totals: machine.total_stats() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherent_consumers_always_read_fresh_values() {
+        let (staleness, _) = run_stale(StaleSystem::Coherent, 4, &StaleData::small());
+        assert_eq!(staleness, 0.0);
+    }
+
+    #[test]
+    fn stale_consumers_lag_but_miss_less() {
+        let w = StaleData::small();
+        let (stale_lag, stale_run) = run_stale(StaleSystem::StaleRegion, 4, &w);
+        let (_, coherent_run) = run_stale(StaleSystem::Coherent, 4, &w);
+        assert!(stale_lag > 0.0, "snapshots age by design");
+        assert!(
+            coherent_run.misses() > 2 * stale_run.misses(),
+            "refresh interval should divide the miss traffic: {} vs {}",
+            coherent_run.misses(),
+            stale_run.misses()
+        );
+        assert!(coherent_run.time > stale_run.time);
+    }
+
+    #[test]
+    fn shorter_refresh_interval_means_fresher_data_and_more_misses() {
+        let every2 = StaleData { refresh_every: 2, ..StaleData::small() };
+        let every5 = StaleData { refresh_every: 5, ..StaleData::small() };
+        let (lag2, run2) = run_stale(StaleSystem::StaleRegion, 4, &every2);
+        let (lag5, run5) = run_stale(StaleSystem::StaleRegion, 4, &every5);
+        assert!(lag2 < lag5, "refreshing more often reads fresher data");
+        assert!(run2.misses() > run5.misses(), "and costs more misses");
+    }
+
+    #[test]
+    fn refreshes_are_counted() {
+        let w = StaleData::small();
+        let (_, run) = run_stale(StaleSystem::StaleRegion, 4, &w);
+        assert!(run.totals.stale_refreshes > 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! §7.4 ablation bench: false sharing packed vs padded, per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcm_apps::false_sharing::FalseSharing;
+use lcm_apps::{execute, SystemKind};
+use lcm_cstar::RuntimeConfig;
+
+fn bench_false_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("false_sharing");
+    group.sample_size(10);
+    let w = FalseSharing { writers: 8, rounds: 50, padded: false };
+    for (label, sys, wl) in [
+        ("stache-packed", SystemKind::Stache, w),
+        ("stache-padded", SystemKind::Stache, w.padded()),
+        ("lcm-mcc-packed", SystemKind::LcmMcc, w),
+    ] {
+        let (_, r) = execute(sys, w.writers, RuntimeConfig::default(), &wl);
+        println!("{label}: {} simulated cycles, {} misses", r.time, r.misses());
+        group.bench_function(label, |bench| {
+            bench.iter(|| std::hint::black_box(execute(sys, w.writers, RuntimeConfig::default(), &wl).1.time));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_false_sharing);
+criterion_main!(benches);

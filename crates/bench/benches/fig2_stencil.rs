@@ -1,0 +1,28 @@
+//! Figure 2 bench: Stencil (stat & dyn) × memory system.
+//!
+//! Regenerate the real figure with
+//! `cargo run -p lcm-bench --release --bin repro -- fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcm_apps::stencil::Stencil;
+use lcm_apps::{execute, SystemKind};
+use lcm_cstar::{Partition, RuntimeConfig};
+
+fn bench_stencil(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_stencil");
+    group.sample_size(10);
+    for (tag, partition) in [("stat", Partition::Static), ("dyn", Partition::Dynamic)] {
+        let w = Stencil { rows: 96, cols: 96, iters: 4, partition };
+        for s in SystemKind::all() {
+            let (_, r) = execute(s, 8, RuntimeConfig::default(), &w);
+            println!("Stencil-{tag} / {}: {} simulated cycles", s.label(), r.time);
+            group.bench_function(format!("stencil-{tag}/{}", s.label()), |bench| {
+                bench.iter(|| std::hint::black_box(execute(s, 8, RuntimeConfig::default(), &w).1.time));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stencil);
+criterion_main!(benches);

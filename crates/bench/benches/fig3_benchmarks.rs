@@ -1,0 +1,27 @@
+//! Figure 3 bench: Adaptive (stat & dyn), Threshold, Unstructured ×
+//! memory system.
+//!
+//! Regenerate the real figure with
+//! `cargo run -p lcm-bench --release --bin repro -- fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcm_apps::experiments::{Benchmark, Scale};
+use lcm_apps::SystemKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for b in [Benchmark::AdaptiveStat, Benchmark::AdaptiveDyn, Benchmark::Threshold, Benchmark::Unstructured] {
+        for s in SystemKind::all() {
+            let r = b.run(Scale::Smoke, s);
+            println!("{} / {}: {} simulated cycles", b.label(), s.label(), r.time);
+            group.bench_function(format!("{}/{}", b.label(), s.label()), |bench| {
+                bench.iter(|| std::hint::black_box(b.run(Scale::Smoke, s).time));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

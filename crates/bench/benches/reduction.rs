@@ -1,0 +1,22 @@
+//! §7.1 ablation bench: array sum via RSM reduction vs a shared
+//! accumulator vs manual partial sums.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcm_apps::reduction::{run_reduction, ArraySum, ReductionMethod};
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(10);
+    let w = ArraySum { len: 4096, passes: 1 };
+    for method in ReductionMethod::all() {
+        let (_, r) = run_reduction(method, 8, &w);
+        println!("{}: {} simulated cycles, {} misses", method.label(), r.time, r.misses());
+        group.bench_function(method.label(), |bench| {
+            bench.iter(|| std::hint::black_box(run_reduction(method, 8, &w).1.time));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 1 bench: every benchmark × memory system at smoke scale.
+//!
+//! Criterion measures the *host* cost of simulating each cell of the
+//! paper's Table 1; the simulated metrics themselves (misses, clean
+//! copies) are printed once per cell for reference. Regenerate the real
+//! table with `cargo run -p lcm-bench --release --bin repro -- table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcm_apps::experiments::{Benchmark, Scale};
+use lcm_apps::SystemKind;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for b in Benchmark::all() {
+        for s in SystemKind::all() {
+            let r = b.run(Scale::Smoke, s);
+            println!("{} / {}: misses={} clean={}", b.label(), s.label(), r.misses(), r.clean_copies());
+            group.bench_function(format!("{}/{}", b.label(), s.label()), |bench| {
+                bench.iter(|| std::hint::black_box(b.run(Scale::Smoke, s).misses()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,473 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR]
+//!       [table1|fig2|fig3|claims|reduction|falseshare|stale|races|
+//!        flushpolicy|cachelimit|tree|all]
+//! ```
+//!
+//! With `--csv DIR`, the table/figure data is also written as CSV files
+//! (`table1.csv`, `fig2.csv`, `fig3.csv`) for external plotting.
+//!
+//! Simulated cycles are this reproduction's "execution time"; the paper
+//! reports wall-clock seconds on a 32-node CM-5, so compare *shapes*
+//! (who wins, by what factor), not absolute values. Paper reference
+//! numbers are printed alongside where the paper gives them.
+
+use lcm_apps::cache_limit::{chunk_blocks, stencil_on_limited_stache};
+use lcm_apps::experiments::{Benchmark, Scale, Suite};
+use lcm_apps::false_sharing::FalseSharing;
+use lcm_apps::independent::{run_with_flush, IndependentMap};
+use lcm_apps::nbody::{rms_error, run_nbody, NBody, NBodySystem};
+use lcm_apps::race::{detect_races, RaceKernel};
+use lcm_apps::reduction::{run_reduction, ArraySum, ReductionMethod};
+use lcm_apps::sensitivity::{sweep_nodes, sweep_remote_latency};
+use lcm_apps::stale_data::{run_stale, StaleData, StaleSystem};
+use lcm_apps::stencil::Stencil;
+use lcm_apps::{execute, SystemKind};
+use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
+use lcm_bench::BarChart;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut svg_dir: Option<PathBuf> = None;
+    let mut what = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--svg" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--svg requires a directory");
+                    std::process::exit(2);
+                };
+                svg_dir = Some(PathBuf::from(dir));
+            }
+            "--csv" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                };
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("paper") => Scale::Paper,
+                    Some("medium") => Scale::Medium,
+                    Some("smoke") => Scale::Smoke,
+                    other => {
+                        eprintln!("unknown scale {other:?} (paper|medium|smoke)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!(
+                    "repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR] \
+                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|all]"
+                );
+                return;
+            }
+            w => what.push(w.to_string()),
+        }
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    let all = what.iter().any(|w| w == "all");
+    let wants = |k: &str| all || what.iter().any(|w| w == k);
+
+    let needs_suite = all || what.iter().any(|w| matches!(w.as_str(), "table1" | "fig2" | "fig3" | "claims"));
+    let suite = if needs_suite {
+        eprintln!("running the benchmark suite at scale '{scale}' ({} processors)…", scale.nodes());
+        let t0 = Instant::now();
+        let s = Suite::run(scale);
+        eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
+        Some(s)
+    } else {
+        None
+    };
+
+    if wants("table1") {
+        print_table1(suite.as_ref().unwrap());
+    }
+    if wants("fig2") {
+        print_fig(suite.as_ref().unwrap(), true);
+    }
+    if wants("fig3") {
+        print_fig(suite.as_ref().unwrap(), false);
+    }
+    if wants("claims") {
+        print_claims(suite.as_ref().unwrap());
+    }
+    if wants("reduction") {
+        print_reduction(scale);
+    }
+    if wants("falseshare") {
+        print_false_sharing();
+    }
+    if wants("stale") {
+        print_stale();
+    }
+    if wants("flushpolicy") {
+        print_flush_policy(scale);
+    }
+    if wants("cachelimit") {
+        print_cache_limit();
+    }
+    if wants("tree") {
+        print_tree_reconcile(scale);
+    }
+    if wants("nbody") {
+        print_nbody();
+    }
+    if wants("sweep") {
+        print_sweeps(scale);
+    }
+    if wants("races") {
+        print_races();
+    }
+    if let (Some(dir), Some(suite)) = (csv_dir, suite.as_ref()) {
+        if let Err(e) = write_csv(&dir, suite) {
+            eprintln!("failed to write CSV files to {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        println!("CSV written to {}", dir.display());
+    }
+    if let (Some(dir), Some(suite)) = (svg_dir, suite.as_ref()) {
+        if let Err(e) = write_svg(&dir, suite) {
+            eprintln!("failed to write SVG figures to {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        println!("SVG figures written to {}", dir.display());
+    }
+}
+
+fn write_svg(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let series = ["LCM-scc", "LCM-mcc", "Stache"];
+    for (file, title, rows) in [
+        ("fig2.svg", "Figure 2: Stencil execution time", suite.fig2()),
+        ("fig3.svg", "Figure 3: benchmark execution time", suite.fig3()),
+    ] {
+        let mut chart = BarChart::new(title, "simulated cycles", &series);
+        let mut groups: Vec<(Benchmark, [f64; 3])> = Vec::new();
+        for (b, s, t) in rows {
+            let slot = match s {
+                SystemKind::LcmScc => 0,
+                SystemKind::LcmMcc => 1,
+                SystemKind::Stache => 2,
+            };
+            match groups.iter_mut().find(|(gb, _)| *gb == b) {
+                Some((_, vs)) => vs[slot] = t as f64,
+                None => {
+                    let mut vs = [0.0; 3];
+                    vs[slot] = t as f64;
+                    groups.push((b, vs));
+                }
+            }
+        }
+        for (b, vs) in groups {
+            chart.push_group(b.label(), &vs);
+        }
+        std::fs::write(dir.join(file), chart.to_svg())?;
+    }
+    Ok(())
+}
+
+fn write_csv(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut table1 = String::from("program,misses_scc,misses_mcc,misses_copying,clean_scc,clean_mcc\n");
+    for (b, misses, clean) in suite.table1() {
+        table1.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            b.label(),
+            misses[0],
+            misses[1],
+            misses[2],
+            clean[0],
+            clean[1]
+        ));
+    }
+    std::fs::write(dir.join("table1.csv"), table1)?;
+    for (name, rows) in [("fig2.csv", suite.fig2()), ("fig3.csv", suite.fig3())] {
+        let mut csv = String::from("program,system,cycles\n");
+        for (b, s, t) in rows {
+            csv.push_str(&format!("{},{},{}\n", b.label(), s.label(), t));
+        }
+        std::fs::write(dir.join(name), csv)?;
+    }
+    Ok(())
+}
+
+fn print_flush_policy(scale: Scale) {
+    println!("== §5.1 flush elision: per-invocation vs at-reconcile flushes ==");
+    println!("   (sound when the compiler proves invocations touch distinct locations)");
+    let w = match scale {
+        Scale::Paper => IndependentMap { len: 1 << 18, sweeps: 4 },
+        Scale::Medium => IndependentMap::default_size(),
+        Scale::Smoke => IndependentMap::small(),
+    };
+    let (_, per_inv) = run_with_flush(FlushPolicy::PerInvocation, scale.nodes(), &w);
+    let (_, at_rec) = run_with_flush(FlushPolicy::AtReconcile, scale.nodes(), &w);
+    println!(
+        "  per-invocation {:>12} cycles, {:>8} flushes",
+        per_inv.time, per_inv.totals.flushes
+    );
+    println!(
+        "  at-reconcile   {:>12} cycles, {:>8} flushes  ({:.2}x faster)",
+        at_rec.time,
+        at_rec.totals.flushes,
+        per_inv.time as f64 / at_rec.time as f64
+    );
+    println!();
+}
+
+fn print_cache_limit() {
+    println!("== §6.3 limited-cache ablation: Stencil-stat on a bounded Stache ==");
+    let w = Stencil { rows: 256, cols: 256, iters: 10, partition: Partition::Static };
+    let nodes = 16;
+    let chunk = chunk_blocks(&w, nodes);
+    let lcm = execute(SystemKind::LcmMcc, nodes, RuntimeConfig::default(), &w).1;
+    println!("  LCM-mcc (reference)         {:>12} cycles", lcm.time);
+    for (label, cap) in [
+        ("Stache unbounded (paper)", None),
+        ("Stache cap = 2x chunk", Some(2 * chunk)),
+        ("Stache cap = chunk/2", Some(chunk / 2)),
+        ("Stache cap = chunk/8", Some(chunk / 8)),
+    ] {
+        let r = stencil_on_limited_stache(cap, nodes, &w);
+        println!(
+            "  {:<27} {:>12} cycles, {:>8} misses, {:>8} evictions",
+            label,
+            r.time,
+            r.misses(),
+            r.totals.evictions
+        );
+    }
+    println!();
+}
+
+fn print_tree_reconcile(scale: Scale) {
+    use lcm_core::{Lcm, LcmVariant};
+    use lcm_cstar::{Runtime, Strategy};
+    use lcm_rsm::{MemoryProtocol, ReduceOp};
+    use lcm_sim::MachineConfig;
+    use lcm_tempest::Placement;
+    println!("== §5 tree-structured reconciliation (reduction bottleneck) ==");
+    let nodes = scale.nodes().max(16);
+    for tree in [false, true] {
+        let mut mem = Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc);
+        mem.set_tree_reconcile(tree);
+        let mut rt = Runtime::new(mem, Strategy::LcmDirectives);
+        let a = rt.new_aggregate1::<f32>(nodes * 64, Placement::Blocked, "a");
+        rt.init1(a, |i| (i % 5) as f32);
+        let total = rt.new_reduction_f64(ReduceOp::SumF64, 0.0, "total");
+        rt.apply1(a, Partition::Static, |inv, i| {
+            let v = inv.get(a.at(i)) as f64;
+            inv.reduce_f64(total, v);
+        });
+        let home = lcm_sim::NodeId(0);
+        let machine = &rt.mem().tempest().machine;
+        println!(
+            "  {:<8} total time {:>10} cycles; home node merged {:>3} versions (sum={})",
+            if tree { "tree" } else { "direct" },
+            machine.time(),
+            machine.stats(home).versions_reconciled,
+            rt.peek_reduction(total)
+        );
+    }
+    println!();
+}
+
+fn k(x: u64) -> String {
+    format!("{:.0}", x as f64 / 1000.0)
+}
+
+fn print_table1(suite: &Suite) {
+    println!("== Table 1: benchmark cache misses and clean copies (thousands) ==");
+    println!("   (paper values in parentheses; paper ran 32-node CM-5)");
+    println!(
+        "{:<14} | {:>16} {:>16} {:>16} | {:>14} {:>14}",
+        "Program", "misses scc", "misses mcc", "misses Copying", "clean scc", "clean mcc"
+    );
+    println!("{}", "-".repeat(102));
+    for (b, misses, clean) in suite.table1() {
+        let refs = b.paper_table1();
+        let fmt_ref = |v: Option<f64>| v.map(|x| format!("({x:.0})")).unwrap_or_default();
+        let (r_scc, r_mcc, r_cp, r_cscc, r_cmcc) = match refs {
+            Some((a, b2, c, d, e)) => (fmt_ref(a), fmt_ref(Some(b2)), fmt_ref(Some(c)), fmt_ref(d), fmt_ref(Some(e))),
+            None => (String::new(), String::new(), String::new(), String::new(), String::new()),
+        };
+        println!(
+            "{:<14} | {:>8} {:>7} {:>8} {:>7} {:>8} {:>7} | {:>6} {:>7} {:>6} {:>7}",
+            b.label(),
+            k(misses[0]),
+            r_scc,
+            k(misses[1]),
+            r_mcc,
+            k(misses[2]),
+            r_cp,
+            k(clean[0]),
+            r_cscc,
+            k(clean[1]),
+            r_cmcc,
+        );
+    }
+    println!();
+}
+
+fn print_fig(suite: &Suite, fig2: bool) {
+    if fig2 {
+        println!("== Figure 2: Stencil execution time (simulated cycles) ==");
+    } else {
+        println!("== Figure 3: benchmark execution time (simulated cycles) ==");
+    }
+    let rows = if fig2 { suite.fig2() } else { suite.fig3() };
+    let mut last: Option<Benchmark> = None;
+    for (b, s, time) in rows {
+        if last != Some(b) {
+            println!("{}:", b.label());
+            last = Some(b);
+        }
+        let base = suite.result(b, SystemKind::Stache).time as f64;
+        println!("  {:<8} {:>14} cycles   ({:.2}x vs Stache)", s.label(), time, time as f64 / base);
+    }
+    println!();
+}
+
+fn print_claims(suite: &Suite) {
+    println!("== §6.3 prose claims, checked against this run ==");
+    let claims = suite.claims();
+    let mut ok = 0;
+    for c in &claims {
+        println!(
+            "[{}] {}\n        paper: {:<14} measured: {}",
+            if c.holds { "PASS" } else { "FAIL" },
+            c.description,
+            c.paper,
+            c.measured
+        );
+        if c.holds {
+            ok += 1;
+        }
+    }
+    println!("{} of {} claims hold at scale '{}'\n", ok, claims.len(), suite.scale());
+}
+
+fn print_reduction(scale: Scale) {
+    println!("== §7.1 Reductions: summing an array on {} processors ==", scale.nodes());
+    let w = match scale {
+        Scale::Paper => ArraySum { len: 1 << 20, passes: 2 },
+        Scale::Medium => ArraySum::default_size(),
+        Scale::Smoke => ArraySum::small(),
+    };
+    let mut base = None;
+    for method in ReductionMethod::all() {
+        let (sum, r) = run_reduction(method, scale.nodes(), &w);
+        let base_time = *base.get_or_insert(r.time) as f64;
+        println!(
+            "  {:<15} {:>14} cycles ({:>5.2}x vs shared-acc)  sum={}  misses={}",
+            method.label(),
+            r.time,
+            r.time as f64 / base_time,
+            sum,
+            r.misses()
+        );
+    }
+    println!();
+}
+
+fn print_false_sharing() {
+    println!("== §7.4 False sharing: 8 writers, one block, 200 rounds ==");
+    let w = FalseSharing::default_size();
+    let cfg = RuntimeConfig::default();
+    for (label, sys, wl) in [
+        ("Stache packed", SystemKind::Stache, w),
+        ("Stache padded", SystemKind::Stache, w.padded()),
+        ("LCM-mcc packed", SystemKind::LcmMcc, w),
+        ("LCM-scc packed", SystemKind::LcmScc, w),
+    ] {
+        let (_, r) = execute(sys, w.writers, cfg, &wl);
+        println!("  {:<15} {:>12} cycles  misses={:<6} invalidations={}", label, r.time, r.misses(), r.totals.invalidations_sent);
+    }
+    println!();
+}
+
+fn print_stale() {
+    println!("== §7.5 Stale data: producer field, consumers refresh every k ==");
+    let base = StaleData::default_size();
+    let (lag, r) = run_stale(StaleSystem::Coherent, 8, &base);
+    println!("  {:<22} {:>12} cycles  misses={:<6} staleness={}", "coherent (k=1)", r.time, r.misses(), lag);
+    for k in [2usize, 4, 8, 16] {
+        let w = StaleData { refresh_every: k, ..base };
+        let (lag, r) = run_stale(StaleSystem::StaleRegion, 8, &w);
+        println!(
+            "  {:<22} {:>12} cycles  misses={:<6} staleness={:.0}  refreshes={}",
+            format!("stale region (k={k})"),
+            r.time,
+            r.misses(),
+            lag,
+            r.totals.stale_refreshes
+        );
+    }
+    println!();
+}
+
+fn print_nbody() {
+    println!("== §7.5 N-body: stale far-field positions ==");
+    let base = NBody::default_size();
+    let (reference, coherent) = run_nbody(NBodySystem::Coherent, 8, &base);
+    println!("  {:<18} {:>12} cycles, {:>6} misses, rms error 0", "coherent", coherent.time, coherent.misses());
+    for k in [2usize, 4, 8, 16] {
+        let w = NBody { refresh_every: k, ..base };
+        let (pos, run) = run_nbody(NBodySystem::StaleRegion, 8, &w);
+        println!(
+            "  {:<18} {:>12} cycles, {:>6} misses, rms error {:.4}",
+            format!("refresh every {k}"),
+            run.time,
+            run.misses(),
+            rms_error(&reference, &pos)
+        );
+    }
+    println!();
+}
+
+fn print_sweeps(scale: Scale) {
+    println!("== Sensitivity: Stencil-dyn LCM-mcc advantage vs machine parameters ==");
+    let w = match scale {
+        Scale::Paper => Stencil { rows: 512, cols: 512, iters: 10, partition: Partition::Dynamic },
+        Scale::Medium => Stencil { rows: 256, cols: 256, iters: 8, partition: Partition::Dynamic },
+        Scale::Smoke => Stencil { rows: 64, cols: 64, iters: 4, partition: Partition::Dynamic },
+    };
+    println!("remote round-trip latency sweep ({} processors):", scale.nodes());
+    for p in sweep_remote_latency(&[500, 1500, 3000, 6000, 12000], scale.nodes(), &w) {
+        println!(
+            "  remote_miss={:>6} cy: LCM-mcc {:>12}, Stache {:>12}  (advantage {:.2}x)",
+            p.x, p.lcm.time, p.stache.time, p.advantage()
+        );
+    }
+    println!("processor-count sweep (default cost model):");
+    for p in sweep_nodes(&[4, 8, 16, 32], &w) {
+        println!(
+            "  P={:>2}: LCM-mcc {:>12}, Stache {:>12}  (advantage {:.2}x)",
+            p.x, p.lcm.time, p.stache.time, p.advantage()
+        );
+    }
+    println!();
+}
+
+fn print_races() {
+    println!("== §7.2/7.3 Conflict detection ==");
+    for kernel in RaceKernel::all() {
+        let conflicts = detect_races(kernel, 4);
+        println!("  {:?}: {} conflict(s)", kernel, conflicts.len());
+        for c in conflicts.iter().take(4) {
+            println!("    - {c}");
+        }
+    }
+    println!();
+}

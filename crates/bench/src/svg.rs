@@ -1,0 +1,200 @@
+//! A small, dependency-free grouped-bar-chart SVG writer.
+//!
+//! Used by the `repro` binary's `--svg` flag to draw Figures 2 and 3 the
+//! way the paper presents them: one group of bars per benchmark, one bar
+//! per memory system, execution time on the y-axis.
+
+/// A grouped bar chart.
+#[derive(Clone, Debug)]
+pub struct BarChart {
+    title: String,
+    y_label: String,
+    series: Vec<String>,
+    groups: Vec<(String, Vec<f64>)>,
+}
+
+/// One color per series, chosen for print contrast.
+const PALETTE: [&str; 6] = ["#4878a8", "#e49444", "#6a9f58", "#d1605e", "#855c8d", "#937860"];
+
+impl BarChart {
+    /// An empty chart with the given title, y-axis label, and series
+    /// names (bar order within each group).
+    pub fn new(title: &str, y_label: &str, series: &[&str]) -> BarChart {
+        BarChart {
+            title: title.to_string(),
+            y_label: y_label.to_string(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends a group with one value per series.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the series count.
+    pub fn push_group(&mut self, label: &str, values: &[f64]) {
+        assert_eq!(values.len(), self.series.len(), "one value per series");
+        self.groups.push((label.to_string(), values.to_vec()));
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let (w, h) = (160 + 140 * self.groups.len().max(1), 420);
+        let (left, top, bottom) = (90.0, 60.0, 60.0);
+        let plot_h = h as f64 - top - bottom;
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let mut out = String::new();
+        out.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" font-family="sans-serif">"#
+        ));
+        out.push('\n');
+        out.push_str(&format!(
+            r#"<text x="{}" y="30" font-size="18" text-anchor="middle">{}</text>"#,
+            w / 2,
+            xml_escape(&self.title)
+        ));
+        out.push('\n');
+        // Y axis with four gridlines.
+        for i in 0..=4 {
+            let frac = i as f64 / 4.0;
+            let y = top + plot_h * (1.0 - frac);
+            out.push_str(&format!(
+                r##"<line x1="{left}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ddd"/>"##,
+                w as f64 - 20.0
+            ));
+            out.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                left - 6.0,
+                y + 4.0,
+                format_si(max * frac)
+            ));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            r#"<text x="18" y="{:.1}" font-size="12" transform="rotate(-90 18 {:.1})" text-anchor="middle">{}</text>"#,
+            top + plot_h / 2.0,
+            top + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        ));
+        out.push('\n');
+        // Bars.
+        let group_w = 140.0;
+        let bar_w = (group_w - 30.0) / self.series.len().max(1) as f64;
+        for (gi, (label, values)) in self.groups.iter().enumerate() {
+            let gx = left + 10.0 + gi as f64 * group_w;
+            for (si, &v) in values.iter().enumerate() {
+                let bh = plot_h * (v / max);
+                let x = gx + si as f64 * bar_w;
+                let y = top + plot_h - bh;
+                let color = PALETTE[si % PALETTE.len()];
+                out.push_str(&format!(
+                    r#"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{bh:.1}" fill="{color}"/>"#,
+                    bar_w - 4.0
+                ));
+                out.push_str(&format!(
+                    r#"<text x="{:.1}" y="{:.1}" font-size="9" text-anchor="middle">{}</text>"#,
+                    x + (bar_w - 4.0) / 2.0,
+                    y - 3.0,
+                    format_si(v)
+                ));
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+                gx + group_w / 2.0 - 15.0,
+                top + plot_h + 20.0,
+                xml_escape(label)
+            ));
+            out.push('\n');
+        }
+        // Legend.
+        for (si, name) in self.series.iter().enumerate() {
+            let x = left + 10.0 + si as f64 * 110.0;
+            let y = h as f64 - 18.0;
+            out.push_str(&format!(
+                r#"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{}"/>"#,
+                y - 10.0,
+                PALETTE[si % PALETTE.len()]
+            ));
+            out.push_str(&format!(
+                r#"<text x="{:.1}" y="{y:.1}" font-size="12">{}</text>"#,
+                x + 16.0,
+                xml_escape(name)
+            ));
+            out.push('\n');
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// Formats a value with an SI suffix (1.2M, 340k).
+fn format_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.0}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        let mut c = BarChart::new("Stencil execution time", "cycles", &["LCM-scc", "LCM-mcc", "Stache"]);
+        c.push_group("Stencil-stat", &[2.5e9, 1.1e9, 2.2e8]);
+        c.push_group("Stencil-dyn", &[7.3e9, 2.3e9, 2.8e9]);
+        c
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 6 + 3, "6 bars + 3 legend swatches");
+        assert!(svg.contains("Stencil-stat"));
+        assert!(svg.contains("LCM-mcc"));
+        assert!(svg.contains("2.5G"));
+    }
+
+    #[test]
+    fn bars_scale_with_values() {
+        let svg = chart().to_svg();
+        // The tallest bar (7.3e9) spans the full plot height (300).
+        assert!(svg.contains(r#"height="300.0""#), "max bar fills the plot:\n{svg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn group_arity_checked() {
+        chart().push_group("bad", &[1.0]);
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(format_si(950.0), "950");
+        assert_eq!(format_si(1500.0), "2k");
+        assert_eq!(format_si(2.5e6), "2.5M");
+        assert_eq!(format_si(7.3e9), "7.3G");
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let c = BarChart::new("a < b & c", "y", &["s"]);
+        assert!(c.to_svg().contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Copy-on-write bookkeeping: private copies and per-block phase entries.
+//!
+//! During a parallel phase, each `mark_modification` gives the marking
+//! node a [`PrivCopy`] — an inconsistent, writable version of the block,
+//! private to that node's current invocation. The block's home tracks the
+//! phase in a [`CowEntry`]: who holds clean read-only copies, who has
+//! written, the merged value of all flushed versions, and enough per-word
+//! provenance to detect conflicting claims.
+
+use lcm_rsm::{ConflictKind, ConflictRecord, KeepOrder, MergePolicy, RegionPolicy, ValueWidth};
+use lcm_sim::mem::{BlockBuf, BlockId, WordMask, WORDS_PER_BLOCK};
+use lcm_sim::NodeId;
+use lcm_stache::SharerSet;
+
+/// A node's private, writable version of one block.
+#[derive(Copy, Clone, Debug)]
+pub struct PrivCopy {
+    /// The version's contents. Initialized from the clean value for
+    /// keep-one regions and from the operator identity for reductions.
+    pub data: BlockBuf,
+    /// Which words this version has stored to.
+    pub dirty: WordMask,
+}
+
+impl PrivCopy {
+    /// A private copy initialized from `data` with nothing dirty.
+    pub fn new(data: BlockBuf) -> PrivCopy {
+        PrivCopy { data, dirty: WordMask::empty() }
+    }
+}
+
+/// Sentinel in [`CowEntry::word_writer`] meaning "no claim yet".
+const NO_WRITER: u16 = u16::MAX;
+
+/// Home-side state of one block during a parallel phase.
+#[derive(Clone, Debug)]
+pub struct CowEntry {
+    /// Nodes that held copies when the block entered the phase (absorbed
+    /// from the Stache directory). Potential readers for §7.2 detection.
+    pub absorbed: SharerSet,
+    /// Nodes that fetched a clean copy during the phase (actual readers).
+    pub readers: SharerSet,
+    /// Nodes that marked (and possibly flushed) private copies.
+    pub writers: SharerSet,
+    /// Nodes holding a node-local clean copy (LCM-mcc only).
+    pub mcc_clean: SharerSet,
+    /// True once the home's clean copy has been established.
+    pub home_clean: bool,
+    /// The merge of all flushed versions so far.
+    pub pending: BlockBuf,
+    /// Words claimed in `pending`.
+    pub pending_mask: WordMask,
+    /// Per-word id of the node whose claim currently stands.
+    word_writer: [u16; WORDS_PER_BLOCK],
+    /// Number of versions flushed home this phase.
+    pub versions: u32,
+}
+
+impl CowEntry {
+    /// A fresh entry absorbing the block's pre-phase holders.
+    pub fn new(absorbed: SharerSet) -> CowEntry {
+        CowEntry {
+            absorbed,
+            readers: SharerSet::empty(),
+            writers: SharerSet::empty(),
+            mcc_clean: SharerSet::empty(),
+            home_clean: false,
+            pending: BlockBuf::zeroed(),
+            pending_mask: WordMask::empty(),
+            word_writer: [NO_WRITER; WORDS_PER_BLOCK],
+            versions: 0,
+        }
+    }
+
+    /// True when no version has been flushed and nobody marked the block.
+    pub fn is_unwritten(&self) -> bool {
+        self.writers.is_empty() && self.pending_mask.is_empty()
+    }
+
+    /// The node whose claim stands on word `w`, if any.
+    pub fn word_writer(&self, w: usize) -> Option<NodeId> {
+        let id = self.word_writer[w];
+        (id != NO_WRITER).then_some(NodeId(id))
+    }
+
+    /// Every node involved with the block this phase (for invalidation).
+    pub fn participants(&self) -> SharerSet {
+        self.absorbed.union(self.readers).union(self.writers).union(self.mcc_clean)
+    }
+
+    /// Merges one flushed version into the pending value according to the
+    /// region's merge policy. Returns the number of write-write conflicts
+    /// found; when `policy.detect_conflicts`, also appends a record per
+    /// conflict to `conflicts`.
+    ///
+    /// # Panics
+    /// Panics if an 8-byte reduction version arrives with a torn (single
+    /// word of a pair) dirty mask.
+    pub fn merge_version(
+        &mut self,
+        node: NodeId,
+        data: &BlockBuf,
+        dirty: WordMask,
+        policy: RegionPolicy,
+        block: BlockId,
+        conflicts: &mut Vec<ConflictRecord>,
+    ) -> u64 {
+        self.versions += 1;
+        self.writers.add(node);
+        match policy.merge {
+            MergePolicy::KeepOne | MergePolicy::KeepOneOrdered(_) => {
+                let order = policy.merge.keep_order();
+                let overlap = self.pending_mask.intersect(dirty);
+                let mut ww = 0;
+                for w in overlap.iter_set() {
+                    ww += 1;
+                    let prev = self.word_writer(w).expect("claimed word has a writer");
+                    let (winner, loser) = match order {
+                        KeepOrder::LastWins => (node, prev),
+                        KeepOrder::FirstWins => (prev, node),
+                    };
+                    if policy.detect_conflicts {
+                        conflicts.push(ConflictRecord {
+                            block,
+                            word: Some(w as u8),
+                            kind: ConflictKind::WriteWrite,
+                            winner,
+                            loser,
+                        });
+                    }
+                }
+                let claimed = match order {
+                    KeepOrder::LastWins => dirty,
+                    KeepOrder::FirstWins => dirty.minus(self.pending_mask),
+                };
+                self.pending.merge_words(data, claimed);
+                for w in claimed.iter_set() {
+                    self.word_writer[w] = node.0;
+                }
+                self.pending_mask = self.pending_mask.union(dirty);
+                ww
+            }
+            MergePolicy::Reduce(op) => {
+                match op.width() {
+                    ValueWidth::W4 => {
+                        for w in dirty.iter_set() {
+                            let incoming = data.word(w) as u64;
+                            let cur = if self.pending_mask.get(w) {
+                                self.pending.word(w) as u64
+                            } else {
+                                op.identity_bits()
+                            };
+                            self.pending.set_word(w, op.combine_bits(cur, incoming) as u32);
+                            self.word_writer[w] = node.0;
+                        }
+                    }
+                    ValueWidth::W8 => {
+                        for w in (0..WORDS_PER_BLOCK).step_by(2) {
+                            if !dirty.get(w) && !dirty.get(w + 1) {
+                                continue;
+                            }
+                            assert!(
+                                dirty.get(w) && dirty.get(w + 1),
+                                "torn 8-byte reduction version on {block:?} word {w}"
+                            );
+                            let incoming = data.word(w) as u64 | ((data.word(w + 1) as u64) << 32);
+                            let cur = if self.pending_mask.get(w) {
+                                self.pending.word(w) as u64 | ((self.pending.word(w + 1) as u64) << 32)
+                            } else {
+                                op.identity_bits()
+                            };
+                            let combined = op.combine_bits(cur, incoming);
+                            self.pending.set_word(w, combined as u32);
+                            self.pending.set_word(w + 1, (combined >> 32) as u32);
+                            self.word_writer[w] = node.0;
+                            self.word_writer[w + 1] = node.0;
+                        }
+                    }
+                }
+                self.pending_mask = self.pending_mask.union(dirty);
+                0 // reductions combine; concurrent contributions are not conflicts
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_rsm::ReduceOp;
+
+    fn buf_with(words: &[(usize, u32)]) -> BlockBuf {
+        let mut b = BlockBuf::zeroed();
+        for &(w, v) in words {
+            b.set_word(w, v);
+        }
+        b
+    }
+
+    fn mask_of(words: &[usize]) -> WordMask {
+        let mut m = WordMask::empty();
+        for &w in words {
+            m.set(w);
+        }
+        m
+    }
+
+    #[test]
+    fn disjoint_keep_one_versions_merge_cleanly() {
+        let mut e = CowEntry::new(SharerSet::empty());
+        let mut conflicts = Vec::new();
+        let p = RegionPolicy::copy_on_write(MergePolicy::KeepOne);
+        let ww = e.merge_version(NodeId(1), &buf_with(&[(0, 10)]), mask_of(&[0]), p, BlockId(7), &mut conflicts);
+        assert_eq!(ww, 0);
+        let ww = e.merge_version(NodeId(2), &buf_with(&[(3, 30)]), mask_of(&[3]), p, BlockId(7), &mut conflicts);
+        assert_eq!(ww, 0);
+        assert_eq!(e.pending.word(0), 10);
+        assert_eq!(e.pending.word(3), 30);
+        assert_eq!(e.versions, 2);
+        assert_eq!(e.word_writer(0), Some(NodeId(1)));
+        assert_eq!(e.word_writer(3), Some(NodeId(2)));
+        assert!(conflicts.is_empty());
+        assert!(!e.is_unwritten());
+    }
+
+    #[test]
+    fn overlapping_claims_count_conflicts_last_wins() {
+        let mut e = CowEntry::new(SharerSet::empty());
+        let mut conflicts = Vec::new();
+        let p = RegionPolicy::copy_on_write(MergePolicy::KeepOne).detecting();
+        e.merge_version(NodeId(1), &buf_with(&[(2, 100)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
+        let ww = e.merge_version(NodeId(2), &buf_with(&[(2, 200)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
+        assert_eq!(ww, 1);
+        assert_eq!(e.pending.word(2), 200, "last arrival wins");
+        assert_eq!(e.word_writer(2), Some(NodeId(2)));
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].winner, NodeId(2));
+        assert_eq!(conflicts[0].loser, NodeId(1));
+        assert_eq!(conflicts[0].word, Some(2));
+    }
+
+    #[test]
+    fn first_wins_keeps_earlier_claim() {
+        let mut e = CowEntry::new(SharerSet::empty());
+        let mut conflicts = Vec::new();
+        let p = RegionPolicy::copy_on_write(MergePolicy::KeepOneOrdered(KeepOrder::FirstWins)).detecting();
+        e.merge_version(NodeId(1), &buf_with(&[(2, 100)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
+        e.merge_version(NodeId(2), &buf_with(&[(2, 200), (3, 300)]), mask_of(&[2, 3]), p, BlockId(7), &mut conflicts);
+        assert_eq!(e.pending.word(2), 100, "first arrival wins");
+        assert_eq!(e.pending.word(3), 300, "unclaimed word still merges");
+        assert_eq!(e.word_writer(2), Some(NodeId(1)));
+        assert_eq!(conflicts[0].winner, NodeId(1));
+        assert_eq!(conflicts[0].loser, NodeId(2));
+    }
+
+    #[test]
+    fn conflicts_counted_but_not_recorded_without_detection() {
+        let mut e = CowEntry::new(SharerSet::empty());
+        let mut conflicts = Vec::new();
+        let p = RegionPolicy::copy_on_write(MergePolicy::KeepOne); // not detecting
+        e.merge_version(NodeId(1), &buf_with(&[(2, 1)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
+        let ww = e.merge_version(NodeId(2), &buf_with(&[(2, 2)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
+        assert_eq!(ww, 1);
+        assert!(conflicts.is_empty());
+    }
+
+    #[test]
+    fn reduction_versions_combine() {
+        let mut e = CowEntry::new(SharerSet::empty());
+        let mut conflicts = Vec::new();
+        let p = RegionPolicy::copy_on_write(MergePolicy::Reduce(ReduceOp::SumF32));
+        let a = buf_with(&[(0, f32::to_bits(1.5))]);
+        let b = buf_with(&[(0, f32::to_bits(2.0))]);
+        let ww1 = e.merge_version(NodeId(1), &a, mask_of(&[0]), p, BlockId(7), &mut conflicts);
+        let ww2 = e.merge_version(NodeId(2), &b, mask_of(&[0]), p, BlockId(7), &mut conflicts);
+        assert_eq!((ww1, ww2), (0, 0), "reduction contributions are not conflicts");
+        assert_eq!(f32::from_bits(e.pending.word(0)), 3.5);
+    }
+
+    #[test]
+    fn f64_reduction_combines_pairs() {
+        let mut e = CowEntry::new(SharerSet::empty());
+        let mut conflicts = Vec::new();
+        let p = RegionPolicy::copy_on_write(MergePolicy::Reduce(ReduceOp::SumF64));
+        let mut a = BlockBuf::zeroed();
+        a.set_f64(0, 10.0);
+        let mut b = BlockBuf::zeroed();
+        b.set_f64(0, 2.5);
+        e.merge_version(NodeId(1), &a, mask_of(&[0, 1]), p, BlockId(7), &mut conflicts);
+        e.merge_version(NodeId(2), &b, mask_of(&[0, 1]), p, BlockId(7), &mut conflicts);
+        assert_eq!(e.pending.f64(0), 12.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "torn 8-byte reduction")]
+    fn torn_f64_reduction_rejected() {
+        let mut e = CowEntry::new(SharerSet::empty());
+        let mut conflicts = Vec::new();
+        let p = RegionPolicy::copy_on_write(MergePolicy::Reduce(ReduceOp::SumF64));
+        e.merge_version(NodeId(1), &BlockBuf::zeroed(), mask_of(&[0]), p, BlockId(7), &mut conflicts);
+    }
+
+    #[test]
+    fn participants_unions_all_sets() {
+        let mut e = CowEntry::new(SharerSet::single(NodeId(0)));
+        e.readers.add(NodeId(1));
+        e.writers.add(NodeId(2));
+        e.mcc_clean.add(NodeId(3));
+        let p = e.participants();
+        for i in 0..4 {
+            assert!(p.contains(NodeId(i)));
+        }
+        assert_eq!(p.count(), 4);
+    }
+
+    #[test]
+    fn fresh_entry_is_unwritten() {
+        let mut e = CowEntry::new(SharerSet::single(NodeId(5)));
+        assert!(e.is_unwritten());
+        e.readers.add(NodeId(1));
+        assert!(e.is_unwritten(), "readers alone leave the block unwritten");
+        assert_eq!(e.word_writer(0), None);
+    }
+}

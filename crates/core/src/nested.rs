@@ -1,0 +1,48 @@
+//! Nested-phase state (C\*\*'s nested parallel functions).
+//!
+//! A nested parallel call runs *inside one invocation* of an outer call:
+//! its inner invocations spread across all processors, observe the parent
+//! invocation's private modifications layered over the pre-call global
+//! state, and merge their own modifications back into the parent's
+//! private state when the inner call completes. Global memory never sees
+//! any of it until the *outer* reconciliation.
+//!
+//! Cost accounting is block-faithful where it matters (first-touch fills,
+//! flush messages, merge work at homes) but does not model distributing
+//! the parent's private state beyond the first-touch fill — the paper
+//! never evaluated nesting, so there is no hardware shape to match.
+
+use crate::cow::{CowEntry, PrivCopy};
+use lcm_sim::hash::{FastMap, FastSet};
+use lcm_sim::mem::BlockId;
+use lcm_sim::NodeId;
+
+/// State of one open nested phase.
+#[derive(Clone, Debug)]
+pub(crate) struct NestedPhase {
+    /// The node running the parent invocation; its outer private copies
+    /// are the inner call's pre-call state.
+    pub parent: NodeId,
+    /// Inner private copies, per node.
+    pub privs: Vec<FastMap<BlockId, PrivCopy>>,
+    /// Per-node insertion order of inner private copies.
+    pub order: Vec<Vec<BlockId>>,
+    /// Home-side merge state of flushed inner versions.
+    pub entries: FastMap<BlockId, CowEntry>,
+    /// Blocks each node has already fetched this nested phase (first
+    /// touches pay a fill; later reads hit).
+    pub touched: Vec<FastSet<BlockId>>,
+}
+
+impl NestedPhase {
+    /// Fresh state for a machine of `nodes` processors.
+    pub fn new(nodes: usize, parent: NodeId) -> NestedPhase {
+        NestedPhase {
+            parent,
+            privs: (0..nodes).map(|_| FastMap::default()).collect(),
+            order: (0..nodes).map(|_| Vec::new()).collect(),
+            entries: FastMap::default(),
+            touched: (0..nodes).map(|_| FastSet::default()).collect(),
+        }
+    }
+}

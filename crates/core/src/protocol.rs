@@ -1,0 +1,1102 @@
+//! The Loosely Coherent Memory protocol.
+//!
+//! LCM implements C\*\*'s "atomic and simultaneous" invocation semantics
+//! with a fine-grained copy-on-write scheme (paper §5):
+//!
+//! * [`Lcm::mark_modification`] creates an inconsistent, writable private
+//!   copy of a block; other nodes keep seeing the *clean* (pre-phase)
+//!   value, so memory as a whole becomes deliberately inconsistent;
+//! * [`Lcm::flush_copies`] returns a node's modified copies to their home
+//!   nodes between invocations, so a new invocation on the same processor
+//!   cannot see a previous invocation's modifications;
+//! * [`Lcm::reconcile_copies`] is the global barrier that merges all
+//!   outstanding versions (keep-one or reduction), installs the result as
+//!   the new global state, invalidates outstanding copies of modified
+//!   blocks, and reclaims clean copies.
+//!
+//! Two variants reproduce the paper's §6.3 systems: **LCM-scc** keeps a
+//! single clean copy at the block's home (a flush invalidates the cached
+//! copy, so reuse pays a fault), while **LCM-mcc** keeps a clean copy on
+//! every node that obtains a marked block (a flush reinitializes the
+//! cached copy locally — no fault, no messages).
+//!
+//! Blocks outside copy-on-write regions — and all blocks outside parallel
+//! phases — are handled by the embedded [`Stache`] protocol, mirroring how
+//! the real LCM was built by extending the user-level Stache handlers.
+
+use crate::cow::{CowEntry, PrivCopy};
+use crate::nested::NestedPhase;
+use crate::stale::StaleState;
+use lcm_rsm::{
+    CoherenceKind, ConflictKind, ConflictRecord, MemoryProtocol, MergePolicy, NestedProtocol,
+    PolicyTable, ReduceOp, RegionPolicy, ValueWidth,
+};
+use lcm_sim::hash::FastMap;
+use lcm_sim::mem::{Addr, BlockId, WORDS_PER_BLOCK};
+use lcm_sim::trace::Event;
+use lcm_sim::{MachineConfig, NodeId};
+use lcm_stache::Stache;
+use lcm_tempest::{MsgKind, Tag, Tempest};
+
+/// Clean-copy placement variant (paper §6.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LcmVariant {
+    /// Single clean copy, kept at the block's home node.
+    Scc,
+    /// A clean copy on every processor that obtains the block.
+    Mcc,
+}
+
+/// The LCM memory system.
+///
+/// ```
+/// use lcm_core::{Lcm, LcmVariant};
+/// use lcm_rsm::{MemoryProtocol, MergePolicy, RegionPolicy};
+/// use lcm_sim::{MachineConfig, NodeId};
+/// use lcm_tempest::Placement;
+///
+/// let mut mem = Lcm::new(MachineConfig::new(4), LcmVariant::Mcc);
+/// let a = mem.tempest_mut().alloc(4096, Placement::Interleaved, "mesh");
+/// mem.register_cow_region(a, 4096, MergePolicy::KeepOne);
+///
+/// mem.write_f32(NodeId(0), a, 1.0); // outside a phase: ordinary coherence
+/// mem.begin_parallel_phase();
+/// mem.mark_modification(NodeId(1), a);
+/// mem.write_f32(NodeId(1), a, 2.0);            // private to node 1
+/// assert_eq!(mem.read_f32(NodeId(2), a), 1.0); // others still see 1.0
+/// mem.reconcile_copies();
+/// assert_eq!(mem.read_f32(NodeId(2), a), 2.0); // merged global state
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lcm {
+    inner: Stache,
+    variant: LcmVariant,
+    policies: PolicyTable,
+    in_phase: bool,
+    privs: Vec<FastMap<BlockId, PrivCopy>>,
+    priv_order: Vec<Vec<BlockId>>,
+    cow: FastMap<BlockId, CowEntry>,
+    conflicts: Vec<ConflictRecord>,
+    stale: StaleState,
+    tree_reconcile: bool,
+    strict_detection: bool,
+    nested: Option<NestedPhase>,
+}
+
+impl Lcm {
+    /// Builds an LCM system of the given variant.
+    pub fn new(config: MachineConfig, variant: LcmVariant) -> Lcm {
+        let nodes = config.nodes;
+        Lcm {
+            inner: Stache::new(config),
+            variant,
+            policies: PolicyTable::new(),
+            in_phase: false,
+            privs: (0..nodes).map(|_| FastMap::default()).collect(),
+            priv_order: (0..nodes).map(|_| Vec::new()).collect(),
+            cow: FastMap::default(),
+            conflicts: Vec::new(),
+            stale: StaleState::new(nodes),
+            tree_reconcile: false,
+            strict_detection: false,
+            nested: None,
+        }
+    }
+
+    /// Enables tree-structured reconciliation of reduction blocks.
+    ///
+    /// The paper notes that "if reconciliation became a bottleneck on
+    /// large systems, the process could be organized as a tree-structured
+    /// reduction" (§5). When enabled, the contributions retained by the
+    /// processors for a reduction block combine pairwise up a binary tree
+    /// at `reconcile_copies` time, so the home handles one merged version
+    /// instead of one per contributing processor. Keep-one blocks are
+    /// unaffected (their arrival order is semantically visible).
+    pub fn set_tree_reconcile(&mut self, enabled: bool) {
+        self.tree_reconcile = enabled;
+    }
+
+    /// True when tree-structured reconciliation is enabled.
+    pub fn tree_reconcile(&self) -> bool {
+        self.tree_reconcile
+    }
+
+    /// Enables strict (actual-vs-potential-free) race detection.
+    ///
+    /// §7.2: "outstanding read-only copies need not be used during the
+    /// parallel phase … To catch *actual* violations, all read-only cache
+    /// blocks must be flushed from the caches at synchronization points."
+    /// When enabled, `reconcile_copies` invalidates every read-only copy
+    /// of every detecting region's blocks — even unwritten ones — so that
+    /// each phase's reads re-fault and are observed. Costs extra misses,
+    /// which is why the paper confines it to debugging runs.
+    pub fn set_strict_detection(&mut self, enabled: bool) {
+        self.strict_detection = enabled;
+    }
+
+    /// True when strict race detection is enabled.
+    pub fn strict_detection(&self) -> bool {
+        self.strict_detection
+    }
+
+    /// Combines all outstanding reduction-block contributions pairwise up
+    /// a binary tree, leaving a single merged version at the tree root,
+    /// which is then shipped home like an ordinary flush. Runs during
+    /// `reconcile_copies`, before the per-node drain.
+    fn tree_combine_reductions(&mut self) {
+        // Gather (block -> contributions) over all nodes, in node order.
+        let mut by_block: std::collections::BTreeMap<BlockId, Vec<(NodeId, PrivCopy)>> =
+            std::collections::BTreeMap::new();
+        for n in 0..self.privs.len() {
+            let node = NodeId(n as u16);
+            let mut order = std::mem::take(&mut self.priv_order[n]);
+            order.retain(|&block| {
+                let policy = self.policies.get(block);
+                if policy.merge.reduce_op().is_none() {
+                    return true; // keep-one blocks stay for the normal drain
+                }
+                let p = self.privs[n].remove(&block).expect("ordered private copy exists");
+                by_block.entry(block).or_default().push((node, p));
+                false
+            });
+            self.priv_order[n] = order;
+        }
+        for (block, mut versions) in by_block {
+            let policy = self.policies.get(block);
+            let op = policy.merge.reduce_op().expect("gathered blocks are reductions");
+            // Pairwise combining rounds: the left element of each pair
+            // receives and merges the right one.
+            while versions.len() > 1 {
+                let mut next = Vec::with_capacity(versions.len().div_ceil(2));
+                let mut it = versions.into_iter();
+                while let Some((ln, mut lp)) = it.next() {
+                    if let Some((rn, rp)) = it.next() {
+                        let t = self.inner.tempest_mut();
+                        let c = *t.machine.cost();
+                        t.net.send(&mut t.machine, rn, ln, MsgKind::Flush, true);
+                        t.machine.advance(ln, c.reconcile_per_version);
+                        t.machine.stats_mut(ln).versions_reconciled += 1;
+                        t.machine.stats_mut(rn).flushes += 1;
+                        combine_into(op, &mut lp, &rp);
+                    }
+                    next.push((ln, lp));
+                }
+                versions = next;
+            }
+            // Ship the root's merged version home as one flush.
+            let (root, p) = versions.pop().expect("at least one contribution");
+            let entry = Self::ensure_entry(&mut self.cow, &mut self.inner, block);
+            let t = self.inner.tempest_mut();
+            let home = t.home_of(block);
+            let c = *t.machine.cost();
+            t.machine.stats_mut(root).flushes += 1;
+            t.machine.advance(root, c.block_flush);
+            t.net.send(&mut t.machine, root, home, MsgKind::Flush, true);
+            t.machine.advance(home, c.reconcile_per_version);
+            t.machine.stats_mut(home).versions_reconciled += 1;
+            entry.merge_version(root, &p.data, p.dirty, policy, block, &mut self.conflicts);
+            // The contributors drop their (identity-initialized) copies.
+            let has_local_clean = self.variant == LcmVariant::Mcc;
+            let t = self.inner.tempest_mut();
+            for n in 0..self.privs.len() {
+                let node = NodeId(n as u16);
+                if t.tags[n].get(block) == Tag::ReadWrite {
+                    t.tags[n].set(block, if has_local_clean { Tag::ReadOnly } else { Tag::Invalid });
+                    let _ = node;
+                }
+            }
+        }
+    }
+
+    /// The clean-copy variant in force.
+    pub fn variant(&self) -> LcmVariant {
+        self.variant
+    }
+
+    /// Registers `bytes` starting at `base` as a copy-on-write region with
+    /// the given merge policy — the directive the C\*\* compiler emits for
+    /// each aggregate (and for each reduction target, with a
+    /// [`MergePolicy::Reduce`]).
+    pub fn register_cow_region(&mut self, base: Addr, bytes: u64, merge: MergePolicy) {
+        let first = base.block();
+        let end = BlockId(base.offset(bytes - 1).block().0 + 1);
+        self.policies.set(first, end, RegionPolicy::copy_on_write(merge));
+    }
+
+    /// Like [`Lcm::register_cow_region`] but with conflict detection
+    /// enabled (paper §7.2/7.3).
+    pub fn register_detecting_region(&mut self, base: Addr, bytes: u64, merge: MergePolicy) {
+        let first = base.block();
+        let end = BlockId(base.offset(bytes - 1).block().0 + 1);
+        self.policies.set(first, end, RegionPolicy::copy_on_write(merge).detecting());
+    }
+
+    /// Registers `bytes` starting at `base` as a stale-data region
+    /// (paper §7.5): readers keep aged snapshots until they
+    /// [`MemoryProtocol::refresh_stale`].
+    pub fn register_stale_region(&mut self, base: Addr, bytes: u64) {
+        let first = base.block();
+        let end = BlockId(base.offset(bytes - 1).block().0 + 1);
+        self.policies.set(first, end, RegionPolicy::stale());
+    }
+
+    /// Number of copy-on-write entries live this phase (tests/inspection).
+    pub fn live_cow_entries(&self) -> usize {
+        self.cow.len()
+    }
+
+    /// Checks LCM's phase invariants, returning a description of the
+    /// first violation found. Intended for tests (walks all phase state).
+    ///
+    /// Invariants:
+    /// 1. outside a phase there is no private copy, no ordering log, and
+    ///    no live copy-on-write entry;
+    /// 2. every private copy belongs to a copy-on-write region, is listed
+    ///    exactly once in its node's ordering log, is backed by a
+    ///    ReadWrite tag, and is registered as a writer in the block's
+    ///    phase entry;
+    /// 3. a phase entry has a home clean copy iff the block has writers;
+    /// 4. node-local clean copies only exist under the mcc variant, and
+    ///    only at writers.
+    pub fn verify_phase_invariants(&self) -> Result<(), String> {
+        if !self.in_phase {
+            if self.privs.iter().any(|m| !m.is_empty()) {
+                return Err("private copies outlive the phase".into());
+            }
+            if self.priv_order.iter().any(|o| !o.is_empty()) {
+                return Err("ordering log outlives the phase".into());
+            }
+            if !self.cow.is_empty() {
+                return Err(format!("{} copy-on-write entries outlive the phase", self.cow.len()));
+            }
+            return Ok(());
+        }
+        for (n, privs) in self.privs.iter().enumerate() {
+            let node = NodeId(n as u16);
+            let order = &self.priv_order[n];
+            if order.len() != privs.len() {
+                return Err(format!("{node}: {} ordered vs {} private copies", order.len(), privs.len()));
+            }
+            for block in order {
+                if !privs.contains_key(block) {
+                    return Err(format!("{node}: ordered {block:?} has no private copy"));
+                }
+            }
+            for block in privs.keys() {
+                let policy = self.policies.get(*block);
+                if policy.coherence != CoherenceKind::CopyOnWrite {
+                    return Err(format!("{node}: private copy of non-copy-on-write {block:?}"));
+                }
+                if self.inner.tempest().tag(node, *block) != Tag::ReadWrite {
+                    return Err(format!("{node}: private copy of {block:?} without a writable tag"));
+                }
+                match self.cow.get(block) {
+                    None => return Err(format!("{node}: private copy of {block:?} has no phase entry")),
+                    Some(e) if !e.writers.contains(node) => {
+                        return Err(format!("{node}: not registered as a writer of {block:?}"));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        for (block, entry) in &self.cow {
+            if entry.home_clean == entry.writers.is_empty() {
+                return Err(format!(
+                    "{block:?}: home clean copy {} but writers {:?}",
+                    entry.home_clean, entry.writers
+                ));
+            }
+            if self.variant == LcmVariant::Scc && !entry.mcc_clean.is_empty() {
+                return Err(format!("{block:?}: node-local clean copies under scc"));
+            }
+            if !entry.mcc_clean.difference(entry.writers).is_empty() {
+                return Err(format!("{block:?}: clean copies at non-writers"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensures a phase entry exists for `block`, absorbing the block's
+    /// pre-phase holders from the Stache directory on creation.
+    fn ensure_entry<'a>(
+        cow: &'a mut FastMap<BlockId, CowEntry>,
+        inner: &mut Stache,
+        block: BlockId,
+    ) -> &'a mut CowEntry {
+        cow.entry(block).or_insert_with(|| CowEntry::new(inner.absorb_block(block)))
+    }
+
+    /// Creates `node`'s private copy of `block` if it does not already
+    /// exist, together with clean-copy bookkeeping. This is the heart of
+    /// `mark_modification` and of write faults on copy-on-write blocks.
+    fn mark_block(&mut self, node: NodeId, block: BlockId, policy: RegionPolicy) {
+        if self.privs[node.index()].contains_key(&block) {
+            return; // already private this interval
+        }
+        let entry = Self::ensure_entry(&mut self.cow, &mut self.inner, block);
+        entry.writers.add(node);
+        let t = self.inner.tempest_mut();
+        let home = t.home_of(block);
+        let c = *t.machine.cost();
+        t.machine.stats_mut(node).marks += 1;
+        t.machine.record(Event::Mark { node, block });
+
+        let init = match policy.merge.reduce_op() {
+            Some(op) => {
+                // Reduction accumulators start at the identity; no clean
+                // data is needed, so marking is purely local.
+                let mut buf = lcm_sim::BlockBuf::zeroed();
+                match op.width() {
+                    ValueWidth::W4 => {
+                        for w in 0..WORDS_PER_BLOCK {
+                            buf.set_word(w, op.identity_bits() as u32);
+                        }
+                    }
+                    ValueWidth::W8 => {
+                        for w in (0..WORDS_PER_BLOCK).step_by(2) {
+                            let id = op.identity_bits();
+                            buf.set_word(w, id as u32);
+                            buf.set_word(w + 1, (id >> 32) as u32);
+                        }
+                    }
+                }
+                buf
+            }
+            None => {
+                // Keep-one copies start from the clean value; fetch it if
+                // the node has no readable copy (this is the scc refetch).
+                if !t.tags[node.index()].get(block).readable() {
+                    if node == home {
+                        t.machine.advance(node, c.local_fill);
+                        t.machine.stats_mut(node).write_miss_local += 1;
+                        t.machine.record(Event::WriteMiss { node, block, remote: false });
+                    } else {
+                        t.net.request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
+                        t.machine.stats_mut(node).write_miss_remote += 1;
+                        t.machine.record(Event::WriteMiss { node, block, remote: true });
+                    }
+                }
+                t.mem.read_block(block)
+            }
+        };
+
+        // Home-side clean copy: established at the block's first mark.
+        if !entry.home_clean {
+            entry.home_clean = true;
+            t.machine.stats_mut(home).clean_copies += 1;
+            t.machine.advance(home, c.clean_copy_create);
+            t.machine.record(Event::CleanCopy { node: home, block });
+        }
+        // mcc: additionally keep a clean copy on the marking node.
+        if self.variant == LcmVariant::Mcc && !entry.mcc_clean.contains(node) {
+            entry.mcc_clean.add(node);
+            t.machine.stats_mut(node).clean_copies += 1;
+            t.machine.advance(node, c.clean_copy_create);
+            t.machine.record(Event::CleanCopy { node, block });
+        }
+
+        // The private copy itself: a block copy in the fault handler.
+        t.machine.advance(node, c.clean_copy_create);
+        t.tags[node.index()].set(block, Tag::ReadWrite);
+        self.privs[node.index()].insert(block, PrivCopy::new(init));
+        self.priv_order[node.index()].push(block);
+    }
+
+    /// Load from a copy-on-write block during a phase.
+    fn cow_read(&mut self, node: NodeId, addr: Addr, block: BlockId, detecting: bool) -> u32 {
+        if let Some(p) = self.privs[node.index()].get(&block) {
+            // An invocation sees its own modifications.
+            let t = self.inner.tempest_mut();
+            let hit = t.machine.cost().cache_hit;
+            t.machine.advance(node, hit);
+            t.machine.stats_mut(node).read_hits += 1;
+            return p.data.word(addr.word_in_block());
+        }
+        if self.inner.tempest().tags[node.index()].get(block).readable() {
+            if detecting {
+                // Record the reference so a read that hits a pre-phase
+                // copy still counts as *actual* for §7.2 detection.
+                if let Some(entry) = self.cow.get_mut(&block) {
+                    entry.readers.add(node);
+                }
+            }
+            let t = self.inner.tempest_mut();
+            let hit = t.machine.cost().cache_hit;
+            t.machine.advance(node, hit);
+            t.machine.stats_mut(node).read_hits += 1;
+            return t.mem.read_word(addr);
+        }
+        // Clean-copy fetch.
+        let entry = Self::ensure_entry(&mut self.cow, &mut self.inner, block);
+        entry.readers.add(node);
+        let t = self.inner.tempest_mut();
+        let home = t.home_of(block);
+        let c = *t.machine.cost();
+        if node == home {
+            t.machine.advance(node, c.local_fill);
+            t.machine.stats_mut(node).read_miss_local += 1;
+            t.machine.record(Event::ReadMiss { node, block, remote: false });
+        } else {
+            t.net.request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
+            t.machine.stats_mut(node).read_miss_remote += 1;
+            t.machine.record(Event::ReadMiss { node, block, remote: true });
+        }
+        t.tags[node.index()].set(block, Tag::ReadOnly);
+        t.mem.read_word(addr)
+    }
+
+    /// Store to a copy-on-write block during a phase.
+    fn cow_write(&mut self, node: NodeId, addr: Addr, bits: u32, policy: RegionPolicy) {
+        assert!(
+            policy.merge.reduce_op().is_none(),
+            "plain store to a reduction region at {addr}; use MemoryProtocol::reduce"
+        );
+        if !self.privs[node.index()].contains_key(&block_of(addr)) {
+            // The compiler marks possibly-conflicting stores; the memory
+            // system itself catches the rest (copy *at the reference*).
+            self.mark_block(node, block_of(addr), policy);
+        }
+        let p = self.privs[node.index()].get_mut(&block_of(addr)).expect("just marked");
+        let w = addr.word_in_block();
+        p.data.set_word(w, bits);
+        p.dirty.set(w);
+        let t = self.inner.tempest_mut();
+        let hit = t.machine.cost().cache_hit;
+        t.machine.advance(node, hit);
+        t.machine.stats_mut(node).write_hits += 1;
+    }
+
+    /// Applies one reconciled entry to global state and invalidates the
+    /// outstanding copies of the block.
+    fn apply_entry(&mut self, block: BlockId, entry: CowEntry, policy: RegionPolicy) {
+        if entry.is_unwritten() {
+            if self.strict_detection && policy.detect_conflicts {
+                // Strict mode: read-only copies do not survive the
+                // synchronization point, so next-phase reads re-fault and
+                // every reference is observed (§7.2).
+                let home = self.inner.tempest().home_of(block);
+                for p in entry.absorbed.union(entry.readers).iter() {
+                    if self.inner.tempest().tag(p, block) != Tag::Invalid {
+                        self.inner.invalidate_copy(home, p, block);
+                    }
+                }
+                return;
+            }
+            // Nothing was modified: holders keep their (still clean)
+            // copies and return to ordinary directory management.
+            let holders = entry.absorbed.union(entry.readers);
+            self.inner.restore_shared(block, holders);
+            return;
+        }
+
+        let home = self.inner.tempest().home_of(block);
+
+        // Install the merged value as the new global state.
+        match policy.merge.reduce_op() {
+            None => {
+                let t = self.inner.tempest_mut();
+                t.mem.merge_block(block, &entry.pending, entry.pending_mask);
+            }
+            Some(op) => {
+                // Contributions combine with the location's initial value.
+                let t = self.inner.tempest_mut();
+                match op.width() {
+                    ValueWidth::W4 => {
+                        for w in entry.pending_mask.iter_set() {
+                            let a = block.word_addr(w);
+                            let cur = t.mem.read_word(a) as u64;
+                            let contrib = entry.pending.word(w) as u64;
+                            t.mem.write_word(a, op.combine_bits(cur, contrib) as u32);
+                        }
+                    }
+                    ValueWidth::W8 => {
+                        for w in (0..WORDS_PER_BLOCK).step_by(2) {
+                            if !entry.pending_mask.get(w) {
+                                continue;
+                            }
+                            let a = block.word_addr(w);
+                            let cur = t.mem.read_f64(a).to_bits();
+                            let contrib =
+                                entry.pending.word(w) as u64 | ((entry.pending.word(w + 1) as u64) << 32);
+                            t.mem.write_f64(a, f64::from_bits(op.combine_bits(cur, contrib)));
+                        }
+                    }
+                }
+            }
+        }
+        self.inner
+            .tempest_mut()
+            .machine
+            .record(Event::Reconcile { block, versions: entry.versions });
+
+        // Read-write conflict detection (§7.2/7.3): a block with writers
+        // whose read-only copies were outstanding during the phase.
+        if policy.detect_conflicts {
+            let writer = entry.writers.iter().next().unwrap_or(home);
+            let readers = entry.absorbed.union(entry.readers).difference(entry.writers);
+            for r in readers.iter() {
+                let actual = entry.readers.contains(r);
+                self.conflicts.push(ConflictRecord {
+                    block,
+                    word: None,
+                    kind: ConflictKind::ReadWrite { actual },
+                    winner: writer,
+                    loser: r,
+                });
+                let t = self.inner.tempest_mut();
+                t.machine.stats_mut(home).rw_conflicts += 1;
+                t.machine.record(Event::RwConflict { block });
+            }
+        }
+
+        // Invalidate every outstanding copy of the modified block.
+        for p in entry.participants().iter() {
+            if self.inner.tempest().tag(p, block) != Tag::Invalid {
+                self.inner.invalidate_copy(home, p, block);
+            }
+        }
+    }
+}
+
+impl Lcm {
+    /// Charges `node`'s first touch of `block` in the nested phase (a
+    /// fill from the layered pre-call state) or a hit thereafter.
+    fn nested_touch_cost(&mut self, node: NodeId, block: BlockId, is_write: bool) {
+        let np = self.nested.as_mut().expect("nested phase open");
+        let first = np.touched[node.index()].insert(block);
+        let t = self.inner.tempest_mut();
+        let c = *t.machine.cost();
+        if first {
+            let home = t.home_of(block);
+            if node == home {
+                t.machine.advance(node, c.local_fill);
+                if is_write {
+                    t.machine.stats_mut(node).write_miss_local += 1;
+                } else {
+                    t.machine.stats_mut(node).read_miss_local += 1;
+                }
+            } else {
+                t.net.request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
+                if is_write {
+                    t.machine.stats_mut(node).write_miss_remote += 1;
+                } else {
+                    t.machine.stats_mut(node).read_miss_remote += 1;
+                }
+            }
+        } else {
+            t.machine.advance(node, c.cache_hit);
+            if is_write {
+                t.machine.stats_mut(node).write_hits += 1;
+            } else {
+                t.machine.stats_mut(node).read_hits += 1;
+            }
+        }
+    }
+
+    /// The inner call's pre-call value of `block`: the parent
+    /// invocation's private version if it has one, else the global clean
+    /// value.
+    fn nested_base(&self, block: BlockId) -> lcm_sim::BlockBuf {
+        let parent = self.nested.as_ref().expect("nested phase open").parent;
+        match self.privs[parent.index()].get(&block) {
+            Some(pp) => pp.data,
+            None => self.inner.tempest().mem.read_block(block),
+        }
+    }
+
+    /// Load from a copy-on-write block during a nested phase.
+    fn nested_read(&mut self, node: NodeId, addr: Addr, block: BlockId) -> u32 {
+        let w = addr.word_in_block();
+        if let Some(p) = self.nested.as_ref().expect("nested phase open").privs[node.index()].get(&block)
+        {
+            let word = p.data.word(w);
+            let t = self.inner.tempest_mut();
+            let hit = t.machine.cost().cache_hit;
+            t.machine.advance(node, hit);
+            t.machine.stats_mut(node).read_hits += 1;
+            return word;
+        }
+        self.nested_touch_cost(node, block, false);
+        self.nested_base(block).word(w)
+    }
+
+    /// Ensures `node` has an inner private copy of `block`, initialized
+    /// from the layered pre-call state (or the operator identity for
+    /// reductions).
+    fn nested_mark(&mut self, node: NodeId, block: BlockId, policy: RegionPolicy) {
+        if self.nested.as_ref().expect("nested phase open").privs[node.index()].contains_key(&block) {
+            return;
+        }
+        self.nested_touch_cost(node, block, true);
+        let init = match policy.merge.reduce_op() {
+            Some(op) => identity_block(op),
+            None => self.nested_base(block),
+        };
+        let t = self.inner.tempest_mut();
+        let c = *t.machine.cost();
+        t.machine.stats_mut(node).marks += 1;
+        t.machine.advance(node, c.clean_copy_create);
+        t.machine.record(Event::Mark { node, block });
+        let np = self.nested.as_mut().expect("nested phase open");
+        np.privs[node.index()].insert(block, PrivCopy::new(init));
+        np.order[node.index()].push(block);
+    }
+
+    /// Store to a copy-on-write block during a nested phase.
+    fn nested_write(&mut self, node: NodeId, addr: Addr, bits: u32, policy: RegionPolicy) {
+        assert!(
+            policy.merge.reduce_op().is_none(),
+            "plain store to a reduction region at {addr}; use MemoryProtocol::reduce"
+        );
+        let block = addr.block();
+        self.nested_mark(node, block, policy);
+        let np = self.nested.as_mut().expect("nested phase open");
+        let p = np.privs[node.index()].get_mut(&block).expect("just marked");
+        let w = addr.word_in_block();
+        p.data.set_word(w, bits);
+        p.dirty.set(w);
+        let t = self.inner.tempest_mut();
+        let hit = t.machine.cost().cache_hit;
+        t.machine.advance(node, hit);
+        t.machine.stats_mut(node).write_hits += 1;
+    }
+
+    /// A reduction assignment during a nested phase.
+    fn nested_reduce(&mut self, node: NodeId, addr: Addr, op: ReduceOp, bits: u64, policy: RegionPolicy) {
+        assert_eq!(
+            policy.merge.reduce_op(),
+            Some(op),
+            "reduction operator mismatch at {addr}: region registered with {:?}",
+            policy.merge
+        );
+        let block = addr.block();
+        self.nested_mark(node, block, policy);
+        let np = self.nested.as_mut().expect("nested phase open");
+        let p = np.privs[node.index()].get_mut(&block).expect("just marked");
+        let w = addr.word_in_block();
+        match op.width() {
+            ValueWidth::W4 => {
+                let cur = p.data.word(w) as u64;
+                p.data.set_word(w, op.combine_bits(cur, bits) as u32);
+                p.dirty.set(w);
+            }
+            ValueWidth::W8 => {
+                assert!(w.is_multiple_of(2), "unaligned f64 reduction at {addr}");
+                let cur = p.data.word(w) as u64 | ((p.data.word(w + 1) as u64) << 32);
+                let new = op.combine_bits(cur, bits);
+                p.data.set_word(w, new as u32);
+                p.data.set_word(w + 1, (new >> 32) as u32);
+                p.dirty.set(w);
+                p.dirty.set(w + 1);
+            }
+        }
+        let t = self.inner.tempest_mut();
+        let hit = t.machine.cost().cache_hit;
+        t.machine.advance(node, hit);
+        t.machine.stats_mut(node).write_hits += 1;
+    }
+
+    /// Ships one inner version home and merges it into the nested entry.
+    fn nested_merge_one(&mut self, node: NodeId, block: BlockId, p: PrivCopy, policy: RegionPolicy) {
+        let np = self.nested.as_mut().expect("nested phase open");
+        np.entries.entry(block).or_insert_with(|| CowEntry::new(lcm_stache::SharerSet::empty()));
+        let t = self.inner.tempest_mut();
+        let home = t.home_of(block);
+        let c = *t.machine.cost();
+        t.machine.stats_mut(node).flushes += 1;
+        t.machine.advance(node, c.block_flush);
+        t.net.send(&mut t.machine, node, home, MsgKind::Flush, true);
+        t.machine.advance(home, c.reconcile_per_version);
+        t.machine.stats_mut(home).versions_reconciled += 1;
+        let np = self.nested.as_mut().expect("nested phase open");
+        let entry = np.entries.get_mut(&block).expect("just inserted");
+        let ww = entry.merge_version(node, &p.data, p.dirty, policy, block, &mut self.conflicts);
+        if ww > 0 {
+            self.inner.tempest_mut().machine.stats_mut(home).ww_conflicts += ww;
+        }
+    }
+
+    /// Returns `node`'s modified inner copies to their homes for merging
+    /// into the nested entries (skipping retained reduction accumulators).
+    fn nested_flush(&mut self, node: NodeId) {
+        let np = self.nested.as_mut().expect("nested phase open");
+        if np.order[node.index()].is_empty() {
+            return;
+        }
+        let order = std::mem::take(&mut np.order[node.index()]);
+        for block in order {
+            let policy = self.policies.get(block);
+            if policy.merge.reduce_op().is_some() {
+                // As in the outer phase, accumulators stay until the
+                // nested reconcile.
+                self.nested.as_mut().expect("nested phase open").order[node.index()].push(block);
+                continue;
+            }
+            let Some(p) = self.nested.as_mut().expect("nested phase open").privs[node.index()].remove(&block)
+            else {
+                continue;
+            };
+            self.nested_merge_one(node, block, p, policy);
+            // The node may fetch the layered state again on its next touch.
+            self.nested.as_mut().expect("nested phase open").touched[node.index()].remove(&block);
+        }
+    }
+}
+
+impl NestedProtocol for Lcm {
+    fn begin_nested_phase(&mut self, parent: NodeId) {
+        assert!(self.in_phase, "a nested phase needs an open outer phase");
+        assert!(self.nested.is_none(), "only one level of nesting is supported");
+        let nodes = self.privs.len();
+        self.nested = Some(NestedPhase::new(nodes, parent));
+    }
+
+    fn reconcile_nested(&mut self) {
+        assert!(self.nested.is_some(), "no nested phase to reconcile");
+        // Drain every node's remaining inner copies, including the
+        // retained reduction accumulators.
+        for n in 0..self.privs.len() {
+            let node = NodeId(n as u16);
+            let order = std::mem::take(&mut self.nested.as_mut().expect("nested phase open").order[n]);
+            for block in order {
+                let policy = self.policies.get(block);
+                let Some(p) =
+                    self.nested.as_mut().expect("nested phase open").privs[n].remove(&block)
+                else {
+                    continue;
+                };
+                self.nested_merge_one(node, block, p, policy);
+            }
+        }
+        // Apply the merged inner state into the parent's private copies:
+        // the parent invocation now (privately) owns these modifications.
+        let np = self.nested.take().expect("nested phase open");
+        let parent = np.parent;
+        let mut blocks: Vec<BlockId> = np.entries.keys().copied().collect();
+        blocks.sort_unstable();
+        for block in blocks {
+            let entry = &np.entries[&block];
+            if entry.pending_mask.is_empty() {
+                continue;
+            }
+            let policy = self.policies.get(block);
+            self.mark_block(parent, block, policy);
+            let pp = self.privs[parent.index()].get_mut(&block).expect("just marked");
+            match policy.merge.reduce_op() {
+                None => {
+                    pp.data.merge_words(&entry.pending, entry.pending_mask);
+                }
+                Some(op) => match op.width() {
+                    ValueWidth::W4 => {
+                        for w in entry.pending_mask.iter_set() {
+                            let cur = pp.data.word(w) as u64;
+                            let contrib = entry.pending.word(w) as u64;
+                            pp.data.set_word(w, op.combine_bits(cur, contrib) as u32);
+                        }
+                    }
+                    ValueWidth::W8 => {
+                        for w in (0..WORDS_PER_BLOCK).step_by(2) {
+                            if !entry.pending_mask.get(w) {
+                                continue;
+                            }
+                            let cur = pp.data.word(w) as u64 | ((pp.data.word(w + 1) as u64) << 32);
+                            let contrib =
+                                entry.pending.word(w) as u64 | ((entry.pending.word(w + 1) as u64) << 32);
+                            let new = op.combine_bits(cur, contrib);
+                            pp.data.set_word(w, new as u32);
+                            pp.data.set_word(w + 1, (new >> 32) as u32);
+                        }
+                    }
+                },
+            }
+            pp.dirty = pp.dirty.union(entry.pending_mask);
+        }
+        self.inner.tempest_mut().machine.barrier();
+    }
+
+    fn in_nested_phase(&self) -> bool {
+        self.nested.is_some()
+    }
+}
+
+/// A block buffer filled with the operator's identity.
+fn identity_block(op: ReduceOp) -> lcm_sim::BlockBuf {
+    let mut buf = lcm_sim::BlockBuf::zeroed();
+    match op.width() {
+        ValueWidth::W4 => {
+            for w in 0..WORDS_PER_BLOCK {
+                buf.set_word(w, op.identity_bits() as u32);
+            }
+        }
+        ValueWidth::W8 => {
+            for w in (0..WORDS_PER_BLOCK).step_by(2) {
+                let id = op.identity_bits();
+                buf.set_word(w, id as u32);
+                buf.set_word(w + 1, (id >> 32) as u32);
+            }
+        }
+    }
+    buf
+}
+
+#[inline]
+fn block_of(addr: Addr) -> BlockId {
+    addr.block()
+}
+
+/// Combines the dirty contributions of `right` into `left` under `op`
+/// (tree-reconciliation inner step). Words dirty in only one side carry
+/// over unchanged; words dirty in both combine.
+fn combine_into(op: ReduceOp, left: &mut PrivCopy, right: &PrivCopy) {
+    match op.width() {
+        ValueWidth::W4 => {
+            for w in right.dirty.iter_set() {
+                let incoming = right.data.word(w) as u64;
+                let merged = if left.dirty.get(w) {
+                    op.combine_bits(left.data.word(w) as u64, incoming)
+                } else {
+                    incoming
+                };
+                left.data.set_word(w, merged as u32);
+            }
+        }
+        ValueWidth::W8 => {
+            for w in (0..WORDS_PER_BLOCK).step_by(2) {
+                if !right.dirty.get(w) {
+                    continue;
+                }
+                let incoming = right.data.word(w) as u64 | ((right.data.word(w + 1) as u64) << 32);
+                let merged = if left.dirty.get(w) {
+                    let cur = left.data.word(w) as u64 | ((left.data.word(w + 1) as u64) << 32);
+                    op.combine_bits(cur, incoming)
+                } else {
+                    incoming
+                };
+                left.data.set_word(w, merged as u32);
+                left.data.set_word(w + 1, (merged >> 32) as u32);
+            }
+        }
+    }
+    left.dirty = left.dirty.union(right.dirty);
+}
+
+impl MemoryProtocol for Lcm {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            LcmVariant::Scc => "lcm-scc",
+            LcmVariant::Mcc => "lcm-mcc",
+        }
+    }
+
+    fn tempest(&self) -> &Tempest {
+        self.inner.tempest()
+    }
+
+    fn tempest_mut(&mut self) -> &mut Tempest {
+        self.inner.tempest_mut()
+    }
+
+    fn policies(&self) -> &PolicyTable {
+        &self.policies
+    }
+
+    fn policies_mut(&mut self) -> &mut PolicyTable {
+        &mut self.policies
+    }
+
+    fn read_word(&mut self, node: NodeId, addr: Addr) -> u32 {
+        debug_assert!(addr.is_word_aligned(), "unaligned load at {addr}");
+        let block = addr.block();
+        let policy = self.policies.get(block);
+        match policy.coherence {
+            CoherenceKind::CopyOnWrite if self.nested.is_some() => self.nested_read(node, addr, block),
+            CoherenceKind::CopyOnWrite if self.in_phase => {
+                self.cow_read(node, addr, block, policy.detect_conflicts)
+            }
+            CoherenceKind::Stale => self.stale.read(self.inner.tempest_mut(), node, addr, block),
+            _ => self.inner.read_word(node, addr),
+        }
+    }
+
+    fn write_word(&mut self, node: NodeId, addr: Addr, bits: u32) {
+        debug_assert!(addr.is_word_aligned(), "unaligned store at {addr}");
+        let block = addr.block();
+        let policy = self.policies.get(block);
+        match policy.coherence {
+            CoherenceKind::CopyOnWrite if self.nested.is_some() => {
+                self.nested_write(node, addr, bits, policy)
+            }
+            CoherenceKind::CopyOnWrite if self.in_phase => self.cow_write(node, addr, bits, policy),
+            CoherenceKind::Stale => self.stale.write(self.inner.tempest_mut(), node, addr, bits, block),
+            _ => self.inner.write_word(node, addr, bits),
+        }
+    }
+
+    fn mark_modification(&mut self, node: NodeId, addr: Addr) {
+        assert!(self.in_phase, "mark_modification outside a parallel phase");
+        let block = addr.block();
+        let policy = self.policies.get(block);
+        assert_eq!(
+            policy.coherence,
+            CoherenceKind::CopyOnWrite,
+            "mark_modification on a non-copy-on-write region at {addr}"
+        );
+        self.mark_block(node, block, policy);
+    }
+
+    fn flush_copies(&mut self, node: NodeId) {
+        if self.nested.is_some() {
+            self.nested_flush(node);
+            return;
+        }
+        if self.priv_order[node.index()].is_empty() {
+            return;
+        }
+        let mut order = std::mem::take(&mut self.priv_order[node.index()]);
+        let mut retained = Vec::new();
+        for &block in &order {
+            let policy = self.policies.get(block);
+            if policy.merge.reduce_op().is_some() && self.in_phase {
+                // Reduction accumulators stay cached across invocations —
+                // "the locally cached accumulators are reconciled into a
+                // single value" when the parallel call completes (§7.1).
+                // A new invocation seeing the accumulator is harmless:
+                // contributions combine regardless of where they gather.
+                retained.push(block);
+                continue;
+            }
+            let Some(p) = self.privs[node.index()].remove(&block) else {
+                continue; // duplicate order entry (defensive; not expected)
+            };
+            let entry = self.cow.get_mut(&block).expect("private copy has a phase entry");
+            let t = self.inner.tempest_mut();
+            let home = t.home_of(block);
+            let c = *t.machine.cost();
+
+            // Ship the version home and merge it there.
+            t.machine.stats_mut(node).flushes += 1;
+            t.machine.advance(node, c.block_flush);
+            t.net.send(&mut t.machine, node, home, MsgKind::Flush, true);
+            t.machine.advance(home, c.reconcile_per_version);
+            t.machine.stats_mut(home).versions_reconciled += 1;
+            t.machine.record(Event::Flush { node, block });
+            let ww = entry.merge_version(node, &p.data, p.dirty, policy, block, &mut self.conflicts);
+            if ww > 0 {
+                let t = self.inner.tempest_mut();
+                t.machine.stats_mut(home).ww_conflicts += ww;
+                t.machine.record(Event::WwConflict { block, word: 0 });
+            }
+
+            // Local transition: mcc reinitializes from the local clean
+            // copy; scc drops the copy entirely.
+            let has_local_clean = self.variant == LcmVariant::Mcc && entry.mcc_clean.contains(node);
+            let t = self.inner.tempest_mut();
+            if has_local_clean {
+                t.machine.advance(node, c.local_refill);
+                t.tags[node.index()].set(block, Tag::ReadOnly);
+            } else {
+                t.tags[node.index()].set(block, Tag::Invalid);
+            }
+        }
+        order.clear();
+        order.extend(retained);
+        self.priv_order[node.index()] = order;
+    }
+
+    fn begin_parallel_phase(&mut self) {
+        assert!(!self.in_phase, "nested parallel phases are not supported");
+        self.in_phase = true;
+    }
+
+    fn in_parallel_phase(&self) -> bool {
+        self.in_phase
+    }
+
+    fn reconcile_copies(&mut self) {
+        if !self.in_phase {
+            self.inner.tempest_mut().machine.barrier();
+            return;
+        }
+        if self.tree_reconcile {
+            self.tree_combine_reductions();
+        }
+        // Close the phase first so the final flush drains everything,
+        // including reduction accumulators retained between invocations.
+        self.in_phase = false;
+        // Every processor returns its modified copies home…
+        for n in self.inner.tempest().machine.node_ids().collect::<Vec<_>>() {
+            self.flush_copies(n);
+        }
+        // …then the homes reconcile and the system-wide invalidations run.
+        let mut blocks: Vec<BlockId> = self.cow.keys().copied().collect();
+        blocks.sort_unstable();
+        for block in blocks {
+            let entry = self.cow.remove(&block).expect("collected key");
+            let policy = self.policies.get(block);
+            self.apply_entry(block, entry, policy);
+        }
+        self.inner.tempest_mut().machine.barrier();
+    }
+
+    fn reduce(&mut self, node: NodeId, addr: Addr, op: ReduceOp, bits: u64) {
+        let block = addr.block();
+        let policy = self.policies.get(block);
+        if self.nested.is_some() && policy.coherence == CoherenceKind::CopyOnWrite {
+            self.nested_reduce(node, addr, op, bits, policy);
+            return;
+        }
+        if !(self.in_phase && policy.coherence == CoherenceKind::CopyOnWrite) {
+            // Outside a phase (or an unregistered location): fall back to
+            // coherent read-modify-write, like any conventional system.
+            match op.width() {
+                ValueWidth::W4 => {
+                    let cur = self.read_word(node, addr) as u64;
+                    self.write_word(node, addr, op.combine_bits(cur, bits) as u32);
+                }
+                ValueWidth::W8 => {
+                    let cur = self.read_f64(node, addr).to_bits();
+                    let new = op.combine_bits(cur, bits);
+                    self.write_f64(node, addr, f64::from_bits(new));
+                }
+            }
+            return;
+        }
+        assert_eq!(
+            policy.merge.reduce_op(),
+            Some(op),
+            "reduction operator mismatch at {addr}: region registered with {:?}",
+            policy.merge
+        );
+        self.mark_block(node, block, policy);
+        let p = self.privs[node.index()].get_mut(&block).expect("just marked");
+        let w = addr.word_in_block();
+        match op.width() {
+            ValueWidth::W4 => {
+                let cur = p.data.word(w) as u64;
+                p.data.set_word(w, op.combine_bits(cur, bits) as u32);
+                p.dirty.set(w);
+            }
+            ValueWidth::W8 => {
+                assert!(w.is_multiple_of(2), "unaligned f64 reduction at {addr}");
+                let cur = p.data.word(w) as u64 | ((p.data.word(w + 1) as u64) << 32);
+                let new = op.combine_bits(cur, bits);
+                p.data.set_word(w, new as u32);
+                p.data.set_word(w + 1, (new >> 32) as u32);
+                p.dirty.set(w);
+                p.dirty.set(w + 1);
+            }
+        }
+        let t = self.inner.tempest_mut();
+        let hit = t.machine.cost().cache_hit;
+        t.machine.advance(node, hit);
+        t.machine.stats_mut(node).write_hits += 1;
+    }
+
+    fn refresh_stale(&mut self, node: NodeId, addr: Addr) {
+        self.stale.refresh(self.inner.tempest_mut(), node, addr.block());
+    }
+
+    fn take_conflicts(&mut self) -> Vec<ConflictRecord> {
+        std::mem::take(&mut self.conflicts)
+    }
+}

@@ -1,0 +1,231 @@
+//! Property tests for LCM's core semantic guarantees, driven by random
+//! programs.
+
+use lcm_core::{Lcm, LcmVariant};
+use lcm_rsm::{MemoryProtocol, MergePolicy, ReduceOp};
+use lcm_sim::mem::Addr;
+use lcm_sim::{MachineConfig, NodeId};
+use lcm_stache::Stache;
+use lcm_tempest::Placement;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const NODES: usize = 4;
+const WORDS: u64 = 64; // 8 blocks
+
+/// A step of a random non-phase (coherent) program.
+#[derive(Clone, Debug)]
+enum Step {
+    Read { node: u16, word: u64 },
+    Write { node: u16, word: u64, value: u32 },
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..NODES as u16, 0u64..WORDS).prop_map(|(node, word)| Step::Read { node, word }),
+            (0u16..NODES as u16, 0u64..WORDS, any::<u32>())
+                .prop_map(|(node, word, value)| Step::Write { node, word, value }),
+        ],
+        0..80,
+    )
+}
+
+/// A write of a random phase program: (node, word, value).
+fn phase_writes() -> impl Strategy<Value = Vec<(u16, u64, u32)>> {
+    proptest::collection::vec((0u16..NODES as u16, 0u64..WORDS, any::<u32>()), 0..60)
+}
+
+proptest! {
+    /// Outside parallel phases, LCM *is* coherent memory: a random
+    /// read/write program observes exactly the same values on Stache,
+    /// LCM-scc, LCM-mcc, and a sequential reference model.
+    #[test]
+    fn coherent_mode_equals_sequential_reference(program in steps()) {
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        let mut systems: Vec<Box<dyn MemoryProtocol>> = vec![
+            Box::new(Stache::new(MachineConfig::new(NODES))),
+            Box::new(Lcm::new(MachineConfig::new(NODES), LcmVariant::Scc)),
+            Box::new(Lcm::new(MachineConfig::new(NODES), LcmVariant::Mcc)),
+        ];
+        let bases: Vec<Addr> = systems
+            .iter_mut()
+            .map(|s| s.tempest_mut().alloc(WORDS * 4, Placement::Interleaved, "w"))
+            .collect();
+        for step in &program {
+            match *step {
+                Step::Read { node, word } => {
+                    let expect = reference.get(&word).copied().unwrap_or(0);
+                    for (sys, base) in systems.iter_mut().zip(&bases) {
+                        let got = sys.read_word(NodeId(node), base.offset(word * 4));
+                        prop_assert_eq!(got, expect, "{} read of word {}", sys.name(), word);
+                    }
+                }
+                Step::Write { node, word, value } => {
+                    reference.insert(word, value);
+                    for (sys, base) in systems.iter_mut().zip(&bases) {
+                        sys.write_word(NodeId(node), base.offset(word * 4), value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The C** keep-one guarantee: after a phase of random writes, every
+    /// word holds either one of the values written to it, or its original
+    /// value if nobody wrote it — under both variants. During the phase,
+    /// non-writers always observe the original value.
+    #[test]
+    fn keep_one_reconciliation_keeps_exactly_one_claim(
+        writes in phase_writes(),
+        variant_mcc in any::<bool>(),
+    ) {
+        let variant = if variant_mcc { LcmVariant::Mcc } else { LcmVariant::Scc };
+        let mut mem = Lcm::new(MachineConfig::new(NODES), variant);
+        let base = mem.tempest_mut().alloc(WORDS * 4, Placement::Interleaved, "w");
+        mem.register_cow_region(base, WORDS * 4, MergePolicy::KeepOne);
+        // Distinct initial values.
+        for w in 0..WORDS {
+            mem.write_word(NodeId(0), base.offset(w * 4), 0xAA00_0000 | w as u32);
+        }
+        let mut written: HashMap<u64, Vec<u32>> = HashMap::new();
+        mem.begin_parallel_phase();
+        for &(node, word, value) in &writes {
+            mem.write_word(NodeId(node), base.offset(word * 4), value);
+            written.entry(word).or_default().push(value);
+            // A processor that did not write this word still sees the
+            // original (its own private copy aside).
+            let observer = NodeId((node + 1) % NODES as u16);
+            if !writes.iter().any(|&(n, w2, _)| n == observer.0 && w2 == word) {
+                let seen = mem.read_word(observer, base.offset(word * 4));
+                prop_assert_eq!(seen, 0xAA00_0000 | word as u32, "mid-phase isolation");
+            }
+        }
+        mem.reconcile_copies();
+        for w in 0..WORDS {
+            let got = mem.read_word(NodeId(1), base.offset(w * 4));
+            match written.get(&w) {
+                None => prop_assert_eq!(got, 0xAA00_0000 | w as u32, "unwritten word {} keeps its value", w),
+                Some(values) => prop_assert!(
+                    values.contains(&got),
+                    "word {w} holds {got:#x}, not one of the written values {values:x?}"
+                ),
+            }
+        }
+    }
+
+    /// Reduction reconciliation equals the sequential sum regardless of
+    /// which nodes contribute in which order (integer op: exact).
+    #[test]
+    fn reduction_matches_sequential_sum(
+        contributions in proptest::collection::vec((0u16..NODES as u16, -1000i32..1000), 0..50),
+        initial in -1000i32..1000,
+    ) {
+        let mut mem = Lcm::new(MachineConfig::new(NODES), LcmVariant::Mcc);
+        let base = mem.tempest_mut().alloc(64, Placement::OnNode(NodeId(0)), "t");
+        mem.register_cow_region(base, 64, MergePolicy::Reduce(ReduceOp::SumI32));
+        mem.write_i32(NodeId(0), base, initial);
+        mem.begin_parallel_phase();
+        for &(node, v) in &contributions {
+            mem.reduce_i32(NodeId(node), base, ReduceOp::SumI32, v);
+        }
+        mem.reconcile_copies();
+        let expect = contributions.iter().fold(initial, |acc, &(_, v)| acc.wrapping_add(v));
+        prop_assert_eq!(mem.read_i32(NodeId(2), base), expect);
+    }
+
+    /// Nested phases: random inner writes end up in the parent's private
+    /// state (exactly one claim per word), and only the outer reconcile
+    /// publishes them; words untouched by the inner call keep the
+    /// parent's (or global) value throughout.
+    #[test]
+    fn nested_writes_layer_correctly(
+        inner_writes in phase_writes(),
+        parent_writes in proptest::collection::vec((0u64..WORDS, any::<u32>()), 0..20),
+    ) {
+        use lcm_rsm::NestedProtocol;
+        let parent = NodeId(1);
+        let mut mem = Lcm::new(MachineConfig::new(NODES), LcmVariant::Mcc);
+        let base = mem.tempest_mut().alloc(WORDS * 4, Placement::Interleaved, "w");
+        mem.register_cow_region(base, WORDS * 4, MergePolicy::KeepOne);
+        for w in 0..WORDS {
+            mem.write_word(NodeId(0), base.offset(w * 4), 0xBB00_0000 | w as u32);
+        }
+        mem.begin_parallel_phase();
+        let mut parent_map: HashMap<u64, u32> = HashMap::new();
+        for &(word, value) in &parent_writes {
+            mem.write_word(parent, base.offset(word * 4), value);
+            parent_map.insert(word, value);
+        }
+        mem.begin_nested_phase(parent);
+        let mut inner_map: HashMap<u64, Vec<u32>> = HashMap::new();
+        for &(node, word, value) in &inner_writes {
+            // Inner invocations observe the parent's layer underneath.
+            if !inner_map.contains_key(&word)
+                && !inner_writes.iter().any(|&(n, w2, _)| n == node && w2 == word)
+            {
+                let expect = parent_map.get(&word).copied().unwrap_or(0xBB00_0000 | word as u32);
+                prop_assert_eq!(mem.read_word(NodeId(node), base.offset(word * 4)), expect);
+            }
+            mem.write_word(NodeId(node), base.offset(word * 4), value);
+            inner_map.entry(word).or_default().push(value);
+        }
+        mem.reconcile_nested();
+        // The parent now sees: inner claims where the inner call wrote,
+        // its own writes elsewhere, the original otherwise. Nothing is
+        // global yet.
+        for w in 0..WORDS {
+            let seen = mem.read_word(parent, base.offset(w * 4));
+            match (inner_map.get(&w), parent_map.get(&w)) {
+                (Some(vals), _) => prop_assert!(vals.contains(&seen), "word {w}: {seen:#x} not in {vals:x?}"),
+                (None, Some(&pv)) => prop_assert_eq!(seen, pv, "parent write survives at word {}", w),
+                (None, None) => prop_assert_eq!(seen, 0xBB00_0000 | w as u32),
+            }
+            let global = mem.tempest().mem.read_word(base.offset(w * 4));
+            prop_assert_eq!(global, 0xBB00_0000 | w as u32, "global untouched mid-phase");
+        }
+        mem.reconcile_copies();
+        for w in 0..WORDS {
+            let seen = mem.read_word(NodeId(3), base.offset(w * 4));
+            match (inner_map.get(&w), parent_map.get(&w)) {
+                (Some(vals), _) => prop_assert!(vals.contains(&seen)),
+                (None, Some(&pv)) => prop_assert_eq!(seen, pv),
+                (None, None) => prop_assert_eq!(seen, 0xBB00_0000 | w as u32),
+            }
+        }
+        mem.verify_phase_invariants().expect("clean after reconcile");
+    }
+
+    /// Phases always clean up: no live copy-on-write entries, no open
+    /// phase, and home memory equals what a fresh read sees. The phase
+    /// invariants hold after every single operation.
+    #[test]
+    fn phases_reclaim_all_state(writes in phase_writes(), variant_mcc in any::<bool>()) {
+        let variant = if variant_mcc { LcmVariant::Mcc } else { LcmVariant::Scc };
+        let mut mem = Lcm::new(MachineConfig::new(NODES), variant);
+        let base = mem.tempest_mut().alloc(WORDS * 4, Placement::Blocked, "w");
+        mem.register_cow_region(base, WORDS * 4, MergePolicy::KeepOne);
+        for round in 0..2 {
+            mem.begin_parallel_phase();
+            for (i, &(node, word, value)) in writes.iter().enumerate() {
+                mem.write_word(NodeId(node), base.offset(word * 4), value ^ round);
+                mem.verify_phase_invariants()
+                    .unwrap_or_else(|e| panic!("round {round} step {i}: {e}"));
+                if i % 5 == 4 {
+                    mem.flush_copies(NodeId(node));
+                    mem.verify_phase_invariants()
+                        .unwrap_or_else(|e| panic!("round {round} flush {i}: {e}"));
+                }
+            }
+            mem.reconcile_copies();
+            mem.verify_phase_invariants().unwrap_or_else(|e| panic!("round {round} end: {e}"));
+            prop_assert_eq!(mem.live_cow_entries(), 0);
+            prop_assert!(!mem.in_parallel_phase());
+        }
+        for w in 0..WORDS {
+            let via_protocol = mem.read_word(NodeId(3), base.offset(w * 4));
+            let via_home = mem.tempest().mem.read_word(base.offset(w * 4));
+            prop_assert_eq!(via_protocol, via_home);
+        }
+    }
+}

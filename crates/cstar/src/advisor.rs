@@ -1,0 +1,254 @@
+//! The compiler's memory-system choice, as a decision procedure.
+//!
+//! The paper closes §6.3 observing that "a compiler should not rely
+//! exclusively on LCM … one of the virtues of user-level shared memory is
+//! that a compiler can make this choice (or even use both in a program)
+//! by selecting the libraries linked with a program." This module encodes
+//! that choice: given what compiler analysis learned about a parallel
+//! function ([`AccessSummary`]), [`advise`] picks the compilation
+//! [`Strategy`] and [`FlushPolicy`], with the paper-derived rationale.
+
+use crate::runtime::{FlushPolicy, Strategy};
+
+/// What analysis proved about a parallel function's writes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WriteFootprint {
+    /// Every invocation writes locations no other invocation accesses.
+    DisjointLocations,
+    /// Writes may touch locations other invocations read or write.
+    MayConflict,
+}
+
+/// What analysis proved about a parallel function's reads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReadPattern {
+    /// Invocations read only their own element.
+    OwnElement,
+    /// Invocations read a statically-known neighborhood (stencils).
+    StaticNeighbors,
+    /// Reads chase pointers or indices computed at run time.
+    Irregular,
+}
+
+/// Whether the data structure changes shape during execution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// Fixed shape the compiler can enumerate (arrays).
+    Static,
+    /// Dynamically built or refined (the adaptive mesh's quad-trees).
+    Dynamic,
+}
+
+/// How invocations are scheduled onto processors.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// The same partition every call (ownership stays put).
+    Repeatable,
+    /// Re-partitioned per call by a load balancer.
+    LoadBalanced,
+}
+
+/// How much of the data each call modifies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UpdateDensity {
+    /// Essentially every element is written (stencils).
+    Full,
+    /// Few elements change (Threshold's 2%).
+    Sparse,
+}
+
+/// The facts the "compiler" feeds the advisor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// Write-footprint analysis result.
+    pub writes: WriteFootprint,
+    /// Read-pattern analysis result.
+    pub reads: ReadPattern,
+    /// Data-structure shape.
+    pub structure: Structure,
+    /// Scheduling regime.
+    pub schedule: Schedule,
+    /// Update density.
+    pub updates: UpdateDensity,
+}
+
+/// The advisor's decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plan {
+    /// Which compilation strategy to link.
+    pub strategy: Strategy,
+    /// Where to emit flush directives (meaningful under LCM).
+    pub flush: FlushPolicy,
+    /// Paper-derived reasons, most significant first.
+    pub rationale: Vec<&'static str>,
+}
+
+/// Chooses a compilation strategy for a parallel function.
+///
+/// The rules transcribe the paper's §6 findings:
+///
+/// * dynamic structures ⇒ LCM (conservative copying must copy the whole
+///   structure every call);
+/// * sparse updates ⇒ LCM (explicit copying still carries every element);
+/// * load-balanced schedules ⇒ LCM (ownership never settles, so the
+///   copying baseline's locality advantage evaporates);
+/// * otherwise — static, repeatable, densely-updated data — explicit
+///   copying on plain coherent memory wins ("LCM has little to offer").
+///
+/// Under LCM, flushes move to reconcile time when the write footprint is
+/// disjoint and reads are own-element only (§5.1).
+pub fn advise(summary: &AccessSummary) -> Plan {
+    let mut rationale = Vec::new();
+    let mut lcm = false;
+    if summary.structure == Structure::Dynamic {
+        lcm = true;
+        rationale.push(
+            "dynamic structure: a compiler cannot tell which parts will be modified, so \
+             explicit copying must conservatively copy the whole structure each call (§6.2)",
+        );
+    }
+    if summary.updates == UpdateDensity::Sparse {
+        lcm = true;
+        rationale.push(
+            "sparse updates: copy-on-write moves only modified blocks, while the copying \
+             code writes every element every call (Threshold, §6.3)",
+        );
+    }
+    if summary.schedule == Schedule::LoadBalanced {
+        lcm = true;
+        rationale.push(
+            "load-balanced schedule: chunk ownership moves every call, so the coherent \
+             baseline refetches whole chunks anyway (Stencil-dyn, §6.3)",
+        );
+    }
+    if summary.reads == ReadPattern::Irregular {
+        lcm = true;
+        rationale.push(
+            "irregular reads: cross-processor blocks ping-pong under single-writer \
+             coherence; word-granular reconciliation absorbs them (Unstructured, §6.3)",
+        );
+    }
+    if !lcm {
+        rationale.push(
+            "static data, repeatable schedule, dense updates: double-buffering keeps every \
+             chunk resident and communicates only boundaries — LCM has little to offer here \
+             (Stencil-stat, §6.3)",
+        );
+        return Plan { strategy: Strategy::ExplicitCopy, flush: FlushPolicy::PerInvocation, rationale };
+    }
+    let flush = if summary.writes == WriteFootprint::DisjointLocations
+        && summary.reads == ReadPattern::OwnElement
+    {
+        rationale.push(
+            "invocations provably touch distinct locations: flushes between invocations \
+             are unnecessary and move to reconcile time (§5.1)",
+        );
+        FlushPolicy::AtReconcile
+    } else {
+        FlushPolicy::PerInvocation
+    };
+    Plan { strategy: Strategy::LcmDirectives, flush, rationale }
+}
+
+/// Canonical summaries of the paper's benchmarks, for tests and docs.
+pub mod profiles {
+    use super::*;
+
+    /// Stencil with a static partition.
+    pub fn stencil_static() -> AccessSummary {
+        AccessSummary {
+            writes: WriteFootprint::MayConflict, // writes blocks its neighbors read
+            reads: ReadPattern::StaticNeighbors,
+            structure: Structure::Static,
+            schedule: Schedule::Repeatable,
+            updates: UpdateDensity::Full,
+        }
+    }
+
+    /// Stencil under a load-balancing scheduler.
+    pub fn stencil_dynamic() -> AccessSummary {
+        AccessSummary { schedule: Schedule::LoadBalanced, ..stencil_static() }
+    }
+
+    /// The adaptive quad-tree mesh.
+    pub fn adaptive() -> AccessSummary {
+        AccessSummary { structure: Structure::Dynamic, ..stencil_static() }
+    }
+
+    /// Threshold: a stencil that updates ~2% of cells.
+    pub fn threshold() -> AccessSummary {
+        AccessSummary { updates: UpdateDensity::Sparse, ..stencil_static() }
+    }
+
+    /// Unstructured-mesh relaxation.
+    pub fn unstructured() -> AccessSummary {
+        AccessSummary { reads: ReadPattern::Irregular, ..stencil_static() }
+    }
+
+    /// A pure per-element map.
+    pub fn independent_map() -> AccessSummary {
+        AccessSummary {
+            writes: WriteFootprint::DisjointLocations,
+            reads: ReadPattern::OwnElement,
+            structure: Structure::Static,
+            schedule: Schedule::Repeatable,
+            updates: UpdateDensity::Full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::profiles::*;
+    use super::*;
+
+    #[test]
+    fn stencil_static_gets_explicit_copying() {
+        let plan = advise(&stencil_static());
+        assert_eq!(plan.strategy, Strategy::ExplicitCopy);
+        assert!(!plan.rationale.is_empty());
+    }
+
+    #[test]
+    fn dynamic_cases_get_lcm() {
+        for (name, s) in [
+            ("stencil-dyn", stencil_dynamic()),
+            ("adaptive", adaptive()),
+            ("threshold", threshold()),
+            ("unstructured", unstructured()),
+        ] {
+            let plan = advise(&s);
+            assert_eq!(plan.strategy, Strategy::LcmDirectives, "{name}");
+            assert_eq!(plan.flush, FlushPolicy::PerInvocation, "{name}");
+        }
+    }
+
+    #[test]
+    fn independent_map_under_lcm_elides_flushes() {
+        // A pure map on a repeatable static schedule would pick copying;
+        // force LCM by making the schedule dynamic and check the §5.1
+        // elision kicks in.
+        let s = AccessSummary { schedule: Schedule::LoadBalanced, ..independent_map() };
+        let plan = advise(&s);
+        assert_eq!(plan.strategy, Strategy::LcmDirectives);
+        assert_eq!(plan.flush, FlushPolicy::AtReconcile);
+        assert!(plan.rationale.iter().any(|r| r.contains("distinct locations")));
+    }
+
+    #[test]
+    fn independent_map_on_repeatable_schedule_prefers_copying() {
+        assert_eq!(advise(&independent_map()).strategy, Strategy::ExplicitCopy);
+    }
+
+    #[test]
+    fn rationale_cites_each_trigger() {
+        let s = AccessSummary {
+            structure: Structure::Dynamic,
+            updates: UpdateDensity::Sparse,
+            schedule: Schedule::LoadBalanced,
+            ..stencil_static()
+        };
+        let plan = advise(&s);
+        assert!(plan.rationale.len() >= 3, "each trigger contributes a reason");
+    }
+}

@@ -1,0 +1,235 @@
+//! Aggregates: the C\*\* data collections parallel functions apply to.
+//!
+//! An aggregate "looks and behaves like a C++ array" and is the basis for
+//! parallelism: applying a parallel function to an aggregate creates one
+//! invocation per element. Handles ([`Agg1`], [`Agg2`]) are small `Copy`
+//! tokens; the backing storage lives in the simulated global address
+//! space, registered with the runtime so that the *compilation strategy*
+//! (LCM directives vs. explicit double-buffering) can be switched without
+//! touching application code.
+
+use crate::scalar::Scalar;
+use lcm_sim::mem::Addr;
+use std::marker::PhantomData;
+
+/// Runtime-internal record of one aggregate's storage.
+#[derive(Clone, Debug)]
+pub(crate) struct AggInfo {
+    /// Primary storage.
+    pub base: Addr,
+    /// Shadow storage for the explicit-copying strategy (`None` under LCM).
+    pub back: Option<Addr>,
+    /// When true, reads map to `back` and writes to `base` (buffers
+    /// swapped an odd number of times).
+    pub swapped: bool,
+    /// Total elements.
+    pub len: usize,
+    /// Row length for 2-D aggregates (`cols == len` for 1-D).
+    pub cols: usize,
+    /// Debug name (kept for traces and future diagnostics).
+    #[allow(dead_code)]
+    pub name: String,
+}
+
+impl AggInfo {
+    /// Address of element `idx` in the buffer reads come from.
+    #[inline]
+    pub fn read_addr(&self, idx: usize) -> Addr {
+        debug_assert!(idx < self.len, "aggregate index {idx} out of bounds");
+        let base = match (self.back, self.swapped) {
+            (Some(back), true) => back,
+            _ => self.base,
+        };
+        base.offset(idx as u64 * 4)
+    }
+
+    /// Address of element `idx` in the buffer writes go to.
+    #[inline]
+    pub fn write_addr(&self, idx: usize) -> Addr {
+        debug_assert!(idx < self.len, "aggregate index {idx} out of bounds");
+        let base = match (self.back, self.swapped) {
+            (Some(back), false) => back,
+            _ => self.base,
+        };
+        base.offset(idx as u64 * 4)
+    }
+
+    /// Flips the read/write buffers (no-op without a back buffer).
+    pub fn swap(&mut self) {
+        if self.back.is_some() {
+            self.swapped = !self.swapped;
+        }
+    }
+}
+
+/// A reference to one element of an aggregate, as produced by
+/// [`Agg1::at`] / [`Agg2::at`] and consumed by the invocation context.
+pub struct Cell<T> {
+    pub(crate) id: usize,
+    pub(crate) idx: usize,
+    pub(crate) _elem: PhantomData<T>,
+}
+
+impl<T> Clone for Cell<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Cell<T> {}
+
+impl<T> std::fmt::Debug for Cell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cell(#{}, [{}])", self.id, self.idx)
+    }
+}
+
+/// Handle to a one-dimensional aggregate of `T`.
+pub struct Agg1<T> {
+    pub(crate) id: usize,
+    /// Number of elements.
+    pub len: usize,
+    pub(crate) _elem: PhantomData<T>,
+}
+
+impl<T> Clone for Agg1<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Agg1<T> {}
+
+impl<T: Scalar> Agg1<T> {
+    pub(crate) fn new(id: usize, len: usize) -> Agg1<T> {
+        Agg1 { id, len, _elem: PhantomData }
+    }
+
+    /// The element at index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn at(&self, i: usize) -> Cell<T> {
+        assert!(i < self.len, "index {i} out of aggregate length {}", self.len);
+        Cell { id: self.id, idx: i, _elem: PhantomData }
+    }
+}
+
+impl<T> std::fmt::Debug for Agg1<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Agg1(#{}, len {})", self.id, self.len)
+    }
+}
+
+/// Handle to a two-dimensional (row-major) aggregate of `T`.
+pub struct Agg2<T> {
+    pub(crate) id: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    pub(crate) _elem: PhantomData<T>,
+}
+
+impl<T> Clone for Agg2<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Agg2<T> {}
+
+impl<T: Scalar> Agg2<T> {
+    pub(crate) fn new(id: usize, rows: usize, cols: usize) -> Agg2<T> {
+        Agg2 { id, rows, cols, _elem: PhantomData }
+    }
+
+    /// Linear element index of `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn index(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {}x{}", self.rows, self.cols);
+        r * self.cols + c
+    }
+
+    /// The element at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> Cell<T> {
+        Cell { id: self.id, idx: self.index(r, c), _elem: PhantomData }
+    }
+}
+
+impl<T> std::fmt::Debug for Agg2<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Agg2(#{}, {}x{})", self.id, self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(back: bool) -> AggInfo {
+        AggInfo {
+            base: Addr(0x1000),
+            back: back.then_some(Addr(0x2000)),
+            swapped: false,
+            len: 16,
+            cols: 4,
+            name: "t".to_string(),
+        }
+    }
+
+    #[test]
+    fn single_buffer_reads_and_writes_same_storage() {
+        let i = info(false);
+        assert_eq!(i.read_addr(3), Addr(0x100c));
+        assert_eq!(i.write_addr(3), Addr(0x100c));
+    }
+
+    #[test]
+    fn double_buffer_splits_reads_and_writes() {
+        let mut i = info(true);
+        assert_eq!(i.read_addr(0), Addr(0x1000));
+        assert_eq!(i.write_addr(0), Addr(0x2000));
+        i.swap();
+        assert_eq!(i.read_addr(0), Addr(0x2000));
+        assert_eq!(i.write_addr(0), Addr(0x1000));
+        i.swap();
+        assert_eq!(i.read_addr(0), Addr(0x1000));
+    }
+
+    #[test]
+    fn swap_without_back_buffer_is_noop() {
+        let mut i = info(false);
+        i.swap();
+        assert_eq!(i.read_addr(0), Addr(0x1000));
+        assert_eq!(i.write_addr(0), Addr(0x1000));
+    }
+
+    #[test]
+    fn agg2_index_is_row_major() {
+        let a: Agg2<f32> = Agg2::new(0, 4, 8);
+        assert_eq!(a.index(0, 0), 0);
+        assert_eq!(a.index(1, 0), 8);
+        assert_eq!(a.index(3, 7), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn agg2_index_bounds_checked() {
+        let a: Agg2<f32> = Agg2::new(0, 4, 8);
+        a.index(4, 0);
+    }
+
+    #[test]
+    fn handles_are_copy() {
+        let a: Agg1<i32> = Agg1::new(1, 10);
+        let b = a;
+        assert_eq!(a.len, b.len); // both usable: Copy
+        assert!(format!("{a:?}").contains("len 10"));
+    }
+}

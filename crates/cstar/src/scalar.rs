@@ -1,0 +1,71 @@
+//! Element types storable in C\*\* aggregates.
+//!
+//! The protocol-visible access unit is the 4-byte word (the CM-5's
+//! single-precision float), so aggregate elements are the word-sized
+//! scalars. Reduction variables additionally support `f64` through the
+//! dedicated reduction API (`%+=` on a `double` in the paper's example).
+
+/// A word-sized value storable in an aggregate.
+///
+/// This trait is sealed in spirit: the set of element types is fixed by
+/// the memory system's word size, and implementations exist only for
+/// `f32`, `i32`, and `u32`.
+pub trait Scalar: Copy + PartialEq + std::fmt::Debug + Default {
+    /// The value as raw word bits.
+    fn to_bits(self) -> u32;
+    /// A value from raw word bits.
+    fn from_bits(bits: u32) -> Self;
+}
+
+impl Scalar for f32 {
+    #[inline]
+    fn to_bits(self) -> u32 {
+        f32::to_bits(self)
+    }
+    #[inline]
+    fn from_bits(bits: u32) -> f32 {
+        f32::from_bits(bits)
+    }
+}
+
+impl Scalar for i32 {
+    #[inline]
+    fn to_bits(self) -> u32 {
+        self as u32
+    }
+    #[inline]
+    fn from_bits(bits: u32) -> i32 {
+        bits as i32
+    }
+}
+
+impl Scalar for u32 {
+    #[inline]
+    fn to_bits(self) -> u32 {
+        self
+    }
+    #[inline]
+    fn from_bits(bits: u32) -> u32 {
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        assert_eq!(f32::from_bits(Scalar::to_bits(-1.5f32)), -1.5);
+        assert_eq!(<i32 as Scalar>::from_bits(Scalar::to_bits(-7i32)), -7);
+        assert_eq!(<u32 as Scalar>::from_bits(Scalar::to_bits(0xdead_beefu32)), 0xdead_beef);
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let bits = 0x7fc0_1234u32;
+        let v = <f32 as Scalar>::from_bits(bits);
+        assert!(v.is_nan());
+        assert_eq!(Scalar::to_bits(v), bits);
+    }
+}

@@ -1,0 +1,95 @@
+//! Conflict (semantic-violation and data-race) records.
+//!
+//! Sections 7.2/7.3 of the paper show how RSM reconciliation can detect
+//! programs with conflicting side effects without per-location access
+//! histories: if reconciliation finds a word modified by more than one
+//! processor, a write-write conflict occurred; if a modified block also
+//! had outstanding read-only copies during the phase, a (potential)
+//! read-write conflict occurred. Protocols report these as
+//! [`ConflictRecord`]s.
+
+use lcm_sim::mem::BlockId;
+use lcm_sim::NodeId;
+use std::fmt;
+
+/// The kind of detected conflict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Two processors' versions both modified the same word.
+    WriteWrite,
+    /// A block was modified while read-only copies were outstanding.
+    /// `actual` distinguishes a copy *used* during the phase from one
+    /// merely left in a cache from an earlier phase (the paper's
+    /// potential-vs-actual distinction, §7.2).
+    ReadWrite {
+        /// True when the read-only copy was referenced during the phase.
+        actual: bool,
+    },
+}
+
+/// One detected conflict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ConflictRecord {
+    /// The block involved.
+    pub block: BlockId,
+    /// The word within the block for write-write conflicts; `None` for
+    /// read-write conflicts (which are detected at block granularity).
+    pub word: Option<u8>,
+    /// The kind of conflict.
+    pub kind: ConflictKind,
+    /// The node whose claim was kept (writer for WW, writer for RW).
+    pub winner: NodeId,
+    /// The node whose claim was discarded (writer for WW, reader for RW).
+    pub loser: NodeId,
+}
+
+impl fmt::Display for ConflictRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ConflictKind::WriteWrite => write!(
+                f,
+                "write-write conflict on {:?} word {} between {} and {}",
+                self.block,
+                self.word.map(i32::from).unwrap_or(-1),
+                self.winner,
+                self.loser
+            ),
+            ConflictKind::ReadWrite { actual } => write!(
+                f,
+                "{} read-write conflict on {:?}: {} wrote while {} held a read-only copy",
+                if actual { "actual" } else { "potential" },
+                self.block,
+                self.winner,
+                self.loser
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parties() {
+        let r = ConflictRecord {
+            block: BlockId(9),
+            word: Some(3),
+            kind: ConflictKind::WriteWrite,
+            winner: NodeId(1),
+            loser: NodeId(2),
+        };
+        let s = r.to_string();
+        assert!(s.contains("write-write"));
+        assert!(s.contains("node 1") && s.contains("node 2"));
+
+        let r = ConflictRecord {
+            block: BlockId(9),
+            word: None,
+            kind: ConflictKind::ReadWrite { actual: false },
+            winner: NodeId(0),
+            loser: NodeId(3),
+        };
+        assert!(r.to_string().contains("potential read-write"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Nested parallel phases — C\*\*'s deferred feature.
+//!
+//! C\*\* "allows nested parallel functions (i.e., parallel calls from
+//! within parallel functions), but this paper considers only non-nested
+//! parallel functions" (§4.2). This trait captures the memory-system
+//! support a nested call needs, implemented by LCM in `lcm-core`:
+//!
+//! * the inner call's invocations must see the *parent invocation's*
+//!   private state layered over the pre-call global state;
+//! * their own modifications stay private to each inner invocation;
+//! * when the inner call completes, its merged modifications become part
+//!   of the parent invocation's private state — *not* of global memory,
+//!   which remains untouched until the outer `reconcile_copies`.
+//!
+//! One level of nesting is supported, matching the language's common use;
+//! protocol state for deeper levels would stack the same way.
+
+use crate::protocol::MemoryProtocol;
+use lcm_sim::NodeId;
+
+/// A memory system supporting one level of nested parallel phases.
+pub trait NestedProtocol: MemoryProtocol {
+    /// Opens a nested phase inside the current parallel phase. The inner
+    /// call's invocations observe `parent`'s private modifications as
+    /// their pre-call state.
+    ///
+    /// # Panics
+    /// Implementations panic if no outer phase is open or a nested phase
+    /// already is.
+    fn begin_nested_phase(&mut self, parent: NodeId);
+
+    /// Closes the nested phase: all inner versions reconcile into the
+    /// parent invocation's private state.
+    ///
+    /// # Panics
+    /// Implementations panic if no nested phase is open.
+    fn reconcile_nested(&mut self);
+
+    /// True while a nested phase is open.
+    fn in_nested_phase(&self) -> bool;
+}

@@ -1,0 +1,283 @@
+//! Reconciliation operators.
+//!
+//! RSM generalizes a coherence protocol's *merge* step: when multiple
+//! outstanding copies of a block return home, an application-chosen
+//! function reconciles them into one value. The paper uses two families:
+//!
+//! * **keep-one** — C\*\*'s default: of the values written into a location
+//!   by different invocations, exactly one survives (we implement both
+//!   first- and last-arrival orders, at word granularity);
+//! * **reductions** — C\*\*'s reduction assignments (`%+=` etc.): values
+//!   written into a location combine under a binary associative operator
+//!   with the location's initial value.
+
+use std::fmt;
+
+/// Whether an operand is one 4-byte word or an aligned 8-byte pair.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ValueWidth {
+    /// One 32-bit word.
+    W4,
+    /// Two consecutive 32-bit words (an `f64`).
+    W8,
+}
+
+/// A binary, associative reduction operator over one memory location.
+///
+/// Operands and results are raw bit patterns (`u64`; only the low 32 bits
+/// are meaningful for `W4` operators) so the reconciler can stay untyped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `f32` addition.
+    SumF32,
+    /// `f64` addition.
+    SumF64,
+    /// Wrapping `i32` addition.
+    SumI32,
+    /// `f32` multiplication.
+    ProdF32,
+    /// `f64` multiplication.
+    ProdF64,
+    /// `f32` minimum.
+    MinF32,
+    /// `f32` maximum.
+    MaxF32,
+    /// `i32` minimum.
+    MinI32,
+    /// `i32` maximum.
+    MaxI32,
+    /// Bitwise and.
+    AndU32,
+    /// Bitwise or.
+    OrU32,
+    /// Bitwise exclusive-or.
+    XorU32,
+}
+
+impl ReduceOp {
+    /// The operand width.
+    pub fn width(self) -> ValueWidth {
+        match self {
+            ReduceOp::SumF64 | ReduceOp::ProdF64 => ValueWidth::W8,
+            _ => ValueWidth::W4,
+        }
+    }
+
+    /// The operator's identity element, as raw bits.
+    ///
+    /// A private accumulator copy starts at the identity so that
+    /// reconciliation can combine each node's *contribution* with the
+    /// location's initial value, per the paper's reduction semantics.
+    pub fn identity_bits(self) -> u64 {
+        match self {
+            ReduceOp::SumF32 => f32::to_bits(0.0) as u64,
+            ReduceOp::SumF64 => f64::to_bits(0.0),
+            ReduceOp::SumI32 => 0,
+            ReduceOp::ProdF32 => f32::to_bits(1.0) as u64,
+            ReduceOp::ProdF64 => f64::to_bits(1.0),
+            ReduceOp::MinF32 => f32::to_bits(f32::INFINITY) as u64,
+            ReduceOp::MaxF32 => f32::to_bits(f32::NEG_INFINITY) as u64,
+            ReduceOp::MinI32 => i32::MAX as u32 as u64,
+            ReduceOp::MaxI32 => i32::MIN as u32 as u64,
+            ReduceOp::AndU32 => u32::MAX as u64,
+            ReduceOp::OrU32 => 0,
+            ReduceOp::XorU32 => 0,
+        }
+    }
+
+    /// Combines two operands (raw bits) under the operator.
+    pub fn combine_bits(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::SumF32 => f32::to_bits(f32::from_bits(a as u32) + f32::from_bits(b as u32)) as u64,
+            ReduceOp::SumF64 => f64::to_bits(f64::from_bits(a) + f64::from_bits(b)),
+            ReduceOp::SumI32 => (a as u32).wrapping_add(b as u32) as u64,
+            ReduceOp::ProdF32 => f32::to_bits(f32::from_bits(a as u32) * f32::from_bits(b as u32)) as u64,
+            ReduceOp::ProdF64 => f64::to_bits(f64::from_bits(a) * f64::from_bits(b)),
+            ReduceOp::MinF32 => f32::to_bits(f32::from_bits(a as u32).min(f32::from_bits(b as u32))) as u64,
+            ReduceOp::MaxF32 => f32::to_bits(f32::from_bits(a as u32).max(f32::from_bits(b as u32))) as u64,
+            ReduceOp::MinI32 => (a as u32 as i32).min(b as u32 as i32) as u32 as u64,
+            ReduceOp::MaxI32 => (a as u32 as i32).max(b as u32 as i32) as u32 as u64,
+            ReduceOp::AndU32 => ((a as u32) & (b as u32)) as u64,
+            ReduceOp::OrU32 => ((a as u32) | (b as u32)) as u64,
+            ReduceOp::XorU32 => ((a as u32) ^ (b as u32)) as u64,
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReduceOp::SumF32 => "sum:f32",
+            ReduceOp::SumF64 => "sum:f64",
+            ReduceOp::SumI32 => "sum:i32",
+            ReduceOp::ProdF32 => "prod:f32",
+            ReduceOp::ProdF64 => "prod:f64",
+            ReduceOp::MinF32 => "min:f32",
+            ReduceOp::MaxF32 => "max:f32",
+            ReduceOp::MinI32 => "min:i32",
+            ReduceOp::MaxI32 => "max:i32",
+            ReduceOp::AndU32 => "and:u32",
+            ReduceOp::OrU32 => "or:u32",
+            ReduceOp::XorU32 => "xor:u32",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Which arriving version's words win under keep-one reconciliation.
+///
+/// C\*\* only promises that *exactly one* modified value survives; the
+/// order is an implementation artifact. Both orders are provided so tests
+/// can demonstrate the semantics is insensitive to it for race-free
+/// programs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum KeepOrder {
+    /// The last version to arrive home supplies the word.
+    #[default]
+    LastWins,
+    /// The first version to arrive home supplies the word.
+    FirstWins,
+}
+
+/// How multiple modified copies of a block's word reconcile.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Keep-one: a single written value survives (C\*\* default).
+    #[default]
+    KeepOne,
+    /// Keep-one with explicit arrival order.
+    KeepOneOrdered(KeepOrder),
+    /// Combine contributions under a reduction operator.
+    Reduce(ReduceOp),
+}
+
+impl MergePolicy {
+    /// The keep order in force (reductions have none).
+    pub fn keep_order(self) -> KeepOrder {
+        match self {
+            MergePolicy::KeepOne => KeepOrder::LastWins,
+            MergePolicy::KeepOneOrdered(o) => o,
+            MergePolicy::Reduce(_) => KeepOrder::LastWins,
+        }
+    }
+
+    /// The reduction operator, if this policy is a reduction.
+    pub fn reduce_op(self) -> Option<ReduceOp> {
+        match self {
+            MergePolicy::Reduce(op) => Some(op),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_OPS: [ReduceOp; 12] = [
+        ReduceOp::SumF32,
+        ReduceOp::SumF64,
+        ReduceOp::SumI32,
+        ReduceOp::ProdF32,
+        ReduceOp::ProdF64,
+        ReduceOp::MinF32,
+        ReduceOp::MaxF32,
+        ReduceOp::MinI32,
+        ReduceOp::MaxI32,
+        ReduceOp::AndU32,
+        ReduceOp::OrU32,
+        ReduceOp::XorU32,
+    ];
+
+    #[test]
+    fn identities_are_neutral() {
+        // For a representative operand, id ∘ x == x.
+        for op in ALL_OPS {
+            let x: u64 = match op.width() {
+                ValueWidth::W4 => match op {
+                    ReduceOp::SumF32 | ReduceOp::ProdF32 | ReduceOp::MinF32 | ReduceOp::MaxF32 => {
+                        f32::to_bits(3.5) as u64
+                    }
+                    ReduceOp::SumI32 | ReduceOp::MinI32 | ReduceOp::MaxI32 => (-17i32) as u32 as u64,
+                    _ => 0x5a5a5a5a,
+                },
+                ValueWidth::W8 => f64::to_bits(3.5),
+            };
+            assert_eq!(op.combine_bits(op.identity_bits(), x), x, "{op} identity");
+            assert_eq!(op.combine_bits(x, op.identity_bits()), x, "{op} identity (rhs)");
+        }
+    }
+
+    #[test]
+    fn sums_add() {
+        let a = f32::to_bits(1.5) as u64;
+        let b = f32::to_bits(2.0) as u64;
+        assert_eq!(ReduceOp::SumF32.combine_bits(a, b), f32::to_bits(3.5) as u64);
+        let a = f64::to_bits(1e10);
+        let b = f64::to_bits(2e10);
+        assert_eq!(ReduceOp::SumF64.combine_bits(a, b), f64::to_bits(3e10));
+        assert_eq!(ReduceOp::SumI32.combine_bits(5, (-3i32) as u32 as u64) as u32 as i32, 2);
+    }
+
+    #[test]
+    fn sum_i32_wraps() {
+        let a = i32::MAX as u32 as u64;
+        let r = ReduceOp::SumI32.combine_bits(a, 1) as u32 as i32;
+        assert_eq!(r, i32::MIN);
+    }
+
+    #[test]
+    fn min_max_pick_extremes() {
+        let a = f32::to_bits(-1.0) as u64;
+        let b = f32::to_bits(2.0) as u64;
+        assert_eq!(ReduceOp::MinF32.combine_bits(a, b), a);
+        assert_eq!(ReduceOp::MaxF32.combine_bits(a, b), b);
+        assert_eq!(ReduceOp::MinI32.combine_bits((-5i32) as u32 as u64, 3) as u32 as i32, -5);
+        assert_eq!(ReduceOp::MaxI32.combine_bits((-5i32) as u32 as u64, 3) as u32 as i32, 3);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(ReduceOp::AndU32.combine_bits(0b1100, 0b1010), 0b1000);
+        assert_eq!(ReduceOp::OrU32.combine_bits(0b1100, 0b1010), 0b1110);
+        assert_eq!(ReduceOp::XorU32.combine_bits(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn widths_are_correct() {
+        for op in ALL_OPS {
+            match op {
+                ReduceOp::SumF64 | ReduceOp::ProdF64 => assert_eq!(op.width(), ValueWidth::W8),
+                _ => assert_eq!(op.width(), ValueWidth::W4),
+            }
+        }
+    }
+
+    #[test]
+    fn associativity_spot_check() {
+        // (a ∘ b) ∘ c == a ∘ (b ∘ c) for integer/bitwise ops (exact).
+        for op in [ReduceOp::SumI32, ReduceOp::MinI32, ReduceOp::MaxI32, ReduceOp::AndU32, ReduceOp::OrU32, ReduceOp::XorU32] {
+            let (a, b, c) = (17u64, 0xfffe_0001u64, 5u64);
+            assert_eq!(
+                op.combine_bits(op.combine_bits(a, b), c),
+                op.combine_bits(a, op.combine_bits(b, c)),
+                "{op} associativity"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_policy_accessors() {
+        assert_eq!(MergePolicy::KeepOne.keep_order(), KeepOrder::LastWins);
+        assert_eq!(MergePolicy::KeepOneOrdered(KeepOrder::FirstWins).keep_order(), KeepOrder::FirstWins);
+        assert_eq!(MergePolicy::Reduce(ReduceOp::SumF32).reduce_op(), Some(ReduceOp::SumF32));
+        assert_eq!(MergePolicy::KeepOne.reduce_op(), None);
+        assert_eq!(MergePolicy::default(), MergePolicy::KeepOne);
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(ReduceOp::SumF64.to_string(), "sum:f64");
+        assert_eq!(ReduceOp::XorU32.to_string(), "xor:u32");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for reconciliation operators and the policy table.
+
+use lcm_rsm::{MergePolicy, PolicyTable, ReduceOp, RegionPolicy, ValueWidth};
+use lcm_sim::mem::BlockId;
+use proptest::prelude::*;
+
+const INT_OPS: [ReduceOp; 6] = [
+    ReduceOp::SumI32,
+    ReduceOp::MinI32,
+    ReduceOp::MaxI32,
+    ReduceOp::AndU32,
+    ReduceOp::OrU32,
+    ReduceOp::XorU32,
+];
+
+const ALL_OPS: [ReduceOp; 12] = [
+    ReduceOp::SumF32,
+    ReduceOp::SumF64,
+    ReduceOp::SumI32,
+    ReduceOp::ProdF32,
+    ReduceOp::ProdF64,
+    ReduceOp::MinF32,
+    ReduceOp::MaxF32,
+    ReduceOp::MinI32,
+    ReduceOp::MaxI32,
+    ReduceOp::AndU32,
+    ReduceOp::OrU32,
+    ReduceOp::XorU32,
+];
+
+/// Masks an operand to the operator's width so both argument orders see
+/// identical bit patterns.
+fn fit(op: ReduceOp, bits: u64) -> u64 {
+    match op.width() {
+        ValueWidth::W4 => bits as u32 as u64,
+        ValueWidth::W8 => bits,
+    }
+}
+
+proptest! {
+    /// The identity is neutral on both sides for every operator, for any
+    /// operand (NaN payloads excepted — compare bitwise only for
+    /// non-NaN floats).
+    #[test]
+    fn identity_is_neutral(raw in any::<u64>(), idx in 0usize..ALL_OPS.len()) {
+        let op = ALL_OPS[idx];
+        let x = fit(op, raw);
+        let is_float_nan = match op {
+            ReduceOp::SumF32 | ReduceOp::ProdF32 | ReduceOp::MinF32 | ReduceOp::MaxF32 =>
+                f32::from_bits(x as u32).is_nan(),
+            ReduceOp::SumF64 | ReduceOp::ProdF64 => f64::from_bits(x).is_nan(),
+            _ => false,
+        };
+        prop_assume!(!is_float_nan);
+        prop_assert_eq!(op.combine_bits(op.identity_bits(), x), x);
+        prop_assert_eq!(op.combine_bits(x, op.identity_bits()), x);
+    }
+
+    /// Integer and bitwise operators are exactly associative and
+    /// commutative (the reconciler may combine contributions in any
+    /// arrival order).
+    #[test]
+    fn int_ops_associative_commutative(a in any::<u32>(), b in any::<u32>(), c in any::<u32>(), idx in 0usize..INT_OPS.len()) {
+        let op = INT_OPS[idx];
+        let (a, b, c) = (a as u64, b as u64, c as u64);
+        prop_assert_eq!(
+            op.combine_bits(op.combine_bits(a, b), c),
+            op.combine_bits(a, op.combine_bits(b, c))
+        );
+        prop_assert_eq!(op.combine_bits(a, b), op.combine_bits(b, a));
+    }
+
+    /// Min/max results are one of the operands.
+    #[test]
+    fn minmax_select_an_operand(a in any::<i32>(), b in any::<i32>()) {
+        for op in [ReduceOp::MinI32, ReduceOp::MaxI32] {
+            let r = op.combine_bits(a as u32 as u64, b as u32 as u64) as u32 as i32;
+            prop_assert!(r == a || r == b);
+        }
+    }
+
+    /// Policy lookups agree with a naive reference over random disjoint
+    /// ranges.
+    #[test]
+    fn policy_table_matches_reference(
+        starts in proptest::collection::vec(0u64..1000, 0..8),
+        probe in 0u64..1100,
+    ) {
+        // Build disjoint ranges [10k, 10k+5) from sorted, deduped starts.
+        let mut table = PolicyTable::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut ks: Vec<u64> = starts.iter().map(|s| s / 10).collect();
+        ks.sort_unstable();
+        ks.dedup();
+        for k in ks {
+            let (a, b) = (k * 10, k * 10 + 5);
+            table.set(BlockId(a), BlockId(b), RegionPolicy::copy_on_write(MergePolicy::KeepOne));
+            reference.push((a, b));
+        }
+        let expect_cow = reference.iter().any(|&(a, b)| probe >= a && probe < b);
+        let got_cow = table.get(BlockId(probe)).coherence == lcm_rsm::CoherenceKind::CopyOnWrite;
+        prop_assert_eq!(got_cow, expect_cow);
+    }
+}

@@ -1,0 +1,172 @@
+//! The parameterized cost model.
+//!
+//! Every protocol event in the simulation charges cycles to the node(s)
+//! involved, according to a [`CostModel`]. The default constants are shaped
+//! after the paper's platform — Blizzard-E on a 32-node Thinking Machines
+//! CM-5, where a fine-grain access fault plus a remote round-trip costs on
+//! the order of hundreds of processor cycles, while a hit is a plain cached
+//! load. Absolute values are knobs, not measurements: the reproduction
+//! targets the *shape* of the paper's results, and every experiment can be
+//! re-run under a different model.
+
+/// Cycle costs charged for memory-system events.
+///
+/// ```
+/// use lcm_sim::CostModel;
+/// let mut cm = CostModel::cm5();
+/// cm.remote_miss = 10_000; // explore a slower network
+/// assert!(cm.remote_miss > cm.local_fill);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// A load or store that hits a valid, sufficiently-permissioned block.
+    pub cache_hit: u64,
+    /// A *fault-serviced* fill from node-local storage (the Stache in
+    /// local memory, or a home-local clean copy). Dominated by the
+    /// fine-grain access-fault trap, which on Blizzard-E costs hundreds of
+    /// cycles even when no network round-trip is needed.
+    pub local_fill: u64,
+    /// Reinitializing a cached block from a node-local clean copy *inside
+    /// an already-running handler* (the LCM-mcc flush path): a 32-byte
+    /// copy, no trap, no messages.
+    pub local_refill: u64,
+    /// A full remote round-trip: fault, request message, home handler,
+    /// data reply (block transfer included).
+    pub remote_miss: u64,
+    /// Sender-side overhead of one protocol message.
+    pub msg_send: u64,
+    /// Receiver-side handler overhead of one protocol message.
+    pub msg_recv: u64,
+    /// Sending one modified block home at `flush_copies` time (on top of
+    /// `msg_send`; covers assembling the block + dirty mask).
+    pub block_flush: u64,
+    /// Creating a clean copy of a block (home- or cache-side).
+    pub clean_copy_create: u64,
+    /// Home-side work to reconcile one arriving version of a block.
+    pub reconcile_per_version: u64,
+    /// Fixed cost of a global barrier.
+    pub barrier_base: u64,
+    /// Additional barrier cost per `log2(P)` combining-tree level.
+    pub barrier_per_level: u64,
+    /// Processing one invalidation request at a sharer.
+    pub invalidate: u64,
+    /// Upgrading a ReadOnly copy to Writable (ownership round-trip, no data).
+    pub upgrade: u64,
+}
+
+impl CostModel {
+    /// Constants shaped after Blizzard-E on the CM-5 (see module docs).
+    ///
+    /// Blizzard-E services fine-grain access faults with ECC traps and
+    /// software handlers, so even a *local* fill costs on the order of a
+    /// thousand 33 MHz cycles and a remote round-trip several thousand —
+    /// misses dominate everything, which is what the paper's results are
+    /// made of.
+    pub fn cm5() -> CostModel {
+        CostModel {
+            cache_hit: 1,
+            local_fill: 1000,
+            local_refill: 100,
+            remote_miss: 3000,
+            msg_send: 200,
+            msg_recv: 200,
+            block_flush: 100,
+            clean_copy_create: 100,
+            reconcile_per_version: 100,
+            barrier_base: 800,
+            barrier_per_level: 100,
+            invalidate: 200,
+            upgrade: 2000,
+        }
+    }
+
+    /// A cost model that charges one cycle for everything.
+    ///
+    /// Useful in tests that want to count *events* rather than weigh them.
+    pub fn unit() -> CostModel {
+        CostModel {
+            cache_hit: 1,
+            local_fill: 1,
+            local_refill: 1,
+            remote_miss: 1,
+            msg_send: 1,
+            msg_recv: 1,
+            block_flush: 1,
+            clean_copy_create: 1,
+            reconcile_per_version: 1,
+            barrier_base: 1,
+            barrier_per_level: 0,
+            invalidate: 1,
+            upgrade: 1,
+        }
+    }
+
+    /// A cost model that charges zero for everything; execution time then
+    /// reflects only explicitly-charged compute cycles.
+    pub fn free() -> CostModel {
+        CostModel {
+            cache_hit: 0,
+            local_fill: 0,
+            local_refill: 0,
+            remote_miss: 0,
+            msg_send: 0,
+            msg_recv: 0,
+            block_flush: 0,
+            clean_copy_create: 0,
+            reconcile_per_version: 0,
+            barrier_base: 0,
+            barrier_per_level: 0,
+            invalidate: 0,
+            upgrade: 0,
+        }
+    }
+
+    /// Total barrier cost for a machine of `nodes` processors.
+    pub fn barrier_cost(&self, nodes: usize) -> u64 {
+        let levels = usize::BITS - nodes.max(1).leading_zeros() - 1; // floor(log2)
+        self.barrier_base + self.barrier_per_level * levels as u64
+    }
+}
+
+impl Default for CostModel {
+    /// The default model is [`CostModel::cm5`].
+    fn default() -> CostModel {
+        CostModel::cm5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cm5() {
+        assert_eq!(CostModel::default(), CostModel::cm5());
+    }
+
+    #[test]
+    fn cm5_orderings_hold() {
+        let c = CostModel::cm5();
+        assert!(c.cache_hit < c.local_refill);
+        assert!(c.local_refill < c.local_fill);
+        assert!(c.local_fill < c.remote_miss);
+        assert!(c.upgrade < c.remote_miss);
+    }
+
+    #[test]
+    fn barrier_cost_grows_logarithmically() {
+        let c = CostModel::cm5();
+        let b1 = c.barrier_cost(1);
+        let b2 = c.barrier_cost(2);
+        let b32 = c.barrier_cost(32);
+        assert_eq!(b1, c.barrier_base);
+        assert_eq!(b2, c.barrier_base + c.barrier_per_level);
+        assert_eq!(b32, c.barrier_base + 5 * c.barrier_per_level);
+    }
+
+    #[test]
+    fn unit_and_free_models() {
+        assert_eq!(CostModel::unit().remote_miss, 1);
+        assert_eq!(CostModel::free().barrier_cost(32), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # lcm-sim — simulation substrate for the LCM reproduction
+//!
+//! This crate is the bottom layer of a reproduction of *Larus, Richards &
+//! Viswanathan, "LCM: Memory System Support for Parallel Language
+//! Implementation"* (Univ. of Wisconsin–Madison, 1994). The paper ran on a
+//! 32-node Thinking Machines CM-5 under the Blizzard-E fine-grain
+//! distributed-shared-memory system; we substitute a deterministic,
+//! execution-driven simulation (see `DESIGN.md` at the repository root).
+//!
+//! `lcm-sim` provides:
+//!
+//! * memory geometry ([`mem`]): 32-byte blocks of eight 4-byte words,
+//!   4 KB pages, [`mem::BlockBuf`] block buffers and [`mem::WordMask`]
+//!   per-word dirty masks;
+//! * the simulated [`Machine`]: per-node logical clocks, barriers, and
+//!   [`NodeStats`] protocol counters;
+//! * the parameterized [`CostModel`] (CM-5-shaped defaults);
+//! * a deterministic [`Pcg32`] generator and a fast deterministic hasher
+//!   ([`hash`]) for the hot protocol maps;
+//! * an optional protocol event [`trace`].
+//!
+//! Everything above this crate — the Tempest-like mechanism layer, the
+//! Stache baseline protocol, LCM itself, and the C\*\* runtime — charges
+//! its costs through [`Machine`].
+//!
+//! ```
+//! use lcm_sim::{Machine, MachineConfig, NodeId};
+//!
+//! let mut m = Machine::new(MachineConfig::new(4));
+//! m.advance(NodeId(0), 100); // node 0 computes for 100 cycles
+//! m.barrier();               // everyone synchronizes
+//! assert!(m.time() >= 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod hash;
+pub mod machine;
+pub mod mem;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use cost::CostModel;
+pub use machine::{Machine, MachineConfig, NodeId};
+pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};
+pub use rng::Pcg32;
+pub use stats::NodeStats;
+pub use trace::{Event, Trace, TraceSummary};

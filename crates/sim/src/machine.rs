@@ -1,0 +1,308 @@
+//! The simulated machine: nodes, logical clocks, and statistics.
+//!
+//! The reproduction is an *execution-driven* simulation: application code
+//! really runs (inside one host thread) and every memory access is routed
+//! through a protocol, which charges cycles to per-node logical clocks via
+//! this module. A node's clock advances as it computes and as its misses
+//! and messages are serviced; a [`Machine::barrier`] synchronizes all
+//! clocks to the maximum, exactly how the phase-structured C\*\* programs
+//! behave on the paper's CM-5.
+//!
+//! Clock accounting is *logical*: handler work for a message is charged to
+//! the home node when the message is (synchronously) processed, without
+//! modeling queueing or contention. This is sufficient for the paper's
+//! results, which are dominated by miss counts and round-trip latencies.
+
+use crate::cost::CostModel;
+use crate::stats::NodeStats;
+use crate::trace::{Event, Trace};
+use std::fmt;
+
+/// Identifier of a processing node (`0..nodes`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {}", self.0)
+    }
+}
+
+/// Static configuration of a simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processing nodes. The paper's machine has 32.
+    pub nodes: usize,
+    /// Cycle costs for protocol events.
+    pub cost: CostModel,
+    /// Event-trace capacity; 0 disables tracing.
+    pub trace_capacity: usize,
+}
+
+impl MachineConfig {
+    /// A machine of `nodes` processors with the default (CM-5-shaped)
+    /// cost model and tracing disabled.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn new(nodes: usize) -> MachineConfig {
+        assert!(nodes > 0, "a machine needs at least one node");
+        MachineConfig { nodes, cost: CostModel::default(), trace_capacity: 0 }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> MachineConfig {
+        self.cost = cost;
+        self
+    }
+
+    /// Enables tracing with the given capacity.
+    pub fn with_trace(mut self, capacity: usize) -> MachineConfig {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    /// The paper's 32-node configuration.
+    fn default() -> MachineConfig {
+        MachineConfig::new(32)
+    }
+}
+
+/// The simulated machine: per-node logical clocks, statistics, and the
+/// event trace. Protocols and runtimes hold one `Machine` and charge all
+/// costs through it.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cost: CostModel,
+    clocks: Vec<u64>,
+    stats: Vec<NodeStats>,
+    trace: Trace,
+    barriers: u64,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Machine {
+        let trace = if config.trace_capacity > 0 {
+            Trace::with_capacity(config.trace_capacity)
+        } else {
+            Trace::disabled()
+        };
+        Machine {
+            cost: config.cost,
+            clocks: vec![0; config.nodes],
+            stats: vec![NodeStats::default(); config.nodes],
+            trace,
+            barriers: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Iterates over all node ids in ascending order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes() as u16).map(NodeId)
+    }
+
+    /// The cost model in force.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The logical clock of `node`, in cycles.
+    #[inline]
+    pub fn clock(&self, node: NodeId) -> u64 {
+        self.clocks[node.index()]
+    }
+
+    /// Advances `node`'s clock by `cycles`.
+    #[inline]
+    pub fn advance(&mut self, node: NodeId, cycles: u64) {
+        self.clocks[node.index()] += cycles;
+    }
+
+    /// Advances every node's clock by `cycles` (e.g. broadcast handler work).
+    pub fn advance_all(&mut self, cycles: u64) {
+        for c in &mut self.clocks {
+            *c += cycles;
+        }
+    }
+
+    /// Executes a global barrier: all clocks jump to the maximum plus the
+    /// model's barrier cost. Returns the post-barrier time.
+    pub fn barrier(&mut self) -> u64 {
+        let max = self.time();
+        let after = max + self.cost.barrier_cost(self.nodes());
+        for c in &mut self.clocks {
+            *c = after;
+        }
+        for s in &mut self.stats {
+            s.barriers += 1;
+        }
+        self.barriers += 1;
+        self.trace.record(Event::Barrier { at: after });
+        after
+    }
+
+    /// Current simulated time: the maximum node clock.
+    ///
+    /// For phase-structured programs that end with a barrier this is the
+    /// program's execution time, the metric of the paper's Figures 2–3.
+    pub fn time(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of global barriers executed.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Statistics of `node`.
+    #[inline]
+    pub fn stats(&self, node: NodeId) -> &NodeStats {
+        &self.stats[node.index()]
+    }
+
+    /// Mutable statistics of `node` (protocols update these directly).
+    #[inline]
+    pub fn stats_mut(&mut self, node: NodeId) -> &mut NodeStats {
+        &mut self.stats[node.index()]
+    }
+
+    /// Sum of all nodes' statistics.
+    pub fn total_stats(&self) -> NodeStats {
+        let mut total = NodeStats::default();
+        for s in &self.stats {
+            total.add(s);
+        }
+        total
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Records an event into the trace (no-op when tracing is disabled).
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        self.trace.record(event);
+    }
+
+    /// Resets clocks, statistics, barrier count and trace to zero, keeping
+    /// the configuration. Used between warm-up and measured phases.
+    pub fn reset_measurements(&mut self) {
+        for c in &mut self.clocks {
+            *c = 0;
+        }
+        for s in &mut self.stats {
+            *s = NodeStats::default();
+        }
+        self.barriers = 0;
+        self.trace.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_machine_is_quiescent() {
+        let m = Machine::new(MachineConfig::new(4));
+        assert_eq!(m.nodes(), 4);
+        assert_eq!(m.time(), 0);
+        assert_eq!(m.total_stats().accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        MachineConfig::new(0);
+    }
+
+    #[test]
+    fn advance_and_time() {
+        let mut m = Machine::new(MachineConfig::new(3));
+        m.advance(NodeId(0), 10);
+        m.advance(NodeId(2), 25);
+        assert_eq!(m.clock(NodeId(0)), 10);
+        assert_eq!(m.clock(NodeId(1)), 0);
+        assert_eq!(m.time(), 25);
+        m.advance_all(5);
+        assert_eq!(m.clock(NodeId(1)), 5);
+        assert_eq!(m.time(), 30);
+    }
+
+    #[test]
+    fn barrier_synchronizes_to_max_plus_cost() {
+        let cfg = MachineConfig::new(4).with_cost(CostModel::unit());
+        let mut m = Machine::new(cfg);
+        m.advance(NodeId(1), 100);
+        let t = m.barrier();
+        assert_eq!(t, 101); // unit barrier cost
+        for n in m.node_ids() {
+            assert_eq!(m.clock(n), 101);
+            assert_eq!(m.stats(n).barriers, 1);
+        }
+        assert_eq!(m.barriers(), 1);
+    }
+
+    #[test]
+    fn total_stats_sums_nodes() {
+        let mut m = Machine::new(MachineConfig::new(2));
+        m.stats_mut(NodeId(0)).read_hits = 3;
+        m.stats_mut(NodeId(1)).read_hits = 4;
+        assert_eq!(m.total_stats().read_hits, 7);
+    }
+
+    #[test]
+    fn reset_measurements_clears_everything() {
+        let cfg = MachineConfig::new(2).with_trace(16);
+        let mut m = Machine::new(cfg);
+        m.advance(NodeId(0), 5);
+        m.stats_mut(NodeId(0)).read_hits = 1;
+        m.barrier();
+        m.reset_measurements();
+        assert_eq!(m.time(), 0);
+        assert_eq!(m.total_stats().read_hits, 0);
+        assert_eq!(m.barriers(), 0);
+        assert!(m.trace().events().is_empty());
+    }
+
+    #[test]
+    fn trace_enabled_by_config() {
+        let mut m = Machine::new(MachineConfig::new(1).with_trace(8));
+        assert!(m.trace().is_enabled());
+        m.barrier();
+        assert_eq!(m.trace().events().len(), 1);
+    }
+
+    #[test]
+    fn node_ids_iterates_in_order() {
+        let m = Machine::new(MachineConfig::new(3));
+        let ids: Vec<_> = m.node_ids().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Protocol event counters.
+//!
+//! Every node accumulates a [`NodeStats`]; the paper's Table 1 columns
+//! ("cache misses", "clean copies") are derived from these counters, as are
+//! the message and reconciliation counts used by the Section 7 ablations.
+
+/// Per-node protocol event counters.
+///
+/// All counters are plain event counts; cycle-weighted time lives in the
+/// machine clocks, not here. `misses()` is the paper's "cache misses"
+/// metric: the number of accesses that required protocol action.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Loads that hit a valid readable block.
+    pub read_hits: u64,
+    /// Stores that hit a writable block.
+    pub write_hits: u64,
+    /// Loads that missed and were filled from a remote home node.
+    pub read_miss_remote: u64,
+    /// Loads that missed and were filled from node-local storage
+    /// (the Stache or a local clean copy).
+    pub read_miss_local: u64,
+    /// Stores that missed entirely (block absent) and required a remote fill.
+    pub write_miss_remote: u64,
+    /// Stores that missed and were filled from node-local storage.
+    pub write_miss_local: u64,
+    /// Stores that hit a ReadOnly copy and required an ownership upgrade.
+    pub upgrades: u64,
+    /// Protocol messages sent by this node.
+    pub msgs_sent: u64,
+    /// Protocol messages handled by this node.
+    pub msgs_recv: u64,
+    /// Whole blocks of data shipped by this node (fills, flushes).
+    pub blocks_sent: u64,
+    /// Invalidation requests issued by this node (as home).
+    pub invalidations_sent: u64,
+    /// Invalidation requests processed by this node (as sharer).
+    pub invalidations_recv: u64,
+    /// Clean copies created on behalf of this node's marks (Table 1 metric).
+    pub clean_copies: u64,
+    /// `mark_modification` directives executed.
+    pub marks: u64,
+    /// Modified blocks flushed home by `flush_copies`.
+    pub flushes: u64,
+    /// Block versions reconciled at this node (as home).
+    pub versions_reconciled: u64,
+    /// Write-write conflicts detected at reconciliation (as home).
+    pub ww_conflicts: u64,
+    /// Read-write conflicts detected at reconciliation (as home).
+    pub rw_conflicts: u64,
+    /// Stale-data refreshes (self-invalidations) performed.
+    pub stale_refreshes: u64,
+    /// Blocks evicted for capacity (limited-cache configurations only).
+    pub evictions: u64,
+    /// Global barriers this node participated in.
+    pub barriers: u64,
+}
+
+impl NodeStats {
+    /// Creates a zeroed counter set. Identical to `Default::default()`.
+    pub fn new() -> NodeStats {
+        NodeStats::default()
+    }
+
+    /// Total accesses that required protocol action — the paper's
+    /// "cache misses" column.
+    pub fn misses(&self) -> u64 {
+        self.read_miss_remote
+            + self.read_miss_local
+            + self.write_miss_remote
+            + self.write_miss_local
+            + self.upgrades
+    }
+
+    /// Misses that crossed the network.
+    pub fn remote_misses(&self) -> u64 {
+        self.read_miss_remote + self.write_miss_remote + self.upgrades
+    }
+
+    /// Total loads and stores issued.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits
+            + self.write_hits
+            + self.read_miss_remote
+            + self.read_miss_local
+            + self.write_miss_remote
+            + self.write_miss_local
+            + self.upgrades
+    }
+
+    /// Total conflicts of either kind detected at this node.
+    pub fn conflicts(&self) -> u64 {
+        self.ww_conflicts + self.rw_conflicts
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn add(&mut self, other: &NodeStats) {
+        self.read_hits += other.read_hits;
+        self.write_hits += other.write_hits;
+        self.read_miss_remote += other.read_miss_remote;
+        self.read_miss_local += other.read_miss_local;
+        self.write_miss_remote += other.write_miss_remote;
+        self.write_miss_local += other.write_miss_local;
+        self.upgrades += other.upgrades;
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.blocks_sent += other.blocks_sent;
+        self.invalidations_sent += other.invalidations_sent;
+        self.invalidations_recv += other.invalidations_recv;
+        self.clean_copies += other.clean_copies;
+        self.marks += other.marks;
+        self.flushes += other.flushes;
+        self.versions_reconciled += other.versions_reconciled;
+        self.ww_conflicts += other.ww_conflicts;
+        self.rw_conflicts += other.rw_conflicts;
+        self.stale_refreshes += other.stale_refreshes;
+        self.evictions += other.evictions;
+        self.barriers += other.barriers;
+    }
+}
+
+impl std::fmt::Display for NodeStats {
+    /// A compact multi-line report of the non-zero counters.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "accesses: {} ({} hits, {} misses: {}r/{}w remote, {}r/{}w local, {} upgrades)",
+            self.accesses(),
+            self.read_hits + self.write_hits,
+            self.misses(),
+            self.read_miss_remote,
+            self.write_miss_remote,
+            self.read_miss_local,
+            self.write_miss_local,
+            self.upgrades
+        )?;
+        writeln!(
+            f,
+            "messages: {} sent / {} received ({} blocks); invalidations {} sent / {} received",
+            self.msgs_sent, self.msgs_recv, self.blocks_sent, self.invalidations_sent, self.invalidations_recv
+        )?;
+        write!(
+            f,
+            "lcm: {} marks, {} clean copies, {} flushes, {} versions reconciled, {} conflicts; \
+             {} stale refreshes, {} evictions, {} barriers",
+            self.marks,
+            self.clean_copies,
+            self.flushes,
+            self.versions_reconciled,
+            self.conflicts(),
+            self.stale_refreshes,
+            self.evictions,
+            self.barriers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_sums_all_miss_kinds() {
+        let s = NodeStats {
+            read_miss_remote: 1,
+            read_miss_local: 2,
+            write_miss_remote: 3,
+            write_miss_local: 4,
+            upgrades: 5,
+            read_hits: 100,
+            ..NodeStats::default()
+        };
+        assert_eq!(s.misses(), 15);
+        assert_eq!(s.remote_misses(), 9);
+        assert_eq!(s.accesses(), 115);
+    }
+
+    #[test]
+    fn add_accumulates_every_field() {
+        let mut a = NodeStats::default();
+        let b = NodeStats {
+            read_hits: 1,
+            write_hits: 2,
+            read_miss_remote: 3,
+            read_miss_local: 4,
+            write_miss_remote: 5,
+            write_miss_local: 6,
+            upgrades: 7,
+            msgs_sent: 8,
+            msgs_recv: 9,
+            blocks_sent: 10,
+            invalidations_sent: 11,
+            invalidations_recv: 12,
+            clean_copies: 13,
+            marks: 14,
+            flushes: 15,
+            versions_reconciled: 16,
+            ww_conflicts: 17,
+            rw_conflicts: 18,
+            stale_refreshes: 19,
+            evictions: 21,
+            barriers: 20,
+        };
+        a.add(&b);
+        a.add(&b);
+        assert_eq!(a.read_hits, 2);
+        assert_eq!(a.barriers, 40);
+        assert_eq!(a.evictions, 42);
+        assert_eq!(a.conflicts(), 2 * (17 + 18));
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = NodeStats::new();
+        assert_eq!(s.accesses(), 0);
+        assert_eq!(s.misses(), 0);
+    }
+
+    #[test]
+    fn display_reports_the_headline_numbers() {
+        let s = NodeStats { read_hits: 90, read_miss_remote: 10, marks: 3, ..NodeStats::default() };
+        let text = s.to_string();
+        assert!(text.contains("accesses: 100"), "{text}");
+        assert!(text.contains("10 misses"), "{text}");
+        assert!(text.contains("3 marks"), "{text}");
+    }
+}

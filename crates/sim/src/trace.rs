@@ -1,0 +1,309 @@
+//! Optional protocol event trace.
+//!
+//! When enabled, the machine records a bounded stream of protocol events.
+//! Traces exist for debugging protocols and for tests that assert on exact
+//! event sequences; the experiment harness leaves tracing off.
+
+use crate::machine::NodeId;
+use crate::mem::BlockId;
+
+/// One protocol event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A load missed on `node` for `block`; `remote` says the fill crossed
+    /// the network.
+    ReadMiss {
+        /// The faulting node.
+        node: NodeId,
+        /// The block accessed.
+        block: BlockId,
+        /// True when the fill crossed the network.
+        remote: bool,
+    },
+    /// A store missed on `node` for `block`.
+    WriteMiss {
+        /// The faulting node.
+        node: NodeId,
+        /// The block accessed.
+        block: BlockId,
+        /// True when the fill crossed the network.
+        remote: bool,
+    },
+    /// A store hit a ReadOnly copy and upgraded it.
+    Upgrade {
+        /// The upgrading node.
+        node: NodeId,
+        /// The block upgraded.
+        block: BlockId,
+    },
+    /// A `mark_modification` directive created a private copy.
+    Mark {
+        /// The marking node.
+        node: NodeId,
+        /// The block marked.
+        block: BlockId,
+    },
+    /// A clean copy of `block` was created (`home` side or cache side).
+    CleanCopy {
+        /// The node the copy was created on.
+        node: NodeId,
+        /// The block copied.
+        block: BlockId,
+    },
+    /// `node` flushed its modified copy of `block` home.
+    Flush {
+        /// The flushing node.
+        node: NodeId,
+        /// The block flushed.
+        block: BlockId,
+    },
+    /// The home reconciled `versions` outstanding versions of `block`.
+    Reconcile {
+        /// The block reconciled.
+        block: BlockId,
+        /// How many versions merged.
+        versions: u32,
+    },
+    /// An invalidation was processed at `node` for `block`.
+    Invalidate {
+        /// The node losing its copy.
+        node: NodeId,
+        /// The block invalidated.
+        block: BlockId,
+    },
+    /// A write-write conflict on `block`, word `word`.
+    WwConflict {
+        /// The block involved.
+        block: BlockId,
+        /// The conflicting word index.
+        word: u8,
+    },
+    /// A read-write conflict on `block`.
+    RwConflict {
+        /// The block involved.
+        block: BlockId,
+    },
+    /// A global barrier completed at time `at`.
+    Barrier {
+        /// Post-barrier simulated time.
+        at: u64,
+    },
+}
+
+/// A bounded in-memory event trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace; recording is a no-op.
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// An enabled trace retaining at most `capacity` events. Further events
+    /// are counted in [`Trace::dropped`] but not stored.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace { enabled: true, capacity, events: Vec::new(), dropped: 0 }
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` if enabled and under capacity.
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events discarded after the capacity filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all recorded events (capacity and enablement unchanged).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Aggregates the recorded events into a [`TraceSummary`].
+    pub fn summarize(&self) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        let mut per_block: std::collections::HashMap<BlockId, u64> = std::collections::HashMap::new();
+        for e in &self.events {
+            match e {
+                Event::ReadMiss { block, .. } => {
+                    s.read_misses += 1;
+                    *per_block.entry(*block).or_default() += 1;
+                }
+                Event::WriteMiss { block, .. } => {
+                    s.write_misses += 1;
+                    *per_block.entry(*block).or_default() += 1;
+                }
+                Event::Upgrade { block, .. } => {
+                    s.upgrades += 1;
+                    *per_block.entry(*block).or_default() += 1;
+                }
+                Event::Mark { .. } => s.marks += 1,
+                Event::CleanCopy { .. } => s.clean_copies += 1,
+                Event::Flush { .. } => s.flushes += 1,
+                Event::Reconcile { .. } => s.reconciles += 1,
+                Event::Invalidate { block, .. } => {
+                    s.invalidations += 1;
+                    *per_block.entry(*block).or_default() += 1;
+                }
+                Event::WwConflict { .. } | Event::RwConflict { .. } => s.conflicts += 1,
+                Event::Barrier { .. } => s.barriers += 1,
+            }
+        }
+        let mut hot: Vec<(BlockId, u64)> = per_block.into_iter().collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(8);
+        s.hottest_blocks = hot;
+        s
+    }
+}
+
+/// Aggregate view of a [`Trace`]: per-kind event counts and the blocks
+/// with the most coherence activity — a quick answer to "where is this
+/// program's protocol traffic coming from?".
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Load faults recorded.
+    pub read_misses: u64,
+    /// Store faults recorded.
+    pub write_misses: u64,
+    /// Ownership upgrades recorded.
+    pub upgrades: u64,
+    /// `mark_modification` directives recorded.
+    pub marks: u64,
+    /// Clean-copy creations recorded.
+    pub clean_copies: u64,
+    /// Flushes recorded.
+    pub flushes: u64,
+    /// Block reconciliations recorded.
+    pub reconciles: u64,
+    /// Invalidations recorded.
+    pub invalidations: u64,
+    /// Conflicts (write-write + read-write) recorded.
+    pub conflicts: u64,
+    /// Barriers recorded.
+    pub barriers: u64,
+    /// Up to eight blocks with the most miss/upgrade/invalidate events,
+    /// busiest first.
+    pub hottest_blocks: Vec<(BlockId, u64)>,
+}
+
+impl std::fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "misses: {} read / {} write / {} upgrade; marks {}, clean copies {}, flushes {}",
+            self.read_misses, self.write_misses, self.upgrades, self.marks, self.clean_copies, self.flushes
+        )?;
+        writeln!(
+            f,
+            "reconciles {}, invalidations {}, conflicts {}, barriers {}",
+            self.reconciles, self.invalidations, self.conflicts, self.barriers
+        )?;
+        if !self.hottest_blocks.is_empty() {
+            write!(f, "hottest blocks:")?;
+            for (b, n) in &self.hottest_blocks {
+                write!(f, " {b:?}x{n}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(Event::Barrier { at: 1 });
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(Event::Barrier { at: i });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0], Event::Barrier { at: 0 });
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::with_capacity(2);
+        t.record(Event::Barrier { at: 1 });
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn summary_counts_by_kind_and_finds_hot_blocks() {
+        use crate::machine::NodeId;
+        let mut t = Trace::with_capacity(64);
+        let hot = BlockId(7);
+        let cold = BlockId(9);
+        for _ in 0..3 {
+            t.record(Event::ReadMiss { node: NodeId(0), block: hot, remote: true });
+        }
+        t.record(Event::WriteMiss { node: NodeId(1), block: cold, remote: false });
+        t.record(Event::Upgrade { node: NodeId(1), block: hot });
+        t.record(Event::Mark { node: NodeId(1), block: hot });
+        t.record(Event::Flush { node: NodeId(1), block: hot });
+        t.record(Event::Reconcile { block: hot, versions: 2 });
+        t.record(Event::Invalidate { node: NodeId(0), block: hot });
+        t.record(Event::WwConflict { block: hot, word: 3 });
+        t.record(Event::Barrier { at: 100 });
+        let s = t.summarize();
+        assert_eq!(s.read_misses, 3);
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.upgrades, 1);
+        assert_eq!(s.marks, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.reconciles, 1);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.hottest_blocks[0], (hot, 5), "3 reads + upgrade + invalidate");
+        assert_eq!(s.hottest_blocks[1], (cold, 1));
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn summary_of_empty_trace_is_zeroed() {
+        let s = Trace::disabled().summarize();
+        assert_eq!(s, TraceSummary::default());
+        assert!(s.hottest_blocks.is_empty());
+    }
+}

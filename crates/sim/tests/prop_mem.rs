@@ -1,0 +1,101 @@
+//! Property tests for the memory geometry primitives.
+
+use lcm_sim::mem::{Addr, BlockBuf, BlockId, WordMask, BLOCK_BYTES, WORDS_PER_BLOCK};
+use lcm_sim::Pcg32;
+use proptest::prelude::*;
+
+proptest! {
+    /// Address → (block, word) → address round-trips for aligned words.
+    #[test]
+    fn addr_block_word_roundtrip(block in 0u64..1 << 40, word in 0usize..WORDS_PER_BLOCK) {
+        let addr = BlockId(block).word_addr(word);
+        prop_assert_eq!(addr.block(), BlockId(block));
+        prop_assert_eq!(addr.word_in_block(), word);
+        prop_assert!(addr.is_word_aligned());
+    }
+
+    /// Any byte address maps into its block's byte range.
+    #[test]
+    fn addr_offsets_stay_in_block(a in 0u64..1 << 44) {
+        let addr = Addr(a);
+        let base = addr.block().base_addr();
+        prop_assert!(base.0 <= a);
+        prop_assert!(a < base.0 + BLOCK_BYTES as u64);
+    }
+
+    /// WordMask union/intersection/minus behave like u8 bit sets.
+    #[test]
+    fn word_mask_algebra(a in 0u8.., b in 0u8..) {
+        let (ma, mb) = (WordMask(a), WordMask(b));
+        prop_assert_eq!(ma.union(mb).0, a | b);
+        prop_assert_eq!(ma.intersect(mb).0, a & b);
+        prop_assert_eq!(ma.minus(mb).0, a & !b);
+        prop_assert_eq!(ma.overlaps(mb), a & b != 0);
+        prop_assert_eq!(ma.count(), a.count_ones());
+        // minus then union with the intersection restores the original.
+        prop_assert_eq!(ma.minus(mb).union(ma.intersect(mb)).0, a);
+    }
+
+    /// iter_set enumerates exactly the set bits, ascending.
+    #[test]
+    fn word_mask_iter_matches_bits(a in 0u8..) {
+        let m = WordMask(a);
+        let words: Vec<usize> = m.iter_set().collect();
+        prop_assert!(words.windows(2).all(|w| w[0] < w[1]));
+        for w in 0..WORDS_PER_BLOCK {
+            prop_assert_eq!(words.contains(&w), m.get(w));
+        }
+    }
+
+    /// merge_words copies masked words exactly and nothing else.
+    #[test]
+    fn merge_words_is_selective(
+        dst_words in proptest::array::uniform8(any::<u32>()),
+        src_words in proptest::array::uniform8(any::<u32>()),
+        mask in 0u8..,
+    ) {
+        let mut dst = BlockBuf::zeroed();
+        let mut src = BlockBuf::zeroed();
+        for w in 0..WORDS_PER_BLOCK {
+            dst.set_word(w, dst_words[w]);
+            src.set_word(w, src_words[w]);
+        }
+        let m = WordMask(mask);
+        let mut merged = dst;
+        merged.merge_words(&src, m);
+        for w in 0..WORDS_PER_BLOCK {
+            let expect = if m.get(w) { src_words[w] } else { dst_words[w] };
+            prop_assert_eq!(merged.word(w), expect);
+        }
+    }
+
+    /// f32/f64 views round-trip through the word representation.
+    #[test]
+    fn blockbuf_float_roundtrip(v32 in any::<f32>(), v64 in any::<f64>()) {
+        let mut b = BlockBuf::zeroed();
+        b.set_f32(1, v32);
+        b.set_f64(4, v64);
+        prop_assert_eq!(b.f32(1).to_bits(), v32.to_bits());
+        prop_assert_eq!(b.f64(4).to_bits(), v64.to_bits());
+    }
+
+    /// below(n) is uniform enough to stay in range and hit both halves.
+    #[test]
+    fn pcg_below_stays_in_range(seed in any::<u64>(), n in 1u64..1000) {
+        let mut rng = Pcg32::new(seed, 1);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_is_permutation(seed in any::<u64>(), len in 0usize..64) {
+        let mut rng = Pcg32::new(seed, 2);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,130 @@
+//! Full-map directory state.
+//!
+//! Each block's home node records who caches the block and with what
+//! rights. The directory enforces the classic single-writer/many-reader
+//! invariant of sequentially-consistent coherence; LCM relaxes exactly
+//! this invariant for its marked blocks by taking them *out* of the
+//! directory for the duration of a parallel phase (see `lcm-core`).
+
+use crate::sharers::SharerSet;
+use lcm_sim::hash::FastMap;
+use lcm_sim::mem::BlockId;
+use lcm_sim::NodeId;
+
+/// Directory state of one block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum DirState {
+    /// No cached copies; the home value is the only copy.
+    #[default]
+    Idle,
+    /// Read-only copies at the given (non-empty) set of nodes.
+    Shared(SharerSet),
+    /// One writable copy at the given node.
+    Exclusive(NodeId),
+}
+
+impl DirState {
+    /// Every node holding a copy under this state.
+    pub fn holders(self) -> SharerSet {
+        match self {
+            DirState::Idle => SharerSet::empty(),
+            DirState::Shared(s) => s,
+            DirState::Exclusive(n) => SharerSet::single(n),
+        }
+    }
+}
+
+/// The (logically distributed, physically one-map) directory.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: FastMap<BlockId, DirState>,
+}
+
+impl Directory {
+    /// An empty directory (all blocks `Idle`).
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// The state of `block`.
+    #[inline]
+    pub fn state(&self, block: BlockId) -> DirState {
+        self.entries.get(&block).copied().unwrap_or(DirState::Idle)
+    }
+
+    /// Sets the state of `block`. Storing `Idle` removes the entry.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a `Shared` state has no sharers.
+    #[inline]
+    pub fn set(&mut self, block: BlockId, state: DirState) {
+        if let DirState::Shared(s) = state {
+            debug_assert!(!s.is_empty(), "Shared state must have sharers");
+        }
+        match state {
+            DirState::Idle => {
+                self.entries.remove(&block);
+            }
+            _ => {
+                self.entries.insert(block, state);
+            }
+        }
+    }
+
+    /// Removes and returns the state of `block`, leaving it `Idle`.
+    /// Used by LCM to absorb a block's holders when it enters a
+    /// copy-on-write phase.
+    pub fn take(&mut self, block: BlockId) -> DirState {
+        self.entries.remove(&block).unwrap_or(DirState::Idle)
+    }
+
+    /// Number of non-idle entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when every block is idle.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_state_is_idle() {
+        let d = Directory::new();
+        assert_eq!(d.state(BlockId(7)), DirState::Idle);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut d = Directory::new();
+        d.set(BlockId(1), DirState::Exclusive(NodeId(2)));
+        assert_eq!(d.state(BlockId(1)), DirState::Exclusive(NodeId(2)));
+        d.set(BlockId(1), DirState::Shared(SharerSet::single(NodeId(0))));
+        assert_eq!(d.state(BlockId(1)).holders().count(), 1);
+        d.set(BlockId(1), DirState::Idle);
+        assert!(d.is_empty(), "Idle removes the entry");
+    }
+
+    #[test]
+    fn take_removes_and_returns() {
+        let mut d = Directory::new();
+        d.set(BlockId(5), DirState::Exclusive(NodeId(1)));
+        assert_eq!(d.take(BlockId(5)), DirState::Exclusive(NodeId(1)));
+        assert_eq!(d.take(BlockId(5)), DirState::Idle);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn holders_cover_all_states() {
+        assert!(DirState::Idle.holders().is_empty());
+        let s: SharerSet = [NodeId(1), NodeId(4)].into_iter().collect();
+        assert_eq!(DirState::Shared(s).holders(), s);
+        assert_eq!(DirState::Exclusive(NodeId(3)).holders().iter().collect::<Vec<_>>(), vec![NodeId(3)]);
+    }
+}

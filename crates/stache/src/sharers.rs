@@ -1,0 +1,174 @@
+//! Compact sharer sets for directory state.
+//!
+//! The paper's machine has 32 processors; directories here support up to
+//! 64 via a single-word bitmask (a full-map directory, as in DASH-class
+//! machines the paper cites).
+
+use lcm_sim::NodeId;
+use std::fmt;
+
+/// A set of nodes, stored as a 64-bit mask.
+///
+/// ```
+/// use lcm_stache::SharerSet;
+/// use lcm_sim::NodeId;
+/// let mut s = SharerSet::empty();
+/// s.add(NodeId(3));
+/// s.add(NodeId(10));
+/// assert_eq!(s.count(), 2);
+/// assert!(s.contains(NodeId(3)));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(10)]);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct SharerSet(u64);
+
+/// Maximum node index representable in a [`SharerSet`].
+pub const MAX_NODES: usize = 64;
+
+impl SharerSet {
+    /// The empty set.
+    #[inline]
+    pub fn empty() -> SharerSet {
+        SharerSet(0)
+    }
+
+    /// A set containing only `node`.
+    #[inline]
+    pub fn single(node: NodeId) -> SharerSet {
+        let mut s = SharerSet::empty();
+        s.add(node);
+        s
+    }
+
+    /// Adds `node`.
+    ///
+    /// # Panics
+    /// Panics if `node.index() >= MAX_NODES`.
+    #[inline]
+    pub fn add(&mut self, node: NodeId) {
+        assert!(node.index() < MAX_NODES, "node {node} exceeds directory capacity");
+        self.0 |= 1 << node.index();
+    }
+
+    /// Removes `node` if present.
+    #[inline]
+    pub fn remove(&mut self, node: NodeId) {
+        if node.index() < MAX_NODES {
+            self.0 &= !(1 << node.index());
+        }
+    }
+
+    /// True when `node` is in the set.
+    #[inline]
+    pub fn contains(self, node: NodeId) -> bool {
+        node.index() < MAX_NODES && self.0 & (1 << node.index()) != 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when the set has no members.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: SharerSet) -> SharerSet {
+        SharerSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    #[inline]
+    pub fn difference(self, other: SharerSet) -> SharerSet {
+        SharerSet(self.0 & !other.0)
+    }
+
+    /// Members in ascending node order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+}
+
+/// Iterator over the members of a [`SharerSet`].
+#[derive(Clone, Debug)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(NodeId(i as u16))
+    }
+}
+
+impl FromIterator<NodeId> for SharerSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> SharerSet {
+        let mut s = SharerSet::empty();
+        for n in iter {
+            s.add(n);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_contains() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.add(NodeId(0));
+        s.add(NodeId(63));
+        assert!(s.contains(NodeId(0)) && s.contains(NodeId(63)));
+        assert_eq!(s.count(), 2);
+        s.remove(NodeId(0));
+        assert!(!s.contains(NodeId(0)));
+        s.remove(NodeId(7)); // absent: no-op
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds directory capacity")]
+    fn add_beyond_capacity_panics() {
+        SharerSet::empty().add(NodeId(64));
+    }
+
+    #[test]
+    fn iter_is_ascending_and_complete() {
+        let s: SharerSet = [NodeId(5), NodeId(1), NodeId(31)].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(5), NodeId(31)]);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a: SharerSet = [NodeId(1), NodeId(2)].into_iter().collect();
+        let b: SharerSet = [NodeId(2), NodeId(3)].into_iter().collect();
+        assert_eq!(a.union(b).count(), 3);
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn single_and_debug() {
+        let s = SharerSet::single(NodeId(9));
+        assert_eq!(s.count(), 1);
+        assert!(format!("{s:?}").contains("n9"));
+    }
+}

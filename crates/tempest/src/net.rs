@@ -1,0 +1,255 @@
+//! Protocol message accounting.
+//!
+//! The simulation dispatches protocol handlers synchronously (one host
+//! thread, logical clocks), so the network is a *cost and counting* layer
+//! rather than a queue: sending a message charges sender- and receiver-side
+//! overheads and updates the per-node message statistics; a blocking
+//! request/reply additionally charges the requester the full remote-miss
+//! round-trip latency. See `DESIGN.md` for the fidelity argument.
+
+use lcm_sim::{Machine, NodeId};
+
+/// Protocol message kinds, for per-kind counting and traces.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Request a read-only copy.
+    GetShared,
+    /// Request a writable copy.
+    GetExclusive,
+    /// Request ownership upgrade of a ReadOnly copy.
+    Upgrade,
+    /// Invalidate a cached copy.
+    Invalidate,
+    /// Acknowledge an invalidation or recall.
+    Ack,
+    /// Write a dirty block back to home (Stache replacement/recall).
+    Writeback,
+    /// Flush a modified LCM copy home for reconciliation.
+    Flush,
+    /// A fill served from a clean copy.
+    CleanFill,
+    /// Stale-data refresh request.
+    StaleRefresh,
+}
+
+const KINDS: usize = 9;
+
+impl MsgKind {
+    fn index(self) -> usize {
+        match self {
+            MsgKind::GetShared => 0,
+            MsgKind::GetExclusive => 1,
+            MsgKind::Upgrade => 2,
+            MsgKind::Invalidate => 3,
+            MsgKind::Ack => 4,
+            MsgKind::Writeback => 5,
+            MsgKind::Flush => 6,
+            MsgKind::CleanFill => 7,
+            MsgKind::StaleRefresh => 8,
+        }
+    }
+
+    /// All message kinds, in index order.
+    pub fn all() -> [MsgKind; KINDS] {
+        [
+            MsgKind::GetShared,
+            MsgKind::GetExclusive,
+            MsgKind::Upgrade,
+            MsgKind::Invalidate,
+            MsgKind::Ack,
+            MsgKind::Writeback,
+            MsgKind::Flush,
+            MsgKind::CleanFill,
+            MsgKind::StaleRefresh,
+        ]
+    }
+}
+
+/// The message-accounting layer.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    by_kind: [u64; KINDS],
+    total: u64,
+}
+
+impl Network {
+    /// A quiescent network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Accounts a one-way, non-blocking message (flush, invalidation,
+    /// ack): sender pays `msg_send`, receiver pays `msg_recv`. If
+    /// `with_block` the message carries a whole block of data.
+    ///
+    /// Messages a node sends to itself (home == requester) are free and
+    /// uncounted — Tempest protocols short-circuit local operations.
+    pub fn send(&mut self, m: &mut Machine, from: NodeId, to: NodeId, kind: MsgKind, with_block: bool) {
+        if from == to {
+            return;
+        }
+        let cost = *m.cost();
+        m.advance(from, cost.msg_send);
+        m.advance(to, cost.msg_recv);
+        let s = m.stats_mut(from);
+        s.msgs_sent += 1;
+        if with_block {
+            s.blocks_sent += 1;
+        }
+        m.stats_mut(to).msgs_recv += 1;
+        self.by_kind[kind.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Accounts a blocking request/reply pair: the requester pays the full
+    /// `remote_miss` round-trip latency, the home pays its handler
+    /// overhead, and both directions are counted. If `data_reply` the
+    /// reply carries a block.
+    ///
+    /// Local round-trips (`from == to`) are free and uncounted.
+    pub fn request_reply(&mut self, m: &mut Machine, from: NodeId, to: NodeId, kind: MsgKind, data_reply: bool) {
+        if from == to {
+            return;
+        }
+        let cost = *m.cost();
+        m.advance(from, cost.remote_miss);
+        m.advance(to, cost.msg_recv);
+        {
+            let s = m.stats_mut(from);
+            s.msgs_sent += 1;
+            s.msgs_recv += 1; // the reply
+        }
+        {
+            let s = m.stats_mut(to);
+            s.msgs_recv += 1;
+            s.msgs_sent += 1; // the reply
+            if data_reply {
+                s.blocks_sent += 1;
+            }
+        }
+        self.by_kind[kind.index()] += 2;
+        self.total += 2;
+    }
+
+    /// Counts a message (and its statistics) *without* charging cycles.
+    ///
+    /// Protocol transactions with non-trivial latency structure (e.g. a
+    /// three-hop recall) charge cycles explicitly and use this to keep the
+    /// message accounting exact. Self-sends are uncounted, as in [`Network::send`].
+    pub fn count_only(&mut self, m: &mut Machine, from: NodeId, to: NodeId, kind: MsgKind, with_block: bool) {
+        if from == to {
+            return;
+        }
+        let s = m.stats_mut(from);
+        s.msgs_sent += 1;
+        if with_block {
+            s.blocks_sent += 1;
+        }
+        m.stats_mut(to).msgs_recv += 1;
+        self.by_kind[kind.index()] += 1;
+        self.total += 1;
+    }
+
+    /// Total messages accounted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Messages accounted of one kind.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.by_kind[kind.index()]
+    }
+
+    /// Resets all counters.
+    pub fn clear(&mut self) {
+        *self = Network::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_sim::{CostModel, MachineConfig};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::new(4).with_cost(CostModel::cm5()))
+    }
+
+    #[test]
+    fn send_charges_both_sides() {
+        let mut m = machine();
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Flush, true);
+        let c = CostModel::cm5();
+        assert_eq!(m.clock(NodeId(0)), c.msg_send);
+        assert_eq!(m.clock(NodeId(1)), c.msg_recv);
+        assert_eq!(m.stats(NodeId(0)).msgs_sent, 1);
+        assert_eq!(m.stats(NodeId(0)).blocks_sent, 1);
+        assert_eq!(m.stats(NodeId(1)).msgs_recv, 1);
+        assert_eq!(net.count(MsgKind::Flush), 1);
+        assert_eq!(net.total(), 1);
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut m = machine();
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(2), NodeId(2), MsgKind::Ack, false);
+        net.request_reply(&mut m, NodeId(2), NodeId(2), MsgKind::GetShared, true);
+        assert_eq!(m.time(), 0);
+        assert_eq!(net.total(), 0);
+    }
+
+    #[test]
+    fn request_reply_charges_round_trip() {
+        let mut m = machine();
+        let mut net = Network::new();
+        net.request_reply(&mut m, NodeId(0), NodeId(3), MsgKind::GetShared, true);
+        let c = CostModel::cm5();
+        assert_eq!(m.clock(NodeId(0)), c.remote_miss);
+        assert_eq!(m.clock(NodeId(3)), c.msg_recv);
+        assert_eq!(m.stats(NodeId(0)).msgs_sent, 1);
+        assert_eq!(m.stats(NodeId(0)).msgs_recv, 1);
+        assert_eq!(m.stats(NodeId(3)).blocks_sent, 1);
+        assert_eq!(net.count(MsgKind::GetShared), 2);
+    }
+
+    #[test]
+    fn kinds_count_independently() {
+        let mut m = machine();
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Invalidate, false);
+        net.send(&mut m, NodeId(1), NodeId(0), MsgKind::Ack, false);
+        assert_eq!(net.count(MsgKind::Invalidate), 1);
+        assert_eq!(net.count(MsgKind::Ack), 1);
+        assert_eq!(net.count(MsgKind::Writeback), 0);
+        for kind in MsgKind::all() {
+            let _ = net.count(kind); // no panic, every kind indexable
+        }
+    }
+
+    #[test]
+    fn count_only_counts_without_cycles() {
+        let mut m = machine();
+        let mut net = Network::new();
+        net.count_only(&mut m, NodeId(0), NodeId(1), MsgKind::Writeback, true);
+        assert_eq!(m.time(), 0, "no cycles charged");
+        assert_eq!(m.stats(NodeId(0)).msgs_sent, 1);
+        assert_eq!(m.stats(NodeId(0)).blocks_sent, 1);
+        assert_eq!(m.stats(NodeId(1)).msgs_recv, 1);
+        assert_eq!(net.count(MsgKind::Writeback), 1);
+        // Self-sends stay uncounted.
+        net.count_only(&mut m, NodeId(2), NodeId(2), MsgKind::Ack, false);
+        assert_eq!(net.total(), 1);
+    }
+
+    #[test]
+    fn clear_resets_counts() {
+        let mut m = machine();
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Ack, false);
+        net.clear();
+        assert_eq!(net.total(), 0);
+        assert_eq!(net.count(MsgKind::Ack), 0);
+    }
+}

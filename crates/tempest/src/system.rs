@@ -1,0 +1,121 @@
+//! The Tempest mechanism bundle.
+//!
+//! [`Tempest`] gathers everything a user-level protocol needs — the
+//! simulated machine, the global address space, the home-value store,
+//! per-node access-tag tables, and the message-accounting network — in one
+//! passive structure with public fields. Protocols (Stache, LCM) are
+//! written against this bundle only, exactly as the paper's protocols are
+//! written against the Tempest interface provided by Blizzard.
+
+use crate::memory::HomeMemory;
+use crate::net::Network;
+use crate::segment::{AddressSpace, Placement};
+use crate::tags::{Tag, TagTable};
+use lcm_sim::mem::{Addr, BlockId};
+use lcm_sim::{Machine, MachineConfig, NodeId};
+
+/// The mechanism bundle handed to user-level protocols.
+///
+/// Fields are public by design: a protocol transaction typically touches
+/// the machine (costs), several tag tables, and the home store at once,
+/// and `Tempest` is a passive composite in the C-struct spirit, holding no
+/// invariants of its own beyond those of its parts.
+///
+/// ```
+/// use lcm_tempest::{Tempest, Placement, Tag};
+/// use lcm_sim::MachineConfig;
+///
+/// let mut t = Tempest::new(MachineConfig::new(4));
+/// let base = t.space.alloc(4096, Placement::Interleaved, "data");
+/// let home = t.space.home_of(base.block());
+/// t.tags[home.index()].set(base.block(), Tag::ReadWrite);
+/// assert!(t.tags[home.index()].get(base.block()).writable());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tempest {
+    /// The simulated machine: clocks, statistics, cost model, trace.
+    pub machine: Machine,
+    /// The global address space: allocation and home placement.
+    pub space: AddressSpace,
+    /// Authoritative home values.
+    pub mem: HomeMemory,
+    /// Per-node fine-grain access tags, indexed by `NodeId::index()`.
+    pub tags: Vec<TagTable>,
+    /// Message cost/count accounting.
+    pub net: Network,
+}
+
+impl Tempest {
+    /// Builds the bundle for a machine configuration.
+    pub fn new(config: MachineConfig) -> Tempest {
+        let nodes = config.nodes;
+        Tempest {
+            machine: Machine::new(config),
+            space: AddressSpace::new(nodes),
+            mem: HomeMemory::new(),
+            tags: (0..nodes).map(|_| TagTable::new()).collect(),
+            net: Network::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.machine.nodes()
+    }
+
+    /// Convenience: allocate and return the base address.
+    pub fn alloc(&mut self, bytes: u64, placement: Placement, name: &str) -> Addr {
+        self.space.alloc(bytes, placement, name)
+    }
+
+    /// Convenience: the home node of `block`.
+    #[inline]
+    pub fn home_of(&self, block: BlockId) -> NodeId {
+        self.space.home_of(block)
+    }
+
+    /// Convenience: the tag `node` holds for `block`.
+    #[inline]
+    pub fn tag(&self, node: NodeId, block: BlockId) -> Tag {
+        self.tags[node.index()].get(block)
+    }
+
+    /// Convenience: sets the tag `node` holds for `block`.
+    #[inline]
+    pub fn set_tag(&mut self, node: NodeId, block: BlockId, tag: Tag) {
+        self.tags[node.index()].set(block, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_sim::CostModel;
+
+    #[test]
+    fn new_bundle_is_consistent() {
+        let t = Tempest::new(MachineConfig::new(8));
+        assert_eq!(t.nodes(), 8);
+        assert_eq!(t.tags.len(), 8);
+        assert_eq!(t.space.nodes(), 8);
+    }
+
+    #[test]
+    fn tag_helpers_roundtrip() {
+        let mut t = Tempest::new(MachineConfig::new(2));
+        let b = BlockId(42);
+        assert_eq!(t.tag(NodeId(1), b), Tag::Invalid);
+        t.set_tag(NodeId(1), b, Tag::ReadOnly);
+        assert_eq!(t.tag(NodeId(1), b), Tag::ReadOnly);
+        assert_eq!(t.tag(NodeId(0), b), Tag::Invalid, "tags are per node");
+    }
+
+    #[test]
+    fn alloc_and_home_roundtrip() {
+        let mut t = Tempest::new(MachineConfig::new(4).with_cost(CostModel::unit()));
+        let a = t.alloc(4096, Placement::Interleaved, "x");
+        let h0 = t.home_of(a.block());
+        let h1 = t.home_of(Addr(a.0 + 32).block());
+        assert_ne!(h0, h1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-node fine-grain access control tags.
+//!
+//! Tempest's defining mechanism (and Blizzard-E's): every node holds an
+//! access tag per 32-byte block. A load to an `Invalid` block or a store to
+//! an `Invalid`/`ReadOnly` block *faults* into a user-level protocol
+//! handler. Tags are stored in page-grained tables, mirroring Blizzard's
+//! page-in/tag-per-block organization.
+
+use lcm_sim::hash::FastMap;
+use lcm_sim::mem::{BlockId, PageId, BLOCKS_PER_PAGE};
+
+/// Access tag of one block on one node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Tag {
+    /// No copy present; any access faults.
+    #[default]
+    Invalid,
+    /// A read-only copy is present; stores fault.
+    ReadOnly,
+    /// A writable copy is present; no access faults.
+    ReadWrite,
+}
+
+impl Tag {
+    /// True when a load to a block with this tag proceeds without a fault.
+    #[inline]
+    pub fn readable(self) -> bool {
+        self != Tag::Invalid
+    }
+
+    /// True when a store to a block with this tag proceeds without a fault.
+    #[inline]
+    pub fn writable(self) -> bool {
+        self == Tag::ReadWrite
+    }
+}
+
+/// One node's access-tag table.
+///
+/// Absent pages read as all-`Invalid`; pages materialize on first `set`.
+///
+/// ```
+/// use lcm_tempest::{Tag, TagTable};
+/// use lcm_sim::mem::BlockId;
+/// let mut t = TagTable::new();
+/// assert_eq!(t.get(BlockId(7)), Tag::Invalid);
+/// t.set(BlockId(7), Tag::ReadOnly);
+/// assert!(t.get(BlockId(7)).readable());
+/// assert!(!t.get(BlockId(7)).writable());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TagTable {
+    pages: FastMap<PageId, Box<[Tag; BLOCKS_PER_PAGE]>>,
+}
+
+impl TagTable {
+    /// An empty (all-`Invalid`) table.
+    pub fn new() -> TagTable {
+        TagTable::default()
+    }
+
+    /// The tag of `block`.
+    #[inline]
+    pub fn get(&self, block: BlockId) -> Tag {
+        match self.pages.get(&block.page()) {
+            Some(page) => page[block.index_in_page()],
+            None => Tag::Invalid,
+        }
+    }
+
+    /// Sets the tag of `block`, materializing its page if needed.
+    #[inline]
+    pub fn set(&mut self, block: BlockId, tag: Tag) {
+        if tag == Tag::Invalid && !self.pages.contains_key(&block.page()) {
+            return; // avoid materializing a page just to store Invalid
+        }
+        let page = self.pages.entry(block.page()).or_insert_with(|| Box::new([Tag::Invalid; BLOCKS_PER_PAGE]));
+        page[block.index_in_page()] = tag;
+    }
+
+    /// Number of blocks currently tagged `tag` (O(pages); for tests and
+    /// assertions, not hot paths).
+    pub fn count(&self, tag: Tag) -> usize {
+        self.pages.values().map(|p| p.iter().filter(|&&t| t == tag).count()).sum()
+    }
+
+    /// Resets every tag to `Invalid` and releases the page tables.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Iterates over all blocks whose tag is not `Invalid`.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (BlockId, Tag)> + '_ {
+        self.pages.iter().flat_map(|(page, tags)| {
+            let first = page.first_block().0;
+            tags.iter().enumerate().filter_map(move |(i, &t)| {
+                (t != Tag::Invalid).then_some((BlockId(first + i as u64), t))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tag_is_invalid() {
+        let t = TagTable::new();
+        assert_eq!(t.get(BlockId(999)), Tag::Invalid);
+        assert!(!Tag::Invalid.readable());
+        assert!(!Tag::Invalid.writable());
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut t = TagTable::new();
+        t.set(BlockId(1), Tag::ReadOnly);
+        t.set(BlockId(2), Tag::ReadWrite);
+        assert_eq!(t.get(BlockId(1)), Tag::ReadOnly);
+        assert_eq!(t.get(BlockId(2)), Tag::ReadWrite);
+        assert_eq!(t.get(BlockId(3)), Tag::Invalid);
+        t.set(BlockId(2), Tag::Invalid);
+        assert_eq!(t.get(BlockId(2)), Tag::Invalid);
+    }
+
+    #[test]
+    fn permissions_semantics() {
+        assert!(Tag::ReadOnly.readable() && !Tag::ReadOnly.writable());
+        assert!(Tag::ReadWrite.readable() && Tag::ReadWrite.writable());
+    }
+
+    #[test]
+    fn invalid_set_does_not_materialize_pages() {
+        let mut t = TagTable::new();
+        t.set(BlockId(5), Tag::Invalid);
+        assert_eq!(t.count(Tag::Invalid), 0, "no page should exist");
+    }
+
+    #[test]
+    fn count_and_iter_valid() {
+        let mut t = TagTable::new();
+        t.set(BlockId(0), Tag::ReadOnly);
+        t.set(BlockId(200), Tag::ReadWrite); // different page
+        assert_eq!(t.count(Tag::ReadOnly), 1);
+        assert_eq!(t.count(Tag::ReadWrite), 1);
+        let mut valid: Vec<_> = t.iter_valid().collect();
+        valid.sort_by_key(|(b, _)| *b);
+        assert_eq!(valid, vec![(BlockId(0), Tag::ReadOnly), (BlockId(200), Tag::ReadWrite)]);
+    }
+
+    #[test]
+    fn clear_resets_all() {
+        let mut t = TagTable::new();
+        t.set(BlockId(0), Tag::ReadWrite);
+        t.clear();
+        assert_eq!(t.get(BlockId(0)), Tag::Invalid);
+        assert_eq!(t.iter_valid().count(), 0);
+    }
+
+    #[test]
+    fn blocks_in_same_page_are_independent() {
+        let mut t = TagTable::new();
+        t.set(BlockId(10), Tag::ReadWrite);
+        assert_eq!(t.get(BlockId(11)), Tag::Invalid);
+        assert_eq!(t.get(BlockId(9)), Tag::Invalid);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the address space and home-value store.
+
+use lcm_sim::mem::{Addr, BlockBuf, BlockId, WordMask, PAGE_BYTES};
+use lcm_tempest::{AddressSpace, HomeMemory, Placement};
+use proptest::prelude::*;
+
+fn placements() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::Interleaved),
+        Just(Placement::Blocked),
+        Just(Placement::PageInterleaved),
+        (0u16..8).prop_map(|n| Placement::OnNode(lcm_sim::NodeId(n))),
+    ]
+}
+
+proptest! {
+    /// Every block of every allocation has a home inside the machine, the
+    /// segment lookup finds the right segment, and segments never overlap.
+    #[test]
+    fn allocations_are_disjoint_and_homed(
+        sizes in proptest::collection::vec((1u64..3 * PAGE_BYTES as u64, placements()), 1..8),
+    ) {
+        let nodes = 8;
+        let mut space = AddressSpace::new(nodes);
+        let mut allocs = Vec::new();
+        for (i, (bytes, placement)) in sizes.iter().enumerate() {
+            allocs.push((space.alloc(*bytes, *placement, &format!("s{i}")), *bytes));
+        }
+        // Segments are disjoint and ordered.
+        let segs = space.segments();
+        for w in segs.windows(2) {
+            prop_assert!(w[0].end_block() <= w[1].first_block());
+        }
+        for (base, bytes) in allocs {
+            let last = base.offset(bytes - 1);
+            for block in [base.block(), last.block()] {
+                let home = space.home_of(block);
+                prop_assert!((home.0 as usize) < nodes);
+                let seg = space.segment_of(block).expect("allocated block has a segment");
+                prop_assert!(seg.contains_block(block));
+            }
+        }
+    }
+
+    /// Blocked placement assigns monotonically non-decreasing homes, so a
+    /// contiguous chunk of a segment lives on a contiguous node range.
+    #[test]
+    fn blocked_homes_are_monotonic(pages in 1u64..6) {
+        let nodes = 8;
+        let mut space = AddressSpace::new(nodes);
+        let base = space.alloc(pages * PAGE_BYTES as u64, Placement::Blocked, "m");
+        let first = base.block().0;
+        let blocks = pages * (PAGE_BYTES as u64 / 32);
+        let mut prev = 0u16;
+        for b in 0..blocks {
+            let h = space.home_of(BlockId(first + b)).0;
+            prop_assert!(h >= prev);
+            prop_assert!((h as usize) < nodes);
+            prev = h;
+        }
+    }
+
+    /// The home store behaves like a flat array of words: random writes
+    /// then reads agree with a reference model.
+    #[test]
+    fn home_memory_matches_reference(
+        writes in proptest::collection::vec((0u64..512, any::<u32>()), 0..64),
+    ) {
+        let mut mem = HomeMemory::new();
+        let mut reference = std::collections::HashMap::new();
+        for (word_idx, value) in &writes {
+            let addr = Addr(0x4000 + word_idx * 4);
+            mem.write_word(addr, *value);
+            reference.insert(*word_idx, *value);
+        }
+        for w in 0..512u64 {
+            let addr = Addr(0x4000 + w * 4);
+            prop_assert_eq!(mem.read_word(addr), reference.get(&w).copied().unwrap_or(0));
+        }
+    }
+
+    /// Block-level and word-level views of the home store agree, and a
+    /// masked merge touches exactly the masked words.
+    #[test]
+    fn merge_block_respects_mask(
+        initial in proptest::array::uniform8(any::<u32>()),
+        incoming in proptest::array::uniform8(any::<u32>()),
+        mask in 0u8..,
+    ) {
+        let mut mem = HomeMemory::new();
+        let block = BlockId(999);
+        let mut init_buf = BlockBuf::zeroed();
+        let mut in_buf = BlockBuf::zeroed();
+        for w in 0..8 {
+            init_buf.set_word(w, initial[w]);
+            in_buf.set_word(w, incoming[w]);
+        }
+        mem.write_block(block, &init_buf);
+        mem.merge_block(block, &in_buf, WordMask(mask));
+        for w in 0..8 {
+            let expect = if WordMask(mask).get(w) { incoming[w] } else { initial[w] };
+            prop_assert_eq!(mem.read_word(block.word_addr(w)), expect);
+        }
+    }
+}

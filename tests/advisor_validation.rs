@@ -1,0 +1,30 @@
+//! The advisor's §6.3 decision procedure must agree with measurement:
+//! whichever strategy it recommends for a benchmark's access summary must
+//! be the faster one in the corresponding medium-scale run.
+
+use lcm::cstar::advisor::{advise, profiles};
+use lcm::cstar::Strategy;
+use lcm::prelude::*;
+
+fn faster_strategy(b: Benchmark) -> Strategy {
+    let lcm = b.run(Scale::Medium, SystemKind::LcmMcc).time;
+    let copying = b.run(Scale::Medium, SystemKind::Stache).time;
+    if lcm <= copying {
+        Strategy::LcmDirectives
+    } else {
+        Strategy::ExplicitCopy
+    }
+}
+
+#[test]
+fn advisor_matches_measured_winner_on_stencils() {
+    assert_eq!(advise(&profiles::stencil_static()).strategy, faster_strategy(Benchmark::StencilStat));
+    assert_eq!(advise(&profiles::stencil_dynamic()).strategy, faster_strategy(Benchmark::StencilDyn));
+}
+
+#[test]
+fn advisor_matches_measured_winner_on_dynamic_benchmarks() {
+    assert_eq!(advise(&profiles::adaptive()).strategy, faster_strategy(Benchmark::AdaptiveDyn));
+    assert_eq!(advise(&profiles::threshold()).strategy, faster_strategy(Benchmark::Threshold));
+    assert_eq!(advise(&profiles::unstructured()).strategy, faster_strategy(Benchmark::Unstructured));
+}
