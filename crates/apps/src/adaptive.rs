@@ -39,12 +39,24 @@ pub struct Adaptive {
 impl Adaptive {
     /// The paper's configuration at the given schedule.
     pub fn paper(partition: Partition) -> Adaptive {
-        Adaptive { size: 64, iters: 100, max_depth: 4, subdivide_above: 2.0, partition }
+        Adaptive {
+            size: 64,
+            iters: 100,
+            max_depth: 4,
+            subdivide_above: 2.0,
+            partition,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small(partition: Partition) -> Adaptive {
-        Adaptive { size: 16, iters: 8, max_depth: 2, subdivide_above: 2.0, partition }
+        Adaptive {
+            size: 16,
+            iters: 8,
+            max_depth: 2,
+            subdivide_above: 2.0,
+            partition,
+        }
     }
 
     fn pool_capacity(&self) -> usize {
@@ -103,7 +115,10 @@ fn relax_subtree<P: MemoryProtocol>(
         let kid = inv.get(mesh.kids.at(slot));
         if kid != 0 {
             relax_subtree(inv, mesh, kid, relaxed, depth + 1, cfg, next_free, pool_cap);
-        } else if depth < cfg.max_depth && (cv - parent).abs() > cfg.subdivide_above && *next_free < pool_cap {
+        } else if depth < cfg.max_depth
+            && (cv - parent).abs() > cfg.subdivide_above
+            && *next_free < pool_cap
+        {
             let idx = *next_free as u32;
             *next_free += 1;
             inv.set(mesh.kids.at(slot), idx);
@@ -181,13 +196,21 @@ impl Workload for Adaptive {
         let mut checksum = 0u64;
         for r in 0..n {
             for c in 0..n {
-                checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek2(mesh.base, r, c).to_bits() as u64);
-                checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek2(mesh.root, r, c) as u64);
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(rt.peek2(mesh.base, r, c).to_bits() as u64);
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(rt.peek2(mesh.root, r, c) as u64);
             }
         }
         for i in 0..next_free * 4 {
-            checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek1(mesh.vals, i).to_bits() as u64);
-            checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek1(mesh.kids, i) as u64);
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(rt.peek1(mesh.vals, i).to_bits() as u64);
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(rt.peek1(mesh.kids, i) as u64);
         }
         (checksum, next_free - 1)
     }
@@ -201,26 +224,44 @@ mod tests {
 
     #[test]
     fn all_systems_agree_static() {
-        let results = execute_all(4, RuntimeConfig::default(), &Adaptive::small(Partition::Static));
+        let results = execute_all(
+            4,
+            RuntimeConfig::default(),
+            &Adaptive::small(Partition::Static),
+        );
         assert_eq!(results.len(), 3);
     }
 
     #[test]
     fn all_systems_agree_dynamic() {
-        execute_all(4, RuntimeConfig::default(), &Adaptive::small(Partition::Dynamic));
+        execute_all(
+            4,
+            RuntimeConfig::default(),
+            &Adaptive::small(Partition::Dynamic),
+        );
     }
 
     #[test]
     fn mesh_actually_refines() {
-        let ((_, allocated), _) =
-            execute(SystemKind::LcmMcc, 4, RuntimeConfig::default(), &Adaptive::small(Partition::Static));
+        let ((_, allocated), _) = execute(
+            SystemKind::LcmMcc,
+            4,
+            RuntimeConfig::default(),
+            &Adaptive::small(Partition::Static),
+        );
         assert!(allocated > 0, "the hot edge should trigger subdivisions");
     }
 
     #[test]
     fn deeper_refinement_with_more_iterations() {
-        let w1 = Adaptive { iters: 2, ..Adaptive::small(Partition::Static) };
-        let w2 = Adaptive { iters: 12, ..Adaptive::small(Partition::Static) };
+        let w1 = Adaptive {
+            iters: 2,
+            ..Adaptive::small(Partition::Static)
+        };
+        let w2 = Adaptive {
+            iters: 12,
+            ..Adaptive::small(Partition::Static)
+        };
         let ((_, a1), _) = execute(SystemKind::LcmMcc, 4, RuntimeConfig::default(), &w1);
         let ((_, a2), _) = execute(SystemKind::LcmMcc, 4, RuntimeConfig::default(), &w2);
         assert!(a2 >= a1, "refinement should not shrink: {a1} -> {a2}");

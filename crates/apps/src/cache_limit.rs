@@ -12,7 +12,6 @@ use crate::common::{RunResult, SystemKind};
 use crate::stencil::Stencil;
 use crate::Workload;
 use lcm_cstar::{Runtime, RuntimeConfig, Strategy};
-use lcm_rsm::MemoryProtocol;
 use lcm_sim::MachineConfig;
 use lcm_stache::Stache;
 
@@ -31,8 +30,7 @@ pub fn stencil_on_limited_stache(
     };
     let mut rt = Runtime::with_config(mem, Strategy::ExplicitCopy, RuntimeConfig::default());
     w.run(&mut rt);
-    let machine = &rt.mem().tempest().machine;
-    RunResult { system: SystemKind::Stache, time: machine.time(), totals: machine.total_stats() }
+    RunResult::harvest(SystemKind::Stache, rt.mem())
 }
 
 /// Blocks per node chunk for a stencil (one buffer).
@@ -48,7 +46,12 @@ mod tests {
 
     #[test]
     fn smaller_caches_mean_more_evictions_and_time() {
-        let w = Stencil { rows: 64, cols: 64, iters: 4, partition: Partition::Static };
+        let w = Stencil {
+            rows: 64,
+            cols: 64,
+            iters: 4,
+            partition: Partition::Static,
+        };
         let nodes = 4;
         let chunk = chunk_blocks(&w, nodes);
         let unbounded = stencil_on_limited_stache(None, nodes, &w);
@@ -66,7 +69,12 @@ mod tests {
     fn limited_cache_erases_the_stache_stat_advantage() {
         // The paper's remark: with a limited cache, Stencil-stat under
         // Stache stops beating LCM.
-        let w = Stencil { rows: 128, cols: 128, iters: 5, partition: Partition::Static };
+        let w = Stencil {
+            rows: 128,
+            cols: 128,
+            iters: 5,
+            partition: Partition::Static,
+        };
         let nodes = 8;
         let chunk = chunk_blocks(&w, nodes);
         let stache_unbounded = stencil_on_limited_stache(None, nodes, &w);
@@ -88,7 +96,12 @@ mod tests {
 
     #[test]
     fn results_are_identical_regardless_of_capacity() {
-        let w = Stencil { rows: 32, cols: 32, iters: 3, partition: Partition::Static };
+        let w = Stencil {
+            rows: 32,
+            cols: 32,
+            iters: 3,
+            partition: Partition::Static,
+        };
         let mut outs = Vec::new();
         for cap in [None, Some(64), Some(8)] {
             let mc = MachineConfig::new(4);

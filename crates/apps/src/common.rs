@@ -9,8 +9,9 @@
 use lcm_core::{Lcm, LcmVariant};
 use lcm_cstar::{Runtime, RuntimeConfig, Strategy};
 use lcm_rsm::MemoryProtocol;
-use lcm_sim::{MachineConfig, NodeStats};
+use lcm_sim::{FaultConfig, MachineConfig, NodeStats};
 use lcm_stache::Stache;
+use lcm_tempest::MsgKind;
 use std::fmt;
 
 /// The three memory systems of the paper's evaluation (§6.3).
@@ -65,6 +66,12 @@ pub struct RunResult {
     pub time: u64,
     /// Sum of all nodes' protocol counters.
     pub totals: NodeStats,
+    /// Delivered protocol messages by kind, in [`MsgKind::all`] order.
+    pub msg_kinds: Vec<(MsgKind, u64)>,
+    /// Message attempts lost to fault injection (zero on a reliable run).
+    pub net_dropped: u64,
+    /// Duplicate deliveries detected under fault injection.
+    pub net_duplicated: u64,
 }
 
 impl RunResult {
@@ -77,6 +84,36 @@ impl RunResult {
     pub fn clean_copies(&self) -> u64 {
         self.totals.clean_copies
     }
+
+    /// Total messages delivered (the per-kind sum).
+    pub fn msgs_total(&self) -> u64 {
+        self.msg_kinds.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Delivered messages of one kind.
+    pub fn msgs_of(&self, kind: MsgKind) -> u64 {
+        self.msg_kinds
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// Harvests a finished run from a protocol: time, counters, per-kind
+    /// message counts. Runs the coherence-invariant sanitizer first and
+    /// panics with its cycle-stamped diagnostic on violation.
+    pub fn harvest<P: MemoryProtocol>(system: SystemKind, mem: &P) -> RunResult {
+        lcm_rsm::sanitizer::enforce(mem);
+        let t = mem.tempest();
+        let machine = &t.machine;
+        RunResult {
+            system,
+            time: machine.time(),
+            totals: machine.total_stats(),
+            msg_kinds: t.net.per_kind().collect(),
+            net_dropped: t.net.dropped(),
+            net_duplicated: t.net.duplicated(),
+        }
+    }
 }
 
 /// Runs `workload` on `system` with `nodes` processors, returning the
@@ -87,7 +124,13 @@ pub fn execute<W: Workload>(
     config: RuntimeConfig,
     workload: &W,
 ) -> (W::Output, RunResult) {
-    execute_with_cost(system, nodes, lcm_sim::CostModel::default(), config, workload)
+    execute_with_cost(
+        system,
+        nodes,
+        lcm_sim::CostModel::default(),
+        config,
+        workload,
+    )
 }
 
 /// [`execute`] under an explicit [`lcm_sim::CostModel`] — for sensitivity
@@ -99,7 +142,43 @@ pub fn execute_with_cost<W: Workload>(
     config: RuntimeConfig,
     workload: &W,
 ) -> (W::Output, RunResult) {
-    let mc = MachineConfig::new(nodes).with_cost(cost);
+    execute_with_machine(
+        system,
+        MachineConfig::new(nodes).with_cost(cost),
+        config,
+        workload,
+    )
+}
+
+/// [`execute`] over an unreliable network: the [`FaultConfig`] schedules
+/// deterministic message drops, duplicates, delays and barrier stalls.
+/// Faults change costs and statistics only — the output is bit-identical
+/// to the fault-free run (the fault property tests assert this).
+pub fn execute_with_faults<W: Workload>(
+    system: SystemKind,
+    nodes: usize,
+    faults: FaultConfig,
+    config: RuntimeConfig,
+    workload: &W,
+) -> (W::Output, RunResult) {
+    let mc = MachineConfig::new(nodes)
+        .with_cost(lcm_sim::CostModel::default())
+        .with_faults(faults);
+    execute_with_machine(system, mc, config, workload)
+}
+
+/// [`execute`] under a fully-specified [`MachineConfig`].
+///
+/// Every run ends with a coherence-invariant sanitizer pass
+/// ([`lcm_rsm::sanitizer`]); a violation — e.g. protocol state corrupted
+/// by mishandled fault injection — panics with a cycle-stamped
+/// diagnostic.
+pub fn execute_with_machine<W: Workload>(
+    system: SystemKind,
+    mc: MachineConfig,
+    config: RuntimeConfig,
+    workload: &W,
+) -> (W::Output, RunResult) {
     match system {
         SystemKind::Stache => {
             let mut rt = Runtime::with_config(Stache::new(mc), Strategy::ExplicitCopy, config);
@@ -108,15 +187,21 @@ pub fn execute_with_cost<W: Workload>(
             (out, result)
         }
         SystemKind::LcmScc => {
-            let mut rt =
-                Runtime::with_config(Lcm::new(mc, LcmVariant::Scc), Strategy::LcmDirectives, config);
+            let mut rt = Runtime::with_config(
+                Lcm::new(mc, LcmVariant::Scc),
+                Strategy::LcmDirectives,
+                config,
+            );
             let out = workload.run(&mut rt);
             let result = harvest(system, rt.mem());
             (out, result)
         }
         SystemKind::LcmMcc => {
-            let mut rt =
-                Runtime::with_config(Lcm::new(mc, LcmVariant::Mcc), Strategy::LcmDirectives, config);
+            let mut rt = Runtime::with_config(
+                Lcm::new(mc, LcmVariant::Mcc),
+                Strategy::LcmDirectives,
+                config,
+            );
             let out = workload.run(&mut rt);
             let result = harvest(system, rt.mem());
             (out, result)
@@ -144,8 +229,7 @@ where
 }
 
 fn harvest<P: MemoryProtocol>(system: SystemKind, mem: &P) -> RunResult {
-    let machine = &mem.tempest().machine;
-    RunResult { system, time: machine.time(), totals: machine.total_stats() }
+    RunResult::harvest(system, mem)
 }
 
 #[cfg(test)]
@@ -190,6 +274,61 @@ mod tests {
         assert!(by(SystemKind::LcmScc).clean_copies() > 0);
         assert!(by(SystemKind::LcmMcc).clean_copies() >= by(SystemKind::LcmScc).clean_copies());
         assert_eq!(by(SystemKind::Stache).clean_copies(), 0);
+    }
+
+    #[test]
+    fn faulty_runs_compute_identical_answers_at_higher_cost() {
+        let w = Increment { len: 64 };
+        for system in SystemKind::all() {
+            let (clean_out, clean) = execute(system, 4, RuntimeConfig::default(), &w);
+            let faults = FaultConfig {
+                drop_rate: 0.05,
+                dup_rate: 0.02,
+                seed: 11,
+                ..FaultConfig::default()
+            };
+            let (faulty_out, faulty) =
+                execute_with_faults(system, 4, faults, RuntimeConfig::default(), &w);
+            assert_eq!(clean_out, faulty_out, "{system}: faults changed the answer");
+            assert!(
+                faulty.time >= clean.time,
+                "{system}: faults cannot speed a run up"
+            );
+            assert_eq!(clean.net_dropped, 0);
+            assert_eq!(clean.totals.fault_events(), 0);
+            assert_eq!(faulty.net_dropped, faulty.totals.msgs_dropped);
+            assert_eq!(faulty.net_duplicated, faulty.totals.msgs_duplicated);
+        }
+    }
+
+    #[test]
+    fn message_conservation_holds_per_run() {
+        // Satellite invariant: every delivered message is counted at both
+        // ends, and the network's total equals the per-kind sum.
+        let w = Increment { len: 64 };
+        for system in SystemKind::all() {
+            for faults in [
+                FaultConfig::default(),
+                FaultConfig {
+                    drop_rate: 0.03,
+                    dup_rate: 0.03,
+                    delay_rate: 0.03,
+                    seed: 5,
+                    ..FaultConfig::default()
+                },
+            ] {
+                let (_, r) = execute_with_faults(system, 4, faults, RuntimeConfig::default(), &w);
+                assert_eq!(
+                    r.totals.msgs_sent, r.totals.msgs_recv,
+                    "{system}: conservation"
+                );
+                assert_eq!(
+                    r.msgs_total(),
+                    r.totals.msgs_sent,
+                    "{system}: network vs node counts"
+                );
+            }
+        }
     }
 
     #[test]

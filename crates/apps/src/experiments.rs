@@ -100,40 +100,109 @@ impl Benchmark {
     pub fn run(self, scale: Scale, system: SystemKind) -> RunResult {
         let nodes = scale.nodes();
         let cfg = RuntimeConfig::default();
-        fn go<W: Workload>(system: SystemKind, nodes: usize, cfg: RuntimeConfig, w: &W) -> RunResult {
+        fn go<W: Workload>(
+            system: SystemKind,
+            nodes: usize,
+            cfg: RuntimeConfig,
+            w: &W,
+        ) -> RunResult {
             execute(system, nodes, cfg, w).1
         }
         match (self, scale) {
-            (Benchmark::StencilStat, Scale::Paper) => go(system, nodes, cfg, &Stencil::paper(Partition::Static)),
-            (Benchmark::StencilStat, Scale::Medium) => {
-                go(system, nodes, cfg, &Stencil { rows: 256, cols: 256, iters: 15, partition: Partition::Static })
+            (Benchmark::StencilStat, Scale::Paper) => {
+                go(system, nodes, cfg, &Stencil::paper(Partition::Static))
             }
-            (Benchmark::StencilStat, Scale::Smoke) => go(system, nodes, cfg, &Stencil::small(Partition::Static)),
-            (Benchmark::StencilDyn, Scale::Paper) => go(system, nodes, cfg, &Stencil::paper(Partition::Dynamic)),
-            (Benchmark::StencilDyn, Scale::Medium) => {
-                go(system, nodes, cfg, &Stencil { rows: 256, cols: 256, iters: 15, partition: Partition::Dynamic })
+            (Benchmark::StencilStat, Scale::Medium) => go(
+                system,
+                nodes,
+                cfg,
+                &Stencil {
+                    rows: 256,
+                    cols: 256,
+                    iters: 15,
+                    partition: Partition::Static,
+                },
+            ),
+            (Benchmark::StencilStat, Scale::Smoke) => {
+                go(system, nodes, cfg, &Stencil::small(Partition::Static))
             }
-            (Benchmark::StencilDyn, Scale::Smoke) => go(system, nodes, cfg, &Stencil::small(Partition::Dynamic)),
-            (Benchmark::AdaptiveStat, Scale::Paper) => go(system, nodes, cfg, &Adaptive::paper(Partition::Static)),
-            (Benchmark::AdaptiveStat, Scale::Medium) => {
-                go(system, nodes, cfg, &Adaptive { size: 64, iters: 40, ..Adaptive::paper(Partition::Static) })
+            (Benchmark::StencilDyn, Scale::Paper) => {
+                go(system, nodes, cfg, &Stencil::paper(Partition::Dynamic))
             }
-            (Benchmark::AdaptiveStat, Scale::Smoke) => go(system, nodes, cfg, &Adaptive::small(Partition::Static)),
-            (Benchmark::AdaptiveDyn, Scale::Paper) => go(system, nodes, cfg, &Adaptive::paper(Partition::Dynamic)),
-            (Benchmark::AdaptiveDyn, Scale::Medium) => {
-                go(system, nodes, cfg, &Adaptive { size: 64, iters: 40, ..Adaptive::paper(Partition::Dynamic) })
+            (Benchmark::StencilDyn, Scale::Medium) => go(
+                system,
+                nodes,
+                cfg,
+                &Stencil {
+                    rows: 256,
+                    cols: 256,
+                    iters: 15,
+                    partition: Partition::Dynamic,
+                },
+            ),
+            (Benchmark::StencilDyn, Scale::Smoke) => {
+                go(system, nodes, cfg, &Stencil::small(Partition::Dynamic))
             }
-            (Benchmark::AdaptiveDyn, Scale::Smoke) => go(system, nodes, cfg, &Adaptive::small(Partition::Dynamic)),
+            (Benchmark::AdaptiveStat, Scale::Paper) => {
+                go(system, nodes, cfg, &Adaptive::paper(Partition::Static))
+            }
+            (Benchmark::AdaptiveStat, Scale::Medium) => go(
+                system,
+                nodes,
+                cfg,
+                &Adaptive {
+                    size: 64,
+                    iters: 40,
+                    ..Adaptive::paper(Partition::Static)
+                },
+            ),
+            (Benchmark::AdaptiveStat, Scale::Smoke) => {
+                go(system, nodes, cfg, &Adaptive::small(Partition::Static))
+            }
+            (Benchmark::AdaptiveDyn, Scale::Paper) => {
+                go(system, nodes, cfg, &Adaptive::paper(Partition::Dynamic))
+            }
+            (Benchmark::AdaptiveDyn, Scale::Medium) => go(
+                system,
+                nodes,
+                cfg,
+                &Adaptive {
+                    size: 64,
+                    iters: 40,
+                    ..Adaptive::paper(Partition::Dynamic)
+                },
+            ),
+            (Benchmark::AdaptiveDyn, Scale::Smoke) => {
+                go(system, nodes, cfg, &Adaptive::small(Partition::Dynamic))
+            }
             (Benchmark::Threshold, Scale::Paper) => go(system, nodes, cfg, &Threshold::paper()),
-            (Benchmark::Threshold, Scale::Medium) => {
-                go(system, nodes, cfg, &Threshold { size: 256, iters: 15, threshold: 1.0, sources: 6 })
-            }
+            (Benchmark::Threshold, Scale::Medium) => go(
+                system,
+                nodes,
+                cfg,
+                &Threshold {
+                    size: 256,
+                    iters: 15,
+                    threshold: 1.0,
+                    sources: 6,
+                },
+            ),
             (Benchmark::Threshold, Scale::Smoke) => go(system, nodes, cfg, &Threshold::small()),
-            (Benchmark::Unstructured, Scale::Paper) => go(system, nodes, cfg, &Unstructured::paper()),
-            (Benchmark::Unstructured, Scale::Medium) => {
-                go(system, nodes, cfg, &Unstructured { iters: 100, ..Unstructured::paper() })
+            (Benchmark::Unstructured, Scale::Paper) => {
+                go(system, nodes, cfg, &Unstructured::paper())
             }
-            (Benchmark::Unstructured, Scale::Smoke) => go(system, nodes, cfg, &Unstructured::small()),
+            (Benchmark::Unstructured, Scale::Medium) => go(
+                system,
+                nodes,
+                cfg,
+                &Unstructured {
+                    iters: 100,
+                    ..Unstructured::paper()
+                },
+            ),
+            (Benchmark::Unstructured, Scale::Smoke) => {
+                go(system, nodes, cfg, &Unstructured::small())
+            }
         }
     }
 
@@ -221,7 +290,9 @@ impl Suite {
     /// Panics if the suite somehow lacks the combination (it cannot,
     /// after [`Suite::run`]).
     pub fn result(&self, b: Benchmark, s: SystemKind) -> &RunResult {
-        self.results.get(&(b, sys_index(s))).expect("suite ran all combinations")
+        self.results
+            .get(&(b, sys_index(s)))
+            .expect("suite ran all combinations")
     }
 
     /// Table 1: `(benchmark, [misses scc, mcc, copying], [clean scc, mcc])`.
@@ -232,7 +303,11 @@ impl Suite {
                 let scc = self.result(b, SystemKind::LcmScc);
                 let mcc = self.result(b, SystemKind::LcmMcc);
                 let cp = self.result(b, SystemKind::Stache);
-                (b, [scc.misses(), mcc.misses(), cp.misses()], [scc.clean_copies(), mcc.clean_copies()])
+                (
+                    b,
+                    [scc.misses(), mcc.misses(), cp.misses()],
+                    [scc.clean_copies(), mcc.clean_copies()],
+                )
             })
             .collect()
     }
@@ -251,7 +326,12 @@ impl Suite {
     /// Figure 3: the other benchmarks' execution times.
     pub fn fig3(&self) -> Vec<(Benchmark, SystemKind, u64)> {
         let mut rows = Vec::new();
-        for b in [Benchmark::AdaptiveStat, Benchmark::AdaptiveDyn, Benchmark::Threshold, Benchmark::Unstructured] {
+        for b in [
+            Benchmark::AdaptiveStat,
+            Benchmark::AdaptiveDyn,
+            Benchmark::Threshold,
+            Benchmark::Unstructured,
+        ] {
             for s in SystemKind::all() {
                 rows.push((b, s, self.result(b, s).time));
             }
@@ -277,7 +357,8 @@ impl Suite {
             holds: scc > 1.5 * mcc,
         });
         claims.push(Claim {
-            description: "Stencil: LCM-mcc reduces cache misses by a factor of almost 8 over LCM-scc",
+            description:
+                "Stencil: LCM-mcc reduces cache misses by a factor of almost 8 over LCM-scc",
             paper: "~8x",
             measured: ratio(m(StencilStat, LcmScc), m(StencilStat, LcmMcc)),
             holds: m(StencilStat, LcmScc) > 3.0 * m(StencilStat, LcmMcc),
@@ -358,7 +439,10 @@ mod tests {
         assert_eq!(suite.claims().len(), 11);
         for (b, misses, clean) in suite.table1() {
             assert!(misses.iter().all(|&x| x > 0), "{b}: misses measured");
-            assert!(clean[1] >= clean[0], "{b}: mcc makes at least as many clean copies");
+            assert!(
+                clean[1] >= clean[0],
+                "{b}: mcc makes at least as many clean copies"
+            );
         }
     }
 

@@ -28,12 +28,20 @@ pub struct FalseSharing {
 impl FalseSharing {
     /// One block shared by 8 writers, many rounds.
     pub fn default_size() -> FalseSharing {
-        FalseSharing { writers: 8, rounds: 200, padded: false }
+        FalseSharing {
+            writers: 8,
+            rounds: 200,
+            padded: false,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> FalseSharing {
-        FalseSharing { writers: 4, rounds: 20, padded: false }
+        FalseSharing {
+            writers: 4,
+            rounds: 20,
+            padded: false,
+        }
     }
 
     /// The same workload with padded (conflict-free) counters.
@@ -73,7 +81,9 @@ impl Workload for FalseSharing {
                 inv.set(slot, v + 1);
             });
         }
-        (0..self.writers).map(|i| rt.peek1(counters, i * stride)).collect()
+        (0..self.writers)
+            .map(|i| rt.peek1(counters, i * stride))
+            .collect()
     }
 }
 

@@ -27,12 +27,18 @@ pub struct IndependentMap {
 impl IndependentMap {
     /// A representative configuration.
     pub fn default_size() -> IndependentMap {
-        IndependentMap { len: 1 << 14, sweeps: 4 }
+        IndependentMap {
+            len: 1 << 14,
+            sweeps: 4,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> IndependentMap {
-        IndependentMap { len: 256, sweeps: 2 }
+        IndependentMap {
+            len: 256,
+            sweeps: 2,
+        }
     }
 }
 
@@ -51,7 +57,9 @@ impl Workload for IndependentMap {
         }
         let mut checksum = 0u64;
         for i in 0..self.len {
-            checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek1(a, i) as u32 as u64);
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(rt.peek1(a, i) as u32 as u64);
         }
         checksum
     }
@@ -59,12 +67,14 @@ impl Workload for IndependentMap {
 
 /// Runs the map under LCM-mcc with the given flush policy.
 pub fn run_with_flush(policy: FlushPolicy, nodes: usize, w: &IndependentMap) -> (u64, RunResult) {
-    let cfg = RuntimeConfig { flush: policy, ..RuntimeConfig::default() };
+    let cfg = RuntimeConfig {
+        flush: policy,
+        ..RuntimeConfig::default()
+    };
     let mem = Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc);
     let mut rt = Runtime::with_config(mem, Strategy::LcmDirectives, cfg);
     let out = w.run(&mut rt);
-    let machine = &rt.mem().tempest().machine;
-    (out, RunResult { system: SystemKind::LcmMcc, time: machine.time(), totals: machine.total_stats() })
+    (out, RunResult::harvest(SystemKind::LcmMcc, rt.mem()))
 }
 
 #[cfg(test)]

@@ -28,12 +28,20 @@ pub struct Jacobi {
 impl Jacobi {
     /// A representative configuration.
     pub fn default_size() -> Jacobi {
-        Jacobi { size: 48, tolerance: 5.0, max_iters: 600 }
+        Jacobi {
+            size: 48,
+            tolerance: 5.0,
+            max_iters: 600,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> Jacobi {
-        Jacobi { size: 16, tolerance: 5.0, max_iters: 100 }
+        Jacobi {
+            size: 16,
+            tolerance: 5.0,
+            max_iters: 100,
+        }
     }
 }
 
@@ -86,7 +94,9 @@ impl Workload for Jacobi {
         let mut checksum = 0u64;
         for r in 0..n {
             for c in 0..n {
-                checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek2(m, r, c).to_bits() as u64);
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(rt.peek2(m, r, c).to_bits() as u64);
             }
         }
         (iters, last_residual.to_bits(), checksum)
@@ -110,15 +120,24 @@ mod tests {
         let w = Jacobi::small();
         let ((iters, residual_bits, _), _) =
             execute(SystemKind::LcmMcc, 4, RuntimeConfig::default(), &w);
-        assert!(iters < w.max_iters, "should converge before the cap, took {iters}");
+        assert!(
+            iters < w.max_iters,
+            "should converge before the cap, took {iters}"
+        );
         assert!(iters > 3, "a real relaxation takes several sweeps");
         assert!(f64::from_bits(residual_bits) < w.tolerance);
     }
 
     #[test]
     fn tighter_tolerance_takes_more_iterations() {
-        let loose = Jacobi { tolerance: 50.0, ..Jacobi::small() };
-        let tight = Jacobi { tolerance: 0.5, ..Jacobi::small() };
+        let loose = Jacobi {
+            tolerance: 50.0,
+            ..Jacobi::small()
+        };
+        let tight = Jacobi {
+            tolerance: 0.5,
+            ..Jacobi::small()
+        };
         let ((i_loose, ..), _) = execute(SystemKind::LcmMcc, 4, RuntimeConfig::default(), &loose);
         let ((i_tight, ..), _) = execute(SystemKind::LcmMcc, 4, RuntimeConfig::default(), &tight);
         assert!(i_tight > i_loose, "{i_tight} vs {i_loose}");
@@ -129,7 +148,11 @@ mod tests {
         // Laplace on a square with these boundary conditions has the
         // linear interpolant as its exact solution; after convergence the
         // mesh center must sit near the boundary profile's midpoint.
-        let w = Jacobi { size: 12, tolerance: 0.01, max_iters: 2000 };
+        let w = Jacobi {
+            size: 12,
+            tolerance: 0.01,
+            max_iters: 2000,
+        };
         let mem = lcm_core::Lcm::new(lcm_sim::MachineConfig::new(4), lcm_core::LcmVariant::Scc);
         let mut rt = Runtime::new(mem, lcm_cstar::Strategy::LcmDirectives);
         let n = w.size;
@@ -155,6 +178,9 @@ mod tests {
         }
         let center = rt.peek2(m, n / 2, n / 2);
         let expect = 100.0 * (1.0 - (n / 2) as f32 / (n - 1) as f32);
-        assert!((center - expect).abs() < 1.0, "center {center} vs linear profile {expect}");
+        assert!(
+            (center - expect).abs() < 1.0,
+            "center {center} vs linear profile {expect}"
+        );
     }
 }

@@ -38,12 +38,22 @@ pub struct NBody {
 impl NBody {
     /// A representative configuration.
     pub fn default_size() -> NBody {
-        NBody { bodies: 128, steps: 20, refresh_every: 4, seed: 7 }
+        NBody {
+            bodies: 128,
+            steps: 20,
+            refresh_every: 4,
+            seed: 7,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> NBody {
-        NBody { bodies: 48, steps: 8, refresh_every: 2, seed: 7 }
+        NBody {
+            bodies: 48,
+            steps: 8,
+            refresh_every: 2,
+            seed: 7,
+        }
     }
 }
 
@@ -68,7 +78,12 @@ fn body_addr(base: Addr, i: usize) -> Addr {
 
 /// Runs the simulation, returning the final positions and measurements.
 #[allow(clippy::needless_range_loop)] // vel[i] deliberately parallels the shared arrays' index space
-fn simulate<P: MemoryProtocol>(mem: &mut P, w: &NBody, lay: &Layout, refresh: bool) -> Vec<(f32, f32)> {
+fn simulate<P: MemoryProtocol>(
+    mem: &mut P,
+    w: &NBody,
+    lay: &Layout,
+    refresh: bool,
+) -> Vec<(f32, f32)> {
     let nodes = mem.tempest().nodes();
     let n = w.bodies;
     // Host-private per-body velocities: each body's velocity is touched
@@ -125,7 +140,10 @@ fn simulate<P: MemoryProtocol>(mem: &mut P, w: &NBody, lay: &Layout, refresh: bo
     (0..n)
         .map(|i| {
             let t = mem.tempest();
-            (t.mem.read_f32(body_addr(lay.px, i)), t.mem.read_f32(body_addr(lay.py, i)))
+            (
+                t.mem.read_f32(body_addr(lay.px, i)),
+                t.mem.read_f32(body_addr(lay.py, i)),
+            )
         })
         .collect()
 }
@@ -142,9 +160,12 @@ fn setup<P: MemoryProtocol>(mem: &mut P, w: &NBody) -> Layout {
         // Initialization through home memory: the measured run starts at
         // the first force step, as the paper's programs do.
         let t = mem.tempest_mut();
-        t.mem.write_f32(body_addr(lay.px, i), rng.next_f32() * 10.0 - 5.0);
-        t.mem.write_f32(body_addr(lay.py, i), rng.next_f32() * 10.0 - 5.0);
-        t.mem.write_f32(body_addr(lay.mass, i), 0.5 + rng.next_f32());
+        t.mem
+            .write_f32(body_addr(lay.px, i), rng.next_f32() * 10.0 - 5.0);
+        t.mem
+            .write_f32(body_addr(lay.py, i), rng.next_f32() * 10.0 - 5.0);
+        t.mem
+            .write_f32(body_addr(lay.mass, i), 0.5 + rng.next_f32());
     }
     lay
 }
@@ -157,8 +178,7 @@ pub fn run_nbody(system: NBodySystem, nodes: usize, w: &NBody) -> (Vec<(f32, f32
             let mut mem = Stache::new(MachineConfig::new(nodes));
             let lay = setup(&mut mem, w);
             let pos = simulate(&mut mem, w, &lay, false);
-            let machine = &mem.tempest().machine;
-            (pos, RunResult { system: SystemKind::Stache, time: machine.time(), totals: machine.total_stats() })
+            (pos, RunResult::harvest(SystemKind::Stache, &mem))
         }
         NBodySystem::StaleRegion => {
             let mut mem = Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc);
@@ -168,8 +188,7 @@ pub fn run_nbody(system: NBodySystem, nodes: usize, w: &NBody) -> (Vec<(f32, f32
             mem.register_stale_region(lay.py, bytes);
             mem.register_stale_region(lay.mass, bytes);
             let pos = simulate(&mut mem, w, &lay, true);
-            let machine = &mem.tempest().machine;
-            (pos, RunResult { system: SystemKind::LcmMcc, time: machine.time(), totals: machine.total_stats() })
+            (pos, RunResult::harvest(SystemKind::LcmMcc, &mem))
         }
     }
 }
@@ -201,7 +220,10 @@ mod tests {
 
     #[test]
     fn stale_and_coherent_agree_at_refresh_one() {
-        let w = NBody { refresh_every: 1, ..NBody::small() };
+        let w = NBody {
+            refresh_every: 1,
+            ..NBody::small()
+        };
         let (fresh, _) = run_nbody(NBodySystem::Coherent, 4, &w);
         let (stale, _) = run_nbody(NBodySystem::StaleRegion, 4, &w);
         assert_eq!(fresh, stale, "refreshing every step is exact");
@@ -212,14 +234,20 @@ mod tests {
         let reference = run_nbody(NBodySystem::Coherent, 4, &NBody::small()).0;
         let mut last_misses = u64::MAX;
         for k in [2usize, 4, 8] {
-            let w = NBody { refresh_every: k, ..NBody::small() };
+            let w = NBody {
+                refresh_every: k,
+                ..NBody::small()
+            };
             let (pos, run) = run_nbody(NBodySystem::StaleRegion, 4, &w);
             let err = rms_error(&reference, &pos);
             assert!(
                 err < POSITION_SCALE * 0.05,
                 "k={k}: stale far-field data should not derail the simulation (rms {err})"
             );
-            assert!(run.misses() < last_misses, "k={k}: misses should keep falling");
+            assert!(
+                run.misses() < last_misses,
+                "k={k}: misses should keep falling"
+            );
             last_misses = run.misses();
         }
     }

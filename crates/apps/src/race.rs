@@ -28,14 +28,21 @@ pub enum RaceKernel {
 impl RaceKernel {
     /// All kernels.
     pub fn all() -> [RaceKernel; 3] {
-        [RaceKernel::WriteWrite, RaceKernel::ReadWrite, RaceKernel::RaceFree]
+        [
+            RaceKernel::WriteWrite,
+            RaceKernel::ReadWrite,
+            RaceKernel::RaceFree,
+        ]
     }
 }
 
 /// Runs `kernel` on `nodes` processors under a conflict-detecting LCM and
 /// returns the reported conflicts.
 pub fn detect_races(kernel: RaceKernel, nodes: usize) -> Vec<ConflictRecord> {
-    let config = RuntimeConfig { detect_conflicts: true, ..RuntimeConfig::default() };
+    let config = RuntimeConfig {
+        detect_conflicts: true,
+        ..RuntimeConfig::default()
+    };
     let mem = Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc);
     let mut rt = Runtime::with_config(mem, Strategy::LcmDirectives, config);
     let a = rt.new_aggregate1::<i32>(nodes, Placement::Blocked, "cells");
@@ -72,8 +79,10 @@ mod tests {
     #[test]
     fn write_write_race_is_reported() {
         let conflicts = detect_races(RaceKernel::WriteWrite, 4);
-        let ww: Vec<_> =
-            conflicts.iter().filter(|c| matches!(c.kind, ConflictKind::WriteWrite)).collect();
+        let ww: Vec<_> = conflicts
+            .iter()
+            .filter(|c| matches!(c.kind, ConflictKind::WriteWrite))
+            .collect();
         // 4 writers claim one word: 3 conflicting pairs surface.
         assert_eq!(ww.len(), 3);
         assert!(ww.iter().all(|c| c.word == Some(0)));

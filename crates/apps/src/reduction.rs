@@ -12,7 +12,6 @@ use lcm_cstar::{Partition, Runtime, RuntimeConfig, Strategy};
 use lcm_rsm::{MemoryProtocol, ReduceOp};
 use lcm_sim::MachineConfig;
 use lcm_stache::Stache;
-use lcm_sim::NodeStats;
 use lcm_tempest::Placement;
 
 /// How the sum is implemented.
@@ -32,7 +31,11 @@ pub enum ReductionMethod {
 impl ReductionMethod {
     /// All methods, slowest-baseline first.
     pub fn all() -> [ReductionMethod; 3] {
-        [ReductionMethod::SharedAccumulator, ReductionMethod::ManualPartials, ReductionMethod::RsmReduce]
+        [
+            ReductionMethod::SharedAccumulator,
+            ReductionMethod::ManualPartials,
+            ReductionMethod::RsmReduce,
+        ]
     }
 
     /// Display label.
@@ -58,12 +61,18 @@ pub struct ArraySum {
 impl ArraySum {
     /// A representative configuration.
     pub fn default_size() -> ArraySum {
-        ArraySum { len: 1 << 16, passes: 4 }
+        ArraySum {
+            len: 1 << 16,
+            passes: 4,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> ArraySum {
-        ArraySum { len: 512, passes: 2 }
+        ArraySum {
+            len: 512,
+            passes: 2,
+        }
     }
 
     /// The exact expected sum for one pass.
@@ -118,19 +127,15 @@ pub fn run_reduction(method: ReductionMethod, nodes: usize, w: &ArraySum) -> (f6
             let mem = Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc);
             let mut rt = Runtime::with_config(mem, Strategy::LcmDirectives, cfg);
             let sum = generic_run(&mut rt, w, method);
-            (sum, harvest(SystemKind::LcmMcc, rt.mem().tempest().machine.time(), rt.mem().tempest().machine.total_stats()))
+            (sum, RunResult::harvest(SystemKind::LcmMcc, rt.mem()))
         }
         _ => {
             let mem = Stache::new(MachineConfig::new(nodes));
             let mut rt = Runtime::with_config(mem, Strategy::ExplicitCopy, cfg);
             let sum = generic_run(&mut rt, w, method);
-            (sum, harvest(SystemKind::Stache, rt.mem().tempest().machine.time(), rt.mem().tempest().machine.total_stats()))
+            (sum, RunResult::harvest(SystemKind::Stache, rt.mem()))
         }
     }
-}
-
-fn harvest(system: SystemKind, time: u64, totals: NodeStats) -> RunResult {
-    RunResult { system, time, totals }
 }
 
 #[cfg(test)]
@@ -149,7 +154,10 @@ mod tests {
 
     #[test]
     fn rsm_reduce_beats_the_shared_accumulator() {
-        let w = ArraySum { len: 4096, passes: 2 };
+        let w = ArraySum {
+            len: 4096,
+            passes: 2,
+        };
         let (_, rsm) = run_reduction(ReductionMethod::RsmReduce, 16, &w);
         let (_, shared) = run_reduction(ReductionMethod::SharedAccumulator, 16, &w);
         assert!(
@@ -162,7 +170,10 @@ mod tests {
 
     #[test]
     fn rsm_reduce_is_competitive_with_manual_partials() {
-        let w = ArraySum { len: 4096, passes: 2 };
+        let w = ArraySum {
+            len: 4096,
+            passes: 2,
+        };
         let (_, rsm) = run_reduction(ReductionMethod::RsmReduce, 16, &w);
         let (_, manual) = run_reduction(ReductionMethod::ManualPartials, 16, &w);
         // The paper's claim is not that RSM beats the hand-rewrite, only

@@ -33,7 +33,11 @@ impl SweepPoint {
 
 /// Sweeps the remote round-trip latency (cycles) for the dynamic stencil.
 pub fn sweep_remote_latency(latencies: &[u64], nodes: usize, w: &Stencil) -> Vec<SweepPoint> {
-    assert_eq!(w.partition, Partition::Dynamic, "the sweep studies the dynamic contest");
+    assert_eq!(
+        w.partition,
+        Partition::Dynamic,
+        "the sweep studies the dynamic contest"
+    );
     latencies
         .iter()
         .map(|&lat| {
@@ -43,7 +47,11 @@ pub fn sweep_remote_latency(latencies: &[u64], nodes: usize, w: &Stencil) -> Vec
             let cfg = RuntimeConfig::default();
             let lcm = execute_with_cost(SystemKind::LcmMcc, nodes, cost, cfg, w).1;
             let stache = execute_with_cost(SystemKind::Stache, nodes, cost, cfg, w).1;
-            SweepPoint { x: lat, lcm, stache }
+            SweepPoint {
+                x: lat,
+                lcm,
+                stache,
+            }
         })
         .collect()
 }
@@ -56,7 +64,11 @@ pub fn sweep_nodes(node_counts: &[usize], w: &Stencil) -> Vec<SweepPoint> {
             let cfg = RuntimeConfig::default();
             let lcm = execute_with_cost(SystemKind::LcmMcc, n, CostModel::cm5(), cfg, w).1;
             let stache = execute_with_cost(SystemKind::Stache, n, CostModel::cm5(), cfg, w).1;
-            SweepPoint { x: n as u64, lcm, stache }
+            SweepPoint {
+                x: n as u64,
+                lcm,
+                stache,
+            }
         })
         .collect()
 }
@@ -66,7 +78,12 @@ mod tests {
     use super::*;
 
     fn workload() -> Stencil {
-        Stencil { rows: 96, cols: 96, iters: 5, partition: Partition::Dynamic }
+        Stencil {
+            rows: 96,
+            cols: 96,
+            iters: 5,
+            partition: Partition::Dynamic,
+        }
     }
 
     #[test]
@@ -103,7 +120,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "dynamic contest")]
     fn static_workload_rejected() {
-        let w = Stencil { partition: Partition::Static, ..workload() };
+        let w = Stencil {
+            partition: Partition::Static,
+            ..workload()
+        };
         sweep_remote_latency(&[100], 4, &w);
     }
 }

@@ -33,12 +33,20 @@ pub struct StaleData {
 impl StaleData {
     /// A representative configuration.
     pub fn default_size() -> StaleData {
-        StaleData { field_words: 512, iters: 40, refresh_every: 8 }
+        StaleData {
+            field_words: 512,
+            iters: 40,
+            refresh_every: 8,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> StaleData {
-        StaleData { field_words: 64, iters: 10, refresh_every: 4 }
+        StaleData {
+            field_words: 64,
+            iters: 10,
+            refresh_every: 4,
+        }
     }
 }
 
@@ -69,7 +77,11 @@ fn drive<P: MemoryProtocol>(mem: &mut P, base: lcm_sim::Addr, w: &StaleData, ref
     for iter in 0..w.iters {
         // Producer updates the whole field.
         for i in 0..w.field_words {
-            mem.write_f32(producer, base.offset(i as u64 * 4), (iter * w.field_words + i) as f32);
+            mem.write_f32(
+                producer,
+                base.offset(i as u64 * 4),
+                (iter * w.field_words + i) as f32,
+            );
         }
         mem.barrier();
         // Consumers sweep the field.
@@ -99,18 +111,24 @@ pub fn run_stale(system: StaleSystem, nodes: usize, w: &StaleData) -> (f64, RunR
     match system {
         StaleSystem::Coherent => {
             let mut mem = Stache::new(mc);
-            let base = mem.tempest_mut().alloc((w.field_words * 4) as u64, Placement::OnNode(NodeId(0)), "field");
+            let base = mem.tempest_mut().alloc(
+                (w.field_words * 4) as u64,
+                Placement::OnNode(NodeId(0)),
+                "field",
+            );
             let staleness = drive(&mut mem, base, w, false);
-            let machine = &mem.tempest().machine;
-            (staleness, RunResult { system: SystemKind::Stache, time: machine.time(), totals: machine.total_stats() })
+            (staleness, RunResult::harvest(SystemKind::Stache, &mem))
         }
         StaleSystem::StaleRegion => {
             let mut mem = Lcm::new(mc, LcmVariant::Mcc);
-            let base = mem.tempest_mut().alloc((w.field_words * 4) as u64, Placement::OnNode(NodeId(0)), "field");
+            let base = mem.tempest_mut().alloc(
+                (w.field_words * 4) as u64,
+                Placement::OnNode(NodeId(0)),
+                "field",
+            );
             mem.register_stale_region(base, (w.field_words * 4) as u64);
             let staleness = drive(&mut mem, base, w, true);
-            let machine = &mem.tempest().machine;
-            (staleness, RunResult { system: SystemKind::LcmMcc, time: machine.time(), totals: machine.total_stats() })
+            (staleness, RunResult::harvest(SystemKind::LcmMcc, &mem))
         }
     }
 }
@@ -142,8 +160,14 @@ mod tests {
 
     #[test]
     fn shorter_refresh_interval_means_fresher_data_and_more_misses() {
-        let every2 = StaleData { refresh_every: 2, ..StaleData::small() };
-        let every5 = StaleData { refresh_every: 5, ..StaleData::small() };
+        let every2 = StaleData {
+            refresh_every: 2,
+            ..StaleData::small()
+        };
+        let every5 = StaleData {
+            refresh_every: 5,
+            ..StaleData::small()
+        };
         let (lag2, run2) = run_stale(StaleSystem::StaleRegion, 4, &every2);
         let (lag5, run5) = run_stale(StaleSystem::StaleRegion, 4, &every5);
         assert!(lag2 < lag5, "refreshing more often reads fresher data");

@@ -30,12 +30,22 @@ pub struct Stencil {
 impl Stencil {
     /// The paper's configuration at the given schedule.
     pub fn paper(partition: Partition) -> Stencil {
-        Stencil { rows: 1024, cols: 1024, iters: 50, partition }
+        Stencil {
+            rows: 1024,
+            cols: 1024,
+            iters: 50,
+            partition,
+        }
     }
 
     /// A scaled-down configuration for tests and quick runs.
     pub fn small(partition: Partition) -> Stencil {
-        Stencil { rows: 64, cols: 64, iters: 5, partition }
+        Stencil {
+            rows: 64,
+            cols: 64,
+            iters: 5,
+            partition,
+        }
     }
 }
 
@@ -69,7 +79,9 @@ impl Workload for Stencil {
         let mut checksum = 0u64;
         for r in 0..rows {
             for c in 0..cols {
-                checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek2(m, r, c).to_bits() as u64);
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(rt.peek2(m, r, c).to_bits() as u64);
             }
         }
         checksum
@@ -84,13 +96,21 @@ mod tests {
 
     #[test]
     fn all_systems_agree_static() {
-        let results = execute_all(4, RuntimeConfig::default(), &Stencil::small(Partition::Static));
+        let results = execute_all(
+            4,
+            RuntimeConfig::default(),
+            &Stencil::small(Partition::Static),
+        );
         assert_eq!(results.len(), 3);
     }
 
     #[test]
     fn all_systems_agree_dynamic() {
-        execute_all(4, RuntimeConfig::default(), &Stencil::small(Partition::Dynamic));
+        execute_all(
+            4,
+            RuntimeConfig::default(),
+            &Stencil::small(Partition::Dynamic),
+        );
     }
 
     #[test]
@@ -113,15 +133,30 @@ mod tests {
         }
         let near = rt.peek2(m, 1, 8);
         let far = rt.peek2(m, 8, 8);
-        assert!(near > far, "heat should diffuse from the hot edge: {near} vs {far}");
+        assert!(
+            near > far,
+            "heat should diffuse from the hot edge: {near} vs {far}"
+        );
         assert!(near > 0.0);
     }
 
     #[test]
     fn stache_static_beats_stache_dynamic() {
         let cfg = RuntimeConfig::default();
-        let stat = execute(SystemKind::Stache, 8, cfg, &Stencil::small(Partition::Static)).1;
-        let dyn_ = execute(SystemKind::Stache, 8, cfg, &Stencil::small(Partition::Dynamic)).1;
+        let stat = execute(
+            SystemKind::Stache,
+            8,
+            cfg,
+            &Stencil::small(Partition::Static),
+        )
+        .1;
+        let dyn_ = execute(
+            SystemKind::Stache,
+            8,
+            cfg,
+            &Stencil::small(Partition::Dynamic),
+        )
+        .1;
         assert!(
             dyn_.misses() > stat.misses() * 2,
             "dynamic scheduling should wreck Stache locality: {} vs {}",
@@ -143,6 +178,11 @@ mod tests {
             scc.misses(),
             mcc.misses()
         );
-        assert!(scc.time > mcc.time, "scc should be slower: {} vs {}", scc.time, mcc.time);
+        assert!(
+            scc.time > mcc.time,
+            "scc should be slower: {} vs {}",
+            scc.time,
+            mcc.time
+        );
     }
 }

@@ -30,12 +30,22 @@ pub struct Threshold {
 impl Threshold {
     /// The paper's configuration.
     pub fn paper() -> Threshold {
-        Threshold { size: 512, iters: 50, threshold: 1.0, sources: 6 }
+        Threshold {
+            size: 512,
+            iters: 50,
+            threshold: 1.0,
+            sources: 6,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> Threshold {
-        Threshold { size: 48, iters: 6, threshold: 1.0, sources: 3 }
+        Threshold {
+            size: 48,
+            iters: 6,
+            threshold: 1.0,
+            sources: 3,
+        }
     }
 
     /// Deterministic source positions, spread over the mesh.
@@ -58,7 +68,13 @@ impl Workload for Threshold {
         let n = self.size;
         let m = rt.new_aggregate2::<f32>(n, n, Placement::Blocked, "mesh");
         let sources = self.source_cells();
-        rt.init2(m, |r, c| if sources.contains(&(r, c)) { 100.0 } else { 0.0 });
+        rt.init2(m, |r, c| {
+            if sources.contains(&(r, c)) {
+                100.0
+            } else {
+                0.0
+            }
+        });
 
         let mut updates = 0u64;
         let thresh = self.threshold;
@@ -103,7 +119,9 @@ impl Workload for Threshold {
         let mut checksum = 0u64;
         for r in 0..n {
             for c in 0..n {
-                checksum = checksum.wrapping_mul(31).wrapping_add(rt.peek2(m, r, c).to_bits() as u64);
+                checksum = checksum
+                    .wrapping_mul(31)
+                    .wrapping_add(rt.peek2(m, r, c).to_bits() as u64);
             }
         }
         (checksum, updates)
@@ -139,12 +157,27 @@ mod tests {
         // a mesh large enough that the sparse update front (not protocol
         // fixed costs) dominates, as in the paper's 512x512 runs.
         let cfg = RuntimeConfig::default();
-        let w = Threshold { size: 128, iters: 6, threshold: 1.0, sources: 4 };
+        let w = Threshold {
+            size: 128,
+            iters: 6,
+            threshold: 1.0,
+            sources: 4,
+        };
         let mcc = execute(SystemKind::LcmMcc, 8, cfg, &w).1;
         let scc = execute(SystemKind::LcmScc, 8, cfg, &w).1;
         let stache = execute(SystemKind::Stache, 8, cfg, &w).1;
-        assert!(stache.time > mcc.time, "Stache {} vs LCM-mcc {}", stache.time, mcc.time);
-        assert!(stache.time > scc.time, "Stache {} vs LCM-scc {}", stache.time, scc.time);
+        assert!(
+            stache.time > mcc.time,
+            "Stache {} vs LCM-mcc {}",
+            stache.time,
+            mcc.time
+        );
+        assert!(
+            stache.time > scc.time,
+            "Stache {} vs LCM-scc {}",
+            stache.time,
+            scc.time
+        );
         assert!(stache.misses() > mcc.misses());
     }
 

@@ -30,12 +30,22 @@ pub struct Unstructured {
 impl Unstructured {
     /// The paper's configuration.
     pub fn paper() -> Unstructured {
-        Unstructured { nodes: 256, edges: 1024, iters: 512, seed: 42 }
+        Unstructured {
+            nodes: 256,
+            edges: 1024,
+            iters: 512,
+            seed: 42,
+        }
     }
 
     /// A scaled-down configuration for tests.
     pub fn small() -> Unstructured {
-        Unstructured { nodes: 64, edges: 192, iters: 10, seed: 42 }
+        Unstructured {
+            nodes: 64,
+            edges: 192,
+            iters: 10,
+            seed: 42,
+        }
     }
 
     /// Builds the CSR adjacency of a deterministic random multigraph.
@@ -79,7 +89,8 @@ impl Workload for Unstructured {
         // The graph structure lives in shared memory too: index loads are
         // real protocol accesses, as in the paper's pointer-based mesh.
         let offs = rt.new_aggregate1::<u32>(offsets.len(), Placement::Blocked, "offsets");
-        let neigh = rt.new_aggregate1::<u32>(neighbors.len().max(1), Placement::Blocked, "neighbors");
+        let neigh =
+            rt.new_aggregate1::<u32>(neighbors.len().max(1), Placement::Blocked, "neighbors");
         let vals = rt.new_aggregate1::<f32>(self.nodes, Placement::Blocked, "values");
         rt.init1(offs, |i| offsets[i]);
         rt.init1(neigh, |i| neighbors.get(i).copied().unwrap_or(0));
@@ -114,8 +125,9 @@ impl Workload for Unstructured {
 
         let mut checksum = 0u64;
         for &slot in slot_of.iter() {
-            checksum =
-                checksum.wrapping_mul(31).wrapping_add(rt.peek1(vals, slot as usize).to_bits() as u64);
+            checksum = checksum
+                .wrapping_mul(31)
+                .wrapping_add(rt.peek1(vals, slot as usize).to_bits() as u64);
         }
         checksum
     }
@@ -145,7 +157,10 @@ mod tests {
 
     #[test]
     fn values_relax_toward_neighborhood_average() {
-        let w = Unstructured { iters: 200, ..Unstructured::small() };
+        let w = Unstructured {
+            iters: 200,
+            ..Unstructured::small()
+        };
         let (checksum_long, _) = execute(SystemKind::LcmMcc, 4, RuntimeConfig::default(), &w);
         // After long relaxation the values converge: the run is stable and
         // deterministic (same checksum when repeated).
@@ -160,9 +175,19 @@ mod tests {
         // Needs the paper's graph size: with fewer nodes per processor the
         // per-phase fixed costs dominate and the systems converge.
         let cfg = RuntimeConfig::default();
-        let w = Unstructured { nodes: 256, edges: 1024, iters: 20, seed: 42 };
+        let w = Unstructured {
+            nodes: 256,
+            edges: 1024,
+            iters: 20,
+            seed: 42,
+        };
         let mcc = execute(SystemKind::LcmMcc, 16, cfg, &w).1;
         let stache = execute(SystemKind::Stache, 16, cfg, &w).1;
-        assert!(stache.time > mcc.time, "Stache {} vs LCM-mcc {}", stache.time, mcc.time);
+        assert!(
+            stache.time > mcc.time,
+            "Stache {} vs LCM-mcc {}",
+            stache.time,
+            mcc.time
+        );
     }
 }

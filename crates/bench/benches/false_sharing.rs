@@ -8,16 +8,30 @@ use lcm_cstar::RuntimeConfig;
 fn bench_false_sharing(c: &mut Criterion) {
     let mut group = c.benchmark_group("false_sharing");
     group.sample_size(10);
-    let w = FalseSharing { writers: 8, rounds: 50, padded: false };
+    let w = FalseSharing {
+        writers: 8,
+        rounds: 50,
+        padded: false,
+    };
     for (label, sys, wl) in [
         ("stache-packed", SystemKind::Stache, w),
         ("stache-padded", SystemKind::Stache, w.padded()),
         ("lcm-mcc-packed", SystemKind::LcmMcc, w),
     ] {
         let (_, r) = execute(sys, w.writers, RuntimeConfig::default(), &wl);
-        println!("{label}: {} simulated cycles, {} misses", r.time, r.misses());
+        println!(
+            "{label}: {} simulated cycles, {} misses",
+            r.time,
+            r.misses()
+        );
         group.bench_function(label, |bench| {
-            bench.iter(|| std::hint::black_box(execute(sys, w.writers, RuntimeConfig::default(), &wl).1.time));
+            bench.iter(|| {
+                std::hint::black_box(
+                    execute(sys, w.writers, RuntimeConfig::default(), &wl)
+                        .1
+                        .time,
+                )
+            });
         });
     }
     group.finish();

@@ -12,12 +12,19 @@ fn bench_stencil(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_stencil");
     group.sample_size(10);
     for (tag, partition) in [("stat", Partition::Static), ("dyn", Partition::Dynamic)] {
-        let w = Stencil { rows: 96, cols: 96, iters: 4, partition };
+        let w = Stencil {
+            rows: 96,
+            cols: 96,
+            iters: 4,
+            partition,
+        };
         for s in SystemKind::all() {
             let (_, r) = execute(s, 8, RuntimeConfig::default(), &w);
             println!("Stencil-{tag} / {}: {} simulated cycles", s.label(), r.time);
             group.bench_function(format!("stencil-{tag}/{}", s.label()), |bench| {
-                bench.iter(|| std::hint::black_box(execute(s, 8, RuntimeConfig::default(), &w).1.time));
+                bench.iter(|| {
+                    std::hint::black_box(execute(s, 8, RuntimeConfig::default(), &w).1.time)
+                });
             });
         }
     }

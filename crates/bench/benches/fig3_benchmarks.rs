@@ -11,7 +11,12 @@ use lcm_apps::SystemKind;
 fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3");
     group.sample_size(10);
-    for b in [Benchmark::AdaptiveStat, Benchmark::AdaptiveDyn, Benchmark::Threshold, Benchmark::Unstructured] {
+    for b in [
+        Benchmark::AdaptiveStat,
+        Benchmark::AdaptiveDyn,
+        Benchmark::Threshold,
+        Benchmark::Unstructured,
+    ] {
         for s in SystemKind::all() {
             let r = b.run(Scale::Smoke, s);
             println!("{} / {}: {} simulated cycles", b.label(), s.label(), r.time);

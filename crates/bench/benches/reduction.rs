@@ -7,10 +7,18 @@ use lcm_apps::reduction::{run_reduction, ArraySum, ReductionMethod};
 fn bench_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("reduction");
     group.sample_size(10);
-    let w = ArraySum { len: 4096, passes: 1 };
+    let w = ArraySum {
+        len: 4096,
+        passes: 1,
+    };
     for method in ReductionMethod::all() {
         let (_, r) = run_reduction(method, 8, &w);
-        println!("{}: {} simulated cycles, {} misses", method.label(), r.time, r.misses());
+        println!(
+            "{}: {} simulated cycles, {} misses",
+            method.label(),
+            r.time,
+            r.misses()
+        );
         group.bench_function(method.label(), |bench| {
             bench.iter(|| std::hint::black_box(run_reduction(method, 8, &w).1.time));
         });

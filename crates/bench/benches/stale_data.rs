@@ -7,16 +7,31 @@ use lcm_apps::stale_data::{run_stale, StaleData, StaleSystem};
 fn bench_stale(c: &mut Criterion) {
     let mut group = c.benchmark_group("stale_data");
     group.sample_size(10);
-    let base = StaleData { field_words: 256, iters: 20, refresh_every: 8 };
+    let base = StaleData {
+        field_words: 256,
+        iters: 20,
+        refresh_every: 8,
+    };
     let (_, r) = run_stale(StaleSystem::Coherent, 8, &base);
-    println!("coherent: {} simulated cycles, {} misses", r.time, r.misses());
+    println!(
+        "coherent: {} simulated cycles, {} misses",
+        r.time,
+        r.misses()
+    );
     group.bench_function("coherent", |bench| {
         bench.iter(|| std::hint::black_box(run_stale(StaleSystem::Coherent, 8, &base).1.time));
     });
     for k in [2usize, 8] {
-        let w = StaleData { refresh_every: k, ..base };
+        let w = StaleData {
+            refresh_every: k,
+            ..base
+        };
         let (_, r) = run_stale(StaleSystem::StaleRegion, 8, &w);
-        println!("stale k={k}: {} simulated cycles, {} misses", r.time, r.misses());
+        println!(
+            "stale k={k}: {} simulated cycles, {} misses",
+            r.time,
+            r.misses()
+        );
         group.bench_function(format!("stale-k{k}"), |bench| {
             bench.iter(|| std::hint::black_box(run_stale(StaleSystem::StaleRegion, 8, &w).1.time));
         });

@@ -15,7 +15,13 @@ fn bench_table1(c: &mut Criterion) {
     for b in Benchmark::all() {
         for s in SystemKind::all() {
             let r = b.run(Scale::Smoke, s);
-            println!("{} / {}: misses={} clean={}", b.label(), s.label(), r.misses(), r.clean_copies());
+            println!(
+                "{} / {}: misses={} clean={}",
+                b.label(),
+                s.label(),
+                r.misses(),
+                r.clean_copies()
+            );
             group.bench_function(format!("{}/{}", b.label(), s.label()), |bench| {
                 bench.iter(|| std::hint::black_box(b.run(Scale::Smoke, s).misses()));
             });

@@ -24,9 +24,11 @@ use lcm_apps::reduction::{run_reduction, ArraySum, ReductionMethod};
 use lcm_apps::sensitivity::{sweep_nodes, sweep_remote_latency};
 use lcm_apps::stale_data::{run_stale, StaleData, StaleSystem};
 use lcm_apps::stencil::Stencil;
-use lcm_apps::{execute, SystemKind};
-use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
+use lcm_apps::threshold::Threshold;
+use lcm_apps::{execute, execute_with_faults, SystemKind, Workload};
 use lcm_bench::BarChart;
+use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
+use lcm_sim::FaultConfig;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -35,10 +37,26 @@ fn main() {
     let mut scale = Scale::Medium;
     let mut csv_dir: Option<PathBuf> = None;
     let mut svg_dir: Option<PathBuf> = None;
+    let mut fault_point: Option<(f64, u64)> = None;
     let mut what = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--faults" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--faults requires <drop_rate>:<seed>");
+                    std::process::exit(2);
+                };
+                fault_point = match parse_faults(spec) {
+                    Some(p) => Some(p),
+                    None => {
+                        eprintln!(
+                            "bad --faults spec {spec:?} (want <drop_rate>:<seed>, e.g. 0.01:42)"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--svg" => {
                 let Some(dir) = it.next() else {
                     eprintln!("--svg requires a directory");
@@ -66,8 +84,8 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR] \
-                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|all]"
+                    "repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR] [--faults RATE:SEED] \
+                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|all]"
                 );
                 return;
             }
@@ -80,9 +98,15 @@ fn main() {
     let all = what.iter().any(|w| w == "all");
     let wants = |k: &str| all || what.iter().any(|w| w == k);
 
-    let needs_suite = all || what.iter().any(|w| matches!(w.as_str(), "table1" | "fig2" | "fig3" | "claims"));
+    let needs_suite = all
+        || what
+            .iter()
+            .any(|w| matches!(w.as_str(), "table1" | "fig2" | "fig3" | "claims"));
     let suite = if needs_suite {
-        eprintln!("running the benchmark suite at scale '{scale}' ({} processors)…", scale.nodes());
+        eprintln!(
+            "running the benchmark suite at scale '{scale}' ({} processors)…",
+            scale.nodes()
+        );
         let t0 = Instant::now();
         let s = Suite::run(scale);
         eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
@@ -130,8 +154,13 @@ fn main() {
     if wants("races") {
         print_races();
     }
-    if let (Some(dir), Some(suite)) = (csv_dir, suite.as_ref()) {
-        if let Err(e) = write_csv(&dir, suite) {
+    let faults_csv = if wants("faults") || fault_point.is_some() {
+        Some(print_faults(scale, fault_point))
+    } else {
+        None
+    };
+    if let Some(dir) = csv_dir {
+        if let Err(e) = write_all_csv(&dir, suite.as_ref(), faults_csv.as_deref()) {
             eprintln!("failed to write CSV files to {}: {e}", dir.display());
             std::process::exit(1);
         }
@@ -151,7 +180,11 @@ fn write_svg(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
     let series = ["LCM-scc", "LCM-mcc", "Stache"];
     for (file, title, rows) in [
         ("fig2.svg", "Figure 2: Stencil execution time", suite.fig2()),
-        ("fig3.svg", "Figure 3: benchmark execution time", suite.fig3()),
+        (
+            "fig3.svg",
+            "Figure 3: benchmark execution time",
+            suite.fig3(),
+        ),
     ] {
         let mut chart = BarChart::new(title, "simulated cycles", &series);
         let mut groups: Vec<(Benchmark, [f64; 3])> = Vec::new();
@@ -178,9 +211,25 @@ fn write_svg(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
     Ok(())
 }
 
+fn write_all_csv(
+    dir: &std::path::Path,
+    suite: Option<&Suite>,
+    faults_csv: Option<&str>,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    if let Some(suite) = suite {
+        write_csv(dir, suite)?;
+    }
+    if let Some(faults) = faults_csv {
+        std::fs::write(dir.join("faults.csv"), faults)?;
+    }
+    Ok(())
+}
+
 fn write_csv(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    let mut table1 = String::from("program,misses_scc,misses_mcc,misses_copying,clean_scc,clean_mcc\n");
+    let mut table1 =
+        String::from("program,misses_scc,misses_mcc,misses_copying,clean_scc,clean_mcc\n");
     for (b, misses, clean) in suite.table1() {
         table1.push_str(&format!(
             "{},{},{},{},{},{}\n",
@@ -200,14 +249,175 @@ fn write_csv(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
         }
         std::fs::write(dir.join(name), csv)?;
     }
+    // Per-kind message counts and fault/retry counters for every run.
+    let mut messages = String::from("program,system,kind,count\n");
+    let mut net = String::from(
+        "program,system,msgs_delivered,blocks,retries,timeouts,dropped,duplicated,stall_cycles\n",
+    );
+    for b in Benchmark::all() {
+        for s in SystemKind::all() {
+            let r = suite.result(b, s);
+            for (kind, n) in &r.msg_kinds {
+                if *n > 0 {
+                    messages.push_str(&format!(
+                        "{},{},{},{n}\n",
+                        b.label(),
+                        s.label(),
+                        kind.label()
+                    ));
+                }
+            }
+            net.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                b.label(),
+                s.label(),
+                r.msgs_total(),
+                r.totals.blocks_sent,
+                r.totals.retries,
+                r.totals.timeouts,
+                r.totals.msgs_dropped,
+                r.totals.msgs_duplicated,
+                r.totals.stall_cycles,
+            ));
+        }
+    }
+    std::fs::write(dir.join("messages.csv"), messages)?;
+    std::fs::write(dir.join("network.csv"), net)?;
     Ok(())
+}
+
+fn parse_faults(spec: &str) -> Option<(f64, u64)> {
+    let (rate, seed) = spec.split_once(':')?;
+    let rate: f64 = rate.parse().ok()?;
+    let seed: u64 = seed.parse().ok()?;
+    (0.0..=1.0).contains(&rate).then_some((rate, seed))
+}
+
+/// The unreliable-network sweep: execution-time slowdown vs message drop
+/// rate, for all three systems on two benchmarks. Returns the CSV rows.
+fn print_faults(scale: Scale, custom: Option<(f64, u64)>) -> String {
+    let seed = custom.map_or(0xC0FFEE, |(_, s)| s);
+    let mut rates = vec![0.0, 0.001, 0.01, 0.05];
+    if let Some((r, _)) = custom {
+        if !rates.contains(&r) {
+            rates.push(r);
+            rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        }
+    }
+    println!("== Unreliable network: slowdown vs message drop rate (seed {seed}) ==");
+    println!("   each drop costs a timeout plus an exponentially backed-off retransmit;");
+    println!("   outputs are checked bit-identical to the fault-free run, and every run");
+    println!("   ends with the coherence-invariant sanitizer");
+    let nodes = scale.nodes();
+    let mut csv = String::from(
+        "benchmark,system,drop_rate,seed,cycles,slowdown,msgs_delivered,retries,timeouts,dropped,duplicated\n",
+    );
+    let stencil = match scale {
+        Scale::Paper => Stencil {
+            rows: 256,
+            cols: 256,
+            iters: 10,
+            partition: Partition::Dynamic,
+        },
+        Scale::Medium => Stencil {
+            rows: 128,
+            cols: 128,
+            iters: 6,
+            partition: Partition::Dynamic,
+        },
+        Scale::Smoke => Stencil {
+            rows: 48,
+            cols: 48,
+            iters: 3,
+            partition: Partition::Dynamic,
+        },
+    };
+    sweep_faults("Stencil-dyn", nodes, &stencil, &rates, seed, &mut csv);
+    let threshold = match scale {
+        Scale::Paper => Threshold {
+            size: 256,
+            iters: 15,
+            threshold: 1.0,
+            sources: 6,
+        },
+        Scale::Medium => Threshold {
+            size: 96,
+            iters: 8,
+            threshold: 1.0,
+            sources: 4,
+        },
+        Scale::Smoke => Threshold::small(),
+    };
+    sweep_faults("Threshold", nodes, &threshold, &rates, seed, &mut csv);
+    println!();
+    csv
+}
+
+fn sweep_faults<W: Workload>(
+    name: &str,
+    nodes: usize,
+    w: &W,
+    rates: &[f64],
+    seed: u64,
+    csv: &mut String,
+) where
+    W::Output: PartialEq + std::fmt::Debug,
+{
+    println!("{name}:");
+    for system in SystemKind::all() {
+        let mut base: Option<(W::Output, u64)> = None;
+        let mut last_kinds = Vec::new();
+        for &rate in rates {
+            let faults = FaultConfig::drops(rate, seed);
+            let (out, r) = execute_with_faults(system, nodes, faults, RuntimeConfig::default(), w);
+            match &base {
+                None => base = Some((out, r.time)),
+                Some((expected, _)) => assert_eq!(
+                    expected, &out,
+                    "{name}/{system}: faults changed the result at drop rate {rate}"
+                ),
+            }
+            let slowdown = r.time as f64 / base.as_ref().expect("baseline recorded").1 as f64;
+            println!(
+                "  {:<8} drop={:<6} {:>13} cycles ({:>5.2}x)  retries={:<6} timeouts={:<6} dropped={:<6} dup={}",
+                system.label(),
+                rate,
+                r.time,
+                slowdown,
+                r.totals.retries,
+                r.totals.timeouts,
+                r.totals.msgs_dropped,
+                r.totals.msgs_duplicated,
+            );
+            csv.push_str(&format!(
+                "{name},{},{rate},{seed},{},{slowdown:.4},{},{},{},{},{}\n",
+                system.label(),
+                r.time,
+                r.msgs_total(),
+                r.totals.retries,
+                r.totals.timeouts,
+                r.totals.msgs_dropped,
+                r.totals.msgs_duplicated,
+            ));
+            last_kinds = r.msg_kinds;
+        }
+        let mix: Vec<String> = last_kinds
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(kind, n)| format!("{}={n}", kind.label()))
+            .collect();
+        println!("           msgs at max rate: {}", mix.join(" "));
+    }
 }
 
 fn print_flush_policy(scale: Scale) {
     println!("== §5.1 flush elision: per-invocation vs at-reconcile flushes ==");
     println!("   (sound when the compiler proves invocations touch distinct locations)");
     let w = match scale {
-        Scale::Paper => IndependentMap { len: 1 << 18, sweeps: 4 },
+        Scale::Paper => IndependentMap {
+            len: 1 << 18,
+            sweeps: 4,
+        },
         Scale::Medium => IndependentMap::default_size(),
         Scale::Smoke => IndependentMap::small(),
     };
@@ -228,7 +438,12 @@ fn print_flush_policy(scale: Scale) {
 
 fn print_cache_limit() {
     println!("== §6.3 limited-cache ablation: Stencil-stat on a bounded Stache ==");
-    let w = Stencil { rows: 256, cols: 256, iters: 10, partition: Partition::Static };
+    let w = Stencil {
+        rows: 256,
+        cols: 256,
+        iters: 10,
+        partition: Partition::Static,
+    };
     let nodes = 16;
     let chunk = chunk_blocks(&w, nodes);
     let lcm = execute(SystemKind::LcmMcc, nodes, RuntimeConfig::default(), &w).1;
@@ -299,8 +514,20 @@ fn print_table1(suite: &Suite) {
         let refs = b.paper_table1();
         let fmt_ref = |v: Option<f64>| v.map(|x| format!("({x:.0})")).unwrap_or_default();
         let (r_scc, r_mcc, r_cp, r_cscc, r_cmcc) = match refs {
-            Some((a, b2, c, d, e)) => (fmt_ref(a), fmt_ref(Some(b2)), fmt_ref(Some(c)), fmt_ref(d), fmt_ref(Some(e))),
-            None => (String::new(), String::new(), String::new(), String::new(), String::new()),
+            Some((a, b2, c, d, e)) => (
+                fmt_ref(a),
+                fmt_ref(Some(b2)),
+                fmt_ref(Some(c)),
+                fmt_ref(d),
+                fmt_ref(Some(e)),
+            ),
+            None => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ),
         };
         println!(
             "{:<14} | {:>8} {:>7} {:>8} {:>7} {:>8} {:>7} | {:>6} {:>7} {:>6} {:>7}",
@@ -334,7 +561,12 @@ fn print_fig(suite: &Suite, fig2: bool) {
             last = Some(b);
         }
         let base = suite.result(b, SystemKind::Stache).time as f64;
-        println!("  {:<8} {:>14} cycles   ({:.2}x vs Stache)", s.label(), time, time as f64 / base);
+        println!(
+            "  {:<8} {:>14} cycles   ({:.2}x vs Stache)",
+            s.label(),
+            time,
+            time as f64 / base
+        );
     }
     println!();
 }
@@ -355,13 +587,24 @@ fn print_claims(suite: &Suite) {
             ok += 1;
         }
     }
-    println!("{} of {} claims hold at scale '{}'\n", ok, claims.len(), suite.scale());
+    println!(
+        "{} of {} claims hold at scale '{}'\n",
+        ok,
+        claims.len(),
+        suite.scale()
+    );
 }
 
 fn print_reduction(scale: Scale) {
-    println!("== §7.1 Reductions: summing an array on {} processors ==", scale.nodes());
+    println!(
+        "== §7.1 Reductions: summing an array on {} processors ==",
+        scale.nodes()
+    );
     let w = match scale {
-        Scale::Paper => ArraySum { len: 1 << 20, passes: 2 },
+        Scale::Paper => ArraySum {
+            len: 1 << 20,
+            passes: 2,
+        },
         Scale::Medium => ArraySum::default_size(),
         Scale::Smoke => ArraySum::small(),
     };
@@ -392,7 +635,13 @@ fn print_false_sharing() {
         ("LCM-scc packed", SystemKind::LcmScc, w),
     ] {
         let (_, r) = execute(sys, w.writers, cfg, &wl);
-        println!("  {:<15} {:>12} cycles  misses={:<6} invalidations={}", label, r.time, r.misses(), r.totals.invalidations_sent);
+        println!(
+            "  {:<15} {:>12} cycles  misses={:<6} invalidations={}",
+            label,
+            r.time,
+            r.misses(),
+            r.totals.invalidations_sent
+        );
     }
     println!();
 }
@@ -401,9 +650,18 @@ fn print_stale() {
     println!("== §7.5 Stale data: producer field, consumers refresh every k ==");
     let base = StaleData::default_size();
     let (lag, r) = run_stale(StaleSystem::Coherent, 8, &base);
-    println!("  {:<22} {:>12} cycles  misses={:<6} staleness={}", "coherent (k=1)", r.time, r.misses(), lag);
+    println!(
+        "  {:<22} {:>12} cycles  misses={:<6} staleness={}",
+        "coherent (k=1)",
+        r.time,
+        r.misses(),
+        lag
+    );
     for k in [2usize, 4, 8, 16] {
-        let w = StaleData { refresh_every: k, ..base };
+        let w = StaleData {
+            refresh_every: k,
+            ..base
+        };
         let (lag, r) = run_stale(StaleSystem::StaleRegion, 8, &w);
         println!(
             "  {:<22} {:>12} cycles  misses={:<6} staleness={:.0}  refreshes={}",
@@ -421,9 +679,17 @@ fn print_nbody() {
     println!("== §7.5 N-body: stale far-field positions ==");
     let base = NBody::default_size();
     let (reference, coherent) = run_nbody(NBodySystem::Coherent, 8, &base);
-    println!("  {:<18} {:>12} cycles, {:>6} misses, rms error 0", "coherent", coherent.time, coherent.misses());
+    println!(
+        "  {:<18} {:>12} cycles, {:>6} misses, rms error 0",
+        "coherent",
+        coherent.time,
+        coherent.misses()
+    );
     for k in [2usize, 4, 8, 16] {
-        let w = NBody { refresh_every: k, ..base };
+        let w = NBody {
+            refresh_every: k,
+            ..base
+        };
         let (pos, run) = run_nbody(NBodySystem::StaleRegion, 8, &w);
         println!(
             "  {:<18} {:>12} cycles, {:>6} misses, rms error {:.4}",
@@ -439,22 +705,46 @@ fn print_nbody() {
 fn print_sweeps(scale: Scale) {
     println!("== Sensitivity: Stencil-dyn LCM-mcc advantage vs machine parameters ==");
     let w = match scale {
-        Scale::Paper => Stencil { rows: 512, cols: 512, iters: 10, partition: Partition::Dynamic },
-        Scale::Medium => Stencil { rows: 256, cols: 256, iters: 8, partition: Partition::Dynamic },
-        Scale::Smoke => Stencil { rows: 64, cols: 64, iters: 4, partition: Partition::Dynamic },
+        Scale::Paper => Stencil {
+            rows: 512,
+            cols: 512,
+            iters: 10,
+            partition: Partition::Dynamic,
+        },
+        Scale::Medium => Stencil {
+            rows: 256,
+            cols: 256,
+            iters: 8,
+            partition: Partition::Dynamic,
+        },
+        Scale::Smoke => Stencil {
+            rows: 64,
+            cols: 64,
+            iters: 4,
+            partition: Partition::Dynamic,
+        },
     };
-    println!("remote round-trip latency sweep ({} processors):", scale.nodes());
+    println!(
+        "remote round-trip latency sweep ({} processors):",
+        scale.nodes()
+    );
     for p in sweep_remote_latency(&[500, 1500, 3000, 6000, 12000], scale.nodes(), &w) {
         println!(
             "  remote_miss={:>6} cy: LCM-mcc {:>12}, Stache {:>12}  (advantage {:.2}x)",
-            p.x, p.lcm.time, p.stache.time, p.advantage()
+            p.x,
+            p.lcm.time,
+            p.stache.time,
+            p.advantage()
         );
     }
     println!("processor-count sweep (default cost model):");
     for p in sweep_nodes(&[4, 8, 16, 32], &w) {
         println!(
             "  P={:>2}: LCM-mcc {:>12}, Stache {:>12}  (advantage {:.2}x)",
-            p.x, p.lcm.time, p.stache.time, p.advantage()
+            p.x,
+            p.lcm.time,
+            p.stache.time,
+            p.advantage()
         );
     }
     println!();

@@ -14,7 +14,9 @@ pub struct BarChart {
 }
 
 /// One color per series, chosen for print contrast.
-const PALETTE: [&str; 6] = ["#4878a8", "#e49444", "#6a9f58", "#d1605e", "#855c8d", "#937860"];
+const PALETTE: [&str; 6] = [
+    "#4878a8", "#e49444", "#6a9f58", "#d1605e", "#855c8d", "#937860",
+];
 
 impl BarChart {
     /// An empty chart with the given title, y-axis label, and series
@@ -146,7 +148,9 @@ fn format_si(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -154,7 +158,11 @@ mod tests {
     use super::*;
 
     fn chart() -> BarChart {
-        let mut c = BarChart::new("Stencil execution time", "cycles", &["LCM-scc", "LCM-mcc", "Stache"]);
+        let mut c = BarChart::new(
+            "Stencil execution time",
+            "cycles",
+            &["LCM-scc", "LCM-mcc", "Stache"],
+        );
         c.push_group("Stencil-stat", &[2.5e9, 1.1e9, 2.2e8]);
         c.push_group("Stencil-dyn", &[7.3e9, 2.3e9, 2.8e9]);
         c
@@ -165,7 +173,11 @@ mod tests {
         let svg = chart().to_svg();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
-        assert_eq!(svg.matches("<rect").count(), 6 + 3, "6 bars + 3 legend swatches");
+        assert_eq!(
+            svg.matches("<rect").count(),
+            6 + 3,
+            "6 bars + 3 legend swatches"
+        );
         assert!(svg.contains("Stencil-stat"));
         assert!(svg.contains("LCM-mcc"));
         assert!(svg.contains("2.5G"));
@@ -175,7 +187,10 @@ mod tests {
     fn bars_scale_with_values() {
         let svg = chart().to_svg();
         // The tallest bar (7.3e9) spans the full plot height (300).
-        assert!(svg.contains(r#"height="300.0""#), "max bar fills the plot:\n{svg}");
+        assert!(
+            svg.contains(r#"height="300.0""#),
+            "max bar fills the plot:\n{svg}"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct PrivCopy {
 impl PrivCopy {
     /// A private copy initialized from `data` with nothing dirty.
     pub fn new(data: BlockBuf) -> PrivCopy {
-        PrivCopy { data, dirty: WordMask::empty() }
+        PrivCopy {
+            data,
+            dirty: WordMask::empty(),
+        }
     }
 }
 
@@ -85,7 +88,10 @@ impl CowEntry {
 
     /// Every node involved with the block this phase (for invalidation).
     pub fn participants(&self) -> SharerSet {
-        self.absorbed.union(self.readers).union(self.writers).union(self.mcc_clean)
+        self.absorbed
+            .union(self.readers)
+            .union(self.writers)
+            .union(self.mcc_clean)
     }
 
     /// Merges one flushed version into the pending value according to the
@@ -150,7 +156,8 @@ impl CowEntry {
                             } else {
                                 op.identity_bits()
                             };
-                            self.pending.set_word(w, op.combine_bits(cur, incoming) as u32);
+                            self.pending
+                                .set_word(w, op.combine_bits(cur, incoming) as u32);
                             self.word_writer[w] = node.0;
                         }
                     }
@@ -165,7 +172,8 @@ impl CowEntry {
                             );
                             let incoming = data.word(w) as u64 | ((data.word(w + 1) as u64) << 32);
                             let cur = if self.pending_mask.get(w) {
-                                self.pending.word(w) as u64 | ((self.pending.word(w + 1) as u64) << 32)
+                                self.pending.word(w) as u64
+                                    | ((self.pending.word(w + 1) as u64) << 32)
                             } else {
                                 op.identity_bits()
                             };
@@ -210,9 +218,23 @@ mod tests {
         let mut e = CowEntry::new(SharerSet::empty());
         let mut conflicts = Vec::new();
         let p = RegionPolicy::copy_on_write(MergePolicy::KeepOne);
-        let ww = e.merge_version(NodeId(1), &buf_with(&[(0, 10)]), mask_of(&[0]), p, BlockId(7), &mut conflicts);
+        let ww = e.merge_version(
+            NodeId(1),
+            &buf_with(&[(0, 10)]),
+            mask_of(&[0]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
         assert_eq!(ww, 0);
-        let ww = e.merge_version(NodeId(2), &buf_with(&[(3, 30)]), mask_of(&[3]), p, BlockId(7), &mut conflicts);
+        let ww = e.merge_version(
+            NodeId(2),
+            &buf_with(&[(3, 30)]),
+            mask_of(&[3]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
         assert_eq!(ww, 0);
         assert_eq!(e.pending.word(0), 10);
         assert_eq!(e.pending.word(3), 30);
@@ -228,8 +250,22 @@ mod tests {
         let mut e = CowEntry::new(SharerSet::empty());
         let mut conflicts = Vec::new();
         let p = RegionPolicy::copy_on_write(MergePolicy::KeepOne).detecting();
-        e.merge_version(NodeId(1), &buf_with(&[(2, 100)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
-        let ww = e.merge_version(NodeId(2), &buf_with(&[(2, 200)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
+        e.merge_version(
+            NodeId(1),
+            &buf_with(&[(2, 100)]),
+            mask_of(&[2]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
+        let ww = e.merge_version(
+            NodeId(2),
+            &buf_with(&[(2, 200)]),
+            mask_of(&[2]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
         assert_eq!(ww, 1);
         assert_eq!(e.pending.word(2), 200, "last arrival wins");
         assert_eq!(e.word_writer(2), Some(NodeId(2)));
@@ -243,9 +279,24 @@ mod tests {
     fn first_wins_keeps_earlier_claim() {
         let mut e = CowEntry::new(SharerSet::empty());
         let mut conflicts = Vec::new();
-        let p = RegionPolicy::copy_on_write(MergePolicy::KeepOneOrdered(KeepOrder::FirstWins)).detecting();
-        e.merge_version(NodeId(1), &buf_with(&[(2, 100)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
-        e.merge_version(NodeId(2), &buf_with(&[(2, 200), (3, 300)]), mask_of(&[2, 3]), p, BlockId(7), &mut conflicts);
+        let p = RegionPolicy::copy_on_write(MergePolicy::KeepOneOrdered(KeepOrder::FirstWins))
+            .detecting();
+        e.merge_version(
+            NodeId(1),
+            &buf_with(&[(2, 100)]),
+            mask_of(&[2]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
+        e.merge_version(
+            NodeId(2),
+            &buf_with(&[(2, 200), (3, 300)]),
+            mask_of(&[2, 3]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
         assert_eq!(e.pending.word(2), 100, "first arrival wins");
         assert_eq!(e.pending.word(3), 300, "unclaimed word still merges");
         assert_eq!(e.word_writer(2), Some(NodeId(1)));
@@ -258,8 +309,22 @@ mod tests {
         let mut e = CowEntry::new(SharerSet::empty());
         let mut conflicts = Vec::new();
         let p = RegionPolicy::copy_on_write(MergePolicy::KeepOne); // not detecting
-        e.merge_version(NodeId(1), &buf_with(&[(2, 1)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
-        let ww = e.merge_version(NodeId(2), &buf_with(&[(2, 2)]), mask_of(&[2]), p, BlockId(7), &mut conflicts);
+        e.merge_version(
+            NodeId(1),
+            &buf_with(&[(2, 1)]),
+            mask_of(&[2]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
+        let ww = e.merge_version(
+            NodeId(2),
+            &buf_with(&[(2, 2)]),
+            mask_of(&[2]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
         assert_eq!(ww, 1);
         assert!(conflicts.is_empty());
     }
@@ -273,7 +338,11 @@ mod tests {
         let b = buf_with(&[(0, f32::to_bits(2.0))]);
         let ww1 = e.merge_version(NodeId(1), &a, mask_of(&[0]), p, BlockId(7), &mut conflicts);
         let ww2 = e.merge_version(NodeId(2), &b, mask_of(&[0]), p, BlockId(7), &mut conflicts);
-        assert_eq!((ww1, ww2), (0, 0), "reduction contributions are not conflicts");
+        assert_eq!(
+            (ww1, ww2),
+            (0, 0),
+            "reduction contributions are not conflicts"
+        );
         assert_eq!(f32::from_bits(e.pending.word(0)), 3.5);
     }
 
@@ -286,8 +355,22 @@ mod tests {
         a.set_f64(0, 10.0);
         let mut b = BlockBuf::zeroed();
         b.set_f64(0, 2.5);
-        e.merge_version(NodeId(1), &a, mask_of(&[0, 1]), p, BlockId(7), &mut conflicts);
-        e.merge_version(NodeId(2), &b, mask_of(&[0, 1]), p, BlockId(7), &mut conflicts);
+        e.merge_version(
+            NodeId(1),
+            &a,
+            mask_of(&[0, 1]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
+        e.merge_version(
+            NodeId(2),
+            &b,
+            mask_of(&[0, 1]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
         assert_eq!(e.pending.f64(0), 12.5);
     }
 
@@ -297,7 +380,14 @@ mod tests {
         let mut e = CowEntry::new(SharerSet::empty());
         let mut conflicts = Vec::new();
         let p = RegionPolicy::copy_on_write(MergePolicy::Reduce(ReduceOp::SumF64));
-        e.merge_version(NodeId(1), &BlockBuf::zeroed(), mask_of(&[0]), p, BlockId(7), &mut conflicts);
+        e.merge_version(
+            NodeId(1),
+            &BlockBuf::zeroed(),
+            mask_of(&[0]),
+            p,
+            BlockId(7),
+            &mut conflicts,
+        );
     }
 
     #[test]

@@ -155,7 +155,9 @@ impl Lcm {
                 if policy.merge.reduce_op().is_none() {
                     return true; // keep-one blocks stay for the normal drain
                 }
-                let p = self.privs[n].remove(&block).expect("ordered private copy exists");
+                let p = self.privs[n]
+                    .remove(&block)
+                    .expect("ordered private copy exists");
                 by_block.entry(block).or_default().push((node, p));
                 false
             });
@@ -163,7 +165,10 @@ impl Lcm {
         }
         for (block, mut versions) in by_block {
             let policy = self.policies.get(block);
-            let op = policy.merge.reduce_op().expect("gathered blocks are reductions");
+            let op = policy
+                .merge
+                .reduce_op()
+                .expect("gathered blocks are reductions");
             // Pairwise combining rounds: the left element of each pair
             // receives and merges the right one.
             while versions.len() > 1 {
@@ -201,7 +206,14 @@ impl Lcm {
             for n in 0..self.privs.len() {
                 let node = NodeId(n as u16);
                 if t.tags[n].get(block) == Tag::ReadWrite {
-                    t.tags[n].set(block, if has_local_clean { Tag::ReadOnly } else { Tag::Invalid });
+                    t.tags[n].set(
+                        block,
+                        if has_local_clean {
+                            Tag::ReadOnly
+                        } else {
+                            Tag::Invalid
+                        },
+                    );
                     let _ = node;
                 }
             }
@@ -220,7 +232,8 @@ impl Lcm {
     pub fn register_cow_region(&mut self, base: Addr, bytes: u64, merge: MergePolicy) {
         let first = base.block();
         let end = BlockId(base.offset(bytes - 1).block().0 + 1);
-        self.policies.set(first, end, RegionPolicy::copy_on_write(merge));
+        self.policies
+            .set(first, end, RegionPolicy::copy_on_write(merge));
     }
 
     /// Like [`Lcm::register_cow_region`] but with conflict detection
@@ -228,7 +241,8 @@ impl Lcm {
     pub fn register_detecting_region(&mut self, base: Addr, bytes: u64, merge: MergePolicy) {
         let first = base.block();
         let end = BlockId(base.offset(bytes - 1).block().0 + 1);
-        self.policies.set(first, end, RegionPolicy::copy_on_write(merge).detecting());
+        self.policies
+            .set(first, end, RegionPolicy::copy_on_write(merge).detecting());
     }
 
     /// Registers `bytes` starting at `base` as a stale-data region
@@ -267,7 +281,10 @@ impl Lcm {
                 return Err("ordering log outlives the phase".into());
             }
             if !self.cow.is_empty() {
-                return Err(format!("{} copy-on-write entries outlive the phase", self.cow.len()));
+                return Err(format!(
+                    "{} copy-on-write entries outlive the phase",
+                    self.cow.len()
+                ));
             }
             return Ok(());
         }
@@ -275,7 +292,11 @@ impl Lcm {
             let node = NodeId(n as u16);
             let order = &self.priv_order[n];
             if order.len() != privs.len() {
-                return Err(format!("{node}: {} ordered vs {} private copies", order.len(), privs.len()));
+                return Err(format!(
+                    "{node}: {} ordered vs {} private copies",
+                    order.len(),
+                    privs.len()
+                ));
             }
             for block in order {
                 if !privs.contains_key(block) {
@@ -285,13 +306,21 @@ impl Lcm {
             for block in privs.keys() {
                 let policy = self.policies.get(*block);
                 if policy.coherence != CoherenceKind::CopyOnWrite {
-                    return Err(format!("{node}: private copy of non-copy-on-write {block:?}"));
+                    return Err(format!(
+                        "{node}: private copy of non-copy-on-write {block:?}"
+                    ));
                 }
                 if self.inner.tempest().tag(node, *block) != Tag::ReadWrite {
-                    return Err(format!("{node}: private copy of {block:?} without a writable tag"));
+                    return Err(format!(
+                        "{node}: private copy of {block:?} without a writable tag"
+                    ));
                 }
                 match self.cow.get(block) {
-                    None => return Err(format!("{node}: private copy of {block:?} has no phase entry")),
+                    None => {
+                        return Err(format!(
+                            "{node}: private copy of {block:?} has no phase entry"
+                        ))
+                    }
                     Some(e) if !e.writers.contains(node) => {
                         return Err(format!("{node}: not registered as a writer of {block:?}"));
                     }
@@ -323,7 +352,8 @@ impl Lcm {
         inner: &mut Stache,
         block: BlockId,
     ) -> &'a mut CowEntry {
-        cow.entry(block).or_insert_with(|| CowEntry::new(inner.absorb_block(block)))
+        cow.entry(block)
+            .or_insert_with(|| CowEntry::new(inner.absorb_block(block)))
     }
 
     /// Creates `node`'s private copy of `block` if it does not already
@@ -369,11 +399,20 @@ impl Lcm {
                     if node == home {
                         t.machine.advance(node, c.local_fill);
                         t.machine.stats_mut(node).write_miss_local += 1;
-                        t.machine.record(Event::WriteMiss { node, block, remote: false });
+                        t.machine.record(Event::WriteMiss {
+                            node,
+                            block,
+                            remote: false,
+                        });
                     } else {
-                        t.net.request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
+                        t.net
+                            .request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
                         t.machine.stats_mut(node).write_miss_remote += 1;
-                        t.machine.record(Event::WriteMiss { node, block, remote: true });
+                        t.machine.record(Event::WriteMiss {
+                            node,
+                            block,
+                            remote: true,
+                        });
                     }
                 }
                 t.mem.read_block(block)
@@ -412,7 +451,10 @@ impl Lcm {
             t.machine.stats_mut(node).read_hits += 1;
             return p.data.word(addr.word_in_block());
         }
-        if self.inner.tempest().tags[node.index()].get(block).readable() {
+        if self.inner.tempest().tags[node.index()]
+            .get(block)
+            .readable()
+        {
             if detecting {
                 // Record the reference so a read that hits a pre-phase
                 // copy still counts as *actual* for §7.2 detection.
@@ -435,11 +477,20 @@ impl Lcm {
         if node == home {
             t.machine.advance(node, c.local_fill);
             t.machine.stats_mut(node).read_miss_local += 1;
-            t.machine.record(Event::ReadMiss { node, block, remote: false });
+            t.machine.record(Event::ReadMiss {
+                node,
+                block,
+                remote: false,
+            });
         } else {
-            t.net.request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
+            t.net
+                .request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
             t.machine.stats_mut(node).read_miss_remote += 1;
-            t.machine.record(Event::ReadMiss { node, block, remote: true });
+            t.machine.record(Event::ReadMiss {
+                node,
+                block,
+                remote: true,
+            });
         }
         t.tags[node.index()].set(block, Tag::ReadOnly);
         t.mem.read_word(addr)
@@ -456,7 +507,9 @@ impl Lcm {
             // system itself catches the rest (copy *at the reference*).
             self.mark_block(node, block_of(addr), policy);
         }
-        let p = self.privs[node.index()].get_mut(&block_of(addr)).expect("just marked");
+        let p = self.privs[node.index()]
+            .get_mut(&block_of(addr))
+            .expect("just marked");
         let w = addr.word_in_block();
         p.data.set_word(w, bits);
         p.dirty.set(w);
@@ -516,24 +569,43 @@ impl Lcm {
                             }
                             let a = block.word_addr(w);
                             let cur = t.mem.read_f64(a).to_bits();
-                            let contrib =
-                                entry.pending.word(w) as u64 | ((entry.pending.word(w + 1) as u64) << 32);
-                            t.mem.write_f64(a, f64::from_bits(op.combine_bits(cur, contrib)));
+                            let contrib = entry.pending.word(w) as u64
+                                | ((entry.pending.word(w + 1) as u64) << 32);
+                            t.mem
+                                .write_f64(a, f64::from_bits(op.combine_bits(cur, contrib)));
                         }
                     }
                 }
             }
         }
-        self.inner
-            .tempest_mut()
-            .machine
-            .record(Event::Reconcile { block, versions: entry.versions });
+        self.inner.tempest_mut().machine.record(Event::Reconcile {
+            block,
+            versions: entry.versions,
+        });
 
         // Read-write conflict detection (§7.2/7.3): a block with writers
         // whose read-only copies were outstanding during the phase.
         if policy.detect_conflicts {
-            let writer = entry.writers.iter().next().unwrap_or(home);
-            let readers = entry.absorbed.union(entry.readers).difference(entry.writers);
+            // A written block always has a recorded writer: merge_version
+            // adds the flushing node to `writers` before the entry can
+            // reach here non-unwritten. An empty set means the directory
+            // state was corrupted (e.g. by a mishandled re-delivery), so
+            // fail loudly with a cycle-stamped diagnostic instead of
+            // silently blaming the home node.
+            let Some(writer) = entry.writers.iter().next() else {
+                panic!(
+                    "reconcile of {:?} at cycle {}: modified block has an empty writer set \
+                     (versions={}, readers={:?}); directory state is corrupt",
+                    block,
+                    self.inner.tempest().machine.time(),
+                    entry.versions,
+                    entry.readers,
+                );
+            };
+            let readers = entry
+                .absorbed
+                .union(entry.readers)
+                .difference(entry.writers);
             for r in readers.iter() {
                 let actual = entry.readers.contains(r);
                 self.conflicts.push(ConflictRecord {
@@ -576,7 +648,8 @@ impl Lcm {
                     t.machine.stats_mut(node).read_miss_local += 1;
                 }
             } else {
-                t.net.request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
+                t.net
+                    .request_reply(&mut t.machine, node, home, MsgKind::CleanFill, true);
                 if is_write {
                     t.machine.stats_mut(node).write_miss_remote += 1;
                 } else {
@@ -607,7 +680,8 @@ impl Lcm {
     /// Load from a copy-on-write block during a nested phase.
     fn nested_read(&mut self, node: NodeId, addr: Addr, block: BlockId) -> u32 {
         let w = addr.word_in_block();
-        if let Some(p) = self.nested.as_ref().expect("nested phase open").privs[node.index()].get(&block)
+        if let Some(p) =
+            self.nested.as_ref().expect("nested phase open").privs[node.index()].get(&block)
         {
             let word = p.data.word(w);
             let t = self.inner.tempest_mut();
@@ -624,7 +698,8 @@ impl Lcm {
     /// from the layered pre-call state (or the operator identity for
     /// reductions).
     fn nested_mark(&mut self, node: NodeId, block: BlockId, policy: RegionPolicy) {
-        if self.nested.as_ref().expect("nested phase open").privs[node.index()].contains_key(&block) {
+        if self.nested.as_ref().expect("nested phase open").privs[node.index()].contains_key(&block)
+        {
             return;
         }
         self.nested_touch_cost(node, block, true);
@@ -662,7 +737,14 @@ impl Lcm {
     }
 
     /// A reduction assignment during a nested phase.
-    fn nested_reduce(&mut self, node: NodeId, addr: Addr, op: ReduceOp, bits: u64, policy: RegionPolicy) {
+    fn nested_reduce(
+        &mut self,
+        node: NodeId,
+        addr: Addr,
+        op: ReduceOp,
+        bits: u64,
+        policy: RegionPolicy,
+    ) {
         assert_eq!(
             policy.merge.reduce_op(),
             Some(op),
@@ -697,9 +779,17 @@ impl Lcm {
     }
 
     /// Ships one inner version home and merges it into the nested entry.
-    fn nested_merge_one(&mut self, node: NodeId, block: BlockId, p: PrivCopy, policy: RegionPolicy) {
+    fn nested_merge_one(
+        &mut self,
+        node: NodeId,
+        block: BlockId,
+        p: PrivCopy,
+        policy: RegionPolicy,
+    ) {
         let np = self.nested.as_mut().expect("nested phase open");
-        np.entries.entry(block).or_insert_with(|| CowEntry::new(lcm_stache::SharerSet::empty()));
+        np.entries
+            .entry(block)
+            .or_insert_with(|| CowEntry::new(lcm_stache::SharerSet::empty()));
         let t = self.inner.tempest_mut();
         let home = t.home_of(block);
         let c = *t.machine.cost();
@@ -712,7 +802,11 @@ impl Lcm {
         let entry = np.entries.get_mut(&block).expect("just inserted");
         let ww = entry.merge_version(node, &p.data, p.dirty, policy, block, &mut self.conflicts);
         if ww > 0 {
-            self.inner.tempest_mut().machine.stats_mut(home).ww_conflicts += ww;
+            self.inner
+                .tempest_mut()
+                .machine
+                .stats_mut(home)
+                .ww_conflicts += ww;
         }
     }
 
@@ -732,7 +826,8 @@ impl Lcm {
                 self.nested.as_mut().expect("nested phase open").order[node.index()].push(block);
                 continue;
             }
-            let Some(p) = self.nested.as_mut().expect("nested phase open").privs[node.index()].remove(&block)
+            let Some(p) =
+                self.nested.as_mut().expect("nested phase open").privs[node.index()].remove(&block)
             else {
                 continue;
             };
@@ -746,7 +841,10 @@ impl Lcm {
 impl NestedProtocol for Lcm {
     fn begin_nested_phase(&mut self, parent: NodeId) {
         assert!(self.in_phase, "a nested phase needs an open outer phase");
-        assert!(self.nested.is_none(), "only one level of nesting is supported");
+        assert!(
+            self.nested.is_none(),
+            "only one level of nesting is supported"
+        );
         let nodes = self.privs.len();
         self.nested = Some(NestedPhase::new(nodes, parent));
     }
@@ -757,7 +855,8 @@ impl NestedProtocol for Lcm {
         // retained reduction accumulators.
         for n in 0..self.privs.len() {
             let node = NodeId(n as u16);
-            let order = std::mem::take(&mut self.nested.as_mut().expect("nested phase open").order[n]);
+            let order =
+                std::mem::take(&mut self.nested.as_mut().expect("nested phase open").order[n]);
             for block in order {
                 let policy = self.policies.get(block);
                 let Some(p) =
@@ -781,7 +880,9 @@ impl NestedProtocol for Lcm {
             }
             let policy = self.policies.get(block);
             self.mark_block(parent, block, policy);
-            let pp = self.privs[parent.index()].get_mut(&block).expect("just marked");
+            let pp = self.privs[parent.index()]
+                .get_mut(&block)
+                .expect("just marked");
             match policy.merge.reduce_op() {
                 None => {
                     pp.data.merge_words(&entry.pending, entry.pending_mask);
@@ -800,8 +901,8 @@ impl NestedProtocol for Lcm {
                                 continue;
                             }
                             let cur = pp.data.word(w) as u64 | ((pp.data.word(w + 1) as u64) << 32);
-                            let contrib =
-                                entry.pending.word(w) as u64 | ((entry.pending.word(w + 1) as u64) << 32);
+                            let contrib = entry.pending.word(w) as u64
+                                | ((entry.pending.word(w + 1) as u64) << 32);
                             let new = op.combine_bits(cur, contrib);
                             pp.data.set_word(w, new as u32);
                             pp.data.set_word(w + 1, (new >> 32) as u32);
@@ -896,6 +997,18 @@ impl MemoryProtocol for Lcm {
         self.inner.tempest_mut()
     }
 
+    fn sanity_check(&self) -> Result<(), String> {
+        self.verify_phase_invariants()?;
+        if !self.in_phase {
+            // Outside a phase every block is back under ordinary
+            // directory management, so the inner Stache invariants must
+            // hold too. (Mid-phase, absorbed blocks are deliberately out
+            // of the directory and would trip the walk.)
+            self.inner.verify_coherence_invariants()?;
+        }
+        Ok(())
+    }
+
     fn policies(&self) -> &PolicyTable {
         &self.policies
     }
@@ -909,7 +1022,9 @@ impl MemoryProtocol for Lcm {
         let block = addr.block();
         let policy = self.policies.get(block);
         match policy.coherence {
-            CoherenceKind::CopyOnWrite if self.nested.is_some() => self.nested_read(node, addr, block),
+            CoherenceKind::CopyOnWrite if self.nested.is_some() => {
+                self.nested_read(node, addr, block)
+            }
             CoherenceKind::CopyOnWrite if self.in_phase => {
                 self.cow_read(node, addr, block, policy.detect_conflicts)
             }
@@ -927,7 +1042,10 @@ impl MemoryProtocol for Lcm {
                 self.nested_write(node, addr, bits, policy)
             }
             CoherenceKind::CopyOnWrite if self.in_phase => self.cow_write(node, addr, bits, policy),
-            CoherenceKind::Stale => self.stale.write(self.inner.tempest_mut(), node, addr, bits, block),
+            CoherenceKind::Stale => {
+                self.stale
+                    .write(self.inner.tempest_mut(), node, addr, bits, block)
+            }
             _ => self.inner.write_word(node, addr, bits),
         }
     }
@@ -968,7 +1086,10 @@ impl MemoryProtocol for Lcm {
             let Some(p) = self.privs[node.index()].remove(&block) else {
                 continue; // duplicate order entry (defensive; not expected)
             };
-            let entry = self.cow.get_mut(&block).expect("private copy has a phase entry");
+            let entry = self
+                .cow
+                .get_mut(&block)
+                .expect("private copy has a phase entry");
             let t = self.inner.tempest_mut();
             let home = t.home_of(block);
             let c = *t.machine.cost();
@@ -980,7 +1101,8 @@ impl MemoryProtocol for Lcm {
             t.machine.advance(home, c.reconcile_per_version);
             t.machine.stats_mut(home).versions_reconciled += 1;
             t.machine.record(Event::Flush { node, block });
-            let ww = entry.merge_version(node, &p.data, p.dirty, policy, block, &mut self.conflicts);
+            let ww =
+                entry.merge_version(node, &p.data, p.dirty, policy, block, &mut self.conflicts);
             if ww > 0 {
                 let t = self.inner.tempest_mut();
                 t.machine.stats_mut(home).ww_conflicts += ww;
@@ -1068,7 +1190,9 @@ impl MemoryProtocol for Lcm {
             policy.merge
         );
         self.mark_block(node, block, policy);
-        let p = self.privs[node.index()].get_mut(&block).expect("just marked");
+        let p = self.privs[node.index()]
+            .get_mut(&block)
+            .expect("just marked");
         let w = addr.word_in_block();
         match op.width() {
             ValueWidth::W4 => {
@@ -1093,7 +1217,8 @@ impl MemoryProtocol for Lcm {
     }
 
     fn refresh_stale(&mut self, node: NodeId, addr: Addr) {
-        self.stale.refresh(self.inner.tempest_mut(), node, addr.block());
+        self.stale
+            .refresh(self.inner.tempest_mut(), node, addr.block());
     }
 
     fn take_conflicts(&mut self) -> Vec<ConflictRecord> {

@@ -46,11 +46,20 @@ impl StaleState {
         if node == home {
             t.machine.advance(node, c.local_fill);
             t.machine.stats_mut(node).read_miss_local += 1;
-            t.machine.record(Event::ReadMiss { node, block, remote: false });
+            t.machine.record(Event::ReadMiss {
+                node,
+                block,
+                remote: false,
+            });
         } else {
-            t.net.request_reply(&mut t.machine, node, home, MsgKind::StaleRefresh, true);
+            t.net
+                .request_reply(&mut t.machine, node, home, MsgKind::StaleRefresh, true);
             t.machine.stats_mut(node).read_miss_remote += 1;
-            t.machine.record(Event::ReadMiss { node, block, remote: true });
+            t.machine.record(Event::ReadMiss {
+                node,
+                block,
+                remote: true,
+            });
         }
         let buf = t.mem.read_block(block);
         self.snaps[node.index()].insert(block, buf);
@@ -72,11 +81,20 @@ impl StaleState {
             if node == home {
                 t.machine.advance(node, c.local_fill);
                 t.machine.stats_mut(node).write_miss_local += 1;
-                t.machine.record(Event::WriteMiss { node, block, remote: false });
+                t.machine.record(Event::WriteMiss {
+                    node,
+                    block,
+                    remote: false,
+                });
             } else {
-                t.net.request_reply(&mut t.machine, node, home, MsgKind::GetExclusive, true);
+                t.net
+                    .request_reply(&mut t.machine, node, home, MsgKind::GetExclusive, true);
                 t.machine.stats_mut(node).write_miss_remote += 1;
-                t.machine.record(Event::WriteMiss { node, block, remote: true });
+                t.machine.record(Event::WriteMiss {
+                    node,
+                    block,
+                    remote: true,
+                });
             }
             self.own[node.index()].insert(block);
         }

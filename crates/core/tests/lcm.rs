@@ -114,13 +114,19 @@ fn conflicting_words_keep_exactly_one_value() {
     m.write_f32(N2, a, 2.0);
     m.reconcile_copies();
     let v = m.read_f32(N0, a);
-    assert!(v == 1.0 || v == 2.0, "one of the written values survives, got {v}");
+    assert!(
+        v == 1.0 || v == 2.0,
+        "one of the written values survives, got {v}"
+    );
     assert_eq!(m.tempest().machine.total_stats().ww_conflicts, 1);
 }
 
 #[test]
 fn keep_order_controls_which_value_survives() {
-    for (order, expect) in [(KeepOrder::FirstWins, 1.0f32), (KeepOrder::LastWins, 2.0f32)] {
+    for (order, expect) in [
+        (KeepOrder::FirstWins, 1.0f32),
+        (KeepOrder::LastWins, 2.0f32),
+    ] {
         let mut m = Lcm::new(MachineConfig::new(4), LcmVariant::Scc);
         let a = m.tempest_mut().alloc(4096, Placement::Interleaved, "d");
         m.register_cow_region(a, 4096, MergePolicy::KeepOneOrdered(order));
@@ -200,7 +206,11 @@ fn unmarked_write_is_caught_by_the_memory_system() {
     assert_eq!(m.read_f32(N2, a), 5.0, "copy-on-write still isolates");
     m.reconcile_copies();
     assert_eq!(m.read_f32(N2, a), 6.0);
-    assert_eq!(m.tempest().machine.stats(N1).marks, 1, "the implicit mark is counted");
+    assert_eq!(
+        m.tempest().machine.stats(N1).marks,
+        1,
+        "the implicit mark is counted"
+    );
 }
 
 #[test]
@@ -216,7 +226,11 @@ fn read_only_blocks_stay_cached_across_phases() {
     m.begin_parallel_phase();
     assert_eq!(m.read_f32(N1, a), 3.0);
     m.reconcile_copies();
-    assert_eq!(m.tempest().machine.stats(N1).misses(), misses_before, "second-phase read hits");
+    assert_eq!(
+        m.tempest().machine.stats(N1).misses(),
+        misses_before,
+        "second-phase read hits"
+    );
 }
 
 #[test]
@@ -302,7 +316,11 @@ fn non_cow_data_is_coherent_during_a_phase() {
     m.register_cow_region(cow, 4096, MergePolicy::KeepOne);
     m.begin_parallel_phase();
     m.write_f32(N1, plain, 42.0);
-    assert_eq!(m.read_f32(N2, plain), 42.0, "unregistered data stays coherent");
+    assert_eq!(
+        m.read_f32(N2, plain),
+        42.0,
+        "unregistered data stays coherent"
+    );
     m.reconcile_copies();
 }
 
@@ -327,7 +345,11 @@ fn phase_state_is_fully_reclaimed() {
         m.begin_parallel_phase();
         m.write_f32(N1, a, round as f32);
         m.reconcile_copies();
-        assert_eq!(m.live_cow_entries(), 0, "clean copies reclaimed at reconcile");
+        assert_eq!(
+            m.live_cow_entries(),
+            0,
+            "clean copies reclaimed at reconcile"
+        );
         assert!(!m.in_parallel_phase());
     }
     assert_eq!(m.read_f32(N0, a), 2.0);
@@ -376,7 +398,10 @@ fn identical_programs_are_deterministic() {
             m.flush_copies(n);
         }
         m.reconcile_copies();
-        (m.tempest().machine.time(), m.tempest().machine.total_stats())
+        (
+            m.tempest().machine.time(),
+            m.tempest().machine.total_stats(),
+        )
     };
     assert_eq!(run(), run());
 }
@@ -398,7 +423,11 @@ fn reduce_all_nodes(tree: bool) -> (f64, u64, u64) {
     m.reconcile_copies();
     let value = m.read_f64(N1, a);
     let home_stats = m.tempest().machine.stats(N0);
-    (value, home_stats.versions_reconciled, m.tempest().machine.clock(N0))
+    (
+        value,
+        home_stats.versions_reconciled,
+        m.tempest().machine.clock(N0),
+    )
 }
 
 #[test]
@@ -478,6 +507,12 @@ fn scc_never_creates_node_local_clean_copies() {
 
 #[test]
 fn variant_accessor_reports_construction_choice() {
-    assert_eq!(Lcm::new(MachineConfig::new(2), LcmVariant::Scc).variant(), LcmVariant::Scc);
-    assert_eq!(Lcm::new(MachineConfig::new(2), LcmVariant::Mcc).variant(), LcmVariant::Mcc);
+    assert_eq!(
+        Lcm::new(MachineConfig::new(2), LcmVariant::Scc).variant(),
+        LcmVariant::Scc
+    );
+    assert_eq!(
+        Lcm::new(MachineConfig::new(2), LcmVariant::Mcc).variant(),
+        LcmVariant::Mcc
+    );
 }

@@ -28,7 +28,11 @@ fn inner_invocations_see_the_parent_state() {
     m.write_f32(N1, a, 5.0);
     // …then makes a nested call; an inner invocation on N2 reads it.
     m.begin_nested_phase(N1);
-    assert_eq!(m.read_f32(N2, a), 5.0, "inner sees the parent's private state");
+    assert_eq!(
+        m.read_f32(N2, a),
+        5.0,
+        "inner sees the parent's private state"
+    );
     m.reconcile_nested();
     m.reconcile_copies();
 }
@@ -40,14 +44,30 @@ fn inner_modifications_merge_into_the_parent_not_global() {
     m.begin_parallel_phase();
     m.begin_nested_phase(N1);
     m.write_f32(N2, a.offset(4), 42.0); // inner write on another node
-    assert_eq!(m.read_f32(N3, a.offset(4)), 0.0, "private to the inner invocation");
+    assert_eq!(
+        m.read_f32(N3, a.offset(4)),
+        0.0,
+        "private to the inner invocation"
+    );
     m.reconcile_nested();
     // Now part of the parent's private state:
-    assert_eq!(m.read_f32(N1, a.offset(4)), 42.0, "parent observes the merged inner state");
+    assert_eq!(
+        m.read_f32(N1, a.offset(4)),
+        42.0,
+        "parent observes the merged inner state"
+    );
     // …but still invisible globally:
-    assert_eq!(m.read_f32(N3, a.offset(4)), 0.0, "global state unchanged before outer reconcile");
+    assert_eq!(
+        m.read_f32(N3, a.offset(4)),
+        0.0,
+        "global state unchanged before outer reconcile"
+    );
     m.reconcile_copies();
-    assert_eq!(m.read_f32(N3, a.offset(4)), 42.0, "outer reconcile publishes everything");
+    assert_eq!(
+        m.read_f32(N3, a.offset(4)),
+        42.0,
+        "outer reconcile publishes everything"
+    );
 }
 
 #[test]
@@ -58,10 +78,18 @@ fn inner_isolation_between_inner_invocations() {
     m.begin_nested_phase(N0);
     m.write_f32(N1, a, 8.0);
     m.flush_copies(N1); // flush during the nested phase
-    assert_eq!(m.read_f32(N1, a), 7.0, "a new inner invocation sees the pre-call state");
+    assert_eq!(
+        m.read_f32(N1, a),
+        7.0,
+        "a new inner invocation sees the pre-call state"
+    );
     assert_eq!(m.read_f32(N2, a), 7.0);
     m.reconcile_nested();
-    assert_eq!(m.read_f32(N0, a), 8.0, "kept-one inner value lands in the parent");
+    assert_eq!(
+        m.read_f32(N0, a),
+        8.0,
+        "kept-one inner value lands in the parent"
+    );
     m.reconcile_copies();
     assert_eq!(m.read_f32(N2, a), 8.0);
 }
@@ -93,7 +121,10 @@ fn nested_keep_one_conflicts_resolve_to_one_value() {
     m.reconcile_nested();
     m.reconcile_copies();
     let v = m.read_f32(N3, a);
-    assert!(v == 1.0 || v == 2.0, "exactly one inner value survives, got {v}");
+    assert!(
+        v == 1.0 || v == 2.0,
+        "exactly one inner value survives, got {v}"
+    );
 }
 
 #[test]
@@ -107,7 +138,8 @@ fn nested_phase_state_is_reclaimed() {
     assert!(!m.in_nested_phase());
     assert!(m.in_parallel_phase(), "the outer phase stays open");
     m.reconcile_copies();
-    m.verify_phase_invariants().expect("clean after both reconciles");
+    m.verify_phase_invariants()
+        .expect("clean after both reconciles");
 }
 
 #[test]
@@ -119,7 +151,10 @@ fn two_sequential_nested_calls_in_one_outer_phase() {
     m.reconcile_nested();
     m.begin_nested_phase(N0);
     let seen = m.read_i32(N2, a);
-    assert_eq!(seen, 1, "second nested call sees the first's merged result via the parent");
+    assert_eq!(
+        seen, 1,
+        "second nested call sees the first's merged result via the parent"
+    );
     m.write_i32(N2, a, seen + 1);
     m.reconcile_nested();
     m.reconcile_copies();

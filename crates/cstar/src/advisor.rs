@@ -134,7 +134,11 @@ pub fn advise(summary: &AccessSummary) -> Plan {
              chunk resident and communicates only boundaries — LCM has little to offer here \
              (Stencil-stat, §6.3)",
         );
-        return Plan { strategy: Strategy::ExplicitCopy, flush: FlushPolicy::PerInvocation, rationale };
+        return Plan {
+            strategy: Strategy::ExplicitCopy,
+            flush: FlushPolicy::PerInvocation,
+            rationale,
+        };
     }
     let flush = if summary.writes == WriteFootprint::DisjointLocations
         && summary.reads == ReadPattern::OwnElement
@@ -147,7 +151,11 @@ pub fn advise(summary: &AccessSummary) -> Plan {
     } else {
         FlushPolicy::PerInvocation
     };
-    Plan { strategy: Strategy::LcmDirectives, flush, rationale }
+    Plan {
+        strategy: Strategy::LcmDirectives,
+        flush,
+        rationale,
+    }
 }
 
 /// Canonical summaries of the paper's benchmarks, for tests and docs.
@@ -167,22 +175,34 @@ pub mod profiles {
 
     /// Stencil under a load-balancing scheduler.
     pub fn stencil_dynamic() -> AccessSummary {
-        AccessSummary { schedule: Schedule::LoadBalanced, ..stencil_static() }
+        AccessSummary {
+            schedule: Schedule::LoadBalanced,
+            ..stencil_static()
+        }
     }
 
     /// The adaptive quad-tree mesh.
     pub fn adaptive() -> AccessSummary {
-        AccessSummary { structure: Structure::Dynamic, ..stencil_static() }
+        AccessSummary {
+            structure: Structure::Dynamic,
+            ..stencil_static()
+        }
     }
 
     /// Threshold: a stencil that updates ~2% of cells.
     pub fn threshold() -> AccessSummary {
-        AccessSummary { updates: UpdateDensity::Sparse, ..stencil_static() }
+        AccessSummary {
+            updates: UpdateDensity::Sparse,
+            ..stencil_static()
+        }
     }
 
     /// Unstructured-mesh relaxation.
     pub fn unstructured() -> AccessSummary {
-        AccessSummary { reads: ReadPattern::Irregular, ..stencil_static() }
+        AccessSummary {
+            reads: ReadPattern::Irregular,
+            ..stencil_static()
+        }
     }
 
     /// A pure per-element map.
@@ -228,11 +248,17 @@ mod tests {
         // A pure map on a repeatable static schedule would pick copying;
         // force LCM by making the schedule dynamic and check the §5.1
         // elision kicks in.
-        let s = AccessSummary { schedule: Schedule::LoadBalanced, ..independent_map() };
+        let s = AccessSummary {
+            schedule: Schedule::LoadBalanced,
+            ..independent_map()
+        };
         let plan = advise(&s);
         assert_eq!(plan.strategy, Strategy::LcmDirectives);
         assert_eq!(plan.flush, FlushPolicy::AtReconcile);
-        assert!(plan.rationale.iter().any(|r| r.contains("distinct locations")));
+        assert!(plan
+            .rationale
+            .iter()
+            .any(|r| r.contains("distinct locations")));
     }
 
     #[test]
@@ -249,6 +275,9 @@ mod tests {
             ..stencil_static()
         };
         let plan = advise(&s);
-        assert!(plan.rationale.len() >= 3, "each trigger contributes a reason");
+        assert!(
+            plan.rationale.len() >= 3,
+            "each trigger contributes a reason"
+        );
     }
 }

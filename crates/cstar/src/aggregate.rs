@@ -100,7 +100,11 @@ impl<T> Copy for Agg1<T> {}
 
 impl<T: Scalar> Agg1<T> {
     pub(crate) fn new(id: usize, len: usize) -> Agg1<T> {
-        Agg1 { id, len, _elem: PhantomData }
+        Agg1 {
+            id,
+            len,
+            _elem: PhantomData,
+        }
     }
 
     /// The element at index `i`.
@@ -109,8 +113,16 @@ impl<T: Scalar> Agg1<T> {
     /// Panics if `i >= len`.
     #[inline]
     pub fn at(&self, i: usize) -> Cell<T> {
-        assert!(i < self.len, "index {i} out of aggregate length {}", self.len);
-        Cell { id: self.id, idx: i, _elem: PhantomData }
+        assert!(
+            i < self.len,
+            "index {i} out of aggregate length {}",
+            self.len
+        );
+        Cell {
+            id: self.id,
+            idx: i,
+            _elem: PhantomData,
+        }
     }
 }
 
@@ -139,7 +151,12 @@ impl<T> Copy for Agg2<T> {}
 
 impl<T: Scalar> Agg2<T> {
     pub(crate) fn new(id: usize, rows: usize, cols: usize) -> Agg2<T> {
-        Agg2 { id, rows, cols, _elem: PhantomData }
+        Agg2 {
+            id,
+            rows,
+            cols,
+            _elem: PhantomData,
+        }
     }
 
     /// Linear element index of `(r, c)`.
@@ -148,7 +165,12 @@ impl<T: Scalar> Agg2<T> {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn index(&self, r: usize, c: usize) -> usize {
-        assert!(r < self.rows && c < self.cols, "({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         r * self.cols + c
     }
 
@@ -158,7 +180,11 @@ impl<T: Scalar> Agg2<T> {
     /// Panics if the coordinates are out of bounds.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> Cell<T> {
-        Cell { id: self.id, idx: self.index(r, c), _elem: PhantomData }
+        Cell {
+            id: self.id,
+            idx: self.index(r, c),
+            _elem: PhantomData,
+        }
     }
 }
 

@@ -124,7 +124,11 @@ impl<P: MemoryProtocol + lcm_rsm::NestedProtocol> Invocation<'_, P> {
                     continue;
                 }
                 self.rt.mem.compute(*node, overhead);
-                let mut inv = Invocation { rt: &mut *self.rt, node: *node, dirty: false };
+                let mut inv = Invocation {
+                    rt: &mut *self.rt,
+                    node: *node,
+                    dirty: false,
+                };
                 f(&mut inv, i);
                 let dirty = inv.dirty;
                 if dirty && per_invocation_flush {
@@ -179,10 +183,17 @@ impl<P: MemoryProtocol> Runtime<P> {
     #[inline]
     fn run_invocation<F: FnOnce(&mut Invocation<'_, P>)>(&mut self, node: NodeId, f: F) {
         self.mem.compute(node, self.overhead);
-        let mut inv = Invocation { rt: self, node, dirty: false };
+        let mut inv = Invocation {
+            rt: self,
+            node,
+            dirty: false,
+        };
         f(&mut inv);
         let dirty = inv.dirty;
-        if dirty && self.strategy == Strategy::LcmDirectives && self.flush == FlushPolicy::PerInvocation {
+        if dirty
+            && self.strategy == Strategy::LcmDirectives
+            && self.flush == FlushPolicy::PerInvocation
+        {
             // The compiler cannot in general prove that consecutive
             // invocations on one processor touch distinct locations, so it
             // flushes modified copies between invocations (paper §5.1).
@@ -201,8 +212,12 @@ impl<P: MemoryProtocol> Runtime<P> {
     /// before invocation `k + 1` of any chunk. C\*\* semantics make the
     /// order unobservable to the program, but it matters for the cost of
     /// *contended* baselines (a shared accumulator ping-pongs).
-    pub fn apply1<T: Scalar, F>(&mut self, agg: crate::aggregate::Agg1<T>, partition: Partition, mut f: F)
-    where
+    pub fn apply1<T: Scalar, F>(
+        &mut self,
+        agg: crate::aggregate::Agg1<T>,
+        partition: Partition,
+        mut f: F,
+    ) where
         F: FnMut(&mut Invocation<'_, P>, usize),
     {
         let plan = self.plan(agg.len, partition);
@@ -223,8 +238,12 @@ impl<P: MemoryProtocol> Runtime<P> {
     /// partitioned by rows. The closure receives the invocation context
     /// and the element coordinates (`#0`, `#1`). Invocations interleave
     /// round-robin across processors (see [`Runtime::apply1`]).
-    pub fn apply2<T: Scalar, F>(&mut self, agg: crate::aggregate::Agg2<T>, partition: Partition, mut f: F)
-    where
+    pub fn apply2<T: Scalar, F>(
+        &mut self,
+        agg: crate::aggregate::Agg2<T>,
+        partition: Partition,
+        mut f: F,
+    ) where
         F: FnMut(&mut Invocation<'_, P>, usize, usize),
     {
         let cols = agg.cols;
@@ -255,11 +274,17 @@ mod tests {
     use lcm_tempest::Placement;
 
     fn lcm_rt(nodes: usize) -> Runtime<Lcm> {
-        Runtime::new(Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc), Strategy::LcmDirectives)
+        Runtime::new(
+            Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc),
+            Strategy::LcmDirectives,
+        )
     }
 
     fn copy_rt(nodes: usize) -> Runtime<Stache> {
-        Runtime::new(Stache::new(MachineConfig::new(nodes)), Strategy::ExplicitCopy)
+        Runtime::new(
+            Stache::new(MachineConfig::new(nodes)),
+            Strategy::ExplicitCopy,
+        )
     }
 
     /// One relaxation step must read only pre-call values — the defining
@@ -394,7 +419,10 @@ mod tests {
 
     #[test]
     fn invocation_overhead_is_charged() {
-        let cfg = RuntimeConfig { invocation_overhead: 1000, ..RuntimeConfig::default() };
+        let cfg = RuntimeConfig {
+            invocation_overhead: 1000,
+            ..RuntimeConfig::default()
+        };
         let mem = Lcm::new(MachineConfig::new(1), LcmVariant::Mcc);
         let mut rt = Runtime::with_config(mem, Strategy::LcmDirectives, cfg);
         let a = rt.new_aggregate1::<i32>(10, Placement::Blocked, "v");

@@ -185,20 +185,34 @@ impl<P: MemoryProtocol> Runtime<P> {
         let bytes = (len * 4) as u64;
         let base = self.mem.tempest_mut().alloc(bytes, placement, name);
         let back = match self.strategy {
-            Strategy::ExplicitCopy => {
-                Some(self.mem.tempest_mut().alloc(bytes, placement, &format!("{name}.back")))
-            }
+            Strategy::ExplicitCopy => Some(self.mem.tempest_mut().alloc(
+                bytes,
+                placement,
+                &format!("{name}.back"),
+            )),
             Strategy::LcmDirectives => None,
         };
         self.register(base, bytes, MergePolicy::KeepOne);
-        AggInfo { base, back, swapped: false, len, cols: len, name: name.to_string() }
+        AggInfo {
+            base,
+            back,
+            swapped: false,
+            len,
+            cols: len,
+            name: name.to_string(),
+        }
     }
 
     /// Allocates a one-dimensional aggregate of `len` elements.
     ///
     /// # Panics
     /// Panics if `len == 0`.
-    pub fn new_aggregate1<T: Scalar>(&mut self, len: usize, placement: Placement, name: &str) -> Agg1<T> {
+    pub fn new_aggregate1<T: Scalar>(
+        &mut self,
+        len: usize,
+        placement: Placement,
+        name: &str,
+    ) -> Agg1<T> {
         let info = self.new_storage(len, placement, name);
         let id = self.aggs.len();
         self.aggs.push(info);
@@ -233,7 +247,10 @@ impl<P: MemoryProtocol> Runtime<P> {
     /// Panics if `op` is not an 8-byte operator.
     pub fn new_reduction_f64(&mut self, op: ReduceOp, init: f64, name: &str) -> ReduceVar {
         assert_eq!(op.width(), ValueWidth::W8, "{op} is not an f64 operator");
-        let addr = self.mem.tempest_mut().alloc(8, Placement::OnNode(NodeId(0)), name);
+        let addr = self
+            .mem
+            .tempest_mut()
+            .alloc(8, Placement::OnNode(NodeId(0)), name);
         self.register(addr, 8, MergePolicy::Reduce(op));
         self.mem.write_f64(NodeId(0), addr, init);
         ReduceVar { addr, op }
@@ -327,7 +344,10 @@ mod tests {
     use lcm_stache::Stache;
 
     fn lcm_rt() -> Runtime<Lcm> {
-        Runtime::new(Lcm::new(MachineConfig::new(4), LcmVariant::Mcc), Strategy::LcmDirectives)
+        Runtime::new(
+            Lcm::new(MachineConfig::new(4), LcmVariant::Mcc),
+            Strategy::LcmDirectives,
+        )
     }
 
     fn copy_rt() -> Runtime<Stache> {

@@ -58,7 +58,10 @@ mod tests {
     fn roundtrips() {
         assert_eq!(f32::from_bits(Scalar::to_bits(-1.5f32)), -1.5);
         assert_eq!(<i32 as Scalar>::from_bits(Scalar::to_bits(-7i32)), -7);
-        assert_eq!(<u32 as Scalar>::from_bits(Scalar::to_bits(0xdead_beefu32)), 0xdead_beef);
+        assert_eq!(
+            <u32 as Scalar>::from_bits(Scalar::to_bits(0xdead_beefu32)),
+            0xdead_beef
+        );
     }
 
     #[test]

@@ -27,9 +27,11 @@ pub mod nested;
 pub mod policy;
 pub mod protocol;
 pub mod reconcile;
+pub mod sanitizer;
 
 pub use conflict::{ConflictKind, ConflictRecord};
 pub use nested::NestedProtocol;
 pub use policy::{CoherenceKind, PolicyTable, RegionPolicy};
 pub use protocol::MemoryProtocol;
 pub use reconcile::{KeepOrder, MergePolicy, ReduceOp, ValueWidth};
+pub use sanitizer::Violation;

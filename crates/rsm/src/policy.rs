@@ -47,12 +47,19 @@ impl RegionPolicy {
 
     /// A copy-on-write policy with the given merge behavior.
     pub fn copy_on_write(merge: MergePolicy) -> RegionPolicy {
-        RegionPolicy { coherence: CoherenceKind::CopyOnWrite, merge, detect_conflicts: false }
+        RegionPolicy {
+            coherence: CoherenceKind::CopyOnWrite,
+            merge,
+            detect_conflicts: false,
+        }
     }
 
     /// A stale-data policy.
     pub fn stale() -> RegionPolicy {
-        RegionPolicy { coherence: CoherenceKind::Stale, ..RegionPolicy::default() }
+        RegionPolicy {
+            coherence: CoherenceKind::Stale,
+            ..RegionPolicy::default()
+        }
     }
 
     /// Returns this policy with conflict detection enabled.
@@ -134,7 +141,10 @@ impl PolicyTable {
     /// Panics if no such exact range is registered.
     pub fn remove(&mut self, first: BlockId, end: BlockId) {
         let i = self.find(first).expect("no policy registered for range");
-        assert!(self.entries[i].first == first && self.entries[i].end == end, "range mismatch on remove");
+        assert!(
+            self.entries[i].first == first && self.entries[i].end == end,
+            "range mismatch on remove"
+        );
         self.entries.remove(i);
         self.last_hit.set(0);
     }
@@ -200,7 +210,11 @@ mod tests {
     #[test]
     fn ranges_are_half_open() {
         let mut t = PolicyTable::new();
-        t.set(BlockId(10), BlockId(20), RegionPolicy::copy_on_write(MergePolicy::KeepOne));
+        t.set(
+            BlockId(10),
+            BlockId(20),
+            RegionPolicy::copy_on_write(MergePolicy::KeepOne),
+        );
         assert_eq!(t.get(BlockId(9)).coherence, CoherenceKind::Coherent);
         assert_eq!(t.get(BlockId(10)).coherence, CoherenceKind::CopyOnWrite);
         assert_eq!(t.get(BlockId(19)).coherence, CoherenceKind::CopyOnWrite);
@@ -211,12 +225,23 @@ mod tests {
     fn multiple_disjoint_ranges() {
         let mut t = PolicyTable::new();
         t.set(BlockId(0), BlockId(5), RegionPolicy::stale());
-        t.set(BlockId(100), BlockId(200), RegionPolicy::copy_on_write(MergePolicy::Reduce(ReduceOp::SumF32)));
-        t.set(BlockId(10), BlockId(20), RegionPolicy::coherent().detecting());
+        t.set(
+            BlockId(100),
+            BlockId(200),
+            RegionPolicy::copy_on_write(MergePolicy::Reduce(ReduceOp::SumF32)),
+        );
+        t.set(
+            BlockId(10),
+            BlockId(20),
+            RegionPolicy::coherent().detecting(),
+        );
         assert_eq!(t.len(), 3);
         assert_eq!(t.get(BlockId(3)).coherence, CoherenceKind::Stale);
         assert!(t.get(BlockId(15)).detect_conflicts);
-        assert_eq!(t.get(BlockId(150)).merge.reduce_op(), Some(ReduceOp::SumF32));
+        assert_eq!(
+            t.get(BlockId(150)).merge.reduce_op(),
+            Some(ReduceOp::SumF32)
+        );
         assert_eq!(t.get(BlockId(50)).coherence, CoherenceKind::Coherent);
     }
 
@@ -264,7 +289,11 @@ mod tests {
     fn lookaside_survives_alternating_lookups() {
         let mut t = PolicyTable::new();
         t.set(BlockId(0), BlockId(10), RegionPolicy::stale());
-        t.set(BlockId(20), BlockId(30), RegionPolicy::coherent().detecting());
+        t.set(
+            BlockId(20),
+            BlockId(30),
+            RegionPolicy::coherent().detecting(),
+        );
         for _ in 0..10 {
             assert_eq!(t.get(BlockId(5)).coherence, CoherenceKind::Stale);
             assert!(t.get(BlockId(25)).detect_conflicts);

@@ -112,6 +112,20 @@ pub trait MemoryProtocol {
         Vec::new()
     }
 
+    /// Checks the protocol's internal coherence invariants, returning a
+    /// description of the first violation found. Protocols with real
+    /// directory or phase state override this (Stache: single writer,
+    /// sharer-list/directory agreement; LCM: phase-copy bookkeeping);
+    /// the default has nothing to check.
+    ///
+    /// This is the hook behind [`crate::sanitizer`]: the fault sweeps run
+    /// it after every benchmark to prove injected faults never corrupted
+    /// protocol state. Implementations must be read-only and callable at
+    /// any quiescent point (i.e. between top-level protocol operations).
+    fn sanity_check(&self) -> Result<(), String> {
+        Ok(())
+    }
+
     // --- provided conveniences -------------------------------------------
 
     /// Charges `cycles` of local compute to `node`.
@@ -206,7 +220,10 @@ mod tests {
 
     impl RawMemory {
         fn new() -> RawMemory {
-            RawMemory { tempest: Tempest::new(MachineConfig::new(2)), policies: PolicyTable::new() }
+            RawMemory {
+                tempest: Tempest::new(MachineConfig::new(2)),
+                policies: PolicyTable::new(),
+            }
         }
     }
 

@@ -88,13 +88,21 @@ impl ReduceOp {
     /// Combines two operands (raw bits) under the operator.
     pub fn combine_bits(self, a: u64, b: u64) -> u64 {
         match self {
-            ReduceOp::SumF32 => f32::to_bits(f32::from_bits(a as u32) + f32::from_bits(b as u32)) as u64,
+            ReduceOp::SumF32 => {
+                f32::to_bits(f32::from_bits(a as u32) + f32::from_bits(b as u32)) as u64
+            }
             ReduceOp::SumF64 => f64::to_bits(f64::from_bits(a) + f64::from_bits(b)),
             ReduceOp::SumI32 => (a as u32).wrapping_add(b as u32) as u64,
-            ReduceOp::ProdF32 => f32::to_bits(f32::from_bits(a as u32) * f32::from_bits(b as u32)) as u64,
+            ReduceOp::ProdF32 => {
+                f32::to_bits(f32::from_bits(a as u32) * f32::from_bits(b as u32)) as u64
+            }
             ReduceOp::ProdF64 => f64::to_bits(f64::from_bits(a) * f64::from_bits(b)),
-            ReduceOp::MinF32 => f32::to_bits(f32::from_bits(a as u32).min(f32::from_bits(b as u32))) as u64,
-            ReduceOp::MaxF32 => f32::to_bits(f32::from_bits(a as u32).max(f32::from_bits(b as u32))) as u64,
+            ReduceOp::MinF32 => {
+                f32::to_bits(f32::from_bits(a as u32).min(f32::from_bits(b as u32))) as u64
+            }
+            ReduceOp::MaxF32 => {
+                f32::to_bits(f32::from_bits(a as u32).max(f32::from_bits(b as u32))) as u64
+            }
             ReduceOp::MinI32 => (a as u32 as i32).min(b as u32 as i32) as u32 as u64,
             ReduceOp::MaxI32 => (a as u32 as i32).max(b as u32 as i32) as u32 as u64,
             ReduceOp::AndU32 => ((a as u32) & (b as u32)) as u64,
@@ -198,13 +206,19 @@ mod tests {
                     ReduceOp::SumF32 | ReduceOp::ProdF32 | ReduceOp::MinF32 | ReduceOp::MaxF32 => {
                         f32::to_bits(3.5) as u64
                     }
-                    ReduceOp::SumI32 | ReduceOp::MinI32 | ReduceOp::MaxI32 => (-17i32) as u32 as u64,
+                    ReduceOp::SumI32 | ReduceOp::MinI32 | ReduceOp::MaxI32 => {
+                        (-17i32) as u32 as u64
+                    }
                     _ => 0x5a5a5a5a,
                 },
                 ValueWidth::W8 => f64::to_bits(3.5),
             };
             assert_eq!(op.combine_bits(op.identity_bits(), x), x, "{op} identity");
-            assert_eq!(op.combine_bits(x, op.identity_bits()), x, "{op} identity (rhs)");
+            assert_eq!(
+                op.combine_bits(x, op.identity_bits()),
+                x,
+                "{op} identity (rhs)"
+            );
         }
     }
 
@@ -212,11 +226,17 @@ mod tests {
     fn sums_add() {
         let a = f32::to_bits(1.5) as u64;
         let b = f32::to_bits(2.0) as u64;
-        assert_eq!(ReduceOp::SumF32.combine_bits(a, b), f32::to_bits(3.5) as u64);
+        assert_eq!(
+            ReduceOp::SumF32.combine_bits(a, b),
+            f32::to_bits(3.5) as u64
+        );
         let a = f64::to_bits(1e10);
         let b = f64::to_bits(2e10);
         assert_eq!(ReduceOp::SumF64.combine_bits(a, b), f64::to_bits(3e10));
-        assert_eq!(ReduceOp::SumI32.combine_bits(5, (-3i32) as u32 as u64) as u32 as i32, 2);
+        assert_eq!(
+            ReduceOp::SumI32.combine_bits(5, (-3i32) as u32 as u64) as u32 as i32,
+            2
+        );
     }
 
     #[test]
@@ -232,8 +252,14 @@ mod tests {
         let b = f32::to_bits(2.0) as u64;
         assert_eq!(ReduceOp::MinF32.combine_bits(a, b), a);
         assert_eq!(ReduceOp::MaxF32.combine_bits(a, b), b);
-        assert_eq!(ReduceOp::MinI32.combine_bits((-5i32) as u32 as u64, 3) as u32 as i32, -5);
-        assert_eq!(ReduceOp::MaxI32.combine_bits((-5i32) as u32 as u64, 3) as u32 as i32, 3);
+        assert_eq!(
+            ReduceOp::MinI32.combine_bits((-5i32) as u32 as u64, 3) as u32 as i32,
+            -5
+        );
+        assert_eq!(
+            ReduceOp::MaxI32.combine_bits((-5i32) as u32 as u64, 3) as u32 as i32,
+            3
+        );
     }
 
     #[test]
@@ -256,7 +282,14 @@ mod tests {
     #[test]
     fn associativity_spot_check() {
         // (a ∘ b) ∘ c == a ∘ (b ∘ c) for integer/bitwise ops (exact).
-        for op in [ReduceOp::SumI32, ReduceOp::MinI32, ReduceOp::MaxI32, ReduceOp::AndU32, ReduceOp::OrU32, ReduceOp::XorU32] {
+        for op in [
+            ReduceOp::SumI32,
+            ReduceOp::MinI32,
+            ReduceOp::MaxI32,
+            ReduceOp::AndU32,
+            ReduceOp::OrU32,
+            ReduceOp::XorU32,
+        ] {
             let (a, b, c) = (17u64, 0xfffe_0001u64, 5u64);
             assert_eq!(
                 op.combine_bits(op.combine_bits(a, b), c),
@@ -269,8 +302,14 @@ mod tests {
     #[test]
     fn merge_policy_accessors() {
         assert_eq!(MergePolicy::KeepOne.keep_order(), KeepOrder::LastWins);
-        assert_eq!(MergePolicy::KeepOneOrdered(KeepOrder::FirstWins).keep_order(), KeepOrder::FirstWins);
-        assert_eq!(MergePolicy::Reduce(ReduceOp::SumF32).reduce_op(), Some(ReduceOp::SumF32));
+        assert_eq!(
+            MergePolicy::KeepOneOrdered(KeepOrder::FirstWins).keep_order(),
+            KeepOrder::FirstWins
+        );
+        assert_eq!(
+            MergePolicy::Reduce(ReduceOp::SumF32).reduce_op(),
+            Some(ReduceOp::SumF32)
+        );
         assert_eq!(MergePolicy::KeepOne.reduce_op(), None);
         assert_eq!(MergePolicy::default(), MergePolicy::KeepOne);
     }

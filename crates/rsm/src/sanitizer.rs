@@ -1,0 +1,205 @@
+//! Coherence-invariant sanitizer.
+//!
+//! Fault injection (drops, duplicates, delays — see `lcm_sim::fault`) is
+//! only trustworthy if we can show the protocols' *state* survived it,
+//! not just that the final answers look right. The sanitizer turns each
+//! protocol's invariant walk ([`MemoryProtocol::sanity_check`]) into a
+//! cycle-stamped diagnostic: when a check fails, the [`Violation`]
+//! records the simulated time, barrier count, and the tail of the event
+//! trace, so a violation can be replayed precisely (fault schedules are
+//! deterministic in the seed).
+//!
+//! The invariants protocols check through this hook:
+//!
+//! * **single writer** — a block writable at one node is valid nowhere
+//!   else (Stache directory `Exclusive`);
+//! * **sharer-list agreement** — every valid tag is backed by a directory
+//!   entry naming the node, and vice versa;
+//! * **no stale clean copy past reconciliation** — LCM phase state
+//!   (private copies, clean copies, ordering logs) is empty outside a
+//!   phase and consistent inside one.
+
+use crate::protocol::MemoryProtocol;
+use std::fmt;
+
+/// How many trailing trace events a [`Violation`] captures.
+const TRACE_TAIL: usize = 16;
+
+/// A failed coherence-invariant check, stamped with enough simulation
+/// context to replay it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The protocol that failed its check ("stache", "lcm-scc", ...).
+    pub system: &'static str,
+    /// Simulated cycle (max over node clocks) when the check ran.
+    pub at_cycle: u64,
+    /// Global barriers completed when the check ran.
+    pub barriers: u64,
+    /// The invariant violated, as reported by the protocol.
+    pub detail: String,
+    /// The last few protocol events before the check (empty when the
+    /// machine ran without tracing).
+    pub trace_tail: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "coherence violation in {} at cycle {} (after {} barriers): {}",
+            self.system, self.at_cycle, self.barriers, self.detail
+        )?;
+        if !self.trace_tail.is_empty() {
+            write!(f, "\nlast {} events:", self.trace_tail.len())?;
+            for e in &self.trace_tail {
+                write!(f, "\n  {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Runs `protocol`'s invariant walk, wrapping any failure in a
+/// cycle-stamped [`Violation`].
+pub fn check<P: MemoryProtocol + ?Sized>(protocol: &P) -> Result<(), Violation> {
+    protocol.sanity_check().map_err(|detail| {
+        let m = &protocol.tempest().machine;
+        let events = m.trace().events();
+        let tail_start = events.len().saturating_sub(TRACE_TAIL);
+        Violation {
+            system: protocol.name(),
+            at_cycle: m.time(),
+            barriers: m.barriers(),
+            detail,
+            trace_tail: events[tail_start..]
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect(),
+        }
+    })
+}
+
+/// [`check`], panicking with the full diagnostic on violation. The shape
+/// used by benchmark sweeps, where a violation must abort the run.
+pub fn enforce<P: MemoryProtocol + ?Sized>(protocol: &P) {
+    if let Err(v) = check(protocol) {
+        panic!("{v}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyTable;
+    use lcm_sim::mem::Addr;
+    use lcm_sim::{MachineConfig, NodeId};
+    use lcm_tempest::Tempest;
+
+    /// A protocol whose check fails on demand.
+    struct Flaky {
+        tempest: Tempest,
+        policies: PolicyTable,
+        broken: bool,
+    }
+
+    impl Flaky {
+        fn new(broken: bool) -> Flaky {
+            Flaky {
+                tempest: Tempest::new(MachineConfig::new(2).with_trace(8)),
+                policies: PolicyTable::new(),
+                broken,
+            }
+        }
+    }
+
+    impl MemoryProtocol for Flaky {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn tempest(&self) -> &Tempest {
+            &self.tempest
+        }
+        fn tempest_mut(&mut self) -> &mut Tempest {
+            &mut self.tempest
+        }
+        fn policies(&self) -> &PolicyTable {
+            &self.policies
+        }
+        fn policies_mut(&mut self) -> &mut PolicyTable {
+            &mut self.policies
+        }
+        fn read_word(&mut self, _node: NodeId, _addr: Addr) -> u32 {
+            0
+        }
+        fn write_word(&mut self, _node: NodeId, _addr: Addr, _bits: u32) {}
+        fn sanity_check(&self) -> Result<(), String> {
+            if self.broken {
+                Err("two writers of block 7".into())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_protocol_passes() {
+        let p = Flaky::new(false);
+        check(&p).expect("nothing to report");
+        enforce(&p);
+    }
+
+    #[test]
+    fn violation_is_cycle_stamped_with_trace_tail() {
+        let mut p = Flaky::new(true);
+        p.tempest_mut().machine.advance(NodeId(0), 12345);
+        p.tempest_mut().machine.barrier();
+        let v = check(&p).expect_err("the check is broken");
+        assert_eq!(v.system, "flaky");
+        assert!(v.at_cycle >= 12345);
+        assert_eq!(v.barriers, 1);
+        assert!(v.detail.contains("two writers"));
+        assert!(!v.trace_tail.is_empty(), "barrier event captured");
+        let text = v.to_string();
+        assert!(text.contains("coherence violation in flaky"), "{text}");
+        assert!(text.contains("after 1 barriers"), "{text}");
+        assert!(text.contains("last"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence violation in flaky")]
+    fn enforce_panics_with_the_diagnostic() {
+        enforce(&Flaky::new(true));
+    }
+
+    #[test]
+    fn default_sanity_check_is_silent() {
+        // The trait default has nothing to check, so any protocol that
+        // doesn't override it sanitizes clean.
+        struct Plain(Tempest, PolicyTable);
+        impl MemoryProtocol for Plain {
+            fn name(&self) -> &'static str {
+                "plain"
+            }
+            fn tempest(&self) -> &Tempest {
+                &self.0
+            }
+            fn tempest_mut(&mut self) -> &mut Tempest {
+                &mut self.0
+            }
+            fn policies(&self) -> &PolicyTable {
+                &self.1
+            }
+            fn policies_mut(&mut self) -> &mut PolicyTable {
+                &mut self.1
+            }
+            fn read_word(&mut self, _node: NodeId, _addr: Addr) -> u32 {
+                0
+            }
+            fn write_word(&mut self, _node: NodeId, _addr: Addr, _bits: u32) {}
+        }
+        let p = Plain(Tempest::new(MachineConfig::new(1)), PolicyTable::new());
+        check(&p).expect("default check never fires");
+    }
+}

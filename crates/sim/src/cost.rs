@@ -52,6 +52,10 @@ pub struct CostModel {
     pub invalidate: u64,
     /// Upgrading a ReadOnly copy to Writable (ownership round-trip, no data).
     pub upgrade: u64,
+    /// Base retransmission timeout: how long a sender waits before deciding
+    /// a message was lost. Doubles per consecutive retry (exponential
+    /// backoff, capped). Only charged under fault injection.
+    pub retry_timeout: u64,
 }
 
 impl CostModel {
@@ -77,6 +81,9 @@ impl CostModel {
             barrier_per_level: 100,
             invalidate: 200,
             upgrade: 2000,
+            // A timeout must comfortably exceed the remote round-trip it
+            // guards, or healthy messages would be retransmitted.
+            retry_timeout: 6000,
         }
     }
 
@@ -98,6 +105,7 @@ impl CostModel {
             barrier_per_level: 0,
             invalidate: 1,
             upgrade: 1,
+            retry_timeout: 1,
         }
     }
 
@@ -118,6 +126,7 @@ impl CostModel {
             barrier_per_level: 0,
             invalidate: 0,
             upgrade: 0,
+            retry_timeout: 0,
         }
     }
 
@@ -151,6 +160,10 @@ mod tests {
         assert!(c.local_refill < c.local_fill);
         assert!(c.local_fill < c.remote_miss);
         assert!(c.upgrade < c.remote_miss);
+        assert!(
+            c.retry_timeout > c.remote_miss,
+            "timeouts outlast healthy round-trips"
+        );
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! Deterministic network fault injection.
+//!
+//! The paper's protocols run over Blizzard-E's messaging on a CM-5, where
+//! the *runtime* — not the hardware — must tolerate lost, duplicated, and
+//! delayed protocol messages. A [`FaultPlan`] schedules a per-message
+//! [`FaultOutcome`] from a seeded [`Pcg32`] stream, so a given
+//! `(rates, seed)` pair reproduces the identical fault schedule on every
+//! run. The delivery layer (`lcm-tempest`'s `Network`) consults the plan
+//! on each message attempt and turns drops into timeout/retry cycles;
+//! injected faults therefore change *costs and statistics only*, never
+//! the values a program computes.
+//!
+//! An inactive plan (all rates zero — the default) draws nothing from the
+//! RNG and adds no overhead, so fault-free runs are bit-identical to a
+//! build without this module.
+
+use crate::machine::NodeId;
+use crate::rng::Pcg32;
+use std::fmt;
+
+/// How many doublings the exponential retry backoff applies before
+/// saturating (caps the per-retry wait at `retry_timeout << 6`).
+pub const BACKOFF_DOUBLING_CAP: u32 = 6;
+
+/// Fault rates and knobs for one run. All rates are probabilities in
+/// `[0, 1]` applied independently per message attempt.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a message attempt is lost in transit.
+    pub drop_rate: f64,
+    /// Probability that a delivered message arrives twice (the transport
+    /// detects the duplicate by sequence number and nacks it).
+    pub dup_rate: f64,
+    /// Probability that a delivered message is delayed.
+    pub delay_rate: f64,
+    /// Upper bound, in cycles, of an injected delivery delay.
+    pub max_delay: u64,
+    /// Seed of the fault schedule; identical seeds reproduce identical
+    /// schedules and cycle counts.
+    pub seed: u64,
+    /// Retransmissions attempted before delivery fails structurally.
+    pub max_retries: u32,
+    /// Probability that a node stalls at a barrier (per node, per barrier).
+    pub stall_rate: f64,
+    /// Cycles a stalled node falls behind before recovering.
+    pub stall_cycles: u64,
+}
+
+impl Default for FaultConfig {
+    /// A reliable network: every rate zero, nothing drawn from the RNG.
+    fn default() -> FaultConfig {
+        FaultConfig {
+            drop_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay: 400,
+            seed: 0,
+            max_retries: 10,
+            stall_rate: 0.0,
+            stall_cycles: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A drop-only plan — the `--faults <rate>:<seed>` sweep shape.
+    pub fn drops(drop_rate: f64, seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop_rate,
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True when any fault can actually occur.
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.delay_rate > 0.0
+            || (self.stall_rate > 0.0 && self.stall_cycles > 0)
+    }
+
+    /// Validates the rates.
+    ///
+    /// # Panics
+    /// Panics if any rate is outside `[0, 1]`, NaN, or the combined
+    /// per-message rate exceeds 1.
+    pub fn validate(&self) {
+        for (name, r) in [
+            ("drop_rate", self.drop_rate),
+            ("dup_rate", self.dup_rate),
+            ("delay_rate", self.delay_rate),
+            ("stall_rate", self.stall_rate),
+        ] {
+            assert!((0.0..=1.0).contains(&r), "{name} {r} outside [0, 1]");
+        }
+        assert!(
+            self.drop_rate + self.dup_rate + self.delay_rate <= 1.0,
+            "combined per-message fault rate exceeds 1"
+        );
+    }
+}
+
+/// The scheduled fate of one message attempt.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The message arrives normally.
+    Deliver,
+    /// The message is lost; the sender will time out and retransmit.
+    Drop,
+    /// The message arrives twice; the receiver detects and nacks the
+    /// duplicate.
+    Duplicate,
+    /// The message arrives late by the given number of cycles.
+    Delay(u64),
+}
+
+/// A deterministic per-message fault schedule.
+///
+/// One outcome is drawn per delivery attempt, in attempt order, so the
+/// schedule is a pure function of `(config, message sequence)` — the
+/// property the reproducibility tests assert.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: Pcg32,
+    active: bool,
+    decisions: u64,
+}
+
+/// Distinct PCG stream for fault scheduling, so a workload's own seeded
+/// RNG never collides with the fault stream.
+const FAULT_STREAM: u64 = 0xFA17;
+
+impl FaultPlan {
+    /// A plan that never injects anything (and never touches its RNG).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::new(FaultConfig::default())
+    }
+
+    /// A plan drawing outcomes from `config`'s seed.
+    pub fn new(config: FaultConfig) -> FaultPlan {
+        config.validate();
+        FaultPlan {
+            active: config.is_active(),
+            rng: Pcg32::new(config.seed, FAULT_STREAM),
+            config,
+            decisions: 0,
+        }
+    }
+
+    /// True when this plan can inject faults.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The configured rates.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Number of outcomes drawn so far (diagnostic; equals the number of
+    /// message attempts plus barrier stall draws under an active plan).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Draws the outcome of the next message attempt. Inactive plans
+    /// return [`FaultOutcome::Deliver`] without consuming randomness.
+    pub fn next_outcome(&mut self) -> FaultOutcome {
+        if !self.active {
+            return FaultOutcome::Deliver;
+        }
+        self.decisions += 1;
+        let r = self.rng.next_f64();
+        let c = &self.config;
+        if r < c.drop_rate {
+            FaultOutcome::Drop
+        } else if r < c.drop_rate + c.dup_rate {
+            FaultOutcome::Duplicate
+        } else if r < c.drop_rate + c.dup_rate + c.delay_rate {
+            self.decisions += 1;
+            FaultOutcome::Delay(1 + self.rng.below(self.config.max_delay.max(1)))
+        } else {
+            FaultOutcome::Deliver
+        }
+    }
+
+    /// Draws the barrier-aligned stall for one node: `Some(cycles)` when
+    /// the node stalls and recovers `cycles` late, `None` otherwise.
+    /// Inactive plans (or zero stall settings) consume no randomness.
+    pub fn barrier_stall(&mut self) -> Option<u64> {
+        if !self.active || self.config.stall_rate <= 0.0 || self.config.stall_cycles == 0 {
+            return None;
+        }
+        self.decisions += 1;
+        if self.rng.next_f64() < self.config.stall_rate {
+            Some(self.config.stall_cycles)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::disabled()
+    }
+}
+
+/// A message delivery that exhausted its retransmission budget.
+///
+/// Carried as a structured error (instead of silently succeeding or
+/// aborting) so the delivery layer can surface a cycle-stamped diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryError {
+    /// The sending node.
+    pub from: NodeId,
+    /// The intended receiver.
+    pub to: NodeId,
+    /// The message kind's label (e.g. `"GetShared"`).
+    pub kind: &'static str,
+    /// Delivery attempts made (first try plus retransmissions).
+    pub attempts: u32,
+    /// The sender's clock when delivery was abandoned.
+    pub at_cycle: u64,
+}
+
+impl fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} message {} -> {} undeliverable after {} attempts (sender cycle {})",
+            self.kind, self.from, self.to, self.attempts, self.at_cycle
+        )
+    }
+}
+
+impl std::error::Error for DeliveryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_plan_delivers_without_randomness() {
+        let mut p = FaultPlan::disabled();
+        for _ in 0..100 {
+            assert_eq!(p.next_outcome(), FaultOutcome::Deliver);
+        }
+        assert_eq!(p.barrier_stall(), None);
+        assert_eq!(p.decisions(), 0);
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_schedules() {
+        let cfg = FaultConfig {
+            drop_rate: 0.2,
+            dup_rate: 0.1,
+            delay_rate: 0.1,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        let sa: Vec<_> = (0..500).map(|_| a.next_outcome()).collect();
+        let sb: Vec<_> = (0..500).map(|_| b.next_outcome()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.contains(&FaultOutcome::Drop));
+        assert!(sa.contains(&FaultOutcome::Duplicate));
+        assert!(sa.iter().any(|o| matches!(o, FaultOutcome::Delay(_))));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::new(FaultConfig::drops(0.3, 1));
+        let mut b = FaultPlan::new(FaultConfig::drops(0.3, 2));
+        let sa: Vec<_> = (0..200).map(|_| a.next_outcome()).collect();
+        let sb: Vec<_> = (0..200).map(|_| b.next_outcome()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let mut p = FaultPlan::new(FaultConfig::drops(0.25, 7));
+        let drops = (0..4000)
+            .filter(|_| p.next_outcome() == FaultOutcome::Drop)
+            .count();
+        let rate = drops as f64 / 4000.0;
+        assert!((0.20..0.30).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn delays_stay_in_bounds() {
+        let cfg = FaultConfig {
+            delay_rate: 1.0,
+            max_delay: 50,
+            ..FaultConfig::default()
+        };
+        let mut p = FaultPlan::new(cfg);
+        for _ in 0..200 {
+            match p.next_outcome() {
+                FaultOutcome::Delay(k) => assert!((1..=50).contains(&k)),
+                other => panic!("expected a delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_stalls_draw_deterministically() {
+        let cfg = FaultConfig {
+            stall_rate: 0.5,
+            stall_cycles: 1234,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        let sa: Vec<_> = (0..100).map(|_| a.barrier_stall()).collect();
+        let sb: Vec<_> = (0..100).map(|_| b.barrier_stall()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.contains(&Some(1234)));
+        assert!(sa.iter().any(|s| s.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_rate_rejected() {
+        FaultPlan::new(FaultConfig::drops(1.5, 0));
+    }
+
+    #[test]
+    fn delivery_error_is_cycle_stamped() {
+        let e = DeliveryError {
+            from: NodeId(1),
+            to: NodeId(2),
+            kind: "GetShared",
+            attempts: 11,
+            at_cycle: 98765,
+        };
+        let text = e.to_string();
+        assert!(text.contains("GetShared"), "{text}");
+        assert!(text.contains("11 attempts"), "{text}");
+        assert!(text.contains("98765"), "{text}");
+    }
+}

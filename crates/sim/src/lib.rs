@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod fault;
 pub mod hash;
 pub mod machine;
 pub mod mem;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use fault::{DeliveryError, FaultConfig, FaultOutcome, FaultPlan};
 pub use machine::{Machine, MachineConfig, NodeId};
 pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};
 pub use rng::Pcg32;

@@ -14,6 +14,7 @@
 //! results, which are dominated by miss counts and round-trip latencies.
 
 use crate::cost::CostModel;
+use crate::fault::{FaultConfig, FaultPlan};
 use crate::stats::NodeStats;
 use crate::trace::{Event, Trace};
 use std::fmt;
@@ -51,6 +52,8 @@ pub struct MachineConfig {
     pub cost: CostModel,
     /// Event-trace capacity; 0 disables tracing.
     pub trace_capacity: usize,
+    /// Network fault injection; the default is a reliable network.
+    pub faults: FaultConfig,
 }
 
 impl MachineConfig {
@@ -61,7 +64,12 @@ impl MachineConfig {
     /// Panics if `nodes == 0`.
     pub fn new(nodes: usize) -> MachineConfig {
         assert!(nodes > 0, "a machine needs at least one node");
-        MachineConfig { nodes, cost: CostModel::default(), trace_capacity: 0 }
+        MachineConfig {
+            nodes,
+            cost: CostModel::default(),
+            trace_capacity: 0,
+            faults: FaultConfig::default(),
+        }
     }
 
     /// Replaces the cost model.
@@ -73,6 +81,12 @@ impl MachineConfig {
     /// Enables tracing with the given capacity.
     pub fn with_trace(mut self, capacity: usize) -> MachineConfig {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enables deterministic network fault injection.
+    pub fn with_faults(mut self, faults: FaultConfig) -> MachineConfig {
+        self.faults = faults;
         self
     }
 }
@@ -94,6 +108,7 @@ pub struct Machine {
     stats: Vec<NodeStats>,
     trace: Trace,
     barriers: u64,
+    faults: FaultPlan,
 }
 
 impl Machine {
@@ -110,6 +125,7 @@ impl Machine {
             stats: vec![NodeStats::default(); config.nodes],
             trace,
             barriers: 0,
+            faults: FaultPlan::new(config.faults),
         }
     }
 
@@ -151,6 +167,11 @@ impl Machine {
 
     /// Executes a global barrier: all clocks jump to the maximum plus the
     /// model's barrier cost. Returns the post-barrier time.
+    ///
+    /// Under an active fault plan with stall settings, each node may be
+    /// scheduled to stall: it leaves the barrier `stall_cycles` late
+    /// (recovering by the next synchronization point). Stalls change
+    /// clocks and statistics only, never data.
     pub fn barrier(&mut self) -> u64 {
         let max = self.time();
         let after = max + self.cost.barrier_cost(self.nodes());
@@ -159,6 +180,14 @@ impl Machine {
         }
         for s in &mut self.stats {
             s.barriers += 1;
+        }
+        if self.faults.is_active() {
+            for i in 0..self.clocks.len() {
+                if let Some(stall) = self.faults.barrier_stall() {
+                    self.clocks[i] += stall;
+                    self.stats[i].stall_cycles += stall;
+                }
+            }
         }
         self.barriers += 1;
         self.trace.record(Event::Barrier { at: after });
@@ -197,6 +226,19 @@ impl Machine {
             total.add(s);
         }
         total
+    }
+
+    /// The fault plan in force (inactive by default).
+    #[inline]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable access to the fault plan (the delivery layer draws message
+    /// outcomes through this).
+    #[inline]
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
     }
 
     /// The event trace.
@@ -297,6 +339,67 @@ mod tests {
         assert!(m.trace().is_enabled());
         m.barrier();
         assert_eq!(m.trace().events().len(), 1);
+    }
+
+    #[test]
+    fn barrier_syncs_arbitrarily_skewed_clocks_to_max() {
+        let cfg = MachineConfig::new(5).with_cost(CostModel::free());
+        let mut m = Machine::new(cfg);
+        // Heavily skewed clocks: one idle node, one far ahead.
+        m.advance(NodeId(0), 1);
+        m.advance(NodeId(2), 1_000_000);
+        m.advance(NodeId(4), 37);
+        let t = m.barrier();
+        assert_eq!(
+            t, 1_000_000,
+            "free model: barrier lands exactly on the max clock"
+        );
+        for n in m.node_ids() {
+            assert_eq!(m.clock(n), t, "{n} synchronized");
+        }
+        // A second barrier from an already-synchronized state is a no-op
+        // under the free model.
+        assert_eq!(m.barrier(), t);
+    }
+
+    #[test]
+    fn barrier_stalls_charge_cycles_deterministically() {
+        use crate::fault::FaultConfig;
+        let faults = FaultConfig {
+            stall_rate: 0.5,
+            stall_cycles: 777,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let cfg = MachineConfig::new(8)
+                .with_cost(CostModel::unit())
+                .with_faults(faults);
+            let mut m = Machine::new(cfg);
+            for _ in 0..10 {
+                m.barrier();
+            }
+            (m.time(), m.total_stats().stall_cycles)
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!((t1, s1), (t2, s2), "identical seeds, identical stalls");
+        assert!(s1 > 0, "some node stalled across 10 barriers at rate 0.5");
+        assert_eq!(s1 % 777, 0);
+    }
+
+    #[test]
+    fn inactive_faults_leave_barrier_untouched() {
+        let mut plain = Machine::new(MachineConfig::new(4).with_cost(CostModel::unit()));
+        let mut with_plan = Machine::new(
+            MachineConfig::new(4)
+                .with_cost(CostModel::unit())
+                .with_faults(crate::fault::FaultConfig::default()),
+        );
+        for _ in 0..5 {
+            assert_eq!(plain.barrier(), with_plan.barrier());
+        }
+        assert_eq!(with_plan.total_stats().stall_cycles, 0);
+        assert_eq!(with_plan.faults().decisions(), 0);
     }
 
     #[test]

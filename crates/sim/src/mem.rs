@@ -262,7 +262,9 @@ impl BlockBuf {
     /// A block of all-zero bytes.
     #[inline]
     pub fn zeroed() -> BlockBuf {
-        BlockBuf { bytes: [0; BLOCK_BYTES] }
+        BlockBuf {
+            bytes: [0; BLOCK_BYTES],
+        }
     }
 
     /// Builds a block from raw bytes.
@@ -281,7 +283,12 @@ impl BlockBuf {
     #[inline]
     pub fn word(&self, w: usize) -> u32 {
         let o = w * WORD_BYTES;
-        u32::from_le_bytes([self.bytes[o], self.bytes[o + 1], self.bytes[o + 2], self.bytes[o + 3]])
+        u32::from_le_bytes([
+            self.bytes[o],
+            self.bytes[o + 1],
+            self.bytes[o + 2],
+            self.bytes[o + 3],
+        ])
     }
 
     /// Stores raw bit pattern `v` into word `w`.
@@ -309,7 +316,10 @@ impl BlockBuf {
     /// Panics if `w` is odd or `w + 1 >= WORDS_PER_BLOCK`.
     #[inline]
     pub fn f64(&self, w: usize) -> f64 {
-        assert!(w.is_multiple_of(2) && w + 1 < WORDS_PER_BLOCK, "f64 word index {w} invalid");
+        assert!(
+            w.is_multiple_of(2) && w + 1 < WORDS_PER_BLOCK,
+            "f64 word index {w} invalid"
+        );
         let lo = self.word(w) as u64;
         let hi = self.word(w + 1) as u64;
         f64::from_bits(lo | (hi << 32))
@@ -321,7 +331,10 @@ impl BlockBuf {
     /// Panics if `w` is odd or `w + 1 >= WORDS_PER_BLOCK`.
     #[inline]
     pub fn set_f64(&mut self, w: usize, v: f64) {
-        assert!(w.is_multiple_of(2) && w + 1 < WORDS_PER_BLOCK, "f64 word index {w} invalid");
+        assert!(
+            w.is_multiple_of(2) && w + 1 < WORDS_PER_BLOCK,
+            "f64 word index {w} invalid"
+        );
         let bits = v.to_bits();
         self.set_word(w, bits as u32);
         self.set_word(w + 1, (bits >> 32) as u32);

@@ -27,7 +27,10 @@ const PCG_MULT: u64 = 6364136223846793005;
 impl Pcg32 {
     /// Creates a generator from a seed and a stream selector.
     pub fn new(seed: u64, stream: u64) -> Pcg32 {
-        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         rng.next_u32();

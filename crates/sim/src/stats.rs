@@ -54,6 +54,21 @@ pub struct NodeStats {
     pub evictions: u64,
     /// Global barriers this node participated in.
     pub barriers: u64,
+    /// Retransmissions this node performed after a delivery timeout
+    /// (fault injection only).
+    pub retries: u64,
+    /// Delivery timeouts this node suffered waiting on a lost message
+    /// (fault injection only).
+    pub timeouts: u64,
+    /// Message attempts by this node that the network dropped
+    /// (fault injection only; dropped attempts are *not* in `msgs_sent`).
+    pub msgs_dropped: u64,
+    /// Duplicate deliveries this node detected and nacked as a receiver
+    /// (fault injection only; duplicates are *not* in `msgs_recv`).
+    pub msgs_duplicated: u64,
+    /// Cycles this node lost to injected barrier-aligned stalls
+    /// (fault injection only).
+    pub stall_cycles: u64,
 }
 
 impl NodeStats {
@@ -116,6 +131,17 @@ impl NodeStats {
         self.stale_refreshes += other.stale_refreshes;
         self.evictions += other.evictions;
         self.barriers += other.barriers;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.msgs_dropped += other.msgs_dropped;
+        self.msgs_duplicated += other.msgs_duplicated;
+        self.stall_cycles += other.stall_cycles;
+    }
+
+    /// Total injected-fault events observed by this node (retries,
+    /// timeouts, drops, duplicates). Zero on a reliable network.
+    pub fn fault_events(&self) -> u64 {
+        self.retries + self.timeouts + self.msgs_dropped + self.msgs_duplicated
     }
 }
 
@@ -137,7 +163,11 @@ impl std::fmt::Display for NodeStats {
         writeln!(
             f,
             "messages: {} sent / {} received ({} blocks); invalidations {} sent / {} received",
-            self.msgs_sent, self.msgs_recv, self.blocks_sent, self.invalidations_sent, self.invalidations_recv
+            self.msgs_sent,
+            self.msgs_recv,
+            self.blocks_sent,
+            self.invalidations_sent,
+            self.invalidations_recv
         )?;
         write!(
             f,
@@ -151,7 +181,19 @@ impl std::fmt::Display for NodeStats {
             self.stale_refreshes,
             self.evictions,
             self.barriers
-        )
+        )?;
+        if self.fault_events() > 0 || self.stall_cycles > 0 {
+            write!(
+                f,
+                "\nfaults: {} dropped, {} duplicated, {} timeouts, {} retries, {} stall cycles",
+                self.msgs_dropped,
+                self.msgs_duplicated,
+                self.timeouts,
+                self.retries,
+                self.stall_cycles
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -200,6 +242,11 @@ mod tests {
             stale_refreshes: 19,
             evictions: 21,
             barriers: 20,
+            retries: 22,
+            timeouts: 23,
+            msgs_dropped: 24,
+            msgs_duplicated: 25,
+            stall_cycles: 26,
         };
         a.add(&b);
         a.add(&b);
@@ -207,6 +254,12 @@ mod tests {
         assert_eq!(a.barriers, 40);
         assert_eq!(a.evictions, 42);
         assert_eq!(a.conflicts(), 2 * (17 + 18));
+        assert_eq!(a.retries, 44);
+        assert_eq!(a.timeouts, 46);
+        assert_eq!(a.msgs_dropped, 48);
+        assert_eq!(a.msgs_duplicated, 50);
+        assert_eq!(a.stall_cycles, 52);
+        assert_eq!(a.fault_events(), 44 + 46 + 48 + 50);
     }
 
     #[test]
@@ -218,7 +271,12 @@ mod tests {
 
     #[test]
     fn display_reports_the_headline_numbers() {
-        let s = NodeStats { read_hits: 90, read_miss_remote: 10, marks: 3, ..NodeStats::default() };
+        let s = NodeStats {
+            read_hits: 90,
+            read_miss_remote: 10,
+            marks: 3,
+            ..NodeStats::default()
+        };
         let text = s.to_string();
         assert!(text.contains("accesses: 100"), "{text}");
         assert!(text.contains("10 misses"), "{text}");

@@ -95,6 +95,7 @@ pub enum Event {
 pub struct Trace {
     enabled: bool,
     capacity: usize,
+    ring: bool,
     events: Vec<Event>,
     dropped: u64,
 }
@@ -108,7 +109,32 @@ impl Trace {
     /// An enabled trace retaining at most `capacity` events. Further events
     /// are counted in [`Trace::dropped`] but not stored.
     pub fn with_capacity(capacity: usize) -> Trace {
-        Trace { enabled: true, capacity, events: Vec::new(), dropped: 0 }
+        Trace {
+            enabled: true,
+            capacity,
+            ring: false,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// An enabled trace retaining the *last* `capacity` events: on
+    /// overflow the oldest event is discarded (and counted in
+    /// [`Trace::dropped`]). Diagnostics — the coherence sanitizer's
+    /// violation reports — use this mode, where the events leading up to
+    /// a failure matter more than the program's opening.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn ring(capacity: usize) -> Trace {
+        assert!(capacity > 0, "a ring trace needs capacity");
+        Trace {
+            enabled: true,
+            capacity,
+            ring: true,
+            events: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// True when events are being recorded.
@@ -116,7 +142,13 @@ impl Trace {
         self.enabled
     }
 
-    /// Records `event` if enabled and under capacity.
+    /// True for keep-last ([`Trace::ring`]) traces.
+    pub fn is_ring(&self) -> bool {
+        self.ring
+    }
+
+    /// Records `event` if enabled; on overflow, keep-first traces discard
+    /// `event` and ring traces discard their oldest entry.
     #[inline]
     pub fn record(&mut self, event: Event) {
         if !self.enabled {
@@ -124,6 +156,11 @@ impl Trace {
         }
         if self.events.len() < self.capacity {
             self.events.push(event);
+        } else if self.ring {
+            // Diagnostic capacities are small; a linear shift is fine.
+            self.events.remove(0);
+            self.events.push(event);
+            self.dropped += 1;
         } else {
             self.dropped += 1;
         }
@@ -148,7 +185,8 @@ impl Trace {
     /// Aggregates the recorded events into a [`TraceSummary`].
     pub fn summarize(&self) -> TraceSummary {
         let mut s = TraceSummary::default();
-        let mut per_block: std::collections::HashMap<BlockId, u64> = std::collections::HashMap::new();
+        let mut per_block: std::collections::HashMap<BlockId, u64> =
+            std::collections::HashMap::new();
         for e in &self.events {
             match e {
                 Event::ReadMiss { block, .. } => {
@@ -218,7 +256,12 @@ impl std::fmt::Display for TraceSummary {
         writeln!(
             f,
             "misses: {} read / {} write / {} upgrade; marks {}, clean copies {}, flushes {}",
-            self.read_misses, self.write_misses, self.upgrades, self.marks, self.clean_copies, self.flushes
+            self.read_misses,
+            self.write_misses,
+            self.upgrades,
+            self.marks,
+            self.clean_copies,
+            self.flushes
         )?;
         writeln!(
             f,
@@ -260,6 +303,62 @@ mod tests {
     }
 
     #[test]
+    fn keep_first_overflow_discards_newest() {
+        // with_capacity keeps the opening of the run: record beyond
+        // capacity and the stored prefix never changes.
+        let mut t = Trace::with_capacity(3);
+        for i in 0..10 {
+            t.record(Event::Barrier { at: i });
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let stored: Vec<u64> = t
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Barrier { at } => *at,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(stored, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_the_last_events() {
+        let mut t = Trace::ring(3);
+        assert!(t.is_ring());
+        for i in 0..10 {
+            t.record(Event::Barrier { at: i });
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let stored: Vec<u64> = t
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Barrier { at } => *at,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(stored, vec![7, 8, 9], "ring retains the tail, oldest first");
+    }
+
+    #[test]
+    fn ring_under_capacity_behaves_like_plain_trace() {
+        let mut t = Trace::ring(8);
+        t.record(Event::Barrier { at: 1 });
+        t.record(Event::Barrier { at: 2 });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_ring_rejected() {
+        Trace::ring(0);
+    }
+
+    #[test]
     fn clear_resets() {
         let mut t = Trace::with_capacity(2);
         t.record(Event::Barrier { at: 1 });
@@ -275,15 +374,41 @@ mod tests {
         let hot = BlockId(7);
         let cold = BlockId(9);
         for _ in 0..3 {
-            t.record(Event::ReadMiss { node: NodeId(0), block: hot, remote: true });
+            t.record(Event::ReadMiss {
+                node: NodeId(0),
+                block: hot,
+                remote: true,
+            });
         }
-        t.record(Event::WriteMiss { node: NodeId(1), block: cold, remote: false });
-        t.record(Event::Upgrade { node: NodeId(1), block: hot });
-        t.record(Event::Mark { node: NodeId(1), block: hot });
-        t.record(Event::Flush { node: NodeId(1), block: hot });
-        t.record(Event::Reconcile { block: hot, versions: 2 });
-        t.record(Event::Invalidate { node: NodeId(0), block: hot });
-        t.record(Event::WwConflict { block: hot, word: 3 });
+        t.record(Event::WriteMiss {
+            node: NodeId(1),
+            block: cold,
+            remote: false,
+        });
+        t.record(Event::Upgrade {
+            node: NodeId(1),
+            block: hot,
+        });
+        t.record(Event::Mark {
+            node: NodeId(1),
+            block: hot,
+        });
+        t.record(Event::Flush {
+            node: NodeId(1),
+            block: hot,
+        });
+        t.record(Event::Reconcile {
+            block: hot,
+            versions: 2,
+        });
+        t.record(Event::Invalidate {
+            node: NodeId(0),
+            block: hot,
+        });
+        t.record(Event::WwConflict {
+            block: hot,
+            word: 3,
+        });
         t.record(Event::Barrier { at: 100 });
         let s = t.summarize();
         assert_eq!(s.read_misses, 3);
@@ -295,7 +420,11 @@ mod tests {
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.conflicts, 1);
         assert_eq!(s.barriers, 1);
-        assert_eq!(s.hottest_blocks[0], (hot, 5), "3 reads + upgrade + invalidate");
+        assert_eq!(
+            s.hottest_blocks[0],
+            (hot, 5),
+            "3 reads + upgrade + invalidate"
+        );
         assert_eq!(s.hottest_blocks[1], (cold, 1));
         assert!(!s.to_string().is_empty());
     }

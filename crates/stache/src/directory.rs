@@ -125,6 +125,12 @@ mod tests {
         assert!(DirState::Idle.holders().is_empty());
         let s: SharerSet = [NodeId(1), NodeId(4)].into_iter().collect();
         assert_eq!(DirState::Shared(s).holders(), s);
-        assert_eq!(DirState::Exclusive(NodeId(3)).holders().iter().collect::<Vec<_>>(), vec![NodeId(3)]);
+        assert_eq!(
+            DirState::Exclusive(NodeId(3))
+                .holders()
+                .iter()
+                .collect::<Vec<_>>(),
+            vec![NodeId(3)]
+        );
     }
 }

@@ -88,14 +88,19 @@ impl Stache {
     /// # Panics
     /// Panics if the machine has more nodes than the directory supports.
     pub fn from_tempest(t: Tempest) -> Stache {
-        assert!(t.nodes() <= MAX_NODES, "directory supports at most {MAX_NODES} nodes");
+        assert!(
+            t.nodes() <= MAX_NODES,
+            "directory supports at most {MAX_NODES} nodes"
+        );
         let nodes = t.nodes();
         Stache {
             t,
             dir: Directory::new(),
             policies: PolicyTable::new(),
             capacity: None,
-            fifo: (0..nodes).map(|_| std::collections::VecDeque::new()).collect(),
+            fifo: (0..nodes)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
             resident: vec![0; nodes],
         }
     }
@@ -107,7 +112,9 @@ impl Stache {
         self.fifo[node.index()].push_back(block);
         self.resident[node.index()] += 1;
         while self.resident[node.index()] > cap {
-            let victim = self.fifo[node.index()].pop_front().expect("resident blocks are queued");
+            let victim = self.fifo[node.index()]
+                .pop_front()
+                .expect("resident blocks are queued");
             let tag = self.t.tags[node.index()].get(victim);
             if tag == Tag::Invalid || victim == block {
                 continue; // stale queue entry, or never evict the block just filled
@@ -128,14 +135,20 @@ impl Stache {
         match self.dir.state(victim) {
             DirState::Exclusive(owner) if owner == node => {
                 // Dirty victim: write the data home.
-                self.t.net.send(&mut self.t.machine, node, home, MsgKind::Writeback, true);
+                self.t
+                    .net
+                    .send(&mut self.t.machine, node, home, MsgKind::Writeback, true);
                 self.dir.set(victim, DirState::Idle);
             }
             DirState::Shared(mut sharers) => {
                 sharers.remove(node);
                 self.dir.set(
                     victim,
-                    if sharers.is_empty() { DirState::Idle } else { DirState::Shared(sharers) },
+                    if sharers.is_empty() {
+                        DirState::Idle
+                    } else {
+                        DirState::Shared(sharers)
+                    },
                 );
             }
             _ => {}
@@ -191,7 +204,9 @@ impl Stache {
                         ));
                     }
                     (DirState::Idle, tag) => {
-                        return Err(format!("{node} holds {block:?} ({tag:?}) but the directory is idle"));
+                        return Err(format!(
+                            "{node} holds {block:?} ({tag:?}) but the directory is idle"
+                        ));
                     }
                     (_, Tag::Invalid) => unreachable!("iter_valid yields valid tags"),
                 }
@@ -250,11 +265,34 @@ impl Stache {
 
     /// Sends one invalidation from `home` to `sharer` and processes it:
     /// tag cleared, handler + ack accounted.
+    ///
+    /// Idempotent: a re-delivered invalidation (the original's ack was
+    /// lost and the home's transaction retried) finds the tag already
+    /// Invalid and is acked again without double-counting the
+    /// invalidation or re-clearing anything.
     fn invalidate_one(&mut self, home: NodeId, sharer: NodeId, block: BlockId) {
-        self.note_invalidate(sharer, block);
         let c = *self.t.machine.cost();
-        self.t.net.count_only(&mut self.t.machine, home, sharer, MsgKind::Invalidate, false);
-        self.t.net.count_only(&mut self.t.machine, sharer, home, MsgKind::Ack, false);
+        if self.t.tags[sharer.index()].get(block) == Tag::Invalid {
+            self.t
+                .net
+                .count_only(&mut self.t.machine, sharer, home, MsgKind::Ack, false);
+            if home != sharer {
+                self.t.machine.advance(sharer, c.msg_recv);
+                self.t.machine.advance(home, c.msg_recv);
+            }
+            return;
+        }
+        self.note_invalidate(sharer, block);
+        self.t.net.count_only(
+            &mut self.t.machine,
+            home,
+            sharer,
+            MsgKind::Invalidate,
+            false,
+        );
+        self.t
+            .net
+            .count_only(&mut self.t.machine, sharer, home, MsgKind::Ack, false);
         if home != sharer {
             self.t.machine.advance(sharer, c.msg_recv + c.invalidate);
             self.t.machine.advance(home, c.msg_recv); // the ack
@@ -264,7 +302,10 @@ impl Stache {
         self.t.tags[sharer.index()].set(block, Tag::Invalid);
         self.t.machine.stats_mut(home).invalidations_sent += 1;
         self.t.machine.stats_mut(sharer).invalidations_recv += 1;
-        self.t.machine.record(Event::Invalidate { node: sharer, block });
+        self.t.machine.record(Event::Invalidate {
+            node: sharer,
+            block,
+        });
     }
 
     /// Handles a load fault: obtains a read-only copy for `node`.
@@ -279,12 +320,24 @@ impl Stache {
             DirState::Exclusive(owner) => {
                 // Three-hop recall: node -> home -> owner -> home -> node.
                 // The owner is downgraded and keeps a read-only copy.
-                let latency = if node == home { c.remote_miss } else { 2 * c.remote_miss };
+                let latency = if node == home {
+                    c.remote_miss
+                } else {
+                    2 * c.remote_miss
+                };
                 self.t.machine.advance(node, latency);
-                self.t.net.count_only(&mut self.t.machine, node, home, MsgKind::GetShared, false);
-                self.t.net.count_only(&mut self.t.machine, home, owner, MsgKind::Invalidate, false);
-                self.t.net.count_only(&mut self.t.machine, owner, home, MsgKind::Writeback, true);
-                self.t.net.count_only(&mut self.t.machine, home, node, MsgKind::GetShared, true);
+                self.t
+                    .net
+                    .count_only(&mut self.t.machine, node, home, MsgKind::GetShared, false);
+                self.t
+                    .net
+                    .count_only(&mut self.t.machine, home, owner, MsgKind::Invalidate, false);
+                self.t
+                    .net
+                    .count_only(&mut self.t.machine, owner, home, MsgKind::Writeback, true);
+                self.t
+                    .net
+                    .count_only(&mut self.t.machine, home, node, MsgKind::GetShared, true);
                 if home != node {
                     self.t.machine.advance(home, 2 * c.msg_recv);
                 }
@@ -294,18 +347,36 @@ impl Stache {
                 sharers.add(node);
                 self.dir.set(block, DirState::Shared(sharers));
                 self.t.machine.stats_mut(node).read_miss_remote += 1;
-                self.t.machine.record(Event::ReadMiss { node, block, remote: true });
+                self.t.machine.record(Event::ReadMiss {
+                    node,
+                    block,
+                    remote: true,
+                });
             }
             other => {
                 // Idle or Shared: the home's value is current.
                 if node == home {
                     self.t.machine.advance(node, c.local_fill);
                     self.t.machine.stats_mut(node).read_miss_local += 1;
-                    self.t.machine.record(Event::ReadMiss { node, block, remote: false });
+                    self.t.machine.record(Event::ReadMiss {
+                        node,
+                        block,
+                        remote: false,
+                    });
                 } else {
-                    self.t.net.request_reply(&mut self.t.machine, node, home, MsgKind::GetShared, true);
+                    self.t.net.request_reply(
+                        &mut self.t.machine,
+                        node,
+                        home,
+                        MsgKind::GetShared,
+                        true,
+                    );
                     self.t.machine.stats_mut(node).read_miss_remote += 1;
-                    self.t.machine.record(Event::ReadMiss { node, block, remote: true });
+                    self.t.machine.record(Event::ReadMiss {
+                        node,
+                        block,
+                        remote: true,
+                    });
                 }
                 let mut sharers = other.holders();
                 sharers.add(node);
@@ -327,17 +398,35 @@ impl Stache {
             }
             DirState::Exclusive(owner) => {
                 // Recall-and-invalidate the current owner.
-                let latency = if node == home { c.remote_miss } else { 2 * c.remote_miss };
+                let latency = if node == home {
+                    c.remote_miss
+                } else {
+                    2 * c.remote_miss
+                };
                 self.t.machine.advance(node, latency);
-                self.t.net.count_only(&mut self.t.machine, node, home, MsgKind::GetExclusive, false);
-                self.t.net.count_only(&mut self.t.machine, owner, home, MsgKind::Writeback, true);
-                self.t.net.count_only(&mut self.t.machine, home, node, MsgKind::GetExclusive, true);
+                self.t.net.count_only(
+                    &mut self.t.machine,
+                    node,
+                    home,
+                    MsgKind::GetExclusive,
+                    false,
+                );
+                self.t
+                    .net
+                    .count_only(&mut self.t.machine, owner, home, MsgKind::Writeback, true);
+                self.t
+                    .net
+                    .count_only(&mut self.t.machine, home, node, MsgKind::GetExclusive, true);
                 if home != node {
                     self.t.machine.advance(home, 2 * c.msg_recv);
                 }
                 self.invalidate_one(home, owner, block);
                 self.t.machine.stats_mut(node).write_miss_remote += 1;
-                self.t.machine.record(Event::WriteMiss { node, block, remote: true });
+                self.t.machine.record(Event::WriteMiss {
+                    node,
+                    block,
+                    remote: true,
+                });
             }
             DirState::Shared(sharers) => {
                 let held = sharers.contains(node);
@@ -357,14 +446,32 @@ impl Stache {
                     self.t.machine.record(Event::Upgrade { node, block });
                 } else if node == home {
                     // Fill locally, but wait out the invalidations if any.
-                    let latency = if others.is_empty() { c.local_fill } else { c.remote_miss };
+                    let latency = if others.is_empty() {
+                        c.local_fill
+                    } else {
+                        c.remote_miss
+                    };
                     self.t.machine.advance(node, latency);
                     self.t.machine.stats_mut(node).write_miss_local += 1;
-                    self.t.machine.record(Event::WriteMiss { node, block, remote: false });
+                    self.t.machine.record(Event::WriteMiss {
+                        node,
+                        block,
+                        remote: false,
+                    });
                 } else {
-                    self.t.net.request_reply(&mut self.t.machine, node, home, MsgKind::GetExclusive, true);
+                    self.t.net.request_reply(
+                        &mut self.t.machine,
+                        node,
+                        home,
+                        MsgKind::GetExclusive,
+                        true,
+                    );
                     self.t.machine.stats_mut(node).write_miss_remote += 1;
-                    self.t.machine.record(Event::WriteMiss { node, block, remote: true });
+                    self.t.machine.record(Event::WriteMiss {
+                        node,
+                        block,
+                        remote: true,
+                    });
                 }
                 self.dir.set(block, DirState::Exclusive(node));
                 self.t.tags[node.index()].set(block, Tag::ReadWrite);
@@ -377,11 +484,25 @@ impl Stache {
                 if node == home {
                     self.t.machine.advance(node, c.local_fill);
                     self.t.machine.stats_mut(node).write_miss_local += 1;
-                    self.t.machine.record(Event::WriteMiss { node, block, remote: false });
+                    self.t.machine.record(Event::WriteMiss {
+                        node,
+                        block,
+                        remote: false,
+                    });
                 } else {
-                    self.t.net.request_reply(&mut self.t.machine, node, home, MsgKind::GetExclusive, true);
+                    self.t.net.request_reply(
+                        &mut self.t.machine,
+                        node,
+                        home,
+                        MsgKind::GetExclusive,
+                        true,
+                    );
                     self.t.machine.stats_mut(node).write_miss_remote += 1;
-                    self.t.machine.record(Event::WriteMiss { node, block, remote: true });
+                    self.t.machine.record(Event::WriteMiss {
+                        node,
+                        block,
+                        remote: true,
+                    });
                 }
             }
         }
@@ -410,6 +531,10 @@ impl MemoryProtocol for Stache {
 
     fn policies_mut(&mut self) -> &mut PolicyTable {
         &mut self.policies
+    }
+
+    fn sanity_check(&self) -> Result<(), String> {
+        self.verify_coherence_invariants()
     }
 
     fn read_word(&mut self, node: NodeId, addr: Addr) -> u32 {
@@ -504,7 +629,10 @@ mod tests {
         s.read_f32(NodeId(2), a);
         s.read_f32(NodeId(3), a);
         s.write_f32(NodeId(1), a, 1.0);
-        assert_eq!(s.directory().state(a.block()), DirState::Exclusive(NodeId(1)));
+        assert_eq!(
+            s.directory().state(a.block()),
+            DirState::Exclusive(NodeId(1))
+        );
         assert_eq!(s.tempest().tag(NodeId(2), a.block()), Tag::Invalid);
         assert_eq!(s.tempest().tag(NodeId(3), a.block()), Tag::Invalid);
         assert_eq!(s.tempest().machine.stats(NodeId(2)).invalidations_recv, 1);
@@ -558,7 +686,10 @@ mod tests {
         let (mut s, a) = system(3);
         s.write_f32(NodeId(1), a, 1.0);
         s.write_f32(NodeId(2), a, 2.0);
-        assert_eq!(s.directory().state(a.block()), DirState::Exclusive(NodeId(2)));
+        assert_eq!(
+            s.directory().state(a.block()),
+            DirState::Exclusive(NodeId(2))
+        );
         assert_eq!(s.tempest().tag(NodeId(1), a.block()), Tag::Invalid);
         assert_eq!(s.read_f32(NodeId(0), a), 2.0);
     }
@@ -604,7 +735,10 @@ mod tests {
         let before = s3.tempest().machine.clock(n);
         s3.read_f32(n, a3);
         let recall = s3.tempest().machine.clock(n) - before;
-        assert!(recall > remote, "recall {recall} should exceed fill {remote}");
+        assert!(
+            recall > remote,
+            "recall {recall} should exceed fill {remote}"
+        );
     }
 
     #[test]
@@ -648,7 +782,9 @@ mod tests {
     fn capacity_evicts_fifo_and_preserves_data() {
         // 4-block cache on node 1; touch 8 blocks, re-touch the first.
         let mut s = Stache::with_capacity(MachineConfig::new(2), 4);
-        let a = s.tempest_mut().alloc(4096, Placement::OnNode(NodeId(0)), "t");
+        let a = s
+            .tempest_mut()
+            .alloc(4096, Placement::OnNode(NodeId(0)), "t");
         for i in 0..8u64 {
             s.write_i32(NodeId(1), a.offset(i * 32), i as i32);
         }
@@ -658,7 +794,10 @@ mod tests {
         // but returns the written value.
         let misses_before = s.tempest().machine.stats(NodeId(1)).misses();
         assert_eq!(s.read_i32(NodeId(1), a), 0);
-        assert_eq!(s.tempest().machine.stats(NodeId(1)).misses(), misses_before + 1);
+        assert_eq!(
+            s.tempest().machine.stats(NodeId(1)).misses(),
+            misses_before + 1
+        );
         // A recently-written block is still resident.
         assert_eq!(s.read_i32(NodeId(1), a.offset(7 * 32)), 7);
         assert_eq!(s.tempest().machine.stats(NodeId(1)).read_hits, 1);
@@ -667,7 +806,9 @@ mod tests {
     #[test]
     fn capacity_eviction_updates_directory() {
         let mut s = Stache::with_capacity(MachineConfig::new(2), 2);
-        let a = s.tempest_mut().alloc(4096, Placement::OnNode(NodeId(0)), "t");
+        let a = s
+            .tempest_mut()
+            .alloc(4096, Placement::OnNode(NodeId(0)), "t");
         for i in 0..3u64 {
             s.write_i32(NodeId(1), a.offset(i * 32), 1);
         }
@@ -679,7 +820,11 @@ mod tests {
         s.read_i32(NodeId(1), b);
         s.read_i32(NodeId(1), a.offset(4 * 32));
         s.read_i32(NodeId(1), a.offset(5 * 32));
-        assert_eq!(s.tempest().tag(NodeId(1), b.block()), Tag::Invalid, "b was evicted");
+        assert_eq!(
+            s.tempest().tag(NodeId(1), b.block()),
+            Tag::Invalid,
+            "b was evicted"
+        );
         assert_eq!(s.directory().state(b.block()), DirState::Idle);
     }
 
@@ -711,15 +856,56 @@ mod tests {
         s.tempest_mut().set_tag(NodeId(3), a.block(), Tag::ReadOnly);
         s.restore_shared(a.block(), sharers);
         assert_eq!(s.directory().state(a.block()), DirState::Shared(sharers));
-        assert_eq!(s.tempest().tag(NodeId(2), a.block()), Tag::ReadOnly, "writer downgraded");
-        s.verify_coherence_invariants().expect("restored state is coherent");
+        assert_eq!(
+            s.tempest().tag(NodeId(2), a.block()),
+            Tag::ReadOnly,
+            "writer downgraded"
+        );
+        s.verify_coherence_invariants()
+            .expect("restored state is coherent");
         // Both read without faulting; a third write re-invalidates them.
         s.read_f32(NodeId(2), a);
         s.read_f32(NodeId(3), a);
         assert_eq!(s.tempest().machine.stats(NodeId(2)).read_hits, 1);
         s.write_f32(NodeId(0), a, 2.0);
         assert_eq!(s.tempest().tag(NodeId(2), a.block()), Tag::Invalid);
-        s.verify_coherence_invariants().expect("coherent after the write");
+        s.verify_coherence_invariants()
+            .expect("coherent after the write");
+    }
+
+    #[test]
+    fn redelivered_invalidation_is_idempotent() {
+        let (mut s, a) = system(4);
+        s.read_f32(NodeId(1), a);
+        let home = s.tempest().home_of(a.block());
+        let holders = s.absorb_block(a.block());
+        assert!(holders.contains(NodeId(1)));
+        s.invalidate_copy(home, NodeId(1), a.block());
+        assert_eq!(s.tempest().tag(NodeId(1), a.block()), Tag::Invalid);
+        let counted = s.tempest().machine.stats(NodeId(1)).invalidations_recv;
+        // The same invalidation arrives again (lost-ack retry): acked,
+        // tag stays Invalid, not double-counted, invariants hold.
+        s.invalidate_copy(home, NodeId(1), a.block());
+        s.invalidate_copy(home, NodeId(1), a.block());
+        assert_eq!(s.tempest().tag(NodeId(1), a.block()), Tag::Invalid);
+        assert_eq!(
+            s.tempest().machine.stats(NodeId(1)).invalidations_recv,
+            counted
+        );
+        s.verify_coherence_invariants()
+            .expect("re-delivery leaves state coherent");
+    }
+
+    #[test]
+    fn restore_shared_is_idempotent() {
+        let (mut s, a) = system(4);
+        s.read_f32(NodeId(1), a);
+        s.read_f32(NodeId(2), a);
+        let holders = s.absorb_block(a.block());
+        s.restore_shared(a.block(), holders);
+        s.restore_shared(a.block(), holders);
+        assert_eq!(s.directory().state(a.block()), DirState::Shared(holders));
+        s.verify_coherence_invariants().expect("idempotent restore");
     }
 
     #[test]

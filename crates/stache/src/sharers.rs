@@ -46,7 +46,10 @@ impl SharerSet {
     /// Panics if `node.index() >= MAX_NODES`.
     #[inline]
     pub fn add(&mut self, node: NodeId) {
-        assert!(node.index() < MAX_NODES, "node {node} exceeds directory capacity");
+        assert!(
+            node.index() < MAX_NODES,
+            "node {node} exceeds directory capacity"
+        );
         self.0 |= 1 << node.index();
     }
 
@@ -154,7 +157,10 @@ mod tests {
     #[test]
     fn iter_is_ascending_and_complete() {
         let s: SharerSet = [NodeId(5), NodeId(1), NodeId(31)].into_iter().collect();
-        assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(1), NodeId(5), NodeId(31)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(5), NodeId(31)]
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 fn run_program(mut stache: Stache, program: &[Op], check_every_step: bool) {
-    let base = stache.tempest_mut().alloc(WORDS * 4, Placement::Interleaved, "w");
+    let base = stache
+        .tempest_mut()
+        .alloc(WORDS * 4, Placement::Interleaved, "w");
     let mut reference: HashMap<u64, u32> = HashMap::new();
     for (i, op) in program.iter().enumerate() {
         match *op {
@@ -45,10 +47,14 @@ fn run_program(mut stache: Stache, program: &[Op], check_every_step: bool) {
             }
         }
         if check_every_step {
-            stache.verify_coherence_invariants().unwrap_or_else(|e| panic!("step {i}: {e}"));
+            stache
+                .verify_coherence_invariants()
+                .unwrap_or_else(|e| panic!("step {i}: {e}"));
         }
     }
-    stache.verify_coherence_invariants().expect("final state coherent");
+    stache
+        .verify_coherence_invariants()
+        .expect("final state coherent");
 }
 
 fn addr(base: Addr, word: u64) -> Addr {

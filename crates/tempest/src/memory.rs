@@ -6,7 +6,9 @@
 //! are served from. Storage is lazily materialized in zeroed 4 KB pages.
 
 use lcm_sim::hash::FastMap;
-use lcm_sim::mem::{Addr, BlockBuf, BlockId, PageId, WordMask, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES};
+use lcm_sim::mem::{
+    Addr, BlockBuf, BlockId, PageId, WordMask, BLOCK_BYTES, PAGE_BYTES, WORD_BYTES,
+};
 
 /// The home-value store for the whole global address space.
 ///
@@ -41,7 +43,9 @@ impl HomeMemory {
 
     #[inline]
     fn page_mut(&mut self, page: PageId) -> &mut [u8; PAGE_BYTES] {
-        self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_BYTES]))
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_BYTES]))
     }
 
     /// Raw bits of the word at `addr` (low two address bits ignored).

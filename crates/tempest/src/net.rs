@@ -1,4 +1,4 @@
-//! Protocol message accounting.
+//! Protocol message delivery and accounting.
 //!
 //! The simulation dispatches protocol handlers synchronously (one host
 //! thread, logical clocks), so the network is a *cost and counting* layer
@@ -6,8 +6,32 @@
 //! overheads and updates the per-node message statistics; a blocking
 //! request/reply additionally charges the requester the full remote-miss
 //! round-trip latency. See `DESIGN.md` for the fidelity argument.
+//!
+//! Under an active [`lcm_sim::FaultPlan`] the layer becomes an unreliable
+//! delivery substrate with a reliable-transport discipline on top, the
+//! way Blizzard-E's messaging runtime must behave on real hardware:
+//!
+//! * a **dropped** attempt never reaches the receiver; the sender waits a
+//!   [`lcm_sim::CostModel::retry_timeout`] (doubling per consecutive
+//!   loss, capped) and retransmits, up to `max_retries` times, after
+//!   which delivery fails with a structured [`DeliveryError`];
+//! * a **duplicated** delivery is detected by the receiver's transport
+//!   (sequence numbers), charged, counted in `msgs_duplicated`, and
+//!   answered with a [`MsgKind::Nack`];
+//! * a **delayed** delivery charges the receiver the extra cycles.
+//!
+//! Every injected fault changes cycle charges and statistics only — the
+//! data a protocol transaction moves is exactly what a reliable network
+//! would have moved, so program results are bit-identical under any
+//! fault schedule (asserted by the fault property tests).
+//!
+//! Conservation: `msgs_sent`/`msgs_recv` count *delivered* messages only
+//! (dropped attempts live in `msgs_dropped`, duplicate copies in
+//! `msgs_duplicated`), so `sum(msgs_sent) == sum(msgs_recv)` over all
+//! nodes and [`Network::total`] equals the per-kind sum, faults or not.
 
-use lcm_sim::{Machine, NodeId};
+use lcm_sim::fault::BACKOFF_DOUBLING_CAP;
+use lcm_sim::{CostModel, DeliveryError, FaultOutcome, Machine, NodeId};
 
 /// Protocol message kinds, for per-kind counting and traces.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -30,9 +54,15 @@ pub enum MsgKind {
     CleanFill,
     /// Stale-data refresh request.
     StaleRefresh,
+    /// Transport-level rejection of a duplicate delivery (fault injection).
+    Nack,
+    /// A successful retransmission of a timed-out message (fault
+    /// injection). Counted under this kind instead of the original's so
+    /// retransmitted traffic is separable in reports.
+    Retry,
 }
 
-const KINDS: usize = 9;
+const KINDS: usize = 11;
 
 impl MsgKind {
     fn index(self) -> usize {
@@ -46,6 +76,25 @@ impl MsgKind {
             MsgKind::Flush => 6,
             MsgKind::CleanFill => 7,
             MsgKind::StaleRefresh => 8,
+            MsgKind::Nack => 9,
+            MsgKind::Retry => 10,
+        }
+    }
+
+    /// The kind's stable display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::GetShared => "GetShared",
+            MsgKind::GetExclusive => "GetExclusive",
+            MsgKind::Upgrade => "Upgrade",
+            MsgKind::Invalidate => "Invalidate",
+            MsgKind::Ack => "Ack",
+            MsgKind::Writeback => "Writeback",
+            MsgKind::Flush => "Flush",
+            MsgKind::CleanFill => "CleanFill",
+            MsgKind::StaleRefresh => "StaleRefresh",
+            MsgKind::Nack => "Nack",
+            MsgKind::Retry => "Retry",
         }
     }
 
@@ -61,15 +110,19 @@ impl MsgKind {
             MsgKind::Flush,
             MsgKind::CleanFill,
             MsgKind::StaleRefresh,
+            MsgKind::Nack,
+            MsgKind::Retry,
         ]
     }
 }
 
-/// The message-accounting layer.
+/// The message delivery and accounting layer.
 #[derive(Clone, Debug, Default)]
 pub struct Network {
     by_kind: [u64; KINDS],
     total: u64,
+    dropped: u64,
+    duplicated: u64,
 }
 
 impl Network {
@@ -84,21 +137,68 @@ impl Network {
     ///
     /// Messages a node sends to itself (home == requester) are free and
     /// uncounted — Tempest protocols short-circuit local operations.
-    pub fn send(&mut self, m: &mut Machine, from: NodeId, to: NodeId, kind: MsgKind, with_block: bool) {
+    ///
+    /// # Panics
+    /// Panics (with the [`DeliveryError`] diagnostic) if fault injection
+    /// exhausts the retransmission budget; protocols treat that as an
+    /// unrecoverable machine failure. Use [`Network::try_send`] to handle
+    /// it structurally.
+    pub fn send(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        with_block: bool,
+    ) {
+        if let Err(e) = self.try_send(m, from, to, kind, with_block) {
+            panic!("unrecoverable network failure: {e}");
+        }
+    }
+
+    /// [`Network::send`] returning a structured [`DeliveryError`] when the
+    /// retransmission budget is exhausted.
+    pub fn try_send(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        with_block: bool,
+    ) -> Result<(), DeliveryError> {
         if from == to {
-            return;
+            return Ok(());
         }
         let cost = *m.cost();
-        m.advance(from, cost.msg_send);
-        m.advance(to, cost.msg_recv);
-        let s = m.stats_mut(from);
-        s.msgs_sent += 1;
-        if with_block {
-            s.blocks_sent += 1;
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = m.faults_mut().next_outcome();
+            if outcome == FaultOutcome::Drop {
+                attempt += 1;
+                self.lost_attempt(m, from, &cost, attempt);
+                self.check_budget(m, from, to, kind, attempt)?;
+                continue;
+            }
+            // Delivered. The first attempt counts under its own kind; a
+            // retransmission counts under Retry.
+            let delivered = if attempt == 0 { kind } else { MsgKind::Retry };
+            m.advance(from, cost.msg_send);
+            m.advance(to, cost.msg_recv);
+            let s = m.stats_mut(from);
+            s.msgs_sent += 1;
+            if with_block {
+                s.blocks_sent += 1;
+            }
+            m.stats_mut(to).msgs_recv += 1;
+            self.by_kind[delivered.index()] += 1;
+            self.total += 1;
+            match outcome {
+                FaultOutcome::Duplicate => self.duplicate_delivery(m, from, to, &cost),
+                FaultOutcome::Delay(k) => m.advance(to, k),
+                _ => {}
+            }
+            return Ok(());
         }
-        m.stats_mut(to).msgs_recv += 1;
-        self.by_kind[kind.index()] += 1;
-        self.total += 1;
     }
 
     /// Accounts a blocking request/reply pair: the requester pays the full
@@ -107,36 +207,171 @@ impl Network {
     /// reply carries a block.
     ///
     /// Local round-trips (`from == to`) are free and uncounted.
-    pub fn request_reply(&mut self, m: &mut Machine, from: NodeId, to: NodeId, kind: MsgKind, data_reply: bool) {
+    ///
+    /// # Panics
+    /// Panics (with the [`DeliveryError`] diagnostic) if fault injection
+    /// exhausts the retransmission budget; see [`Network::try_request_reply`].
+    pub fn request_reply(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        data_reply: bool,
+    ) {
+        if let Err(e) = self.try_request_reply(m, from, to, kind, data_reply) {
+            panic!("unrecoverable network failure: {e}");
+        }
+    }
+
+    /// [`Network::request_reply`] returning a structured [`DeliveryError`]
+    /// when the retransmission budget is exhausted.
+    ///
+    /// Either leg can fail independently: a lost *request* retries from
+    /// the requester; a lost *reply* means the home already did its work
+    /// — the requester times out and reissues the (idempotent)
+    /// transaction, which the protocols must tolerate as a duplicate.
+    pub fn try_request_reply(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        data_reply: bool,
+    ) -> Result<(), DeliveryError> {
         if from == to {
-            return;
+            return Ok(());
         }
         let cost = *m.cost();
-        m.advance(from, cost.remote_miss);
-        m.advance(to, cost.msg_recv);
-        {
-            let s = m.stats_mut(from);
-            s.msgs_sent += 1;
-            s.msgs_recv += 1; // the reply
-        }
-        {
+        let mut attempt: u32 = 0;
+        loop {
+            let transaction = if attempt == 0 { kind } else { MsgKind::Retry };
+            // Request leg.
+            let req = m.faults_mut().next_outcome();
+            if req == FaultOutcome::Drop {
+                attempt += 1;
+                self.lost_attempt(m, from, &cost, attempt);
+                self.check_budget(m, from, to, kind, attempt)?;
+                continue;
+            }
+            // The request arrived and the home handles it.
+            m.advance(from, cost.msg_send);
+            m.advance(to, cost.msg_recv);
+            m.stats_mut(from).msgs_sent += 1;
+            m.stats_mut(to).msgs_recv += 1;
+            self.by_kind[transaction.index()] += 1;
+            self.total += 1;
+            match req {
+                FaultOutcome::Duplicate => self.duplicate_delivery(m, from, to, &cost),
+                FaultOutcome::Delay(k) => m.advance(to, k),
+                _ => {}
+            }
+            // Reply leg.
+            let rep = m.faults_mut().next_outcome();
+            if rep == FaultOutcome::Drop {
+                // The home replied but the reply vanished: the home's send
+                // is wasted, the requester times out and reissues.
+                attempt += 1;
+                m.advance(to, cost.msg_send);
+                m.stats_mut(to).msgs_dropped += 1;
+                self.dropped += 1;
+                m.advance(from, backoff(cost.retry_timeout, attempt));
+                m.stats_mut(from).timeouts += 1;
+                self.check_budget(m, from, to, kind, attempt)?;
+                continue;
+            }
+            // Reply delivered: the requester's wait is the round-trip
+            // latency (minus the request-side send already charged).
+            m.advance(from, cost.remote_miss.saturating_sub(cost.msg_send));
+            m.stats_mut(from).msgs_recv += 1;
             let s = m.stats_mut(to);
-            s.msgs_recv += 1;
-            s.msgs_sent += 1; // the reply
+            s.msgs_sent += 1;
             if data_reply {
                 s.blocks_sent += 1;
             }
+            self.by_kind[transaction.index()] += 1;
+            self.total += 1;
+            match rep {
+                FaultOutcome::Duplicate => self.duplicate_delivery(m, to, from, &cost),
+                FaultOutcome::Delay(k) => m.advance(from, k),
+                _ => {}
+            }
+            return Ok(());
         }
-        self.by_kind[kind.index()] += 2;
-        self.total += 2;
+    }
+
+    /// A lost attempt: the sender's send cycles are wasted and it sits
+    /// out the (exponentially backed-off) retransmission timeout.
+    fn lost_attempt(&mut self, m: &mut Machine, sender: NodeId, cost: &CostModel, attempt: u32) {
+        m.advance(sender, cost.msg_send + backoff(cost.retry_timeout, attempt));
+        let s = m.stats_mut(sender);
+        s.msgs_dropped += 1;
+        s.timeouts += 1;
+        self.dropped += 1;
+    }
+
+    /// Errors out once `attempt` exceeds the configured retry budget;
+    /// otherwise counts the upcoming retransmission.
+    fn check_budget(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        attempt: u32,
+    ) -> Result<(), DeliveryError> {
+        if attempt > m.faults().config().max_retries {
+            return Err(DeliveryError {
+                from,
+                to,
+                kind: kind.label(),
+                attempts: attempt,
+                at_cycle: m.clock(from),
+            });
+        }
+        m.stats_mut(from).retries += 1;
+        Ok(())
+    }
+
+    /// A duplicate copy of a just-delivered message arrives at
+    /// `receiver`: its transport detects the repeated sequence number,
+    /// burns handler cycles, and nacks it back to `sender`. The duplicate
+    /// itself is counted in `msgs_duplicated` (not `msgs_recv`); the nack
+    /// is a real, counted message.
+    fn duplicate_delivery(
+        &mut self,
+        m: &mut Machine,
+        sender: NodeId,
+        receiver: NodeId,
+        cost: &CostModel,
+    ) {
+        m.advance(receiver, cost.msg_recv);
+        m.stats_mut(receiver).msgs_duplicated += 1;
+        self.duplicated += 1;
+        m.advance(receiver, cost.msg_send);
+        m.advance(sender, cost.msg_recv);
+        m.stats_mut(receiver).msgs_sent += 1;
+        m.stats_mut(sender).msgs_recv += 1;
+        self.by_kind[MsgKind::Nack.index()] += 1;
+        self.total += 1;
     }
 
     /// Counts a message (and its statistics) *without* charging cycles.
     ///
     /// Protocol transactions with non-trivial latency structure (e.g. a
     /// three-hop recall) charge cycles explicitly and use this to keep the
-    /// message accounting exact. Self-sends are uncounted, as in [`Network::send`].
-    pub fn count_only(&mut self, m: &mut Machine, from: NodeId, to: NodeId, kind: MsgKind, with_block: bool) {
+    /// message accounting exact. These interior hops ride inside an
+    /// end-to-end retried transaction, so they are modeled as reliable
+    /// and never consult the fault plan. Self-sends are uncounted, as in
+    /// [`Network::send`].
+    pub fn count_only(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        with_block: bool,
+    ) {
         if from == to {
             return;
         }
@@ -150,14 +385,32 @@ impl Network {
         self.total += 1;
     }
 
-    /// Total messages accounted.
+    /// Total messages delivered (dropped attempts and duplicate copies
+    /// excluded; always equals the sum over [`MsgKind::all`] counts).
     pub fn total(&self) -> u64 {
         self.total
     }
 
-    /// Messages accounted of one kind.
+    /// Messages delivered of one kind.
     pub fn count(&self, kind: MsgKind) -> u64 {
         self.by_kind[kind.index()]
+    }
+
+    /// Per-kind delivered counts, in [`MsgKind::all`] order.
+    pub fn per_kind(&self) -> impl Iterator<Item = (MsgKind, u64)> + '_ {
+        MsgKind::all()
+            .into_iter()
+            .map(|k| (k, self.by_kind[k.index()]))
+    }
+
+    /// Message attempts lost to fault injection.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Duplicate deliveries detected (and nacked) under fault injection.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
     }
 
     /// Resets all counters.
@@ -166,13 +419,44 @@ impl Network {
     }
 }
 
+/// The retransmission wait before attempt `attempt + 1`: the base timeout
+/// doubled per consecutive loss, saturating after
+/// [`BACKOFF_DOUBLING_CAP`] doublings.
+fn backoff(retry_timeout: u64, attempt: u32) -> u64 {
+    retry_timeout << (attempt - 1).min(BACKOFF_DOUBLING_CAP)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcm_sim::{CostModel, MachineConfig};
+    use lcm_sim::{CostModel, FaultConfig, MachineConfig};
 
     fn machine() -> Machine {
         Machine::new(MachineConfig::new(4).with_cost(CostModel::cm5()))
+    }
+
+    fn faulty_machine(faults: FaultConfig) -> Machine {
+        Machine::new(
+            MachineConfig::new(4)
+                .with_cost(CostModel::cm5())
+                .with_faults(faults),
+        )
+    }
+
+    /// sum(msgs_sent) == sum(msgs_recv) and total == per-kind sum.
+    fn assert_conserved(m: &Machine, net: &Network) {
+        let totals = m.total_stats();
+        assert_eq!(
+            totals.msgs_sent, totals.msgs_recv,
+            "every delivered message has both ends"
+        );
+        let per_kind: u64 = MsgKind::all().iter().map(|k| net.count(*k)).sum();
+        assert_eq!(net.total(), per_kind, "total equals the per-kind sum");
+        assert_eq!(
+            net.total(),
+            totals.msgs_sent,
+            "network and node accounting agree"
+        );
     }
 
     #[test]
@@ -188,6 +472,7 @@ mod tests {
         assert_eq!(m.stats(NodeId(1)).msgs_recv, 1);
         assert_eq!(net.count(MsgKind::Flush), 1);
         assert_eq!(net.total(), 1);
+        assert_conserved(&m, &net);
     }
 
     #[test]
@@ -212,6 +497,7 @@ mod tests {
         assert_eq!(m.stats(NodeId(0)).msgs_recv, 1);
         assert_eq!(m.stats(NodeId(3)).blocks_sent, 1);
         assert_eq!(net.count(MsgKind::GetShared), 2);
+        assert_conserved(&m, &net);
     }
 
     #[test]
@@ -251,5 +537,282 @@ mod tests {
         net.clear();
         assert_eq!(net.total(), 0);
         assert_eq!(net.count(MsgKind::Ack), 0);
+    }
+
+    #[test]
+    fn per_kind_matches_count() {
+        let mut m = machine();
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Flush, true);
+        net.request_reply(&mut m, NodeId(0), NodeId(2), MsgKind::GetShared, true);
+        for (kind, n) in net.per_kind() {
+            assert_eq!(n, net.count(kind));
+        }
+        assert_eq!(net.per_kind().map(|(_, n)| n).sum::<u64>(), net.total());
+    }
+
+    #[test]
+    fn inactive_plan_charges_exactly_like_the_reliable_network() {
+        let mut plain = machine();
+        let mut planned = faulty_machine(FaultConfig::default());
+        let mut net_a = Network::new();
+        let mut net_b = Network::new();
+        for (from, to) in [(0u16, 1u16), (1, 2), (2, 0)] {
+            net_a.send(&mut plain, NodeId(from), NodeId(to), MsgKind::Flush, true);
+            net_b.send(&mut planned, NodeId(from), NodeId(to), MsgKind::Flush, true);
+            net_a.request_reply(
+                &mut plain,
+                NodeId(to),
+                NodeId(from),
+                MsgKind::GetShared,
+                true,
+            );
+            net_b.request_reply(
+                &mut planned,
+                NodeId(to),
+                NodeId(from),
+                MsgKind::GetShared,
+                true,
+            );
+        }
+        for n in plain.node_ids() {
+            assert_eq!(plain.clock(n), planned.clock(n));
+            assert_eq!(plain.stats(n), planned.stats(n));
+        }
+        assert_eq!(net_a.total(), net_b.total());
+        assert_eq!(net_b.dropped(), 0);
+    }
+
+    #[test]
+    fn dropped_send_times_out_retries_and_succeeds() {
+        // drop_rate 0.5: with this seed some attempts drop and some
+        // deliver; run enough sends that both paths certainly occur.
+        let mut m = faulty_machine(FaultConfig::drops(0.5, 42));
+        let mut net = Network::new();
+        for i in 0..50u16 {
+            net.send(
+                &mut m,
+                NodeId(i % 4),
+                NodeId((i + 1) % 4),
+                MsgKind::Flush,
+                false,
+            );
+        }
+        let totals = m.total_stats();
+        assert_eq!(totals.msgs_sent, 50, "every send eventually delivered");
+        assert!(totals.msgs_dropped > 0, "some attempts dropped");
+        assert_eq!(
+            totals.retries, totals.msgs_dropped,
+            "each drop retried (budget never hit)"
+        );
+        assert_eq!(totals.timeouts, totals.msgs_dropped);
+        assert_eq!(net.dropped(), totals.msgs_dropped);
+        assert!(
+            net.count(MsgKind::Retry) > 0,
+            "retransmissions counted under Retry"
+        );
+        assert_eq!(net.count(MsgKind::Retry) + net.count(MsgKind::Flush), 50);
+        assert_conserved(&m, &net);
+    }
+
+    #[test]
+    fn drops_cost_timeout_cycles() {
+        let drop_once = FaultConfig {
+            drop_rate: 0.5,
+            seed: 3,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_machine(drop_once);
+        let mut net = Network::new();
+        let reliable_cost = CostModel::cm5().msg_send;
+        for i in 0..40u16 {
+            net.send(&mut m, NodeId(0), NodeId(1 + i % 3), MsgKind::Flush, false);
+        }
+        let c = CostModel::cm5();
+        let dropped = m.stats(NodeId(0)).msgs_dropped;
+        assert!(dropped > 0);
+        // Sender paid at least: one send per delivery + send+timeout per drop.
+        let floor = 40 * reliable_cost + dropped * (c.msg_send + c.retry_timeout);
+        assert!(
+            m.clock(NodeId(0)) >= floor,
+            "clock {} under floor {floor}",
+            m.clock(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_yield_a_structured_error() {
+        let always_drop = FaultConfig {
+            drop_rate: 1.0,
+            max_retries: 3,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_machine(always_drop);
+        let mut net = Network::new();
+        let err = net
+            .try_send(&mut m, NodeId(0), NodeId(1), MsgKind::Invalidate, false)
+            .expect_err("nothing can be delivered");
+        assert_eq!(err.attempts, 4, "initial attempt + 3 retries");
+        assert_eq!(err.kind, "Invalidate");
+        assert_eq!(err.from, NodeId(0));
+        assert_eq!(err.to, NodeId(1));
+        assert!(
+            err.at_cycle > 0,
+            "the sender's wasted waiting is on its clock"
+        );
+        assert_eq!(m.stats(NodeId(0)).retries, 3);
+        assert_eq!(m.stats(NodeId(0)).timeouts, 4);
+        assert_eq!(m.stats(NodeId(0)).msgs_sent, 0, "nothing delivered");
+        assert_eq!(net.total(), 0);
+        assert_conserved(&m, &net);
+
+        let err2 = net
+            .try_request_reply(&mut m, NodeId(2), NodeId(3), MsgKind::GetShared, true)
+            .expect_err("request can never arrive");
+        assert_eq!(err2.kind, "GetShared");
+        assert_eq!(err2.attempts, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecoverable network failure")]
+    fn infallible_send_panics_with_the_diagnostic() {
+        let always_drop = FaultConfig {
+            drop_rate: 1.0,
+            max_retries: 2,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_machine(always_drop);
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Flush, false);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_saturates() {
+        assert_eq!(backoff(100, 1), 100);
+        assert_eq!(backoff(100, 2), 200);
+        assert_eq!(backoff(100, 3), 400);
+        assert_eq!(backoff(100, 7), 100 << 6);
+        assert_eq!(backoff(100, 50), 100 << 6, "cap holds far out");
+    }
+
+    #[test]
+    fn duplicates_are_nacked_and_conserved() {
+        let dup_heavy = FaultConfig {
+            dup_rate: 0.5,
+            seed: 9,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_machine(dup_heavy);
+        let mut net = Network::new();
+        for i in 0..40u16 {
+            net.send(
+                &mut m,
+                NodeId(i % 4),
+                NodeId((i + 1) % 4),
+                MsgKind::Flush,
+                false,
+            );
+        }
+        let totals = m.total_stats();
+        assert_eq!(totals.msgs_dropped, 0);
+        assert!(totals.msgs_duplicated > 0, "some deliveries duplicated");
+        assert_eq!(net.duplicated(), totals.msgs_duplicated);
+        assert_eq!(
+            net.count(MsgKind::Nack),
+            totals.msgs_duplicated,
+            "each duplicate nacked"
+        );
+        assert_conserved(&m, &net);
+    }
+
+    #[test]
+    fn delays_charge_the_receiver_only() {
+        let delay_all = FaultConfig {
+            delay_rate: 1.0,
+            max_delay: 100,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_machine(delay_all);
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Flush, false);
+        let c = CostModel::cm5();
+        assert_eq!(m.clock(NodeId(0)), c.msg_send, "sender unaffected by delay");
+        let recv = m.clock(NodeId(1));
+        assert!(
+            recv > c.msg_recv && recv <= c.msg_recv + 100,
+            "receiver delayed 1..=100 cycles, got {recv}"
+        );
+        assert_conserved(&m, &net);
+    }
+
+    #[test]
+    fn request_reply_survives_lost_replies() {
+        // Heavy loss: both request and reply legs drop often, exercising
+        // the reply-lost path where the home's work is already done.
+        let lossy = FaultConfig {
+            drop_rate: 0.4,
+            seed: 17,
+            ..FaultConfig::default()
+        };
+        let mut m = faulty_machine(lossy);
+        let mut net = Network::new();
+        for i in 0..30u16 {
+            net.request_reply(
+                &mut m,
+                NodeId(i % 4),
+                NodeId((i + 1) % 4),
+                MsgKind::GetShared,
+                true,
+            );
+        }
+        let totals = m.total_stats();
+        assert!(totals.msgs_dropped > 0);
+        assert!(totals.retries > 0);
+        assert_conserved(&m, &net);
+        // Every transaction eventually completed with both directions
+        // counted (plus retransmissions under Retry).
+        assert_eq!(
+            net.count(MsgKind::GetShared) + net.count(MsgKind::Retry),
+            totals.msgs_sent
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_clocks_and_counters() {
+        let cfg = FaultConfig {
+            drop_rate: 0.2,
+            dup_rate: 0.1,
+            delay_rate: 0.1,
+            seed: 77,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let mut m = faulty_machine(cfg);
+            let mut net = Network::new();
+            for i in 0..60u16 {
+                net.send(
+                    &mut m,
+                    NodeId(i % 4),
+                    NodeId((i + 1) % 4),
+                    MsgKind::Flush,
+                    i % 2 == 0,
+                );
+                net.request_reply(
+                    &mut m,
+                    NodeId((i + 2) % 4),
+                    NodeId(i % 4),
+                    MsgKind::GetShared,
+                    true,
+                );
+            }
+            (
+                m.time(),
+                m.total_stats(),
+                net.total(),
+                net.dropped(),
+                net.duplicated(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 }

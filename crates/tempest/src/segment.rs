@@ -132,7 +132,12 @@ impl AddressSpace {
     /// Panics if `nodes == 0`.
     pub fn new(nodes: usize) -> AddressSpace {
         assert!(nodes > 0, "an address space needs at least one node");
-        AddressSpace { nodes, segments: Vec::new(), next: BASE, last_hit: Cell::new(0) }
+        AddressSpace {
+            nodes,
+            segments: Vec::new(),
+            next: BASE,
+            last_hit: Cell::new(0),
+        }
     }
 
     /// Number of nodes the placement policies map onto.
@@ -151,7 +156,12 @@ impl AddressSpace {
         let base = Addr(self.next);
         let blocks = pages * (PAGE_BYTES / BLOCK_BYTES) as u64;
         self.next += pages * PAGE_BYTES as u64;
-        self.segments.push(Segment { base, blocks, placement, name: name.to_string() });
+        self.segments.push(Segment {
+            base,
+            blocks,
+            placement,
+            name: name.to_string(),
+        });
         base
     }
 
@@ -204,9 +214,18 @@ impl AddressSpace {
 
 impl fmt::Display for AddressSpace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "address space: {} segments, {} bytes", self.segments.len(), self.allocated_bytes())?;
+        writeln!(
+            f,
+            "address space: {} segments, {} bytes",
+            self.segments.len(),
+            self.allocated_bytes()
+        )?;
         for s in &self.segments {
-            writeln!(f, "  {:>10} at {} ({} blocks, {:?})", s.name, s.base, s.blocks, s.placement)?;
+            writeln!(
+                f,
+                "  {:>10} at {} ({} blocks, {:?})",
+                s.name, s.base, s.blocks, s.placement
+            )?;
         }
         Ok(())
     }

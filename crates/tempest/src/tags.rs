@@ -74,14 +74,20 @@ impl TagTable {
         if tag == Tag::Invalid && !self.pages.contains_key(&block.page()) {
             return; // avoid materializing a page just to store Invalid
         }
-        let page = self.pages.entry(block.page()).or_insert_with(|| Box::new([Tag::Invalid; BLOCKS_PER_PAGE]));
+        let page = self
+            .pages
+            .entry(block.page())
+            .or_insert_with(|| Box::new([Tag::Invalid; BLOCKS_PER_PAGE]));
         page[block.index_in_page()] = tag;
     }
 
     /// Number of blocks currently tagged `tag` (O(pages); for tests and
     /// assertions, not hot paths).
     pub fn count(&self, tag: Tag) -> usize {
-        self.pages.values().map(|p| p.iter().filter(|&&t| t == tag).count()).sum()
+        self.pages
+            .values()
+            .map(|p| p.iter().filter(|&&t| t == tag).count())
+            .sum()
     }
 
     /// Resets every tag to `Invalid` and releases the page tables.
@@ -146,7 +152,10 @@ mod tests {
         assert_eq!(t.count(Tag::ReadWrite), 1);
         let mut valid: Vec<_> = t.iter_valid().collect();
         valid.sort_by_key(|(b, _)| *b);
-        assert_eq!(valid, vec![(BlockId(0), Tag::ReadOnly), (BlockId(200), Tag::ReadWrite)]);
+        assert_eq!(
+            valid,
+            vec![(BlockId(0), Tag::ReadOnly), (BlockId(200), Tag::ReadWrite)]
+        );
     }
 
     #[test]

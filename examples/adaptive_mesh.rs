@@ -11,7 +11,11 @@ use lcm::prelude::*;
 
 fn main() {
     println!("Adaptive mesh (64x64 base, quad-trees to depth 4), 16 processors\n");
-    let w = Adaptive { size: 64, iters: 40, ..Adaptive::paper(Partition::Dynamic) };
+    let w = Adaptive {
+        size: 64,
+        iters: 40,
+        ..Adaptive::paper(Partition::Dynamic)
+    };
     let cfg = RuntimeConfig::default();
 
     println!("dynamic partitioning (a load-balancing runtime's schedule):");
@@ -31,11 +35,19 @@ fn main() {
         );
     }
 
-    let w = Adaptive { partition: Partition::Static, ..w };
+    let w = Adaptive {
+        partition: Partition::Static,
+        ..w
+    };
     println!("\nstatic partitioning (repeatable schedule):");
     for sys in SystemKind::all() {
         let (_, r) = execute(sys, 16, cfg, &w);
-        println!("  {:8} {:>12} cycles  misses={}", sys.label(), r.time, r.misses());
+        println!(
+            "  {:8} {:>12} cycles  misses={}",
+            sys.label(),
+            r.time,
+            r.misses()
+        );
     }
 
     println!("\nWith dynamic behavior a compiler cannot tell which parts of the");

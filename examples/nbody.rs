@@ -11,14 +11,22 @@ use lcm::apps::nbody::{rms_error, run_nbody, NBody, NBodySystem, POSITION_SCALE}
 
 fn main() {
     let base = NBody::default_size();
-    println!("{} bodies, {} steps, 8 processors\n", base.bodies, base.steps);
+    println!(
+        "{} bodies, {} steps, 8 processors\n",
+        base.bodies, base.steps
+    );
     let (reference, coherent) = run_nbody(NBodySystem::Coherent, 8, &base);
     println!(
         "  {:<18} {:>12} cycles  {:>7} misses   rms error 0",
-        "coherent", coherent.time, coherent.misses()
+        "coherent",
+        coherent.time,
+        coherent.misses()
     );
     for k in [2usize, 4, 8, 16] {
-        let w = NBody { refresh_every: k, ..base };
+        let w = NBody {
+            refresh_every: k,
+            ..base
+        };
         let (pos, run) = run_nbody(NBodySystem::StaleRegion, 8, &w);
         let err = rms_error(&reference, &pos);
         println!(

@@ -31,7 +31,10 @@ fn main() {
     mem.flush_copies(NodeId(1));
     // Node 0's "invocation" reads clean data meanwhile.
     let still_clean = mem.read_f32(NodeId(0), a.offset(4));
-    assert_eq!(still_clean, 1.0, "modifications stay private until reconcile");
+    assert_eq!(
+        still_clean, 1.0,
+        "modifications stay private until reconcile"
+    );
     mem.reconcile_copies();
     assert_eq!(mem.read_f32(NodeId(0), a.offset(4)), 10.0);
 

@@ -13,7 +13,10 @@
 use lcm::apps::reduction::{run_reduction, ArraySum, ReductionMethod};
 
 fn main() {
-    let w = ArraySum { len: 1 << 16, passes: 2 };
+    let w = ArraySum {
+        len: 1 << 16,
+        passes: 2,
+    };
     println!("summing {} floats, 2 passes, 16 processors\n", w.len);
     let mut baseline = 0;
     for method in ReductionMethod::all() {

@@ -13,12 +13,24 @@
 use lcm::apps::stale_data::{run_stale, StaleData, StaleSystem};
 
 fn main() {
-    let base = StaleData { field_words: 512, iters: 40, refresh_every: 1 };
+    let base = StaleData {
+        field_words: 512,
+        iters: 40,
+        refresh_every: 1,
+    };
     println!("512-word field, 40 iterations, 8 processors\n");
     let (_, coherent) = run_stale(StaleSystem::Coherent, 8, &base);
-    println!("  {:<18} {:>12} cycles  {:>7} misses   staleness 0", "coherent", coherent.time, coherent.misses());
+    println!(
+        "  {:<18} {:>12} cycles  {:>7} misses   staleness 0",
+        "coherent",
+        coherent.time,
+        coherent.misses()
+    );
     for k in [2usize, 4, 8, 16] {
-        let w = StaleData { refresh_every: k, ..base };
+        let w = StaleData {
+            refresh_every: k,
+            ..base
+        };
         let (lag, r) = run_stale(StaleSystem::StaleRegion, 8, &w);
         println!(
             "  {:<18} {:>12} cycles  {:>7} misses   staleness {:.0}",

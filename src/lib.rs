@@ -58,14 +58,23 @@ pub use lcm_tempest as tempest;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use lcm_apps::{execute, execute_all, execute_with_cost, Benchmark, RunResult, Scale, Suite, SystemKind, Workload};
+    pub use lcm_apps::{
+        execute, execute_all, execute_with_cost, execute_with_faults, Benchmark, RunResult, Scale,
+        Suite, SystemKind, Workload,
+    };
     pub use lcm_core::{Lcm, LcmVariant};
-    pub use lcm_cstar::{Agg1, Agg2, Cell, FlushPolicy, Invocation, Partition, ReduceVar, Runtime, RuntimeConfig, Strategy};
+    pub use lcm_cstar::{
+        Agg1, Agg2, Cell, FlushPolicy, Invocation, Partition, ReduceVar, Runtime, RuntimeConfig,
+        Strategy,
+    };
     pub use lcm_rsm::{
         CoherenceKind, ConflictKind, ConflictRecord, KeepOrder, MemoryProtocol, MergePolicy,
         NestedProtocol, PolicyTable, ReduceOp, RegionPolicy,
     };
-    pub use lcm_sim::{Addr, BlockId, CostModel, Machine, MachineConfig, NodeId, NodeStats, Pcg32, TraceSummary};
+    pub use lcm_sim::{
+        Addr, BlockId, CostModel, DeliveryError, FaultConfig, Machine, MachineConfig, NodeId,
+        NodeStats, Pcg32, TraceSummary,
+    };
     pub use lcm_stache::Stache;
     pub use lcm_tempest::{Placement, Tag, Tempest};
 }

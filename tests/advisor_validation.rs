@@ -18,13 +18,28 @@ fn faster_strategy(b: Benchmark) -> Strategy {
 
 #[test]
 fn advisor_matches_measured_winner_on_stencils() {
-    assert_eq!(advise(&profiles::stencil_static()).strategy, faster_strategy(Benchmark::StencilStat));
-    assert_eq!(advise(&profiles::stencil_dynamic()).strategy, faster_strategy(Benchmark::StencilDyn));
+    assert_eq!(
+        advise(&profiles::stencil_static()).strategy,
+        faster_strategy(Benchmark::StencilStat)
+    );
+    assert_eq!(
+        advise(&profiles::stencil_dynamic()).strategy,
+        faster_strategy(Benchmark::StencilDyn)
+    );
 }
 
 #[test]
 fn advisor_matches_measured_winner_on_dynamic_benchmarks() {
-    assert_eq!(advise(&profiles::adaptive()).strategy, faster_strategy(Benchmark::AdaptiveDyn));
-    assert_eq!(advise(&profiles::threshold()).strategy, faster_strategy(Benchmark::Threshold));
-    assert_eq!(advise(&profiles::unstructured()).strategy, faster_strategy(Benchmark::Unstructured));
+    assert_eq!(
+        advise(&profiles::adaptive()).strategy,
+        faster_strategy(Benchmark::AdaptiveDyn)
+    );
+    assert_eq!(
+        advise(&profiles::threshold()).strategy,
+        faster_strategy(Benchmark::Threshold)
+    );
+    assert_eq!(
+        advise(&profiles::unstructured()).strategy,
+        faster_strategy(Benchmark::Unstructured)
+    );
 }

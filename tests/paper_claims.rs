@@ -16,15 +16,30 @@ fn all_section_6_3_claims_hold_at_medium_scale() {
     let failing: Vec<String> = claims
         .iter()
         .filter(|c| !c.holds)
-        .map(|c| format!("{} (paper {}, measured {})", c.description, c.paper, c.measured))
+        .map(|c| {
+            format!(
+                "{} (paper {}, measured {})",
+                c.description, c.paper, c.measured
+            )
+        })
         .collect();
-    assert!(failing.is_empty(), "claims failing at medium scale:\n{}", failing.join("\n"));
+    assert!(
+        failing.is_empty(),
+        "claims failing at medium scale:\n{}",
+        failing.join("\n")
+    );
 
     // Table 1 shape checks on the same runs.
     for (b, misses, clean) in suite.table1() {
         assert!(misses.iter().all(|&m| m > 0), "{b}: all systems miss");
-        assert!(clean[0] > 0 && clean[1] > 0, "{b}: LCM variants make clean copies");
-        assert!(clean[1] >= clean[0], "{b}: mcc makes at least as many clean copies as scc");
+        assert!(
+            clean[0] > 0 && clean[1] > 0,
+            "{b}: LCM variants make clean copies"
+        );
+        assert!(
+            clean[1] >= clean[0],
+            "{b}: mcc makes at least as many clean copies as scc"
+        );
     }
 
     // Figure 2/3 rows exist for every benchmark × system.

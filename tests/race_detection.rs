@@ -9,11 +9,15 @@ use lcm::prelude::*;
 fn detector_outcomes_per_kernel() {
     let ww = detect_races(RaceKernel::WriteWrite, 8);
     assert_eq!(ww.len(), 7, "8 writers of one word -> 7 conflicting pairs");
-    assert!(ww.iter().all(|c| matches!(c.kind, ConflictKind::WriteWrite)));
+    assert!(ww
+        .iter()
+        .all(|c| matches!(c.kind, ConflictKind::WriteWrite)));
 
     let rw = detect_races(RaceKernel::ReadWrite, 8);
     assert_eq!(rw.len(), 7, "7 readers raced the writer");
-    assert!(rw.iter().all(|c| matches!(c.kind, ConflictKind::ReadWrite { .. })));
+    assert!(rw
+        .iter()
+        .all(|c| matches!(c.kind, ConflictKind::ReadWrite { .. })));
 
     assert!(detect_races(RaceKernel::RaceFree, 8).is_empty());
 }
@@ -29,7 +33,10 @@ fn detection_is_opt_in_per_region() {
     mem.write_f32(NodeId(1), a, 1.0);
     mem.write_f32(NodeId(2), a, 2.0);
     mem.reconcile_copies();
-    assert!(mem.take_conflicts().is_empty(), "no records without the directive");
+    assert!(
+        mem.take_conflicts().is_empty(),
+        "no records without the directive"
+    );
     // …but the statistics still count the overlap for diagnosis.
     assert_eq!(mem.tempest().machine.total_stats().ww_conflicts, 1);
 }
@@ -95,10 +102,16 @@ fn strict_detection_upgrades_cross_phase_readers_to_actual() {
     let actual_in = |conflicts: &[ConflictRecord]| {
         conflicts
             .iter()
-            .filter(|c| matches!(c.kind, ConflictKind::ReadWrite { actual: true }) && c.loser == NodeId(2))
+            .filter(|c| {
+                matches!(c.kind, ConflictKind::ReadWrite { actual: true }) && c.loser == NodeId(2)
+            })
             .count()
     };
-    assert_eq!(actual_in(&strict), 1, "strict mode observes the phase-2 read");
+    assert_eq!(
+        actual_in(&strict),
+        1,
+        "strict mode observes the phase-2 read"
+    );
     assert!(actual_in(&lazy) <= 1);
 }
 

@@ -22,7 +22,10 @@ struct GatherProgram {
 
 fn gather_program() -> impl proptest::strategy::Strategy<Value = GatherProgram> {
     (
-        proptest::collection::vec(proptest::array::uniform3((0usize..N, 0usize..N)), N * N..=N * N),
+        proptest::collection::vec(
+            proptest::array::uniform3((0usize..N, 0usize..N)),
+            N * N..=N * N,
+        ),
         1usize..4,
     )
         .prop_map(|(sources, iters)| GatherProgram { sources, iters })
@@ -46,13 +49,17 @@ fn run_gather<P: MemoryProtocol>(rt: &mut Runtime<P>, prog: &GatherProgram) -> V
             }
         });
     }
-    (0..N * N).map(|i| rt.peek2(m, i / N, i % N) as u32).collect()
+    (0..N * N)
+        .map(|i| rt.peek2(m, i / N, i % N) as u32)
+        .collect()
 }
 
 /// A host-side reference interpreter of the same program, with strict
 /// read-old/write-new semantics.
 fn reference(prog: &GatherProgram) -> Vec<u32> {
-    let mut old: Vec<i32> = (0..N * N).map(|i| ((i / N) * 31 + (i % N) * 7) as i32).collect();
+    let mut old: Vec<i32> = (0..N * N)
+        .map(|i| ((i / N) * 31 + (i % N) * 7) as i32)
+        .collect();
     for _ in 0..prog.iters {
         let mut new = old.clone();
         for r in 0..N {

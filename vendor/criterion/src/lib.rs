@@ -1,0 +1,156 @@
+//! A minimal, dependency-free benchmark harness.
+//!
+//! This vendored crate implements the subset of the `criterion` API the
+//! workspace's `harness = false` benches use, so the build works with no
+//! network access to a crate registry. Each `bench_function` runs a
+//! configurable number of wall-clock samples and prints min/median/max
+//! per-iteration times. Under `cargo test` (detected via the `--test`
+//! flag cargo passes to bench targets) every benchmark body runs exactly
+//! once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line filters are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Accepted for API compatibility; no report is produced.
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f`, labelled `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_bench(&label, self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `f`, keeping results live.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, test_mode: bool, mut f: F) {
+    if test_mode {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed);
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    println!(
+        "{label:<48} time: [{:>10.3?} {:>10.3?} {:>10.3?}]  ({} samples)",
+        times[0],
+        median,
+        times[times.len() - 1],
+        times.len()
+    );
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
