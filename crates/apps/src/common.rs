@@ -9,7 +9,7 @@
 use lcm_core::{Lcm, LcmVariant};
 use lcm_cstar::{Runtime, RuntimeConfig, Strategy};
 use lcm_rsm::MemoryProtocol;
-use lcm_sim::{FaultConfig, MachineConfig, NodeStats};
+use lcm_sim::{CycleLedger, FaultConfig, MachineConfig, NodeStats, PhaseSnapshot, Stamped};
 use lcm_stache::Stache;
 use lcm_tempest::MsgKind;
 use std::fmt;
@@ -72,6 +72,20 @@ pub struct RunResult {
     pub net_dropped: u64,
     /// Duplicate deliveries detected under fault injection.
     pub net_duplicated: u64,
+    /// Per-node cycle attribution (conservation-checked at harvest: on
+    /// every node the category sums equal the final clock).
+    pub ledger: CycleLedger,
+    /// Final per-node logical clocks, indexed by node.
+    pub clocks: Vec<u64>,
+    /// Cumulative per-phase snapshots stamped by the runtime at each
+    /// parallel step / barrier epoch (empty when no phases were marked).
+    pub phases: Vec<PhaseSnapshot>,
+    /// Wire bytes delivered per message kind, in [`MsgKind::all`] order.
+    pub msg_bytes: Vec<(MsgKind, u64)>,
+    /// Events captured by the bounded trace (zero when tracing is off).
+    pub trace_events: usize,
+    /// Events lost when the bounded trace buffer wrapped.
+    pub trace_dropped: u64,
 }
 
 impl RunResult {
@@ -99,8 +113,10 @@ impl RunResult {
     }
 
     /// Harvests a finished run from a protocol: time, counters, per-kind
-    /// message counts. Runs the coherence-invariant sanitizer first and
-    /// panics with its cycle-stamped diagnostic on violation.
+    /// message counts, and the cycle-attribution ledger. Runs the
+    /// coherence-invariant sanitizer first — which includes the ledger
+    /// conservation check — and panics with its cycle-stamped diagnostic
+    /// on violation.
     pub fn harvest<P: MemoryProtocol>(system: SystemKind, mem: &P) -> RunResult {
         lcm_rsm::sanitizer::enforce(mem);
         let t = mem.tempest();
@@ -112,6 +128,15 @@ impl RunResult {
             msg_kinds: t.net.per_kind().collect(),
             net_dropped: t.net.dropped(),
             net_duplicated: t.net.duplicated(),
+            ledger: machine.ledger().clone(),
+            clocks: machine.node_ids().map(|n| machine.clock(n)).collect(),
+            phases: machine.phases().to_vec(),
+            msg_bytes: MsgKind::all()
+                .into_iter()
+                .map(|k| (k, t.net.bytes_of(k)))
+                .collect(),
+            trace_events: machine.trace().events().len(),
+            trace_dropped: machine.trace().dropped(),
         }
     }
 }
@@ -206,6 +231,52 @@ pub fn execute_with_machine<W: Workload>(
             let result = harvest(system, rt.mem());
             (out, result)
         }
+    }
+}
+
+/// [`execute_with_machine`], additionally returning the captured protocol
+/// event trace. Enable capture with [`MachineConfig::with_trace`]; with
+/// tracing off the returned stream is empty.
+pub fn execute_traced<W: Workload>(
+    system: SystemKind,
+    mc: MachineConfig,
+    config: RuntimeConfig,
+    workload: &W,
+) -> (W::Output, RunResult, Vec<Stamped>) {
+    fn go<P: MemoryProtocol, W: Workload>(
+        system: SystemKind,
+        mut rt: Runtime<P>,
+        workload: &W,
+    ) -> (W::Output, RunResult, Vec<Stamped>) {
+        let out = workload.run(&mut rt);
+        let result = RunResult::harvest(system, rt.mem());
+        let events = rt.mem().tempest().machine.trace().events().to_vec();
+        (out, result, events)
+    }
+    match system {
+        SystemKind::Stache => go(
+            system,
+            Runtime::with_config(Stache::new(mc), Strategy::ExplicitCopy, config),
+            workload,
+        ),
+        SystemKind::LcmScc => go(
+            system,
+            Runtime::with_config(
+                Lcm::new(mc, LcmVariant::Scc),
+                Strategy::LcmDirectives,
+                config,
+            ),
+            workload,
+        ),
+        SystemKind::LcmMcc => go(
+            system,
+            Runtime::with_config(
+                Lcm::new(mc, LcmVariant::Mcc),
+                Strategy::LcmDirectives,
+                config,
+            ),
+            workload,
+        ),
     }
 }
 
@@ -329,6 +400,31 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn harvest_captures_ledger_phases_and_bytes() {
+        let (_, r) = execute(
+            SystemKind::LcmMcc,
+            4,
+            RuntimeConfig::default(),
+            &Increment { len: 64 },
+        );
+        assert_eq!(r.clocks.len(), 4);
+        for (n, &clock) in r.clocks.iter().enumerate() {
+            assert_eq!(
+                r.ledger.node_total(lcm_sim::NodeId(n as u16)),
+                clock,
+                "node {n}: ledger total vs clock"
+            );
+        }
+        assert!(!r.phases.is_empty(), "init + apply phases stamped");
+        let last = r.phases.last().unwrap();
+        assert_eq!(last.label, "apply");
+        assert!(last.at <= r.time);
+        let bytes: u64 = r.msg_bytes.iter().map(|(_, b)| b).sum();
+        assert_eq!(bytes, r.totals.bytes_sent, "per-kind bytes vs node bytes");
+        assert_eq!(r.totals.bytes_sent, r.totals.bytes_recv);
     }
 
     #[test]

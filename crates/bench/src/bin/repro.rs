@@ -1,13 +1,21 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR]
+//! repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR] [--trace FILE]
 //!       [table1|fig2|fig3|claims|reduction|falseshare|stale|races|
-//!        flushpolicy|cachelimit|tree|all]
+//!        flushpolicy|cachelimit|tree|profile|all]
 //! ```
 //!
 //! With `--csv DIR`, the table/figure data is also written as CSV files
 //! (`table1.csv`, `fig2.csv`, `fig3.csv`) for external plotting.
+//!
+//! The `profile` section runs the cycle-attribution profiler on
+//! Stencil-dyn: a per-node cycle breakdown table (every simulated cycle
+//! attributed to a category, conservation-checked against the node
+//! clocks), the hottest blocks by stall cycles, and the message-kind
+//! histogram. `--trace FILE` additionally exports the LCM-mcc run's
+//! event stream as Chrome-trace JSON — load it at `ui.perfetto.dev` or
+//! `chrome://tracing`.
 //!
 //! Simulated cycles are this reproduction's "execution time"; the paper
 //! reports wall-clock seconds on a 32-node CM-5, so compare *shapes*
@@ -25,10 +33,10 @@ use lcm_apps::sensitivity::{sweep_nodes, sweep_remote_latency};
 use lcm_apps::stale_data::{run_stale, StaleData, StaleSystem};
 use lcm_apps::stencil::Stencil;
 use lcm_apps::threshold::Threshold;
-use lcm_apps::{execute, execute_with_faults, SystemKind, Workload};
-use lcm_bench::BarChart;
+use lcm_apps::{execute, execute_traced, execute_with_faults, RunResult, SystemKind, Workload};
+use lcm_bench::{profile, BarChart};
 use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
-use lcm_sim::FaultConfig;
+use lcm_sim::{CostModel, FaultConfig, MachineConfig};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -38,6 +46,7 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut svg_dir: Option<PathBuf> = None;
     let mut fault_point: Option<(f64, u64)> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut what = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -56,6 +65,13 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
+            }
+            "--trace" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--trace requires a file path");
+                    std::process::exit(2);
+                };
+                trace_path = Some(PathBuf::from(path));
             }
             "--svg" => {
                 let Some(dir) = it.next() else {
@@ -85,7 +101,8 @@ fn main() {
             "-h" | "--help" => {
                 println!(
                     "repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR] [--faults RATE:SEED] \
-                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|all]"
+                     [--trace FILE] \
+                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|profile|all]"
                 );
                 return;
             }
@@ -159,8 +176,13 @@ fn main() {
     } else {
         None
     };
+    let profile_csvs = if wants("profile") || trace_path.is_some() {
+        Some(print_profile(scale, trace_path.as_deref()))
+    } else {
+        None
+    };
     if let Some(dir) = csv_dir {
-        if let Err(e) = write_all_csv(&dir, suite.as_ref(), faults_csv.as_deref()) {
+        if let Err(e) = write_all_csv(&dir, suite.as_ref(), faults_csv.as_deref(), &profile_csvs) {
             eprintln!("failed to write CSV files to {}: {e}", dir.display());
             std::process::exit(1);
         }
@@ -215,6 +237,7 @@ fn write_all_csv(
     dir: &std::path::Path,
     suite: Option<&Suite>,
     faults_csv: Option<&str>,
+    profile_csvs: &Option<(String, String)>,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     if let Some(suite) = suite {
@@ -222,6 +245,10 @@ fn write_all_csv(
     }
     if let Some(faults) = faults_csv {
         std::fs::write(dir.join("faults.csv"), faults)?;
+    }
+    if let Some((profile, phases)) = profile_csvs {
+        std::fs::write(dir.join("profile.csv"), profile)?;
+        std::fs::write(dir.join("phases.csv"), phases)?;
     }
     Ok(())
 }
@@ -250,17 +277,17 @@ fn write_csv(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
         std::fs::write(dir.join(name), csv)?;
     }
     // Per-kind message counts and fault/retry counters for every run.
-    let mut messages = String::from("program,system,kind,count\n");
+    let mut messages = String::from("program,system,kind,count,bytes\n");
     let mut net = String::from(
         "program,system,msgs_delivered,blocks,retries,timeouts,dropped,duplicated,stall_cycles\n",
     );
     for b in Benchmark::all() {
         for s in SystemKind::all() {
             let r = suite.result(b, s);
-            for (kind, n) in &r.msg_kinds {
+            for ((kind, n), (_, bytes)) in r.msg_kinds.iter().zip(&r.msg_bytes) {
                 if *n > 0 {
                     messages.push_str(&format!(
-                        "{},{},{},{n}\n",
+                        "{},{},{},{n},{bytes}\n",
                         b.label(),
                         s.label(),
                         kind.label()
@@ -408,6 +435,71 @@ fn sweep_faults<W: Workload>(
             .collect();
         println!("           msgs at max rate: {}", mix.join(" "));
     }
+}
+
+/// The cycle-attribution profile: Stencil-dyn on all three systems with
+/// tracing on, per-node cycle breakdowns, hottest blocks, and message
+/// histograms. Returns `(profile.csv, phases.csv)` contents; with
+/// `trace_path` set, also exports the LCM-mcc event stream as
+/// Chrome-trace JSON.
+fn print_profile(scale: Scale, trace_path: Option<&std::path::Path>) -> (String, String) {
+    println!("== Cycle-attribution profile: Stencil-dyn, every cycle to a category ==");
+    println!("   (per-node category sums are conservation-checked against the clocks");
+    println!("   by the sanitizer on every harvest)");
+    let nodes = scale.nodes();
+    let w = match scale {
+        Scale::Paper => Stencil {
+            rows: 256,
+            cols: 256,
+            iters: 10,
+            partition: Partition::Dynamic,
+        },
+        Scale::Medium => Stencil {
+            rows: 128,
+            cols: 128,
+            iters: 6,
+            partition: Partition::Dynamic,
+        },
+        Scale::Smoke => Stencil {
+            rows: 48,
+            cols: 48,
+            iters: 3,
+            partition: Partition::Dynamic,
+        },
+    };
+    let cost = CostModel::cm5();
+    let mut results = Vec::new();
+    for system in SystemKind::all() {
+        let mc = MachineConfig::new(nodes).with_trace(2_000_000);
+        let (_, r, events) = execute_traced(system, mc, RuntimeConfig::default(), &w);
+        println!("{}", profile::profile_report(&r, &events, &cost));
+        if system == SystemKind::LcmMcc {
+            if let Some(path) = trace_path {
+                let json = profile::chrome_trace_json(&events, nodes);
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                match std::fs::write(path, &json) {
+                    Ok(()) => println!(
+                        "Chrome-trace JSON ({} events) written to {} — load it at \
+                         ui.perfetto.dev or chrome://tracing\n",
+                        events.len(),
+                        path.display()
+                    ),
+                    Err(e) => {
+                        eprintln!("failed to write trace to {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        results.push(r);
+    }
+    let entries: Vec<(&str, &RunResult)> = results.iter().map(|r| ("Stencil-dyn", r)).collect();
+    (
+        profile::profile_csv(&entries),
+        profile::phases_csv(&entries),
+    )
 }
 
 fn print_flush_policy(scale: Scale) {

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod profile;
 pub mod svg;
 
 pub use svg::BarChart;

@@ -1,0 +1,465 @@
+//! Profile exporters: Chrome-trace JSON, text reports, and CSV tables.
+//!
+//! The cycle-attribution profiler has three consumers, all fed from the
+//! same two sources — the conservation-checked
+//! [`CycleLedger`](lcm_sim::CycleLedger) carried by every
+//! [`RunResult`], and the cycle-stamped event stream captured by
+//! [`lcm_apps::execute_traced`]:
+//!
+//! * [`chrome_trace_json`] renders the event stream in the Chrome
+//!   trace-event format (load the file at `ui.perfetto.dev` or
+//!   `chrome://tracing`): one process track per node, complete ("X")
+//!   slices for span-style operations (fault handlers, marks, flushes,
+//!   reconciles), instant ("i") events for everything else;
+//! * [`profile_report`] prints the per-node cycle breakdown table, the
+//!   hottest blocks by stall cycles, and the message-kind histogram;
+//! * [`profile_csv`] / [`phases_csv`] emit machine-readable tables for
+//!   external plotting.
+
+use lcm_apps::RunResult;
+use lcm_sim::mem::BlockId;
+use lcm_sim::trace::Event;
+use lcm_sim::{CostModel, CycleCat, NodeId, Stamped};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders a captured event stream as Chrome trace-event JSON.
+///
+/// `nodes` sizes the per-node track metadata. Events with no acting node
+/// (barriers, reconcile summaries, conflicts) land on a synthetic
+/// "machine" track with pid `nodes`. Cycle stamps map 1:1 to the
+/// format's microsecond timestamps, so one displayed microsecond is one
+/// simulated cycle.
+pub fn chrome_trace_json(events: &[Stamped], nodes: usize) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+    for pid in 0..=nodes {
+        let name = if pid == nodes {
+            "machine".to_string()
+        } else {
+            format!("node {pid}")
+        };
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+    }
+    // Open spans, keyed by (node, label, block); values are begin cycles.
+    // Nested spans of the same key close innermost-first.
+    let mut open: HashMap<(u16, &'static str, u64), Vec<u64>> = HashMap::new();
+    for e in events {
+        let pid = e.event.node().map_or(nodes, |n| n.index());
+        match e.event {
+            Event::SpanBegin { node, what, block } => {
+                open.entry((node.0, what, block.0))
+                    .or_default()
+                    .push(e.cycle);
+            }
+            Event::SpanEnd { node, what, block } => {
+                let begin = open
+                    .get_mut(&(node.0, what, block.0))
+                    .and_then(Vec::pop)
+                    .unwrap_or(e.cycle);
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"{what}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\
+                         \"ts\":{begin},\"dur\":{},\"args\":{{\"block\":{}}}}}",
+                        e.cycle.saturating_sub(begin),
+                        block.0
+                    ),
+                );
+            }
+            ref ev => {
+                let mut args = String::new();
+                if let Some(b) = ev.block() {
+                    let _ = write!(args, "\"block\":{}", b.0);
+                }
+                if let Some(bytes) = ev.bytes() {
+                    if !args.is_empty() {
+                        args.push(',');
+                    }
+                    let _ = write!(args, "\"bytes\":{bytes}");
+                }
+                if let Event::MsgSend { to, kind, .. } = ev {
+                    let _ = write!(args, ",\"kind\":\"{kind}\",\"to\":{}", to.index());
+                }
+                if let Event::MsgRecv { from, kind, .. } = ev {
+                    let _ = write!(args, ",\"kind\":\"{kind}\",\"from\":{}", from.index());
+                }
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":{pid},\"tid\":0,\
+                         \"ts\":{},\"s\":\"t\",\"args\":{{{args}}}}}",
+                        ev.kind(),
+                        e.cycle
+                    ),
+                );
+            }
+        }
+    }
+    // Spans left open (e.g. a truncated trace): close them at their
+    // begin cycle so the slice is visible with zero duration.
+    let mut leftovers: Vec<((u16, &'static str, u64), u64)> = open
+        .into_iter()
+        .flat_map(|(k, begins)| begins.into_iter().map(move |b| (k, b)))
+        .collect();
+    leftovers.sort_unstable();
+    for ((node, what, block), begin) in leftovers {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"{what}\",\"ph\":\"X\",\"pid\":{node},\"tid\":0,\
+                 \"ts\":{begin},\"dur\":0,\"args\":{{\"block\":{block}}}}}"
+            ),
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// The per-node cycle breakdown: one row per node, one column per
+/// [`CycleCat`], plus per-node totals (which the conservation invariant
+/// guarantees equal the node clocks) and a machine-wide footer.
+pub fn cycle_breakdown_table(r: &RunResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<6}", "node");
+    for cat in CycleCat::all() {
+        let _ = write!(out, " {:>18}", cat.label());
+    }
+    let _ = writeln!(out, " {:>16}", "total");
+    for n in 0..r.ledger.nodes() {
+        let node = NodeId(n as u16);
+        let _ = write!(out, "{n:<6}");
+        for cat in CycleCat::all() {
+            let _ = write!(out, " {:>18}", r.ledger.get(node, cat));
+        }
+        let _ = writeln!(out, " {:>16}", r.ledger.node_total(node));
+    }
+    let totals = r.ledger.totals();
+    let _ = write!(out, "{:<6}", "all");
+    for cat in CycleCat::all() {
+        let _ = write!(out, " {:>18}", totals[cat.index()]);
+    }
+    let sum: u64 = totals.iter().sum();
+    let _ = writeln!(out, " {:>16}", sum);
+    out
+}
+
+/// The blocks with the most stall cycles, reconstructed from the event
+/// stream: misses and upgrades weighted by the cost model's fill
+/// latencies. Returns up to `n` `(block, stall_cycles)` pairs, hottest
+/// first. An empty result means tracing was off (or nothing missed).
+pub fn hottest_blocks(events: &[Stamped], cost: &CostModel, n: usize) -> Vec<(BlockId, u64)> {
+    let mut per_block: HashMap<BlockId, u64> = HashMap::new();
+    for e in events {
+        let (block, cycles) = match e.event {
+            Event::ReadMiss { block, remote, .. } | Event::WriteMiss { block, remote, .. } => (
+                block,
+                if remote {
+                    cost.remote_miss
+                } else {
+                    cost.local_fill
+                },
+            ),
+            Event::Upgrade { block, .. } => (block, cost.upgrade),
+            _ => continue,
+        };
+        *per_block.entry(block).or_default() += cycles;
+    }
+    let mut hot: Vec<(BlockId, u64)> = per_block.into_iter().collect();
+    hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    hot.truncate(n);
+    hot
+}
+
+/// The delivered-message histogram: count and wire bytes per kind, with
+/// a proportional bar. Kinds with zero traffic are omitted.
+pub fn message_histogram(r: &RunResult) -> String {
+    let max = r.msg_kinds.iter().map(|&(_, n)| n).max().unwrap_or(0);
+    let mut out = String::new();
+    for (&(kind, count), &(_, bytes)) in r.msg_kinds.iter().zip(&r.msg_bytes) {
+        if count == 0 {
+            continue;
+        }
+        let bar = "#".repeat(((count * 40).div_ceil(max.max(1))) as usize);
+        let _ = writeln!(
+            out,
+            "{:<14} {count:>12} msgs {bytes:>14} B  {bar}",
+            kind.label()
+        );
+    }
+    out
+}
+
+/// The text profile report for one run: cycle breakdown, hottest blocks,
+/// message histogram, and the trace-completeness note.
+pub fn profile_report(r: &RunResult, events: &[Stamped], cost: &CostModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "per-node cycle breakdown ({}):", r.system.label());
+    out.push_str(&cycle_breakdown_table(r));
+    let hot = hottest_blocks(events, cost, 10);
+    if !hot.is_empty() {
+        let _ = writeln!(out, "hottest blocks by stall cycles:");
+        for (block, cycles) in hot {
+            let _ = writeln!(out, "  block {:>8}: {cycles:>12} cycles", block.0);
+        }
+    }
+    let hist = message_histogram(r);
+    if !hist.is_empty() {
+        let _ = writeln!(out, "messages by kind:");
+        out.push_str(&hist);
+    }
+    let _ = writeln!(
+        out,
+        "trace: {} events captured, {} dropped{}",
+        r.trace_events,
+        r.trace_dropped,
+        if r.trace_dropped > 0 {
+            " (grow the capture buffer for a complete stream)"
+        } else {
+            ""
+        }
+    );
+    out
+}
+
+/// The `profile.csv` table: one row per `(program, system, node,
+/// category)` with its attributed cycles.
+pub fn profile_csv(entries: &[(&str, &RunResult)]) -> String {
+    let mut csv = String::from("program,system,node,category,cycles\n");
+    for (program, r) in entries {
+        for n in 0..r.ledger.nodes() {
+            for cat in CycleCat::all() {
+                let _ = writeln!(
+                    csv,
+                    "{program},{},{n},{},{}",
+                    r.system.label(),
+                    cat.label(),
+                    r.ledger.get(NodeId(n as u16), cat)
+                );
+            }
+        }
+    }
+    csv
+}
+
+/// The `phases.csv` table: one row per phase boundary with the cycles
+/// and traffic spent *in* that phase (deltas between consecutive
+/// snapshots).
+pub fn phases_csv(entries: &[(&str, &RunResult)]) -> String {
+    let mut csv =
+        String::from("program,system,phase,label,end_cycle,phase_cycles,accesses,msgs_sent\n");
+    for (program, r) in entries {
+        let mut prev_at = 0u64;
+        let mut prev_accesses = 0u64;
+        let mut prev_msgs = 0u64;
+        for (i, p) in r.phases.iter().enumerate() {
+            let _ = writeln!(
+                csv,
+                "{program},{},{i},{},{},{},{},{}",
+                r.system.label(),
+                p.label,
+                p.at,
+                p.at - prev_at,
+                p.totals.accesses() - prev_accesses,
+                p.totals.msgs_sent - prev_msgs
+            );
+            prev_at = p.at;
+            prev_accesses = p.totals.accesses();
+            prev_msgs = p.totals.msgs_sent;
+        }
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_apps::stencil::Stencil;
+    use lcm_apps::{execute_traced, SystemKind};
+    use lcm_cstar::{Partition, RuntimeConfig};
+    use lcm_sim::MachineConfig;
+
+    fn traced_run(system: SystemKind) -> (RunResult, Vec<Stamped>) {
+        let w = Stencil {
+            rows: 16,
+            cols: 16,
+            iters: 2,
+            partition: Partition::Dynamic,
+        };
+        let mc = MachineConfig::new(4).with_trace(1 << 20);
+        let (_, r, events) = execute_traced(system, mc, RuntimeConfig::default(), &w);
+        assert_eq!(r.trace_dropped, 0, "trace capacity must hold the run");
+        (r, events)
+    }
+
+    /// A minimal JSON syntax checker: enough to reject unbalanced or
+    /// misquoted output without a JSON dependency.
+    fn check_json(s: &str) {
+        let mut depth: Vec<char> = Vec::new();
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth.push('}'),
+                '[' => depth.push(']'),
+                '}' | ']' => {
+                    assert_eq!(depth.pop(), Some(c), "mismatched bracket in {s:.120}…")
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string");
+        assert!(depth.is_empty(), "unbalanced brackets");
+        assert!(!s.contains(",]") && !s.contains(",}"), "trailing comma");
+        assert!(!s.contains("[,") && !s.contains("{,"), "leading comma");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_node_tracks_and_spans() {
+        let (_, events) = traced_run(SystemKind::LcmMcc);
+        assert!(!events.is_empty());
+        let json = chrome_trace_json(&events, 4);
+        check_json(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for n in 0..4 {
+            assert!(
+                json.contains(&format!("\"name\":\"node {n}\"")),
+                "track {n}"
+            );
+        }
+        assert!(json.contains("\"ph\":\"X\""), "span slices present");
+        assert!(json.contains("\"ph\":\"i\""), "instants present");
+        assert!(json.contains("\"name\":\"mark\""), "LCM mark spans present");
+        // Every span begin/end pair became one complete slice.
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e.event, Event::SpanBegin { .. }))
+            .count();
+        let slices = json.matches("\"ph\":\"X\"").count();
+        assert_eq!(slices, begins, "one X slice per span");
+    }
+
+    #[test]
+    fn unmatched_span_begins_are_closed_not_dropped() {
+        let events = vec![Stamped {
+            seq: 0,
+            cycle: 40,
+            event: Event::SpanBegin {
+                node: NodeId(1),
+                what: "read_fault",
+                block: BlockId(3),
+            },
+        }];
+        let json = chrome_trace_json(&events, 2);
+        check_json(&json);
+        assert!(json.contains("\"dur\":0"));
+        assert!(json.contains("\"ts\":40"));
+    }
+
+    #[test]
+    fn breakdown_table_rows_sum_to_node_clocks() {
+        let (r, _) = traced_run(SystemKind::LcmScc);
+        let table = cycle_breakdown_table(&r);
+        assert!(table.contains("read_stall"), "category columns present");
+        for (n, &clock) in r.clocks.iter().enumerate() {
+            let node = NodeId(n as u16);
+            let sum: u64 = CycleCat::all().iter().map(|&c| r.ledger.get(node, c)).sum();
+            assert_eq!(sum, clock, "node {n} conservation");
+            assert!(table.contains(&clock.to_string()), "node {n} total printed");
+        }
+    }
+
+    #[test]
+    fn hottest_blocks_weight_remote_misses_heaviest() {
+        let cost = CostModel::cm5();
+        let events = vec![
+            Stamped {
+                seq: 0,
+                cycle: 0,
+                event: Event::ReadMiss {
+                    node: NodeId(0),
+                    block: BlockId(1),
+                    remote: true,
+                },
+            },
+            Stamped {
+                seq: 1,
+                cycle: 10,
+                event: Event::WriteMiss {
+                    node: NodeId(0),
+                    block: BlockId(2),
+                    remote: false,
+                },
+            },
+            Stamped {
+                seq: 2,
+                cycle: 20,
+                event: Event::Upgrade {
+                    node: NodeId(1),
+                    block: BlockId(2),
+                },
+            },
+        ];
+        let hot = hottest_blocks(&events, &cost, 10);
+        assert_eq!(hot[0], (BlockId(1), cost.remote_miss));
+        assert_eq!(hot[1], (BlockId(2), cost.local_fill + cost.upgrade));
+    }
+
+    #[test]
+    fn csv_tables_cover_every_node_category_and_phase() {
+        let (r, _) = traced_run(SystemKind::Stache);
+        let profile = profile_csv(&[("Stencil-16", &r)]);
+        let rows = profile.lines().count() - 1;
+        assert_eq!(rows, 4 * CycleCat::COUNT, "4 nodes x categories");
+        assert!(profile.starts_with("program,system,node,category,cycles\n"));
+
+        let phases = phases_csv(&[("Stencil-16", &r)]);
+        assert_eq!(phases.lines().count() - 1, r.phases.len());
+        assert!(phases.contains(",apply,"));
+        // Phase cycle deltas sum back to the last boundary's time.
+        let total: u64 = phases
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(5).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, r.phases.last().unwrap().at);
+    }
+
+    #[test]
+    fn report_mentions_breakdown_hot_blocks_and_drops() {
+        let (r, events) = traced_run(SystemKind::LcmMcc);
+        let report = profile_report(&r, &events, &CostModel::cm5());
+        assert!(report.contains("per-node cycle breakdown"));
+        assert!(report.contains("hottest blocks"));
+        assert!(report.contains("messages by kind"));
+        assert!(report.contains("0 dropped"));
+    }
+}

@@ -34,7 +34,7 @@ use lcm_rsm::{
 use lcm_sim::hash::FastMap;
 use lcm_sim::mem::{Addr, BlockId, WORDS_PER_BLOCK};
 use lcm_sim::trace::Event;
-use lcm_sim::{MachineConfig, NodeId};
+use lcm_sim::{CycleCat, MachineConfig, NodeId};
 use lcm_stache::Stache;
 use lcm_tempest::{MsgKind, Tag, Tempest};
 
@@ -179,7 +179,8 @@ impl Lcm {
                         let t = self.inner.tempest_mut();
                         let c = *t.machine.cost();
                         t.net.send(&mut t.machine, rn, ln, MsgKind::Flush, true);
-                        t.machine.advance(ln, c.reconcile_per_version);
+                        t.machine
+                            .advance_as(ln, c.reconcile_per_version, CycleCat::FlushReconcile);
                         t.machine.stats_mut(ln).versions_reconciled += 1;
                         t.machine.stats_mut(rn).flushes += 1;
                         combine_into(op, &mut lp, &rp);
@@ -195,9 +196,11 @@ impl Lcm {
             let home = t.home_of(block);
             let c = *t.machine.cost();
             t.machine.stats_mut(root).flushes += 1;
-            t.machine.advance(root, c.block_flush);
+            t.machine
+                .advance_as(root, c.block_flush, CycleCat::FlushReconcile);
             t.net.send(&mut t.machine, root, home, MsgKind::Flush, true);
-            t.machine.advance(home, c.reconcile_per_version);
+            t.machine
+                .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
             t.machine.stats_mut(home).versions_reconciled += 1;
             entry.merge_version(root, &p.data, p.dirty, policy, block, &mut self.conflicts);
             // The contributors drop their (identity-initialized) copies.
@@ -370,6 +373,11 @@ impl Lcm {
         let c = *t.machine.cost();
         t.machine.stats_mut(node).marks += 1;
         t.machine.record(Event::Mark { node, block });
+        t.machine.record(Event::SpanBegin {
+            node,
+            what: "mark",
+            block,
+        });
 
         let init = match policy.merge.reduce_op() {
             Some(op) => {
@@ -397,7 +405,8 @@ impl Lcm {
                 // the node has no readable copy (this is the scc refetch).
                 if !t.tags[node.index()].get(block).readable() {
                     if node == home {
-                        t.machine.advance(node, c.local_fill);
+                        t.machine
+                            .advance_as(node, c.local_fill, CycleCat::WriteStallLocal);
                         t.machine.stats_mut(node).write_miss_local += 1;
                         t.machine.record(Event::WriteMiss {
                             node,
@@ -423,19 +432,27 @@ impl Lcm {
         if !entry.home_clean {
             entry.home_clean = true;
             t.machine.stats_mut(home).clean_copies += 1;
-            t.machine.advance(home, c.clean_copy_create);
+            t.machine
+                .advance_as(home, c.clean_copy_create, CycleCat::FlushReconcile);
             t.machine.record(Event::CleanCopy { node: home, block });
         }
         // mcc: additionally keep a clean copy on the marking node.
         if self.variant == LcmVariant::Mcc && !entry.mcc_clean.contains(node) {
             entry.mcc_clean.add(node);
             t.machine.stats_mut(node).clean_copies += 1;
-            t.machine.advance(node, c.clean_copy_create);
+            t.machine
+                .advance_as(node, c.clean_copy_create, CycleCat::FlushReconcile);
             t.machine.record(Event::CleanCopy { node, block });
         }
 
         // The private copy itself: a block copy in the fault handler.
-        t.machine.advance(node, c.clean_copy_create);
+        t.machine
+            .advance_as(node, c.clean_copy_create, CycleCat::FlushReconcile);
+        t.machine.record(Event::SpanEnd {
+            node,
+            what: "mark",
+            block,
+        });
         t.tags[node.index()].set(block, Tag::ReadWrite);
         self.privs[node.index()].insert(block, PrivCopy::new(init));
         self.priv_order[node.index()].push(block);
@@ -475,7 +492,8 @@ impl Lcm {
         let home = t.home_of(block);
         let c = *t.machine.cost();
         if node == home {
-            t.machine.advance(node, c.local_fill);
+            t.machine
+                .advance_as(node, c.local_fill, CycleCat::ReadStallLocal);
             t.machine.stats_mut(node).read_miss_local += 1;
             t.machine.record(Event::ReadMiss {
                 node,
@@ -641,7 +659,12 @@ impl Lcm {
         if first {
             let home = t.home_of(block);
             if node == home {
-                t.machine.advance(node, c.local_fill);
+                let cat = if is_write {
+                    CycleCat::WriteStallLocal
+                } else {
+                    CycleCat::ReadStallLocal
+                };
+                t.machine.advance_as(node, c.local_fill, cat);
                 if is_write {
                     t.machine.stats_mut(node).write_miss_local += 1;
                 } else {
@@ -710,7 +733,8 @@ impl Lcm {
         let t = self.inner.tempest_mut();
         let c = *t.machine.cost();
         t.machine.stats_mut(node).marks += 1;
-        t.machine.advance(node, c.clean_copy_create);
+        t.machine
+            .advance_as(node, c.clean_copy_create, CycleCat::FlushReconcile);
         t.machine.record(Event::Mark { node, block });
         let np = self.nested.as_mut().expect("nested phase open");
         np.privs[node.index()].insert(block, PrivCopy::new(init));
@@ -793,10 +817,12 @@ impl Lcm {
         let t = self.inner.tempest_mut();
         let home = t.home_of(block);
         let c = *t.machine.cost();
+        t.machine
+            .advance_as(node, c.block_flush, CycleCat::FlushReconcile);
         t.machine.stats_mut(node).flushes += 1;
-        t.machine.advance(node, c.block_flush);
         t.net.send(&mut t.machine, node, home, MsgKind::Flush, true);
-        t.machine.advance(home, c.reconcile_per_version);
+        t.machine
+            .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
         t.machine.stats_mut(home).versions_reconciled += 1;
         let np = self.nested.as_mut().expect("nested phase open");
         let entry = np.entries.get_mut(&block).expect("just inserted");
@@ -1095,10 +1121,17 @@ impl MemoryProtocol for Lcm {
             let c = *t.machine.cost();
 
             // Ship the version home and merge it there.
+            t.machine.record(Event::SpanBegin {
+                node,
+                what: "flush",
+                block,
+            });
             t.machine.stats_mut(node).flushes += 1;
-            t.machine.advance(node, c.block_flush);
+            t.machine
+                .advance_as(node, c.block_flush, CycleCat::FlushReconcile);
             t.net.send(&mut t.machine, node, home, MsgKind::Flush, true);
-            t.machine.advance(home, c.reconcile_per_version);
+            t.machine
+                .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
             t.machine.stats_mut(home).versions_reconciled += 1;
             t.machine.record(Event::Flush { node, block });
             let ww =
@@ -1114,11 +1147,17 @@ impl MemoryProtocol for Lcm {
             let has_local_clean = self.variant == LcmVariant::Mcc && entry.mcc_clean.contains(node);
             let t = self.inner.tempest_mut();
             if has_local_clean {
-                t.machine.advance(node, c.local_refill);
+                t.machine
+                    .advance_as(node, c.local_refill, CycleCat::FlushReconcile);
                 t.tags[node.index()].set(block, Tag::ReadOnly);
             } else {
                 t.tags[node.index()].set(block, Tag::Invalid);
             }
+            t.machine.record(Event::SpanEnd {
+                node,
+                what: "flush",
+                block,
+            });
         }
         order.clear();
         order.extend(retained);
@@ -1155,7 +1194,18 @@ impl MemoryProtocol for Lcm {
         for block in blocks {
             let entry = self.cow.remove(&block).expect("collected key");
             let policy = self.policies.get(block);
+            let home = self.inner.tempest().home_of(block);
+            self.inner.tempest_mut().machine.record(Event::SpanBegin {
+                node: home,
+                what: "reconcile",
+                block,
+            });
             self.apply_entry(block, entry, policy);
+            self.inner.tempest_mut().machine.record(Event::SpanEnd {
+                node: home,
+                what: "reconcile",
+                block,
+            });
         }
         self.inner.tempest_mut().machine.barrier();
     }

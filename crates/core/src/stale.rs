@@ -12,7 +12,7 @@
 use lcm_sim::hash::{FastMap, FastSet};
 use lcm_sim::mem::{Addr, BlockBuf, BlockId};
 use lcm_sim::trace::Event;
-use lcm_sim::NodeId;
+use lcm_sim::{CycleCat, NodeId};
 use lcm_tempest::{MsgKind, Tempest};
 
 /// Per-node snapshot and write-permission state for stale regions.
@@ -44,7 +44,8 @@ impl StaleState {
         let home = t.home_of(block);
         let c = *t.machine.cost();
         if node == home {
-            t.machine.advance(node, c.local_fill);
+            t.machine
+                .advance_as(node, c.local_fill, CycleCat::ReadStallLocal);
             t.machine.stats_mut(node).read_miss_local += 1;
             t.machine.record(Event::ReadMiss {
                 node,
@@ -79,7 +80,8 @@ impl StaleState {
             let home = t.home_of(block);
             let c = *t.machine.cost();
             if node == home {
-                t.machine.advance(node, c.local_fill);
+                t.machine
+                    .advance_as(node, c.local_fill, CycleCat::WriteStallLocal);
                 t.machine.stats_mut(node).write_miss_local += 1;
                 t.machine.record(Event::WriteMiss {
                     node,
@@ -109,7 +111,8 @@ impl StaleState {
     pub fn refresh(&mut self, t: &mut Tempest, node: NodeId, block: BlockId) {
         if self.snaps[node.index()].remove(&block).is_some() {
             let c = *t.machine.cost();
-            t.machine.advance(node, c.invalidate);
+            t.machine
+                .advance_as(node, c.invalidate, CycleCat::FlushReconcile);
             t.machine.stats_mut(node).stale_refreshes += 1;
         }
     }

@@ -178,6 +178,8 @@ impl<P: MemoryProtocol> Runtime<P> {
                 }
             }
         }
+        // One profiler phase per parallel step (barrier epoch).
+        self.mem.tempest_mut().machine.mark_phase("apply");
     }
 
     #[inline]

@@ -277,6 +277,7 @@ impl<P: MemoryProtocol> Runtime<P> {
             }
         }
         self.mem.barrier();
+        self.mem.tempest_mut().machine.mark_phase("init");
     }
 
     /// Initializes a 2-D aggregate in parallel by static row owner.
@@ -291,6 +292,7 @@ impl<P: MemoryProtocol> Runtime<P> {
             }
         }
         self.mem.barrier();
+        self.mem.tempest_mut().machine.mark_phase("init");
     }
 
     fn init_element(&mut self, id: usize, node: NodeId, idx: usize, bits: u32) {

@@ -56,6 +56,11 @@ pub struct CostModel {
     /// a message was lost. Doubles per consecutive retry (exponential
     /// backoff, capped). Only charged under fault injection.
     pub retry_timeout: u64,
+    /// Wire-format header bytes per protocol message (source, destination,
+    /// kind, block address). Block-carrying messages add the 32-byte block
+    /// payload on top. Feeds the `bytes_sent`/`bytes_recv` traffic
+    /// counters, not the clocks.
+    pub msg_header_bytes: u64,
 }
 
 impl CostModel {
@@ -84,6 +89,8 @@ impl CostModel {
             // A timeout must comfortably exceed the remote round-trip it
             // guards, or healthy messages would be retransmitted.
             retry_timeout: 6000,
+            // A CM-5 active-message-style envelope: src/dst/kind/address.
+            msg_header_bytes: 16,
         }
     }
 
@@ -106,6 +113,7 @@ impl CostModel {
             invalidate: 1,
             upgrade: 1,
             retry_timeout: 1,
+            msg_header_bytes: 1,
         }
     }
 
@@ -127,6 +135,7 @@ impl CostModel {
             invalidate: 0,
             upgrade: 0,
             retry_timeout: 0,
+            msg_header_bytes: 0,
         }
     }
 

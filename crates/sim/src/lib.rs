@@ -39,6 +39,7 @@ pub mod fault;
 pub mod hash;
 pub mod machine;
 pub mod mem;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -47,6 +48,7 @@ pub use cost::CostModel;
 pub use fault::{DeliveryError, FaultConfig, FaultOutcome, FaultPlan};
 pub use machine::{Machine, MachineConfig, NodeId};
 pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};
+pub use profile::{CycleCat, CycleLedger, PhaseSnapshot};
 pub use rng::Pcg32;
 pub use stats::NodeStats;
-pub use trace::{Event, Trace, TraceSummary};
+pub use trace::{Event, Stamped, Trace, TraceSummary};

@@ -15,6 +15,7 @@
 
 use crate::cost::CostModel;
 use crate::fault::{FaultConfig, FaultPlan};
+use crate::profile::{CycleCat, CycleLedger, PhaseSnapshot};
 use crate::stats::NodeStats;
 use crate::trace::{Event, Trace};
 use std::fmt;
@@ -107,6 +108,8 @@ pub struct Machine {
     clocks: Vec<u64>,
     stats: Vec<NodeStats>,
     trace: Trace,
+    ledger: CycleLedger,
+    phases: Vec<PhaseSnapshot>,
     barriers: u64,
     faults: FaultPlan,
 }
@@ -124,6 +127,8 @@ impl Machine {
             clocks: vec![0; config.nodes],
             stats: vec![NodeStats::default(); config.nodes],
             trace,
+            ledger: CycleLedger::new(config.nodes),
+            phases: Vec::new(),
             barriers: 0,
             faults: FaultPlan::new(config.faults),
         }
@@ -152,16 +157,26 @@ impl Machine {
         self.clocks[node.index()]
     }
 
-    /// Advances `node`'s clock by `cycles`.
+    /// Advances `node`'s clock by `cycles`, attributed to local compute.
     #[inline]
     pub fn advance(&mut self, node: NodeId, cycles: u64) {
+        self.advance_as(node, cycles, CycleCat::Compute);
+    }
+
+    /// Advances `node`'s clock by `cycles`, attributing them to `cat` in
+    /// the cycle ledger. Every clock mutation routes through here (or the
+    /// barrier path), which is what makes the ledger conservation
+    /// invariant hold by construction.
+    #[inline]
+    pub fn advance_as(&mut self, node: NodeId, cycles: u64, cat: CycleCat) {
         self.clocks[node.index()] += cycles;
+        self.ledger.charge(node, cat, cycles);
     }
 
     /// Advances every node's clock by `cycles` (e.g. broadcast handler work).
     pub fn advance_all(&mut self, cycles: u64) {
-        for c in &mut self.clocks {
-            *c += cycles;
+        for i in 0..self.clocks.len() {
+            self.advance_as(NodeId(i as u16), cycles, CycleCat::Compute);
         }
     }
 
@@ -175,7 +190,12 @@ impl Machine {
     pub fn barrier(&mut self) -> u64 {
         let max = self.time();
         let after = max + self.cost.barrier_cost(self.nodes());
-        for c in &mut self.clocks {
+        for (i, c) in self.clocks.iter_mut().enumerate() {
+            // The jump to the common release time is this node's barrier
+            // wait: idle cycles spent on slower peers plus the barrier's
+            // own cost.
+            self.ledger
+                .charge(NodeId(i as u16), CycleCat::BarrierWait, after - *c);
             *c = after;
         }
         for s in &mut self.stats {
@@ -186,11 +206,13 @@ impl Machine {
                 if let Some(stall) = self.faults.barrier_stall() {
                     self.clocks[i] += stall;
                     self.stats[i].stall_cycles += stall;
+                    self.ledger
+                        .charge(NodeId(i as u16), CycleCat::RetryBackoff, stall);
                 }
             }
         }
         self.barriers += 1;
-        self.trace.record(Event::Barrier { at: after });
+        self.trace.record_at(after, Event::Barrier { at: after });
         after
     }
 
@@ -246,14 +268,57 @@ impl Machine {
         &self.trace
     }
 
-    /// Records an event into the trace (no-op when tracing is disabled).
+    /// Records an event into the trace, stamped with the acting node's
+    /// clock — or the machine time for global events (no-op when tracing
+    /// is disabled).
     #[inline]
     pub fn record(&mut self, event: Event) {
-        self.trace.record(event);
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let cycle = match event.node() {
+            Some(n) => self.clocks[n.index()],
+            None => self.time(),
+        };
+        self.trace.record_at(cycle, event);
     }
 
-    /// Resets clocks, statistics, barrier count and trace to zero, keeping
-    /// the configuration. Used between warm-up and measured phases.
+    /// The cycle ledger: per-node, per-category attribution of every
+    /// charged cycle.
+    pub fn ledger(&self) -> &CycleLedger {
+        &self.ledger
+    }
+
+    /// Checks the ledger conservation invariant: for every node, the sum
+    /// over categories equals the node's clock. Errors with a description
+    /// of the first violating node.
+    pub fn verify_ledger(&self) -> Result<(), String> {
+        self.ledger.check_against(&self.clocks).map_err(|(n, sum, clock)| {
+            format!("cycle ledger violates conservation on {n}: categories sum to {sum} but the clock reads {clock}")
+        })
+    }
+
+    /// Stamps a phase boundary: snapshots cumulative time, statistics and
+    /// ledger totals under `label`. Runtimes call this after each parallel
+    /// step's closing barrier; consumers difference consecutive snapshots
+    /// for per-phase metrics.
+    pub fn mark_phase(&mut self, label: &'static str) {
+        self.phases.push(PhaseSnapshot {
+            label,
+            at: self.time(),
+            totals: self.total_stats(),
+            cycles: self.ledger.totals(),
+        });
+    }
+
+    /// Phase-boundary snapshots recorded so far, oldest first.
+    pub fn phases(&self) -> &[PhaseSnapshot] {
+        &self.phases
+    }
+
+    /// Resets clocks, statistics, barrier count, ledger, phase marks and
+    /// trace to zero, keeping the configuration. Used between warm-up and
+    /// measured phases.
     pub fn reset_measurements(&mut self) {
         for c in &mut self.clocks {
             *c = 0;
@@ -262,6 +327,8 @@ impl Machine {
             *s = NodeStats::default();
         }
         self.barriers = 0;
+        self.ledger.clear();
+        self.phases.clear();
         self.trace.clear();
     }
 }
@@ -400,6 +467,85 @@ mod tests {
         }
         assert_eq!(with_plan.total_stats().stall_cycles, 0);
         assert_eq!(with_plan.faults().decisions(), 0);
+    }
+
+    #[test]
+    fn ledger_conserves_cycles_across_advances_and_barriers() {
+        use crate::profile::CycleCat;
+        let mut m = Machine::new(MachineConfig::new(4));
+        m.advance(NodeId(0), 123);
+        m.advance_as(NodeId(1), 500, CycleCat::ReadStallRemote);
+        m.advance_all(7);
+        m.barrier();
+        m.advance_as(NodeId(3), 42, CycleCat::FlushReconcile);
+        m.barrier();
+        m.verify_ledger().expect("ledger conserves every cycle");
+        assert_eq!(m.ledger().get(NodeId(1), CycleCat::ReadStallRemote), 500);
+        assert!(m.ledger().cat_total(CycleCat::BarrierWait) > 0);
+        for n in m.node_ids() {
+            assert_eq!(m.ledger().node_total(n), m.clock(n));
+        }
+    }
+
+    #[test]
+    fn ledger_attributes_fault_stalls_to_retry_backoff() {
+        use crate::fault::FaultConfig;
+        use crate::profile::CycleCat;
+        let faults = FaultConfig {
+            stall_rate: 1.0,
+            stall_cycles: 99,
+            ..FaultConfig::default()
+        };
+        let mut m = Machine::new(MachineConfig::new(4).with_faults(faults));
+        for _ in 0..3 {
+            m.barrier();
+        }
+        m.verify_ledger().expect("stalls are ledgered too");
+        assert_eq!(
+            m.ledger().cat_total(CycleCat::RetryBackoff),
+            m.total_stats().stall_cycles
+        );
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_acting_nodes_clock() {
+        use crate::mem::BlockId;
+        let mut m = Machine::new(MachineConfig::new(2).with_trace(8));
+        m.advance(NodeId(1), 77);
+        m.record(Event::Mark {
+            node: NodeId(1),
+            block: BlockId(3),
+        });
+        m.record(Event::Reconcile {
+            block: BlockId(3),
+            versions: 1,
+        });
+        let ev = m.trace().events();
+        assert_eq!(ev[0].cycle, 77, "stamped with node 1's clock");
+        assert_eq!(ev[0].seq, 0);
+        assert_eq!(ev[1].cycle, 77, "global events use machine time");
+        assert_eq!(ev[1].seq, 1);
+    }
+
+    #[test]
+    fn mark_phase_snapshots_cumulative_state() {
+        let mut m = Machine::new(MachineConfig::new(2).with_cost(CostModel::unit()));
+        m.advance(NodeId(0), 10);
+        m.barrier();
+        m.mark_phase("init");
+        m.advance(NodeId(1), 5);
+        m.barrier();
+        m.mark_phase("apply");
+        let ph = m.phases();
+        assert_eq!(ph.len(), 2);
+        assert_eq!(ph[0].label, "init");
+        assert_eq!(ph[0].at, 11);
+        assert_eq!(ph[1].at, 17);
+        assert!(ph[1].totals.barriers > ph[0].totals.barriers);
+        m.reset_measurements();
+        assert!(m.phases().is_empty());
+        m.verify_ledger()
+            .expect("reset ledger matches reset clocks");
     }
 
     #[test]

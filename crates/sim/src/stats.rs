@@ -69,6 +69,12 @@ pub struct NodeStats {
     /// Cycles this node lost to injected barrier-aligned stalls
     /// (fault injection only).
     pub stall_cycles: u64,
+    /// Wire bytes this node put on the network (delivered messages only:
+    /// header per message plus the 32-byte payload of each block shipped).
+    pub bytes_sent: u64,
+    /// Wire bytes this node accepted off the network (delivered messages
+    /// only; duplicates and drops carry no accepted bytes).
+    pub bytes_recv: u64,
 }
 
 impl NodeStats {
@@ -136,6 +142,8 @@ impl NodeStats {
         self.msgs_dropped += other.msgs_dropped;
         self.msgs_duplicated += other.msgs_duplicated;
         self.stall_cycles += other.stall_cycles;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_recv += other.bytes_recv;
     }
 
     /// Total injected-fault events observed by this node (retries,
@@ -162,10 +170,12 @@ impl std::fmt::Display for NodeStats {
         )?;
         writeln!(
             f,
-            "messages: {} sent / {} received ({} blocks); invalidations {} sent / {} received",
+            "messages: {} sent / {} received ({} blocks, {}/{} bytes); invalidations {} sent / {} received",
             self.msgs_sent,
             self.msgs_recv,
             self.blocks_sent,
+            self.bytes_sent,
+            self.bytes_recv,
             self.invalidations_sent,
             self.invalidations_recv
         )?;
@@ -247,6 +257,8 @@ mod tests {
             msgs_dropped: 24,
             msgs_duplicated: 25,
             stall_cycles: 26,
+            bytes_sent: 27,
+            bytes_recv: 28,
         };
         a.add(&b);
         a.add(&b);
@@ -259,6 +271,8 @@ mod tests {
         assert_eq!(a.msgs_dropped, 48);
         assert_eq!(a.msgs_duplicated, 50);
         assert_eq!(a.stall_cycles, 52);
+        assert_eq!(a.bytes_sent, 54);
+        assert_eq!(a.bytes_recv, 56);
         assert_eq!(a.fault_events(), 44 + 46 + 48 + 50);
     }
 

@@ -1,8 +1,17 @@
-//! Optional protocol event trace.
+//! Structured, cycle-stamped protocol event trace.
 //!
-//! When enabled, the machine records a bounded stream of protocol events.
-//! Traces exist for debugging protocols and for tests that assert on exact
-//! event sequences; the experiment harness leaves tracing off.
+//! When enabled, the machine records a bounded stream of [`Stamped`]
+//! protocol events: each carries a monotonic sequence number and the
+//! cycle at which it occurred (the acting node's clock at record time).
+//! Traces drive the profile exporter (`lcm-bench`), the coherence
+//! sanitizer's violation reports, and tests that assert on exact event
+//! sequences; the experiment harness leaves tracing off, which makes
+//! recording a no-op.
+//!
+//! The buffer is bounded. On overflow, keep-first traces discard the new
+//! event and ring traces discard their oldest; either way the discard is
+//! counted in [`Trace::dropped`] and visible as a gap in the sequence
+//! numbers, so a consumer can tell an incomplete stream from a quiet one.
 
 use crate::machine::NodeId;
 use crate::mem::BlockId;
@@ -88,6 +97,135 @@ pub enum Event {
         /// Post-barrier simulated time.
         at: u64,
     },
+    /// `from` sent a protocol message to `to` (recorded when the network
+    /// delivers it; dropped attempts are not sends).
+    MsgSend {
+        /// The sending node.
+        from: NodeId,
+        /// The destination node.
+        to: NodeId,
+        /// Message kind label (see `lcm_tempest::MsgKind::label`).
+        kind: &'static str,
+        /// Bytes on the wire (header, plus the block payload if any).
+        bytes: u64,
+    },
+    /// `node` handled a protocol message from `from`.
+    MsgRecv {
+        /// The handling node.
+        node: NodeId,
+        /// The original sender.
+        from: NodeId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Bytes on the wire.
+        bytes: u64,
+    },
+    /// A span opened on `node` (e.g. a fault handler started); paired
+    /// with the next [`Event::SpanEnd`] carrying the same `node`/`what`/
+    /// `block`, the cycle stamps delimit the operation's duration.
+    SpanBegin {
+        /// The node doing the work.
+        node: NodeId,
+        /// What the span covers (`"read_fault"`, `"reconcile"`, …).
+        what: &'static str,
+        /// The block involved.
+        block: BlockId,
+    },
+    /// A span closed on `node` (see [`Event::SpanBegin`]).
+    SpanEnd {
+        /// The node doing the work.
+        node: NodeId,
+        /// What the span covers.
+        what: &'static str,
+        /// The block involved.
+        block: BlockId,
+    },
+}
+
+impl Event {
+    /// Stable label of the event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ReadMiss { .. } => "read_miss",
+            Event::WriteMiss { .. } => "write_miss",
+            Event::Upgrade { .. } => "upgrade",
+            Event::Mark { .. } => "mark",
+            Event::CleanCopy { .. } => "clean_copy",
+            Event::Flush { .. } => "flush",
+            Event::Reconcile { .. } => "reconcile",
+            Event::Invalidate { .. } => "invalidate",
+            Event::WwConflict { .. } => "ww_conflict",
+            Event::RwConflict { .. } => "rw_conflict",
+            Event::Barrier { .. } => "barrier",
+            Event::MsgSend { .. } => "msg_send",
+            Event::MsgRecv { .. } => "msg_recv",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+        }
+    }
+
+    /// The node the event is attributed to (the acting side), if any.
+    /// Home-side events with no single actor ([`Event::Reconcile`],
+    /// conflicts, [`Event::Barrier`]) return `None`.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            Event::ReadMiss { node, .. }
+            | Event::WriteMiss { node, .. }
+            | Event::Upgrade { node, .. }
+            | Event::Mark { node, .. }
+            | Event::CleanCopy { node, .. }
+            | Event::Flush { node, .. }
+            | Event::Invalidate { node, .. }
+            | Event::MsgRecv { node, .. }
+            | Event::SpanBegin { node, .. }
+            | Event::SpanEnd { node, .. } => Some(*node),
+            Event::MsgSend { from, .. } => Some(*from),
+            Event::Reconcile { .. }
+            | Event::WwConflict { .. }
+            | Event::RwConflict { .. }
+            | Event::Barrier { .. } => None,
+        }
+    }
+
+    /// The block the event concerns, if any.
+    pub fn block(&self) -> Option<BlockId> {
+        match self {
+            Event::ReadMiss { block, .. }
+            | Event::WriteMiss { block, .. }
+            | Event::Upgrade { block, .. }
+            | Event::Mark { block, .. }
+            | Event::CleanCopy { block, .. }
+            | Event::Flush { block, .. }
+            | Event::Reconcile { block, .. }
+            | Event::Invalidate { block, .. }
+            | Event::WwConflict { block, .. }
+            | Event::RwConflict { block, .. }
+            | Event::SpanBegin { block, .. }
+            | Event::SpanEnd { block, .. } => Some(*block),
+            Event::Barrier { .. } | Event::MsgSend { .. } | Event::MsgRecv { .. } => None,
+        }
+    }
+
+    /// Bytes on the wire for message events, `None` otherwise.
+    pub fn bytes(&self) -> Option<u64> {
+        match self {
+            Event::MsgSend { bytes, .. } | Event::MsgRecv { bytes, .. } => Some(*bytes),
+            _ => None,
+        }
+    }
+}
+
+/// A recorded event with its stamp: a monotonic per-trace sequence number
+/// and the cycle (acting node's clock) at record time. Sequence numbers
+/// count every record attempt, so dropped events leave visible gaps.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Stamped {
+    /// Position in the recorded stream (0-based; gaps mark drops).
+    pub seq: u64,
+    /// Acting node's clock when recorded (machine time for global events).
+    pub cycle: u64,
+    /// The event itself.
+    pub event: Event,
 }
 
 /// A bounded in-memory event trace.
@@ -96,7 +234,8 @@ pub struct Trace {
     enabled: bool,
     capacity: usize,
     ring: bool,
-    events: Vec<Event>,
+    events: Vec<Stamped>,
+    seq: u64,
     dropped: u64,
 }
 
@@ -114,6 +253,7 @@ impl Trace {
             capacity,
             ring: false,
             events: Vec::new(),
+            seq: 0,
             dropped: 0,
         }
     }
@@ -133,6 +273,7 @@ impl Trace {
             capacity,
             ring: true,
             events: Vec::new(),
+            seq: 0,
             dropped: 0,
         }
     }
@@ -147,28 +288,49 @@ impl Trace {
         self.ring
     }
 
-    /// Records `event` if enabled; on overflow, keep-first traces discard
-    /// `event` and ring traces discard their oldest entry.
+    /// Records `event` stamped with `cycle` if enabled; on overflow,
+    /// keep-first traces discard `event` and ring traces discard their
+    /// oldest entry. The sequence number advances either way, so drops
+    /// are visible as gaps.
     #[inline]
-    pub fn record(&mut self, event: Event) {
+    pub fn record_at(&mut self, cycle: u64, event: Event) {
         if !self.enabled {
             return;
         }
+        let stamped = Stamped {
+            seq: self.seq,
+            cycle,
+            event,
+        };
+        self.seq += 1;
         if self.events.len() < self.capacity {
-            self.events.push(event);
+            self.events.push(stamped);
         } else if self.ring {
             // Diagnostic capacities are small; a linear shift is fine.
             self.events.remove(0);
-            self.events.push(event);
+            self.events.push(stamped);
             self.dropped += 1;
         } else {
             self.dropped += 1;
         }
     }
 
+    /// Records `event` with a zero cycle stamp. Standalone-trace
+    /// convenience; the machine stamps real clocks via
+    /// [`crate::Machine::record`].
+    #[inline]
+    pub fn record(&mut self, event: Event) {
+        self.record_at(0, event);
+    }
+
     /// The recorded events, oldest first.
-    pub fn events(&self) -> &[Event] {
+    pub fn events(&self) -> &[Stamped] {
         &self.events
+    }
+
+    /// Number of record attempts so far (stored plus dropped).
+    pub fn recorded(&self) -> u64 {
+        self.seq
     }
 
     /// Number of events discarded after the capacity filled.
@@ -176,9 +338,11 @@ impl Trace {
         self.dropped
     }
 
-    /// Discards all recorded events (capacity and enablement unchanged).
+    /// Discards all recorded events and resets the sequence counter
+    /// (capacity and enablement unchanged).
     pub fn clear(&mut self) {
         self.events.clear();
+        self.seq = 0;
         self.dropped = 0;
     }
 
@@ -188,7 +352,7 @@ impl Trace {
         let mut per_block: std::collections::HashMap<BlockId, u64> =
             std::collections::HashMap::new();
         for e in &self.events {
-            match e {
+            match &e.event {
                 Event::ReadMiss { block, .. } => {
                     s.read_misses += 1;
                     *per_block.entry(*block).or_default() += 1;
@@ -211,6 +375,10 @@ impl Trace {
                 }
                 Event::WwConflict { .. } | Event::RwConflict { .. } => s.conflicts += 1,
                 Event::Barrier { .. } => s.barriers += 1,
+                Event::MsgSend { .. } => s.msg_sends += 1,
+                Event::MsgRecv { .. } => s.msg_recvs += 1,
+                Event::SpanBegin { .. } => s.spans += 1,
+                Event::SpanEnd { .. } => {}
             }
         }
         let mut hot: Vec<(BlockId, u64)> = per_block.into_iter().collect();
@@ -246,6 +414,12 @@ pub struct TraceSummary {
     pub conflicts: u64,
     /// Barriers recorded.
     pub barriers: u64,
+    /// Message sends recorded.
+    pub msg_sends: u64,
+    /// Message receipts recorded.
+    pub msg_recvs: u64,
+    /// Spans opened.
+    pub spans: u64,
     /// Up to eight blocks with the most miss/upgrade/invalidate events,
     /// busiest first.
     pub hottest_blocks: Vec<(BlockId, u64)>,
@@ -265,8 +439,14 @@ impl std::fmt::Display for TraceSummary {
         )?;
         writeln!(
             f,
-            "reconciles {}, invalidations {}, conflicts {}, barriers {}",
-            self.reconciles, self.invalidations, self.conflicts, self.barriers
+            "reconciles {}, invalidations {}, conflicts {}, barriers {}, msgs {} sent / {} recv, {} spans",
+            self.reconciles,
+            self.invalidations,
+            self.conflicts,
+            self.barriers,
+            self.msg_sends,
+            self.msg_recvs,
+            self.spans
         )?;
         if !self.hottest_blocks.is_empty() {
             write!(f, "hottest blocks:")?;
@@ -289,6 +469,7 @@ mod tests {
         t.record(Event::Barrier { at: 1 });
         assert!(t.events().is_empty());
         assert_eq!(t.dropped(), 0);
+        assert_eq!(t.recorded(), 0);
     }
 
     #[test]
@@ -299,7 +480,8 @@ mod tests {
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 3);
-        assert_eq!(t.events()[0], Event::Barrier { at: 0 });
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.events()[0].event, Event::Barrier { at: 0 });
     }
 
     #[test]
@@ -315,8 +497,8 @@ mod tests {
         let stored: Vec<u64> = t
             .events()
             .iter()
-            .map(|e| match e {
-                Event::Barrier { at } => *at,
+            .map(|e| match e.event {
+                Event::Barrier { at } => at,
                 other => panic!("unexpected {other:?}"),
             })
             .collect();
@@ -335,12 +517,32 @@ mod tests {
         let stored: Vec<u64> = t
             .events()
             .iter()
-            .map(|e| match e {
-                Event::Barrier { at } => *at,
+            .map(|e| match e.event {
+                Event::Barrier { at } => at,
                 other => panic!("unexpected {other:?}"),
             })
             .collect();
         assert_eq!(stored, vec![7, 8, 9], "ring retains the tail, oldest first");
+    }
+
+    #[test]
+    fn sequence_numbers_expose_drops_as_gaps() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..4 {
+            t.record_at(i * 10, Event::Barrier { at: i });
+        }
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1], "keep-first stores the opening seqs");
+        assert_eq!(t.recorded(), 4);
+        assert_eq!(t.dropped(), 2);
+
+        let mut r = Trace::ring(2);
+        for i in 0..4 {
+            r.record_at(i * 10, Event::Barrier { at: i });
+        }
+        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3], "ring keeps the trailing seqs");
+        assert_eq!(r.events()[0].cycle, 20, "cycle stamps travel with events");
     }
 
     #[test]
@@ -365,6 +567,41 @@ mod tests {
         t.clear();
         assert!(t.events().is_empty());
         assert!(t.is_enabled());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn event_accessors_expose_node_block_bytes() {
+        use crate::machine::NodeId;
+        let send = Event::MsgSend {
+            from: NodeId(1),
+            to: NodeId(2),
+            kind: "GetShared",
+            bytes: 16,
+        };
+        assert_eq!(send.node(), Some(NodeId(1)));
+        assert_eq!(send.block(), None);
+        assert_eq!(send.bytes(), Some(16));
+        assert_eq!(send.kind(), "msg_send");
+
+        let span = Event::SpanBegin {
+            node: NodeId(3),
+            what: "read_fault",
+            block: BlockId(9),
+        };
+        assert_eq!(span.node(), Some(NodeId(3)));
+        assert_eq!(span.block(), Some(BlockId(9)));
+        assert_eq!(span.bytes(), None);
+
+        assert_eq!(Event::Barrier { at: 5 }.node(), None);
+        assert_eq!(
+            Event::Reconcile {
+                block: BlockId(1),
+                versions: 2
+            }
+            .block(),
+            Some(BlockId(1))
+        );
     }
 
     #[test]
@@ -410,6 +647,28 @@ mod tests {
             word: 3,
         });
         t.record(Event::Barrier { at: 100 });
+        t.record(Event::MsgSend {
+            from: NodeId(0),
+            to: NodeId(1),
+            kind: "GetShared",
+            bytes: 16,
+        });
+        t.record(Event::MsgRecv {
+            node: NodeId(1),
+            from: NodeId(0),
+            kind: "GetShared",
+            bytes: 16,
+        });
+        t.record(Event::SpanBegin {
+            node: NodeId(0),
+            what: "read_fault",
+            block: hot,
+        });
+        t.record(Event::SpanEnd {
+            node: NodeId(0),
+            what: "read_fault",
+            block: hot,
+        });
         let s = t.summarize();
         assert_eq!(s.read_misses, 3);
         assert_eq!(s.write_misses, 1);
@@ -420,6 +679,9 @@ mod tests {
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.conflicts, 1);
         assert_eq!(s.barriers, 1);
+        assert_eq!(s.msg_sends, 1);
+        assert_eq!(s.msg_recvs, 1);
+        assert_eq!(s.spans, 1);
         assert_eq!(
             s.hottest_blocks[0],
             (hot, 5),

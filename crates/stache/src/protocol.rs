@@ -22,7 +22,7 @@ use crate::sharers::{SharerSet, MAX_NODES};
 use lcm_rsm::{MemoryProtocol, PolicyTable};
 use lcm_sim::mem::{Addr, BlockId};
 use lcm_sim::trace::Event;
-use lcm_sim::{MachineConfig, NodeId};
+use lcm_sim::{CycleCat, MachineConfig, NodeId};
 use lcm_tempest::{MsgKind, Tag, Tempest};
 
 /// The baseline sequentially-consistent memory system.
@@ -131,7 +131,9 @@ impl Stache {
         self.t.tags[node.index()].set(victim, Tag::Invalid);
         self.resident[node.index()] -= 1;
         self.t.machine.stats_mut(node).evictions += 1;
-        self.t.machine.advance(node, c.invalidate);
+        self.t
+            .machine
+            .advance_as(node, c.invalidate, CycleCat::FlushReconcile);
         match self.dir.state(victim) {
             DirState::Exclusive(owner) if owner == node => {
                 // Dirty victim: write the data home.
@@ -277,8 +279,12 @@ impl Stache {
                 .net
                 .count_only(&mut self.t.machine, sharer, home, MsgKind::Ack, false);
             if home != sharer {
-                self.t.machine.advance(sharer, c.msg_recv);
-                self.t.machine.advance(home, c.msg_recv);
+                self.t
+                    .machine
+                    .advance_as(sharer, c.msg_recv, CycleCat::MsgOverhead);
+                self.t
+                    .machine
+                    .advance_as(home, c.msg_recv, CycleCat::MsgOverhead);
             }
             return;
         }
@@ -294,10 +300,17 @@ impl Stache {
             .net
             .count_only(&mut self.t.machine, sharer, home, MsgKind::Ack, false);
         if home != sharer {
-            self.t.machine.advance(sharer, c.msg_recv + c.invalidate);
-            self.t.machine.advance(home, c.msg_recv); // the ack
+            self.t
+                .machine
+                .advance_as(sharer, c.msg_recv + c.invalidate, CycleCat::MsgOverhead);
+            // The ack.
+            self.t
+                .machine
+                .advance_as(home, c.msg_recv, CycleCat::MsgOverhead);
         } else {
-            self.t.machine.advance(sharer, c.invalidate);
+            self.t
+                .machine
+                .advance_as(sharer, c.invalidate, CycleCat::MsgOverhead);
         }
         self.t.tags[sharer.index()].set(block, Tag::Invalid);
         self.t.machine.stats_mut(home).invalidations_sent += 1;
@@ -313,6 +326,11 @@ impl Stache {
         let home = self.t.home_of(block);
         let c = *self.t.machine.cost();
         let state = self.dir.state(block);
+        self.t.machine.record(Event::SpanBegin {
+            node,
+            what: "read_fault",
+            block,
+        });
         match state {
             DirState::Exclusive(owner) if owner == node => {
                 unreachable!("read fault on {block:?} while {node} holds it writable");
@@ -325,7 +343,9 @@ impl Stache {
                 } else {
                     2 * c.remote_miss
                 };
-                self.t.machine.advance(node, latency);
+                self.t
+                    .machine
+                    .advance_as(node, latency, CycleCat::ReadStallRemote);
                 self.t
                     .net
                     .count_only(&mut self.t.machine, node, home, MsgKind::GetShared, false);
@@ -339,9 +359,13 @@ impl Stache {
                     .net
                     .count_only(&mut self.t.machine, home, node, MsgKind::GetShared, true);
                 if home != node {
-                    self.t.machine.advance(home, 2 * c.msg_recv);
+                    self.t
+                        .machine
+                        .advance_as(home, 2 * c.msg_recv, CycleCat::MsgOverhead);
                 }
-                self.t.machine.advance(owner, c.msg_recv + c.invalidate);
+                self.t
+                    .machine
+                    .advance_as(owner, c.msg_recv + c.invalidate, CycleCat::MsgOverhead);
                 self.t.tags[owner.index()].set(block, Tag::ReadOnly);
                 let mut sharers = SharerSet::single(owner);
                 sharers.add(node);
@@ -356,7 +380,9 @@ impl Stache {
             other => {
                 // Idle or Shared: the home's value is current.
                 if node == home {
-                    self.t.machine.advance(node, c.local_fill);
+                    self.t
+                        .machine
+                        .advance_as(node, c.local_fill, CycleCat::ReadStallLocal);
                     self.t.machine.stats_mut(node).read_miss_local += 1;
                     self.t.machine.record(Event::ReadMiss {
                         node,
@@ -385,6 +411,11 @@ impl Stache {
         }
         self.t.tags[node.index()].set(block, Tag::ReadOnly);
         self.note_fill(node, block);
+        self.t.machine.record(Event::SpanEnd {
+            node,
+            what: "read_fault",
+            block,
+        });
     }
 
     /// Handles a store fault: obtains the writable copy for `node`.
@@ -392,6 +423,11 @@ impl Stache {
         let home = self.t.home_of(block);
         let c = *self.t.machine.cost();
         let state = self.dir.state(block);
+        self.t.machine.record(Event::SpanBegin {
+            node,
+            what: "write_fault",
+            block,
+        });
         match state {
             DirState::Exclusive(owner) if owner == node => {
                 unreachable!("write fault on {block:?} while {node} holds it writable");
@@ -403,7 +439,9 @@ impl Stache {
                 } else {
                     2 * c.remote_miss
                 };
-                self.t.machine.advance(node, latency);
+                self.t
+                    .machine
+                    .advance_as(node, latency, CycleCat::WriteStallRemote);
                 self.t.net.count_only(
                     &mut self.t.machine,
                     node,
@@ -418,7 +456,9 @@ impl Stache {
                     .net
                     .count_only(&mut self.t.machine, home, node, MsgKind::GetExclusive, true);
                 if home != node {
-                    self.t.machine.advance(home, 2 * c.msg_recv);
+                    self.t
+                        .machine
+                        .advance_as(home, 2 * c.msg_recv, CycleCat::MsgOverhead);
                 }
                 self.invalidate_one(home, owner, block);
                 self.t.machine.stats_mut(node).write_miss_remote += 1;
@@ -441,7 +481,9 @@ impl Stache {
                     } else {
                         c.upgrade
                     };
-                    self.t.machine.advance(node, latency);
+                    self.t
+                        .machine
+                        .advance_as(node, latency, CycleCat::UpgradeStall);
                     self.t.machine.stats_mut(node).upgrades += 1;
                     self.t.machine.record(Event::Upgrade { node, block });
                 } else if node == home {
@@ -451,7 +493,9 @@ impl Stache {
                     } else {
                         c.remote_miss
                     };
-                    self.t.machine.advance(node, latency);
+                    self.t
+                        .machine
+                        .advance_as(node, latency, CycleCat::WriteStallLocal);
                     self.t.machine.stats_mut(node).write_miss_local += 1;
                     self.t.machine.record(Event::WriteMiss {
                         node,
@@ -478,11 +522,18 @@ impl Stache {
                 if !held {
                     self.note_fill(node, block);
                 }
+                self.t.machine.record(Event::SpanEnd {
+                    node,
+                    what: "write_fault",
+                    block,
+                });
                 return;
             }
             DirState::Idle => {
                 if node == home {
-                    self.t.machine.advance(node, c.local_fill);
+                    self.t
+                        .machine
+                        .advance_as(node, c.local_fill, CycleCat::WriteStallLocal);
                     self.t.machine.stats_mut(node).write_miss_local += 1;
                     self.t.machine.record(Event::WriteMiss {
                         node,
@@ -509,6 +560,11 @@ impl Stache {
         self.dir.set(block, DirState::Exclusive(node));
         self.t.tags[node.index()].set(block, Tag::ReadWrite);
         self.note_fill(node, block);
+        self.t.machine.record(Event::SpanEnd {
+            node,
+            what: "write_fault",
+            block,
+        });
     }
 }
 

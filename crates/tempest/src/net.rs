@@ -31,7 +31,8 @@
 //! nodes and [`Network::total`] equals the per-kind sum, faults or not.
 
 use lcm_sim::fault::BACKOFF_DOUBLING_CAP;
-use lcm_sim::{CostModel, DeliveryError, FaultOutcome, Machine, NodeId};
+use lcm_sim::mem::BLOCK_BYTES;
+use lcm_sim::{CostModel, CycleCat, DeliveryError, Event, FaultOutcome, Machine, NodeId};
 
 /// Protocol message kinds, for per-kind counting and traces.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -114,12 +115,34 @@ impl MsgKind {
             MsgKind::Retry,
         ]
     }
+
+    /// The ledger category a requester's blocking round-trip on this kind
+    /// stalls under. Read-shaped fills are read stalls, exclusive requests
+    /// are write stalls, upgrades their own bucket; one-way bookkeeping
+    /// kinds fall back to message overhead.
+    pub fn stall_cat(self) -> CycleCat {
+        match self {
+            MsgKind::GetShared | MsgKind::CleanFill | MsgKind::StaleRefresh => {
+                CycleCat::ReadStallRemote
+            }
+            MsgKind::GetExclusive => CycleCat::WriteStallRemote,
+            MsgKind::Upgrade => CycleCat::UpgradeStall,
+            _ => CycleCat::MsgOverhead,
+        }
+    }
+}
+
+/// Bytes a delivered message puts on the wire: the cost model's header
+/// plus the 32-byte block payload when one rides along.
+fn wire_bytes(cost: &CostModel, with_block: bool) -> u64 {
+    cost.msg_header_bytes + if with_block { BLOCK_BYTES as u64 } else { 0 }
 }
 
 /// The message delivery and accounting layer.
 #[derive(Clone, Debug, Default)]
 pub struct Network {
     by_kind: [u64; KINDS],
+    bytes_by_kind: [u64; KINDS],
     total: u64,
     dropped: u64,
     duplicated: u64,
@@ -182,19 +205,36 @@ impl Network {
             // Delivered. The first attempt counts under its own kind; a
             // retransmission counts under Retry.
             let delivered = if attempt == 0 { kind } else { MsgKind::Retry };
-            m.advance(from, cost.msg_send);
-            m.advance(to, cost.msg_recv);
+            let bytes = wire_bytes(&cost, with_block);
+            m.advance_as(from, cost.msg_send, CycleCat::MsgOverhead);
+            m.advance_as(to, cost.msg_recv, CycleCat::MsgOverhead);
             let s = m.stats_mut(from);
             s.msgs_sent += 1;
+            s.bytes_sent += bytes;
             if with_block {
                 s.blocks_sent += 1;
             }
-            m.stats_mut(to).msgs_recv += 1;
+            let r = m.stats_mut(to);
+            r.msgs_recv += 1;
+            r.bytes_recv += bytes;
             self.by_kind[delivered.index()] += 1;
+            self.bytes_by_kind[delivered.index()] += bytes;
             self.total += 1;
+            m.record(Event::MsgSend {
+                from,
+                to,
+                kind: delivered.label(),
+                bytes,
+            });
+            m.record(Event::MsgRecv {
+                node: to,
+                from,
+                kind: delivered.label(),
+                bytes,
+            });
             match outcome {
                 FaultOutcome::Duplicate => self.duplicate_delivery(m, from, to, &cost),
-                FaultOutcome::Delay(k) => m.advance(to, k),
+                FaultOutcome::Delay(k) => m.advance_as(to, k, CycleCat::RetryBackoff),
                 _ => {}
             }
             return Ok(());
@@ -243,6 +283,9 @@ impl Network {
             return Ok(());
         }
         let cost = *m.cost();
+        // The requester's whole healthy wait — request send through reply
+        // receipt — is one miss stall of the transaction's flavor.
+        let stall = kind.stall_cat();
         let mut attempt: u32 = 0;
         loop {
             let transaction = if attempt == 0 { kind } else { MsgKind::Retry };
@@ -255,15 +298,33 @@ impl Network {
                 continue;
             }
             // The request arrived and the home handles it.
-            m.advance(from, cost.msg_send);
-            m.advance(to, cost.msg_recv);
-            m.stats_mut(from).msgs_sent += 1;
-            m.stats_mut(to).msgs_recv += 1;
+            let req_bytes = wire_bytes(&cost, false);
+            m.advance_as(from, cost.msg_send, stall);
+            m.advance_as(to, cost.msg_recv, CycleCat::MsgOverhead);
+            let s = m.stats_mut(from);
+            s.msgs_sent += 1;
+            s.bytes_sent += req_bytes;
+            let r = m.stats_mut(to);
+            r.msgs_recv += 1;
+            r.bytes_recv += req_bytes;
             self.by_kind[transaction.index()] += 1;
+            self.bytes_by_kind[transaction.index()] += req_bytes;
             self.total += 1;
+            m.record(Event::MsgSend {
+                from,
+                to,
+                kind: transaction.label(),
+                bytes: req_bytes,
+            });
+            m.record(Event::MsgRecv {
+                node: to,
+                from,
+                kind: transaction.label(),
+                bytes: req_bytes,
+            });
             match req {
                 FaultOutcome::Duplicate => self.duplicate_delivery(m, from, to, &cost),
-                FaultOutcome::Delay(k) => m.advance(to, k),
+                FaultOutcome::Delay(k) => m.advance_as(to, k, CycleCat::RetryBackoff),
                 _ => {}
             }
             // Reply leg.
@@ -272,28 +333,49 @@ impl Network {
                 // The home replied but the reply vanished: the home's send
                 // is wasted, the requester times out and reissues.
                 attempt += 1;
-                m.advance(to, cost.msg_send);
+                m.advance_as(to, cost.msg_send, CycleCat::RetryBackoff);
                 m.stats_mut(to).msgs_dropped += 1;
                 self.dropped += 1;
-                m.advance(from, backoff(cost.retry_timeout, attempt));
+                m.advance_as(
+                    from,
+                    backoff(cost.retry_timeout, attempt),
+                    CycleCat::RetryBackoff,
+                );
                 m.stats_mut(from).timeouts += 1;
                 self.check_budget(m, from, to, kind, attempt)?;
                 continue;
             }
             // Reply delivered: the requester's wait is the round-trip
             // latency (minus the request-side send already charged).
-            m.advance(from, cost.remote_miss.saturating_sub(cost.msg_send));
-            m.stats_mut(from).msgs_recv += 1;
+            let rep_bytes = wire_bytes(&cost, data_reply);
+            m.advance_as(from, cost.remote_miss.saturating_sub(cost.msg_send), stall);
+            let r = m.stats_mut(from);
+            r.msgs_recv += 1;
+            r.bytes_recv += rep_bytes;
             let s = m.stats_mut(to);
             s.msgs_sent += 1;
+            s.bytes_sent += rep_bytes;
             if data_reply {
                 s.blocks_sent += 1;
             }
             self.by_kind[transaction.index()] += 1;
+            self.bytes_by_kind[transaction.index()] += rep_bytes;
             self.total += 1;
+            m.record(Event::MsgSend {
+                from: to,
+                to: from,
+                kind: transaction.label(),
+                bytes: rep_bytes,
+            });
+            m.record(Event::MsgRecv {
+                node: from,
+                from: to,
+                kind: transaction.label(),
+                bytes: rep_bytes,
+            });
             match rep {
                 FaultOutcome::Duplicate => self.duplicate_delivery(m, to, from, &cost),
-                FaultOutcome::Delay(k) => m.advance(from, k),
+                FaultOutcome::Delay(k) => m.advance_as(from, k, CycleCat::RetryBackoff),
                 _ => {}
             }
             return Ok(());
@@ -303,7 +385,11 @@ impl Network {
     /// A lost attempt: the sender's send cycles are wasted and it sits
     /// out the (exponentially backed-off) retransmission timeout.
     fn lost_attempt(&mut self, m: &mut Machine, sender: NodeId, cost: &CostModel, attempt: u32) {
-        m.advance(sender, cost.msg_send + backoff(cost.retry_timeout, attempt));
+        m.advance_as(
+            sender,
+            cost.msg_send + backoff(cost.retry_timeout, attempt),
+            CycleCat::RetryBackoff,
+        );
         let s = m.stats_mut(sender);
         s.msgs_dropped += 1;
         s.timeouts += 1;
@@ -345,15 +431,37 @@ impl Network {
         receiver: NodeId,
         cost: &CostModel,
     ) {
-        m.advance(receiver, cost.msg_recv);
+        // Fault-recovery work end to end: the duplicate's handling and the
+        // nack round both land in the retry/backoff bucket. The duplicate
+        // copy carries no accepted bytes; the nack is a real header-only
+        // message.
+        m.advance_as(receiver, cost.msg_recv, CycleCat::RetryBackoff);
         m.stats_mut(receiver).msgs_duplicated += 1;
         self.duplicated += 1;
-        m.advance(receiver, cost.msg_send);
-        m.advance(sender, cost.msg_recv);
-        m.stats_mut(receiver).msgs_sent += 1;
-        m.stats_mut(sender).msgs_recv += 1;
+        let nack_bytes = wire_bytes(cost, false);
+        m.advance_as(receiver, cost.msg_send, CycleCat::RetryBackoff);
+        m.advance_as(sender, cost.msg_recv, CycleCat::RetryBackoff);
+        let r = m.stats_mut(receiver);
+        r.msgs_sent += 1;
+        r.bytes_sent += nack_bytes;
+        let s = m.stats_mut(sender);
+        s.msgs_recv += 1;
+        s.bytes_recv += nack_bytes;
         self.by_kind[MsgKind::Nack.index()] += 1;
+        self.bytes_by_kind[MsgKind::Nack.index()] += nack_bytes;
         self.total += 1;
+        m.record(Event::MsgSend {
+            from: receiver,
+            to: sender,
+            kind: MsgKind::Nack.label(),
+            bytes: nack_bytes,
+        });
+        m.record(Event::MsgRecv {
+            node: sender,
+            from: receiver,
+            kind: MsgKind::Nack.label(),
+            bytes: nack_bytes,
+        });
     }
 
     /// Counts a message (and its statistics) *without* charging cycles.
@@ -375,14 +483,31 @@ impl Network {
         if from == to {
             return;
         }
+        let bytes = wire_bytes(m.cost(), with_block);
         let s = m.stats_mut(from);
         s.msgs_sent += 1;
+        s.bytes_sent += bytes;
         if with_block {
             s.blocks_sent += 1;
         }
-        m.stats_mut(to).msgs_recv += 1;
+        let r = m.stats_mut(to);
+        r.msgs_recv += 1;
+        r.bytes_recv += bytes;
         self.by_kind[kind.index()] += 1;
+        self.bytes_by_kind[kind.index()] += bytes;
         self.total += 1;
+        m.record(Event::MsgSend {
+            from,
+            to,
+            kind: kind.label(),
+            bytes,
+        });
+        m.record(Event::MsgRecv {
+            node: to,
+            from,
+            kind: kind.label(),
+            bytes,
+        });
     }
 
     /// Total messages delivered (dropped attempts and duplicate copies
@@ -394,6 +519,17 @@ impl Network {
     /// Messages delivered of one kind.
     pub fn count(&self, kind: MsgKind) -> u64 {
         self.by_kind[kind.index()]
+    }
+
+    /// Wire bytes delivered under one kind.
+    pub fn bytes_of(&self, kind: MsgKind) -> u64 {
+        self.bytes_by_kind[kind.index()]
+    }
+
+    /// Total wire bytes delivered (always equals the sum over all nodes'
+    /// `bytes_sent`, and over their `bytes_recv`).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_kind.iter().sum()
     }
 
     /// Per-kind delivered counts, in [`MsgKind::all`] order.
@@ -457,6 +593,17 @@ mod tests {
             totals.msgs_sent,
             "network and node accounting agree"
         );
+        assert_eq!(
+            totals.bytes_sent, totals.bytes_recv,
+            "every delivered byte has both ends"
+        );
+        assert_eq!(
+            net.total_bytes(),
+            totals.bytes_sent,
+            "network and node byte accounting agree"
+        );
+        m.verify_ledger()
+            .expect("cycle ledger conserves the clocks");
     }
 
     #[test]
@@ -498,6 +645,76 @@ mod tests {
         assert_eq!(m.stats(NodeId(3)).blocks_sent, 1);
         assert_eq!(net.count(MsgKind::GetShared), 2);
         assert_conserved(&m, &net);
+    }
+
+    #[test]
+    fn bytes_track_headers_and_block_payloads() {
+        let mut m = machine();
+        let mut net = Network::new();
+        let c = CostModel::cm5();
+        // Header-only one-way message.
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Ack, false);
+        assert_eq!(m.stats(NodeId(0)).bytes_sent, c.msg_header_bytes);
+        assert_eq!(m.stats(NodeId(1)).bytes_recv, c.msg_header_bytes);
+        // Block-carrying flush adds the 32-byte payload.
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Flush, true);
+        assert_eq!(
+            m.stats(NodeId(0)).bytes_sent,
+            2 * c.msg_header_bytes + BLOCK_BYTES as u64
+        );
+        assert_eq!(
+            net.bytes_of(MsgKind::Flush),
+            c.msg_header_bytes + BLOCK_BYTES as u64
+        );
+        // Request/reply: header request, header+block reply.
+        net.request_reply(&mut m, NodeId(2), NodeId(3), MsgKind::GetShared, true);
+        assert_eq!(
+            net.bytes_of(MsgKind::GetShared),
+            2 * c.msg_header_bytes + BLOCK_BYTES as u64
+        );
+        assert_conserved(&m, &net);
+    }
+
+    #[test]
+    fn request_reply_stalls_land_in_the_requesters_miss_bucket() {
+        use lcm_sim::CycleCat;
+        let mut m = machine();
+        let mut net = Network::new();
+        let c = CostModel::cm5();
+        net.request_reply(&mut m, NodeId(0), NodeId(3), MsgKind::GetShared, true);
+        assert_eq!(
+            m.ledger().get(NodeId(0), CycleCat::ReadStallRemote),
+            c.remote_miss,
+            "the whole round trip is one read stall"
+        );
+        assert_eq!(
+            m.ledger().get(NodeId(3), CycleCat::MsgOverhead),
+            c.msg_recv,
+            "the home's handler work is overhead"
+        );
+        net.request_reply(&mut m, NodeId(1), NodeId(2), MsgKind::Upgrade, false);
+        assert_eq!(
+            m.ledger().get(NodeId(1), CycleCat::UpgradeStall),
+            c.remote_miss
+        );
+        m.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn traced_sends_record_paired_events() {
+        let mut m = Machine::new(
+            MachineConfig::new(4)
+                .with_cost(CostModel::cm5())
+                .with_trace(64),
+        );
+        let mut net = Network::new();
+        net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Flush, true);
+        net.request_reply(&mut m, NodeId(2), NodeId(3), MsgKind::GetShared, true);
+        let s = m.trace().summarize();
+        assert_eq!(s.msg_sends, 3, "one-way + request + reply");
+        assert_eq!(s.msg_recvs, 3);
+        assert_eq!(s.msg_sends, m.total_stats().msgs_sent);
+        assert_eq!(s.msg_recvs, m.total_stats().msgs_recv);
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub use lcm_tempest as tempest;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use lcm_apps::{
-        execute, execute_all, execute_with_cost, execute_with_faults, Benchmark, RunResult, Scale,
-        Suite, SystemKind, Workload,
+        execute, execute_all, execute_traced, execute_with_cost, execute_with_faults, Benchmark,
+        RunResult, Scale, Suite, SystemKind, Workload,
     };
     pub use lcm_core::{Lcm, LcmVariant};
     pub use lcm_cstar::{
@@ -72,8 +72,8 @@ pub mod prelude {
         NestedProtocol, PolicyTable, ReduceOp, RegionPolicy,
     };
     pub use lcm_sim::{
-        Addr, BlockId, CostModel, DeliveryError, FaultConfig, Machine, MachineConfig, NodeId,
-        NodeStats, Pcg32, TraceSummary,
+        Addr, BlockId, CostModel, CycleCat, CycleLedger, DeliveryError, FaultConfig, Machine,
+        MachineConfig, NodeId, NodeStats, Pcg32, PhaseSnapshot, Stamped, TraceSummary,
     };
     pub use lcm_stache::Stache;
     pub use lcm_tempest::{Placement, Tag, Tempest};
