@@ -112,6 +112,21 @@ impl RunResult {
             .map_or(0, |(_, n)| *n)
     }
 
+    /// A deterministic fingerprint of every measured field (FNV-1a over
+    /// the full `Debug` rendering). Two runs of the same configuration
+    /// must produce equal digests regardless of what else ran on the
+    /// process — the determinism tests compare these across `--jobs`
+    /// settings.
+    pub fn digest(&self) -> u64 {
+        let repr = format!("{self:?}");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Harvests a finished run from a protocol: time, counters, per-kind
     /// message counts, and the cycle-attribution ledger. Runs the
     /// coherence-invariant sanitizer first — which includes the ledger
@@ -250,7 +265,7 @@ pub fn execute_traced<W: Workload>(
     ) -> (W::Output, RunResult, Vec<Stamped>) {
         let out = workload.run(&mut rt);
         let result = RunResult::harvest(system, rt.mem());
-        let events = rt.mem().tempest().machine.trace().events().to_vec();
+        let events = rt.mem().tempest().machine.trace().to_vec();
         (out, result, events)
     }
     match system {

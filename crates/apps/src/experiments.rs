@@ -268,14 +268,30 @@ fn sys_index(system: SystemKind) -> u8 {
 }
 
 impl Suite {
-    /// Runs every benchmark on every system at `scale`.
+    /// Runs every benchmark on every system at `scale`, serially.
     pub fn run(scale: Scale) -> Suite {
-        let mut results = BTreeMap::new();
+        Suite::run_jobs(scale, 1)
+    }
+
+    /// Runs every benchmark on every system at `scale` on a pool of at
+    /// most `jobs` worker threads.
+    ///
+    /// The sweep points are enumerated in canonical order —
+    /// [`Benchmark::all`] × [`SystemKind::all`] — and results are
+    /// assembled by that index, so the suite is byte-identical to a
+    /// serial run no matter how the pool schedules the work. Each point
+    /// is an independent simulation (own machine, own protocol, own
+    /// seeded RNG); a sanitizer panic in a worker propagates here.
+    pub fn run_jobs(scale: Scale, jobs: usize) -> Suite {
+        let mut points = Vec::with_capacity(18);
         for b in Benchmark::all() {
             for s in SystemKind::all() {
-                results.insert((b, sys_index(s)), b.run(scale, s));
+                points.push((b, s));
             }
         }
+        let keys: Vec<(Benchmark, u8)> = points.iter().map(|&(b, s)| (b, sys_index(s))).collect();
+        let runs = lcm_sim::par_map(jobs, points, |_, (b, s)| b.run(scale, s));
+        let results: BTreeMap<(Benchmark, u8), RunResult> = keys.into_iter().zip(runs).collect();
         Suite { scale, results }
     }
 

@@ -33,44 +33,57 @@ impl SweepPoint {
 
 /// Sweeps the remote round-trip latency (cycles) for the dynamic stencil.
 pub fn sweep_remote_latency(latencies: &[u64], nodes: usize, w: &Stencil) -> Vec<SweepPoint> {
+    sweep_remote_latency_jobs(latencies, nodes, w, 1)
+}
+
+/// [`sweep_remote_latency`] on a pool of at most `jobs` worker threads.
+/// Points are keyed by their position in `latencies`, and each latency's
+/// two runs (LCM-mcc, then Stache) execute within one task, so the
+/// returned vector is identical to the serial sweep's.
+pub fn sweep_remote_latency_jobs(
+    latencies: &[u64],
+    nodes: usize,
+    w: &Stencil,
+    jobs: usize,
+) -> Vec<SweepPoint> {
     assert_eq!(
         w.partition,
         Partition::Dynamic,
         "the sweep studies the dynamic contest"
     );
-    latencies
-        .iter()
-        .map(|&lat| {
-            let mut cost = CostModel::cm5();
-            cost.remote_miss = lat;
-            cost.upgrade = (lat * 2 / 3).max(1);
-            let cfg = RuntimeConfig::default();
-            let lcm = execute_with_cost(SystemKind::LcmMcc, nodes, cost, cfg, w).1;
-            let stache = execute_with_cost(SystemKind::Stache, nodes, cost, cfg, w).1;
-            SweepPoint {
-                x: lat,
-                lcm,
-                stache,
-            }
-        })
-        .collect()
+    lcm_sim::par_map(jobs, latencies.to_vec(), |_, lat| {
+        let mut cost = CostModel::cm5();
+        cost.remote_miss = lat;
+        cost.upgrade = (lat * 2 / 3).max(1);
+        let cfg = RuntimeConfig::default();
+        let lcm = execute_with_cost(SystemKind::LcmMcc, nodes, cost, cfg, w).1;
+        let stache = execute_with_cost(SystemKind::Stache, nodes, cost, cfg, w).1;
+        SweepPoint {
+            x: lat,
+            lcm,
+            stache,
+        }
+    })
 }
 
 /// Sweeps the processor count at the default cost model.
 pub fn sweep_nodes(node_counts: &[usize], w: &Stencil) -> Vec<SweepPoint> {
-    node_counts
-        .iter()
-        .map(|&n| {
-            let cfg = RuntimeConfig::default();
-            let lcm = execute_with_cost(SystemKind::LcmMcc, n, CostModel::cm5(), cfg, w).1;
-            let stache = execute_with_cost(SystemKind::Stache, n, CostModel::cm5(), cfg, w).1;
-            SweepPoint {
-                x: n as u64,
-                lcm,
-                stache,
-            }
-        })
-        .collect()
+    sweep_nodes_jobs(node_counts, w, 1)
+}
+
+/// [`sweep_nodes`] on a pool of at most `jobs` worker threads; results
+/// come back in `node_counts` order regardless of scheduling.
+pub fn sweep_nodes_jobs(node_counts: &[usize], w: &Stencil, jobs: usize) -> Vec<SweepPoint> {
+    lcm_sim::par_map(jobs, node_counts.to_vec(), |_, n| {
+        let cfg = RuntimeConfig::default();
+        let lcm = execute_with_cost(SystemKind::LcmMcc, n, CostModel::cm5(), cfg, w).1;
+        let stache = execute_with_cost(SystemKind::Stache, n, CostModel::cm5(), cfg, w).1;
+        SweepPoint {
+            x: n as u64,
+            lcm,
+            stache,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,13 +1,22 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR] [--trace FILE]
+//! repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR]
+//!       [--trace FILE]
 //!       [table1|fig2|fig3|claims|reduction|falseshare|stale|races|
-//!        flushpolicy|cachelimit|tree|profile|all]
+//!        flushpolicy|cachelimit|tree|profile|bench|all]
 //! ```
 //!
 //! With `--csv DIR`, the table/figure data is also written as CSV files
 //! (`table1.csv`, `fig2.csv`, `fig3.csv`) for external plotting.
+//!
+//! `--jobs N` runs the independent sweep points of each section on a
+//! fixed pool of N worker threads (default: the host's available
+//! parallelism). Every section assembles its output by canonical sweep
+//! key, so stdout and every CSV are byte-identical to a `--jobs 1` run —
+//! the determinism tests pin this. The `bench` section (not part of
+//! `all`) times each section serially and on the pool and writes the
+//! wall-clock trajectory to `BENCH_sweep.json`.
 //!
 //! The `profile` section runs the cycle-attribution profiler on
 //! Stencil-dyn: a per-node cycle breakdown table (every simulated cycle
@@ -29,14 +38,14 @@ use lcm_apps::independent::{run_with_flush, IndependentMap};
 use lcm_apps::nbody::{rms_error, run_nbody, NBody, NBodySystem};
 use lcm_apps::race::{detect_races, RaceKernel};
 use lcm_apps::reduction::{run_reduction, ArraySum, ReductionMethod};
-use lcm_apps::sensitivity::{sweep_nodes, sweep_remote_latency};
+use lcm_apps::sensitivity::{sweep_nodes_jobs, sweep_remote_latency_jobs, SweepPoint};
 use lcm_apps::stale_data::{run_stale, StaleData, StaleSystem};
 use lcm_apps::stencil::Stencil;
 use lcm_apps::threshold::Threshold;
 use lcm_apps::{execute, execute_traced, execute_with_faults, RunResult, SystemKind, Workload};
-use lcm_bench::{profile, BarChart};
+use lcm_bench::{profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
 use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
-use lcm_sim::{CostModel, FaultConfig, MachineConfig};
+use lcm_sim::{CostModel, FaultConfig, MachineConfig, Stamped};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -47,10 +56,20 @@ fn main() {
     let mut svg_dir: Option<PathBuf> = None;
     let mut fault_point: Option<(f64, u64)> = None;
     let mut trace_path: Option<PathBuf> = None;
+    let mut jobs = lcm_sim::available_jobs();
     let mut what = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--jobs" => {
+                jobs = match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a worker count >= 1");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--faults" => {
                 let Some(spec) = it.next() else {
                     eprintln!("--faults requires <drop_rate>:<seed>");
@@ -100,9 +119,9 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "repro [--scale paper|medium|smoke] [--csv DIR] [--svg DIR] [--faults RATE:SEED] \
-                     [--trace FILE] \
-                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|profile|all]"
+                    "repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR] \
+                     [--faults RATE:SEED] [--trace FILE] \
+                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|profile|bench|all]"
                 );
                 return;
             }
@@ -115,72 +134,80 @@ fn main() {
     let all = what.iter().any(|w| w == "all");
     let wants = |k: &str| all || what.iter().any(|w| w == k);
 
-    let needs_suite = all
-        || what
-            .iter()
-            .any(|w| matches!(w.as_str(), "table1" | "fig2" | "fig3" | "claims"));
+    // The sections that read the shared suite, and the single place it is
+    // materialized: every consumer below sits inside the `if let`, so a
+    // missing suite is a compile-shape impossibility, not an `unwrap`.
+    const SUITE_SECTIONS: [&str; 4] = ["table1", "fig2", "fig3", "claims"];
+    let needs_suite = all || what.iter().any(|w| SUITE_SECTIONS.contains(&w.as_str()));
     let suite = if needs_suite {
         eprintln!(
-            "running the benchmark suite at scale '{scale}' ({} processors)…",
+            "running the benchmark suite at scale '{scale}' ({} processors, {jobs} worker(s))…",
             scale.nodes()
         );
         let t0 = Instant::now();
-        let s = Suite::run(scale);
+        let s = Suite::run_jobs(scale, jobs);
         eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
         Some(s)
     } else {
         None
     };
 
-    if wants("table1") {
-        print_table1(suite.as_ref().unwrap());
-    }
-    if wants("fig2") {
-        print_fig(suite.as_ref().unwrap(), true);
-    }
-    if wants("fig3") {
-        print_fig(suite.as_ref().unwrap(), false);
-    }
-    if wants("claims") {
-        print_claims(suite.as_ref().unwrap());
+    if let Some(suite) = suite.as_ref() {
+        if wants("table1") {
+            print_table1(suite);
+        }
+        if wants("fig2") {
+            print_fig(suite, true);
+        }
+        if wants("fig3") {
+            print_fig(suite, false);
+        }
+        if wants("claims") {
+            print_claims(suite);
+        }
     }
     if wants("reduction") {
-        print_reduction(scale);
+        print_reduction(scale, jobs);
     }
     if wants("falseshare") {
-        print_false_sharing();
+        print_false_sharing(jobs);
     }
     if wants("stale") {
-        print_stale();
+        print_stale(jobs);
     }
     if wants("flushpolicy") {
-        print_flush_policy(scale);
+        print_flush_policy(scale, jobs);
     }
     if wants("cachelimit") {
-        print_cache_limit();
+        print_cache_limit(jobs);
     }
     if wants("tree") {
-        print_tree_reconcile(scale);
+        print_tree_reconcile(scale, jobs);
     }
     if wants("nbody") {
-        print_nbody();
+        print_nbody(jobs);
     }
     if wants("sweep") {
-        print_sweeps(scale);
+        print_sweeps(scale, jobs);
     }
     if wants("races") {
-        print_races();
+        print_races(jobs);
     }
     let faults_csv = if wants("faults") || fault_point.is_some() {
-        Some(print_faults(scale, fault_point))
+        Some(print_faults(scale, fault_point, jobs))
     } else {
         None
     };
     let profile_csvs = if wants("profile") || trace_path.is_some() {
-        Some(print_profile(scale, trace_path.as_deref()))
+        Some(print_profile(scale, trace_path.as_deref(), jobs))
     } else {
         None
     };
+    // `bench` is deliberately not part of `all`: it re-runs whole
+    // sections twice (serially and on the pool) to measure wall-clock.
+    if what.iter().any(|w| w == "bench") {
+        run_bench(scale, jobs, csv_dir.as_deref());
+    }
     if let Some(dir) = csv_dir {
         if let Err(e) = write_all_csv(&dir, suite.as_ref(), faults_csv.as_deref(), &profile_csvs) {
             eprintln!("failed to write CSV files to {}: {e}", dir.display());
@@ -254,62 +281,14 @@ fn write_all_csv(
 }
 
 fn write_csv(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
+    // Rendering lives in `lcm_bench::report` so the determinism tests
+    // check byte-identity against the exact strings written here.
     std::fs::create_dir_all(dir)?;
-    let mut table1 =
-        String::from("program,misses_scc,misses_mcc,misses_copying,clean_scc,clean_mcc\n");
-    for (b, misses, clean) in suite.table1() {
-        table1.push_str(&format!(
-            "{},{},{},{},{},{}\n",
-            b.label(),
-            misses[0],
-            misses[1],
-            misses[2],
-            clean[0],
-            clean[1]
-        ));
-    }
-    std::fs::write(dir.join("table1.csv"), table1)?;
-    for (name, rows) in [("fig2.csv", suite.fig2()), ("fig3.csv", suite.fig3())] {
-        let mut csv = String::from("program,system,cycles\n");
-        for (b, s, t) in rows {
-            csv.push_str(&format!("{},{},{}\n", b.label(), s.label(), t));
-        }
-        std::fs::write(dir.join(name), csv)?;
-    }
-    // Per-kind message counts and fault/retry counters for every run.
-    let mut messages = String::from("program,system,kind,count,bytes\n");
-    let mut net = String::from(
-        "program,system,msgs_delivered,blocks,retries,timeouts,dropped,duplicated,stall_cycles\n",
-    );
-    for b in Benchmark::all() {
-        for s in SystemKind::all() {
-            let r = suite.result(b, s);
-            for ((kind, n), (_, bytes)) in r.msg_kinds.iter().zip(&r.msg_bytes) {
-                if *n > 0 {
-                    messages.push_str(&format!(
-                        "{},{},{},{n},{bytes}\n",
-                        b.label(),
-                        s.label(),
-                        kind.label()
-                    ));
-                }
-            }
-            net.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
-                b.label(),
-                s.label(),
-                r.msgs_total(),
-                r.totals.blocks_sent,
-                r.totals.retries,
-                r.totals.timeouts,
-                r.totals.msgs_dropped,
-                r.totals.msgs_duplicated,
-                r.totals.stall_cycles,
-            ));
-        }
-    }
-    std::fs::write(dir.join("messages.csv"), messages)?;
-    std::fs::write(dir.join("network.csv"), net)?;
+    std::fs::write(dir.join("table1.csv"), report::table1_csv(suite))?;
+    std::fs::write(dir.join("fig2.csv"), report::fig_csv(&suite.fig2()))?;
+    std::fs::write(dir.join("fig3.csv"), report::fig_csv(&suite.fig3()))?;
+    std::fs::write(dir.join("messages.csv"), report::messages_csv(suite))?;
+    std::fs::write(dir.join("network.csv"), report::network_csv(suite))?;
     Ok(())
 }
 
@@ -320,26 +299,9 @@ fn parse_faults(spec: &str) -> Option<(f64, u64)> {
     (0.0..=1.0).contains(&rate).then_some((rate, seed))
 }
 
-/// The unreliable-network sweep: execution-time slowdown vs message drop
-/// rate, for all three systems on two benchmarks. Returns the CSV rows.
-fn print_faults(scale: Scale, custom: Option<(f64, u64)>) -> String {
-    let seed = custom.map_or(0xC0FFEE, |(_, s)| s);
-    let mut rates = vec![0.0, 0.001, 0.01, 0.05];
-    if let Some((r, _)) = custom {
-        if !rates.contains(&r) {
-            rates.push(r);
-            rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-        }
-    }
-    println!("== Unreliable network: slowdown vs message drop rate (seed {seed}) ==");
-    println!("   each drop costs a timeout plus an exponentially backed-off retransmit;");
-    println!("   outputs are checked bit-identical to the fault-free run, and every run");
-    println!("   ends with the coherence-invariant sanitizer");
-    let nodes = scale.nodes();
-    let mut csv = String::from(
-        "benchmark,system,drop_rate,seed,cycles,slowdown,msgs_delivered,retries,timeouts,dropped,duplicated\n",
-    );
-    let stencil = match scale {
+/// The stencil workload of the fault sweep at a given scale.
+fn fault_stencil(scale: Scale) -> Stencil {
+    match scale {
         Scale::Paper => Stencil {
             rows: 256,
             cols: 256,
@@ -358,9 +320,12 @@ fn print_faults(scale: Scale, custom: Option<(f64, u64)>) -> String {
             iters: 3,
             partition: Partition::Dynamic,
         },
-    };
-    sweep_faults("Stencil-dyn", nodes, &stencil, &rates, seed, &mut csv);
-    let threshold = match scale {
+    }
+}
+
+/// The threshold workload of the fault sweep at a given scale.
+fn fault_threshold(scale: Scale) -> Threshold {
+    match scale {
         Scale::Paper => Threshold {
             size: 256,
             iters: 15,
@@ -374,37 +339,120 @@ fn print_faults(scale: Scale, custom: Option<(f64, u64)>) -> String {
             sources: 4,
         },
         Scale::Smoke => Threshold::small(),
-    };
-    sweep_faults("Threshold", nodes, &threshold, &rates, seed, &mut csv);
+    }
+}
+
+/// The unreliable-network sweep: execution-time slowdown vs message drop
+/// rate, for all three systems on two benchmarks. Returns the CSV rows.
+fn print_faults(scale: Scale, custom: Option<(f64, u64)>, jobs: usize) -> String {
+    let seed = custom.map_or(0xC0FFEE, |(_, s)| s);
+    let mut rates = vec![0.0, 0.001, 0.01, 0.05];
+    if let Some((r, _)) = custom {
+        if !rates.contains(&r) {
+            rates.push(r);
+            rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        }
+    }
+    println!("== Unreliable network: slowdown vs message drop rate (seed {seed}) ==");
+    println!("   each drop costs a timeout plus an exponentially backed-off retransmit;");
+    println!("   outputs are checked bit-identical to the fault-free run, and every run");
+    println!("   ends with the coherence-invariant sanitizer");
+    let nodes = scale.nodes();
+    let mut csv = String::from(
+        "benchmark,system,drop_rate,seed,cycles,slowdown,msgs_delivered,retries,timeouts,dropped,duplicated\n",
+    );
+    let stencil = fault_stencil(scale);
+    sweep_faults(
+        "Stencil-dyn",
+        scale,
+        nodes,
+        &stencil,
+        &rates,
+        seed,
+        jobs,
+        &mut csv,
+    );
+    let threshold = fault_threshold(scale);
+    sweep_faults(
+        "Threshold",
+        scale,
+        nodes,
+        &threshold,
+        &rates,
+        seed,
+        jobs,
+        &mut csv,
+    );
     println!();
     csv
 }
 
-fn sweep_faults<W: Workload>(
+/// Executes one benchmark's `(system × drop rate)` fault grid on the
+/// sweep engine; results come back in canonical [`SweepKey`] order.
+fn compute_fault_sweep<W>(
     name: &str,
+    scale: Scale,
     nodes: usize,
     w: &W,
     rates: &[f64],
     seed: u64,
+    jobs: usize,
+) -> Vec<(SweepKey, (W::Output, RunResult))>
+where
+    W: Workload + Sync,
+    W::Output: Send,
+{
+    let scale_label = scale.to_string();
+    let mut points = Vec::with_capacity(3 * rates.len());
+    for system in SystemKind::all() {
+        for &rate in rates {
+            let key = SweepKey::new(name, system.label(), &scale_label).with_fault(rate);
+            points.push((key, (system, rate)));
+        }
+    }
+    SweepEngine::new(jobs).run(points, |_, (system, rate)| {
+        let faults = FaultConfig::drops(rate, seed);
+        execute_with_faults(system, nodes, faults, RuntimeConfig::default(), w)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sweep_faults<W>(
+    name: &str,
+    scale: Scale,
+    nodes: usize,
+    w: &W,
+    rates: &[f64],
+    seed: u64,
+    jobs: usize,
     csv: &mut String,
 ) where
-    W::Output: PartialEq + std::fmt::Debug,
+    W: Workload + Sync,
+    W::Output: PartialEq + std::fmt::Debug + Send,
 {
     println!("{name}:");
+    // All points run concurrently; printing walks the canonical grid in
+    // the fixed (system, then rate) order, so stdout and the CSV are
+    // byte-identical to the old serial loop whatever `jobs` is.
+    let runs = compute_fault_sweep(name, scale, nodes, w, rates, seed, jobs);
+    let scale_label = scale.to_string();
+    let point = |system: SystemKind, rate: f64| {
+        let key = SweepKey::new(name, system.label(), &scale_label).with_fault(rate);
+        runs.iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, run)| run)
+            .expect("every grid point was computed")
+    };
+    assert_eq!(rates[0], 0.0, "the first rate is the fault-free baseline");
     for system in SystemKind::all() {
-        let mut base: Option<(W::Output, u64)> = None;
-        let mut last_kinds = Vec::new();
+        let (base_out, base) = point(system, rates[0]);
         for &rate in rates {
-            let faults = FaultConfig::drops(rate, seed);
-            let (out, r) = execute_with_faults(system, nodes, faults, RuntimeConfig::default(), w);
-            match &base {
-                None => base = Some((out, r.time)),
-                Some((expected, _)) => assert_eq!(
-                    expected, &out,
-                    "{name}/{system}: faults changed the result at drop rate {rate}"
-                ),
-            }
-            let slowdown = r.time as f64 / base.as_ref().expect("baseline recorded").1 as f64;
+            let (out, r) = point(system, rate);
+            assert_eq!(
+                base_out, out,
+                "{name}/{system}: faults changed the result at drop rate {rate}"
+            );
+            let slowdown = r.time as f64 / base.time as f64;
             println!(
                 "  {:<8} drop={:<6} {:>13} cycles ({:>5.2}x)  retries={:<6} timeouts={:<6} dropped={:<6} dup={}",
                 system.label(),
@@ -426,9 +474,10 @@ fn sweep_faults<W: Workload>(
                 r.totals.msgs_dropped,
                 r.totals.msgs_duplicated,
             ));
-            last_kinds = r.msg_kinds;
         }
-        let mix: Vec<String> = last_kinds
+        let last = &point(system, *rates.last().expect("rates nonempty")).1;
+        let mix: Vec<String> = last
+            .msg_kinds
             .iter()
             .filter(|(_, n)| *n > 0)
             .map(|(kind, n)| format!("{}={n}", kind.label()))
@@ -442,36 +491,21 @@ fn sweep_faults<W: Workload>(
 /// histograms. Returns `(profile.csv, phases.csv)` contents; with
 /// `trace_path` set, also exports the LCM-mcc event stream as
 /// Chrome-trace JSON.
-fn print_profile(scale: Scale, trace_path: Option<&std::path::Path>) -> (String, String) {
+fn print_profile(
+    scale: Scale,
+    trace_path: Option<&std::path::Path>,
+    jobs: usize,
+) -> (String, String) {
     println!("== Cycle-attribution profile: Stencil-dyn, every cycle to a category ==");
     println!("   (per-node category sums are conservation-checked against the clocks");
     println!("   by the sanitizer on every harvest)");
     let nodes = scale.nodes();
-    let w = match scale {
-        Scale::Paper => Stencil {
-            rows: 256,
-            cols: 256,
-            iters: 10,
-            partition: Partition::Dynamic,
-        },
-        Scale::Medium => Stencil {
-            rows: 128,
-            cols: 128,
-            iters: 6,
-            partition: Partition::Dynamic,
-        },
-        Scale::Smoke => Stencil {
-            rows: 48,
-            cols: 48,
-            iters: 3,
-            partition: Partition::Dynamic,
-        },
-    };
     let cost = CostModel::cm5();
+    // The three traced runs execute concurrently; reports print in the
+    // fixed system order afterwards.
+    let traced = compute_profile_runs(scale, jobs);
     let mut results = Vec::new();
-    for system in SystemKind::all() {
-        let mc = MachineConfig::new(nodes).with_trace(2_000_000);
-        let (_, r, events) = execute_traced(system, mc, RuntimeConfig::default(), &w);
+    for (system, (r, events)) in SystemKind::all().into_iter().zip(traced) {
         println!("{}", profile::profile_report(&r, &events, &cost));
         if system == SystemKind::LcmMcc {
             if let Some(path) = trace_path {
@@ -502,7 +536,43 @@ fn print_profile(scale: Scale, trace_path: Option<&std::path::Path>) -> (String,
     )
 }
 
-fn print_flush_policy(scale: Scale) {
+/// The profiled stencil workload at a given scale.
+fn profile_stencil(scale: Scale) -> Stencil {
+    match scale {
+        Scale::Paper => Stencil {
+            rows: 256,
+            cols: 256,
+            iters: 10,
+            partition: Partition::Dynamic,
+        },
+        Scale::Medium => Stencil {
+            rows: 128,
+            cols: 128,
+            iters: 6,
+            partition: Partition::Dynamic,
+        },
+        Scale::Smoke => Stencil {
+            rows: 48,
+            cols: 48,
+            iters: 3,
+            partition: Partition::Dynamic,
+        },
+    }
+}
+
+/// Runs the three traced profile simulations (one per system) on the
+/// worker pool, returning `(result, events)` in system order.
+fn compute_profile_runs(scale: Scale, jobs: usize) -> Vec<(RunResult, Vec<Stamped>)> {
+    let nodes = scale.nodes();
+    let w = profile_stencil(scale);
+    lcm_sim::par_map(jobs, SystemKind::all().to_vec(), |_, system| {
+        let mc = MachineConfig::new(nodes).with_trace(2_000_000);
+        let (_, r, events) = execute_traced(system, mc, RuntimeConfig::default(), &w);
+        (r, events)
+    })
+}
+
+fn print_flush_policy(scale: Scale, jobs: usize) {
     println!("== §5.1 flush elision: per-invocation vs at-reconcile flushes ==");
     println!("   (sound when the compiler proves invocations touch distinct locations)");
     let w = match scale {
@@ -513,8 +583,13 @@ fn print_flush_policy(scale: Scale) {
         Scale::Medium => IndependentMap::default_size(),
         Scale::Smoke => IndependentMap::small(),
     };
-    let (_, per_inv) = run_with_flush(FlushPolicy::PerInvocation, scale.nodes(), &w);
-    let (_, at_rec) = run_with_flush(FlushPolicy::AtReconcile, scale.nodes(), &w);
+    let mut runs = lcm_sim::par_map(
+        jobs,
+        vec![FlushPolicy::PerInvocation, FlushPolicy::AtReconcile],
+        |_, policy| run_with_flush(policy, scale.nodes(), &w).1,
+    );
+    let at_rec = runs.pop().expect("two policies ran");
+    let per_inv = runs.pop().expect("two policies ran");
     println!(
         "  per-invocation {:>12} cycles, {:>8} flushes",
         per_inv.time, per_inv.totals.flushes
@@ -528,7 +603,7 @@ fn print_flush_policy(scale: Scale) {
     println!();
 }
 
-fn print_cache_limit() {
+fn print_cache_limit(jobs: usize) {
     println!("== §6.3 limited-cache ablation: Stencil-stat on a bounded Stache ==");
     let w = Stencil {
         rows: 256,
@@ -540,13 +615,16 @@ fn print_cache_limit() {
     let chunk = chunk_blocks(&w, nodes);
     let lcm = execute(SystemKind::LcmMcc, nodes, RuntimeConfig::default(), &w).1;
     println!("  LCM-mcc (reference)         {:>12} cycles", lcm.time);
-    for (label, cap) in [
+    let caps = vec![
         ("Stache unbounded (paper)", None),
         ("Stache cap = 2x chunk", Some(2 * chunk)),
         ("Stache cap = chunk/2", Some(chunk / 2)),
         ("Stache cap = chunk/8", Some(chunk / 8)),
-    ] {
-        let r = stencil_on_limited_stache(cap, nodes, &w);
+    ];
+    let runs = lcm_sim::par_map(jobs, caps, |_, (label, cap)| {
+        (label, stencil_on_limited_stache(cap, nodes, &w))
+    });
+    for (label, r) in runs {
         println!(
             "  {:<27} {:>12} cycles, {:>8} misses, {:>8} evictions",
             label,
@@ -558,7 +636,7 @@ fn print_cache_limit() {
     println!();
 }
 
-fn print_tree_reconcile(scale: Scale) {
+fn print_tree_reconcile(scale: Scale, jobs: usize) {
     use lcm_core::{Lcm, LcmVariant};
     use lcm_cstar::{Runtime, Strategy};
     use lcm_rsm::{MemoryProtocol, ReduceOp};
@@ -566,7 +644,7 @@ fn print_tree_reconcile(scale: Scale) {
     use lcm_tempest::Placement;
     println!("== §5 tree-structured reconciliation (reduction bottleneck) ==");
     let nodes = scale.nodes().max(16);
-    for tree in [false, true] {
+    let runs = lcm_sim::par_map(jobs, vec![false, true], |_, tree| {
         let mut mem = Lcm::new(MachineConfig::new(nodes), LcmVariant::Mcc);
         mem.set_tree_reconcile(tree);
         let mut rt = Runtime::new(mem, Strategy::LcmDirectives);
@@ -579,12 +657,19 @@ fn print_tree_reconcile(scale: Scale) {
         });
         let home = lcm_sim::NodeId(0);
         let machine = &rt.mem().tempest().machine;
+        (
+            machine.time(),
+            machine.stats(home).versions_reconciled,
+            rt.peek_reduction(total),
+        )
+    });
+    for (tree, (time, merged, sum)) in [false, true].into_iter().zip(runs) {
         println!(
             "  {:<8} total time {:>10} cycles; home node merged {:>3} versions (sum={})",
             if tree { "tree" } else { "direct" },
-            machine.time(),
-            machine.stats(home).versions_reconciled,
-            rt.peek_reduction(total)
+            time,
+            merged,
+            sum
         );
     }
     println!();
@@ -687,22 +772,34 @@ fn print_claims(suite: &Suite) {
     );
 }
 
-fn print_reduction(scale: Scale) {
-    println!(
-        "== §7.1 Reductions: summing an array on {} processors ==",
-        scale.nodes()
-    );
-    let w = match scale {
+/// The array-sum workload of the reduction section at a given scale.
+fn reduction_worksize(scale: Scale) -> ArraySum {
+    match scale {
         Scale::Paper => ArraySum {
             len: 1 << 20,
             passes: 2,
         },
         Scale::Medium => ArraySum::default_size(),
         Scale::Smoke => ArraySum::small(),
-    };
+    }
+}
+
+/// Runs every reduction method on the worker pool, in method order.
+fn compute_reduction_runs(scale: Scale, jobs: usize) -> Vec<(f64, RunResult)> {
+    let w = reduction_worksize(scale);
+    lcm_sim::par_map(jobs, ReductionMethod::all().to_vec(), |_, method| {
+        run_reduction(method, scale.nodes(), &w)
+    })
+}
+
+fn print_reduction(scale: Scale, jobs: usize) {
+    println!(
+        "== §7.1 Reductions: summing an array on {} processors ==",
+        scale.nodes()
+    );
+    let runs = compute_reduction_runs(scale, jobs);
     let mut base = None;
-    for method in ReductionMethod::all() {
-        let (sum, r) = run_reduction(method, scale.nodes(), &w);
+    for (method, (sum, r)) in ReductionMethod::all().into_iter().zip(runs) {
         let base_time = *base.get_or_insert(r.time) as f64;
         println!(
             "  {:<15} {:>14} cycles ({:>5.2}x vs shared-acc)  sum={}  misses={}",
@@ -716,17 +813,21 @@ fn print_reduction(scale: Scale) {
     println!();
 }
 
-fn print_false_sharing() {
+fn print_false_sharing(jobs: usize) {
     println!("== §7.4 False sharing: 8 writers, one block, 200 rounds ==");
     let w = FalseSharing::default_size();
+    let writers = w.writers;
     let cfg = RuntimeConfig::default();
-    for (label, sys, wl) in [
+    let configs = vec![
         ("Stache packed", SystemKind::Stache, w),
         ("Stache padded", SystemKind::Stache, w.padded()),
         ("LCM-mcc packed", SystemKind::LcmMcc, w),
         ("LCM-scc packed", SystemKind::LcmScc, w),
-    ] {
-        let (_, r) = execute(sys, w.writers, cfg, &wl);
+    ];
+    let runs = lcm_sim::par_map(jobs, configs, |_, (label, sys, wl)| {
+        (label, execute(sys, writers, cfg, &wl).1)
+    });
+    for (label, r) in runs {
         println!(
             "  {:<15} {:>12} cycles  misses={:<6} invalidations={}",
             label,
@@ -738,7 +839,7 @@ fn print_false_sharing() {
     println!();
 }
 
-fn print_stale() {
+fn print_stale(jobs: usize) {
     println!("== §7.5 Stale data: producer field, consumers refresh every k ==");
     let base = StaleData::default_size();
     let (lag, r) = run_stale(StaleSystem::Coherent, 8, &base);
@@ -749,12 +850,15 @@ fn print_stale() {
         r.misses(),
         lag
     );
-    for k in [2usize, 4, 8, 16] {
+    let ks = vec![2usize, 4, 8, 16];
+    let runs = lcm_sim::par_map(jobs, ks.clone(), |_, k| {
         let w = StaleData {
             refresh_every: k,
             ..base
         };
-        let (lag, r) = run_stale(StaleSystem::StaleRegion, 8, &w);
+        run_stale(StaleSystem::StaleRegion, 8, &w)
+    });
+    for (k, (lag, r)) in ks.into_iter().zip(runs) {
         println!(
             "  {:<22} {:>12} cycles  misses={:<6} staleness={:.0}  refreshes={}",
             format!("stale region (k={k})"),
@@ -767,7 +871,7 @@ fn print_stale() {
     println!();
 }
 
-fn print_nbody() {
+fn print_nbody(jobs: usize) {
     println!("== §7.5 N-body: stale far-field positions ==");
     let base = NBody::default_size();
     let (reference, coherent) = run_nbody(NBodySystem::Coherent, 8, &base);
@@ -777,12 +881,15 @@ fn print_nbody() {
         coherent.time,
         coherent.misses()
     );
-    for k in [2usize, 4, 8, 16] {
+    let ks = vec![2usize, 4, 8, 16];
+    let runs = lcm_sim::par_map(jobs, ks.clone(), |_, k| {
         let w = NBody {
             refresh_every: k,
             ..base
         };
-        let (pos, run) = run_nbody(NBodySystem::StaleRegion, 8, &w);
+        run_nbody(NBodySystem::StaleRegion, 8, &w)
+    });
+    for (k, (pos, run)) in ks.into_iter().zip(runs) {
         println!(
             "  {:<18} {:>12} cycles, {:>6} misses, rms error {:.4}",
             format!("refresh every {k}"),
@@ -794,9 +901,9 @@ fn print_nbody() {
     println!();
 }
 
-fn print_sweeps(scale: Scale) {
-    println!("== Sensitivity: Stencil-dyn LCM-mcc advantage vs machine parameters ==");
-    let w = match scale {
+/// The sensitivity-sweep stencil at a given scale.
+fn sensitivity_stencil(scale: Scale) -> Stencil {
+    match scale {
         Scale::Paper => Stencil {
             rows: 512,
             cols: 512,
@@ -815,12 +922,31 @@ fn print_sweeps(scale: Scale) {
             iters: 4,
             partition: Partition::Dynamic,
         },
-    };
+    }
+}
+
+/// Swept remote latencies (cycles) of the sensitivity section.
+const SWEEP_LATENCIES: [u64; 5] = [500, 1500, 3000, 6000, 12000];
+/// Swept processor counts of the sensitivity section.
+const SWEEP_NODES: [usize; 4] = [4, 8, 16, 32];
+
+/// Both sensitivity sweeps on the worker pool.
+fn compute_sweeps(scale: Scale, jobs: usize) -> (Vec<SweepPoint>, Vec<SweepPoint>) {
+    let w = sensitivity_stencil(scale);
+    (
+        sweep_remote_latency_jobs(&SWEEP_LATENCIES, scale.nodes(), &w, jobs),
+        sweep_nodes_jobs(&SWEEP_NODES, &w, jobs),
+    )
+}
+
+fn print_sweeps(scale: Scale, jobs: usize) {
+    println!("== Sensitivity: Stencil-dyn LCM-mcc advantage vs machine parameters ==");
+    let (latency, nodes) = compute_sweeps(scale, jobs);
     println!(
         "remote round-trip latency sweep ({} processors):",
         scale.nodes()
     );
-    for p in sweep_remote_latency(&[500, 1500, 3000, 6000, 12000], scale.nodes(), &w) {
+    for p in latency {
         println!(
             "  remote_miss={:>6} cy: LCM-mcc {:>12}, Stache {:>12}  (advantage {:.2}x)",
             p.x,
@@ -830,7 +956,7 @@ fn print_sweeps(scale: Scale) {
         );
     }
     println!("processor-count sweep (default cost model):");
-    for p in sweep_nodes(&[4, 8, 16, 32], &w) {
+    for p in nodes {
         println!(
             "  P={:>2}: LCM-mcc {:>12}, Stache {:>12}  (advantage {:.2}x)",
             p.x,
@@ -842,14 +968,135 @@ fn print_sweeps(scale: Scale) {
     println!();
 }
 
-fn print_races() {
+fn print_races(jobs: usize) {
     println!("== §7.2/7.3 Conflict detection ==");
-    for kernel in RaceKernel::all() {
-        let conflicts = detect_races(kernel, 4);
+    let kernels = RaceKernel::all();
+    let found = lcm_sim::par_map(jobs, kernels.to_vec(), |_, kernel| detect_races(kernel, 4));
+    for (kernel, conflicts) in kernels.into_iter().zip(found) {
         println!("  {:?}: {} conflict(s)", kernel, conflicts.len());
         for c in conflicts.iter().take(4) {
             println!("    - {c}");
         }
     }
     println!();
+}
+
+/// The `bench` section: times representative sections with `--jobs 1`
+/// and with the requested pool, cross-checks that both executions agree
+/// digest-for-digest, and writes the trajectory to `BENCH_sweep.json`
+/// (in `--csv DIR` when given, else the working directory).
+fn run_bench(scale: Scale, jobs: usize, csv_dir: Option<&std::path::Path>) {
+    println!("== Wall-clock bench: serial vs --jobs {jobs}, scale '{scale}' ==");
+    let mut report = BenchReport::new(&scale.to_string(), jobs);
+
+    let (serial_suite, pooled_suite) = report.time_section(
+        "suite",
+        || Suite::run_jobs(scale, 1),
+        || Suite::run_jobs(scale, jobs),
+    );
+    for b in Benchmark::all() {
+        for s in SystemKind::all() {
+            assert_eq!(
+                serial_suite.result(b, s).digest(),
+                pooled_suite.result(b, s).digest(),
+                "suite point {}/{} diverged between jobs=1 and jobs={jobs}",
+                b.label(),
+                s.label()
+            );
+        }
+    }
+
+    let stencil = fault_stencil(scale);
+    let rates = [0.0, 0.001, 0.01, 0.05];
+    let nodes = scale.nodes();
+    let (serial_faults, pooled_faults) = report.time_section(
+        "faults",
+        || compute_fault_sweep("Stencil-dyn", scale, nodes, &stencil, &rates, 0xC0FFEE, 1),
+        || {
+            compute_fault_sweep(
+                "Stencil-dyn",
+                scale,
+                nodes,
+                &stencil,
+                &rates,
+                0xC0FFEE,
+                jobs,
+            )
+        },
+    );
+    for ((k1, (_, r1)), (k2, (_, r2))) in serial_faults.iter().zip(&pooled_faults) {
+        assert_eq!(k1, k2, "fault grids assemble in one canonical order");
+        assert_eq!(r1.digest(), r2.digest(), "fault point {k1:?} diverged");
+    }
+
+    let (serial_sweeps, pooled_sweeps) = report.time_section(
+        "sweep",
+        || compute_sweeps(scale, 1),
+        || compute_sweeps(scale, jobs),
+    );
+    for (a, b) in serial_sweeps
+        .0
+        .iter()
+        .chain(&serial_sweeps.1)
+        .zip(pooled_sweeps.0.iter().chain(&pooled_sweeps.1))
+    {
+        assert_eq!(a.x, b.x, "sweep points assemble in input order");
+        assert_eq!(
+            a.lcm.digest(),
+            b.lcm.digest(),
+            "sweep point x={} diverged",
+            a.x
+        );
+        assert_eq!(
+            a.stache.digest(),
+            b.stache.digest(),
+            "sweep point x={} diverged",
+            a.x
+        );
+    }
+
+    report.time_section(
+        "profile",
+        || compute_profile_runs(scale, 1),
+        || compute_profile_runs(scale, jobs),
+    );
+    report.time_section(
+        "reduction",
+        || compute_reduction_runs(scale, 1),
+        || compute_reduction_runs(scale, jobs),
+    );
+
+    for s in &report.sections {
+        println!(
+            "  {:<10} serial {:>8.2}s   jobs={jobs} {:>8.2}s   speedup {:.2}x",
+            s.section,
+            s.serial_secs,
+            s.parallel_secs,
+            s.speedup()
+        );
+    }
+    println!(
+        "  {:<10} serial {:>8.2}s   jobs={jobs} {:>8.2}s   speedup {:.2}x",
+        "total",
+        report.total_serial(),
+        report.total_parallel(),
+        report.speedup()
+    );
+    println!("  parallel runs agreed with serial runs digest-for-digest");
+    let path = csv_dir
+        .map(|d| d.join("BENCH_sweep.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("failed to create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("bench trajectory written to {}\n", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }

@@ -13,9 +13,12 @@
 #![warn(missing_docs)]
 
 pub mod profile;
+pub mod report;
 pub mod svg;
+pub mod sweep;
 
 pub use svg::BarChart;
+pub use sweep::{BenchReport, SectionTiming, SweepEngine, SweepKey};
 
 /// Formats a cycle count with thousands separators for bench output.
 pub fn cycles(x: u64) -> String {

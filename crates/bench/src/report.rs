@@ -1,0 +1,104 @@
+//! CSV renderers for the suite's tables and figures.
+//!
+//! One function per emitted file, each a pure `&Suite -> String` so the
+//! `repro` binary and the determinism tests render through the same code:
+//! the byte-identity contract ("a `--jobs N` run produces the same CSVs
+//! as `--jobs 1`") is checked against these exact bytes.
+
+use lcm_apps::experiments::{Benchmark, Suite};
+use lcm_apps::SystemKind;
+use std::fmt::Write as _;
+
+/// `table1.csv`: per-benchmark miss and clean-copy counts.
+pub fn table1_csv(suite: &Suite) -> String {
+    let mut csv =
+        String::from("program,misses_scc,misses_mcc,misses_copying,clean_scc,clean_mcc\n");
+    for (b, misses, clean) in suite.table1() {
+        let _ = writeln!(
+            csv,
+            "{},{},{},{},{},{}",
+            b.label(),
+            misses[0],
+            misses[1],
+            misses[2],
+            clean[0],
+            clean[1]
+        );
+    }
+    csv
+}
+
+/// `fig2.csv` / `fig3.csv`: one `(program, system, cycles)` row per run.
+pub fn fig_csv(rows: &[(Benchmark, SystemKind, u64)]) -> String {
+    let mut csv = String::from("program,system,cycles\n");
+    for (b, s, t) in rows {
+        let _ = writeln!(csv, "{},{},{t}", b.label(), s.label());
+    }
+    csv
+}
+
+/// `messages.csv`: per-kind message counts and bytes for every run.
+pub fn messages_csv(suite: &Suite) -> String {
+    let mut csv = String::from("program,system,kind,count,bytes\n");
+    for b in Benchmark::all() {
+        for s in SystemKind::all() {
+            let r = suite.result(b, s);
+            for ((kind, n), (_, bytes)) in r.msg_kinds.iter().zip(&r.msg_bytes) {
+                if *n > 0 {
+                    let _ = writeln!(
+                        csv,
+                        "{},{},{},{n},{bytes}",
+                        b.label(),
+                        s.label(),
+                        kind.label()
+                    );
+                }
+            }
+        }
+    }
+    csv
+}
+
+/// `network.csv`: delivery/retry/stall counters for every run.
+pub fn network_csv(suite: &Suite) -> String {
+    let mut csv = String::from(
+        "program,system,msgs_delivered,blocks,retries,timeouts,dropped,duplicated,stall_cycles\n",
+    );
+    for b in Benchmark::all() {
+        for s in SystemKind::all() {
+            let r = suite.result(b, s);
+            let _ = writeln!(
+                csv,
+                "{},{},{},{},{},{},{},{},{}",
+                b.label(),
+                s.label(),
+                r.msgs_total(),
+                r.totals.blocks_sent,
+                r.totals.retries,
+                r.totals.timeouts,
+                r.totals.msgs_dropped,
+                r.totals.msgs_duplicated,
+                r.totals.stall_cycles,
+            );
+        }
+    }
+    csv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_apps::experiments::Scale;
+
+    #[test]
+    fn renderers_are_pure_functions_of_the_suite() {
+        let suite = Suite::run(Scale::Smoke);
+        assert_eq!(table1_csv(&suite), table1_csv(&suite));
+        let fig2 = suite.fig2();
+        assert!(fig_csv(&fig2).starts_with("program,system,cycles\n"));
+        assert_eq!(fig_csv(&fig2).lines().count(), 1 + fig2.len());
+        // Every (benchmark, system) pair contributes exactly one network row.
+        assert_eq!(network_csv(&suite).lines().count(), 1 + 6 * 3);
+        assert!(messages_csv(&suite).len() > "program,system,kind,count,bytes\n".len());
+    }
+}

@@ -81,6 +81,11 @@ pub struct Lcm {
     tree_reconcile: bool,
     strict_detection: bool,
     nested: Option<NestedPhase>,
+    // Reusable scratch buffers: cleared (capacity kept) after each use so
+    // the per-reconcile/per-flush paths allocate nothing in steady state.
+    reduce_scratch: Vec<(BlockId, NodeId, PrivCopy)>,
+    block_scratch: Vec<BlockId>,
+    retain_scratch: Vec<BlockId>,
 }
 
 impl Lcm {
@@ -100,6 +105,9 @@ impl Lcm {
             tree_reconcile: false,
             strict_detection: false,
             nested: None,
+            reduce_scratch: Vec::new(),
+            block_scratch: Vec::new(),
+            retain_scratch: Vec::new(),
         }
     }
 
@@ -144,9 +152,15 @@ impl Lcm {
     /// which is then shipped home like an ordinary flush. Runs during
     /// `reconcile_copies`, before the per-node drain.
     fn tree_combine_reductions(&mut self) {
-        // Gather (block -> contributions) over all nodes, in node order.
-        let mut by_block: std::collections::BTreeMap<BlockId, Vec<(NodeId, PrivCopy)>> =
-            std::collections::BTreeMap::new();
+        // Gather (block, node, contribution) triples over all nodes, in
+        // node order, into the reusable scratch; a stable sort by block
+        // then yields blocks ascending with each block's contributions
+        // still in node order — the exact iteration a per-call
+        // `BTreeMap<BlockId, Vec<(NodeId, PrivCopy)>>` used to produce,
+        // without rebuilding a tree and per-block vectors every
+        // reconcile.
+        let mut scratch = std::mem::take(&mut self.reduce_scratch);
+        debug_assert!(scratch.is_empty());
         for n in 0..self.privs.len() {
             let node = NodeId(n as u16);
             let mut order = std::mem::take(&mut self.priv_order[n]);
@@ -158,67 +172,87 @@ impl Lcm {
                 let p = self.privs[n]
                     .remove(&block)
                     .expect("ordered private copy exists");
-                by_block.entry(block).or_default().push((node, p));
+                scratch.push((block, node, p));
                 false
             });
             self.priv_order[n] = order;
         }
-        for (block, mut versions) in by_block {
-            let policy = self.policies.get(block);
-            let op = policy
-                .merge
-                .reduce_op()
-                .expect("gathered blocks are reductions");
-            // Pairwise combining rounds: the left element of each pair
-            // receives and merges the right one.
-            while versions.len() > 1 {
-                let mut next = Vec::with_capacity(versions.len().div_ceil(2));
-                let mut it = versions.into_iter();
-                while let Some((ln, mut lp)) = it.next() {
-                    if let Some((rn, rp)) = it.next() {
-                        let t = self.inner.tempest_mut();
-                        let c = *t.machine.cost();
-                        t.net.send(&mut t.machine, rn, ln, MsgKind::Flush, true);
-                        t.machine
-                            .advance_as(ln, c.reconcile_per_version, CycleCat::FlushReconcile);
-                        t.machine.stats_mut(ln).versions_reconciled += 1;
-                        t.machine.stats_mut(rn).flushes += 1;
-                        combine_into(op, &mut lp, &rp);
-                    }
-                    next.push((ln, lp));
-                }
-                versions = next;
+        scratch.sort_by_key(|(block, _, _)| *block);
+        let mut i = 0;
+        while i < scratch.len() {
+            let block = scratch[i].0;
+            let mut j = i + 1;
+            while j < scratch.len() && scratch[j].0 == block {
+                j += 1;
             }
-            // Ship the root's merged version home as one flush.
-            let (root, p) = versions.pop().expect("at least one contribution");
-            let entry = Self::ensure_entry(&mut self.cow, &mut self.inner, block);
-            let t = self.inner.tempest_mut();
-            let home = t.home_of(block);
-            let c = *t.machine.cost();
-            t.machine.stats_mut(root).flushes += 1;
-            t.machine
-                .advance_as(root, c.block_flush, CycleCat::FlushReconcile);
-            t.net.send(&mut t.machine, root, home, MsgKind::Flush, true);
-            t.machine
-                .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
-            t.machine.stats_mut(home).versions_reconciled += 1;
-            entry.merge_version(root, &p.data, p.dirty, policy, block, &mut self.conflicts);
-            // The contributors drop their (identity-initialized) copies.
-            let has_local_clean = self.variant == LcmVariant::Mcc;
-            let t = self.inner.tempest_mut();
-            for n in 0..self.privs.len() {
-                let node = NodeId(n as u16);
-                if t.tags[n].get(block) == Tag::ReadWrite {
-                    t.tags[n].set(
-                        block,
-                        if has_local_clean {
-                            Tag::ReadOnly
-                        } else {
-                            Tag::Invalid
-                        },
-                    );
-                    let _ = node;
-                }
+            self.tree_combine_group(block, &mut scratch[i..j]);
+            i = j;
+        }
+        scratch.clear();
+        self.reduce_scratch = scratch;
+    }
+
+    /// Combines one block's contributions (in node order) pairwise up a
+    /// binary tree and ships the root's merged version home. `group` is a
+    /// slice of the reconcile scratch; stride-doubling in place produces
+    /// the same pair sequence as the former round-rebuilding loop.
+    fn tree_combine_group(&mut self, block: BlockId, group: &mut [(BlockId, NodeId, PrivCopy)]) {
+        let policy = self.policies.get(block);
+        let op = policy
+            .merge
+            .reduce_op()
+            .expect("gathered blocks are reductions");
+        // Pairwise combining rounds: the left element of each pair
+        // receives and merges the right one.
+        let m = group.len();
+        let mut stride = 1;
+        while stride < m {
+            let mut k = 0;
+            while k + stride < m {
+                let (left, right) = group.split_at_mut(k + stride);
+                let (_, ln, lp) = &mut left[k];
+                let (_, rn, rp) = &right[0];
+                let (ln, rn) = (*ln, *rn);
+                let t = self.inner.tempest_mut();
+                let c = *t.machine.cost();
+                t.net.send(&mut t.machine, rn, ln, MsgKind::Flush, true);
+                t.machine
+                    .advance_as(ln, c.reconcile_per_version, CycleCat::FlushReconcile);
+                t.machine.stats_mut(ln).versions_reconciled += 1;
+                t.machine.stats_mut(rn).flushes += 1;
+                combine_into(op, lp, rp);
+                k += 2 * stride;
+            }
+            stride *= 2;
+        }
+        // Ship the root's merged version home as one flush.
+        let (_, root, p) = &group[0];
+        let root = *root;
+        let entry = Self::ensure_entry(&mut self.cow, &mut self.inner, block);
+        let t = self.inner.tempest_mut();
+        let home = t.home_of(block);
+        let c = *t.machine.cost();
+        t.machine.stats_mut(root).flushes += 1;
+        t.machine
+            .advance_as(root, c.block_flush, CycleCat::FlushReconcile);
+        t.net.send(&mut t.machine, root, home, MsgKind::Flush, true);
+        t.machine
+            .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
+        t.machine.stats_mut(home).versions_reconciled += 1;
+        entry.merge_version(root, &p.data, p.dirty, policy, block, &mut self.conflicts);
+        // The contributors drop their (identity-initialized) copies.
+        let has_local_clean = self.variant == LcmVariant::Mcc;
+        let t = self.inner.tempest_mut();
+        for n in 0..self.privs.len() {
+            if t.tags[n].get(block) == Tag::ReadWrite {
+                t.tags[n].set(
+                    block,
+                    if has_local_clean {
+                        Tag::ReadOnly
+                    } else {
+                        Tag::Invalid
+                    },
+                );
             }
         }
     }
@@ -1097,7 +1131,8 @@ impl MemoryProtocol for Lcm {
             return;
         }
         let mut order = std::mem::take(&mut self.priv_order[node.index()]);
-        let mut retained = Vec::new();
+        let mut retained = std::mem::take(&mut self.retain_scratch);
+        debug_assert!(retained.is_empty());
         for &block in &order {
             let policy = self.policies.get(block);
             if policy.merge.reduce_op().is_some() && self.in_phase {
@@ -1160,7 +1195,9 @@ impl MemoryProtocol for Lcm {
             });
         }
         order.clear();
-        order.extend(retained);
+        order.extend(&retained);
+        retained.clear();
+        self.retain_scratch = retained;
         self.priv_order[node.index()] = order;
     }
 
@@ -1185,13 +1222,15 @@ impl MemoryProtocol for Lcm {
         // including reduction accumulators retained between invocations.
         self.in_phase = false;
         // Every processor returns its modified copies home…
-        for n in self.inner.tempest().machine.node_ids().collect::<Vec<_>>() {
-            self.flush_copies(n);
+        for n in 0..self.privs.len() {
+            self.flush_copies(NodeId(n as u16));
         }
         // …then the homes reconcile and the system-wide invalidations run.
-        let mut blocks: Vec<BlockId> = self.cow.keys().copied().collect();
+        let mut blocks = std::mem::take(&mut self.block_scratch);
+        debug_assert!(blocks.is_empty());
+        blocks.extend(self.cow.keys().copied());
         blocks.sort_unstable();
-        for block in blocks {
+        for &block in &blocks {
             let entry = self.cow.remove(&block).expect("collected key");
             let policy = self.policies.get(block);
             let home = self.inner.tempest().home_of(block);
@@ -1207,6 +1246,8 @@ impl MemoryProtocol for Lcm {
                 block,
             });
         }
+        blocks.clear();
+        self.block_scratch = blocks;
         self.inner.tempest_mut().machine.barrier();
     }
 

@@ -80,8 +80,9 @@ pub fn check<P: MemoryProtocol + ?Sized>(protocol: &P) -> Result<(), Violation> 
                 at_cycle: m.time(),
                 barriers: m.barriers(),
                 detail,
-                trace_tail: events[tail_start..]
+                trace_tail: events
                     .iter()
+                    .skip(tail_start)
                     .map(|e| format!("{e:?}"))
                     .collect(),
             }

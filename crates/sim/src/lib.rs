@@ -39,6 +39,7 @@ pub mod fault;
 pub mod hash;
 pub mod machine;
 pub mod mem;
+pub mod par;
 pub mod profile;
 pub mod rng;
 pub mod stats;
@@ -48,6 +49,7 @@ pub use cost::CostModel;
 pub use fault::{DeliveryError, FaultConfig, FaultOutcome, FaultPlan};
 pub use machine::{Machine, MachineConfig, NodeId};
 pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};
+pub use par::{available_jobs, par_map};
 pub use profile::{CycleCat, CycleLedger, PhaseSnapshot};
 pub use rng::Pcg32;
 pub use stats::NodeStats;

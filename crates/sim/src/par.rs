@@ -1,0 +1,135 @@
+//! Fixed-size worker pool for embarrassingly parallel sweeps.
+//!
+//! Every sweep point of the evaluation — one `(benchmark, system, scale,
+//! fault, sensitivity)` configuration — is an independent, deterministic
+//! simulation: each run constructs its own machine, protocol and runtime,
+//! and each runtime seeds its own [`crate::Pcg32`] from its config. No
+//! state is shared between points, so executing them concurrently cannot
+//! change any result. [`par_map`] exploits that: a fixed pool of
+//! `std::thread::scope` workers claims indices from a shared counter and
+//! writes each result into its input's slot, so the output order is the
+//! input order regardless of which worker finished when — the property
+//! the byte-identical determinism tests pin down.
+//!
+//! A worker panic (e.g. the coherence sanitizer rejecting a harvest)
+//! propagates out of the scope when the threads join, exactly as it would
+//! have on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The host's available parallelism (the `--jobs` default), at least 1.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of at most `jobs` worker threads,
+/// returning the results in input order.
+///
+/// With `jobs <= 1` (or a single item) the map runs on the calling
+/// thread; either way `f` sees `(index, item)` and the result vector is
+/// indexed identically, so serial and parallel executions are
+/// indistinguishable to the caller.
+pub fn par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    // Tasks and result slots are indexed; the per-slot mutexes are taken
+    // once each, far off any hot path (a sweep point runs for ms–s).
+    // Worker panics are caught and re-raised on the calling thread with
+    // their original payload (the scope's own propagation would replace a
+    // sanitizer diagnostic with "a scoped thread panicked"); the lowest
+    // panicking index wins, so the surfaced failure is deterministic.
+    type Outcome<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<Outcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i]
+                    .lock()
+                    .expect("task mutex never poisoned: held only to take")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)));
+                *slots[i]
+                    .lock()
+                    .expect("slot mutex never poisoned: held only to store") = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for s in slots {
+        let outcome = s
+            .into_inner()
+            .expect("slot mutex unlocked after scope join")
+            .expect("every slot filled: workers drained the counter");
+        match outcome {
+            Ok(r) => out.push(r),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_map(1, items.clone(), |i, x| (i as u64) * 1000 + x * x);
+        for jobs in [2, 3, 8, 64] {
+            let parallel = par_map(jobs, items.clone(), |i, x| (i as u64) * 1000 + x * x);
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(8, Vec::<u8>::new(), |_, x| x), Vec::<u8>::new());
+        assert_eq!(par_map(8, vec![7], |i, x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let out = par_map(16, vec![1, 2, 3], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 5")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        par_map(4, items, |_, x| {
+            if x == 5 {
+                panic!("boom at {x}");
+            }
+            x
+        });
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::machine::NodeId;
 use crate::mem::BlockId;
+use std::collections::VecDeque;
 
 /// One protocol event.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -229,12 +230,16 @@ pub struct Stamped {
 }
 
 /// A bounded in-memory event trace.
+///
+/// Storage is a [`VecDeque`] so ring-mode overflow is a constant-time
+/// pop/push with no reallocation once the buffer is full — recording must
+/// stay O(1) per event on the simulation's stepping path.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     enabled: bool,
     capacity: usize,
     ring: bool,
-    events: Vec<Stamped>,
+    events: VecDeque<Stamped>,
     seq: u64,
     dropped: u64,
 }
@@ -252,7 +257,7 @@ impl Trace {
             enabled: true,
             capacity,
             ring: false,
-            events: Vec::new(),
+            events: VecDeque::new(),
             seq: 0,
             dropped: 0,
         }
@@ -272,7 +277,9 @@ impl Trace {
             enabled: true,
             capacity,
             ring: true,
-            events: Vec::new(),
+            // Diagnostic ring capacities are small; reserving up front
+            // makes every subsequent record allocation-free.
+            events: VecDeque::with_capacity(capacity),
             seq: 0,
             dropped: 0,
         }
@@ -304,11 +311,10 @@ impl Trace {
         };
         self.seq += 1;
         if self.events.len() < self.capacity {
-            self.events.push(stamped);
+            self.events.push_back(stamped);
         } else if self.ring {
-            // Diagnostic capacities are small; a linear shift is fine.
-            self.events.remove(0);
-            self.events.push(stamped);
+            self.events.pop_front();
+            self.events.push_back(stamped);
             self.dropped += 1;
         } else {
             self.dropped += 1;
@@ -324,8 +330,13 @@ impl Trace {
     }
 
     /// The recorded events, oldest first.
-    pub fn events(&self) -> &[Stamped] {
+    pub fn events(&self) -> &VecDeque<Stamped> {
         &self.events
+    }
+
+    /// The recorded events copied into a contiguous vector, oldest first.
+    pub fn to_vec(&self) -> Vec<Stamped> {
+        self.events.iter().copied().collect()
     }
 
     /// Number of record attempts so far (stored plus dropped).
@@ -543,6 +554,38 @@ mod tests {
         let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![2, 3], "ring keeps the trailing seqs");
         assert_eq!(r.events()[0].cycle, 20, "cycle stamps travel with events");
+    }
+
+    #[test]
+    fn ring_overflow_never_reallocates() {
+        let mut t = Trace::ring(8);
+        for i in 0..8 {
+            t.record(Event::Barrier { at: i });
+        }
+        let cap = t.events.capacity();
+        for i in 8..10_000 {
+            t.record(Event::Barrier { at: i });
+        }
+        assert_eq!(t.events.capacity(), cap, "pop/push cycles stay in place");
+        assert_eq!(t.events().len(), 8);
+        assert_eq!(t.dropped(), 10_000 - 8);
+    }
+
+    #[test]
+    fn to_vec_preserves_order() {
+        let mut t = Trace::ring(3);
+        for i in 0..5 {
+            t.record(Event::Barrier { at: i });
+        }
+        let v = t.to_vec();
+        let ats: Vec<u64> = v
+            .iter()
+            .map(|e| match e.event {
+                Event::Barrier { at } => at,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ats, vec![2, 3, 4]);
     }
 
     #[test]
