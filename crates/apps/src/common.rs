@@ -86,6 +86,10 @@ pub struct RunResult {
     pub trace_events: usize,
     /// Events lost when the bounded trace buffer wrapped.
     pub trace_dropped: u64,
+    /// Per-link fabric utilization, for links that carried traffic.
+    /// Empty unless the cost model set a finite link bandwidth (the
+    /// contention-aware network model is off by default).
+    pub links: Vec<lcm_sim::LinkUtil>,
 }
 
 impl RunResult {
@@ -152,6 +156,7 @@ impl RunResult {
                 .collect(),
             trace_events: machine.trace().events().len(),
             trace_dropped: machine.trace().dropped(),
+            links: machine.link_utilization(),
         }
     }
 }

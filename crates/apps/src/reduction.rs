@@ -118,6 +118,25 @@ fn generic_run<P: MemoryProtocol>(
     rt.peek_reduction(total)
 }
 
+/// The array sum as a system-generic [`Workload`](crate::Workload):
+/// the naive `total %+= a[#0]` source, compiled per memory system (LCM
+/// reconciles private contributions; Stache ping-pongs the accumulator
+/// block). This is the form the contention sweep runs, because it puts
+/// a single hot block on the wire and so reacts strongly to link
+/// bandwidth.
+#[derive(Copy, Clone, Debug)]
+pub struct ReductionSum(pub ArraySum);
+
+impl crate::Workload for ReductionSum {
+    type Output = f64;
+
+    fn run<P: MemoryProtocol>(&self, rt: &mut Runtime<P>) -> f64 {
+        // SharedAccumulator and RsmReduce share one source body; which
+        // behavior the run gets is the memory system's choice.
+        generic_run(rt, &self.0, ReductionMethod::SharedAccumulator)
+    }
+}
+
 /// Runs the array sum with the given method on `nodes` processors.
 /// Returns the computed sum and the measurements.
 pub fn run_reduction(method: ReductionMethod, nodes: usize, w: &ArraySum) -> (f64, RunResult) {

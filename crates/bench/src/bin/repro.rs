@@ -4,7 +4,7 @@
 //! repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR]
 //!       [--trace FILE]
 //!       [table1|fig2|fig3|claims|reduction|falseshare|stale|races|
-//!        flushpolicy|cachelimit|tree|profile|bench|all]
+//!        flushpolicy|cachelimit|tree|contention|profile|bench|all]
 //! ```
 //!
 //! With `--csv DIR`, the table/figure data is also written as CSV files
@@ -17,6 +17,13 @@
 //! the determinism tests pin this. The `bench` section (not part of
 //! `all`) times each section serially and on the pool and writes the
 //! wall-clock trajectory to `BENCH_sweep.json`.
+//!
+//! The `contention` section (also not part of `all`, so `all`'s output
+//! stays pinned) activates the CM-5 fat-tree link-contention model and
+//! sweeps link bandwidth across four benchmarks: messages serialize
+//! onto their routes and queue behind in-flight traffic, and the extra
+//! cycles land in the `net_contention` ledger category. With `--csv
+//! DIR` the grid is written to `contention.csv`.
 //!
 //! The `profile` section runs the cycle-attribution profiler on
 //! Stencil-dyn: a per-node cycle breakdown table (every simulated cycle
@@ -37,15 +44,19 @@ use lcm_apps::false_sharing::FalseSharing;
 use lcm_apps::independent::{run_with_flush, IndependentMap};
 use lcm_apps::nbody::{rms_error, run_nbody, NBody, NBodySystem};
 use lcm_apps::race::{detect_races, RaceKernel};
-use lcm_apps::reduction::{run_reduction, ArraySum, ReductionMethod};
+use lcm_apps::reduction::{run_reduction, ArraySum, ReductionMethod, ReductionSum};
 use lcm_apps::sensitivity::{sweep_nodes_jobs, sweep_remote_latency_jobs, SweepPoint};
 use lcm_apps::stale_data::{run_stale, StaleData, StaleSystem};
 use lcm_apps::stencil::Stencil;
 use lcm_apps::threshold::Threshold;
-use lcm_apps::{execute, execute_traced, execute_with_faults, RunResult, SystemKind, Workload};
+use lcm_apps::unstructured::Unstructured;
+use lcm_apps::{
+    execute, execute_traced, execute_with_cost, execute_with_faults, RunResult, SystemKind,
+    Workload,
+};
 use lcm_bench::{profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
 use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
-use lcm_sim::{CostModel, FaultConfig, MachineConfig, Stamped};
+use lcm_sim::{CostModel, CycleCat, FaultConfig, MachineConfig, Stamped};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -121,7 +132,7 @@ fn main() {
                 println!(
                     "repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR] \
                      [--faults RATE:SEED] [--trace FILE] \
-                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|profile|bench|all]"
+                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|contention|profile|bench|all]"
                 );
                 return;
             }
@@ -203,13 +214,28 @@ fn main() {
     } else {
         None
     };
+    // `contention` is deliberately not part of `all`: finite link
+    // bandwidth surfaces a new cycle category and changes every total,
+    // and `all`'s stdout and CSVs are pinned byte-identical across
+    // releases by the determinism tests.
+    let contention_csv = if what.iter().any(|w| w == "contention") {
+        Some(print_contention(scale, jobs))
+    } else {
+        None
+    };
     // `bench` is deliberately not part of `all`: it re-runs whole
     // sections twice (serially and on the pool) to measure wall-clock.
     if what.iter().any(|w| w == "bench") {
         run_bench(scale, jobs, csv_dir.as_deref());
     }
     if let Some(dir) = csv_dir {
-        if let Err(e) = write_all_csv(&dir, suite.as_ref(), faults_csv.as_deref(), &profile_csvs) {
+        if let Err(e) = write_all_csv(
+            &dir,
+            suite.as_ref(),
+            faults_csv.as_deref(),
+            &profile_csvs,
+            contention_csv.as_deref(),
+        ) {
             eprintln!("failed to write CSV files to {}: {e}", dir.display());
             std::process::exit(1);
         }
@@ -265,6 +291,7 @@ fn write_all_csv(
     suite: Option<&Suite>,
     faults_csv: Option<&str>,
     profile_csvs: &Option<(String, String)>,
+    contention_csv: Option<&str>,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     if let Some(suite) = suite {
@@ -276,6 +303,9 @@ fn write_all_csv(
     if let Some((profile, phases)) = profile_csvs {
         std::fs::write(dir.join("profile.csv"), profile)?;
         std::fs::write(dir.join("phases.csv"), phases)?;
+    }
+    if let Some(contention) = contention_csv {
+        std::fs::write(dir.join("contention.csv"), contention)?;
     }
     Ok(())
 }
@@ -484,6 +514,160 @@ fn sweep_faults<W>(
             .collect();
         println!("           msgs at max rate: {}", mix.join(" "));
     }
+}
+
+/// Swept link bandwidths in bytes/cycle; 0 means unlimited — the
+/// default (dormant) network model, and the baseline every slowdown in
+/// the section is measured against.
+const CONTENTION_BANDWIDTHS: [u64; 4] = [0, 64, 16, 4];
+
+/// The unstructured-mesh workload of the contention sweep.
+fn contention_unstructured(scale: Scale) -> Unstructured {
+    match scale {
+        Scale::Paper => Unstructured::paper(),
+        Scale::Medium => Unstructured {
+            iters: 100,
+            ..Unstructured::paper()
+        },
+        Scale::Smoke => Unstructured::small(),
+    }
+}
+
+/// One benchmark's `(system × bandwidth)` contention grid on the sweep
+/// engine; results come back in canonical [`SweepKey`] order.
+fn compute_contention_grid<W>(
+    name: &str,
+    scale: Scale,
+    nodes: usize,
+    w: &W,
+    jobs: usize,
+) -> Vec<(SweepKey, (W::Output, RunResult))>
+where
+    W: Workload + Sync,
+    W::Output: Send,
+{
+    let scale_label = scale.to_string();
+    let mut points = Vec::with_capacity(3 * CONTENTION_BANDWIDTHS.len());
+    for system in SystemKind::all() {
+        for &bw in &CONTENTION_BANDWIDTHS {
+            let key = SweepKey::new(name, system.label(), &scale_label).with_sensitivity(bw);
+            points.push((key, (system, bw)));
+        }
+    }
+    SweepEngine::new(jobs).run(points, |_, (system, bw)| {
+        let mut cost = CostModel::cm5();
+        cost.link_bandwidth_bytes_per_cycle = bw;
+        execute_with_cost(system, nodes, cost, RuntimeConfig::default(), w)
+    })
+}
+
+/// Prints one benchmark's bandwidth sweep and appends its CSV rows.
+fn sweep_contention<W>(name: &str, scale: Scale, nodes: usize, w: &W, jobs: usize, csv: &mut String)
+where
+    W: Workload + Sync,
+    W::Output: PartialEq + std::fmt::Debug + Send,
+{
+    println!("{name}:");
+    let runs = compute_contention_grid(name, scale, nodes, w, jobs);
+    let scale_label = scale.to_string();
+    let point = |system: SystemKind, bw: u64| {
+        let key = SweepKey::new(name, system.label(), &scale_label).with_sensitivity(bw);
+        runs.iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, run)| run)
+            .expect("every grid point was computed")
+    };
+    for system in SystemKind::all() {
+        let (base_out, base) = point(system, 0);
+        for &bw in &CONTENTION_BANDWIDTHS {
+            let (out, r) = point(system, bw);
+            assert_eq!(
+                base_out, out,
+                "{name}/{system}: contention changed the result at bandwidth {bw}"
+            );
+            let slowdown = r.time as f64 / base.time as f64;
+            let queued = r.ledger.totals()[CycleCat::NetContention.index()];
+            let bw_label = if bw == 0 {
+                "unlimited".to_string()
+            } else {
+                format!("{bw} B/cy")
+            };
+            println!(
+                "  {:<8} bw={:<10} {:>13} cycles ({:>5.2}x)  net_contention={}",
+                system.label(),
+                bw_label,
+                r.time,
+                slowdown,
+                queued
+            );
+            csv.push_str(&format!(
+                "{name},{},{bw},{},{slowdown:.4},{queued},{},{}\n",
+                system.label(),
+                r.time,
+                r.msgs_total(),
+                r.totals.bytes_sent,
+            ));
+        }
+    }
+    // Where the cycles went: the busiest links of the most contended
+    // baseline-system run.
+    let tightest = *CONTENTION_BANDWIDTHS
+        .iter()
+        .filter(|&&b| b > 0)
+        .min()
+        .expect("the sweep includes a finite bandwidth");
+    let (_, worst) = point(SystemKind::Stache, tightest);
+    let links = profile::hottest_links_table(worst, 5);
+    if !links.is_empty() {
+        println!("  hottest links (Stache at {tightest} B/cycle):");
+        print!("{links}");
+    }
+}
+
+/// The link-contention sweep: execution time vs fat-tree link bandwidth
+/// for all three systems on four benchmarks. Returns the CSV rows.
+fn print_contention(scale: Scale, jobs: usize) -> String {
+    println!("== Link contention: CM-5 fat-tree fabric, time vs link bandwidth ==");
+    println!("   finite bandwidth serializes each message onto its fat-tree route and");
+    println!("   queues it behind in-flight traffic (charged to the receiver as");
+    println!("   net_contention); bw=unlimited is the dormant default model and the");
+    println!("   per-system baseline");
+    let nodes = scale.nodes();
+    let mut csv = String::from(
+        "benchmark,system,bandwidth_bytes_per_cycle,cycles,slowdown,net_contention_cycles,msgs,bytes\n",
+    );
+    sweep_contention(
+        "Reduction",
+        scale,
+        nodes,
+        &ReductionSum(reduction_worksize(scale)),
+        jobs,
+        &mut csv,
+    );
+    let fs = if matches!(scale, Scale::Smoke) {
+        FalseSharing::small()
+    } else {
+        FalseSharing::default_size()
+    };
+    sweep_contention("FalseShare", scale, fs.writers, &fs, jobs, &mut csv);
+    sweep_contention(
+        "Unstructured",
+        scale,
+        nodes,
+        &contention_unstructured(scale),
+        jobs,
+        &mut csv,
+    );
+    sweep_contention(
+        "Stencil-dyn",
+        scale,
+        nodes,
+        &fault_stencil(scale),
+        jobs,
+        &mut csv,
+    );
+    println!();
+    csv
 }
 
 /// The cycle-attribution profile: Stencil-dyn on all three systems with
@@ -1053,6 +1237,17 @@ fn run_bench(scale: Scale, jobs: usize, csv_dir: Option<&std::path::Path>) {
             "sweep point x={} diverged",
             a.x
         );
+    }
+
+    let red = ReductionSum(reduction_worksize(scale));
+    let (serial_cont, pooled_cont) = report.time_section(
+        "contention",
+        || compute_contention_grid("Reduction", scale, nodes, &red, 1),
+        || compute_contention_grid("Reduction", scale, nodes, &red, jobs),
+    );
+    for ((k1, (_, r1)), (k2, (_, r2))) in serial_cont.iter().zip(&pooled_cont) {
+        assert_eq!(k1, k2, "contention grids assemble in one canonical order");
+        assert_eq!(r1.digest(), r2.digest(), "contention point {k1:?} diverged");
     }
 
     report.time_section(

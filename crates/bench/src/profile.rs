@@ -19,9 +19,21 @@
 use lcm_apps::RunResult;
 use lcm_sim::mem::BlockId;
 use lcm_sim::trace::Event;
-use lcm_sim::{CostModel, CycleCat, NodeId, Stamped};
+use lcm_sim::{CostModel, CycleCat, LinkUtil, NodeId, Stamped};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+
+/// The cycle categories a run actually exercises: every category, minus
+/// `net_contention` when the run charged nothing to it (the category is
+/// new with the contention-aware network model and stays zero under the
+/// default unlimited bandwidth). Filtering keeps the breakdown table and
+/// `profile.csv` byte-identical for runs that predate the model.
+fn visible_cats(r: &RunResult) -> Vec<CycleCat> {
+    CycleCat::all()
+        .into_iter()
+        .filter(|&cat| cat != CycleCat::NetContention || r.ledger.totals()[cat.index()] > 0)
+        .collect()
+}
 
 /// Renders a captured event stream as Chrome trace-event JSON.
 ///
@@ -31,6 +43,20 @@ use std::fmt::Write as _;
 /// format's microsecond timestamps, so one displayed microsecond is one
 /// simulated cycle.
 pub fn chrome_trace_json(events: &[Stamped], nodes: usize) -> String {
+    chrome_trace_json_with_links(events, nodes, &[])
+}
+
+/// [`chrome_trace_json`] plus the fabric's per-link utilization
+/// (harvested in [`RunResult::links`] when the contention-aware network
+/// model is active). Links land on a synthetic "fabric" track with pid
+/// `nodes + 1`, one instant per link at ts 0 carrying the message
+/// count, busy (serialization) cycles, and queue cycles as args. With
+/// `links` empty the output is byte-identical to [`chrome_trace_json`].
+pub fn chrome_trace_json_with_links(
+    events: &[Stamped],
+    nodes: usize,
+    links: &[LinkUtil],
+) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     let push = |out: &mut String, first: &mut bool, ev: String| {
@@ -54,6 +80,29 @@ pub fn chrome_trace_json(events: &[Stamped], nodes: usize) -> String {
                  \"args\":{{\"name\":\"{name}\"}}}}"
             ),
         );
+    }
+    if !links.is_empty() {
+        let fabric = nodes + 1;
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{fabric},\"tid\":0,\
+                 \"args\":{{\"name\":\"fabric\"}}}}"
+            ),
+        );
+        for l in links {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":{fabric},\"tid\":0,\
+                     \"ts\":0,\"s\":\"p\",\"args\":{{\"msgs\":{},\"busy_cycles\":{},\
+                     \"queue_cycles\":{}}}}}",
+                    l.label, l.msgs, l.busy_cycles, l.queue_cycles
+                ),
+            );
+        }
     }
     // Open spans, keyed by (node, label, block); values are begin cycles.
     // Nested spans of the same key close innermost-first.
@@ -137,23 +186,24 @@ pub fn chrome_trace_json(events: &[Stamped], nodes: usize) -> String {
 /// [`CycleCat`], plus per-node totals (which the conservation invariant
 /// guarantees equal the node clocks) and a machine-wide footer.
 pub fn cycle_breakdown_table(r: &RunResult) -> String {
+    let cats = visible_cats(r);
     let mut out = String::new();
     let _ = write!(out, "{:<6}", "node");
-    for cat in CycleCat::all() {
+    for cat in &cats {
         let _ = write!(out, " {:>18}", cat.label());
     }
     let _ = writeln!(out, " {:>16}", "total");
     for n in 0..r.ledger.nodes() {
         let node = NodeId(n as u16);
         let _ = write!(out, "{n:<6}");
-        for cat in CycleCat::all() {
-            let _ = write!(out, " {:>18}", r.ledger.get(node, cat));
+        for cat in &cats {
+            let _ = write!(out, " {:>18}", r.ledger.get(node, *cat));
         }
         let _ = writeln!(out, " {:>16}", r.ledger.node_total(node));
     }
     let totals = r.ledger.totals();
     let _ = write!(out, "{:<6}", "all");
-    for cat in CycleCat::all() {
+    for cat in &cats {
         let _ = write!(out, " {:>18}", totals[cat.index()]);
     }
     let sum: u64 = totals.iter().sum();
@@ -207,8 +257,35 @@ pub fn message_histogram(r: &RunResult) -> String {
     out
 }
 
+/// The fabric links with the most occupied (serialization + queueing)
+/// cycles, hottest first: up to `n` rows of
+/// `label  msgs  busy  queue  occupied`. Empty when the run carried no
+/// link utilization — i.e. whenever the contention-aware network model
+/// was off.
+pub fn hottest_links_table(r: &RunResult, n: usize) -> String {
+    let mut links: Vec<&LinkUtil> = r.links.iter().collect();
+    links.sort_by(|a, b| {
+        (b.busy_cycles + b.queue_cycles, &a.label).cmp(&(a.busy_cycles + a.queue_cycles, &b.label))
+    });
+    links.truncate(n);
+    let mut out = String::new();
+    for l in links {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>10} msgs {:>12} busy {:>12} queued {:>14} occupied",
+            l.label,
+            l.msgs,
+            l.busy_cycles,
+            l.queue_cycles,
+            l.busy_cycles + l.queue_cycles
+        );
+    }
+    out
+}
+
 /// The text profile report for one run: cycle breakdown, hottest blocks,
-/// message histogram, and the trace-completeness note.
+/// message histogram, hottest fabric links (when the contention model
+/// ran), and the trace-completeness note.
 pub fn profile_report(r: &RunResult, events: &[Stamped], cost: &CostModel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "per-node cycle breakdown ({}):", r.system.label());
@@ -224,6 +301,11 @@ pub fn profile_report(r: &RunResult, events: &[Stamped], cost: &CostModel) -> St
     if !hist.is_empty() {
         let _ = writeln!(out, "messages by kind:");
         out.push_str(&hist);
+    }
+    let links = hottest_links_table(r, 10);
+    if !links.is_empty() {
+        let _ = writeln!(out, "hottest fabric links:");
+        out.push_str(&links);
     }
     let _ = writeln!(
         out,
@@ -244,14 +326,15 @@ pub fn profile_report(r: &RunResult, events: &[Stamped], cost: &CostModel) -> St
 pub fn profile_csv(entries: &[(&str, &RunResult)]) -> String {
     let mut csv = String::from("program,system,node,category,cycles\n");
     for (program, r) in entries {
+        let cats = visible_cats(r);
         for n in 0..r.ledger.nodes() {
-            for cat in CycleCat::all() {
+            for cat in &cats {
                 let _ = writeln!(
                     csv,
                     "{program},{},{n},{},{}",
                     r.system.label(),
                     cat.label(),
-                    r.ledger.get(NodeId(n as u16), cat)
+                    r.ledger.get(NodeId(n as u16), *cat)
                 );
             }
         }
@@ -438,7 +521,10 @@ mod tests {
         let (r, _) = traced_run(SystemKind::Stache);
         let profile = profile_csv(&[("Stencil-16", &r)]);
         let rows = profile.lines().count() - 1;
-        assert_eq!(rows, 4 * CycleCat::COUNT, "4 nodes x categories");
+        // An unlimited-bandwidth run omits the (all-zero) net_contention
+        // column, keeping the CSV identical to pre-contention output.
+        assert_eq!(rows, 4 * (CycleCat::COUNT - 1), "4 nodes x categories");
+        assert!(!profile.contains("net_contention"));
         assert!(profile.starts_with("program,system,node,category,cycles\n"));
 
         let phases = phases_csv(&[("Stencil-16", &r)]);
@@ -460,6 +546,52 @@ mod tests {
         assert!(report.contains("per-node cycle breakdown"));
         assert!(report.contains("hottest blocks"));
         assert!(report.contains("messages by kind"));
+        assert!(!report.contains("hottest fabric links"), "model was off");
         assert!(report.contains("0 dropped"));
+    }
+
+    fn contended_run() -> RunResult {
+        let w = Stencil {
+            rows: 16,
+            cols: 16,
+            iters: 2,
+            partition: Partition::Dynamic,
+        };
+        let mut cost = CostModel::cm5();
+        cost.link_bandwidth_bytes_per_cycle = 2;
+        let (_, r) =
+            lcm_apps::execute_with_cost(SystemKind::Stache, 4, cost, RuntimeConfig::default(), &w);
+        r
+    }
+
+    #[test]
+    fn contended_runs_surface_links_and_the_new_category() {
+        let r = contended_run();
+        assert!(!r.links.is_empty(), "finite bandwidth populates links");
+        let table = cycle_breakdown_table(&r);
+        assert!(table.contains("net_contention"), "column appears when hot");
+        let csv = profile_csv(&[("Stencil-16", &r)]);
+        assert_eq!(csv.lines().count() - 1, 4 * CycleCat::COUNT);
+        assert!(csv.contains(",net_contention,"));
+        let links = hottest_links_table(&r, 3);
+        assert_eq!(links.lines().count(), 3, "truncated to n");
+        assert!(links.contains("occupied"));
+        let report = profile_report(&r, &[], &CostModel::cm5());
+        assert!(report.contains("hottest fabric links:"));
+    }
+
+    #[test]
+    fn link_utilization_rides_a_fabric_trace_track() {
+        let r = contended_run();
+        let json = chrome_trace_json_with_links(&[], 4, &r.links);
+        check_json(&json);
+        assert!(json.contains("\"name\":\"fabric\""));
+        assert!(json.contains("queue_cycles"));
+        // With no links the wrapper is exactly the plain exporter, so
+        // existing traces stay byte-identical.
+        assert_eq!(
+            chrome_trace_json_with_links(&[], 4, &[]),
+            chrome_trace_json(&[], 4)
+        );
     }
 }

@@ -21,7 +21,12 @@
 //! * **cycle-ledger conservation** — on every node the per-category
 //!   cycle attributions ([`lcm_sim::CycleLedger`]) sum exactly to the
 //!   node's clock, so the profiler's breakdown accounts for every
-//!   simulated cycle.
+//!   simulated cycle. Because the check ranges over *all* categories,
+//!   cycles charged by the contention-aware network model
+//!   (`net_contention`, nonzero only under finite link bandwidth) are
+//!   covered by construction: a transfer that queued on a fat-tree
+//!   link but failed to advance the receiver's clock — or vice versa —
+//!   breaks the sum.
 
 use crate::protocol::MemoryProtocol;
 use std::fmt;

@@ -61,6 +61,26 @@ pub struct CostModel {
     /// payload on top. Feeds the `bytes_sent`/`bytes_recv` traffic
     /// counters, not the clocks.
     pub msg_header_bytes: u64,
+    /// Bytes per cycle a leaf network link moves; fat-tree links at
+    /// level `l` are `2^(l-1)`× wider (see [`crate::topology`]).
+    /// **0 means unlimited bandwidth**: no contention fabric is built
+    /// and message delivery charges only the flat per-message costs
+    /// above — byte-identical to the pre-contention model. This is the
+    /// default in every built-in model.
+    pub link_bandwidth_bytes_per_cycle: u64,
+    /// Fixed handling cycles a node's network interface spends per
+    /// message it injects or drains (LogP-style occupancy), on top of
+    /// moving the bytes at width-1 link rate: an NI is a contention
+    /// point even when the fabric path is idle. Dormant while
+    /// `link_bandwidth_bytes_per_cycle == 0`.
+    pub ni_occupancy: u64,
+    /// Upper bound (in cycles) on the serialization backlog any single
+    /// message can observe at one link when computing queueing delay.
+    /// Backlog drains as message timestamps advance, but a hotspot can
+    /// accumulate faster than it drains; the window bounds the
+    /// worst-case wait charged per hop. Dormant while
+    /// `link_bandwidth_bytes_per_cycle == 0`.
+    pub contention_window: u64,
 }
 
 impl CostModel {
@@ -91,6 +111,14 @@ impl CostModel {
             retry_timeout: 6000,
             // A CM-5 active-message-style envelope: src/dst/kind/address.
             msg_header_bytes: 16,
+            // Unlimited by default: today's flat per-message charges,
+            // byte for byte. Sweeps enable contention by setting a
+            // finite bandwidth; the NI occupancy and window below then
+            // take effect (and are shaped for a ~25-cycle injection
+            // overhead and a backlog horizon of two retry timeouts).
+            link_bandwidth_bytes_per_cycle: 0,
+            ni_occupancy: 25,
+            contention_window: 12_000,
         }
     }
 
@@ -114,6 +142,9 @@ impl CostModel {
             upgrade: 1,
             retry_timeout: 1,
             msg_header_bytes: 1,
+            link_bandwidth_bytes_per_cycle: 0,
+            ni_occupancy: 0,
+            contention_window: 0,
         }
     }
 
@@ -136,13 +167,19 @@ impl CostModel {
             upgrade: 0,
             retry_timeout: 0,
             msg_header_bytes: 0,
+            link_bandwidth_bytes_per_cycle: 0,
+            ni_occupancy: 0,
+            contention_window: 0,
         }
     }
 
-    /// Total barrier cost for a machine of `nodes` processors.
+    /// Total barrier cost for a machine of `nodes` processors: the base
+    /// plus one per-level charge for each of the combining tree's
+    /// `ceil(log2(nodes))` levels. A tree over 3 leaves needs 2 levels,
+    /// same as one over 4 — non-power-of-two machines round *up*.
     pub fn barrier_cost(&self, nodes: usize) -> u64 {
-        let levels = usize::BITS - nodes.max(1).leading_zeros() - 1; // floor(log2)
-        self.barrier_base + self.barrier_per_level * levels as u64
+        let levels = usize::BITS - (nodes.max(1) - 1).leading_zeros(); // ceil(log2)
+        self.barrier_base + self.barrier_per_level * u64::from(levels)
     }
 }
 
@@ -184,11 +221,38 @@ mod tests {
         assert_eq!(b1, c.barrier_base);
         assert_eq!(b2, c.barrier_base + c.barrier_per_level);
         assert_eq!(b32, c.barrier_base + 5 * c.barrier_per_level);
+        // Non-power-of-two machines round the combining tree *up*: a
+        // tree over 3 leaves needs 2 levels (floor(log2) undercounted
+        // this as 1), over 5 leaves 3, and crossing a power of two adds
+        // exactly one level.
+        assert_eq!(c.barrier_cost(3), c.barrier_base + 2 * c.barrier_per_level);
+        assert_eq!(c.barrier_cost(4), c.barrier_cost(3), "3 and 4 leaves tie");
+        assert_eq!(c.barrier_cost(5), c.barrier_base + 3 * c.barrier_per_level);
+        assert_eq!(
+            c.barrier_cost(17),
+            c.barrier_base + 5 * c.barrier_per_level,
+            "17 leaves need the same 5-level tree as 32"
+        );
+        assert_eq!(
+            c.barrier_cost(33),
+            c.barrier_base + 6 * c.barrier_per_level,
+            "one leaf past 32 adds a level"
+        );
     }
 
     #[test]
     fn unit_and_free_models() {
         assert_eq!(CostModel::unit().remote_miss, 1);
         assert_eq!(CostModel::free().barrier_cost(32), 0);
+    }
+
+    #[test]
+    fn contention_is_off_in_every_builtin_model() {
+        for c in [CostModel::cm5(), CostModel::unit(), CostModel::free()] {
+            assert_eq!(
+                c.link_bandwidth_bytes_per_cycle, 0,
+                "built-in models must reproduce the flat-cost network"
+            );
+        }
     }
 }

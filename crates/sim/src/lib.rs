@@ -43,14 +43,16 @@ pub mod par;
 pub mod profile;
 pub mod rng;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 
 pub use cost::CostModel;
 pub use fault::{DeliveryError, FaultConfig, FaultOutcome, FaultPlan};
-pub use machine::{Machine, MachineConfig, NodeId};
+pub use machine::{Machine, MachineConfig, NodeId, MAX_NODES};
 pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};
 pub use par::{available_jobs, par_map};
 pub use profile::{CycleCat, CycleLedger, PhaseSnapshot};
 pub use rng::Pcg32;
 pub use stats::NodeStats;
+pub use topology::{Fabric, LinkUtil, Topology};
 pub use trace::{Event, Stamped, Trace, TraceSummary};

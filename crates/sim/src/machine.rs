@@ -17,8 +17,15 @@ use crate::cost::CostModel;
 use crate::fault::{FaultConfig, FaultPlan};
 use crate::profile::{CycleCat, CycleLedger, PhaseSnapshot};
 use crate::stats::NodeStats;
+use crate::topology::{Fabric, LinkUtil, Topology};
 use crate::trace::{Event, Trace};
 use std::fmt;
+
+/// Maximum machine size. Directory sharer sets throughout the protocol
+/// stack are single-word 64-bit masks (`lcm_stache::SharerSet`); a
+/// larger machine would silently alias sharers, so construction rejects
+/// it outright.
+pub const MAX_NODES: usize = 64;
 
 /// Identifier of a processing node (`0..nodes`).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -55,6 +62,10 @@ pub struct MachineConfig {
     pub trace_capacity: usize,
     /// Network fault injection; the default is a reliable network.
     pub faults: FaultConfig,
+    /// Network topology for the link-contention model. Only consulted
+    /// when the cost model sets a finite link bandwidth; the default is
+    /// the CM-5's 4-ary fat tree.
+    pub topology: Topology,
 }
 
 impl MachineConfig {
@@ -62,14 +73,22 @@ impl MachineConfig {
     /// cost model and tracing disabled.
     ///
     /// # Panics
-    /// Panics if `nodes == 0`.
+    /// Panics if `nodes == 0` or `nodes > `[`MAX_NODES`] (directory
+    /// sharer sets are 64-bit masks; an oversized machine would
+    /// silently alias sharers).
     pub fn new(nodes: usize) -> MachineConfig {
         assert!(nodes > 0, "a machine needs at least one node");
+        assert!(
+            nodes <= MAX_NODES,
+            "a machine of {nodes} nodes exceeds the {MAX_NODES}-node limit \
+             (directory sharer sets are single-word 64-bit masks)"
+        );
         MachineConfig {
             nodes,
             cost: CostModel::default(),
             trace_capacity: 0,
             faults: FaultConfig::default(),
+            topology: Topology::default(),
         }
     }
 
@@ -88,6 +107,13 @@ impl MachineConfig {
     /// Enables deterministic network fault injection.
     pub fn with_faults(mut self, faults: FaultConfig) -> MachineConfig {
         self.faults = faults;
+        self
+    }
+
+    /// Replaces the network topology (effective only under a finite
+    /// link bandwidth).
+    pub fn with_topology(mut self, topology: Topology) -> MachineConfig {
+        self.topology = topology;
         self
     }
 }
@@ -112,6 +138,10 @@ pub struct Machine {
     phases: Vec<PhaseSnapshot>,
     barriers: u64,
     faults: FaultPlan,
+    /// Link-contention state; `None` under unlimited bandwidth (the
+    /// default), in which case delivery charges are byte-identical to
+    /// the flat per-message model.
+    fabric: Option<Fabric>,
 }
 
 impl Machine {
@@ -122,6 +152,11 @@ impl Machine {
         } else {
             Trace::disabled()
         };
+        let fabric = if config.cost.link_bandwidth_bytes_per_cycle > 0 {
+            Some(Fabric::new(config.topology, config.nodes, &config.cost))
+        } else {
+            None
+        };
         Machine {
             cost: config.cost,
             clocks: vec![0; config.nodes],
@@ -131,6 +166,7 @@ impl Machine {
             phases: Vec::new(),
             barriers: 0,
             faults: FaultPlan::new(config.faults),
+            fabric,
         }
     }
 
@@ -250,6 +286,43 @@ impl Machine {
         total
     }
 
+    /// Routes one delivered `bytes`-sized message `from -> to` through
+    /// the contention fabric, charging the queueing and serialization
+    /// delay to the *receiving* node under
+    /// [`CycleCat::NetContention`]. The message enters the network at
+    /// the sender's current clock. A no-op (zero state touched, zero
+    /// cycles charged) while the cost model's link bandwidth is
+    /// unlimited — the default — so the flat-cost network is
+    /// reproduced byte for byte.
+    ///
+    /// Delivery layers call this once per message that actually crosses
+    /// the wire; lost attempts die before serialization and never
+    /// reserve links.
+    pub fn network_transfer(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        let Some(fabric) = &mut self.fabric else {
+            return;
+        };
+        let now = self.clocks[from.index()];
+        let (queue, ser) = fabric.transfer(from, to, bytes, now);
+        let extra = queue + ser;
+        if extra > 0 {
+            self.advance_as(to, extra, CycleCat::NetContention);
+        }
+    }
+
+    /// True when the link-contention model is active (finite bandwidth).
+    pub fn contention_enabled(&self) -> bool {
+        self.fabric.is_some()
+    }
+
+    /// Per-link utilization of the contention fabric: links that saw
+    /// traffic only, in table order. Empty while contention is disabled.
+    pub fn link_utilization(&self) -> Vec<LinkUtil> {
+        self.fabric
+            .as_ref()
+            .map_or_else(Vec::new, Fabric::utilization)
+    }
+
     /// The fault plan in force (inactive by default).
     #[inline]
     pub fn faults(&self) -> &FaultPlan {
@@ -330,6 +403,9 @@ impl Machine {
         self.ledger.clear();
         self.phases.clear();
         self.trace.clear();
+        if let Some(fabric) = &mut self.fabric {
+            fabric.reset();
+        }
     }
 }
 
@@ -349,6 +425,49 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         MachineConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 64-node limit")]
+    fn oversized_machines_are_rejected_not_aliased() {
+        // Regression: sharer sets are 64-bit masks; a 65-node machine
+        // used to construct fine and silently alias node 64 onto the
+        // mask arithmetic downstream.
+        MachineConfig::new(MAX_NODES + 1);
+    }
+
+    #[test]
+    fn the_full_64_node_machine_still_constructs() {
+        let m = Machine::new(MachineConfig::new(MAX_NODES));
+        assert_eq!(m.nodes(), 64);
+    }
+
+    #[test]
+    fn network_transfer_is_a_noop_under_unlimited_bandwidth() {
+        let mut m = Machine::new(MachineConfig::new(4));
+        assert!(!m.contention_enabled());
+        m.network_transfer(NodeId(0), NodeId(1), 48);
+        assert_eq!(m.time(), 0, "no cycles charged");
+        assert!(m.link_utilization().is_empty());
+        m.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn network_transfer_charges_the_receiver_under_net_contention() {
+        let mut cost = CostModel::cm5();
+        cost.link_bandwidth_bytes_per_cycle = 4;
+        cost.ni_occupancy = 10;
+        let mut m = Machine::new(MachineConfig::new(4).with_cost(cost));
+        assert!(m.contention_enabled());
+        m.network_transfer(NodeId(0), NodeId(1), 48);
+        let charged = m.clock(NodeId(1));
+        assert!(charged > 0, "serialization lands on the receiver");
+        assert_eq!(m.ledger().get(NodeId(1), CycleCat::NetContention), charged);
+        assert_eq!(m.clock(NodeId(0)), 0, "sender clock untouched");
+        assert!(!m.link_utilization().is_empty());
+        m.verify_ledger().expect("contention cycles are ledgered");
+        m.reset_measurements();
+        assert!(m.link_utilization().is_empty(), "reset clears the fabric");
     }
 
     #[test]

@@ -47,11 +47,16 @@ pub enum CycleCat {
     /// Retransmission timeouts, exponential backoff, wasted sends and
     /// injected stalls from the fault layer. Zero on a reliable network.
     RetryBackoff,
+    /// Serialization onto and queueing behind finite network links
+    /// (fat-tree fabric hops plus NI occupancy; see
+    /// [`crate::topology`]). Zero while the cost model's link bandwidth
+    /// is unlimited — the default.
+    NetContention,
 }
 
 impl CycleCat {
     /// Number of categories.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// All categories, in display order.
     pub fn all() -> [CycleCat; CycleCat::COUNT] {
@@ -66,6 +71,7 @@ impl CycleCat {
             CycleCat::BarrierWait,
             CycleCat::FlushReconcile,
             CycleCat::RetryBackoff,
+            CycleCat::NetContention,
         ]
     }
 
@@ -83,6 +89,7 @@ impl CycleCat {
             CycleCat::BarrierWait => 7,
             CycleCat::FlushReconcile => 8,
             CycleCat::RetryBackoff => 9,
+            CycleCat::NetContention => 10,
         }
     }
 
@@ -99,6 +106,7 @@ impl CycleCat {
             CycleCat::BarrierWait => "barrier_wait",
             CycleCat::FlushReconcile => "flush_reconcile",
             CycleCat::RetryBackoff => "retry_backoff",
+            CycleCat::NetContention => "net_contention",
         }
     }
 }

@@ -1,0 +1,528 @@
+//! Network topology and the link-contention model.
+//!
+//! The paper's numbers come from a real CM-5, whose data network is a
+//! 4-ary fat tree: processors sit at the leaves, link bandwidth doubles
+//! at each level toward the roots, and messages climb to the lowest
+//! common ancestor of source and destination before descending. Under
+//! load, latency on that fabric grows — messages serialize onto finite
+//! links and queue behind traffic already in flight — which is exactly
+//! the regime hotspot-heavy benchmarks (reductions, invalidation
+//! storms) exercise.
+//!
+//! This module adds that regime to the simulation:
+//!
+//! * a [`Topology`] maps node pairs onto a path of links —
+//!   [`Topology::FatTree`] (CM-5-shaped, the default), plus
+//!   [`Topology::Crossbar`] and [`Topology::Flat`] ablation variants;
+//! * a [`Fabric`] tracks per-link occupancy as a *backlog*: cycles of
+//!   serialization work accepted but not yet drained. A message pays
+//!   *serialization* — `bytes / link_bandwidth`, once, at its narrowest
+//!   (most serialized) hop, wormhole style — plus *queueing*: at each
+//!   hop it waits out the link's current backlog, then deposits its own
+//!   serialization onto it. Each node's network interface is a pair of
+//!   pseudo-links (tx/rx) paying `bytes / bandwidth` at width 1 plus a
+//!   fixed [`CostModel::ni_occupancy`] handling charge per message, so
+//!   an NI is a contention point even on an otherwise uncontended path.
+//!
+//! The model is **off by default**: with
+//! [`CostModel::link_bandwidth_bytes_per_cycle`] `== 0` (unlimited
+//! bandwidth, the [`CostModel::cm5`] default) no [`Fabric`] is built,
+//! no cycles are charged, and delivery costs are byte-identical to the
+//! flat per-message model. When enabled, contention cycles are charged
+//! to the receiving node under [`crate::CycleCat::NetContention`], so
+//! the ledger conservation invariant covers them by construction.
+//!
+//! Node clocks are only loosely synchronized (they drift apart between
+//! barriers), so timestamps from different nodes are not directly
+//! comparable. The backlog formulation is robust to that skew: a link
+//! drains `t_new - t_last` cycles of backlog whenever a message carries
+//! a *later* timestamp than the last one seen, and a message whose
+//! clock lags simply neither drains nor pays for the skew — it queues
+//! behind the accumulated serialization work only. The
+//! [`CostModel::contention_window`] additionally caps the backlog any
+//! single message can observe at one hop, bounding worst-case queueing.
+
+use crate::cost::CostModel;
+use crate::machine::NodeId;
+use std::fmt;
+
+/// Longest possible route: NI-tx + up/down a binary tree over 64 nodes
+/// (6 levels each way) + NI-rx.
+const MAX_PATH: usize = 14;
+
+/// How node pairs map onto network links.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// A CM-5-style fat tree of the given arity: leaves are nodes,
+    /// groups of `arity` share an up-link, and link width doubles per
+    /// level toward the root. The CM-5's data network is 4-ary.
+    FatTree {
+        /// Children per internal switch (≥ 2).
+        arity: usize,
+    },
+    /// A dedicated link per ordered node pair: contention arises only
+    /// at the network interfaces. The "infinite fabric" ablation.
+    Crossbar,
+    /// One shared bus carrying all traffic. The "no fabric" ablation —
+    /// an upper bound on contention.
+    Flat,
+}
+
+impl Default for Topology {
+    /// The CM-5's 4-ary fat tree.
+    fn default() -> Topology {
+        Topology::FatTree { arity: 4 }
+    }
+}
+
+impl Topology {
+    /// Short stable label (used in sweep CSVs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Topology::FatTree { .. } => "fat-tree",
+            Topology::Crossbar => "crossbar",
+            Topology::Flat => "flat",
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::FatTree { arity } => write!(f, "fat-tree/{arity}"),
+            Topology::Crossbar => f.write_str("crossbar"),
+            Topology::Flat => f.write_str("flat"),
+        }
+    }
+}
+
+/// Utilization of one link, harvested into run results and reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkUtil {
+    /// Human-readable link name (e.g. `"fabric L1 g3"`, `"ni-tx n0"`).
+    pub label: String,
+    /// Messages that crossed the link.
+    pub msgs: u64,
+    /// Cycles the link spent serializing those messages.
+    pub busy_cycles: u64,
+    /// Cycles messages spent queued behind this link's reservations.
+    pub queue_cycles: u64,
+}
+
+/// One link's backlog state and counters.
+#[derive(Clone, Debug)]
+struct Link {
+    label: String,
+    /// Serialization width multiplier; 0 marks an NI pseudo-link
+    /// (width-1 byte rate plus the fixed `ni_occupancy` per message).
+    width: u64,
+    /// Undrained serialization work, in cycles.
+    backlog: u64,
+    /// Latest message timestamp seen; backlog drains by the timestamp
+    /// advance between consecutive messages.
+    last_seen: u64,
+    msgs: u64,
+    busy_cycles: u64,
+    queue_cycles: u64,
+}
+
+impl Link {
+    fn new(label: String, width: u64) -> Link {
+        Link {
+            label,
+            width,
+            backlog: 0,
+            last_seen: 0,
+            msgs: 0,
+            busy_cycles: 0,
+            queue_cycles: 0,
+        }
+    }
+}
+
+/// The contention-tracking network fabric of one simulated machine.
+///
+/// Built only when the cost model sets a finite link bandwidth; see the
+/// module docs for the charging model.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    topo: Topology,
+    nodes: usize,
+    bandwidth: u64,
+    ni_occupancy: u64,
+    window: u64,
+    /// Fat-tree levels (0 for a single-node machine).
+    levels: u32,
+    /// Fabric-link index offset per fat-tree level (1-based levels).
+    level_offsets: Vec<usize>,
+    links: Vec<Link>,
+}
+
+impl Fabric {
+    /// Builds the link table for `nodes` under `topo`, with serialization
+    /// knobs taken from `cost`.
+    ///
+    /// # Panics
+    /// Panics if `cost.link_bandwidth_bytes_per_cycle == 0` (an unlimited
+    /// fabric has no reason to exist) or a fat-tree arity is < 2.
+    pub fn new(topo: Topology, nodes: usize, cost: &CostModel) -> Fabric {
+        assert!(
+            cost.link_bandwidth_bytes_per_cycle > 0,
+            "a contention fabric needs a finite link bandwidth"
+        );
+        // NI pseudo-links first: tx then rx per node.
+        let mut links = Vec::new();
+        for n in 0..nodes {
+            links.push(Link::new(format!("ni-tx n{n}"), 0));
+            links.push(Link::new(format!("ni-rx n{n}"), 0));
+        }
+        let mut levels = 0u32;
+        let mut level_offsets = vec![0];
+        match topo {
+            Topology::FatTree { arity } => {
+                assert!(arity >= 2, "a fat tree needs arity >= 2");
+                // Smallest L with arity^L >= nodes.
+                let mut span = 1usize;
+                while span < nodes {
+                    span = span.saturating_mul(arity);
+                    levels += 1;
+                }
+                // Link (l, g) joins child group g (a level-(l-1) group)
+                // to its level-l parent; width doubles per level.
+                let mut child_groups = nodes;
+                for l in 1..=levels {
+                    level_offsets.push(links.len());
+                    for c in 0..child_groups {
+                        links.push(Link::new(format!("fabric L{l} g{c}"), 1 << (l - 1)));
+                    }
+                    child_groups = child_groups.div_ceil(arity);
+                }
+            }
+            Topology::Crossbar => {
+                level_offsets.push(links.len());
+                for a in 0..nodes {
+                    for b in 0..nodes {
+                        links.push(Link::new(format!("xbar n{a}->n{b}"), 1));
+                    }
+                }
+            }
+            Topology::Flat => {
+                level_offsets.push(links.len());
+                links.push(Link::new("bus".to_string(), 1));
+            }
+        }
+        Fabric {
+            topo,
+            nodes,
+            bandwidth: cost.link_bandwidth_bytes_per_cycle,
+            ni_occupancy: cost.ni_occupancy,
+            window: cost.contention_window,
+            levels,
+            level_offsets,
+            links,
+        }
+    }
+
+    /// The topology this fabric implements.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Fat-tree levels (0 for single-node machines and flat variants).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total links in the table (NI pseudo-links included).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Writes the link indices of the `from -> to` route into `path`,
+    /// returning how many were written. NI-tx first, fabric hops, NI-rx
+    /// last.
+    fn route(&self, from: NodeId, to: NodeId, path: &mut [usize; MAX_PATH]) -> usize {
+        let (a, b) = (from.index(), to.index());
+        let mut n = 0;
+        path[n] = 2 * a; // ni-tx
+        n += 1;
+        match self.topo {
+            Topology::FatTree { arity } => {
+                // Lowest common level: smallest l with equal level-l groups.
+                let (mut ga, mut gb) = (a, b);
+                let mut h = 0u32;
+                while ga != gb {
+                    ga /= arity;
+                    gb /= arity;
+                    h += 1;
+                }
+                // Up from a, then down to b. The level-l link of node x
+                // is (l, x / arity^(l-1)).
+                let mut g = a;
+                for l in 1..=h {
+                    path[n] = self.level_offsets[l as usize] + g;
+                    n += 1;
+                    g /= arity;
+                }
+                let mut down = [0usize; MAX_PATH];
+                let mut dn = 0;
+                let mut g = b;
+                for l in 1..=h {
+                    down[dn] = self.level_offsets[l as usize] + g;
+                    dn += 1;
+                    g /= arity;
+                }
+                for i in (0..dn).rev() {
+                    path[n] = down[i];
+                    n += 1;
+                }
+            }
+            Topology::Crossbar => {
+                path[n] = self.level_offsets[1] + a * self.nodes + b;
+                n += 1;
+            }
+            Topology::Flat => {
+                path[n] = self.level_offsets[1];
+                n += 1;
+            }
+        }
+        path[n] = 2 * b + 1; // ni-rx
+        n + 1
+    }
+
+    /// Cycles `bytes` occupy link `li`.
+    fn serialization(&self, li: usize, bytes: u64) -> u64 {
+        let width = self.links[li].width;
+        if width == 0 {
+            // NI pseudo-link: width-1 injection rate plus the fixed
+            // per-message handling charge.
+            self.ni_occupancy + bytes.div_ceil(self.bandwidth)
+        } else {
+            bytes.div_ceil(self.bandwidth * width)
+        }
+    }
+
+    /// Routes one `bytes`-sized message `from -> to` entering the
+    /// network at cycle `now`, depositing serialization work onto every
+    /// link on the path. Returns `(queue_cycles, serialization_cycles)`:
+    /// the backlog waited out, summed over hops, and the single largest
+    /// per-hop serialization (wormhole pipelining counts the narrowest
+    /// hop once, not the sum).
+    pub fn transfer(&mut self, from: NodeId, to: NodeId, bytes: u64, now: u64) -> (u64, u64) {
+        debug_assert_ne!(from, to, "self-sends never enter the network");
+        let mut path = [0usize; MAX_PATH];
+        let hops = self.route(from, to, &mut path);
+        let mut t = now;
+        let mut queue = 0u64;
+        let mut ser_max = 0u64;
+        for &li in &path[..hops] {
+            let ser = self.serialization(li, bytes);
+            let link = &mut self.links[li];
+            // Backlog drains one cycle per cycle of timestamp advance.
+            // A message whose clock lags the last one seen (skewed node
+            // clocks) neither drains nor pays for the skew.
+            if t > link.last_seen {
+                link.backlog = link.backlog.saturating_sub(t - link.last_seen);
+                link.last_seen = t;
+            }
+            let wait = link.backlog.min(self.window);
+            link.backlog += ser;
+            link.msgs += 1;
+            link.busy_cycles += ser;
+            link.queue_cycles += wait;
+            queue += wait;
+            t += wait;
+            ser_max = ser_max.max(ser);
+        }
+        (queue, ser_max)
+    }
+
+    /// Per-link utilization, links with traffic only, table order
+    /// (NI pairs by node, then fabric links by level/group).
+    pub fn utilization(&self) -> Vec<LinkUtil> {
+        self.links
+            .iter()
+            .filter(|l| l.msgs > 0)
+            .map(|l| LinkUtil {
+                label: l.label.clone(),
+                msgs: l.msgs,
+                busy_cycles: l.busy_cycles,
+                queue_cycles: l.queue_cycles,
+            })
+            .collect()
+    }
+
+    /// Zeroes backlogs and counters (clocks restart from zero between
+    /// warm-up and measurement).
+    pub fn reset(&mut self) {
+        for l in &mut self.links {
+            l.backlog = 0;
+            l.last_seen = 0;
+            l.msgs = 0;
+            l.busy_cycles = 0;
+            l.queue_cycles = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(bw: u64, ni: u64, window: u64) -> CostModel {
+        let mut c = CostModel::cm5();
+        c.link_bandwidth_bytes_per_cycle = bw;
+        c.ni_occupancy = ni;
+        c.contention_window = window;
+        c
+    }
+
+    #[test]
+    #[should_panic(expected = "finite link bandwidth")]
+    fn unlimited_bandwidth_cannot_build_a_fabric() {
+        Fabric::new(Topology::default(), 4, &CostModel::cm5());
+    }
+
+    #[test]
+    fn fat_tree_link_table_shape() {
+        // 16 nodes, arity 4: 2 levels; 4 level-1 links + ... wait, level
+        // 1 has 16 child groups (each node its own level-0 group), level
+        // 2 has 4. Plus 32 NI pseudo-links.
+        let f = Fabric::new(Topology::FatTree { arity: 4 }, 16, &cost(4, 0, 1000));
+        assert_eq!(f.levels(), 2);
+        assert_eq!(f.link_count(), 32 + 16 + 4);
+    }
+
+    #[test]
+    fn fat_tree_routes_via_lowest_common_ancestor() {
+        let mut f = Fabric::new(Topology::FatTree { arity: 4 }, 16, &cost(4, 0, 1000));
+        let mut path = [0usize; MAX_PATH];
+        // Same level-1 group (0 and 3): one hop up, one down.
+        let n = f.route(NodeId(0), NodeId(3), &mut path);
+        assert_eq!(n, 4, "ni-tx, L1 up, L1 down, ni-rx");
+        assert_eq!(path[0], 0, "ni-tx n0");
+        assert_eq!(path[n - 1], 7, "ni-rx n3");
+        // Distant pair (0 and 15): climbs both levels.
+        let n = f.route(NodeId(0), NodeId(15), &mut path);
+        assert_eq!(n, 6, "ni-tx, L1, L2, L2, L1, ni-rx");
+        // The two directions of one pair share fabric links.
+        let mut fwd = [0usize; MAX_PATH];
+        let mut rev = [0usize; MAX_PATH];
+        let nf = f.route(NodeId(2), NodeId(9), &mut fwd);
+        let nr = f.route(NodeId(9), NodeId(2), &mut rev);
+        let mid_f: Vec<usize> = fwd[1..nf - 1].to_vec();
+        let mut mid_r: Vec<usize> = rev[1..nr - 1].to_vec();
+        mid_r.reverse();
+        assert_eq!(mid_f, mid_r, "fabric path is symmetric");
+        // Route never mutates reservations.
+        assert_eq!(f.transfer(NodeId(0), NodeId(3), 64, 0).0, 0);
+    }
+
+    #[test]
+    fn serialization_counts_the_narrowest_hop_once() {
+        // bw 4 B/cycle, 64-byte message: leaf links (width 1) need 16
+        // cycles, level-2 links (width 2) need 8. Wormhole charge: 16.
+        let mut f = Fabric::new(Topology::FatTree { arity: 4 }, 16, &cost(4, 0, 10_000));
+        let (queue, ser) = f.transfer(NodeId(0), NodeId(15), 64, 0);
+        assert_eq!(queue, 0, "empty fabric: no queueing");
+        assert_eq!(ser, 16, "narrowest-hop serialization, once");
+    }
+
+    #[test]
+    fn queueing_builds_behind_backlog_and_drains_with_time() {
+        let mut f = Fabric::new(Topology::Flat, 4, &cost(1, 0, 100_000));
+        // 32-byte messages on a 1 B/cycle bus: 32 cycles each.
+        let (q1, s1) = f.transfer(NodeId(0), NodeId(1), 32, 0);
+        assert_eq!((q1, s1), (0, 32));
+        // Second message at the same instant queues behind the first.
+        let (q2, s2) = f.transfer(NodeId(2), NodeId(3), 32, 0);
+        assert_eq!((q2, s2), (32, 32));
+        // 64 cycles later both deposits have drained away.
+        let (q3, _) = f.transfer(NodeId(0), NodeId(3), 32, 64);
+        assert_eq!(q3, 0);
+    }
+
+    #[test]
+    fn lagging_clocks_neither_drain_nor_pay_for_skew() {
+        let mut f = Fabric::new(Topology::Flat, 4, &cost(1, 0, 100_000));
+        // A message stamped far in the future loads the bus...
+        let (q1, _) = f.transfer(NodeId(0), NodeId(1), 32, 1_000_000);
+        assert_eq!(q1, 0);
+        // ...and one from a node whose clock lags queues behind the 32
+        // cycles of deposited work — not the million cycles of skew.
+        let (q2, _) = f.transfer(NodeId(2), NodeId(3), 32, 5);
+        assert_eq!(q2, 32, "skew is not queueing");
+    }
+
+    #[test]
+    fn contention_window_caps_observable_backlog() {
+        let mut f = Fabric::new(Topology::Flat, 4, &cost(1, 0, 40));
+        // Pile four 32-cycle messages onto the bus at t=0, each from a
+        // fresh sender/receiver pair so only the bus contends; uncapped,
+        // the last would wait 96 cycles, but the window bounds the
+        // backlog any one message observes at 40.
+        let mut last_q = 0;
+        for i in 0..4u16 {
+            let (q, _) = f.transfer(NodeId(i), NodeId((i + 1) % 4), 32, 0);
+            last_q = q;
+        }
+        assert_eq!(last_q, 40, "queueing clamped to the window");
+    }
+
+    #[test]
+    fn ni_occupancy_serializes_a_hotspot_receiver() {
+        // Crossbar: dedicated pair links, so only the NIs contend. All
+        // nodes hammer node 0 at t=0. A 16-byte message at 1000 B/cycle
+        // costs 1 cycle of injection plus the 10-cycle handling charge.
+        let mut f = Fabric::new(Topology::Crossbar, 4, &cost(1000, 10, 100_000));
+        let (q1, s1) = f.transfer(NodeId(1), NodeId(0), 16, 0);
+        assert_eq!((q1, s1), (0, 11), "first message pays its NI cost only");
+        let (q2, _) = f.transfer(NodeId(2), NodeId(0), 16, 0);
+        let (q3, _) = f.transfer(NodeId(3), NodeId(0), 16, 0);
+        assert_eq!(q2, 11, "second queues behind node 0's rx NI");
+        assert_eq!(q3, 22, "third waits for both predecessors");
+    }
+
+    #[test]
+    fn utilization_reports_only_used_links_and_resets() {
+        let mut f = Fabric::new(Topology::FatTree { arity: 4 }, 16, &cost(4, 5, 1000));
+        f.transfer(NodeId(0), NodeId(3), 64, 0);
+        let util = f.utilization();
+        assert!(!util.is_empty());
+        assert!(util.iter().any(|u| u.label == "ni-tx n0"));
+        assert!(util.iter().any(|u| u.label.starts_with("fabric L1")));
+        assert!(util.iter().all(|u| u.msgs > 0));
+        let busy: u64 = util.iter().map(|u| u.busy_cycles).sum();
+        assert!(busy > 0);
+        f.reset();
+        assert!(f.utilization().is_empty(), "reset clears counters");
+        let (q, _) = f.transfer(NodeId(0), NodeId(3), 64, 0);
+        assert_eq!(q, 0, "reset clears reservations");
+    }
+
+    #[test]
+    fn topology_labels_and_default() {
+        assert_eq!(Topology::default(), Topology::FatTree { arity: 4 });
+        assert_eq!(Topology::default().label(), "fat-tree");
+        assert_eq!(format!("{}", Topology::FatTree { arity: 4 }), "fat-tree/4");
+        assert_eq!(Topology::Flat.to_string(), "flat");
+        assert_eq!(Topology::Crossbar.label(), "crossbar");
+    }
+
+    #[test]
+    fn single_node_machines_build_zero_level_trees() {
+        let f = Fabric::new(Topology::FatTree { arity: 4 }, 1, &cost(4, 0, 0));
+        assert_eq!(f.levels(), 0);
+        assert_eq!(f.link_count(), 2, "just the NI pair");
+    }
+
+    #[test]
+    fn binary_fat_tree_over_64_nodes_fits_max_path() {
+        let mut f = Fabric::new(Topology::FatTree { arity: 2 }, 64, &cost(1, 1, 1000));
+        assert_eq!(f.levels(), 6);
+        // The most distant pair exercises the deepest route.
+        let (q, s) = f.transfer(NodeId(0), NodeId(63), 48, 0);
+        assert_eq!(q, 0);
+        assert!(s >= 1);
+    }
+}

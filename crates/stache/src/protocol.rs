@@ -822,8 +822,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "directory supports at most")]
+    #[should_panic(expected = "64-node limit")]
     fn too_many_nodes_rejected() {
+        // The machine itself now rejects oversized configurations (the
+        // limit exists *because* of this directory's 64-bit sharer
+        // masks); `from_tempest`'s own assert remains as defense in
+        // depth for hand-built Tempest bundles.
         Stache::new(MachineConfig::new(65));
     }
 

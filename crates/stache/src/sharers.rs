@@ -9,6 +9,11 @@ use std::fmt;
 
 /// A set of nodes, stored as a 64-bit mask.
 ///
+/// The machine-wide node limit ([`lcm_sim::MAX_NODES`]) exists because
+/// of this mask: [`lcm_sim::MachineConfig::new`] rejects larger
+/// machines up front, so the capacity panic in [`SharerSet::add`] is a
+/// defense in depth rather than the first line.
+///
 /// ```
 /// use lcm_stache::SharerSet;
 /// use lcm_sim::NodeId;
@@ -22,8 +27,9 @@ use std::fmt;
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
 pub struct SharerSet(u64);
 
-/// Maximum node index representable in a [`SharerSet`].
-pub const MAX_NODES: usize = 64;
+/// Maximum node index representable in a [`SharerSet`] — the same
+/// limit [`lcm_sim::MAX_NODES`] enforces at machine construction.
+pub const MAX_NODES: usize = lcm_sim::MAX_NODES;
 
 impl SharerSet {
     /// The empty set.

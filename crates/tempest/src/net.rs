@@ -29,6 +29,15 @@
 //! (dropped attempts live in `msgs_dropped`, duplicate copies in
 //! `msgs_duplicated`), so `sum(msgs_sent) == sum(msgs_recv)` over all
 //! nodes and [`Network::total`] equals the per-kind sum, faults or not.
+//!
+//! Under a finite [`lcm_sim::CostModel::link_bandwidth_bytes_per_cycle`]
+//! every *delivered* message (requests, replies, one-way sends, nacks,
+//! and [`Network::count_only`] hops inside lump-charged transactions)
+//! additionally serializes onto the [`lcm_sim::topology`] fabric via
+//! [`Machine::network_transfer`], charging queueing and serialization to
+//! the receiver. Dropped attempts die before serialization and never
+//! touch links. With the default unlimited bandwidth none of this runs
+//! and delivery charges are byte-identical to the flat model above.
 
 use lcm_sim::fault::BACKOFF_DOUBLING_CAP;
 use lcm_sim::mem::BLOCK_BYTES;
@@ -208,6 +217,10 @@ impl Network {
             let bytes = wire_bytes(&cost, with_block);
             m.advance_as(from, cost.msg_send, CycleCat::MsgOverhead);
             m.advance_as(to, cost.msg_recv, CycleCat::MsgOverhead);
+            // Under a finite-bandwidth fabric the delivered bytes also
+            // serialize onto (and queue behind) the from->to link path;
+            // a no-op on the default unlimited network.
+            m.network_transfer(from, to, bytes);
             let s = m.stats_mut(from);
             s.msgs_sent += 1;
             s.bytes_sent += bytes;
@@ -301,6 +314,7 @@ impl Network {
             let req_bytes = wire_bytes(&cost, false);
             m.advance_as(from, cost.msg_send, stall);
             m.advance_as(to, cost.msg_recv, CycleCat::MsgOverhead);
+            m.network_transfer(from, to, req_bytes);
             let s = m.stats_mut(from);
             s.msgs_sent += 1;
             s.bytes_sent += req_bytes;
@@ -349,6 +363,7 @@ impl Network {
             // latency (minus the request-side send already charged).
             let rep_bytes = wire_bytes(&cost, data_reply);
             m.advance_as(from, cost.remote_miss.saturating_sub(cost.msg_send), stall);
+            m.network_transfer(to, from, rep_bytes);
             let r = m.stats_mut(from);
             r.msgs_recv += 1;
             r.bytes_recv += rep_bytes;
@@ -441,6 +456,8 @@ impl Network {
         let nack_bytes = wire_bytes(cost, false);
         m.advance_as(receiver, cost.msg_send, CycleCat::RetryBackoff);
         m.advance_as(sender, cost.msg_recv, CycleCat::RetryBackoff);
+        // The nack is a real wire message and occupies links like one.
+        m.network_transfer(receiver, sender, nack_bytes);
         let r = m.stats_mut(receiver);
         r.msgs_sent += 1;
         r.bytes_sent += nack_bytes;
@@ -464,14 +481,18 @@ impl Network {
         });
     }
 
-    /// Counts a message (and its statistics) *without* charging cycles.
+    /// Counts a message (and its statistics) *without* charging the
+    /// flat per-message cycle costs.
     ///
     /// Protocol transactions with non-trivial latency structure (e.g. a
     /// three-hop recall) charge cycles explicitly and use this to keep the
     /// message accounting exact. These interior hops ride inside an
     /// end-to-end retried transaction, so they are modeled as reliable
-    /// and never consult the fault plan. Self-sends are uncounted, as in
-    /// [`Network::send`].
+    /// and never consult the fault plan. They do cross real links,
+    /// though: under a finite-bandwidth fabric each hop still
+    /// serializes onto its route and queues behind in-flight traffic
+    /// (the transaction's lump latency covers only the *uncontended*
+    /// wire time). Self-sends are uncounted, as in [`Network::send`].
     pub fn count_only(
         &mut self,
         m: &mut Machine,
@@ -484,6 +505,7 @@ impl Network {
             return;
         }
         let bytes = wire_bytes(m.cost(), with_block);
+        m.network_transfer(from, to, bytes);
         let s = m.stats_mut(from);
         s.msgs_sent += 1;
         s.bytes_sent += bytes;
@@ -558,8 +580,12 @@ impl Network {
 /// The retransmission wait before attempt `attempt + 1`: the base timeout
 /// doubled per consecutive loss, saturating after
 /// [`BACKOFF_DOUBLING_CAP`] doublings.
+///
+/// Saturating: a sweep-configured `retry_timeout` near `u64::MAX`
+/// pins at `u64::MAX` instead of silently wrapping (a plain `<<`
+/// wrapped here and produced *shorter* waits for *larger* timeouts).
 fn backoff(retry_timeout: u64, attempt: u32) -> u64 {
-    retry_timeout << (attempt - 1).min(BACKOFF_DOUBLING_CAP)
+    retry_timeout.saturating_mul(1u64 << (attempt - 1).min(BACKOFF_DOUBLING_CAP))
 }
 
 #[cfg(test)]
@@ -910,6 +936,111 @@ mod tests {
         assert_eq!(backoff(100, 3), 400);
         assert_eq!(backoff(100, 7), 100 << 6);
         assert_eq!(backoff(100, 50), 100 << 6, "cap holds far out");
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping_at_extreme_timeouts() {
+        // Regression: `retry_timeout << capped` wrapped for large
+        // sweep-configured timeouts, making the wait *shorter* the
+        // larger the timeout. The doubled wait must never be smaller
+        // than the base timeout.
+        assert_eq!(backoff(u64::MAX, 7), u64::MAX);
+        assert_eq!(backoff(u64::MAX / 2, 3), u64::MAX, "4x overflows, pins");
+        assert_eq!(backoff(1 << 57, 7), 1 << 63, "largest exact doubling");
+        assert_eq!(backoff(1 << 58, 7), u64::MAX, "one bit past it saturates");
+        for attempt in 1..=10 {
+            assert!(
+                backoff(u64::MAX - 1, attempt) >= u64::MAX - 1,
+                "attempt {attempt}: backoff shrank below the base timeout"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_bandwidth_charges_net_contention_and_conserves() {
+        use lcm_sim::CycleCat;
+        let mut cost = CostModel::cm5();
+        cost.link_bandwidth_bytes_per_cycle = 2;
+        let mut m = Machine::new(MachineConfig::new(4).with_cost(cost));
+        let mut net = Network::new();
+        for i in 0..20u16 {
+            net.send(
+                &mut m,
+                NodeId(i % 4),
+                NodeId((i + 1) % 4),
+                MsgKind::Flush,
+                true,
+            );
+            net.request_reply(
+                &mut m,
+                NodeId((i + 2) % 4),
+                NodeId(i % 4),
+                MsgKind::GetShared,
+                true,
+            );
+        }
+        assert!(
+            m.ledger().cat_total(CycleCat::NetContention) > 0,
+            "serialization and queueing cycles attributed"
+        );
+        assert!(!m.link_utilization().is_empty());
+        assert_conserved(&m, &net);
+        // A machine with unlimited bandwidth runs the same traffic
+        // strictly faster.
+        let mut free = machine();
+        let mut net2 = Network::new();
+        for i in 0..20u16 {
+            net2.send(
+                &mut free,
+                NodeId(i % 4),
+                NodeId((i + 1) % 4),
+                MsgKind::Flush,
+                true,
+            );
+            net2.request_reply(
+                &mut free,
+                NodeId((i + 2) % 4),
+                NodeId(i % 4),
+                MsgKind::GetShared,
+                true,
+            );
+        }
+        assert!(m.time() > free.time(), "contention can only slow a run");
+        assert_eq!(net.total(), net2.total(), "traffic itself is unchanged");
+    }
+
+    #[test]
+    fn contention_composes_with_fault_injection() {
+        use lcm_sim::CycleCat;
+        let mut cost = CostModel::cm5();
+        cost.link_bandwidth_bytes_per_cycle = 2;
+        let faults = FaultConfig {
+            drop_rate: 0.2,
+            dup_rate: 0.1,
+            seed: 23,
+            ..FaultConfig::default()
+        };
+        let mut m = Machine::new(MachineConfig::new(4).with_cost(cost).with_faults(faults));
+        let mut net = Network::new();
+        for i in 0..40u16 {
+            net.send(
+                &mut m,
+                NodeId(i % 4),
+                NodeId((i + 1) % 4),
+                MsgKind::Flush,
+                i % 2 == 0,
+            );
+            net.request_reply(
+                &mut m,
+                NodeId((i + 3) % 4),
+                NodeId(i % 4),
+                MsgKind::GetShared,
+                true,
+            );
+        }
+        assert!(m.total_stats().msgs_dropped > 0, "faults fired");
+        assert!(m.ledger().cat_total(CycleCat::NetContention) > 0);
+        assert_conserved(&m, &net);
     }
 
     #[test]
