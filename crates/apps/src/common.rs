@@ -300,6 +300,63 @@ pub fn execute_traced<W: Workload>(
     }
 }
 
+/// [`execute_with_machine`] in *capture* mode: the machine records the
+/// complete, re-priceable charge stream (see
+/// [`MachineConfig::with_capture`]) and the pending coalesced work
+/// records are flushed before harvest, so the returned events account
+/// for every charged cycle. The `lcm-replay` crate serializes this
+/// stream to a `.lcmtrace` file and re-prices it under arbitrary cost
+/// models without re-executing the program.
+///
+/// `capacity` bounds the capture buffer; a capture that overflows it is
+/// unusable for replay (the writer rejects traces with drops), so size
+/// it generously — captures are one-shot, not steady-state.
+pub fn execute_captured<W: Workload>(
+    system: SystemKind,
+    mut mc: MachineConfig,
+    capacity: usize,
+    config: RuntimeConfig,
+    workload: &W,
+) -> (W::Output, RunResult, Vec<Stamped>) {
+    fn go<P: MemoryProtocol, W: Workload>(
+        system: SystemKind,
+        mut rt: Runtime<P>,
+        workload: &W,
+    ) -> (W::Output, RunResult, Vec<Stamped>) {
+        let out = workload.run(&mut rt);
+        rt.mem_mut().tempest_mut().machine.finish_capture();
+        let result = RunResult::harvest(system, rt.mem());
+        let events = rt.mem().tempest().machine.trace().to_vec();
+        (out, result, events)
+    }
+    mc = mc.with_capture(capacity);
+    match system {
+        SystemKind::Stache => go(
+            system,
+            Runtime::with_config(Stache::new(mc), Strategy::ExplicitCopy, config),
+            workload,
+        ),
+        SystemKind::LcmScc => go(
+            system,
+            Runtime::with_config(
+                Lcm::new(mc, LcmVariant::Scc),
+                Strategy::LcmDirectives,
+                config,
+            ),
+            workload,
+        ),
+        SystemKind::LcmMcc => go(
+            system,
+            Runtime::with_config(
+                Lcm::new(mc, LcmVariant::Mcc),
+                Strategy::LcmDirectives,
+                config,
+            ),
+            workload,
+        ),
+    }
+}
+
 /// Runs `workload` on all three systems, asserting the outputs agree, and
 /// returns the results in [`SystemKind::all`] order.
 pub fn execute_all<W: Workload>(nodes: usize, config: RuntimeConfig, workload: &W) -> Vec<RunResult>

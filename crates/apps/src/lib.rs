@@ -24,7 +24,7 @@ pub mod threshold;
 pub mod unstructured;
 
 pub use common::{
-    execute, execute_all, execute_traced, execute_with_cost, execute_with_faults,
+    execute, execute_all, execute_captured, execute_traced, execute_with_cost, execute_with_faults,
     execute_with_machine, RunResult, SystemKind, Workload,
 };
 pub use experiments::{Benchmark, Claim, Scale, Suite};

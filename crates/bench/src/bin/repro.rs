@@ -54,11 +54,49 @@ use lcm_apps::{
     execute, execute_traced, execute_with_cost, execute_with_faults, RunResult, SystemKind,
     Workload,
 };
-use lcm_bench::{profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
+use lcm_bench::{explore, profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
 use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
-use lcm_sim::{CostModel, CycleCat, FaultConfig, MachineConfig, Stamped};
+use lcm_replay::TraceFile;
+use lcm_sim::{CostModel, CycleCat, FaultConfig, MachineConfig, NodeId, Stamped};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Every runnable section, in help order. `contention`, `explore` and
+/// `bench` are valid names but not part of `all` (see the comments at
+/// their dispatch sites).
+const SECTIONS: [&str; 19] = [
+    "all",
+    "table1",
+    "fig2",
+    "fig3",
+    "claims",
+    "reduction",
+    "falseshare",
+    "stale",
+    "nbody",
+    "races",
+    "flushpolicy",
+    "cachelimit",
+    "tree",
+    "sweep",
+    "faults",
+    "contention",
+    "profile",
+    "explore",
+    "bench",
+];
+
+/// Known flags, for the unknown-flag error message.
+const FLAGS: &str = "--scale --jobs --csv --svg --faults --trace --list-sections -h/--help";
+
+fn list_sections() {
+    eprintln!("sections (default: all):");
+    for s in SECTIONS {
+        eprintln!("  {s}");
+    }
+    eprintln!("subcommands:");
+    eprintln!("  replay <file.lcmtrace>   validate and summarize a captured trace");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -128,19 +166,42 @@ fn main() {
                     }
                 }
             }
+            "--list-sections" => {
+                list_sections();
+                return;
+            }
             "-h" | "--help" => {
                 println!(
                     "repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--faults RATE:SEED] [--trace FILE] \
-                     [table1|fig2|fig3|claims|reduction|falseshare|stale|nbody|races|flushpolicy|cachelimit|tree|sweep|faults|contention|profile|bench|all]"
+                     [--faults RATE:SEED] [--trace FILE] [--list-sections] \
+                     [SECTION…] | replay FILE"
                 );
+                list_sections();
                 return;
+            }
+            w if w.starts_with('-') => {
+                eprintln!("unknown flag {w:?} (known flags: {FLAGS})");
+                list_sections();
+                std::process::exit(2);
             }
             w => what.push(w.to_string()),
         }
     }
     if what.is_empty() {
         what.push("all".to_string());
+    }
+    if what[0] == "replay" {
+        let [_, path] = what.as_slice() else {
+            eprintln!("usage: repro replay <file.lcmtrace>");
+            std::process::exit(2);
+        };
+        run_replay_summary(std::path::Path::new(path));
+        return;
+    }
+    if let Some(bad) = what.iter().find(|w| !SECTIONS.contains(&w.as_str())) {
+        eprintln!("unknown section {bad:?}");
+        list_sections();
+        std::process::exit(2);
     }
     let all = what.iter().any(|w| w == "all");
     let wants = |k: &str| all || what.iter().any(|w| w == k);
@@ -223,6 +284,14 @@ fn main() {
     } else {
         None
     };
+    // `explore` is deliberately not part of `all` for the same reason as
+    // `contention`: its grid spans finite bandwidths, and the byte-
+    // identity determinism tests pin `all`'s output.
+    let explore_csv = if what.iter().any(|w| w == "explore") {
+        Some(print_explore(scale, jobs, csv_dir.as_deref()))
+    } else {
+        None
+    };
     // `bench` is deliberately not part of `all`: it re-runs whole
     // sections twice (serially and on the pool) to measure wall-clock.
     if what.iter().any(|w| w == "bench") {
@@ -235,23 +304,35 @@ fn main() {
             faults_csv.as_deref(),
             &profile_csvs,
             contention_csv.as_deref(),
+            explore_csv.as_deref(),
         ) {
-            eprintln!("failed to write CSV files to {}: {e}", dir.display());
+            eprintln!("{e}");
             std::process::exit(1);
         }
         println!("CSV written to {}", dir.display());
     }
     if let (Some(dir), Some(suite)) = (svg_dir, suite.as_ref()) {
         if let Err(e) = write_svg(&dir, suite) {
-            eprintln!("failed to write SVG figures to {}: {e}", dir.display());
+            eprintln!("{e}");
             std::process::exit(1);
         }
         println!("SVG figures written to {}", dir.display());
     }
 }
 
-fn write_svg(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+/// Creates `dir` (and parents), naming the directory in the error.
+fn ensure_dir(dir: &std::path::Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("failed to create directory {}: {e}", dir.display()))
+}
+
+/// Writes one output file, naming the failing path in the error.
+fn write_file(path: PathBuf, contents: &str) -> Result<(), String> {
+    std::fs::write(&path, contents).map_err(|e| format!("failed to write {}: {e}", path.display()))
+}
+
+fn write_svg(dir: &std::path::Path, suite: &Suite) -> Result<(), String> {
+    ensure_dir(dir)?;
     let series = ["LCM-scc", "LCM-mcc", "Stache"];
     for (file, title, rows) in [
         ("fig2.svg", "Figure 2: Stencil execution time", suite.fig2()),
@@ -281,7 +362,7 @@ fn write_svg(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
         for (b, vs) in groups {
             chart.push_group(b.label(), &vs);
         }
-        std::fs::write(dir.join(file), chart.to_svg())?;
+        write_file(dir.join(file), &chart.to_svg())?;
     }
     Ok(())
 }
@@ -292,33 +373,37 @@ fn write_all_csv(
     faults_csv: Option<&str>,
     profile_csvs: &Option<(String, String)>,
     contention_csv: Option<&str>,
-) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+    explore_csv: Option<&str>,
+) -> Result<(), String> {
+    ensure_dir(dir)?;
     if let Some(suite) = suite {
         write_csv(dir, suite)?;
     }
     if let Some(faults) = faults_csv {
-        std::fs::write(dir.join("faults.csv"), faults)?;
+        write_file(dir.join("faults.csv"), faults)?;
     }
     if let Some((profile, phases)) = profile_csvs {
-        std::fs::write(dir.join("profile.csv"), profile)?;
-        std::fs::write(dir.join("phases.csv"), phases)?;
+        write_file(dir.join("profile.csv"), profile)?;
+        write_file(dir.join("phases.csv"), phases)?;
     }
     if let Some(contention) = contention_csv {
-        std::fs::write(dir.join("contention.csv"), contention)?;
+        write_file(dir.join("contention.csv"), contention)?;
+    }
+    if let Some(explore) = explore_csv {
+        write_file(dir.join("explore.csv"), explore)?;
     }
     Ok(())
 }
 
-fn write_csv(dir: &std::path::Path, suite: &Suite) -> std::io::Result<()> {
+fn write_csv(dir: &std::path::Path, suite: &Suite) -> Result<(), String> {
     // Rendering lives in `lcm_bench::report` so the determinism tests
     // check byte-identity against the exact strings written here.
-    std::fs::create_dir_all(dir)?;
-    std::fs::write(dir.join("table1.csv"), report::table1_csv(suite))?;
-    std::fs::write(dir.join("fig2.csv"), report::fig_csv(&suite.fig2()))?;
-    std::fs::write(dir.join("fig3.csv"), report::fig_csv(&suite.fig3()))?;
-    std::fs::write(dir.join("messages.csv"), report::messages_csv(suite))?;
-    std::fs::write(dir.join("network.csv"), report::network_csv(suite))?;
+    ensure_dir(dir)?;
+    write_file(dir.join("table1.csv"), &report::table1_csv(suite))?;
+    write_file(dir.join("fig2.csv"), &report::fig_csv(&suite.fig2()))?;
+    write_file(dir.join("fig3.csv"), &report::fig_csv(&suite.fig3()))?;
+    write_file(dir.join("messages.csv"), &report::messages_csv(suite))?;
+    write_file(dir.join("network.csv"), &report::network_csv(suite))?;
     Ok(())
 }
 
@@ -670,6 +755,210 @@ fn print_contention(scale: Scale, jobs: usize) -> String {
     csv
 }
 
+/// Swept link bandwidths of the explore grid (bytes/cycle; 0 = unlimited).
+const EXPLORE_BANDWIDTHS: [u64; 4] = [0, 64, 16, 4];
+/// Swept remote-miss latencies of the explore grid (cycles).
+const EXPLORE_LATENCIES: [u64; 3] = [500, 3000, 12000];
+
+/// Rolling state of the explore section: grid rows plus timing totals,
+/// accumulated one capture at a time so only a single trace is ever
+/// resident (medium-scale captures run to millions of events).
+#[derive(Default)]
+struct ExploreAcc {
+    rows: Vec<explore::ExploreRow>,
+    traces: usize,
+    events: usize,
+    capture_secs: f64,
+    replay_secs: f64,
+}
+
+/// Captures one (benchmark, system) pair, validates the capture,
+/// optionally saves it as a `.lcmtrace`, replays the grid over it, and
+/// folds everything into `acc`.
+#[allow(clippy::too_many_arguments)]
+fn explore_one<W: Workload>(
+    benchmark: &str,
+    scale_label: &str,
+    system: SystemKind,
+    nodes: usize,
+    w: &W,
+    jobs: usize,
+    trace_dir: Option<&std::path::Path>,
+    acc: &mut ExploreAcc,
+) {
+    let t0 = Instant::now();
+    let file = explore::capture_workload(
+        benchmark,
+        scale_label,
+        system,
+        nodes,
+        RuntimeConfig::default(),
+        w,
+        explore::CAPTURE_CAPACITY,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = lcm_replay::validate(&file) {
+        eprintln!("capture {benchmark}/{system} failed validation: {e}");
+        std::process::exit(1);
+    }
+    acc.capture_secs += t0.elapsed().as_secs_f64();
+    if let Some(dir) = trace_dir {
+        let name = format!(
+            "{}-{}.lcmtrace",
+            benchmark.to_lowercase(),
+            system.label().to_lowercase()
+        );
+        if let Err(e) = file.write_to(&dir.join(&name)) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    acc.traces += 1;
+    acc.events += file.events.len();
+    let t1 = Instant::now();
+    acc.rows.extend(explore::explore_grid(
+        std::slice::from_ref(&file),
+        &EXPLORE_BANDWIDTHS,
+        &EXPLORE_LATENCIES,
+        jobs,
+    ));
+    acc.replay_secs += t1.elapsed().as_secs_f64();
+}
+
+/// The design-space exploration: capture each (benchmark, system) pair
+/// once, validate the captures, then re-price them across the bandwidth
+/// × latency grid with the replay engine. Returns the CSV rows.
+fn print_explore(scale: Scale, jobs: usize, trace_dir: Option<&std::path::Path>) -> String {
+    println!("== Design-space exploration: replayed cost-model grid (scale '{scale}') ==");
+    println!("   each (benchmark, system) pair executes once in capture mode; every grid");
+    println!("   point below is the trace re-priced by lcm-replay, not a re-execution,");
+    println!("   and each capture is validated to reproduce its execution-driven run");
+    if let Some(dir) = trace_dir {
+        if let Err(e) = ensure_dir(dir) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    let nodes = scale.nodes();
+    let scale_label = scale.to_string();
+    let red = ReductionSum(reduction_worksize(scale));
+    let sten = fault_stencil(scale);
+    let mut acc = ExploreAcc::default();
+    for system in SystemKind::all() {
+        explore_one(
+            "Reduction",
+            &scale_label,
+            system,
+            nodes,
+            &red,
+            jobs,
+            trace_dir,
+            &mut acc,
+        );
+    }
+    for system in SystemKind::all() {
+        explore_one(
+            "Stencil-dyn",
+            &scale_label,
+            system,
+            nodes,
+            &sten,
+            jobs,
+            trace_dir,
+            &mut acc,
+        );
+    }
+    // Wall-clock times and the trace directory vary between runs, so
+    // they go to stderr: stdout stays byte-identical at any --jobs
+    // (the §4d contract, diffed in CI).
+    if let Some(dir) = trace_dir {
+        eprintln!(
+            "   {} .lcmtrace capture files written to {}",
+            acc.traces,
+            dir.display()
+        );
+    }
+    let ExploreAcc {
+        rows,
+        traces,
+        events,
+        capture_secs,
+        replay_secs,
+    } = acc;
+    println!(
+        "   {traces} traces ({events} events) captured+validated; {} grid points replayed",
+        rows.len()
+    );
+    eprintln!("   (wall-clock: capture+validate {capture_secs:.1}s, replay {replay_secs:.2}s)");
+    println!(
+        "  {:<12} {:<9} {:>10} | {:>13} {:>13} {:>13}",
+        "benchmark", "system", "bandwidth", "lat=500", "lat=3000", "lat=12000"
+    );
+    for chunk in rows.chunks(EXPLORE_LATENCIES.len()) {
+        let r = &chunk[0];
+        let bw_label = if r.bandwidth == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{} B/cy", r.bandwidth)
+        };
+        let times: Vec<String> = chunk.iter().map(|r| r.time.to_string()).collect();
+        println!(
+            "  {:<12} {:<9} {:>10} | {:>13} {:>13} {:>13}",
+            r.benchmark, r.system, bw_label, times[0], times[1], times[2]
+        );
+    }
+    println!();
+    explore::explore_csv(&rows)
+}
+
+/// The `replay` subcommand: parse a `.lcmtrace`, validate it against its
+/// own footer, and summarize what it holds.
+fn run_replay_summary(path: &std::path::Path) {
+    let file = match TraceFile::read_from(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{} (.lcmtrace v{})", path.display(), lcm_replay::VERSION);
+    for (k, v) in &file.metadata {
+        println!("  {k}: {v}");
+    }
+    println!("  nodes: {}   topology: {}", file.nodes, file.topology);
+    println!("  fingerprint: {:#018x}", file.fingerprint());
+    println!(
+        "  events: {}   phase marks: {}",
+        file.events.len(),
+        file.phase_index.len()
+    );
+    match lcm_replay::validate(&file) {
+        Ok(r) => {
+            println!("  validation: OK (replay reproduces the execution-driven run exactly)");
+            println!(
+                "  time: {} cycles   barriers: {}   msgs: {}   bytes sent: {}",
+                r.time, r.barriers, file.totals.msgs_sent, file.totals.bytes_sent
+            );
+            println!("  cycles by category (all nodes):");
+            for cat in CycleCat::all() {
+                let total: u64 = (0..file.nodes)
+                    .map(|n| r.ledger.get(NodeId(n as u16), cat))
+                    .sum();
+                if total > 0 {
+                    println!("    {:<18} {total}", cat.label());
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("  validation FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// The cycle-attribution profile: Stencil-dyn on all three systems with
 /// tracing on, per-node cycle breakdowns, hottest blocks, and message
 /// histograms. Returns `(profile.csv, phases.csv)` contents; with
@@ -695,7 +984,10 @@ fn print_profile(
             if let Some(path) = trace_path {
                 let json = profile::chrome_trace_json(&events, nodes);
                 if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                    let _ = std::fs::create_dir_all(parent);
+                    if let Err(e) = ensure_dir(parent) {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
                 }
                 match std::fs::write(path, &json) {
                     Ok(()) => println!(
@@ -1250,6 +1542,53 @@ fn run_bench(scale: Scale, jobs: usize, csv_dir: Option<&std::path::Path>) {
         assert_eq!(r1.digest(), r2.digest(), "contention point {k1:?} diverged");
     }
 
+    let (reexec_rows, replay_rows) = report.time_section(
+        "explore",
+        || {
+            explore::reexecute_grid(
+                "Stencil-dyn",
+                SystemKind::LcmMcc,
+                nodes,
+                RuntimeConfig::default(),
+                &stencil,
+                &EXPLORE_BANDWIDTHS,
+                &EXPLORE_LATENCIES,
+            )
+        },
+        || {
+            let file = explore::capture_workload(
+                "Stencil-dyn",
+                &scale.to_string(),
+                SystemKind::LcmMcc,
+                nodes,
+                RuntimeConfig::default(),
+                &stencil,
+                explore::CAPTURE_CAPACITY,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            explore::explore_grid(
+                std::slice::from_ref(&file),
+                &EXPLORE_BANDWIDTHS,
+                &EXPLORE_LATENCIES,
+                jobs,
+            )
+        },
+    );
+    for (x, r) in reexec_rows
+        .iter()
+        .zip(&replay_rows)
+        .filter(|(x, _)| x.bandwidth == 0)
+    {
+        assert_eq!(
+            x.time, r.time,
+            "explore point bw=0 lat={} diverged between re-execution and replay",
+            x.latency
+        );
+    }
+
     report.time_section(
         "profile",
         || compute_profile_runs(scale, 1),
@@ -1278,6 +1617,13 @@ fn run_bench(scale: Scale, jobs: usize, csv_dir: Option<&std::path::Path>) {
         report.speedup()
     );
     println!("  parallel runs agreed with serial runs digest-for-digest");
+    if let Some(s) = report.sections.iter().find(|s| s.section == "explore") {
+        println!(
+            "  (explore compares re-executing the cost-model grid against capturing \
+             once + replaying it: replay is {:.1}x faster)",
+            s.speedup()
+        );
+    }
     let path = csv_dir
         .map(|d| d.join("BENCH_sweep.json"))
         .unwrap_or_else(|| PathBuf::from("BENCH_sweep.json"));

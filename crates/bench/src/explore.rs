@@ -1,0 +1,229 @@
+//! Cost-model design-space exploration over captured traces.
+//!
+//! The expensive part of a design-space sweep is re-executing the
+//! program at every grid point. This module does it once: each
+//! (benchmark, system) pair is executed a single time in capture mode,
+//! and the resulting [`TraceFile`] is re-priced under every cost model
+//! of the grid by the `lcm-replay` engine — same clocks and ledgers,
+//! a fraction of the cost.
+//!
+//! The grid follows the sensitivity and contention sections: remote
+//! latency maps onto `remote_miss` (with `upgrade` scaled to ⅔ of it,
+//! as in the latency sweep) and bandwidth onto
+//! `link_bandwidth_bytes_per_cycle` (0 = unlimited). Results are
+//! returned in fixed grid order regardless of the worker count, so the
+//! CSV is byte-identical at any `--jobs`.
+
+use lcm_apps::{execute_captured, execute_with_machine, RunResult, SystemKind, Workload};
+use lcm_cstar::RuntimeConfig;
+use lcm_replay::{replay, TraceFile};
+use lcm_sim::{par_map, CostModel, CycleCat, CycleLedger, MachineConfig, NodeId};
+
+/// Default capture buffer: generous enough for the medium-scale
+/// benchmarks (a dropped event makes a capture useless for replay).
+/// The trace grows on demand, so an unused cap costs nothing.
+pub const CAPTURE_CAPACITY: usize = 1 << 24;
+
+/// Captures one (benchmark, system) execution as a replayable trace
+/// file under the cm5 cost model at the default topology.
+///
+/// Fails if the capture buffer overflowed — a truncated stream cannot
+/// account for every charged cycle.
+pub fn capture_workload<W: Workload>(
+    benchmark: &str,
+    scale: &str,
+    system: SystemKind,
+    nodes: usize,
+    config: RuntimeConfig,
+    workload: &W,
+    capacity: usize,
+) -> Result<TraceFile, String> {
+    let mc = MachineConfig::new(nodes).with_cost(CostModel::cm5());
+    capture_with_machine(benchmark, scale, system, mc, config, workload, capacity)
+}
+
+/// [`capture_workload`] under an explicit machine configuration — e.g.
+/// a finite-bandwidth cost model, whose contention charges replay must
+/// also reproduce.
+pub fn capture_with_machine<W: Workload>(
+    benchmark: &str,
+    scale: &str,
+    system: SystemKind,
+    mc: MachineConfig,
+    config: RuntimeConfig,
+    workload: &W,
+    capacity: usize,
+) -> Result<TraceFile, String> {
+    let nodes = mc.nodes;
+    let topology = mc.topology;
+    let cost = mc.cost;
+    let (_, result, events) = execute_captured(system, mc, capacity, config, workload);
+    if result.trace_dropped > 0 {
+        return Err(format!(
+            "{benchmark}/{system}: capture dropped {} events (buffer of \
+             {capacity}); recapture with a larger buffer",
+            result.trace_dropped
+        ));
+    }
+    TraceFile::from_capture(
+        nodes,
+        topology,
+        cost,
+        vec![
+            ("benchmark".to_string(), benchmark.to_string()),
+            ("system".to_string(), system.label().to_string()),
+            ("scale".to_string(), scale.to_string()),
+        ],
+        events,
+        result.clocks.clone(),
+        &result.ledger,
+        result.totals.clone(),
+    )
+}
+
+/// The cost model at one grid point: cm5 with the remote latency and
+/// link bandwidth replaced (the latency scales `upgrade` with it, as in
+/// the sensitivity sweep).
+pub fn grid_cost(bandwidth: u64, latency: u64) -> CostModel {
+    let mut cost = CostModel::cm5();
+    cost.remote_miss = latency;
+    cost.upgrade = (latency * 2 / 3).max(1);
+    cost.link_bandwidth_bytes_per_cycle = bandwidth;
+    cost
+}
+
+/// One re-priced grid point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExploreRow {
+    /// Benchmark label (from the trace's metadata).
+    pub benchmark: String,
+    /// Memory-system label (from the trace's metadata).
+    pub system: String,
+    /// Link bandwidth in bytes/cycle; 0 = unlimited.
+    pub bandwidth: u64,
+    /// Remote-miss latency in cycles.
+    pub latency: u64,
+    /// Execution time under this cost model (max node clock).
+    pub time: u64,
+    /// Total network-contention cycles across all nodes.
+    pub contention: u64,
+    /// Total barrier-wait cycles across all nodes.
+    pub barrier_wait: u64,
+    /// Total wire bytes sent.
+    pub bytes_sent: u64,
+}
+
+fn cat_total(ledger: &CycleLedger, nodes: usize, cat: CycleCat) -> u64 {
+    (0..nodes).map(|n| ledger.get(NodeId(n as u16), cat)).sum()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(
+    benchmark: &str,
+    system: &str,
+    bandwidth: u64,
+    latency: u64,
+    nodes: usize,
+    time: u64,
+    ledger: &CycleLedger,
+    bytes_sent: u64,
+) -> ExploreRow {
+    ExploreRow {
+        benchmark: benchmark.to_string(),
+        system: system.to_string(),
+        bandwidth,
+        latency,
+        time,
+        contention: cat_total(ledger, nodes, CycleCat::NetContention),
+        barrier_wait: cat_total(ledger, nodes, CycleCat::BarrierWait),
+        bytes_sent,
+    }
+}
+
+/// Re-prices every captured trace at every (bandwidth, latency) grid
+/// point on a pool of `jobs` workers. Rows come back in fixed grid
+/// order — traces outermost, then bandwidths, then latencies — so the
+/// output is deterministic at any worker count.
+pub fn explore_grid(
+    files: &[TraceFile],
+    bandwidths: &[u64],
+    latencies: &[u64],
+    jobs: usize,
+) -> Vec<ExploreRow> {
+    let mut points = Vec::with_capacity(files.len() * bandwidths.len() * latencies.len());
+    for file in files {
+        for &bw in bandwidths {
+            for &lat in latencies {
+                points.push((file, bw, lat));
+            }
+        }
+    }
+    par_map(jobs, points, |_, (file, bw, lat)| {
+        let r = replay(file, &grid_cost(bw, lat), file.topology);
+        row(
+            file.meta("benchmark").unwrap_or("?"),
+            file.meta("system").unwrap_or("?"),
+            bw,
+            lat,
+            file.nodes,
+            r.time,
+            &r.ledger,
+            r.totals.bytes_sent,
+        )
+    })
+}
+
+/// The execution-driven control: runs the *same* grid for one workload
+/// by re-executing it at every point. Exists to benchmark replay
+/// against (`repro bench`) and to cross-check the explorer in tests;
+/// the explorer itself never re-executes.
+pub fn reexecute_grid<W: Workload>(
+    benchmark: &str,
+    system: SystemKind,
+    nodes: usize,
+    config: RuntimeConfig,
+    workload: &W,
+    bandwidths: &[u64],
+    latencies: &[u64],
+) -> Vec<ExploreRow> {
+    let mut rows = Vec::with_capacity(bandwidths.len() * latencies.len());
+    for &bw in bandwidths {
+        for &lat in latencies {
+            let mc = MachineConfig::new(nodes).with_cost(grid_cost(bw, lat));
+            let result: RunResult = execute_with_machine(system, mc, config, workload).1;
+            rows.push(row(
+                benchmark,
+                system.label(),
+                bw,
+                lat,
+                nodes,
+                result.time,
+                &result.ledger,
+                result.totals.bytes_sent,
+            ));
+        }
+    }
+    rows
+}
+
+/// Renders explorer rows as CSV (stable column order, one header line).
+pub fn explore_csv(rows: &[ExploreRow]) -> String {
+    let mut csv = String::from(
+        "benchmark,system,bandwidth_bytes_per_cycle,remote_latency,cycles,\
+         net_contention_cycles,barrier_wait_cycles,bytes_sent\n",
+    );
+    for r in rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.benchmark,
+            r.system,
+            r.bandwidth,
+            r.latency,
+            r.time,
+            r.contention,
+            r.barrier_wait,
+            r.bytes_sent
+        ));
+    }
+    csv
+}

@@ -34,7 +34,7 @@ use lcm_rsm::{
 use lcm_sim::hash::FastMap;
 use lcm_sim::mem::{Addr, BlockId, WORDS_PER_BLOCK};
 use lcm_sim::trace::Event;
-use lcm_sim::{CycleCat, MachineConfig, NodeId};
+use lcm_sim::{CycleCat, Knob, MachineConfig, NodeId};
 use lcm_stache::Stache;
 use lcm_tempest::{MsgKind, Tag, Tempest};
 
@@ -214,10 +214,9 @@ impl Lcm {
                 let (_, rn, rp) = &right[0];
                 let (ln, rn) = (*ln, *rn);
                 let t = self.inner.tempest_mut();
-                let c = *t.machine.cost();
                 t.net.send(&mut t.machine, rn, ln, MsgKind::Flush, true);
                 t.machine
-                    .advance_as(ln, c.reconcile_per_version, CycleCat::FlushReconcile);
+                    .charge(ln, CycleCat::FlushReconcile, Knob::ReconcilePerVersion, 1);
                 t.machine.stats_mut(ln).versions_reconciled += 1;
                 t.machine.stats_mut(rn).flushes += 1;
                 combine_into(op, lp, rp);
@@ -231,13 +230,12 @@ impl Lcm {
         let entry = Self::ensure_entry(&mut self.cow, &mut self.inner, block);
         let t = self.inner.tempest_mut();
         let home = t.home_of(block);
-        let c = *t.machine.cost();
         t.machine.stats_mut(root).flushes += 1;
         t.machine
-            .advance_as(root, c.block_flush, CycleCat::FlushReconcile);
+            .charge(root, CycleCat::FlushReconcile, Knob::BlockFlush, 1);
         t.net.send(&mut t.machine, root, home, MsgKind::Flush, true);
         t.machine
-            .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
+            .charge(home, CycleCat::FlushReconcile, Knob::ReconcilePerVersion, 1);
         t.machine.stats_mut(home).versions_reconciled += 1;
         entry.merge_version(root, &p.data, p.dirty, policy, block, &mut self.conflicts);
         // The contributors drop their (identity-initialized) copies.
@@ -404,7 +402,6 @@ impl Lcm {
         entry.writers.add(node);
         let t = self.inner.tempest_mut();
         let home = t.home_of(block);
-        let c = *t.machine.cost();
         t.machine.stats_mut(node).marks += 1;
         t.machine.record(Event::Mark { node, block });
         t.machine.record(Event::SpanBegin {
@@ -440,7 +437,7 @@ impl Lcm {
                 if !t.tags[node.index()].get(block).readable() {
                     if node == home {
                         t.machine
-                            .advance_as(node, c.local_fill, CycleCat::WriteStallLocal);
+                            .charge(node, CycleCat::WriteStallLocal, Knob::LocalFill, 1);
                         t.machine.stats_mut(node).write_miss_local += 1;
                         t.machine.record(Event::WriteMiss {
                             node,
@@ -467,7 +464,7 @@ impl Lcm {
             entry.home_clean = true;
             t.machine.stats_mut(home).clean_copies += 1;
             t.machine
-                .advance_as(home, c.clean_copy_create, CycleCat::FlushReconcile);
+                .charge(home, CycleCat::FlushReconcile, Knob::CleanCopyCreate, 1);
             t.machine.record(Event::CleanCopy { node: home, block });
         }
         // mcc: additionally keep a clean copy on the marking node.
@@ -475,13 +472,13 @@ impl Lcm {
             entry.mcc_clean.add(node);
             t.machine.stats_mut(node).clean_copies += 1;
             t.machine
-                .advance_as(node, c.clean_copy_create, CycleCat::FlushReconcile);
+                .charge(node, CycleCat::FlushReconcile, Knob::CleanCopyCreate, 1);
             t.machine.record(Event::CleanCopy { node, block });
         }
 
         // The private copy itself: a block copy in the fault handler.
         t.machine
-            .advance_as(node, c.clean_copy_create, CycleCat::FlushReconcile);
+            .charge(node, CycleCat::FlushReconcile, Knob::CleanCopyCreate, 1);
         t.machine.record(Event::SpanEnd {
             node,
             what: "mark",
@@ -497,8 +494,7 @@ impl Lcm {
         if let Some(p) = self.privs[node.index()].get(&block) {
             // An invocation sees its own modifications.
             let t = self.inner.tempest_mut();
-            let hit = t.machine.cost().cache_hit;
-            t.machine.advance(node, hit);
+            t.machine.hit(node);
             t.machine.stats_mut(node).read_hits += 1;
             return p.data.word(addr.word_in_block());
         }
@@ -514,8 +510,7 @@ impl Lcm {
                 }
             }
             let t = self.inner.tempest_mut();
-            let hit = t.machine.cost().cache_hit;
-            t.machine.advance(node, hit);
+            t.machine.hit(node);
             t.machine.stats_mut(node).read_hits += 1;
             return t.mem.read_word(addr);
         }
@@ -524,10 +519,9 @@ impl Lcm {
         entry.readers.add(node);
         let t = self.inner.tempest_mut();
         let home = t.home_of(block);
-        let c = *t.machine.cost();
         if node == home {
             t.machine
-                .advance_as(node, c.local_fill, CycleCat::ReadStallLocal);
+                .charge(node, CycleCat::ReadStallLocal, Knob::LocalFill, 1);
             t.machine.stats_mut(node).read_miss_local += 1;
             t.machine.record(Event::ReadMiss {
                 node,
@@ -566,8 +560,7 @@ impl Lcm {
         p.data.set_word(w, bits);
         p.dirty.set(w);
         let t = self.inner.tempest_mut();
-        let hit = t.machine.cost().cache_hit;
-        t.machine.advance(node, hit);
+        t.machine.hit(node);
         t.machine.stats_mut(node).write_hits += 1;
     }
 
@@ -689,7 +682,6 @@ impl Lcm {
         let np = self.nested.as_mut().expect("nested phase open");
         let first = np.touched[node.index()].insert(block);
         let t = self.inner.tempest_mut();
-        let c = *t.machine.cost();
         if first {
             let home = t.home_of(block);
             if node == home {
@@ -698,7 +690,7 @@ impl Lcm {
                 } else {
                     CycleCat::ReadStallLocal
                 };
-                t.machine.advance_as(node, c.local_fill, cat);
+                t.machine.charge(node, cat, Knob::LocalFill, 1);
                 if is_write {
                     t.machine.stats_mut(node).write_miss_local += 1;
                 } else {
@@ -714,7 +706,7 @@ impl Lcm {
                 }
             }
         } else {
-            t.machine.advance(node, c.cache_hit);
+            t.machine.hit(node);
             if is_write {
                 t.machine.stats_mut(node).write_hits += 1;
             } else {
@@ -742,8 +734,7 @@ impl Lcm {
         {
             let word = p.data.word(w);
             let t = self.inner.tempest_mut();
-            let hit = t.machine.cost().cache_hit;
-            t.machine.advance(node, hit);
+            t.machine.hit(node);
             t.machine.stats_mut(node).read_hits += 1;
             return word;
         }
@@ -765,10 +756,9 @@ impl Lcm {
             None => self.nested_base(block),
         };
         let t = self.inner.tempest_mut();
-        let c = *t.machine.cost();
         t.machine.stats_mut(node).marks += 1;
         t.machine
-            .advance_as(node, c.clean_copy_create, CycleCat::FlushReconcile);
+            .charge(node, CycleCat::FlushReconcile, Knob::CleanCopyCreate, 1);
         t.machine.record(Event::Mark { node, block });
         let np = self.nested.as_mut().expect("nested phase open");
         np.privs[node.index()].insert(block, PrivCopy::new(init));
@@ -789,8 +779,7 @@ impl Lcm {
         p.data.set_word(w, bits);
         p.dirty.set(w);
         let t = self.inner.tempest_mut();
-        let hit = t.machine.cost().cache_hit;
-        t.machine.advance(node, hit);
+        t.machine.hit(node);
         t.machine.stats_mut(node).write_hits += 1;
     }
 
@@ -831,8 +820,7 @@ impl Lcm {
             }
         }
         let t = self.inner.tempest_mut();
-        let hit = t.machine.cost().cache_hit;
-        t.machine.advance(node, hit);
+        t.machine.hit(node);
         t.machine.stats_mut(node).write_hits += 1;
     }
 
@@ -850,13 +838,12 @@ impl Lcm {
             .or_insert_with(|| CowEntry::new(lcm_stache::SharerSet::empty()));
         let t = self.inner.tempest_mut();
         let home = t.home_of(block);
-        let c = *t.machine.cost();
         t.machine
-            .advance_as(node, c.block_flush, CycleCat::FlushReconcile);
+            .charge(node, CycleCat::FlushReconcile, Knob::BlockFlush, 1);
         t.machine.stats_mut(node).flushes += 1;
         t.net.send(&mut t.machine, node, home, MsgKind::Flush, true);
         t.machine
-            .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
+            .charge(home, CycleCat::FlushReconcile, Knob::ReconcilePerVersion, 1);
         t.machine.stats_mut(home).versions_reconciled += 1;
         let np = self.nested.as_mut().expect("nested phase open");
         let entry = np.entries.get_mut(&block).expect("just inserted");
@@ -1153,7 +1140,6 @@ impl MemoryProtocol for Lcm {
                 .expect("private copy has a phase entry");
             let t = self.inner.tempest_mut();
             let home = t.home_of(block);
-            let c = *t.machine.cost();
 
             // Ship the version home and merge it there.
             t.machine.record(Event::SpanBegin {
@@ -1163,10 +1149,10 @@ impl MemoryProtocol for Lcm {
             });
             t.machine.stats_mut(node).flushes += 1;
             t.machine
-                .advance_as(node, c.block_flush, CycleCat::FlushReconcile);
+                .charge(node, CycleCat::FlushReconcile, Knob::BlockFlush, 1);
             t.net.send(&mut t.machine, node, home, MsgKind::Flush, true);
             t.machine
-                .advance_as(home, c.reconcile_per_version, CycleCat::FlushReconcile);
+                .charge(home, CycleCat::FlushReconcile, Knob::ReconcilePerVersion, 1);
             t.machine.stats_mut(home).versions_reconciled += 1;
             t.machine.record(Event::Flush { node, block });
             let ww =
@@ -1183,7 +1169,7 @@ impl MemoryProtocol for Lcm {
             let t = self.inner.tempest_mut();
             if has_local_clean {
                 t.machine
-                    .advance_as(node, c.local_refill, CycleCat::FlushReconcile);
+                    .charge(node, CycleCat::FlushReconcile, Knob::LocalRefill, 1);
                 t.tags[node.index()].set(block, Tag::ReadOnly);
             } else {
                 t.tags[node.index()].set(block, Tag::Invalid);
@@ -1302,8 +1288,7 @@ impl MemoryProtocol for Lcm {
             }
         }
         let t = self.inner.tempest_mut();
-        let hit = t.machine.cost().cache_hit;
-        t.machine.advance(node, hit);
+        t.machine.hit(node);
         t.machine.stats_mut(node).write_hits += 1;
     }
 

@@ -12,7 +12,7 @@
 use lcm_sim::hash::{FastMap, FastSet};
 use lcm_sim::mem::{Addr, BlockBuf, BlockId};
 use lcm_sim::trace::Event;
-use lcm_sim::{CycleCat, NodeId};
+use lcm_sim::{CycleCat, Knob, NodeId};
 use lcm_tempest::{MsgKind, Tempest};
 
 /// Per-node snapshot and write-permission state for stale regions.
@@ -36,16 +36,14 @@ impl StaleState {
     pub fn read(&mut self, t: &mut Tempest, node: NodeId, addr: Addr, block: BlockId) -> u32 {
         let w = addr.word_in_block();
         if let Some(snap) = self.snaps[node.index()].get(&block) {
-            let hit = t.machine.cost().cache_hit;
-            t.machine.advance(node, hit);
+            t.machine.hit(node);
             t.machine.stats_mut(node).read_hits += 1;
             return snap.word(w);
         }
         let home = t.home_of(block);
-        let c = *t.machine.cost();
         if node == home {
             t.machine
-                .advance_as(node, c.local_fill, CycleCat::ReadStallLocal);
+                .charge(node, CycleCat::ReadStallLocal, Knob::LocalFill, 1);
             t.machine.stats_mut(node).read_miss_local += 1;
             t.machine.record(Event::ReadMiss {
                 node,
@@ -73,15 +71,13 @@ impl StaleState {
     pub fn write(&mut self, t: &mut Tempest, node: NodeId, addr: Addr, bits: u32, block: BlockId) {
         let w = addr.word_in_block();
         if self.own[node.index()].contains(&block) {
-            let hit = t.machine.cost().cache_hit;
-            t.machine.advance(node, hit);
+            t.machine.hit(node);
             t.machine.stats_mut(node).write_hits += 1;
         } else {
             let home = t.home_of(block);
-            let c = *t.machine.cost();
             if node == home {
                 t.machine
-                    .advance_as(node, c.local_fill, CycleCat::WriteStallLocal);
+                    .charge(node, CycleCat::WriteStallLocal, Knob::LocalFill, 1);
                 t.machine.stats_mut(node).write_miss_local += 1;
                 t.machine.record(Event::WriteMiss {
                     node,
@@ -110,9 +106,8 @@ impl StaleState {
     /// latest value. No-op (and uncounted) when no snapshot exists.
     pub fn refresh(&mut self, t: &mut Tempest, node: NodeId, block: BlockId) {
         if self.snaps[node.index()].remove(&block).is_some() {
-            let c = *t.machine.cost();
             t.machine
-                .advance_as(node, c.invalidate, CycleCat::FlushReconcile);
+                .charge(node, CycleCat::FlushReconcile, Knob::Invalidate, 1);
             t.machine.stats_mut(node).stale_refreshes += 1;
         }
     }

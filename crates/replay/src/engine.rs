@@ -1,0 +1,401 @@
+//! Trace-driven replay: re-pricing a captured charge stream under an
+//! arbitrary cost model and topology without re-executing the program.
+//!
+//! The capture stream is a complete account of every clock mutation the
+//! execution-driven machine performed, in execution order, with
+//! cost-model-derived charges kept *symbolic* (knob × units). Replay
+//! folds the stream once:
+//!
+//! * [`Event::Work`] — coalesced compute plus cache hits; re-priced as
+//!   `cycles + hits × cache_hit`.
+//! * [`Event::Charge`] — symbolic; re-priced as `knob.eval(cost) × units`
+//!   under its recorded category.
+//! * [`Event::ChargeRaw`] — model-independent cycles (fault delays,
+//!   retry backoff); replayed verbatim.
+//! * [`Event::Xfer`] — one delivered message crossing the wire; replay
+//!   re-enters it into its own contention fabric at the sender's clock
+//!   and charges the queueing + serialization delay to the receiver,
+//!   and recomputes wire bytes under the new header size.
+//! * [`Event::Barrier`] — structural: all clocks jump to
+//!   `max + barrier_cost(nodes)`, the jump charged as barrier wait.
+//! * [`Event::PhaseMark`] — recorded as a phase boundary at the
+//!   replayed time.
+//!
+//! What replay *cannot* reconstruct: protocol control flow. A cost model
+//! never changes which faults, invalidations or retries happen — those
+//! are fixed by the capture — so replay explores pricing, not policy.
+
+use crate::format::TraceFile;
+use lcm_sim::{CostModel, CycleCat, CycleLedger, Event, Fabric, LinkUtil, NodeStats, Topology};
+
+/// The outcome of re-pricing one captured run.
+#[derive(Clone, Debug)]
+pub struct Replayed {
+    /// Execution time under the replay cost model (max node clock).
+    pub time: u64,
+    /// Per-node clocks at the end of the replayed run.
+    pub clocks: Vec<u64>,
+    /// Per-node, per-category cycle attribution of the replayed run.
+    pub ledger: CycleLedger,
+    /// Number of global barriers in the stream.
+    pub barriers: u64,
+    /// Summed statistics: the capture's protocol counters with the
+    /// byte counters recomputed for the replay header size.
+    pub totals: NodeStats,
+    /// Per-link utilization of the replay fabric (empty when the replay
+    /// cost model has unlimited bandwidth).
+    pub links: Vec<LinkUtil>,
+    /// Phase boundaries: label and replayed time at each
+    /// [`Event::PhaseMark`].
+    pub phases: Vec<(&'static str, u64)>,
+}
+
+/// Replays `file`'s event stream under `cost` and `topology`, returning
+/// the re-priced clocks, ledger and statistics.
+///
+/// Replaying under the file's own cost model and topology reproduces the
+/// execution-driven run exactly (see [`validate`]); any other model
+/// yields the run's cost under that model, at a fraction of the price of
+/// re-executing it.
+pub fn replay(file: &TraceFile, cost: &CostModel, topology: Topology) -> Replayed {
+    let nodes = file.nodes;
+    let mut clocks = vec![0u64; nodes];
+    let mut ledger = CycleLedger::new(nodes);
+    let mut fabric =
+        (cost.link_bandwidth_bytes_per_cycle > 0).then(|| Fabric::new(topology, nodes, cost));
+    let mut barriers = 0u64;
+    let mut bytes_sent = 0u64;
+    let mut bytes_recv = 0u64;
+    let mut phases = Vec::with_capacity(file.phase_index.len());
+
+    for ev in &file.events {
+        match ev.event {
+            Event::Work { node, cycles, hits } => {
+                let total = cycles + hits.saturating_mul(cost.cache_hit);
+                clocks[node.index()] += total;
+                ledger.charge(node, CycleCat::Compute, total);
+            }
+            Event::Charge {
+                node,
+                cat,
+                knob,
+                units,
+            } => {
+                let cycles = knob.eval(cost).saturating_mul(u64::from(units));
+                clocks[node.index()] += cycles;
+                ledger.charge(node, cat, cycles);
+            }
+            Event::ChargeRaw { node, cat, cycles } => {
+                clocks[node.index()] += cycles;
+                ledger.charge(node, cat, cycles);
+            }
+            Event::Xfer { from, to, bytes } => {
+                // The captured size includes the capture-time header;
+                // swap it for the replay model's header.
+                let wire = bytes
+                    .saturating_sub(file.cost.msg_header_bytes)
+                    .saturating_add(cost.msg_header_bytes);
+                bytes_sent += wire;
+                bytes_recv += wire;
+                if let Some(fabric) = &mut fabric {
+                    let now = clocks[from.index()];
+                    let (queue, ser) = fabric.transfer(from, to, wire, now);
+                    let extra = queue + ser;
+                    if extra > 0 {
+                        clocks[to.index()] += extra;
+                        ledger.charge(to, CycleCat::NetContention, extra);
+                    }
+                }
+            }
+            Event::Barrier { .. } => {
+                let max = clocks.iter().copied().max().unwrap_or(0);
+                let after = max + cost.barrier_cost(nodes);
+                for (i, c) in clocks.iter_mut().enumerate() {
+                    ledger.charge(lcm_sim::NodeId(i as u16), CycleCat::BarrierWait, after - *c);
+                    *c = after;
+                }
+                barriers += 1;
+            }
+            Event::PhaseMark { label } => {
+                phases.push((label, clocks.iter().copied().max().unwrap_or(0)));
+            }
+            // Observability records: they shape statistics, not clocks.
+            _ => {}
+        }
+    }
+
+    let mut totals = file.totals.clone();
+    totals.bytes_sent = bytes_sent;
+    totals.bytes_recv = bytes_recv;
+    let links = fabric.map(|f| f.utilization()).unwrap_or_default();
+    Replayed {
+        time: clocks.iter().copied().max().unwrap_or(0),
+        clocks,
+        ledger,
+        barriers,
+        totals,
+        links,
+        phases,
+    }
+}
+
+/// Replays `file` under its *own* cost model and topology and checks the
+/// result against the execution-driven outcome stored in the footer.
+///
+/// A passing validation proves the capture is a complete account of the
+/// run: every per-node clock, every cycle-ledger cell and the wire byte
+/// counters are reproduced exactly from events alone, the ledger
+/// conserves cycles (each node's category sum equals its clock), and the
+/// stream's message records agree with the protocol counters. Any
+/// mismatch names the first divergent quantity.
+pub fn validate(file: &TraceFile) -> Result<Replayed, String> {
+    let r = replay(file, &file.cost, file.topology);
+    for (i, (got, want)) in r.clocks.iter().zip(&file.clocks).enumerate() {
+        if got != want {
+            return Err(format!(
+                "node {i} clock diverges: replay {got}, execution {want}"
+            ));
+        }
+    }
+    for n in 0..file.nodes {
+        let node = lcm_sim::NodeId(n as u16);
+        let mut sum = 0u64;
+        for cat in CycleCat::all() {
+            let got = r.ledger.get(node, cat);
+            let want = file.ledger.get(node, cat);
+            if got != want {
+                return Err(format!(
+                    "node {n} {} cycles diverge: replay {got}, execution {want}",
+                    cat.label()
+                ));
+            }
+            sum += got;
+        }
+        if sum != r.clocks[n] {
+            return Err(format!(
+                "node {n} ledger does not conserve cycles: categories sum to \
+                 {sum} but the clock reads {}",
+                r.clocks[n]
+            ));
+        }
+    }
+    if r.totals.bytes_sent != file.totals.bytes_sent
+        || r.totals.bytes_recv != file.totals.bytes_recv
+    {
+        return Err(format!(
+            "wire bytes diverge: replay sent/recv {}/{}, execution {}/{}",
+            r.totals.bytes_sent,
+            r.totals.bytes_recv,
+            file.totals.bytes_sent,
+            file.totals.bytes_recv
+        ));
+    }
+    // Completeness audit: the stream must hold one record per counted
+    // message and one barrier record per executed barrier.
+    let (mut sends, mut recvs) = (0u64, 0u64);
+    for ev in &file.events {
+        match ev.event {
+            Event::MsgSend { .. } => sends += 1,
+            Event::MsgRecv { .. } => recvs += 1,
+            _ => {}
+        }
+    }
+    if sends != file.totals.msgs_sent || recvs != file.totals.msgs_recv {
+        return Err(format!(
+            "message records diverge from counters: stream has {sends} sends / \
+             {recvs} recvs, counters say {} / {}",
+            file.totals.msgs_sent, file.totals.msgs_recv
+        ));
+    }
+    if file.nodes as u64 * r.barriers != file.totals.barriers {
+        return Err(format!(
+            "barrier records diverge from counters: stream has {} barriers \
+             across {} nodes, counters say {}",
+            r.barriers, file.nodes, file.totals.barriers
+        ));
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_sim::{Knob, NodeId, Stamped};
+
+    /// A hand-built two-node capture with one symbolic charge, one raw
+    /// charge, coalesced work, a transfer and a barrier — priced by hand
+    /// under cm5 so the footer matches an execution-driven run.
+    fn tiny_capture() -> TraceFile {
+        let cost = CostModel::cm5();
+        let nodes = 2;
+        let mut clocks = vec![0u64; nodes];
+        let mut ledger = CycleLedger::new(nodes);
+        let mut events: Vec<Stamped> = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |events: &mut Vec<Stamped>, cycle: u64, event: Event| {
+            events.push(Stamped { seq, cycle, event });
+            seq += 1;
+        };
+
+        // Node 0: 40 cycles of compute plus 3 hits.
+        let work = 40 + 3 * cost.cache_hit;
+        clocks[0] += work;
+        ledger.charge(NodeId(0), CycleCat::Compute, work);
+        push(
+            &mut events,
+            clocks[0],
+            Event::Work {
+                node: NodeId(0),
+                cycles: 40,
+                hits: 3,
+            },
+        );
+        // Node 1: a remote read miss, symbolically.
+        let miss = cost.remote_miss * 2;
+        clocks[1] += miss;
+        ledger.charge(NodeId(1), CycleCat::ReadStallRemote, miss);
+        push(
+            &mut events,
+            clocks[1],
+            Event::Charge {
+                node: NodeId(1),
+                cat: CycleCat::ReadStallRemote,
+                knob: Knob::RemoteMiss,
+                units: 2,
+            },
+        );
+        // Node 1: a raw fault delay.
+        clocks[1] += 500;
+        ledger.charge(NodeId(1), CycleCat::RetryBackoff, 500);
+        push(
+            &mut events,
+            clocks[1],
+            Event::ChargeRaw {
+                node: NodeId(1),
+                cat: CycleCat::RetryBackoff,
+                cycles: 500,
+            },
+        );
+        // One message 1 -> 0 (unlimited bandwidth at capture time).
+        let bytes = cost.msg_header_bytes + 32;
+        push(
+            &mut events,
+            clocks[1],
+            Event::Xfer {
+                from: NodeId(1),
+                to: NodeId(0),
+                bytes,
+            },
+        );
+        push(
+            &mut events,
+            clocks[1],
+            Event::MsgSend {
+                from: NodeId(1),
+                to: NodeId(0),
+                kind: "GetShared",
+                bytes,
+            },
+        );
+        push(
+            &mut events,
+            clocks[1],
+            Event::MsgRecv {
+                node: NodeId(0),
+                from: NodeId(1),
+                kind: "GetShared",
+                bytes,
+            },
+        );
+        // Barrier.
+        let after = clocks.iter().copied().max().unwrap() + cost.barrier_cost(nodes);
+        for (i, c) in clocks.iter_mut().enumerate() {
+            ledger.charge(NodeId(i as u16), CycleCat::BarrierWait, after - *c);
+            *c = after;
+        }
+        push(&mut events, after, Event::Barrier { at: after });
+
+        let totals = NodeStats {
+            msgs_sent: 1,
+            msgs_recv: 1,
+            bytes_sent: bytes,
+            bytes_recv: bytes,
+            barriers: nodes as u64,
+            ..Default::default()
+        };
+        TraceFile::from_capture(
+            nodes,
+            Topology::default(),
+            cost,
+            Vec::new(),
+            events,
+            clocks,
+            &ledger,
+            totals,
+        )
+        .expect("gap-free")
+    }
+
+    #[test]
+    fn validates_a_hand_priced_capture() {
+        let file = tiny_capture();
+        let r = validate(&file).expect("replay reproduces the capture");
+        assert_eq!(r.time, *file.clocks.iter().max().unwrap());
+        assert_eq!(r.barriers, 1);
+    }
+
+    #[test]
+    fn repricing_scales_the_symbolic_charges() {
+        let file = tiny_capture();
+        let mut cheap = file.cost;
+        cheap.remote_miss = 0;
+        let r = replay(&file, &cheap, file.topology);
+        assert_eq!(r.ledger.get(NodeId(1), CycleCat::ReadStallRemote), 0);
+        // Raw charges replay verbatim regardless of the model.
+        assert_eq!(r.ledger.get(NodeId(1), CycleCat::RetryBackoff), 500);
+        let exec = validate(&file).expect("baseline");
+        assert!(
+            r.time < exec.time,
+            "zero-cost remote misses must shorten the run"
+        );
+    }
+
+    #[test]
+    fn repricing_swaps_the_message_header() {
+        let file = tiny_capture();
+        let mut fat = file.cost;
+        fat.msg_header_bytes += 100;
+        let r = replay(&file, &fat, file.topology);
+        assert_eq!(r.totals.bytes_sent, file.totals.bytes_sent + 100);
+        assert_eq!(r.totals.bytes_recv, file.totals.bytes_recv + 100);
+    }
+
+    #[test]
+    fn adding_bandwidth_at_replay_time_charges_contention() {
+        let file = tiny_capture();
+        let mut narrow = file.cost;
+        narrow.link_bandwidth_bytes_per_cycle = 1;
+        let r = replay(&file, &narrow, file.topology);
+        assert!(
+            r.ledger.get(NodeId(0), CycleCat::NetContention) > 0,
+            "the transfer must serialize over the 1 B/cycle link"
+        );
+        assert!(!r.links.is_empty(), "the fabric saw the message");
+    }
+
+    #[test]
+    fn validation_rejects_a_tampered_footer() {
+        let mut file = tiny_capture();
+        file.clocks[0] += 1;
+        let err = validate(&file).expect_err("divergence detected");
+        assert!(err.contains("clock diverges"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn validation_audits_message_completeness() {
+        let mut file = tiny_capture();
+        file.totals.msgs_sent += 1;
+        let err = validate(&file).expect_err("missing record detected");
+        assert!(err.contains("message records"), "unexpected error: {err}");
+    }
+}

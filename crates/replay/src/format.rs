@@ -1,0 +1,1056 @@
+//! The `.lcmtrace` capture file: a versioned, compact binary encoding of
+//! one captured charge stream plus everything replay needs to re-price
+//! it.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! magic      8 bytes  "LCMTRACE"
+//! version    u16 LE   bumped on any incompatible layout change
+//! header     nodes, topology (tag byte + fat-tree arity), the full
+//!            18-field CostModel in declaration order, and a list of
+//!            (key, value) metadata strings
+//! fingerprint u64 LE  FNV-1a over the serialized header — one value
+//!            identifying the capture's machine config + cost model
+//! strings    interned string table (message-kind labels, span and
+//!            phase labels); events reference strings by table index
+//! events     count, then per event: opcode byte, zigzag-varint delta
+//!            of the cycle stamp from the previous event, payload
+//! phase index one entry per PhaseMark: (label, event index, cycle) —
+//!            a seek table for consumers that want one phase
+//! footer     final per-node clocks, the per-node × per-category cycle
+//!            ledger, summed NodeStats, event count (cross-check)
+//! checksum   u64 LE   FNV-1a over every preceding byte of the file
+//! ```
+//!
+//! Versioning policy: the opcode table, the [`lcm_sim::Knob`] and
+//! [`lcm_sim::CycleCat`] dense indices, and the [`NodeStats::FIELDS`]
+//! array order are wire format — extend them at the end, never renumber.
+//! Any change that would misread an old file bumps `VERSION`; the reader
+//! rejects files whose version it does not know.
+
+use lcm_sim::{
+    CostModel, CycleCat, CycleLedger, Event, Knob, NodeId, NodeStats, Stamped, Topology,
+};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// File magic: the first eight bytes of every `.lcmtrace`.
+pub const MAGIC: &[u8; 8] = b"LCMTRACE";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// FNV-1a over a byte slice (the repo's standard fingerprint hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A byte cursor over the serialized file.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(format!(
+                "truncated .lcmtrace: wanted {n} bytes at offset {}",
+                self.pos
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16_le(&mut self) -> Result<u16, String> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err("varint overflows u64".to_string());
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.varint()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("non-UTF-8 string in trace: {e}"))
+    }
+}
+
+/// Resolves a string read from a trace file to a `&'static str`, so the
+/// deserialized [`Event`]s are the same type the machine records.
+///
+/// Labels the simulator is known to emit (message kinds, the runtime's
+/// phase names, protocol span names) resolve to the program's own static
+/// strings; anything else is leaked once and cached process-wide, so a
+/// replay loop over many files cannot leak without bound.
+fn intern(s: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        // lcm_tempest::MsgKind::label values.
+        "GetShared",
+        "GetExclusive",
+        "Upgrade",
+        "Invalidate",
+        "Ack",
+        "Writeback",
+        "Flush",
+        "CleanFill",
+        "StaleRefresh",
+        "Nack",
+        "Retry",
+        // Runtime phase labels and protocol span names.
+        "init",
+        "apply",
+        "read_fault",
+        "write_fault",
+        "reconcile",
+        "mark",
+        "flush",
+    ];
+    if let Some(k) = KNOWN.iter().find(|k| **k == s) {
+        return k;
+    }
+    static LEAKED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut leaked = LEAKED.lock().expect("intern cache poisoned");
+    if let Some(k) = leaked.iter().find(|k| **k == s) {
+        return k;
+    }
+    let s: &'static str = Box::leak(s.to_string().into_boxed_str());
+    leaked.push(s);
+    s
+}
+
+/// One entry of the phase seek table: where a phase boundary sits in the
+/// event stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseIndexEntry {
+    /// The phase label.
+    pub label: &'static str,
+    /// Index of the [`Event::PhaseMark`] in the event stream.
+    pub event_index: u64,
+    /// Machine time at the mark.
+    pub cycle: u64,
+}
+
+/// An in-memory `.lcmtrace`: the captured charge stream with its machine
+/// configuration, plus the execution-driven outcome (clocks, ledger,
+/// summed statistics) replay validates against.
+#[derive(Clone, Debug)]
+pub struct TraceFile {
+    /// Number of simulated nodes.
+    pub nodes: usize,
+    /// Network topology of the capture.
+    pub topology: Topology,
+    /// Cost model the capture ran under.
+    pub cost: CostModel,
+    /// Free-form (key, value) pairs: benchmark name, scale, system, …
+    pub metadata: Vec<(String, String)>,
+    /// The captured event stream, in record order.
+    pub events: Vec<Stamped>,
+    /// Seek table over [`Event::PhaseMark`] records.
+    pub phase_index: Vec<PhaseIndexEntry>,
+    /// Final per-node clocks of the execution-driven run.
+    pub clocks: Vec<u64>,
+    /// Per-node, per-category cycle attribution of the run.
+    pub ledger: CycleLedger,
+    /// Summed protocol counters of the run.
+    pub totals: NodeStats,
+}
+
+impl TraceFile {
+    /// Assembles a trace file from a finished capture.
+    ///
+    /// Fails when the stream is unusable for replay: a sequence gap
+    /// means the bounded capture buffer overflowed and dropped events,
+    /// and a replay of an incomplete stream would silently underprice
+    /// the run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_capture(
+        nodes: usize,
+        topology: Topology,
+        cost: CostModel,
+        metadata: Vec<(String, String)>,
+        events: Vec<Stamped>,
+        clocks: Vec<u64>,
+        ledger: &CycleLedger,
+        totals: NodeStats,
+    ) -> Result<TraceFile, String> {
+        if clocks.len() != nodes {
+            return Err(format!(
+                "capture has {} clocks for {nodes} nodes",
+                clocks.len()
+            ));
+        }
+        for (i, ev) in events.iter().enumerate() {
+            if ev.seq != i as u64 {
+                return Err(format!(
+                    "capture stream has a sequence gap at event {i} (seq {}): \
+                     the capture buffer overflowed and dropped events, so the \
+                     stream cannot account for every charged cycle — recapture \
+                     with a larger buffer",
+                    ev.seq
+                ));
+            }
+        }
+        let phase_index = events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, ev)| match ev.event {
+                Event::PhaseMark { label } => Some(PhaseIndexEntry {
+                    label,
+                    event_index: i as u64,
+                    cycle: ev.cycle,
+                }),
+                _ => None,
+            })
+            .collect();
+        Ok(TraceFile {
+            nodes,
+            topology,
+            cost,
+            metadata,
+            events,
+            phase_index,
+            clocks,
+            ledger: ledger.clone(),
+            totals,
+        })
+    }
+
+    /// Looks up a metadata value by key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.metadata
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The serialized header section (without magic/version): what the
+    /// fingerprint covers.
+    fn header_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint(&mut out, self.nodes as u64);
+        match self.topology {
+            Topology::FatTree { arity } => {
+                out.push(0);
+                put_varint(&mut out, arity as u64);
+            }
+            Topology::Crossbar => out.push(1),
+            Topology::Flat => out.push(2),
+        }
+        for v in cost_fields(&self.cost) {
+            put_varint(&mut out, v);
+        }
+        put_varint(&mut out, self.metadata.len() as u64);
+        for (k, v) in &self.metadata {
+            put_str(&mut out, k);
+            put_str(&mut out, v);
+        }
+        out
+    }
+
+    /// The capture's machine-configuration fingerprint: FNV-1a over the
+    /// serialized header (nodes, topology, cost model, metadata). Two
+    /// captures with equal fingerprints ran under identical pricing.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(&self.header_bytes())
+    }
+
+    /// Serializes the file to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.events.len() * 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let header = self.header_bytes();
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&fnv1a(&header).to_le_bytes());
+
+        // String intern table, in first-use order.
+        let mut strings: Vec<&'static str> = Vec::new();
+        let index_of = |strings: &mut Vec<&'static str>, s: &'static str| -> u64 {
+            match strings.iter().position(|k| *k == s) {
+                Some(i) => i as u64,
+                None => {
+                    strings.push(s);
+                    (strings.len() - 1) as u64
+                }
+            }
+        };
+        for ev in &self.events {
+            match ev.event {
+                Event::MsgSend { kind, .. } | Event::MsgRecv { kind, .. } => {
+                    index_of(&mut strings, kind);
+                }
+                Event::SpanBegin { what, .. } | Event::SpanEnd { what, .. } => {
+                    index_of(&mut strings, what);
+                }
+                Event::PhaseMark { label } => {
+                    index_of(&mut strings, label);
+                }
+                _ => {}
+            }
+        }
+        put_varint(&mut out, strings.len() as u64);
+        for s in &strings {
+            put_str(&mut out, s);
+        }
+        let str_idx = |s: &'static str| -> u64 {
+            strings
+                .iter()
+                .position(|k| *k == s)
+                .expect("interned above") as u64
+        };
+
+        // Events: opcode, delta-encoded stamp, payload.
+        put_varint(&mut out, self.events.len() as u64);
+        let mut prev_cycle: u64 = 0;
+        for ev in &self.events {
+            let delta = zigzag(ev.cycle as i64 - prev_cycle as i64);
+            prev_cycle = ev.cycle;
+            match ev.event {
+                Event::ReadMiss {
+                    node,
+                    block,
+                    remote,
+                } => {
+                    out.push(0);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, block.0);
+                    out.push(u8::from(remote));
+                }
+                Event::WriteMiss {
+                    node,
+                    block,
+                    remote,
+                } => {
+                    out.push(1);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, block.0);
+                    out.push(u8::from(remote));
+                }
+                Event::Upgrade { node, block } => {
+                    out.push(2);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, block.0);
+                }
+                Event::Mark { node, block } => {
+                    out.push(3);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, block.0);
+                }
+                Event::CleanCopy { node, block } => {
+                    out.push(4);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, block.0);
+                }
+                Event::Flush { node, block } => {
+                    out.push(5);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, block.0);
+                }
+                Event::Reconcile { block, versions } => {
+                    out.push(6);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, block.0);
+                    put_varint(&mut out, u64::from(versions));
+                }
+                Event::Invalidate { node, block } => {
+                    out.push(7);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, block.0);
+                }
+                Event::WwConflict { block, word } => {
+                    out.push(8);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, block.0);
+                    out.push(word);
+                }
+                Event::RwConflict { block } => {
+                    out.push(9);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, block.0);
+                }
+                Event::Barrier { .. } => {
+                    // `at` always equals the stamp; the stamp carries it.
+                    out.push(10);
+                    put_varint(&mut out, delta);
+                }
+                Event::MsgSend {
+                    from,
+                    to,
+                    kind,
+                    bytes,
+                } => {
+                    out.push(11);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(from.0));
+                    put_varint(&mut out, u64::from(to.0));
+                    put_varint(&mut out, str_idx(kind));
+                    put_varint(&mut out, bytes);
+                }
+                Event::MsgRecv {
+                    node,
+                    from,
+                    kind,
+                    bytes,
+                } => {
+                    out.push(12);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, u64::from(from.0));
+                    put_varint(&mut out, str_idx(kind));
+                    put_varint(&mut out, bytes);
+                }
+                Event::SpanBegin { node, what, block } => {
+                    out.push(13);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, str_idx(what));
+                    put_varint(&mut out, block.0);
+                }
+                Event::SpanEnd { node, what, block } => {
+                    out.push(14);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, str_idx(what));
+                    put_varint(&mut out, block.0);
+                }
+                Event::Charge {
+                    node,
+                    cat,
+                    knob,
+                    units,
+                } => {
+                    out.push(15);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    out.push(cat.index() as u8);
+                    out.push(knob.index() as u8);
+                    put_varint(&mut out, u64::from(units));
+                }
+                Event::ChargeRaw { node, cat, cycles } => {
+                    out.push(16);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    out.push(cat.index() as u8);
+                    put_varint(&mut out, cycles);
+                }
+                Event::Work { node, cycles, hits } => {
+                    out.push(17);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(node.0));
+                    put_varint(&mut out, cycles);
+                    put_varint(&mut out, hits);
+                }
+                Event::Xfer { from, to, bytes } => {
+                    out.push(18);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, u64::from(from.0));
+                    put_varint(&mut out, u64::from(to.0));
+                    put_varint(&mut out, bytes);
+                }
+                Event::PhaseMark { label } => {
+                    out.push(19);
+                    put_varint(&mut out, delta);
+                    put_varint(&mut out, str_idx(label));
+                }
+            }
+        }
+
+        // Phase seek table.
+        put_varint(&mut out, self.phase_index.len() as u64);
+        for p in &self.phase_index {
+            put_varint(&mut out, str_idx(p.label));
+            put_varint(&mut out, p.event_index);
+            put_varint(&mut out, p.cycle);
+        }
+
+        // Footer: the execution-driven outcome.
+        for &c in &self.clocks {
+            put_varint(&mut out, c);
+        }
+        for n in 0..self.nodes {
+            for cat in CycleCat::all() {
+                put_varint(&mut out, self.ledger.get(NodeId(n as u16), cat));
+            }
+        }
+        for v in self.totals.as_array() {
+            put_varint(&mut out, v);
+        }
+        put_varint(&mut out, self.events.len() as u64);
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses a serialized `.lcmtrace`, verifying magic, version and
+    /// checksum.
+    pub fn from_bytes(buf: &[u8]) -> Result<TraceFile, String> {
+        if buf.len() < MAGIC.len() + 2 + 8 {
+            return Err("not a .lcmtrace: file too short".to_string());
+        }
+        let (body, tail) = buf.split_at(buf.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(format!(
+                "checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}"
+            ));
+        }
+        let mut c = Cursor::new(body);
+        if c.take(MAGIC.len())? != MAGIC {
+            return Err("not a .lcmtrace: bad magic".to_string());
+        }
+        let version = c.u16_le()?;
+        if version != VERSION {
+            return Err(format!(
+                "unsupported .lcmtrace version {version} (this build reads version {VERSION})"
+            ));
+        }
+        let nodes = c.varint()? as usize;
+        if nodes == 0 || nodes > lcm_sim::MAX_NODES {
+            return Err(format!("implausible node count {nodes}"));
+        }
+        let topology = match c.u8()? {
+            0 => Topology::FatTree {
+                arity: c.varint()? as usize,
+            },
+            1 => Topology::Crossbar,
+            2 => Topology::Flat,
+            t => return Err(format!("unknown topology tag {t}")),
+        };
+        let mut fields = [0u64; COST_FIELDS];
+        for f in &mut fields {
+            *f = c.varint()?;
+        }
+        let cost = cost_from_fields(&fields);
+        let n_meta = c.varint()? as usize;
+        let mut metadata = Vec::with_capacity(n_meta);
+        for _ in 0..n_meta {
+            let k = c.string()?;
+            let v = c.string()?;
+            metadata.push((k, v));
+        }
+        let _fingerprint = c.u64_le()?;
+
+        let n_strings = c.varint()? as usize;
+        let mut strings: Vec<&'static str> = Vec::with_capacity(n_strings);
+        for _ in 0..n_strings {
+            strings.push(intern(&c.string()?));
+        }
+        let get_str = |i: u64| -> Result<&'static str, String> {
+            strings
+                .get(i as usize)
+                .copied()
+                .ok_or_else(|| format!("string index {i} out of range ({n_strings} interned)"))
+        };
+        let node_id = |v: u64| -> Result<NodeId, String> {
+            if (v as usize) < nodes {
+                Ok(NodeId(v as u16))
+            } else {
+                Err(format!("node id {v} out of range ({nodes} nodes)"))
+            }
+        };
+        let cat_of = |v: u8| -> Result<CycleCat, String> {
+            CycleCat::all()
+                .get(v as usize)
+                .copied()
+                .ok_or_else(|| format!("unknown cycle category index {v}"))
+        };
+
+        let n_events = c.varint()? as usize;
+        let mut events = Vec::with_capacity(n_events);
+        let mut prev_cycle: u64 = 0;
+        for seq in 0..n_events {
+            let op = c.u8()?;
+            let delta = unzigzag(c.varint()?);
+            let cycle = (prev_cycle as i64 + delta) as u64;
+            prev_cycle = cycle;
+            let event = match op {
+                0 => Event::ReadMiss {
+                    node: node_id(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                    remote: c.u8()? != 0,
+                },
+                1 => Event::WriteMiss {
+                    node: node_id(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                    remote: c.u8()? != 0,
+                },
+                2 => Event::Upgrade {
+                    node: node_id(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                3 => Event::Mark {
+                    node: node_id(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                4 => Event::CleanCopy {
+                    node: node_id(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                5 => Event::Flush {
+                    node: node_id(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                6 => Event::Reconcile {
+                    block: lcm_sim::BlockId(c.varint()?),
+                    versions: c.varint()? as u32,
+                },
+                7 => Event::Invalidate {
+                    node: node_id(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                8 => Event::WwConflict {
+                    block: lcm_sim::BlockId(c.varint()?),
+                    word: c.u8()?,
+                },
+                9 => Event::RwConflict {
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                10 => Event::Barrier { at: cycle },
+                11 => Event::MsgSend {
+                    from: node_id(c.varint()?)?,
+                    to: node_id(c.varint()?)?,
+                    kind: get_str(c.varint()?)?,
+                    bytes: c.varint()?,
+                },
+                12 => Event::MsgRecv {
+                    node: node_id(c.varint()?)?,
+                    from: node_id(c.varint()?)?,
+                    kind: get_str(c.varint()?)?,
+                    bytes: c.varint()?,
+                },
+                13 => Event::SpanBegin {
+                    node: node_id(c.varint()?)?,
+                    what: get_str(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                14 => Event::SpanEnd {
+                    node: node_id(c.varint()?)?,
+                    what: get_str(c.varint()?)?,
+                    block: lcm_sim::BlockId(c.varint()?),
+                },
+                15 => Event::Charge {
+                    node: node_id(c.varint()?)?,
+                    cat: cat_of(c.u8()?)?,
+                    knob: {
+                        let i = c.u8()?;
+                        *Knob::all()
+                            .get(i as usize)
+                            .ok_or_else(|| format!("unknown knob index {i}"))?
+                    },
+                    units: c.varint()? as u32,
+                },
+                16 => Event::ChargeRaw {
+                    node: node_id(c.varint()?)?,
+                    cat: cat_of(c.u8()?)?,
+                    cycles: c.varint()?,
+                },
+                17 => Event::Work {
+                    node: node_id(c.varint()?)?,
+                    cycles: c.varint()?,
+                    hits: c.varint()?,
+                },
+                18 => Event::Xfer {
+                    from: node_id(c.varint()?)?,
+                    to: node_id(c.varint()?)?,
+                    bytes: c.varint()?,
+                },
+                19 => Event::PhaseMark {
+                    label: get_str(c.varint()?)?,
+                },
+                op => return Err(format!("unknown event opcode {op} at event {seq}")),
+            };
+            events.push(Stamped {
+                seq: seq as u64,
+                cycle,
+                event,
+            });
+        }
+
+        let n_phases = c.varint()? as usize;
+        let mut phase_index = Vec::with_capacity(n_phases);
+        for _ in 0..n_phases {
+            phase_index.push(PhaseIndexEntry {
+                label: get_str(c.varint()?)?,
+                event_index: c.varint()?,
+                cycle: c.varint()?,
+            });
+        }
+
+        let mut clocks = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            clocks.push(c.varint()?);
+        }
+        let mut ledger = CycleLedger::new(nodes);
+        for n in 0..nodes {
+            for cat in CycleCat::all() {
+                ledger.charge(NodeId(n as u16), cat, c.varint()?);
+            }
+        }
+        let mut stats = [0u64; NodeStats::FIELDS];
+        for v in &mut stats {
+            *v = c.varint()?;
+        }
+        let totals = NodeStats::from_array(stats);
+        let recorded = c.varint()? as usize;
+        if recorded != events.len() {
+            return Err(format!(
+                "footer says {recorded} events but the stream holds {}",
+                events.len()
+            ));
+        }
+        if c.pos != body.len() {
+            return Err(format!(
+                "{} trailing bytes after the footer",
+                body.len() - c.pos
+            ));
+        }
+        Ok(TraceFile {
+            nodes,
+            topology,
+            cost,
+            metadata,
+            events,
+            phase_index,
+            clocks,
+            ledger,
+            totals,
+        })
+    }
+
+    /// Writes the file to `path`, naming the path on failure.
+    pub fn write_to(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("failed to create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| format!("failed to write {}: {e}", path.display()))
+    }
+
+    /// Reads and parses a `.lcmtrace` from `path`, naming the path on
+    /// failure.
+    pub fn read_from(path: &Path) -> Result<TraceFile, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("failed to read {}: {e}", path.display()))?;
+        TraceFile::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Number of cost-model fields on the wire.
+const COST_FIELDS: usize = 18;
+
+/// The cost model's fields in declaration order — wire format, extend at
+/// the end only (with a version bump, since the count is not prefixed).
+fn cost_fields(c: &CostModel) -> [u64; COST_FIELDS] {
+    [
+        c.cache_hit,
+        c.local_fill,
+        c.local_refill,
+        c.remote_miss,
+        c.msg_send,
+        c.msg_recv,
+        c.block_flush,
+        c.clean_copy_create,
+        c.reconcile_per_version,
+        c.barrier_base,
+        c.barrier_per_level,
+        c.invalidate,
+        c.upgrade,
+        c.retry_timeout,
+        c.msg_header_bytes,
+        c.link_bandwidth_bytes_per_cycle,
+        c.ni_occupancy,
+        c.contention_window,
+    ]
+}
+
+fn cost_from_fields(f: &[u64; COST_FIELDS]) -> CostModel {
+    CostModel {
+        cache_hit: f[0],
+        local_fill: f[1],
+        local_refill: f[2],
+        remote_miss: f[3],
+        msg_send: f[4],
+        msg_recv: f[5],
+        block_flush: f[6],
+        clean_copy_create: f[7],
+        reconcile_per_version: f[8],
+        barrier_base: f[9],
+        barrier_per_level: f[10],
+        invalidate: f[11],
+        upgrade: f[12],
+        retry_timeout: f[13],
+        msg_header_bytes: f[14],
+        link_bandwidth_bytes_per_cycle: f[15],
+        ni_occupancy: f[16],
+        contention_window: f[17],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_sim::BlockId;
+
+    fn sample_file() -> TraceFile {
+        let nodes = 3;
+        let mut ledger = CycleLedger::new(nodes);
+        ledger.charge(NodeId(0), CycleCat::Compute, 120);
+        ledger.charge(NodeId(1), CycleCat::ReadStallRemote, 77);
+        let events = vec![
+            Stamped {
+                seq: 0,
+                cycle: 10,
+                event: Event::Work {
+                    node: NodeId(0),
+                    cycles: 9,
+                    hits: 1,
+                },
+            },
+            Stamped {
+                seq: 1,
+                cycle: 4,
+                event: Event::Charge {
+                    node: NodeId(1),
+                    cat: CycleCat::ReadStallRemote,
+                    knob: Knob::RemoteMiss,
+                    units: 2,
+                },
+            },
+            Stamped {
+                seq: 2,
+                cycle: 4,
+                event: Event::Xfer {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    bytes: 48,
+                },
+            },
+            Stamped {
+                seq: 3,
+                cycle: 9,
+                event: Event::MsgSend {
+                    from: NodeId(1),
+                    to: NodeId(0),
+                    kind: "GetShared",
+                    bytes: 48,
+                },
+            },
+            Stamped {
+                seq: 4,
+                cycle: 20,
+                event: Event::PhaseMark { label: "apply" },
+            },
+            Stamped {
+                seq: 5,
+                cycle: 25,
+                event: Event::Barrier { at: 25 },
+            },
+            Stamped {
+                seq: 6,
+                cycle: 26,
+                event: Event::ReadMiss {
+                    node: NodeId(2),
+                    block: BlockId(7),
+                    remote: true,
+                },
+            },
+        ];
+        TraceFile::from_capture(
+            nodes,
+            Topology::FatTree { arity: 4 },
+            CostModel::cm5(),
+            vec![("benchmark".into(), "unit".into())],
+            events,
+            vec![25, 25, 26],
+            &ledger,
+            NodeStats::default(),
+        )
+        .expect("sample capture is gap-free")
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let f = sample_file();
+        let bytes = f.to_bytes();
+        let g = TraceFile::from_bytes(&bytes).expect("parses");
+        assert_eq!(f.events, g.events);
+        assert_eq!(f.clocks, g.clocks);
+        assert_eq!(f.nodes, g.nodes);
+        assert_eq!(f.topology, g.topology);
+        assert_eq!(f.cost, g.cost);
+        assert_eq!(f.metadata, g.metadata);
+        assert_eq!(f.phase_index, g.phase_index);
+        assert_eq!(f.totals, g.totals);
+        for n in 0..f.nodes {
+            for cat in CycleCat::all() {
+                assert_eq!(
+                    f.ledger.get(NodeId(n as u16), cat),
+                    g.ledger.get(NodeId(n as u16), cat)
+                );
+            }
+        }
+        // Re-serializing the parse reproduces the same bytes.
+        assert_eq!(bytes, g.to_bytes());
+    }
+
+    #[test]
+    fn phase_index_points_at_the_marks() {
+        let f = sample_file();
+        assert_eq!(f.phase_index.len(), 1);
+        assert_eq!(f.phase_index[0].label, "apply");
+        assert_eq!(f.phase_index[0].event_index, 4);
+        assert_eq!(f.phase_index[0].cycle, 20);
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_machine_configuration() {
+        let a = sample_file();
+        let mut b = sample_file();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.cost.remote_miss += 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let f = sample_file();
+        let mut bytes = f.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = TraceFile::from_bytes(&bytes).expect_err("corrupt file rejected");
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let f = sample_file();
+        let mut bad_magic = f.to_bytes();
+        bad_magic[0] = b'X';
+        // Fix the checksum so the magic check itself is exercised.
+        let n = bad_magic.len();
+        let sum = fnv1a(&bad_magic[..n - 8]);
+        bad_magic[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(TraceFile::from_bytes(&bad_magic)
+            .expect_err("bad magic")
+            .contains("magic"));
+
+        let mut bad_version = f.to_bytes();
+        bad_version[8] = 0xEE;
+        bad_version[9] = 0xEE;
+        let n = bad_version.len();
+        let sum = fnv1a(&bad_version[..n - 8]);
+        bad_version[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(TraceFile::from_bytes(&bad_version)
+            .expect_err("bad version")
+            .contains("version"));
+    }
+
+    #[test]
+    fn dropped_captures_are_rejected() {
+        let mut f = sample_file();
+        // Simulate a ring-buffer overflow: the first surviving event has
+        // a non-zero sequence number.
+        f.events[0].seq = 5;
+        let err = TraceFile::from_capture(
+            f.nodes,
+            f.topology,
+            f.cost,
+            f.metadata.clone(),
+            f.events.clone(),
+            f.clocks.clone(),
+            &f.ledger,
+            f.totals,
+        )
+        .expect_err("gapped stream rejected");
+        assert!(err.contains("sequence gap"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn intern_resolves_known_labels_to_the_same_pointer() {
+        let a = intern("GetShared");
+        let b = intern("GetShared");
+        assert!(std::ptr::eq(a, b));
+        let c = intern("some-novel-label");
+        let d = intern("some-novel-label");
+        assert!(std::ptr::eq(c, d), "leak cache deduplicates");
+    }
+}

@@ -1,0 +1,27 @@
+//! # lcm-replay — trace capture files and trace-driven replay
+//!
+//! The execution-driven simulator in `lcm-sim` can run in *capture
+//! mode*, recording every clock mutation as an event with cost-model
+//! charges kept symbolic (knob × units). This crate gives that stream a
+//! home and a purpose:
+//!
+//! * [`TraceFile`] — the versioned, compact binary `.lcmtrace` format:
+//!   machine configuration, cost-model fingerprint, delta-encoded event
+//!   stream, phase seek table, and the execution-driven outcome as a
+//!   validation footer.
+//! * [`replay`] — folds a captured stream under an *arbitrary* cost
+//!   model and topology, rebuilding per-node clocks, the cycle ledger,
+//!   barrier waits and link backlogs from events alone. Orders of
+//!   magnitude faster than re-executing the program, which makes dense
+//!   cost-model design-space sweeps cheap.
+//! * [`validate`] — replays a file under its own capture-time cost
+//!   model and asserts the result reproduces the execution-driven run
+//!   exactly, proving the capture is complete.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod format;
+
+pub use engine::{replay, validate, Replayed};
+pub use format::{PhaseIndexEntry, TraceFile, MAGIC, VERSION};

@@ -190,6 +190,138 @@ impl Default for CostModel {
     }
 }
 
+/// Symbolic reference to a [`CostModel`] price: the *formula* a charge
+/// used, rather than the cycles it came to under the capture-time model.
+///
+/// Charges recorded as `(knob, units)` pairs stay re-priceable: the
+/// trace-replay engine evaluates the same knob against an arbitrary cost
+/// model and recovers the cycles that execution *would have* charged.
+/// Each variant maps onto one model field — except
+/// [`Knob::RemoteMissLessSend`], which captures the reply leg of a
+/// request/reply round-trip (`remote_miss - msg_send`, saturating), a
+/// composite the delivery layer charges as one quantity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Knob {
+    /// [`CostModel::cache_hit`].
+    CacheHit,
+    /// [`CostModel::local_fill`].
+    LocalFill,
+    /// [`CostModel::local_refill`].
+    LocalRefill,
+    /// [`CostModel::remote_miss`].
+    RemoteMiss,
+    /// [`CostModel::msg_send`].
+    MsgSend,
+    /// [`CostModel::msg_recv`].
+    MsgRecv,
+    /// [`CostModel::block_flush`].
+    BlockFlush,
+    /// [`CostModel::clean_copy_create`].
+    CleanCopyCreate,
+    /// [`CostModel::reconcile_per_version`].
+    ReconcilePerVersion,
+    /// [`CostModel::invalidate`].
+    Invalidate,
+    /// [`CostModel::upgrade`].
+    Upgrade,
+    /// [`CostModel::retry_timeout`] (backoff doubling is expressed in the
+    /// charge's `units`, so the knob itself stays linear).
+    RetryTimeout,
+    /// `remote_miss - msg_send`, saturating: the requester's stall for
+    /// the reply leg of a round-trip whose request overhead was already
+    /// charged separately.
+    RemoteMissLessSend,
+}
+
+impl Knob {
+    /// Number of knobs.
+    pub const COUNT: usize = 13;
+
+    /// All knobs, in [`Knob::index`] order.
+    pub fn all() -> [Knob; Knob::COUNT] {
+        [
+            Knob::CacheHit,
+            Knob::LocalFill,
+            Knob::LocalRefill,
+            Knob::RemoteMiss,
+            Knob::MsgSend,
+            Knob::MsgRecv,
+            Knob::BlockFlush,
+            Knob::CleanCopyCreate,
+            Knob::ReconcilePerVersion,
+            Knob::Invalidate,
+            Knob::Upgrade,
+            Knob::RetryTimeout,
+            Knob::RemoteMissLessSend,
+        ]
+    }
+
+    /// Dense, stable index (`0..COUNT`) — part of the `.lcmtrace` wire
+    /// format, so existing variants must never be renumbered.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Knob::CacheHit => 0,
+            Knob::LocalFill => 1,
+            Knob::LocalRefill => 2,
+            Knob::RemoteMiss => 3,
+            Knob::MsgSend => 4,
+            Knob::MsgRecv => 5,
+            Knob::BlockFlush => 6,
+            Knob::CleanCopyCreate => 7,
+            Knob::ReconcilePerVersion => 8,
+            Knob::Invalidate => 9,
+            Knob::Upgrade => 10,
+            Knob::RetryTimeout => 11,
+            Knob::RemoteMissLessSend => 12,
+        }
+    }
+
+    /// The knob with [`Knob::index`] `idx`, if in range.
+    pub fn from_index(idx: usize) -> Option<Knob> {
+        Knob::all().get(idx).copied()
+    }
+
+    /// Short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Knob::CacheHit => "cache_hit",
+            Knob::LocalFill => "local_fill",
+            Knob::LocalRefill => "local_refill",
+            Knob::RemoteMiss => "remote_miss",
+            Knob::MsgSend => "msg_send",
+            Knob::MsgRecv => "msg_recv",
+            Knob::BlockFlush => "block_flush",
+            Knob::CleanCopyCreate => "clean_copy_create",
+            Knob::ReconcilePerVersion => "reconcile_per_version",
+            Knob::Invalidate => "invalidate",
+            Knob::Upgrade => "upgrade",
+            Knob::RetryTimeout => "retry_timeout",
+            Knob::RemoteMissLessSend => "remote_miss_less_send",
+        }
+    }
+
+    /// Cycles one unit of this knob costs under `c`.
+    #[inline]
+    pub fn eval(self, c: &CostModel) -> u64 {
+        match self {
+            Knob::CacheHit => c.cache_hit,
+            Knob::LocalFill => c.local_fill,
+            Knob::LocalRefill => c.local_refill,
+            Knob::RemoteMiss => c.remote_miss,
+            Knob::MsgSend => c.msg_send,
+            Knob::MsgRecv => c.msg_recv,
+            Knob::BlockFlush => c.block_flush,
+            Knob::CleanCopyCreate => c.clean_copy_create,
+            Knob::ReconcilePerVersion => c.reconcile_per_version,
+            Knob::Invalidate => c.invalidate,
+            Knob::Upgrade => c.upgrade,
+            Knob::RetryTimeout => c.retry_timeout,
+            Knob::RemoteMissLessSend => c.remote_miss.saturating_sub(c.msg_send),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +376,28 @@ mod tests {
     fn unit_and_free_models() {
         assert_eq!(CostModel::unit().remote_miss, 1);
         assert_eq!(CostModel::free().barrier_cost(32), 0);
+    }
+
+    #[test]
+    fn knob_indices_are_dense_and_eval_matches_fields() {
+        let c = CostModel::cm5();
+        for (i, k) in Knob::all().iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(Knob::from_index(i), Some(*k));
+        }
+        assert_eq!(Knob::from_index(Knob::COUNT), None);
+        let labels: std::collections::HashSet<_> = Knob::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), Knob::COUNT, "labels are unique");
+        assert_eq!(Knob::RemoteMiss.eval(&c), c.remote_miss);
+        assert_eq!(
+            Knob::RemoteMissLessSend.eval(&c),
+            c.remote_miss - c.msg_send
+        );
+        // Saturation: a model where the send overhead exceeds the
+        // round-trip must not wrap.
+        let mut odd = CostModel::free();
+        odd.msg_send = 10;
+        assert_eq!(Knob::RemoteMissLessSend.eval(&odd), 0);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod stats;
 pub mod topology;
 pub mod trace;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, Knob};
 pub use fault::{DeliveryError, FaultConfig, FaultOutcome, FaultPlan};
 pub use machine::{Machine, MachineConfig, NodeId, MAX_NODES};
 pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};

@@ -13,7 +13,7 @@
 //! modeling queueing or contention. This is sufficient for the paper's
 //! results, which are dominated by miss counts and round-trip latencies.
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, Knob};
 use crate::fault::{FaultConfig, FaultPlan};
 use crate::profile::{CycleCat, CycleLedger, PhaseSnapshot};
 use crate::stats::NodeStats;
@@ -66,6 +66,14 @@ pub struct MachineConfig {
     /// when the cost model sets a finite link bandwidth; the default is
     /// the CM-5's 4-ary fat tree.
     pub topology: Topology,
+    /// Capture mode: record a *complete*, re-priceable charge stream
+    /// (symbolic [`crate::trace::Event::Charge`] records, coalesced
+    /// [`crate::trace::Event::Work`] records, network
+    /// [`crate::trace::Event::Xfer`] crossings) into the trace, from
+    /// which the `lcm-replay` crate can rebuild clocks and ledgers under
+    /// any cost model. Off by default — ordinary runs record only the
+    /// protocol-level events they always did.
+    pub capture: bool,
 }
 
 impl MachineConfig {
@@ -89,6 +97,7 @@ impl MachineConfig {
             trace_capacity: 0,
             faults: FaultConfig::default(),
             topology: Topology::default(),
+            capture: false,
         }
     }
 
@@ -114,6 +123,16 @@ impl MachineConfig {
     /// link bandwidth).
     pub fn with_topology(mut self, topology: Topology) -> MachineConfig {
         self.topology = topology;
+        self
+    }
+
+    /// Enables capture mode with a trace of `capacity` events: the run
+    /// records a complete, re-priceable charge stream for the replay
+    /// engine. The capacity must be generous — a capture that drops
+    /// events is useless, and the replay writer refuses it.
+    pub fn with_capture(mut self, capacity: usize) -> MachineConfig {
+        self.trace_capacity = capacity;
+        self.capture = true;
         self
     }
 }
@@ -142,6 +161,15 @@ pub struct Machine {
     /// default), in which case delivery charges are byte-identical to
     /// the flat per-message model.
     fabric: Option<Fabric>,
+    /// Capture mode: record the complete charge stream (see
+    /// [`MachineConfig::with_capture`]).
+    capture: bool,
+    /// Per-node `(compute cycles, cache hits)` accumulated but not yet
+    /// written to the trace as a [`Event::Work`] record. Clocks and
+    /// ledger are bumped immediately; only the *record* is deferred, so
+    /// the per-access stream coalesces into one event per node per
+    /// synchronization interval. Empty unless capturing.
+    pending: Vec<(u64, u64)>,
 }
 
 impl Machine {
@@ -167,6 +195,8 @@ impl Machine {
             barriers: 0,
             faults: FaultPlan::new(config.faults),
             fabric,
+            capture: config.capture,
+            pending: vec![(0, 0); config.nodes],
         }
     }
 
@@ -193,20 +223,113 @@ impl Machine {
         self.clocks[node.index()]
     }
 
-    /// Advances `node`'s clock by `cycles`, attributed to local compute.
-    #[inline]
-    pub fn advance(&mut self, node: NodeId, cycles: u64) {
-        self.advance_as(node, cycles, CycleCat::Compute);
-    }
-
-    /// Advances `node`'s clock by `cycles`, attributing them to `cat` in
-    /// the cycle ledger. Every clock mutation routes through here (or the
+    /// The one primitive clock mutation: advances `node`'s clock by
+    /// `cycles` and attributes them to `cat` in the ledger, recording
+    /// nothing. Every public charging path funnels through here (or the
     /// barrier path), which is what makes the ledger conservation
     /// invariant hold by construction.
     #[inline]
-    pub fn advance_as(&mut self, node: NodeId, cycles: u64, cat: CycleCat) {
+    fn bump(&mut self, node: NodeId, cycles: u64, cat: CycleCat) {
         self.clocks[node.index()] += cycles;
         self.ledger.charge(node, cat, cycles);
+    }
+
+    /// Advances `node`'s clock by `cycles`, attributed to local compute.
+    #[inline]
+    pub fn advance(&mut self, node: NodeId, cycles: u64) {
+        self.bump(node, cycles, CycleCat::Compute);
+        if self.capture {
+            self.pending[node.index()].0 += cycles;
+        }
+    }
+
+    /// Advances `node`'s clock by `cycles`, attributing them to `cat` in
+    /// the cycle ledger. The cycles are taken as a *raw*, model-
+    /// independent quantity: under capture they record as a
+    /// [`Event::ChargeRaw`] that replays verbatim. Charges derived from a
+    /// cost-model price should go through [`Machine::charge`] instead so
+    /// replay can re-price them.
+    #[inline]
+    pub fn advance_as(&mut self, node: NodeId, cycles: u64, cat: CycleCat) {
+        self.bump(node, cycles, cat);
+        if self.capture && cycles > 0 {
+            self.trace.record_at(
+                self.clocks[node.index()],
+                Event::ChargeRaw { node, cat, cycles },
+            );
+        }
+    }
+
+    /// Charges `node` with `units` × the price of `knob` under the
+    /// machine's cost model, attributed to `cat`; returns the cycles
+    /// charged. Under capture the charge records *symbolically* (knob +
+    /// units, not cycles), which is what lets the replay engine re-price
+    /// a captured run under an arbitrary cost model.
+    #[inline]
+    pub fn charge(&mut self, node: NodeId, cat: CycleCat, knob: Knob, units: u64) -> u64 {
+        let cycles = knob.eval(&self.cost).saturating_mul(units);
+        self.bump(node, cycles, cat);
+        if self.capture {
+            debug_assert!(u32::try_from(units).is_ok(), "charge units overflow u32");
+            self.trace.record_at(
+                self.clocks[node.index()],
+                Event::Charge {
+                    node,
+                    cat,
+                    knob,
+                    units: units as u32,
+                },
+            );
+        }
+        cycles
+    }
+
+    /// Charges `node` one cache hit (the model's `cache_hit` price, under
+    /// compute). Under capture, hits coalesce into the node's pending
+    /// [`Event::Work`] record instead of recording individually.
+    #[inline]
+    pub fn hit(&mut self, node: NodeId) {
+        self.bump(node, self.cost.cache_hit, CycleCat::Compute);
+        if self.capture {
+            self.pending[node.index()].1 += 1;
+        }
+    }
+
+    /// True while the machine is recording a re-priceable capture stream.
+    #[inline]
+    pub fn capture_enabled(&self) -> bool {
+        self.capture
+    }
+
+    /// Writes `node`'s pending compute/hit accumulator to the trace as a
+    /// [`Event::Work`] record. Called before any record whose replay
+    /// reads `node`'s clock mid-stream.
+    fn flush_pending(&mut self, node: NodeId) {
+        let (cycles, hits) = std::mem::take(&mut self.pending[node.index()]);
+        if cycles > 0 || hits > 0 {
+            self.trace.record_at(
+                self.clocks[node.index()],
+                Event::Work { node, cycles, hits },
+            );
+        }
+    }
+
+    /// Flushes every node's pending [`Event::Work`] accumulator (before
+    /// barriers, phase marks, and at the end of a capture).
+    fn flush_all_pending(&mut self) {
+        for i in 0..self.pending.len() {
+            self.flush_pending(NodeId(i as u16));
+        }
+    }
+
+    /// Finalizes a capture: flushes all pending coalesced work records so
+    /// the trace is a complete account of every charged cycle. Call once
+    /// after the program finishes, before reading the trace. No-op
+    /// outside capture mode.
+    pub fn finish_capture(&mut self) {
+        if self.capture {
+            self.flush_all_pending();
+        }
     }
 
     /// Advances every node's clock by `cycles` (e.g. broadcast handler work).
@@ -226,6 +349,12 @@ impl Machine {
     pub fn barrier(&mut self) -> u64 {
         let max = self.time();
         let after = max + self.cost.barrier_cost(self.nodes());
+        if self.capture {
+            // Replay recomputes each node's barrier wait from its clock
+            // at the Barrier record, so every pending work record must
+            // land first.
+            self.flush_all_pending();
+        }
         for (i, c) in self.clocks.iter_mut().enumerate() {
             // The jump to the common release time is this node's barrier
             // wait: idle cycles spent on slower peers plus the barrier's
@@ -237,18 +366,20 @@ impl Machine {
         for s in &mut self.stats {
             s.barriers += 1;
         }
+        self.barriers += 1;
+        // Recorded before any post-barrier fault stalls so a replaying
+        // consumer sees the synchronization point first; the stamp is the
+        // explicit release time either way.
+        self.trace.record_at(after, Event::Barrier { at: after });
         if self.faults.is_active() {
             for i in 0..self.clocks.len() {
                 if let Some(stall) = self.faults.barrier_stall() {
-                    self.clocks[i] += stall;
+                    let node = NodeId(i as u16);
+                    self.advance_as(node, stall, CycleCat::RetryBackoff);
                     self.stats[i].stall_cycles += stall;
-                    self.ledger
-                        .charge(NodeId(i as u16), CycleCat::RetryBackoff, stall);
                 }
             }
         }
-        self.barriers += 1;
-        self.trace.record_at(after, Event::Barrier { at: after });
         after
     }
 
@@ -299,6 +430,14 @@ impl Machine {
     /// the wire; lost attempts die before serialization and never
     /// reserve links.
     pub fn network_transfer(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        if self.capture {
+            // Replay reads the sender's clock at this record to re-enter
+            // the message into its own fabric — even when this capture
+            // ran without one (bandwidth can be *added* at replay time).
+            self.flush_pending(from);
+            self.trace
+                .record_at(self.clocks[from.index()], Event::Xfer { from, to, bytes });
+        }
         let Some(fabric) = &mut self.fabric else {
             return;
         };
@@ -306,7 +445,10 @@ impl Machine {
         let (queue, ser) = fabric.transfer(from, to, bytes, now);
         let extra = queue + ser;
         if extra > 0 {
-            self.advance_as(to, extra, CycleCat::NetContention);
+            // Deliberately unrecorded (`bump`, not `advance_as`): replay
+            // re-derives the contention charge from the Xfer record, so
+            // recording it too would double-charge the receiver.
+            self.bump(to, extra, CycleCat::NetContention);
         }
     }
 
@@ -376,6 +518,13 @@ impl Machine {
     /// step's closing barrier; consumers difference consecutive snapshots
     /// for per-phase metrics.
     pub fn mark_phase(&mut self, label: &'static str) {
+        if self.capture {
+            // The mark is a seek point in the capture file: all coalesced
+            // work must be on record before it.
+            self.flush_all_pending();
+            self.trace
+                .record_at(self.time(), Event::PhaseMark { label });
+        }
         self.phases.push(PhaseSnapshot {
             label,
             at: self.time(),
@@ -403,6 +552,9 @@ impl Machine {
         self.ledger.clear();
         self.phases.clear();
         self.trace.clear();
+        for p in &mut self.pending {
+            *p = (0, 0);
+        }
         if let Some(fabric) = &mut self.fabric {
             fabric.reset();
         }
@@ -665,6 +817,138 @@ mod tests {
         assert!(m.phases().is_empty());
         m.verify_ledger()
             .expect("reset ledger matches reset clocks");
+    }
+
+    #[test]
+    fn capture_off_records_no_pricing_events() {
+        use crate::profile::CycleCat;
+        let mut m = Machine::new(MachineConfig::new(2).with_trace(64));
+        assert!(!m.capture_enabled());
+        m.advance(NodeId(0), 10);
+        m.hit(NodeId(0));
+        m.charge(NodeId(1), CycleCat::ReadStallRemote, Knob::RemoteMiss, 1);
+        m.advance_as(NodeId(1), 5, CycleCat::RetryBackoff);
+        m.network_transfer(NodeId(0), NodeId(1), 48);
+        m.mark_phase("p");
+        m.finish_capture();
+        let b = m.barrier();
+        let ev = m.trace().to_vec();
+        assert_eq!(ev.len(), 1, "only the barrier is recorded: {ev:?}");
+        assert_eq!(ev[0].event, Event::Barrier { at: b });
+    }
+
+    #[test]
+    fn capture_records_a_complete_repriceable_stream() {
+        use crate::profile::CycleCat;
+        let cost = CostModel::cm5();
+        let mut m = Machine::new(MachineConfig::new(2).with_capture(64));
+        assert!(m.capture_enabled());
+        m.advance(NodeId(0), 10);
+        m.hit(NodeId(0));
+        m.hit(NodeId(0));
+        let charged = m.charge(NodeId(1), CycleCat::ReadStallRemote, Knob::RemoteMiss, 2);
+        assert_eq!(charged, 2 * cost.remote_miss);
+        m.advance_as(NodeId(1), 5, CycleCat::RetryBackoff);
+        m.barrier();
+        m.finish_capture();
+        let kinds: Vec<&str> = m.trace().events().iter().map(|e| e.event.kind()).collect();
+        assert_eq!(kinds, vec!["charge", "charge_raw", "work", "barrier"]);
+        let ev = m.trace().to_vec();
+        assert_eq!(
+            ev[0].event,
+            Event::Charge {
+                node: NodeId(1),
+                cat: CycleCat::ReadStallRemote,
+                knob: Knob::RemoteMiss,
+                units: 2
+            }
+        );
+        assert_eq!(
+            ev[2].event,
+            Event::Work {
+                node: NodeId(0),
+                cycles: 10,
+                hits: 2
+            },
+            "compute and hits coalesce into one record, flushed at the barrier"
+        );
+        m.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn capture_flushes_pending_work_before_xfer_records() {
+        let mut cost = CostModel::cm5();
+        cost.link_bandwidth_bytes_per_cycle = 4;
+        let mut m = Machine::new(MachineConfig::new(2).with_capture(64).with_cost(cost));
+        m.advance(NodeId(0), 7);
+        m.network_transfer(NodeId(0), NodeId(1), 48);
+        let ev = m.trace().to_vec();
+        assert_eq!(
+            ev[0].event,
+            Event::Work {
+                node: NodeId(0),
+                cycles: 7,
+                hits: 0
+            },
+            "sender's pending work lands before the crossing"
+        );
+        assert_eq!(
+            ev[1].event,
+            Event::Xfer {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 48
+            }
+        );
+        assert_eq!(ev[1].cycle, 7, "xfer stamped with the sender's clock");
+        // The receiver's contention charge is derived state: it must NOT
+        // appear as a charge record (replay recomputes it from the Xfer).
+        assert!(ev[2..].iter().all(|e| e.event.kind() != "charge_raw"));
+        m.verify_ledger().unwrap();
+    }
+
+    #[test]
+    fn capture_records_xfers_even_without_a_fabric() {
+        let mut m = Machine::new(MachineConfig::new(2).with_capture(16));
+        m.network_transfer(NodeId(0), NodeId(1), 48);
+        assert_eq!(
+            m.time(),
+            0,
+            "no contention charged under unlimited bandwidth"
+        );
+        assert_eq!(
+            m.trace().to_vec()[0].event,
+            Event::Xfer {
+                from: NodeId(0),
+                to: NodeId(1),
+                bytes: 48
+            },
+            "replay can still introduce bandwidth later"
+        );
+    }
+
+    #[test]
+    fn capture_marks_phases_and_resets_clear_pending() {
+        let mut m = Machine::new(MachineConfig::new(2).with_capture(64));
+        m.advance(NodeId(1), 3);
+        m.mark_phase("init");
+        let ev = m.trace().to_vec();
+        assert_eq!(
+            ev[0].event,
+            Event::Work {
+                node: NodeId(1),
+                cycles: 3,
+                hits: 0
+            }
+        );
+        assert_eq!(ev[1].event, Event::PhaseMark { label: "init" });
+        m.advance(NodeId(0), 9);
+        m.reset_measurements();
+        m.finish_capture();
+        assert!(
+            m.trace().events().is_empty(),
+            "reset drops pending work along with the trace"
+        );
     }
 
     #[test]

@@ -151,6 +151,80 @@ impl NodeStats {
     pub fn fault_events(&self) -> u64 {
         self.retries + self.timeouts + self.msgs_dropped + self.msgs_duplicated
     }
+
+    /// Number of counters in [`NodeStats::as_array`] order.
+    pub const FIELDS: usize = 28;
+
+    /// The counters flattened into a fixed declaration-order array — the
+    /// serialization form used by the `.lcmtrace` footer. Inverse of
+    /// [`NodeStats::from_array`]; appending a counter must extend the
+    /// *end* of this array (the trace format versions on its length).
+    pub fn as_array(&self) -> [u64; NodeStats::FIELDS] {
+        [
+            self.read_hits,
+            self.write_hits,
+            self.read_miss_remote,
+            self.read_miss_local,
+            self.write_miss_remote,
+            self.write_miss_local,
+            self.upgrades,
+            self.msgs_sent,
+            self.msgs_recv,
+            self.blocks_sent,
+            self.invalidations_sent,
+            self.invalidations_recv,
+            self.clean_copies,
+            self.marks,
+            self.flushes,
+            self.versions_reconciled,
+            self.ww_conflicts,
+            self.rw_conflicts,
+            self.stale_refreshes,
+            self.evictions,
+            self.barriers,
+            self.retries,
+            self.timeouts,
+            self.msgs_dropped,
+            self.msgs_duplicated,
+            self.stall_cycles,
+            self.bytes_sent,
+            self.bytes_recv,
+        ]
+    }
+
+    /// Rebuilds the counters from an [`NodeStats::as_array`] flattening.
+    pub fn from_array(a: [u64; NodeStats::FIELDS]) -> NodeStats {
+        NodeStats {
+            read_hits: a[0],
+            write_hits: a[1],
+            read_miss_remote: a[2],
+            read_miss_local: a[3],
+            write_miss_remote: a[4],
+            write_miss_local: a[5],
+            upgrades: a[6],
+            msgs_sent: a[7],
+            msgs_recv: a[8],
+            blocks_sent: a[9],
+            invalidations_sent: a[10],
+            invalidations_recv: a[11],
+            clean_copies: a[12],
+            marks: a[13],
+            flushes: a[14],
+            versions_reconciled: a[15],
+            ww_conflicts: a[16],
+            rw_conflicts: a[17],
+            stale_refreshes: a[18],
+            evictions: a[19],
+            barriers: a[20],
+            retries: a[21],
+            timeouts: a[22],
+            msgs_dropped: a[23],
+            msgs_duplicated: a[24],
+            stall_cycles: a[25],
+            bytes_sent: a[26],
+            bytes_recv: a[27],
+        }
+    }
 }
 
 impl std::fmt::Display for NodeStats {
@@ -274,6 +348,47 @@ mod tests {
         assert_eq!(a.bytes_sent, 54);
         assert_eq!(a.bytes_recv, 56);
         assert_eq!(a.fault_events(), 44 + 46 + 48 + 50);
+    }
+
+    #[test]
+    fn array_round_trip_covers_every_field() {
+        // The `b` fixture above assigns a distinct value to every field;
+        // a round trip through the serialization array must preserve all
+        // of them (a field missed by as_array/from_array would zero out).
+        let b = NodeStats {
+            read_hits: 1,
+            write_hits: 2,
+            read_miss_remote: 3,
+            read_miss_local: 4,
+            write_miss_remote: 5,
+            write_miss_local: 6,
+            upgrades: 7,
+            msgs_sent: 8,
+            msgs_recv: 9,
+            blocks_sent: 10,
+            invalidations_sent: 11,
+            invalidations_recv: 12,
+            clean_copies: 13,
+            marks: 14,
+            flushes: 15,
+            versions_reconciled: 16,
+            ww_conflicts: 17,
+            rw_conflicts: 18,
+            stale_refreshes: 19,
+            evictions: 21,
+            barriers: 20,
+            retries: 22,
+            timeouts: 23,
+            msgs_dropped: 24,
+            msgs_duplicated: 25,
+            stall_cycles: 26,
+            bytes_sent: 27,
+            bytes_recv: 28,
+        };
+        let a = b.as_array();
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), NodeStats::FIELDS, "every field captured");
+        assert_eq!(NodeStats::from_array(a), b);
     }
 
     #[test]

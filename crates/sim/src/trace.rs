@@ -13,8 +13,10 @@
 //! counted in [`Trace::dropped`] and visible as a gap in the sequence
 //! numbers, so a consumer can tell an incomplete stream from a quiet one.
 
+use crate::cost::Knob;
 use crate::machine::NodeId;
 use crate::mem::BlockId;
+use crate::profile::CycleCat;
 use std::collections::VecDeque;
 
 /// One protocol event.
@@ -141,6 +143,63 @@ pub enum Event {
         /// The block involved.
         block: BlockId,
     },
+    /// Capture mode only: `node` was charged `units` × a [`Knob`] price
+    /// under `cat`. Symbolic, so replay can re-price it under any cost
+    /// model. Never recorded outside capture mode.
+    Charge {
+        /// The charged node.
+        node: NodeId,
+        /// Ledger category the cycles were attributed to.
+        cat: CycleCat,
+        /// Which cost-model price was charged.
+        knob: Knob,
+        /// How many units of the price (e.g. 2 for a three-hop
+        /// double-round-trip, `2^k` for the k-th backoff doubling).
+        units: u32,
+    },
+    /// Capture mode only: `node` was charged `cycles` raw cycles under
+    /// `cat` — a quantity independent of the cost model (injected delays
+    /// and stalls, externally computed charges). Replays verbatim.
+    ChargeRaw {
+        /// The charged node.
+        node: NodeId,
+        /// Ledger category the cycles were attributed to.
+        cat: CycleCat,
+        /// Raw cycles charged.
+        cycles: u64,
+    },
+    /// Capture mode only: coalesced application work on `node` since its
+    /// last synchronization point — raw compute cycles plus a count of
+    /// cache hits (each worth the model's `cache_hit` price). Folding the
+    /// per-access stream into one record per node per interval keeps
+    /// captures compact.
+    Work {
+        /// The computing node.
+        node: NodeId,
+        /// Raw compute cycles (model-independent).
+        cycles: u64,
+        /// Cache hits bundled in (priced at `cache_hit` on replay).
+        hits: u64,
+    },
+    /// Capture mode only: a delivered message crossed the network
+    /// `from -> to`, entering at the sender's clock. Replay feeds these
+    /// through a contention fabric (if the replay model has finite
+    /// bandwidth) to rebuild link backlogs and queueing charges.
+    Xfer {
+        /// The sending node.
+        from: NodeId,
+        /// The receiving node.
+        to: NodeId,
+        /// Bytes on the wire (capture-time header + payload).
+        bytes: u64,
+    },
+    /// Capture mode only: a phase boundary was stamped (see
+    /// [`crate::Machine::mark_phase`]), letting replay rebuild per-phase
+    /// snapshots and the trace file index phases for seekability.
+    PhaseMark {
+        /// The phase label.
+        label: &'static str,
+    },
 }
 
 impl Event {
@@ -162,6 +221,11 @@ impl Event {
             Event::MsgRecv { .. } => "msg_recv",
             Event::SpanBegin { .. } => "span_begin",
             Event::SpanEnd { .. } => "span_end",
+            Event::Charge { .. } => "charge",
+            Event::ChargeRaw { .. } => "charge_raw",
+            Event::Work { .. } => "work",
+            Event::Xfer { .. } => "xfer",
+            Event::PhaseMark { .. } => "phase_mark",
         }
     }
 
@@ -181,10 +245,15 @@ impl Event {
             | Event::SpanBegin { node, .. }
             | Event::SpanEnd { node, .. } => Some(*node),
             Event::MsgSend { from, .. } => Some(*from),
+            Event::Charge { node, .. }
+            | Event::ChargeRaw { node, .. }
+            | Event::Work { node, .. } => Some(*node),
+            Event::Xfer { from, .. } => Some(*from),
             Event::Reconcile { .. }
             | Event::WwConflict { .. }
             | Event::RwConflict { .. }
-            | Event::Barrier { .. } => None,
+            | Event::Barrier { .. }
+            | Event::PhaseMark { .. } => None,
         }
     }
 
@@ -203,7 +272,14 @@ impl Event {
             | Event::RwConflict { block, .. }
             | Event::SpanBegin { block, .. }
             | Event::SpanEnd { block, .. } => Some(*block),
-            Event::Barrier { .. } | Event::MsgSend { .. } | Event::MsgRecv { .. } => None,
+            Event::Barrier { .. }
+            | Event::MsgSend { .. }
+            | Event::MsgRecv { .. }
+            | Event::Charge { .. }
+            | Event::ChargeRaw { .. }
+            | Event::Work { .. }
+            | Event::Xfer { .. }
+            | Event::PhaseMark { .. } => None,
         }
     }
 
@@ -389,7 +465,14 @@ impl Trace {
                 Event::MsgSend { .. } => s.msg_sends += 1,
                 Event::MsgRecv { .. } => s.msg_recvs += 1,
                 Event::SpanBegin { .. } => s.spans += 1,
-                Event::SpanEnd { .. } => {}
+                // Capture-mode pricing records are accounting detail, not
+                // protocol activity; the summary ignores them.
+                Event::SpanEnd { .. }
+                | Event::Charge { .. }
+                | Event::ChargeRaw { .. }
+                | Event::Work { .. }
+                | Event::Xfer { .. }
+                | Event::PhaseMark { .. } => {}
             }
         }
         let mut hot: Vec<(BlockId, u64)> = per_block.into_iter().collect();
@@ -601,6 +684,63 @@ mod tests {
     #[should_panic(expected = "needs capacity")]
     fn zero_capacity_ring_rejected() {
         Trace::ring(0);
+    }
+
+    #[test]
+    fn summarize_on_a_wrapped_ring_counts_only_retained_events() {
+        use crate::machine::NodeId;
+        // Three read misses on block 1, then four write misses on block
+        // 2: a ring of 4 wraps and sheds all the reads plus the first
+        // write, so the summary must describe only the surviving tail.
+        let mut t = Trace::ring(4);
+        for _ in 0..3 {
+            t.record(Event::ReadMiss {
+                node: NodeId(0),
+                block: BlockId(1),
+                remote: true,
+            });
+        }
+        for _ in 0..4 {
+            t.record(Event::WriteMiss {
+                node: NodeId(0),
+                block: BlockId(2),
+                remote: false,
+            });
+        }
+        assert_eq!(t.dropped(), 3);
+        let s = t.summarize();
+        assert_eq!(s.read_misses, 0, "wrapped-out reads are gone");
+        assert_eq!(s.write_misses, 4);
+        assert_eq!(
+            s.hottest_blocks,
+            vec![(BlockId(2), 4)],
+            "hot-block ranking sees only retained events"
+        );
+    }
+
+    #[test]
+    fn record_at_preserves_record_order_not_cycle_order() {
+        // Stamps are the acting node's clock and nodes progress
+        // independently, so cycle stamps are not monotonic; the trace
+        // must keep record order and never sort.
+        let cycles = [10u64, 5, 20, 1];
+        let mut t = Trace::with_capacity(8);
+        let mut r = Trace::ring(8);
+        for (i, &c) in cycles.iter().enumerate() {
+            t.record_at(c, Event::Barrier { at: i as u64 });
+            r.record_at(c, Event::Barrier { at: i as u64 });
+        }
+        for trace in [&t, &r] {
+            let got: Vec<(u64, u64)> = trace.events().iter().map(|e| (e.seq, e.cycle)).collect();
+            assert_eq!(got, vec![(0, 10), (1, 5), (2, 20), (3, 1)]);
+        }
+        // A wrapped ring still reports the tail in record order.
+        let mut w = Trace::ring(2);
+        for (i, &c) in cycles.iter().enumerate() {
+            w.record_at(c, Event::Barrier { at: i as u64 });
+        }
+        let got: Vec<(u64, u64)> = w.events().iter().map(|e| (e.seq, e.cycle)).collect();
+        assert_eq!(got, vec![(2, 20), (3, 1)]);
     }
 
     #[test]

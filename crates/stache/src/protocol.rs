@@ -22,7 +22,7 @@ use crate::sharers::{SharerSet, MAX_NODES};
 use lcm_rsm::{MemoryProtocol, PolicyTable};
 use lcm_sim::mem::{Addr, BlockId};
 use lcm_sim::trace::Event;
-use lcm_sim::{CycleCat, MachineConfig, NodeId};
+use lcm_sim::{CycleCat, Knob, MachineConfig, NodeId};
 use lcm_tempest::{MsgKind, Tag, Tempest};
 
 /// The baseline sequentially-consistent memory system.
@@ -126,14 +126,13 @@ impl Stache {
     /// Evicts one valid block from `node`: tag cleared, directory
     /// updated, writeback accounted for exclusive victims.
     fn evict(&mut self, node: NodeId, victim: BlockId, _tag: Tag) {
-        let c = *self.t.machine.cost();
         let home = self.t.home_of(victim);
         self.t.tags[node.index()].set(victim, Tag::Invalid);
         self.resident[node.index()] -= 1;
         self.t.machine.stats_mut(node).evictions += 1;
         self.t
             .machine
-            .advance_as(node, c.invalidate, CycleCat::FlushReconcile);
+            .charge(node, CycleCat::FlushReconcile, Knob::Invalidate, 1);
         match self.dir.state(victim) {
             DirState::Exclusive(owner) if owner == node => {
                 // Dirty victim: write the data home.
@@ -273,7 +272,6 @@ impl Stache {
     /// Invalid and is acked again without double-counting the
     /// invalidation or re-clearing anything.
     fn invalidate_one(&mut self, home: NodeId, sharer: NodeId, block: BlockId) {
-        let c = *self.t.machine.cost();
         if self.t.tags[sharer.index()].get(block) == Tag::Invalid {
             self.t
                 .net
@@ -281,10 +279,10 @@ impl Stache {
             if home != sharer {
                 self.t
                     .machine
-                    .advance_as(sharer, c.msg_recv, CycleCat::MsgOverhead);
+                    .charge(sharer, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
                 self.t
                     .machine
-                    .advance_as(home, c.msg_recv, CycleCat::MsgOverhead);
+                    .charge(home, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
             }
             return;
         }
@@ -302,15 +300,18 @@ impl Stache {
         if home != sharer {
             self.t
                 .machine
-                .advance_as(sharer, c.msg_recv + c.invalidate, CycleCat::MsgOverhead);
+                .charge(sharer, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
+            self.t
+                .machine
+                .charge(sharer, CycleCat::MsgOverhead, Knob::Invalidate, 1);
             // The ack.
             self.t
                 .machine
-                .advance_as(home, c.msg_recv, CycleCat::MsgOverhead);
+                .charge(home, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
         } else {
             self.t
                 .machine
-                .advance_as(sharer, c.invalidate, CycleCat::MsgOverhead);
+                .charge(sharer, CycleCat::MsgOverhead, Knob::Invalidate, 1);
         }
         self.t.tags[sharer.index()].set(block, Tag::Invalid);
         self.t.machine.stats_mut(home).invalidations_sent += 1;
@@ -324,7 +325,6 @@ impl Stache {
     /// Handles a load fault: obtains a read-only copy for `node`.
     fn read_fault(&mut self, node: NodeId, block: BlockId) {
         let home = self.t.home_of(block);
-        let c = *self.t.machine.cost();
         let state = self.dir.state(block);
         self.t.machine.record(Event::SpanBegin {
             node,
@@ -338,14 +338,10 @@ impl Stache {
             DirState::Exclusive(owner) => {
                 // Three-hop recall: node -> home -> owner -> home -> node.
                 // The owner is downgraded and keeps a read-only copy.
-                let latency = if node == home {
-                    c.remote_miss
-                } else {
-                    2 * c.remote_miss
-                };
+                let units = if node == home { 1 } else { 2 };
                 self.t
                     .machine
-                    .advance_as(node, latency, CycleCat::ReadStallRemote);
+                    .charge(node, CycleCat::ReadStallRemote, Knob::RemoteMiss, units);
                 self.t
                     .net
                     .count_only(&mut self.t.machine, node, home, MsgKind::GetShared, false);
@@ -361,11 +357,14 @@ impl Stache {
                 if home != node {
                     self.t
                         .machine
-                        .advance_as(home, 2 * c.msg_recv, CycleCat::MsgOverhead);
+                        .charge(home, CycleCat::MsgOverhead, Knob::MsgRecv, 2);
                 }
                 self.t
                     .machine
-                    .advance_as(owner, c.msg_recv + c.invalidate, CycleCat::MsgOverhead);
+                    .charge(owner, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
+                self.t
+                    .machine
+                    .charge(owner, CycleCat::MsgOverhead, Knob::Invalidate, 1);
                 self.t.tags[owner.index()].set(block, Tag::ReadOnly);
                 let mut sharers = SharerSet::single(owner);
                 sharers.add(node);
@@ -382,7 +381,7 @@ impl Stache {
                 if node == home {
                     self.t
                         .machine
-                        .advance_as(node, c.local_fill, CycleCat::ReadStallLocal);
+                        .charge(node, CycleCat::ReadStallLocal, Knob::LocalFill, 1);
                     self.t.machine.stats_mut(node).read_miss_local += 1;
                     self.t.machine.record(Event::ReadMiss {
                         node,
@@ -421,7 +420,6 @@ impl Stache {
     /// Handles a store fault: obtains the writable copy for `node`.
     fn write_fault(&mut self, node: NodeId, block: BlockId) {
         let home = self.t.home_of(block);
-        let c = *self.t.machine.cost();
         let state = self.dir.state(block);
         self.t.machine.record(Event::SpanBegin {
             node,
@@ -434,14 +432,10 @@ impl Stache {
             }
             DirState::Exclusive(owner) => {
                 // Recall-and-invalidate the current owner.
-                let latency = if node == home {
-                    c.remote_miss
-                } else {
-                    2 * c.remote_miss
-                };
+                let units = if node == home { 1 } else { 2 };
                 self.t
                     .machine
-                    .advance_as(node, latency, CycleCat::WriteStallRemote);
+                    .charge(node, CycleCat::WriteStallRemote, Knob::RemoteMiss, units);
                 self.t.net.count_only(
                     &mut self.t.machine,
                     node,
@@ -458,7 +452,7 @@ impl Stache {
                 if home != node {
                     self.t
                         .machine
-                        .advance_as(home, 2 * c.msg_recv, CycleCat::MsgOverhead);
+                        .charge(home, CycleCat::MsgOverhead, Knob::MsgRecv, 2);
                 }
                 self.invalidate_one(home, owner, block);
                 self.t.machine.stats_mut(node).write_miss_remote += 1;
@@ -476,26 +470,24 @@ impl Stache {
                 }
                 if held {
                     // Ownership upgrade; no data moves.
-                    let latency = if node == home && others.is_empty() {
-                        c.local_fill
+                    let knob = if node == home && others.is_empty() {
+                        Knob::LocalFill
                     } else {
-                        c.upgrade
+                        Knob::Upgrade
                     };
-                    self.t
-                        .machine
-                        .advance_as(node, latency, CycleCat::UpgradeStall);
+                    self.t.machine.charge(node, CycleCat::UpgradeStall, knob, 1);
                     self.t.machine.stats_mut(node).upgrades += 1;
                     self.t.machine.record(Event::Upgrade { node, block });
                 } else if node == home {
                     // Fill locally, but wait out the invalidations if any.
-                    let latency = if others.is_empty() {
-                        c.local_fill
+                    let knob = if others.is_empty() {
+                        Knob::LocalFill
                     } else {
-                        c.remote_miss
+                        Knob::RemoteMiss
                     };
                     self.t
                         .machine
-                        .advance_as(node, latency, CycleCat::WriteStallLocal);
+                        .charge(node, CycleCat::WriteStallLocal, knob, 1);
                     self.t.machine.stats_mut(node).write_miss_local += 1;
                     self.t.machine.record(Event::WriteMiss {
                         node,
@@ -533,7 +525,7 @@ impl Stache {
                 if node == home {
                     self.t
                         .machine
-                        .advance_as(node, c.local_fill, CycleCat::WriteStallLocal);
+                        .charge(node, CycleCat::WriteStallLocal, Knob::LocalFill, 1);
                     self.t.machine.stats_mut(node).write_miss_local += 1;
                     self.t.machine.record(Event::WriteMiss {
                         node,
@@ -597,8 +589,7 @@ impl MemoryProtocol for Stache {
         debug_assert!(addr.is_word_aligned(), "unaligned load at {addr}");
         let block = addr.block();
         if self.t.tags[node.index()].get(block).readable() {
-            let hit = self.t.machine.cost().cache_hit;
-            self.t.machine.advance(node, hit);
+            self.t.machine.hit(node);
             self.t.machine.stats_mut(node).read_hits += 1;
         } else {
             self.read_fault(node, block);
@@ -610,8 +601,7 @@ impl MemoryProtocol for Stache {
         debug_assert!(addr.is_word_aligned(), "unaligned store at {addr}");
         let block = addr.block();
         if self.t.tags[node.index()].get(block).writable() {
-            let hit = self.t.machine.cost().cache_hit;
-            self.t.machine.advance(node, hit);
+            self.t.machine.hit(node);
             self.t.machine.stats_mut(node).write_hits += 1;
         } else {
             self.write_fault(node, block);

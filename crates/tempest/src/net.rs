@@ -41,7 +41,7 @@
 
 use lcm_sim::fault::BACKOFF_DOUBLING_CAP;
 use lcm_sim::mem::BLOCK_BYTES;
-use lcm_sim::{CostModel, CycleCat, DeliveryError, Event, FaultOutcome, Machine, NodeId};
+use lcm_sim::{CostModel, CycleCat, DeliveryError, Event, FaultOutcome, Knob, Machine, NodeId};
 
 /// Protocol message kinds, for per-kind counting and traces.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -215,8 +215,8 @@ impl Network {
             // retransmission counts under Retry.
             let delivered = if attempt == 0 { kind } else { MsgKind::Retry };
             let bytes = wire_bytes(&cost, with_block);
-            m.advance_as(from, cost.msg_send, CycleCat::MsgOverhead);
-            m.advance_as(to, cost.msg_recv, CycleCat::MsgOverhead);
+            m.charge(from, CycleCat::MsgOverhead, Knob::MsgSend, 1);
+            m.charge(to, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
             // Under a finite-bandwidth fabric the delivered bytes also
             // serialize onto (and queue behind) the from->to link path;
             // a no-op on the default unlimited network.
@@ -312,8 +312,8 @@ impl Network {
             }
             // The request arrived and the home handles it.
             let req_bytes = wire_bytes(&cost, false);
-            m.advance_as(from, cost.msg_send, stall);
-            m.advance_as(to, cost.msg_recv, CycleCat::MsgOverhead);
+            m.charge(from, stall, Knob::MsgSend, 1);
+            m.charge(to, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
             m.network_transfer(from, to, req_bytes);
             let s = m.stats_mut(from);
             s.msgs_sent += 1;
@@ -347,13 +347,14 @@ impl Network {
                 // The home replied but the reply vanished: the home's send
                 // is wasted, the requester times out and reissues.
                 attempt += 1;
-                m.advance_as(to, cost.msg_send, CycleCat::RetryBackoff);
+                m.charge(to, CycleCat::RetryBackoff, Knob::MsgSend, 1);
                 m.stats_mut(to).msgs_dropped += 1;
                 self.dropped += 1;
-                m.advance_as(
+                m.charge(
                     from,
-                    backoff(cost.retry_timeout, attempt),
                     CycleCat::RetryBackoff,
+                    Knob::RetryTimeout,
+                    backoff_units(attempt),
                 );
                 m.stats_mut(from).timeouts += 1;
                 self.check_budget(m, from, to, kind, attempt)?;
@@ -362,7 +363,7 @@ impl Network {
             // Reply delivered: the requester's wait is the round-trip
             // latency (minus the request-side send already charged).
             let rep_bytes = wire_bytes(&cost, data_reply);
-            m.advance_as(from, cost.remote_miss.saturating_sub(cost.msg_send), stall);
+            m.charge(from, stall, Knob::RemoteMissLessSend, 1);
             m.network_transfer(to, from, rep_bytes);
             let r = m.stats_mut(from);
             r.msgs_recv += 1;
@@ -399,11 +400,13 @@ impl Network {
 
     /// A lost attempt: the sender's send cycles are wasted and it sits
     /// out the (exponentially backed-off) retransmission timeout.
-    fn lost_attempt(&mut self, m: &mut Machine, sender: NodeId, cost: &CostModel, attempt: u32) {
-        m.advance_as(
+    fn lost_attempt(&mut self, m: &mut Machine, sender: NodeId, _cost: &CostModel, attempt: u32) {
+        m.charge(sender, CycleCat::RetryBackoff, Knob::MsgSend, 1);
+        m.charge(
             sender,
-            cost.msg_send + backoff(cost.retry_timeout, attempt),
             CycleCat::RetryBackoff,
+            Knob::RetryTimeout,
+            backoff_units(attempt),
         );
         let s = m.stats_mut(sender);
         s.msgs_dropped += 1;
@@ -450,12 +453,12 @@ impl Network {
         // nack round both land in the retry/backoff bucket. The duplicate
         // copy carries no accepted bytes; the nack is a real header-only
         // message.
-        m.advance_as(receiver, cost.msg_recv, CycleCat::RetryBackoff);
+        m.charge(receiver, CycleCat::RetryBackoff, Knob::MsgRecv, 1);
         m.stats_mut(receiver).msgs_duplicated += 1;
         self.duplicated += 1;
         let nack_bytes = wire_bytes(cost, false);
-        m.advance_as(receiver, cost.msg_send, CycleCat::RetryBackoff);
-        m.advance_as(sender, cost.msg_recv, CycleCat::RetryBackoff);
+        m.charge(receiver, CycleCat::RetryBackoff, Knob::MsgSend, 1);
+        m.charge(sender, CycleCat::RetryBackoff, Knob::MsgRecv, 1);
         // The nack is a real wire message and occupies links like one.
         m.network_transfer(receiver, sender, nack_bytes);
         let r = m.stats_mut(receiver);
@@ -584,8 +587,17 @@ impl Network {
 /// Saturating: a sweep-configured `retry_timeout` near `u64::MAX`
 /// pins at `u64::MAX` instead of silently wrapping (a plain `<<`
 /// wrapped here and produced *shorter* waits for *larger* timeouts).
+#[cfg(test)]
 fn backoff(retry_timeout: u64, attempt: u32) -> u64 {
-    retry_timeout.saturating_mul(1u64 << (attempt - 1).min(BACKOFF_DOUBLING_CAP))
+    retry_timeout.saturating_mul(backoff_units(attempt))
+}
+
+/// The doubling multiplier of the `attempt`-th retransmission wait
+/// (`2^min(attempt-1, cap)`). Charged symbolically as `units` of the
+/// [`Knob::RetryTimeout`] price so captured backoffs re-price correctly
+/// under a replay model's own timeout.
+fn backoff_units(attempt: u32) -> u64 {
+    1u64 << (attempt - 1).min(BACKOFF_DOUBLING_CAP)
 }
 
 #[cfg(test)]

@@ -1,0 +1,230 @@
+//! The trace-capture / replay contract (DESIGN.md §4f).
+//!
+//! Three guarantees, end to end:
+//!
+//! * **Round-trip fidelity** — serializing a capture to `.lcmtrace`
+//!   bytes and parsing them back reproduces the identical event stream,
+//!   machine configuration and footer.
+//! * **Exact replay** — replaying a capture under its own cost model
+//!   rebuilds every per-node clock and every cycle-ledger cell of the
+//!   execution-driven run, for all four Figure-3 benchmarks on all
+//!   three memory systems, including a capture taken under finite link
+//!   bandwidth (so contention charges replay exactly too).
+//! * **Explorer determinism and speed** — the design-space explorer
+//!   produces byte-identical CSV at any worker count, and re-pricing a
+//!   grid by replay beats re-executing it.
+
+use lcm_apps::adaptive::Adaptive;
+use lcm_apps::stencil::Stencil;
+use lcm_apps::threshold::Threshold;
+use lcm_apps::unstructured::Unstructured;
+use lcm_apps::{SystemKind, Workload};
+use lcm_bench::explore;
+use lcm_cstar::{Partition, RuntimeConfig};
+use lcm_replay::{replay, validate, TraceFile};
+use lcm_sim::{CostModel, CycleCat, MachineConfig, NodeId};
+
+const NODES: usize = 8;
+const CAPACITY: usize = 1 << 20;
+
+fn capture<W: Workload>(benchmark: &str, system: SystemKind, w: &W) -> TraceFile {
+    explore::capture_workload(
+        benchmark,
+        "smoke",
+        system,
+        NODES,
+        RuntimeConfig::default(),
+        w,
+        CAPACITY,
+    )
+    .expect("capture holds the whole stream")
+}
+
+/// Validates one capture and cross-checks the replayed clocks/ledger
+/// against the execution-driven footer (validate() already does this;
+/// the explicit re-check here keeps the test meaningful if validate()
+/// ever weakens).
+fn assert_exact(file: &TraceFile, what: &str) {
+    let r = validate(file).unwrap_or_else(|e| panic!("{what}: {e}"));
+    assert_eq!(r.clocks, file.clocks, "{what}: clocks");
+    assert_eq!(
+        r.time,
+        file.clocks.iter().copied().max().unwrap(),
+        "{what}: time"
+    );
+    for n in 0..file.nodes {
+        for cat in CycleCat::all() {
+            assert_eq!(
+                r.ledger.get(NodeId(n as u16), cat),
+                file.ledger.get(NodeId(n as u16), cat),
+                "{what}: node {n} {}",
+                cat.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_reproduces_execution_on_every_benchmark_and_system() {
+    for system in SystemKind::all() {
+        assert_exact(
+            &capture("Stencil-dyn", system, &Stencil::small(Partition::Dynamic)),
+            &format!("Stencil-dyn/{system}"),
+        );
+        assert_exact(
+            &capture("Adaptive-dyn", system, &Adaptive::small(Partition::Dynamic)),
+            &format!("Adaptive-dyn/{system}"),
+        );
+        assert_exact(
+            &capture("Threshold", system, &Threshold::small()),
+            &format!("Threshold/{system}"),
+        );
+        assert_exact(
+            &capture("Unstructured", system, &Unstructured::small()),
+            &format!("Unstructured/{system}"),
+        );
+    }
+}
+
+#[test]
+fn replay_is_exact_under_a_finite_bandwidth_capture() {
+    let mut cost = CostModel::cm5();
+    cost.link_bandwidth_bytes_per_cycle = 8;
+    for system in SystemKind::all() {
+        let file = explore::capture_with_machine(
+            "Stencil-dyn",
+            "smoke",
+            system,
+            MachineConfig::new(NODES).with_cost(cost),
+            RuntimeConfig::default(),
+            &Stencil::small(Partition::Dynamic),
+            CAPACITY,
+        )
+        .expect("capture holds the whole stream");
+        let contention: u64 = (0..file.nodes)
+            .map(|n| file.ledger.get(NodeId(n as u16), CycleCat::NetContention))
+            .sum();
+        assert!(
+            contention > 0,
+            "{system}: the 8 B/cycle capture must have seen contention"
+        );
+        assert_exact(&file, &format!("Stencil-dyn/{system} @ 8 B/cycle"));
+    }
+}
+
+#[test]
+fn trace_files_round_trip_through_bytes() {
+    let file = capture("Threshold", SystemKind::LcmMcc, &Threshold::small());
+    let bytes = file.to_bytes();
+    let parsed = TraceFile::from_bytes(&bytes).expect("parses");
+    assert_eq!(file.events, parsed.events, "event stream");
+    assert_eq!(file.clocks, parsed.clocks, "clocks");
+    assert_eq!(file.cost, parsed.cost, "cost model");
+    assert_eq!(file.topology, parsed.topology, "topology");
+    assert_eq!(file.metadata, parsed.metadata, "metadata");
+    assert_eq!(file.phase_index, parsed.phase_index, "phase index");
+    assert_eq!(file.totals, parsed.totals, "totals");
+    assert_eq!(file.fingerprint(), parsed.fingerprint(), "fingerprint");
+    assert_eq!(bytes, parsed.to_bytes(), "re-serialization is stable");
+    // The parsed file passes validation too: nothing was lost in transit.
+    validate(&parsed).expect("parsed file validates");
+}
+
+#[test]
+fn trace_files_survive_disk() {
+    let file = capture("Threshold", SystemKind::LcmScc, &Threshold::small());
+    let dir = std::env::temp_dir().join(format!("lcmtrace-test-{}", std::process::id()));
+    let path = dir.join("threshold.lcmtrace");
+    file.write_to(&path).expect("writes");
+    let back = TraceFile::read_from(&path).expect("reads");
+    assert_eq!(file.events, back.events);
+    std::fs::remove_dir_all(&dir).ok();
+    // Missing files name the path in the error.
+    let err = TraceFile::read_from(&path).expect_err("gone");
+    assert!(
+        err.contains("threshold.lcmtrace"),
+        "error names the path: {err}"
+    );
+}
+
+#[test]
+fn explorer_is_deterministic_across_worker_counts() {
+    let files: Vec<TraceFile> = SystemKind::all()
+        .into_iter()
+        .map(|s| capture("Threshold", s, &Threshold::small()))
+        .collect();
+    let bandwidths = [0, 16, 4];
+    let latencies = [500, 3000, 12000];
+    let serial = explore::explore_grid(&files, &bandwidths, &latencies, 1);
+    for jobs in [2, 4, 8] {
+        let pooled = explore::explore_grid(&files, &bandwidths, &latencies, jobs);
+        assert_eq!(serial, pooled, "jobs={jobs}: explorer rows diverged");
+        assert_eq!(
+            explore::explore_csv(&serial),
+            explore::explore_csv(&pooled),
+            "jobs={jobs}: CSV bytes diverged"
+        );
+    }
+}
+
+#[test]
+fn replaying_a_grid_beats_reexecuting_it() {
+    let w = Stencil::small(Partition::Dynamic);
+    let system = SystemKind::LcmMcc;
+    let bandwidths = [0, 16, 4];
+    let latencies = [500, 3000, 12000];
+
+    let reexec_start = std::time::Instant::now();
+    let reexec = explore::reexecute_grid(
+        "Stencil-dyn",
+        system,
+        NODES,
+        RuntimeConfig::default(),
+        &w,
+        &bandwidths,
+        &latencies,
+    );
+    let reexec_time = reexec_start.elapsed();
+
+    let file = capture("Stencil-dyn", system, &w);
+    let replay_start = std::time::Instant::now();
+    let replayed = explore::explore_grid(std::slice::from_ref(&file), &bandwidths, &latencies, 1);
+    let replay_time = replay_start.elapsed();
+
+    assert_eq!(reexec.len(), replayed.len());
+    // The capture-model point must agree exactly with re-execution; the
+    // remaining points re-price the same fixed control flow.
+    let baseline = replayed
+        .iter()
+        .zip(&reexec)
+        .find(|(r, _)| r.bandwidth == 0 && r.latency == file.cost.remote_miss);
+    if let Some((r, x)) = baseline {
+        assert_eq!(r.time, x.time, "capture-model grid point");
+    }
+    assert!(
+        replay_time < reexec_time,
+        "replaying the grid ({replay_time:?}) must beat re-executing it ({reexec_time:?})"
+    );
+}
+
+#[test]
+fn replay_repricing_matches_reexecution_without_contention() {
+    // Under unlimited bandwidth the simulator's control flow is
+    // cost-model independent, so replay under a *different* model must
+    // equal a genuine re-execution under that model.
+    let w = Threshold::small();
+    for system in SystemKind::all() {
+        let file = capture("Threshold", system, &w);
+        for &lat in &[500u64, 12000] {
+            let cost = explore::grid_cost(0, lat);
+            let r = replay(&file, &cost, file.topology);
+            let mc = MachineConfig::new(NODES).with_cost(cost);
+            let exec = lcm_apps::execute_with_machine(system, mc, RuntimeConfig::default(), &w).1;
+            assert_eq!(
+                r.time, exec.time,
+                "{system} @ latency {lat}: replay vs re-execution"
+            );
+            assert_eq!(r.clocks, exec.clocks, "{system} @ latency {lat}: clocks");
+        }
+    }
+}
