@@ -9,7 +9,9 @@
 use lcm_core::{Lcm, LcmVariant};
 use lcm_cstar::{Runtime, RuntimeConfig, Strategy};
 use lcm_rsm::MemoryProtocol;
-use lcm_sim::{CycleLedger, FaultConfig, MachineConfig, NodeStats, PhaseSnapshot, Stamped};
+use lcm_sim::{
+    CrashPlan, CycleLedger, FaultConfig, MachineConfig, NodeStats, PhaseSnapshot, Stamped,
+};
 use lcm_stache::Stache;
 use lcm_tempest::MsgKind;
 use std::fmt;
@@ -196,9 +198,12 @@ pub fn execute_with_cost<W: Workload>(
 }
 
 /// [`execute`] over an unreliable network: the [`FaultConfig`] schedules
-/// deterministic message drops, duplicates, delays and barrier stalls.
-/// Faults change costs and statistics only — the output is bit-identical
-/// to the fault-free run (the fault property tests assert this).
+/// deterministic message drops, duplicates, delays and barrier stalls —
+/// and, when `crash_rate > 0`, fail-stop node crashes with checkpoint
+/// rollback (wired into the runtime's [`RuntimeConfig::crash`] plan
+/// unless the caller already supplied one). Faults change costs and
+/// statistics only — the output is bit-identical to the fault-free run
+/// (the fault and recovery property tests assert this).
 pub fn execute_with_faults<W: Workload>(
     system: SystemKind,
     nodes: usize,
@@ -206,6 +211,10 @@ pub fn execute_with_faults<W: Workload>(
     config: RuntimeConfig,
     workload: &W,
 ) -> (W::Output, RunResult) {
+    let mut config = config;
+    if faults.crashes_active() && !config.crash.is_active() {
+        config.crash = CrashPlan::from_config(&faults);
+    }
     let mc = MachineConfig::new(nodes)
         .with_cost(lcm_sim::CostModel::default())
         .with_faults(faults);

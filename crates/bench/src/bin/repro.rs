@@ -57,14 +57,14 @@ use lcm_apps::{
 use lcm_bench::{explore, profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
 use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
 use lcm_replay::TraceFile;
-use lcm_sim::{CostModel, CycleCat, FaultConfig, MachineConfig, NodeId, Stamped};
+use lcm_sim::{CostModel, CrashPlan, CycleCat, FaultConfig, MachineConfig, NodeId, Stamped};
 use std::path::PathBuf;
 use std::time::Instant;
 
 /// Every runnable section, in help order. `contention`, `explore` and
 /// `bench` are valid names but not part of `all` (see the comments at
 /// their dispatch sites).
-const SECTIONS: [&str; 19] = [
+const SECTIONS: [&str; 20] = [
     "all",
     "table1",
     "fig2",
@@ -83,11 +83,12 @@ const SECTIONS: [&str; 19] = [
     "contention",
     "profile",
     "explore",
+    "recovery",
     "bench",
 ];
 
 /// Known flags, for the unknown-flag error message.
-const FLAGS: &str = "--scale --jobs --csv --svg --faults --trace --list-sections -h/--help";
+const FLAGS: &str = "--scale --jobs --csv --svg --faults --crash --trace --list-sections -h/--help";
 
 fn list_sections() {
     eprintln!("sections (default: all):");
@@ -104,6 +105,7 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut svg_dir: Option<PathBuf> = None;
     let mut fault_point: Option<(f64, u64)> = None;
+    let mut crash_point: Option<(f64, u64)> = None;
     let mut trace_path: Option<PathBuf> = None;
     let mut jobs = lcm_sim::available_jobs();
     let mut what = Vec::new();
@@ -124,15 +126,32 @@ fn main() {
                     eprintln!("--faults requires <drop_rate>:<seed>");
                     std::process::exit(2);
                 };
-                fault_point = match parse_faults(spec) {
-                    Some(p) => Some(p),
-                    None => {
-                        eprintln!(
-                            "bad --faults spec {spec:?} (want <drop_rate>:<seed>, e.g. 0.01:42)"
-                        );
-                        std::process::exit(2);
-                    }
+                let Some((rate, seed)) = parse_rate_seed(spec) else {
+                    eprintln!("bad --faults spec {spec:?} (want <drop_rate>:<seed>, e.g. 0.01:42)");
+                    std::process::exit(2);
                 };
+                // Out-of-range rates are the config layer's call, surfaced
+                // here as its named error (exit 2, like unknown flags).
+                if let Err(e) = FaultConfig::drops(rate, seed).validate() {
+                    eprintln!("--faults {spec}: {e}");
+                    std::process::exit(2);
+                }
+                fault_point = Some((rate, seed));
+            }
+            "--crash" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("--crash requires <crash_rate>:<seed>");
+                    std::process::exit(2);
+                };
+                let Some((rate, seed)) = parse_rate_seed(spec) else {
+                    eprintln!("bad --crash spec {spec:?} (want <crash_rate>:<seed>, e.g. 0.1:42)");
+                    std::process::exit(2);
+                };
+                if let Err(e) = FaultConfig::crashes(rate, seed).validate() {
+                    eprintln!("--crash {spec}: {e}");
+                    std::process::exit(2);
+                }
+                crash_point = Some((rate, seed));
             }
             "--trace" => {
                 let Some(path) = it.next() else {
@@ -173,7 +192,7 @@ fn main() {
             "-h" | "--help" => {
                 println!(
                     "repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--faults RATE:SEED] [--trace FILE] [--list-sections] \
+                     [--faults RATE:SEED] [--crash RATE:SEED] [--trace FILE] [--list-sections] \
                      [SECTION…] | replay FILE"
                 );
                 list_sections();
@@ -292,6 +311,20 @@ fn main() {
     } else {
         None
     };
+    // `recovery` is deliberately not part of `all` for the same reason:
+    // active crash plans add checkpoint/rollback cycles to every total.
+    let mut sweep_failures: Vec<String> = Vec::new();
+    let recovery_csv = if what.iter().any(|w| w == "recovery") || crash_point.is_some() {
+        Some(print_recovery(
+            scale,
+            crash_point,
+            jobs,
+            csv_dir.as_deref(),
+            &mut sweep_failures,
+        ))
+    } else {
+        None
+    };
     // `bench` is deliberately not part of `all`: it re-runs whole
     // sections twice (serially and on the pool) to measure wall-clock.
     if what.iter().any(|w| w == "bench") {
@@ -305,6 +338,7 @@ fn main() {
             &profile_csvs,
             contention_csv.as_deref(),
             explore_csv.as_deref(),
+            recovery_csv.as_deref(),
         ) {
             eprintln!("{e}");
             std::process::exit(1);
@@ -317,6 +351,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("SVG figures written to {}", dir.display());
+    }
+    // Graceful sweep degradation: failed grid points were reported and
+    // skipped so the rest of the sweep (and its CSV) completed; a failure
+    // still fails the run as a whole.
+    if !sweep_failures.is_empty() {
+        eprintln!("{} sweep point(s) failed:", sweep_failures.len());
+        for f in &sweep_failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -374,6 +418,7 @@ fn write_all_csv(
     profile_csvs: &Option<(String, String)>,
     contention_csv: Option<&str>,
     explore_csv: Option<&str>,
+    recovery_csv: Option<&str>,
 ) -> Result<(), String> {
     ensure_dir(dir)?;
     if let Some(suite) = suite {
@@ -392,6 +437,9 @@ fn write_all_csv(
     if let Some(explore) = explore_csv {
         write_file(dir.join("explore.csv"), explore)?;
     }
+    if let Some(recovery) = recovery_csv {
+        write_file(dir.join("recovery.csv"), recovery)?;
+    }
     Ok(())
 }
 
@@ -407,11 +455,13 @@ fn write_csv(dir: &std::path::Path, suite: &Suite) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_faults(spec: &str) -> Option<(f64, u64)> {
+/// Parses a `<rate>:<seed>` spec's *shape*; range checking is
+/// [`FaultConfig::validate`]'s job so the CLI reports its named error.
+fn parse_rate_seed(spec: &str) -> Option<(f64, u64)> {
     let (rate, seed) = spec.split_once(':')?;
     let rate: f64 = rate.parse().ok()?;
     let seed: u64 = seed.parse().ok()?;
-    (0.0..=1.0).contains(&rate).then_some((rate, seed))
+    Some((rate, seed))
 }
 
 /// The stencil workload of the fault sweep at a given scale.
@@ -912,6 +962,297 @@ fn print_explore(scale: Scale, jobs: usize, trace_dir: Option<&std::path::Path>)
     }
     println!();
     explore::explore_csv(&rows)
+}
+
+/// Default crash rates of the recovery sweep (0 is run separately as the
+/// per-system baseline every slowdown and output check measures against).
+const RECOVERY_RATES: [f64; 2] = [0.05, 0.2];
+/// Swept checkpoint granularities: checkpoint every N-th phase boundary.
+const RECOVERY_EVERY: [u64; 2] = [1, 4];
+/// Default crash-schedule seed of the recovery sweep.
+const RECOVERY_SEED: u64 = 0x5EED;
+
+/// Per-system accumulation across the whole recovery grid, for
+/// `BENCH_recovery.json`.
+#[derive(Default, Clone, Copy)]
+struct RecoveryAgg {
+    runs: u64,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    crashes: u64,
+    checkpoint_cycles: u64,
+    rollback_cycles: u64,
+    crash_detect_cycles: u64,
+}
+
+/// The adaptive-mesh workload of the recovery sweep.
+fn recovery_adaptive(scale: Scale) -> lcm_apps::adaptive::Adaptive {
+    use lcm_apps::adaptive::Adaptive;
+    match scale {
+        Scale::Paper => Adaptive::paper(Partition::Dynamic),
+        Scale::Medium => Adaptive {
+            size: 64,
+            iters: 40,
+            ..Adaptive::paper(Partition::Dynamic)
+        },
+        Scale::Smoke => Adaptive::small(Partition::Dynamic),
+    }
+}
+
+/// One benchmark's `(system × crash rate × checkpoint granularity)` grid.
+///
+/// Runs on [`lcm_sim::try_par_map`] so a failing grid point is reported
+/// and skipped while the rest of the sweep completes; printing walks the
+/// canonical point order, so stdout and the CSV stay byte-identical at
+/// any `--jobs`.
+#[allow(clippy::too_many_arguments)]
+fn sweep_recovery<W>(
+    name: &str,
+    nodes: usize,
+    w: &W,
+    rates: &[f64],
+    seed: u64,
+    jobs: usize,
+    csv: &mut String,
+    aggs: &mut [RecoveryAgg; 3],
+    failures: &mut Vec<String>,
+) where
+    W: Workload + Sync,
+    W::Output: PartialEq + std::fmt::Debug + Send,
+{
+    println!("{name}:");
+    let mut points = Vec::new();
+    for system in SystemKind::all() {
+        // The crash-free baseline first; an inactive plan never
+        // checkpoints, so its granularity does not matter.
+        points.push((system, 0.0f64, 1u64));
+        for &rate in rates {
+            for &every in &RECOVERY_EVERY {
+                points.push((system, rate, every));
+            }
+        }
+    }
+    let runs = lcm_sim::try_par_map(jobs, points.clone(), |_, (system, rate, every)| {
+        let cfg = RuntimeConfig {
+            crash: CrashPlan::new(rate, seed),
+            checkpoint_every: every,
+            ..RuntimeConfig::default()
+        };
+        execute(system, nodes, cfg, w)
+    });
+    let per_system = 1 + rates.len() * RECOVERY_EVERY.len();
+    for (si, system) in SystemKind::all().into_iter().enumerate() {
+        let keys = &points[si * per_system..(si + 1) * per_system];
+        let slot = &runs[si * per_system..(si + 1) * per_system];
+        let baseline = match &slot[0] {
+            Ok(run) => Some(run),
+            Err(e) => {
+                failures.push(format!(
+                    "{name}/{}: crash-free baseline failed: {e}",
+                    system.label()
+                ));
+                None
+            }
+        };
+        for ((_, rate, every), run) in keys.iter().zip(slot) {
+            let (out, r) = match run {
+                Ok(run) => run,
+                Err(e) => {
+                    failures.push(format!(
+                        "{name}/{} crash={rate} every={every}: {e}",
+                        system.label()
+                    ));
+                    continue;
+                }
+            };
+            let mut slowdown = 0.0;
+            if let Some((base_out, base)) = baseline {
+                // The §4d contract: crashes move cycles, never values.
+                if out != base_out {
+                    failures.push(format!(
+                        "{name}/{} crash={rate} every={every}: output diverged from \
+                         the crash-free run",
+                        system.label()
+                    ));
+                    continue;
+                }
+                slowdown = r.time as f64 / base.time as f64;
+            }
+            let cats = r.ledger.totals();
+            let ck_cycles = cats[CycleCat::Checkpoint.index()];
+            let rb_cycles = cats[CycleCat::Rollback.index()];
+            let det_cycles = cats[CycleCat::CrashDetect.index()];
+            println!(
+                "  {:<8} crash={:<5} every={} {:>13} cycles ({:>5.2}x)  crashes={:<3} ckpts={:<4} ckpt_bytes={:<9} rollback_cy={}",
+                system.label(),
+                rate,
+                every,
+                r.time,
+                slowdown,
+                r.totals.crashes,
+                r.totals.checkpoints,
+                r.totals.checkpoint_bytes,
+                rb_cycles,
+            );
+            csv.push_str(&format!(
+                "{name},{},{rate},{seed},{every},{},{slowdown:.4},{},{},{},{ck_cycles},{rb_cycles},{det_cycles}\n",
+                system.label(),
+                r.time,
+                r.totals.crashes,
+                r.totals.checkpoints,
+                r.totals.checkpoint_bytes,
+            ));
+            let agg = &mut aggs[si];
+            agg.runs += 1;
+            agg.checkpoints += r.totals.checkpoints;
+            agg.checkpoint_bytes += r.totals.checkpoint_bytes;
+            agg.crashes += r.totals.crashes;
+            agg.checkpoint_cycles += ck_cycles;
+            agg.rollback_cycles += rb_cycles;
+            agg.crash_detect_cycles += det_cycles;
+        }
+    }
+    // The headline asymmetry, per benchmark: what one full checkpoint
+    // schedule costs each protocol at the highest swept rate.
+    let probe = |si: usize| match &runs[si * per_system + per_system - RECOVERY_EVERY.len()] {
+        Ok((_, r)) => Some(r.totals.checkpoint_bytes),
+        Err(_) => None,
+    };
+    if let (Some(mcc), Some(stache)) = (probe(1), probe(2)) {
+        println!(
+            "  checkpoint bytes at crash={} every=1: LCM-mcc {} vs Stache {} ({:.2}x)",
+            rates.last().expect("rates nonempty"),
+            mcc,
+            stache,
+            stache as f64 / mcc.max(1) as f64
+        );
+    }
+}
+
+/// The fail-stop recovery sweep: crash rate × checkpoint granularity over
+/// the Fig-3 benchmarks (plus Reduction and Stencil) × 3 systems.
+/// Returns the CSV rows and writes `BENCH_recovery.json`.
+fn print_recovery(
+    scale: Scale,
+    custom: Option<(f64, u64)>,
+    jobs: usize,
+    csv_dir: Option<&std::path::Path>,
+    failures: &mut Vec<String>,
+) -> String {
+    let seed = custom.map_or(RECOVERY_SEED, |(_, s)| s);
+    let mut rates = RECOVERY_RATES.to_vec();
+    if let Some((r, _)) = custom {
+        if r > 0.0 && !rates.contains(&r) {
+            rates.push(r);
+            rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        }
+    }
+    println!("== Fail-stop recovery: crash rate x checkpoint granularity (seed {seed}) ==");
+    println!("   every phase boundary may checkpoint; a crashed node rolls back to the");
+    println!("   last checkpoint and re-executes, so crashes change cycles and statistics");
+    println!("   only — outputs are checked bit-identical to the crash-free run. LCM");
+    println!("   checkpoints only unreconciled modified words; Stache must capture its");
+    println!("   directory plus every dirty line — that asymmetry is the point.");
+    let nodes = scale.nodes();
+    let mut csv = String::from(
+        "benchmark,system,crash_rate,crash_seed,checkpoint_every,cycles,slowdown,crashes,checkpoints,checkpoint_bytes,checkpoint_cycles,rollback_cycles,crash_detect_cycles\n",
+    );
+    let mut aggs = [RecoveryAgg::default(); 3];
+    sweep_recovery(
+        "Reduction",
+        nodes,
+        &ReductionSum(reduction_worksize(scale)),
+        &rates,
+        seed,
+        jobs,
+        &mut csv,
+        &mut aggs,
+        failures,
+    );
+    sweep_recovery(
+        "Stencil-dyn",
+        nodes,
+        &fault_stencil(scale),
+        &rates,
+        seed,
+        jobs,
+        &mut csv,
+        &mut aggs,
+        failures,
+    );
+    sweep_recovery(
+        "Adaptive-dyn",
+        nodes,
+        &recovery_adaptive(scale),
+        &rates,
+        seed,
+        jobs,
+        &mut csv,
+        &mut aggs,
+        failures,
+    );
+    sweep_recovery(
+        "Threshold",
+        nodes,
+        &fault_threshold(scale),
+        &rates,
+        seed,
+        jobs,
+        &mut csv,
+        &mut aggs,
+        failures,
+    );
+    sweep_recovery(
+        "Unstructured",
+        nodes,
+        &contention_unstructured(scale),
+        &rates,
+        seed,
+        jobs,
+        &mut csv,
+        &mut aggs,
+        failures,
+    );
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!("  \"crash_seed\": {seed},\n"));
+    json.push_str("  \"systems\": [\n");
+    for (si, system) in SystemKind::all().into_iter().enumerate() {
+        let a = &aggs[si];
+        json.push_str(&format!(
+            "    {{\"system\": \"{}\", \"runs\": {}, \"checkpoints\": {}, \
+             \"checkpoint_bytes\": {}, \"crashes\": {}, \"checkpoint_cycles\": {}, \
+             \"rollback_cycles\": {}, \"crash_detect_cycles\": {}}}{}\n",
+            system.label(),
+            a.runs,
+            a.checkpoints,
+            a.checkpoint_bytes,
+            a.crashes,
+            a.checkpoint_cycles,
+            a.rollback_cycles,
+            a.crash_detect_cycles,
+            if si + 1 < 3 { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = csv_dir
+        .map(|d| d.join("BENCH_recovery.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_recovery.json"));
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = ensure_dir(parent) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("recovery overhead summary written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!();
+    csv
 }
 
 /// The `replay` subcommand: parse a `.lcmtrace`, validate it against its

@@ -24,14 +24,21 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// The cycle categories a run actually exercises: every category, minus
-/// `net_contention` when the run charged nothing to it (the category is
-/// new with the contention-aware network model and stays zero under the
-/// default unlimited bandwidth). Filtering keeps the breakdown table and
-/// `profile.csv` byte-identical for runs that predate the model.
+/// the late-addition ones when the run charged nothing to them
+/// (`net_contention` stays zero under the default unlimited bandwidth;
+/// `checkpoint`/`rollback`/`crash_detect` stay zero without an active
+/// crash plan). Filtering keeps the breakdown table and `profile.csv`
+/// byte-identical for runs that predate those models.
 fn visible_cats(r: &RunResult) -> Vec<CycleCat> {
+    let dormant_when_zero = [
+        CycleCat::NetContention,
+        CycleCat::Checkpoint,
+        CycleCat::Rollback,
+        CycleCat::CrashDetect,
+    ];
     CycleCat::all()
         .into_iter()
-        .filter(|&cat| cat != CycleCat::NetContention || r.ledger.totals()[cat.index()] > 0)
+        .filter(|&cat| !dormant_when_zero.contains(&cat) || r.ledger.totals()[cat.index()] > 0)
         .collect()
 }
 
@@ -521,10 +528,14 @@ mod tests {
         let (r, _) = traced_run(SystemKind::Stache);
         let profile = profile_csv(&[("Stencil-16", &r)]);
         let rows = profile.lines().count() - 1;
-        // An unlimited-bandwidth run omits the (all-zero) net_contention
-        // column, keeping the CSV identical to pre-contention output.
-        assert_eq!(rows, 4 * (CycleCat::COUNT - 1), "4 nodes x categories");
+        // A crash-free unlimited-bandwidth run omits the four all-zero
+        // late-addition categories (net_contention plus the three
+        // recovery ones), keeping the CSV identical to earlier output.
+        assert_eq!(rows, 4 * (CycleCat::COUNT - 4), "4 nodes x categories");
         assert!(!profile.contains("net_contention"));
+        assert!(!profile.contains("checkpoint"));
+        assert!(!profile.contains("rollback"));
+        assert!(!profile.contains("crash_detect"));
         assert!(profile.starts_with("program,system,node,category,cycles\n"));
 
         let phases = phases_csv(&[("Stencil-16", &r)]);
@@ -571,13 +582,41 @@ mod tests {
         let table = cycle_breakdown_table(&r);
         assert!(table.contains("net_contention"), "column appears when hot");
         let csv = profile_csv(&[("Stencil-16", &r)]);
-        assert_eq!(csv.lines().count() - 1, 4 * CycleCat::COUNT);
+        // net_contention is hot; the three recovery categories stay
+        // dormant (no crash plan) and remain hidden.
+        assert_eq!(csv.lines().count() - 1, 4 * (CycleCat::COUNT - 3));
         assert!(csv.contains(",net_contention,"));
         let links = hottest_links_table(&r, 3);
         assert_eq!(links.lines().count(), 3, "truncated to n");
         assert!(links.contains("occupied"));
         let report = profile_report(&r, &[], &CostModel::cm5());
         assert!(report.contains("hottest fabric links:"));
+    }
+
+    #[test]
+    fn crashing_runs_surface_the_recovery_categories() {
+        let w = Stencil {
+            rows: 16,
+            cols: 16,
+            iters: 2,
+            partition: Partition::Dynamic,
+        };
+        let (_, r) = lcm_apps::execute_with_faults(
+            SystemKind::Stache,
+            4,
+            lcm_sim::FaultConfig::crashes(0.5, 0xDEAD),
+            RuntimeConfig::default(),
+            &w,
+        );
+        assert!(r.totals.crashes > 0, "the schedule crashed nodes");
+        let table = cycle_breakdown_table(&r);
+        assert!(table.contains("checkpoint"));
+        assert!(table.contains("rollback"));
+        assert!(table.contains("crash_detect"));
+        let csv = profile_csv(&[("Stencil-16", &r)]);
+        assert!(csv.contains(",checkpoint,"));
+        assert!(csv.contains(",rollback,"));
+        assert!(csv.contains(",crash_detect,"));
     }
 
     #[test]

@@ -28,11 +28,11 @@ use crate::cow::{CowEntry, PrivCopy};
 use crate::nested::NestedPhase;
 use crate::stale::StaleState;
 use lcm_rsm::{
-    CoherenceKind, ConflictKind, ConflictRecord, MemoryProtocol, MergePolicy, NestedProtocol,
-    PolicyTable, ReduceOp, RegionPolicy, ValueWidth,
+    CheckpointImage, CoherenceKind, ConflictKind, ConflictRecord, MemoryProtocol, MergePolicy,
+    NestedProtocol, PolicyTable, ReduceOp, RegionPolicy, ValueWidth,
 };
 use lcm_sim::hash::FastMap;
-use lcm_sim::mem::{Addr, BlockId, WORDS_PER_BLOCK};
+use lcm_sim::mem::{Addr, BlockId, WORDS_PER_BLOCK, WORD_BYTES};
 use lcm_sim::trace::Event;
 use lcm_sim::{CycleCat, Knob, MachineConfig, NodeId};
 use lcm_stache::Stache;
@@ -81,6 +81,12 @@ pub struct Lcm {
     tree_reconcile: bool,
     strict_detection: bool,
     nested: Option<NestedPhase>,
+    /// Per-home-node count of words reconciled since the last
+    /// checkpoint. LCM's phase discipline funnels every modification
+    /// through the home at reconcile time, so this *is* the set of
+    /// globally-visible state changes — which makes LCM's checkpoint
+    /// incremental (see [`MemoryProtocol::checkpoint`]).
+    reconciled_words: Vec<u64>,
     // Reusable scratch buffers: cleared (capacity kept) after each use so
     // the per-reconcile/per-flush paths allocate nothing in steady state.
     reduce_scratch: Vec<(BlockId, NodeId, PrivCopy)>,
@@ -105,6 +111,7 @@ impl Lcm {
             tree_reconcile: false,
             strict_detection: false,
             nested: None,
+            reconciled_words: vec![0; nodes],
             reduce_scratch: Vec::new(),
             block_scratch: Vec::new(),
             retain_scratch: Vec::new(),
@@ -627,6 +634,7 @@ impl Lcm {
             block,
             versions: entry.versions,
         });
+        self.reconciled_words[home.index()] += entry.pending_mask.count() as u64;
 
         // Read-write conflict detection (§7.2/7.3): a block with writers
         // whose read-only copies were outstanding during the phase.
@@ -1295,6 +1303,36 @@ impl MemoryProtocol for Lcm {
     fn refresh_stale(&mut self, node: NodeId, addr: Addr) {
         self.stale
             .refresh(self.inner.tempest_mut(), node, addr.block());
+    }
+
+    /// LCM's checkpoint is *incremental*: the phase discipline already
+    /// funnels every modification through the home at reconcile time, so
+    /// the boundary only has to persist the words reconciled since the
+    /// previous boundary (4 bytes each, at their homes) — there is no
+    /// scattered dirty state to chase. The embedded Stache directory
+    /// (blocks written *outside* phases, e.g. initialization) is flushed
+    /// and downgraded once via
+    /// [`Stache::checkpoint_writeback`](lcm_stache::Stache), after which
+    /// it too contributes only its entry words until rewritten. This is
+    /// the checkpoint-size asymmetry the recovery sweep measures against
+    /// the non-incremental Stache capture.
+    ///
+    /// # Panics
+    /// Panics if called inside an open parallel phase (checkpoints are a
+    /// phase-boundary operation; mid-phase private copies are
+    /// deliberately inconsistent and are never persisted).
+    fn checkpoint(&mut self) -> CheckpointImage {
+        assert!(
+            !self.in_phase && self.nested.is_none(),
+            "checkpoint inside a parallel phase"
+        );
+        let mut img = self.inner.checkpoint_writeback();
+        for (n, counter) in self.reconciled_words.iter_mut().enumerate() {
+            let words = std::mem::take(counter);
+            img.words += words;
+            img.per_node[n] += words * WORD_BYTES as u64;
+        }
+        img
     }
 
     fn take_conflicts(&mut self) -> Vec<ConflictRecord> {

@@ -516,3 +516,47 @@ fn variant_accessor_reports_construction_choice() {
         LcmVariant::Mcc
     );
 }
+
+#[test]
+fn checkpoint_is_incremental_over_reconciled_words() {
+    let (mut m, a) = system(LcmVariant::Mcc);
+    // Init write to a block the phase never marks: it stays under the
+    // embedded Stache directory as a dirty exclusive line.
+    m.write_f32(N0, a.offset(64), 1.0);
+    m.begin_parallel_phase();
+    m.mark_modification(N1, a);
+    m.write_f32(N1, a, 2.0);
+    m.write_f32(N1, a.offset(4), 3.0);
+    m.reconcile_copies();
+
+    // First boundary: two reconciled words (8 B at the home) plus the
+    // one-time flush of the init write's exclusive line.
+    let first = m.checkpoint();
+    assert_eq!(first.words, 2);
+    assert_eq!(first.dirty_blocks, 1, "init write flushed once");
+    assert!(first.total_bytes() >= 8 + 32);
+    m.sanity_check().expect("checkpoint preserves invariants");
+    assert_eq!(m.read_f32(N2, a), 2.0, "values survive the capture");
+    assert_eq!(m.read_f32(N0, a.offset(64)), 1.0);
+
+    // A quiet boundary captures no data words and no dirty lines: only
+    // the standing directory entries.
+    let quiet = m.checkpoint();
+    assert_eq!((quiet.words, quiet.dirty_blocks), (0, 0));
+    assert!(quiet.total_bytes() < first.total_bytes());
+
+    // Another phase re-arms exactly the newly reconciled words.
+    m.begin_parallel_phase();
+    m.mark_modification(N2, a);
+    m.write_f32(N2, a, 9.0);
+    m.reconcile_copies();
+    assert_eq!(m.checkpoint().words, 1);
+}
+
+#[test]
+#[should_panic(expected = "checkpoint inside a parallel phase")]
+fn checkpoint_rejects_open_phases() {
+    let (mut m, _a) = system(LcmVariant::Mcc);
+    m.begin_parallel_phase();
+    m.checkpoint();
+}

@@ -178,8 +178,12 @@ impl<P: MemoryProtocol> Runtime<P> {
                 }
             }
         }
+        // Crashes strike after the merge: the global state is already
+        // the crash-free run's, so rollback and re-execution only move
+        // cycles and statistics (see `Runtime::process_crashes`).
+        self.process_crashes();
         // One profiler phase per parallel step (barrier epoch).
-        self.mem.tempest_mut().machine.mark_phase("apply");
+        self.phase_boundary("apply");
     }
 
     #[inline]
@@ -514,6 +518,92 @@ mod tests {
         rt.apply1(a, Partition::Static, |inv, _| {
             inv.apply_nested1(a, |_, _| {});
         });
+    }
+
+    #[test]
+    fn crashes_move_cycles_and_stats_but_never_values() {
+        let run = |rate: f64| {
+            let cfg = RuntimeConfig {
+                crash: lcm_sim::CrashPlan::new(rate, 42),
+                ..RuntimeConfig::default()
+            };
+            let mem = Lcm::new(MachineConfig::new(4), LcmVariant::Mcc);
+            let mut rt = Runtime::with_config(mem, Strategy::LcmDirectives, cfg);
+            let a = rt.new_aggregate1::<i32>(32, Placement::Blocked, "v");
+            rt.init1(a, |i| i as i32);
+            for _ in 0..6 {
+                rt.apply1(a, Partition::Static, |inv, i| {
+                    let v = inv.get(a.at(i));
+                    inv.set(a.at(i), v + 1);
+                });
+            }
+            let vals: Vec<i32> = (0..32).map(|i| rt.peek1(a, i)).collect();
+            let time = rt.time();
+            (vals, time, rt.into_mem())
+        };
+        let (v0, t0, m0) = run(0.0);
+        let (v1, t1, m1) = run(0.6);
+        assert_eq!(v0, v1, "outputs are byte-identical at any crash rate");
+        let s0 = m0.tempest().machine.total_stats();
+        let s1 = m1.tempest().machine.total_stats();
+        assert_eq!(
+            (s0.crashes, s0.checkpoints),
+            (0, 0),
+            "inactive plan is silent"
+        );
+        assert!(s1.crashes > 0, "rate 0.6 over 4x7 phases crashes someone");
+        assert!(s1.checkpoints > 0 && s1.checkpoint_bytes > 0);
+        assert!(t1 > t0, "recovery costs cycles");
+        // The death log carries one Scheduled verdict per crash.
+        let deaths = m1.tempest().net.membership().deaths();
+        assert_eq!(deaths.len() as u64, s1.crashes);
+        assert!(deaths
+            .iter()
+            .all(|d| matches!(d.evidence, lcm_tempest::DeathEvidence::Scheduled { .. })));
+        // New categories stay conservation-checked.
+        m1.tempest()
+            .machine
+            .verify_ledger()
+            .expect("ledger conserves");
+        lcm_rsm::sanitizer::check(&m1).expect("sanitizer accepts the crashed run");
+    }
+
+    #[test]
+    fn checkpoint_granularity_trades_capture_for_lost_work() {
+        let run = |every: u64| {
+            let cfg = RuntimeConfig {
+                crash: lcm_sim::CrashPlan::new(0.4, 7),
+                checkpoint_every: every,
+                ..RuntimeConfig::default()
+            };
+            let mem = Lcm::new(MachineConfig::new(4), LcmVariant::Mcc);
+            let mut rt = Runtime::with_config(mem, Strategy::LcmDirectives, cfg);
+            let a = rt.new_aggregate1::<i32>(64, Placement::Blocked, "v");
+            rt.init1(a, |i| i as i32);
+            for _ in 0..8 {
+                rt.apply1(a, Partition::Static, |inv, i| {
+                    let v = inv.get(a.at(i));
+                    inv.set(a.at(i), v.wrapping_mul(3) + 1);
+                });
+            }
+            let vals: Vec<i32> = (0..64).map(|i| rt.peek1(a, i)).collect();
+            (vals, rt.into_mem())
+        };
+        let (v1, m1) = run(1);
+        let (v4, m4) = run(4);
+        assert_eq!(v1, v4, "granularity never changes outputs");
+        let s1 = m1.tempest().machine.total_stats();
+        let s4 = m4.tempest().machine.total_stats();
+        assert!(
+            s1.checkpoints > s4.checkpoints,
+            "coarser grain captures less often"
+        );
+        for m in [&m1, &m4] {
+            m.tempest()
+                .machine
+                .verify_ledger()
+                .expect("ledger conserves");
+        }
     }
 
     #[test]

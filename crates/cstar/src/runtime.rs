@@ -13,9 +13,9 @@
 use crate::aggregate::{Agg1, Agg2, AggInfo};
 use crate::scalar::Scalar;
 use lcm_rsm::{MemoryProtocol, MergePolicy, ReduceOp, RegionPolicy, ValueWidth};
-use lcm_sim::mem::{Addr, BlockId};
-use lcm_sim::{NodeId, Pcg32};
-use lcm_tempest::Placement;
+use lcm_sim::mem::{Addr, BlockId, BLOCK_BYTES};
+use lcm_sim::{CrashPlan, CycleCat, Knob, NodeId, Pcg32};
+use lcm_tempest::{DeathEvidence, Placement};
 use std::ops::Range;
 
 /// How the "compiler" implements C\*\* semantics.
@@ -58,6 +58,18 @@ pub struct RuntimeConfig {
     pub detect_conflicts: bool,
     /// Flush-directive placement (see [`FlushPolicy`]).
     pub flush: FlushPolicy,
+    /// Fail-stop crash schedule (disabled by default). An active plan
+    /// makes the runtime checkpoint at phase boundaries and roll crashed
+    /// nodes back to the last checkpoint; an inactive plan changes
+    /// nothing, cycle for cycle. Crashes are cost-only: deterministic
+    /// re-execution reproduces the dead node's exact values, so program
+    /// outputs stay byte-identical at any crash rate.
+    pub crash: CrashPlan,
+    /// Checkpoint every N-th phase boundary (`>= 1`; only meaningful
+    /// while [`RuntimeConfig::crash`] is active). Coarser checkpoints
+    /// capture state less often but lose more re-executed work per
+    /// crash — the granularity axis of the recovery sweep.
+    pub checkpoint_every: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -67,6 +79,8 @@ impl Default for RuntimeConfig {
             seed: 0x5eed,
             detect_conflicts: false,
             flush: FlushPolicy::PerInvocation,
+            crash: CrashPlan::disabled(),
+            checkpoint_every: 1,
         }
     }
 }
@@ -114,6 +128,17 @@ pub struct Runtime<P> {
     pub(crate) overhead: u64,
     pub(crate) flush: FlushPolicy,
     detect_conflicts: bool,
+    crash: CrashPlan,
+    checkpoint_every: u64,
+    /// Phase boundaries crossed so far (init and apply alike); the
+    /// crash schedule draws per `(node, phase)` from this counter.
+    phase: u64,
+    /// Each node's clock at its last checkpoint — the restart point a
+    /// crashed node rolls back to.
+    ckpt_clocks: Vec<u64>,
+    /// Bytes each node persisted at its last checkpoint — the state a
+    /// crashed node must re-read to restart.
+    ckpt_bytes: Vec<u64>,
 }
 
 impl<P: MemoryProtocol> Runtime<P> {
@@ -123,7 +148,15 @@ impl<P: MemoryProtocol> Runtime<P> {
     }
 
     /// A runtime with explicit configuration.
+    ///
+    /// # Panics
+    /// Panics if `config.checkpoint_every == 0`.
     pub fn with_config(mem: P, strategy: Strategy, config: RuntimeConfig) -> Runtime<P> {
+        assert!(
+            config.checkpoint_every >= 1,
+            "checkpoint_every must be at least 1"
+        );
+        let nodes = mem.tempest().nodes();
         Runtime {
             mem,
             strategy,
@@ -133,6 +166,11 @@ impl<P: MemoryProtocol> Runtime<P> {
             overhead: config.invocation_overhead,
             flush: config.flush,
             detect_conflicts: config.detect_conflicts,
+            crash: config.crash,
+            checkpoint_every: config.checkpoint_every,
+            phase: 0,
+            ckpt_clocks: vec![0; nodes],
+            ckpt_bytes: vec![0; nodes],
         }
     }
 
@@ -165,6 +203,97 @@ impl<P: MemoryProtocol> Runtime<P> {
     /// Current simulated time (max node clock), in cycles.
     pub fn time(&self) -> u64 {
         self.mem.tempest().machine.time()
+    }
+
+    /// Phase boundaries crossed so far (init and apply alike).
+    pub fn phases(&self) -> u64 {
+        self.phase
+    }
+
+    /// The crash schedule in force.
+    pub fn crash_plan(&self) -> CrashPlan {
+        self.crash
+    }
+
+    /// Closes a profiler phase and, when a crash schedule is active,
+    /// captures a checkpoint every `checkpoint_every`-th boundary.
+    /// With the default (inactive) plan this is exactly the old
+    /// `mark_phase` call — no draw, no charge, no state change.
+    pub(crate) fn phase_boundary(&mut self, label: &'static str) {
+        self.mem.tempest_mut().machine.mark_phase(label);
+        self.phase += 1;
+        if self.crash.is_active() && self.phase.is_multiple_of(self.checkpoint_every) {
+            self.take_checkpoint();
+        }
+    }
+
+    /// Captures a phase checkpoint and charges its capture cost: each
+    /// node persists its share of the image at block-flush bandwidth
+    /// under [`CycleCat::Checkpoint`].
+    fn take_checkpoint(&mut self) {
+        let img = self.mem.checkpoint();
+        let t = self.mem.tempest_mut();
+        for (i, &bytes) in img.per_node.iter().enumerate() {
+            let node = NodeId(i as u16);
+            let blocks = bytes.div_ceil(BLOCK_BYTES as u64);
+            t.machine
+                .charge(node, CycleCat::Checkpoint, Knob::BlockFlush, blocks);
+            let s = t.machine.stats_mut(node);
+            s.checkpoints += 1;
+            s.checkpoint_bytes += bytes;
+            self.ckpt_bytes[i] = bytes;
+            self.ckpt_clocks[i] = t.machine.clock(node);
+        }
+    }
+
+    /// Processes the crash schedule for the phase that just completed.
+    ///
+    /// Runs *after* the phase's reconciliation, so the merged global
+    /// state is already identical to the crash-free run's — the fail-stop
+    /// model is cost-only: the crashed node's private copies are gone,
+    /// but its deterministic re-execution from the last checkpoint
+    /// produces the very same versions, so only cycles and statistics
+    /// move. Each crash charges:
+    ///
+    /// * the victim: the re-executed work (the crash point's fraction of
+    ///   its work since the last checkpoint) plus a refill of its
+    ///   checkpointed bytes, under [`CycleCat::Rollback`];
+    /// * every survivor: one retry-timeout detection window under
+    ///   [`CycleCat::CrashDetect`];
+    ///
+    /// then posts the death verdict to the membership log and
+    /// resynchronizes with a barrier (survivors wait for the restart).
+    pub(crate) fn process_crashes(&mut self) {
+        if !self.crash.is_active() {
+            return;
+        }
+        let nodes = self.nodes();
+        let scheduled = self.crash.scheduled(nodes, self.phase);
+        if scheduled.is_empty() {
+            return;
+        }
+        for (node, point) in scheduled {
+            let t = self.mem.tempest_mut();
+            let at = t.machine.clock(node);
+            t.net
+                .membership_mut()
+                .record(node, DeathEvidence::Scheduled { phase: self.phase }, at);
+            t.machine.stats_mut(node).crashes += 1;
+            for i in 0..nodes {
+                let peer = NodeId(i as u16);
+                if peer != node {
+                    t.machine
+                        .charge(peer, CycleCat::CrashDetect, Knob::RetryTimeout, 1);
+                }
+            }
+            let work = at.saturating_sub(self.ckpt_clocks[node.index()]);
+            let lost = work * point.frac_permille / 1000;
+            t.machine.advance_as(node, lost, CycleCat::Rollback);
+            let blocks = self.ckpt_bytes[node.index()].div_ceil(BLOCK_BYTES as u64);
+            t.machine
+                .charge(node, CycleCat::Rollback, Knob::LocalRefill, blocks);
+        }
+        self.mem.barrier();
     }
 
     fn register(&mut self, base: Addr, bytes: u64, merge: MergePolicy) {
@@ -277,7 +406,7 @@ impl<P: MemoryProtocol> Runtime<P> {
             }
         }
         self.mem.barrier();
-        self.mem.tempest_mut().machine.mark_phase("init");
+        self.phase_boundary("init");
     }
 
     /// Initializes a 2-D aggregate in parallel by static row owner.
@@ -292,7 +421,7 @@ impl<P: MemoryProtocol> Runtime<P> {
             }
         }
         self.mem.barrier();
-        self.mem.tempest_mut().machine.mark_phase("init");
+        self.phase_boundary("init");
     }
 
     fn init_element(&mut self, id: usize, node: NodeId, idx: usize, bits: u32) {

@@ -38,7 +38,14 @@ use std::sync::Mutex;
 /// File magic: the first eight bytes of every `.lcmtrace`.
 pub const MAGIC: &[u8; 8] = b"LCMTRACE";
 /// Current format version.
-pub const VERSION: u16 = 1;
+///
+/// Version history:
+/// * 1 — initial format (11 cycle categories, 28 stats fields);
+/// * 2 — recovery support widened the unprefixed footer: three cycle
+///   categories (`checkpoint`, `rollback`, `crash_detect`) and three
+///   stats fields (`checkpoints`, `checkpoint_bytes`, `crashes`) were
+///   appended, so a version-1 reader would misparse the ledger.
+pub const VERSION: u16 = 2;
 
 /// FNV-1a over a byte slice (the repo's standard fingerprint hash).
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -84,6 +91,27 @@ struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     fn new(buf: &'a [u8]) -> Cursor<'a> {
         Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes left between the cursor and the end of the buffer.
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Validates a length prefix that announces `n` elements of at least
+    /// `min_bytes` bytes each. A corrupt (or malicious) count larger than
+    /// the remaining buffer could otherwise drive `Vec::with_capacity`
+    /// into a multi-gigabyte allocation before the first element read
+    /// fails; rejecting it up front turns that into a named error.
+    fn element_count(&self, n: usize, min_bytes: usize, what: &str) -> Result<usize, String> {
+        if n.saturating_mul(min_bytes) > self.remaining() {
+            return Err(format!(
+                "implausible {what} count {n}: needs at least {} bytes but only {} remain",
+                n.saturating_mul(min_bytes),
+                self.remaining()
+            ));
+        }
+        Ok(n)
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
@@ -592,7 +620,9 @@ impl TraceFile {
             *f = c.varint()?;
         }
         let cost = cost_from_fields(&fields);
+        // Each metadata pair is two strings of at least one byte each.
         let n_meta = c.varint()? as usize;
+        let n_meta = c.element_count(n_meta, 2, "metadata")?;
         let mut metadata = Vec::with_capacity(n_meta);
         for _ in 0..n_meta {
             let k = c.string()?;
@@ -602,6 +632,7 @@ impl TraceFile {
         let _fingerprint = c.u64_le()?;
 
         let n_strings = c.varint()? as usize;
+        let n_strings = c.element_count(n_strings, 1, "string-table")?;
         let mut strings: Vec<&'static str> = Vec::with_capacity(n_strings);
         for _ in 0..n_strings {
             strings.push(intern(&c.string()?));
@@ -626,7 +657,9 @@ impl TraceFile {
                 .ok_or_else(|| format!("unknown cycle category index {v}"))
         };
 
+        // Every event carries at least an opcode byte and a cycle delta.
         let n_events = c.varint()? as usize;
+        let n_events = c.element_count(n_events, 2, "event")?;
         let mut events = Vec::with_capacity(n_events);
         let mut prev_cycle: u64 = 0;
         for seq in 0..n_events {
@@ -738,6 +771,7 @@ impl TraceFile {
         }
 
         let n_phases = c.varint()? as usize;
+        let n_phases = c.element_count(n_phases, 3, "phase-index")?;
         let mut phase_index = Vec::with_capacity(n_phases);
         for _ in 0..n_phases {
             phase_index.push(PhaseIndexEntry {

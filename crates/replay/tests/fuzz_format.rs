@@ -1,0 +1,432 @@
+//! Hostile-input hardening for the `.lcmtrace` reader: bit flips,
+//! truncations, resealed deep corruption, absurd length prefixes and
+//! out-of-range indices must all come back as *named* `Err` strings —
+//! never a panic, and never a giant speculative allocation.
+//!
+//! The checksum is verified before any parsing, so random corruption is
+//! caught as a checksum mismatch; the interesting tests therefore
+//! *reseal* the checksum after mutating, forcing the mutation through
+//! the deeper validators.
+
+use lcm_replay::{TraceFile, MAGIC, VERSION};
+use lcm_sim::{
+    CostModel, CycleCat, CycleLedger, Event, Knob, NodeId, NodeStats, Stamped, Topology,
+};
+use proptest::prelude::*;
+
+/// FNV-1a, matching the format's checksum (the algorithm is fixed by
+/// the on-disk format, so reimplementing it here is not duplication —
+/// a drift would be a format break this test should catch).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Recomputes and patches the trailing checksum so a mutation survives
+/// the integrity check and reaches the structural validators.
+fn reseal(bytes: &mut [u8]) {
+    let n = bytes.len();
+    assert!(n >= 8, "reseal needs room for the checksum");
+    let sum = fnv1a(&bytes[..n - 8]);
+    bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// A representative capture with events of several shapes (charges,
+/// messages, a phase mark, a barrier) — enough surface that random
+/// mutations can land in every section of the file.
+fn sample_file() -> TraceFile {
+    let nodes = 3;
+    let mut ledger = CycleLedger::new(nodes);
+    ledger.charge(NodeId(0), CycleCat::Compute, 120);
+    ledger.charge(NodeId(1), CycleCat::ReadStallRemote, 77);
+    let events = vec![
+        Stamped {
+            seq: 0,
+            cycle: 10,
+            event: Event::Work {
+                node: NodeId(0),
+                cycles: 9,
+                hits: 1,
+            },
+        },
+        Stamped {
+            seq: 1,
+            cycle: 4,
+            event: Event::Charge {
+                node: NodeId(1),
+                cat: CycleCat::ReadStallRemote,
+                knob: Knob::RemoteMiss,
+                units: 2,
+            },
+        },
+        Stamped {
+            seq: 2,
+            cycle: 9,
+            event: Event::MsgSend {
+                from: NodeId(1),
+                to: NodeId(0),
+                kind: "GetShared",
+                bytes: 48,
+            },
+        },
+        Stamped {
+            seq: 3,
+            cycle: 20,
+            event: Event::PhaseMark { label: "apply" },
+        },
+        Stamped {
+            seq: 4,
+            cycle: 25,
+            event: Event::Barrier { at: 25 },
+        },
+        Stamped {
+            seq: 5,
+            cycle: 26,
+            event: Event::ReadMiss {
+                node: NodeId(2),
+                block: lcm_sim::BlockId(7),
+                remote: true,
+            },
+        },
+    ];
+    TraceFile::from_capture(
+        nodes,
+        Topology::FatTree { arity: 4 },
+        CostModel::cm5(),
+        vec![("benchmark".into(), "fuzz".into())],
+        events,
+        vec![25, 25, 26],
+        &ledger,
+        NodeStats::default(),
+    )
+    .expect("sample capture is gap-free")
+}
+
+// ---------------------------------------------------------------------
+// Hand-rolled writer for crafting malicious files from scratch.
+// ---------------------------------------------------------------------
+
+/// Number of serialized cost-model fields. Fixed by the version-2 wire
+/// format; `layout_guard_parses_a_hand_rolled_file` fails loudly if the
+/// real writer ever disagrees.
+const COST_FIELDS: usize = 18;
+
+struct Raw {
+    out: Vec<u8>,
+}
+
+impl Raw {
+    /// Starts a syntactically valid version-`VERSION` file: magic,
+    /// version, node count, topology tag and a zeroed cost model.
+    fn new(nodes: u64, topology_tag: u8) -> Raw {
+        let mut r = Raw { out: Vec::new() };
+        r.out.extend_from_slice(MAGIC);
+        r.out.extend_from_slice(&VERSION.to_le_bytes());
+        r.varint(nodes);
+        r.byte(topology_tag); // 2 = Flat (no operand)
+        for _ in 0..COST_FIELDS {
+            r.varint(0);
+        }
+        r
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.out.push(b);
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.out.push(byte);
+                return;
+            }
+            self.out.push(byte | 0x80);
+        }
+    }
+
+    fn zigzag(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn string(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn u64_le(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Empty metadata section plus the (unchecked) fingerprint.
+    fn no_metadata(&mut self) {
+        self.varint(0);
+        self.u64_le(0);
+    }
+
+    /// A well-formed footer for `nodes` nodes and `recorded` events.
+    fn footer(&mut self, nodes: usize, recorded: u64) {
+        for _ in 0..nodes {
+            self.varint(0); // clock
+        }
+        for _ in 0..nodes * CycleCat::all().len() {
+            self.varint(0); // ledger cell
+        }
+        for _ in 0..NodeStats::FIELDS {
+            self.varint(0); // stats field
+        }
+        self.varint(recorded);
+    }
+
+    /// Appends the checksum and returns the finished file bytes.
+    fn seal(mut self) -> Vec<u8> {
+        let sum = fnv1a(&self.out);
+        self.out.extend_from_slice(&sum.to_le_bytes());
+        self.out
+    }
+}
+
+/// A minimal, completely empty but valid file: guards every other
+/// hand-rolled test against wire-layout drift. If the real format
+/// changes shape, this fails first and names the real problem.
+fn empty_file_bytes() -> Vec<u8> {
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0); // string table
+    r.varint(0); // events
+    r.varint(0); // phase index
+    r.footer(1, 0);
+    r.seal()
+}
+
+#[test]
+fn layout_guard_parses_a_hand_rolled_file() {
+    let f = TraceFile::from_bytes(&empty_file_bytes()).expect("hand-rolled layout matches reader");
+    assert_eq!(f.nodes, 1);
+    assert_eq!(f.topology, Topology::Flat);
+    assert!(f.events.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Absurd length prefixes: named errors, not multi-gigabyte allocations.
+// ---------------------------------------------------------------------
+
+/// A count field claiming ~2^60 elements must be rejected before any
+/// allocation happens. If `with_capacity` ran first, this test would be
+/// an OOM kill, not a failure.
+#[test]
+fn absurd_counts_error_instead_of_allocating() {
+    const HUGE: u64 = 1 << 60;
+
+    // Metadata count.
+    let mut r = Raw::new(1, 2);
+    r.varint(HUGE);
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("huge metadata count");
+    assert!(err.contains("implausible metadata count"), "{err}");
+
+    // String-table count.
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(HUGE);
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("huge string count");
+    assert!(err.contains("implausible string-table count"), "{err}");
+
+    // Event count.
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(HUGE);
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("huge event count");
+    assert!(err.contains("implausible event count"), "{err}");
+
+    // Phase-index count.
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(0);
+    r.varint(HUGE);
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("huge phase count");
+    assert!(err.contains("implausible phase-index count"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Out-of-range indices: every referencing field is validated by name.
+// ---------------------------------------------------------------------
+
+#[test]
+fn out_of_range_indices_are_named_errors() {
+    // Unknown topology tag.
+    let err = TraceFile::from_bytes(&Raw::new(1, 9).seal()).expect_err("bad topology");
+    assert!(err.contains("unknown topology tag 9"), "{err}");
+
+    // String index beyond the interned table (PhaseMark label).
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(1);
+    r.string("GetShared");
+    r.varint(1); // one event
+    r.byte(19); // PhaseMark
+    r.zigzag(0);
+    r.varint(7); // label index: out of range
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("bad string index");
+    assert!(err.contains("string index 7 out of range"), "{err}");
+
+    // Node id beyond the node count (ReadMiss).
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(1);
+    r.byte(0); // ReadMiss
+    r.zigzag(0);
+    r.varint(9); // node id: out of range
+    r.varint(0); // block
+    r.byte(1); // remote
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("bad node id");
+    assert!(err.contains("node id 9 out of range"), "{err}");
+
+    // Cycle-category index beyond the table (ChargeRaw).
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(1);
+    r.byte(16); // ChargeRaw
+    r.zigzag(0);
+    r.varint(0); // node
+    r.byte(200); // category index: out of range
+    r.varint(1); // cycles
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("bad category");
+    assert!(err.contains("unknown cycle category index 200"), "{err}");
+
+    // Knob index beyond the table (Charge).
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(1);
+    r.byte(15); // Charge
+    r.zigzag(0);
+    r.varint(0); // node
+    r.byte(0); // category
+    r.byte(250); // knob index: out of range
+    r.varint(1); // units
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("bad knob");
+    assert!(err.contains("unknown knob index 250"), "{err}");
+
+    // Unknown event opcode.
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(1);
+    r.byte(77); // opcode: unknown
+    r.zigzag(0);
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("bad opcode");
+    assert!(err.contains("unknown event opcode 77"), "{err}");
+}
+
+#[test]
+fn footer_cross_checks_are_enforced() {
+    // Footer event count disagreeing with the stream.
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(0);
+    r.varint(0);
+    r.footer(1, 3); // claims 3 events, stream holds 0
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("count mismatch");
+    assert!(err.contains("footer says 3 events"), "{err}");
+
+    // Junk after the footer.
+    let mut r = Raw::new(1, 2);
+    r.no_metadata();
+    r.varint(0);
+    r.varint(0);
+    r.varint(0);
+    r.footer(1, 0);
+    r.byte(0xAB);
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("trailing bytes");
+    assert!(err.contains("trailing bytes"), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random hostility never panics the reader.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A single flipped bit anywhere in the file is always rejected
+    /// (the checksum covers every byte, including itself: flipping a
+    /// checksum byte makes the stored and computed values disagree).
+    #[test]
+    fn any_bit_flip_is_rejected(pos_seed in 0u64..u64::MAX, bit in 0u8..8) {
+        let bytes = sample_file().to_bytes();
+        let mut mutated = bytes.clone();
+        let pos = (pos_seed % mutated.len() as u64) as usize;
+        mutated[pos] ^= 1 << bit;
+        prop_assert!(mutated != bytes || TraceFile::from_bytes(&mutated).is_ok());
+        if mutated != bytes {
+            let err = TraceFile::from_bytes(&mutated).expect_err("flip detected");
+            prop_assert!(!err.is_empty());
+        }
+    }
+
+    /// Every possible truncation errors by name — "file too short" for
+    /// stubs, a checksum mismatch otherwise — and never panics.
+    #[test]
+    fn any_truncation_is_rejected(len_seed in 0u64..u64::MAX) {
+        let bytes = sample_file().to_bytes();
+        let len = (len_seed % bytes.len() as u64) as usize;
+        let err = TraceFile::from_bytes(&bytes[..len]).expect_err("truncation detected");
+        prop_assert!(
+            err.contains("too short") || err.contains("checksum"),
+            "unexpected error for len {len}: {err}"
+        );
+    }
+
+    /// Resealed deep corruption — a mutation hidden behind a valid
+    /// checksum — may parse (some bytes are free-form) or fail with a
+    /// named error, but must never panic or hang on an allocation.
+    /// This drives the structural validators directly.
+    #[test]
+    fn resealed_corruption_never_panics(
+        pos_seed in 0u64..u64::MAX,
+        patch in any::<u8>(),
+    ) {
+        let mut bytes = sample_file().to_bytes();
+        // Skip magic+version (10 bytes) to reach the deep validators,
+        // and the checksum tail which reseal overwrites anyway.
+        let lo = 10;
+        let hi = bytes.len() - 8;
+        let pos = lo + (pos_seed % (hi - lo) as u64) as usize;
+        bytes[pos] = patch;
+        reseal(&mut bytes);
+        // The property is completion without panic; both outcomes are
+        // legal, and errors must carry a message.
+        if let Err(e) = TraceFile::from_bytes(&bytes) {
+            prop_assert!(!e.is_empty());
+        }
+    }
+
+    /// Pure garbage of any length is rejected without panicking.
+    #[test]
+    fn random_garbage_is_rejected(bytes in proptest::collection::vec(any::<u8>(), 0usize..256)) {
+        // A random buffer passing FNV-1a + magic is beyond astronomically
+        // unlikely; assert rejection outright.
+        prop_assert!(TraceFile::from_bytes(&bytes).is_err());
+    }
+
+    /// Resealed garbage (valid checksum, random content) still never
+    /// panics — it must fall out through magic/version/structure checks.
+    #[test]
+    fn resealed_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 18usize..256)) {
+        let mut bytes = bytes.clone();
+        reseal(&mut bytes);
+        if let Err(e) = TraceFile::from_bytes(&bytes) {
+            prop_assert!(!e.is_empty());
+        }
+    }
+}

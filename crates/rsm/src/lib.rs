@@ -32,6 +32,6 @@ pub mod sanitizer;
 pub use conflict::{ConflictKind, ConflictRecord};
 pub use nested::NestedProtocol;
 pub use policy::{CoherenceKind, PolicyTable, RegionPolicy};
-pub use protocol::MemoryProtocol;
+pub use protocol::{CheckpointImage, MemoryProtocol};
 pub use reconcile::{KeepOrder, MergePolicy, ReduceOp, ValueWidth};
 pub use sanitizer::Violation;

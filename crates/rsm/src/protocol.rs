@@ -15,6 +15,52 @@ use lcm_sim::mem::{Addr, WORD_BYTES};
 use lcm_sim::NodeId;
 use lcm_tempest::Tempest;
 
+/// What one phase checkpoint had to capture, per protocol.
+///
+/// A fail-stop crash is repaired by rolling the dead node back to the
+/// last phase boundary and re-executing, so each boundary must persist
+/// enough protocol and memory state to restart from. How *much* state
+/// that is differs sharply by memory system — LCM checkpoints only the
+/// words reconciled since the previous boundary (its phase discipline
+/// already funnels modifications through the home), while an
+/// invalidation directory must capture dirty exclusive lines and the
+/// directory itself — and that asymmetry is exactly what the recovery
+/// sweep measures. The image carries byte counts only; capture and
+/// restore *cycles* are charged by the runtime, centrally, so protocols
+/// that never checkpoint stay byte-identical to older builds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointImage {
+    /// Bytes captured at each node (index = node id).
+    pub per_node: Vec<u64>,
+    /// Dirty (exclusive) cache lines captured, at 32 bytes each.
+    pub dirty_blocks: u64,
+    /// Directory entries captured, at 8 bytes each.
+    pub dir_entries: u64,
+    /// Unreconciled data words captured, at 4 bytes each.
+    pub words: u64,
+}
+
+impl CheckpointImage {
+    /// Bytes to persist one directory entry: a 64-bit word packing the
+    /// state discriminant with the sharer bitmap or owner id.
+    pub const DIR_ENTRY_BYTES: u64 = 8;
+
+    /// An empty image for a `nodes`-processor machine.
+    pub fn empty(nodes: usize) -> CheckpointImage {
+        CheckpointImage {
+            per_node: vec![0; nodes],
+            dirty_blocks: 0,
+            dir_entries: 0,
+            words: 0,
+        }
+    }
+
+    /// Total bytes captured across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_node.iter().sum()
+    }
+}
+
 /// A user-level memory system over the Tempest mechanisms.
 ///
 /// Word accesses are the protocol-visible unit (the CM-5's single-
@@ -99,6 +145,16 @@ pub trait MemoryProtocol {
     /// value. No-op for protocols without stale-data support.
     fn refresh_stale(&mut self, node: NodeId, addr: Addr) {
         let _ = (node, addr);
+    }
+
+    /// Captures a phase checkpoint, returning the bytes each node had to
+    /// persist. Implementations may also *normalize* their state (e.g.
+    /// write dirty lines back to their homes) so that later checkpoints
+    /// are incremental — but must never change program-visible values.
+    /// The default captures nothing, which is correct for any protocol
+    /// whose home memory is always current.
+    fn checkpoint(&mut self) -> CheckpointImage {
+        CheckpointImage::empty(self.tempest().machine.nodes())
     }
 
     /// A global barrier with no reconciliation semantics.
@@ -307,6 +363,15 @@ mod tests {
         use crate::reconcile::ReduceOp;
         let mut p = RawMemory::new();
         p.reduce_f64(NodeId(0), Addr(0x1000), ReduceOp::SumF32, 1.0);
+    }
+
+    #[test]
+    fn default_checkpoint_is_empty() {
+        let mut p = RawMemory::new();
+        let img = p.checkpoint();
+        assert_eq!(img, CheckpointImage::empty(2));
+        assert_eq!(img.total_bytes(), 0);
+        assert_eq!(img.per_node.len(), 2);
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub struct FaultConfig {
     pub stall_rate: f64,
     /// Cycles a stalled node falls behind before recovering.
     pub stall_cycles: u64,
+    /// Probability that a node fail-stop crashes during a parallel phase
+    /// (per node, per phase). Crashes are scheduled by [`CrashPlan`] from
+    /// `crash_seed`, independent of the per-message stream.
+    pub crash_rate: f64,
+    /// Seed of the crash schedule (distinct from `seed` so crash sweeps
+    /// never perturb the message-fault schedule).
+    pub crash_seed: u64,
 }
 
 impl Default for FaultConfig {
@@ -58,6 +65,8 @@ impl Default for FaultConfig {
             max_retries: 10,
             stall_rate: 0.0,
             stall_cycles: 0,
+            crash_rate: 0.0,
+            crash_seed: 0,
         }
     }
 }
@@ -72,7 +81,17 @@ impl FaultConfig {
         }
     }
 
-    /// True when any fault can actually occur.
+    /// A crash-only plan — the `--crash <rate>:<seed>` sweep shape.
+    pub fn crashes(crash_rate: f64, crash_seed: u64) -> FaultConfig {
+        FaultConfig {
+            crash_rate,
+            crash_seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True when any *network* fault can actually occur (crashes are
+    /// scheduled separately; see [`FaultConfig::crashes_active`]).
     pub fn is_active(&self) -> bool {
         self.drop_rate > 0.0
             || self.dup_rate > 0.0
@@ -80,26 +99,51 @@ impl FaultConfig {
             || (self.stall_rate > 0.0 && self.stall_cycles > 0)
     }
 
-    /// Validates the rates.
-    ///
-    /// # Panics
-    /// Panics if any rate is outside `[0, 1]`, NaN, or the combined
-    /// per-message rate exceeds 1.
-    pub fn validate(&self) {
+    /// True when the crash schedule can fire.
+    pub fn crashes_active(&self) -> bool {
+        self.crash_rate > 0.0
+    }
+
+    /// Validates the rates, naming the first offending field.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
         for (name, r) in [
             ("drop_rate", self.drop_rate),
             ("dup_rate", self.dup_rate),
             ("delay_rate", self.delay_rate),
             ("stall_rate", self.stall_rate),
+            ("crash_rate", self.crash_rate),
         ] {
-            assert!((0.0..=1.0).contains(&r), "{name} {r} outside [0, 1]");
+            if !(0.0..=1.0).contains(&r) {
+                return Err(FaultConfigError {
+                    message: format!("{name} {r} outside [0, 1]"),
+                });
+            }
         }
-        assert!(
-            self.drop_rate + self.dup_rate + self.delay_rate <= 1.0,
-            "combined per-message fault rate exceeds 1"
-        );
+        let combined = self.drop_rate + self.dup_rate + self.delay_rate;
+        if combined.is_nan() || combined > 1.0 {
+            return Err(FaultConfigError {
+                message: "combined per-message fault rate exceeds 1".into(),
+            });
+        }
+        Ok(())
     }
 }
+
+/// An invalid [`FaultConfig`]: a rate outside `[0, 1]` (or NaN), or a
+/// combined per-message rate above 1. Carried as a value so the CLI can
+/// surface it as a named error instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultConfigError {
+    message: String,
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault config: {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 /// The scheduled fate of one message attempt.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -139,14 +183,27 @@ impl FaultPlan {
     }
 
     /// A plan drawing outcomes from `config`'s seed.
+    ///
+    /// # Panics
+    /// Panics on an invalid config; use [`FaultPlan::try_new`] to handle
+    /// the error.
     pub fn new(config: FaultConfig) -> FaultPlan {
-        config.validate();
-        FaultPlan {
+        match FaultPlan::try_new(config) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// A plan drawing outcomes from `config`'s seed, rejecting invalid
+    /// configs as a value instead of a panic.
+    pub fn try_new(config: FaultConfig) -> Result<FaultPlan, FaultConfigError> {
+        config.validate()?;
+        Ok(FaultPlan {
             active: config.is_active(),
             rng: Pcg32::new(config.seed, FAULT_STREAM),
             config,
             decisions: 0,
-        }
+        })
     }
 
     /// True when this plan can inject faults.
@@ -206,6 +263,119 @@ impl FaultPlan {
 impl Default for FaultPlan {
     fn default() -> FaultPlan {
         FaultPlan::disabled()
+    }
+}
+
+/// Distinct PCG stream for crash scheduling, so crash draws never collide
+/// with the per-message fault stream or a workload's own RNG.
+const CRASH_STREAM: u64 = 0xDEAD;
+
+/// Where in a phase a scheduled fail-stop crash strikes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Fraction of the phase's work (in permille, `1..=999`) the node
+    /// completed before failing — the work lost to rollback.
+    pub frac_permille: u64,
+}
+
+/// A deterministic per-node, per-phase fail-stop crash schedule.
+///
+/// Each `(node, phase)` pair draws from its own generator seeded by
+/// `(crash_seed, node, phase)`, so the schedule is a pure function of the
+/// config — independent of query order, of how many messages the run
+/// sent, and of every other fault stream. An inactive plan (rate zero)
+/// performs no draws, so crash-free runs are bit-identical to a build
+/// without this type.
+#[derive(Copy, Clone, Debug)]
+pub struct CrashPlan {
+    rate: f64,
+    seed: u64,
+    active: bool,
+}
+
+impl CrashPlan {
+    /// A plan under which no node ever crashes.
+    pub fn disabled() -> CrashPlan {
+        CrashPlan {
+            rate: 0.0,
+            seed: 0,
+            active: false,
+        }
+    }
+
+    /// A plan crashing each node in each phase with probability `rate`,
+    /// scheduled from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]` or NaN.
+    pub fn new(rate: f64, seed: u64) -> CrashPlan {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "crash_rate {rate} outside [0, 1]"
+        );
+        CrashPlan {
+            rate,
+            seed,
+            active: rate > 0.0,
+        }
+    }
+
+    /// The schedule carried by a [`FaultConfig`].
+    pub fn from_config(config: &FaultConfig) -> CrashPlan {
+        CrashPlan::new(config.crash_rate, config.crash_seed)
+    }
+
+    /// True when this plan can crash anything.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The per-node, per-phase crash probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether (and where) `node` crashes in `phase`. Inactive plans
+    /// return `None` without constructing a generator.
+    pub fn crash_point(&self, node: NodeId, phase: u64) -> Option<CrashPoint> {
+        if !self.active {
+            return None;
+        }
+        // One generator per (node, phase), mixed with distinct odd
+        // multipliers so nearby pairs land on unrelated streams.
+        let mixed = self
+            .seed
+            .wrapping_add(phase.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((node.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        let mut rng = Pcg32::new(mixed, CRASH_STREAM);
+        if rng.next_f64() < self.rate {
+            Some(CrashPoint {
+                frac_permille: 1 + rng.below(999),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// All crashes scheduled for `phase` on a `nodes`-processor machine,
+    /// in node order.
+    pub fn scheduled(&self, nodes: usize, phase: u64) -> Vec<(NodeId, CrashPoint)> {
+        if !self.active {
+            return Vec::new();
+        }
+        (0..nodes)
+            .filter_map(|i| {
+                let node = NodeId(i as u16);
+                self.crash_point(node, phase).map(|p| (node, p))
+            })
+            .collect()
+    }
+}
+
+impl Default for CrashPlan {
+    fn default() -> CrashPlan {
+        CrashPlan::disabled()
     }
 }
 
@@ -327,6 +497,83 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn invalid_rate_rejected() {
         FaultPlan::new(FaultConfig::drops(1.5, 0));
+    }
+
+    #[test]
+    fn try_new_surfaces_named_errors() {
+        let e = FaultPlan::try_new(FaultConfig::drops(1.5, 0)).expect_err("rate over 1");
+        let text = e.to_string();
+        assert!(text.contains("drop_rate 1.5 outside [0, 1]"), "{text}");
+
+        let nan = FaultConfig {
+            stall_rate: f64::NAN,
+            ..FaultConfig::default()
+        };
+        assert!(FaultPlan::try_new(nan).is_err(), "NaN rates are rejected");
+
+        let over = FaultConfig {
+            drop_rate: 0.5,
+            dup_rate: 0.4,
+            delay_rate: 0.3,
+            ..FaultConfig::default()
+        };
+        let e = FaultPlan::try_new(over).expect_err("combined rate over 1");
+        assert!(e.to_string().contains("combined per-message"), "{e}");
+
+        let bad_crash = FaultConfig::crashes(-0.1, 0);
+        let e = FaultPlan::try_new(bad_crash).expect_err("negative crash rate");
+        assert!(e.to_string().contains("crash_rate"), "{e}");
+
+        assert!(FaultPlan::try_new(FaultConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn crash_plan_is_order_independent_and_seeded() {
+        let p = CrashPlan::new(0.3, 42);
+        // Same (node, phase) always draws the same fate, in any order.
+        let a = p.crash_point(NodeId(3), 7);
+        let _ = p.crash_point(NodeId(0), 0);
+        let b = p.crash_point(NodeId(3), 7);
+        assert_eq!(a, b);
+
+        // The full 8-node × 64-phase grid is reproducible and non-trivial.
+        let grid: Vec<_> = (0..64).map(|ph| p.scheduled(8, ph)).collect();
+        let again: Vec<_> = (0..64).map(|ph| p.scheduled(8, ph)).collect();
+        assert_eq!(grid, again);
+        let total: usize = grid.iter().map(|v| v.len()).sum();
+        assert!(total > 0, "a 30% rate crashes someone in 512 draws");
+        assert!(total < 512, "and spares someone");
+        for (_, point) in grid.iter().flatten() {
+            assert!((1..=999).contains(&point.frac_permille));
+        }
+
+        // A different seed gives a different schedule.
+        let q = CrashPlan::new(0.3, 43);
+        let other: Vec<_> = (0..64).map(|ph| q.scheduled(8, ph)).collect();
+        assert_ne!(grid, other);
+    }
+
+    #[test]
+    fn inactive_crash_plan_never_fires() {
+        let p = CrashPlan::disabled();
+        assert!(!p.is_active());
+        for ph in 0..32 {
+            assert!(p.scheduled(64, ph).is_empty());
+        }
+        let cfg = FaultConfig::default();
+        assert!(!cfg.crashes_active());
+        assert!(!CrashPlan::from_config(&cfg).is_active());
+        let crashy = FaultConfig::crashes(0.5, 9);
+        assert!(crashy.crashes_active());
+        assert!(!crashy.is_active(), "crashes are not network faults");
+        assert!(CrashPlan::from_config(&crashy).is_active());
+        assert_eq!(CrashPlan::from_config(&crashy).rate(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash_rate 2 outside [0, 1]")]
+    fn crash_plan_rejects_bad_rates() {
+        CrashPlan::new(2.0, 0);
     }
 
     #[test]

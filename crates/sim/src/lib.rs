@@ -47,10 +47,12 @@ pub mod topology;
 pub mod trace;
 
 pub use cost::{CostModel, Knob};
-pub use fault::{DeliveryError, FaultConfig, FaultOutcome, FaultPlan};
+pub use fault::{
+    CrashPlan, CrashPoint, DeliveryError, FaultConfig, FaultConfigError, FaultOutcome, FaultPlan,
+};
 pub use machine::{Machine, MachineConfig, NodeId, MAX_NODES};
 pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};
-pub use par::{available_jobs, par_map};
+pub use par::{available_jobs, par_map, try_par_map};
 pub use profile::{CycleCat, CycleLedger, PhaseSnapshot};
 pub use rng::Pcg32;
 pub use stats::NodeStats;

@@ -38,22 +38,72 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    // Worker panics are caught by the pool and re-raised on the calling
+    // thread with their original payload (the scope's own propagation
+    // would replace a sanitizer diagnostic with "a scoped thread
+    // panicked"); the lowest panicking index wins, so the surfaced
+    // failure is deterministic.
+    let mut out = Vec::with_capacity(items.len());
+    for outcome in run_pool(jobs, items, f) {
+        match outcome {
+            Ok(r) => out.push(r),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// [`par_map`] with per-item failure isolation: a panicking item yields
+/// `Err(message)` in its slot while every other item still completes.
+///
+/// The sweep drivers use this to finish a grid despite individual bad
+/// points, then report the failures and exit nonzero — instead of losing
+/// the whole sweep to its first panic.
+pub fn try_par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_pool(jobs, items, f)
+        .into_iter()
+        .map(|outcome| outcome.map_err(|p| panic_message(p.as_ref())))
+        .collect()
+}
+
+/// The panic payload's human-readable message (`panic!` supplies a
+/// `&str` or `String`; anything else gets a fixed fallback).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+type Outcome<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+/// The shared pool: applies `f` to every item, capturing each result or
+/// panic payload in input order.
+fn run_pool<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Outcome<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     let jobs = jobs.max(1).min(n.max(1));
     if jobs <= 1 {
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))))
             .collect();
     }
     // Tasks and result slots are indexed; the per-slot mutexes are taken
     // once each, far off any hot path (a sweep point runs for ms–s).
-    // Worker panics are caught and re-raised on the calling thread with
-    // their original payload (the scope's own propagation would replace a
-    // sanitizer diagnostic with "a scoped thread panicked"); the lowest
-    // panicking index wins, so the surfaced failure is deterministic.
-    type Outcome<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
     let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let slots: Vec<Mutex<Option<Outcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -76,18 +126,14 @@ where
             });
         }
     });
-    let mut out = Vec::with_capacity(n);
-    for s in slots {
-        let outcome = s
-            .into_inner()
-            .expect("slot mutex unlocked after scope join")
-            .expect("every slot filled: workers drained the counter");
-        match outcome {
-            Ok(r) => out.push(r),
-            Err(payload) => std::panic::resume_unwind(payload),
-        }
-    }
-    out
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot mutex unlocked after scope join")
+                .expect("every slot filled: workers drained the counter")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -119,6 +165,38 @@ mod tests {
     #[test]
     fn available_jobs_is_positive() {
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_isolates_failures() {
+        for jobs in [1, 4] {
+            let items: Vec<usize> = (0..8).collect();
+            let out = try_par_map(jobs, items, |_, x| {
+                if x % 3 == 0 {
+                    panic!("bad point {x}");
+                }
+                x * 10
+            });
+            assert_eq!(out.len(), 8, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 3 == 0 {
+                    assert_eq!(r.as_ref().unwrap_err(), &format!("bad point {i}"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_par_map_all_ok_matches_par_map() {
+        let items: Vec<u64> = (0..20).collect();
+        let plain = par_map(4, items.clone(), |i, x| (i as u64) + x);
+        let fallible: Vec<u64> = try_par_map(4, items, |i, x| (i as u64) + x)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(plain, fallible);
     }
 
     #[test]

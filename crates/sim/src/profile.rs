@@ -52,11 +52,23 @@ pub enum CycleCat {
     /// [`crate::topology`]). Zero while the cost model's link bandwidth
     /// is unlimited — the default.
     NetContention,
+    /// Capturing recovery state at a phase boundary: flushing dirty data
+    /// home and persisting the checkpoint image. Zero unless a crash
+    /// schedule is active.
+    Checkpoint,
+    /// Re-executing work a crashed node lost since its last checkpoint,
+    /// plus restoring its protocol state from that checkpoint. Zero
+    /// unless a crash schedule is active.
+    Rollback,
+    /// Surviving nodes detecting a peer's fail-stop crash (timeout
+    /// expiry and membership agreement). Zero unless a crash schedule is
+    /// active.
+    CrashDetect,
 }
 
 impl CycleCat {
     /// Number of categories.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
 
     /// All categories, in display order.
     pub fn all() -> [CycleCat; CycleCat::COUNT] {
@@ -72,6 +84,9 @@ impl CycleCat {
             CycleCat::FlushReconcile,
             CycleCat::RetryBackoff,
             CycleCat::NetContention,
+            CycleCat::Checkpoint,
+            CycleCat::Rollback,
+            CycleCat::CrashDetect,
         ]
     }
 
@@ -90,6 +105,9 @@ impl CycleCat {
             CycleCat::FlushReconcile => 8,
             CycleCat::RetryBackoff => 9,
             CycleCat::NetContention => 10,
+            CycleCat::Checkpoint => 11,
+            CycleCat::Rollback => 12,
+            CycleCat::CrashDetect => 13,
         }
     }
 
@@ -107,6 +125,9 @@ impl CycleCat {
             CycleCat::FlushReconcile => "flush_reconcile",
             CycleCat::RetryBackoff => "retry_backoff",
             CycleCat::NetContention => "net_contention",
+            CycleCat::Checkpoint => "checkpoint",
+            CycleCat::Rollback => "rollback",
+            CycleCat::CrashDetect => "crash_detect",
         }
     }
 }

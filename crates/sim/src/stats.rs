@@ -75,6 +75,15 @@ pub struct NodeStats {
     /// Wire bytes this node accepted off the network (delivered messages
     /// only; duplicates and drops carry no accepted bytes).
     pub bytes_recv: u64,
+    /// Phase-boundary checkpoints this node captured (crash schedules
+    /// only).
+    pub checkpoints: u64,
+    /// Bytes this node persisted across all its checkpoints (crash
+    /// schedules only).
+    pub checkpoint_bytes: u64,
+    /// Fail-stop crashes this node suffered and recovered from (crash
+    /// schedules only).
+    pub crashes: u64,
 }
 
 impl NodeStats {
@@ -144,6 +153,9 @@ impl NodeStats {
         self.stall_cycles += other.stall_cycles;
         self.bytes_sent += other.bytes_sent;
         self.bytes_recv += other.bytes_recv;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.crashes += other.crashes;
     }
 
     /// Total injected-fault events observed by this node (retries,
@@ -153,7 +165,7 @@ impl NodeStats {
     }
 
     /// Number of counters in [`NodeStats::as_array`] order.
-    pub const FIELDS: usize = 28;
+    pub const FIELDS: usize = 31;
 
     /// The counters flattened into a fixed declaration-order array — the
     /// serialization form used by the `.lcmtrace` footer. Inverse of
@@ -189,6 +201,9 @@ impl NodeStats {
             self.stall_cycles,
             self.bytes_sent,
             self.bytes_recv,
+            self.checkpoints,
+            self.checkpoint_bytes,
+            self.crashes,
         ]
     }
 
@@ -223,6 +238,9 @@ impl NodeStats {
             stall_cycles: a[25],
             bytes_sent: a[26],
             bytes_recv: a[27],
+            checkpoints: a[28],
+            checkpoint_bytes: a[29],
+            crashes: a[30],
         }
     }
 }
@@ -275,6 +293,13 @@ impl std::fmt::Display for NodeStats {
                 self.timeouts,
                 self.retries,
                 self.stall_cycles
+            )?;
+        }
+        if self.checkpoints > 0 || self.crashes > 0 {
+            write!(
+                f,
+                "\nrecovery: {} checkpoints ({} bytes), {} crashes",
+                self.checkpoints, self.checkpoint_bytes, self.crashes
             )?;
         }
         Ok(())
@@ -333,6 +358,9 @@ mod tests {
             stall_cycles: 26,
             bytes_sent: 27,
             bytes_recv: 28,
+            checkpoints: 29,
+            checkpoint_bytes: 30,
+            crashes: 31,
         };
         a.add(&b);
         a.add(&b);
@@ -347,6 +375,9 @@ mod tests {
         assert_eq!(a.stall_cycles, 52);
         assert_eq!(a.bytes_sent, 54);
         assert_eq!(a.bytes_recv, 56);
+        assert_eq!(a.checkpoints, 58);
+        assert_eq!(a.checkpoint_bytes, 60);
+        assert_eq!(a.crashes, 62);
         assert_eq!(a.fault_events(), 44 + 46 + 48 + 50);
     }
 
@@ -384,6 +415,9 @@ mod tests {
             stall_cycles: 26,
             bytes_sent: 27,
             bytes_recv: 28,
+            checkpoints: 29,
+            checkpoint_bytes: 30,
+            crashes: 31,
         };
         let a = b.as_array();
         let distinct: std::collections::HashSet<_> = a.iter().collect();

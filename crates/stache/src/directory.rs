@@ -78,6 +78,12 @@ impl Directory {
         self.entries.remove(&block).unwrap_or(DirState::Idle)
     }
 
+    /// Every non-idle entry, in map (unspecified) order. Consumers that
+    /// need determinism must accumulate order-independent sums.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, DirState)> + '_ {
+        self.entries.iter().map(|(b, s)| (*b, *s))
+    }
+
     /// Number of non-idle entries.
     pub fn len(&self) -> usize {
         self.entries.len()

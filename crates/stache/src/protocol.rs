@@ -19,8 +19,8 @@
 
 use crate::directory::{DirState, Directory};
 use crate::sharers::{SharerSet, MAX_NODES};
-use lcm_rsm::{MemoryProtocol, PolicyTable};
-use lcm_sim::mem::{Addr, BlockId};
+use lcm_rsm::{CheckpointImage, MemoryProtocol, PolicyTable};
+use lcm_sim::mem::{Addr, BlockId, BLOCK_BYTES};
 use lcm_sim::trace::Event;
 use lcm_sim::{CycleCat, Knob, MachineConfig, NodeId};
 use lcm_tempest::{MsgKind, Tag, Tempest};
@@ -214,6 +214,39 @@ impl Stache {
             }
         }
         Ok(())
+    }
+
+    /// Writes every dirty exclusive line back and downgrades it to a
+    /// single shared copy at its former owner, returning the capture
+    /// footprint (one [`CheckpointImage::DIR_ENTRY_BYTES`] entry per
+    /// directory entry at the home, one 32-byte line per
+    /// formerly-exclusive block at its owner).
+    ///
+    /// LCM's checkpoint uses this for its *embedded* directory — the
+    /// blocks outside copy-on-write phases, e.g. initialization writes.
+    /// Under the simulation's write-through home memory the downgrade
+    /// changes no program-visible value, and it makes the next
+    /// checkpoint incremental: a line only returns to Exclusive by
+    /// being written again.
+    pub fn checkpoint_writeback(&mut self) -> CheckpointImage {
+        let mut img = CheckpointImage::empty(self.t.nodes());
+        let mut dirty: Vec<(BlockId, NodeId)> = Vec::new();
+        for (block, state) in self.dir.iter() {
+            let home = self.t.home_of(block);
+            img.dir_entries += 1;
+            img.per_node[home.index()] += CheckpointImage::DIR_ENTRY_BYTES;
+            if let DirState::Exclusive(owner) = state {
+                img.dirty_blocks += 1;
+                img.per_node[owner.index()] += BLOCK_BYTES as u64;
+                dirty.push((block, owner));
+            }
+        }
+        for (block, owner) in dirty {
+            self.t.tags[owner.index()].set(block, Tag::ReadOnly);
+            self.dir
+                .set(block, DirState::Shared(SharerSet::single(owner)));
+        }
+        img
     }
 
     /// Removes `block` from directory management and returns the set of
@@ -585,6 +618,28 @@ impl MemoryProtocol for Stache {
         self.verify_coherence_invariants()
     }
 
+    /// An invalidation directory has no phase discipline to lean on, so
+    /// a checkpoint is capture-in-place and non-incremental: in the
+    /// modeled protocol a dirty exclusive line is the only current copy
+    /// of its data, so every Exclusive entry persists its 32 data bytes
+    /// at the owner, and every directory entry persists its packed word
+    /// at the home — in full, at every boundary, because the directory
+    /// does not track what changed since the last one. Nothing mutates:
+    /// tags, directory and residency are exactly as before.
+    fn checkpoint(&mut self) -> CheckpointImage {
+        let mut img = CheckpointImage::empty(self.t.nodes());
+        for (block, state) in self.dir.iter() {
+            let home = self.t.home_of(block);
+            img.dir_entries += 1;
+            img.per_node[home.index()] += CheckpointImage::DIR_ENTRY_BYTES;
+            if let DirState::Exclusive(owner) = state {
+                img.dirty_blocks += 1;
+                img.per_node[owner.index()] += BLOCK_BYTES as u64;
+            }
+        }
+        img
+    }
+
     fn read_word(&mut self, node: NodeId, addr: Addr) -> u32 {
         debug_assert!(addr.is_word_aligned(), "unaligned load at {addr}");
         let block = addr.block();
@@ -624,6 +679,62 @@ mod tests {
         // Interleaved so block 0 homes on node 0.
         let a = s.tempest_mut().alloc(4096, Placement::Interleaved, "t");
         (s, a)
+    }
+
+    #[test]
+    fn checkpoint_captures_directory_and_exclusive_lines() {
+        let (mut s, a) = system(4);
+        let b0 = a; // block 0, home node 0 (interleaved)
+        let b1 = a.offset(32); // block 1, home node 1
+        s.write_f32(NodeId(2), b0, 1.0); // Exclusive(2)
+        s.read_f32(NodeId(1), b1); // Shared{1}
+        s.read_f32(NodeId(3), b1); // Shared{1,3}
+        let clocks: Vec<u64> = (0..4)
+            .map(|n| s.tempest().machine.clock(NodeId(n)))
+            .collect();
+        let img = s.checkpoint();
+        assert_eq!(img.dir_entries, 2);
+        assert_eq!(img.dirty_blocks, 1);
+        // 8 B per entry at the homes (nodes 0 and 1), 32 B for the
+        // exclusive line at its owner (node 2).
+        assert_eq!(img.per_node, vec![8, 8, 32, 0]);
+        assert_eq!(img.total_bytes(), 48);
+        // Capture is pure: no charges, no state changes, and the image
+        // is reproducible.
+        let after: Vec<u64> = (0..4)
+            .map(|n| s.tempest().machine.clock(NodeId(n)))
+            .collect();
+        assert_eq!(clocks, after, "checkpoint charges nothing itself");
+        assert_eq!(
+            s.directory().state(b0.block()),
+            DirState::Exclusive(NodeId(2))
+        );
+        assert_eq!(s.checkpoint(), img, "non-incremental: recaptured in full");
+        s.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_writeback_downgrades_and_becomes_incremental() {
+        let (mut s, a) = system(4);
+        s.write_f32(NodeId(2), a, 3.5); // Exclusive(2)
+        let first = s.checkpoint_writeback();
+        assert_eq!(first.dirty_blocks, 1);
+        assert_eq!(first.per_node[2], 32);
+        match s.directory().state(a.block()) {
+            DirState::Shared(set) => assert_eq!(set.iter().collect::<Vec<_>>(), vec![NodeId(2)]),
+            other => panic!("expected downgrade to Shared, got {other:?}"),
+        }
+        s.verify_coherence_invariants().unwrap();
+        // Values survive, and an unwritten line costs no data bytes at
+        // the next boundary.
+        assert_eq!(s.read_f32(NodeId(2), a), 3.5);
+        assert_eq!(s.tempest().machine.stats(NodeId(2)).read_hits, 1);
+        let second = s.checkpoint_writeback();
+        assert_eq!(second.dirty_blocks, 0);
+        assert_eq!(second.per_node[2], 0);
+        // Writing again re-dirties the line.
+        s.write_f32(NodeId(2), a, 4.5);
+        assert_eq!(s.checkpoint_writeback().dirty_blocks, 1);
     }
 
     #[test]

@@ -29,12 +29,14 @@
 
 #![warn(missing_docs)]
 
+pub mod membership;
 pub mod memory;
 pub mod net;
 pub mod segment;
 pub mod system;
 pub mod tags;
 
+pub use membership::{DeathEvidence, Membership, MembershipView, NodeDeath};
 pub use memory::HomeMemory;
 pub use net::{MsgKind, Network};
 pub use segment::{AddressSpace, Placement, Segment};

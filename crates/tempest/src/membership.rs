@@ -1,0 +1,211 @@
+//! Fail-stop membership: node-death verdicts and the membership view.
+//!
+//! PR 1 made the *network* unreliable; this module makes *nodes* mortal.
+//! A fail-stop crash is never observed directly — survivors infer it when
+//! a delivery exhausts its retransmission budget ([`Network`]'s send
+//! paths) or a peer misses a barrier deadline (the runtime's phase
+//! barrier). Either observation is escalated into a [`NodeDeath`] verdict
+//! recorded here, instead of the structural `panic!` the delivery layer
+//! raised before membership existed.
+//!
+//! The recovery model is crash-restart: a dead node is rolled back to its
+//! last checkpoint and re-executes, so the membership view never shrinks
+//! permanently — each death bumps the node's *incarnation* and the global
+//! *epoch*. Deterministic simulation makes the whole log reproducible:
+//! the same crash schedule yields the same verdicts, cycle stamps and
+//! epochs on every run.
+//!
+//! [`Network`]: crate::net::Network
+
+use lcm_sim::NodeId;
+use std::fmt;
+
+/// What a survivor observed to conclude a peer died.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeathEvidence {
+    /// A delivery to the node exhausted its retransmission budget.
+    RetriesExhausted {
+        /// The undeliverable message's kind label.
+        kind: &'static str,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
+    /// The node missed a barrier-arrival deadline.
+    BarrierTimeout {
+        /// Cycles the survivors waited past the deadline.
+        waited: u64,
+    },
+    /// The crash was injected by a deterministic [`CrashPlan`] schedule
+    /// and detected at the phase-ending barrier.
+    ///
+    /// [`CrashPlan`]: lcm_sim::CrashPlan
+    Scheduled {
+        /// The phase (runtime phase counter) the node died in.
+        phase: u64,
+    },
+}
+
+impl fmt::Display for DeathEvidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeathEvidence::RetriesExhausted { kind, attempts } => {
+                write!(f, "{kind} undeliverable after {attempts} attempts")
+            }
+            DeathEvidence::BarrierTimeout { waited } => {
+                write!(f, "missed barrier deadline by {waited} cycles")
+            }
+            DeathEvidence::Scheduled { phase } => {
+                write!(f, "scheduled crash in phase {phase}")
+            }
+        }
+    }
+}
+
+/// One node-death verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeDeath {
+    /// The node judged dead.
+    pub node: NodeId,
+    /// What the survivors observed.
+    pub evidence: DeathEvidence,
+    /// Simulated cycle (observer's clock) of the verdict.
+    pub at_cycle: u64,
+    /// The membership epoch this verdict began (1 for the first death).
+    pub epoch: u64,
+}
+
+impl fmt::Display for NodeDeath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node {} declared dead at cycle {} (epoch {}): {}",
+            self.node, self.at_cycle, self.epoch, self.evidence
+        )
+    }
+}
+
+/// A consistent snapshot of the membership state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipView {
+    /// Current epoch (total deaths recorded).
+    pub epoch: u64,
+    /// Per-node incarnation numbers: how many times each node has died
+    /// and been restarted (0 = never crashed).
+    pub incarnations: Vec<u64>,
+}
+
+/// The death log and epoch counter.
+///
+/// Passive by design, like the rest of Tempest: the delivery layer and
+/// the runtime record verdicts; consumers read the log.
+#[derive(Clone, Debug, Default)]
+pub struct Membership {
+    deaths: Vec<NodeDeath>,
+    epoch: u64,
+}
+
+impl Membership {
+    /// An empty view: no deaths, epoch 0.
+    pub fn new() -> Membership {
+        Membership::default()
+    }
+
+    /// Records a death verdict, bumping the epoch. Returns the new epoch.
+    pub fn record(&mut self, node: NodeId, evidence: DeathEvidence, at_cycle: u64) -> u64 {
+        self.epoch += 1;
+        self.deaths.push(NodeDeath {
+            node,
+            evidence,
+            at_cycle,
+            epoch: self.epoch,
+        });
+        self.epoch
+    }
+
+    /// Every verdict recorded, in order.
+    pub fn deaths(&self) -> &[NodeDeath] {
+        &self.deaths
+    }
+
+    /// Current epoch (total deaths recorded).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// How many times `node` has died.
+    pub fn incarnation(&self, node: NodeId) -> u64 {
+        self.deaths.iter().filter(|d| d.node == node).count() as u64
+    }
+
+    /// A snapshot for a `nodes`-processor machine.
+    pub fn view(&self, nodes: usize) -> MembershipView {
+        let mut incarnations = vec![0u64; nodes];
+        for d in &self.deaths {
+            incarnations[d.node.index()] += 1;
+        }
+        MembershipView {
+            epoch: self.epoch,
+            incarnations,
+        }
+    }
+
+    /// Forgets all verdicts (measurement reset).
+    pub fn clear(&mut self) {
+        self.deaths.clear();
+        self.epoch = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_accumulate_in_epoch_order() {
+        let mut m = Membership::new();
+        assert_eq!(m.epoch(), 0);
+        assert!(m.deaths().is_empty());
+        let e1 = m.record(
+            NodeId(2),
+            DeathEvidence::RetriesExhausted {
+                kind: "Flush",
+                attempts: 11,
+            },
+            500,
+        );
+        let e2 = m.record(NodeId(2), DeathEvidence::Scheduled { phase: 3 }, 900);
+        let e3 = m.record(NodeId(0), DeathEvidence::BarrierTimeout { waited: 64 }, 950);
+        assert_eq!((e1, e2, e3), (1, 2, 3));
+        assert_eq!(m.epoch(), 3);
+        assert_eq!(m.incarnation(NodeId(2)), 2);
+        assert_eq!(m.incarnation(NodeId(1)), 0);
+        let view = m.view(4);
+        assert_eq!(view.epoch, 3);
+        assert_eq!(view.incarnations, vec![1, 0, 2, 0]);
+        m.clear();
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.view(4).incarnations, vec![0; 4]);
+    }
+
+    #[test]
+    fn verdicts_display_their_evidence() {
+        let mut m = Membership::new();
+        m.record(
+            NodeId(1),
+            DeathEvidence::RetriesExhausted {
+                kind: "GetShared",
+                attempts: 5,
+            },
+            123,
+        );
+        let text = m.deaths()[0].to_string();
+        assert!(text.contains("node 1 declared dead at cycle 123"), "{text}");
+        assert!(text.contains("GetShared undeliverable after 5"), "{text}");
+        assert!(DeathEvidence::BarrierTimeout { waited: 9 }
+            .to_string()
+            .contains("missed barrier deadline by 9"),);
+        assert!(DeathEvidence::Scheduled { phase: 7 }
+            .to_string()
+            .contains("phase 7"),);
+    }
+}

@@ -14,7 +14,10 @@
 //! * a **dropped** attempt never reaches the receiver; the sender waits a
 //!   [`lcm_sim::CostModel::retry_timeout`] (doubling per consecutive
 //!   loss, capped) and retransmits, up to `max_retries` times, after
-//!   which delivery fails with a structured [`DeliveryError`];
+//!   which the fallible paths fail with a structured [`DeliveryError`]
+//!   and the infallible paths escalate to a node-death verdict in the
+//!   [`Membership`] view (fail-stop crash-restart: the message is then
+//!   delivered to the restarted node);
 //! * a **duplicated** delivery is detected by the receiver's transport
 //!   (sequence numbers), charged, counted in `msgs_duplicated`, and
 //!   answered with a [`MsgKind::Nack`];
@@ -39,6 +42,7 @@
 //! touch links. With the default unlimited bandwidth none of this runs
 //! and delivery charges are byte-identical to the flat model above.
 
+use crate::membership::{DeathEvidence, Membership};
 use lcm_sim::fault::BACKOFF_DOUBLING_CAP;
 use lcm_sim::mem::BLOCK_BYTES;
 use lcm_sim::{CostModel, CycleCat, DeliveryError, Event, FaultOutcome, Knob, Machine, NodeId};
@@ -155,6 +159,7 @@ pub struct Network {
     total: u64,
     dropped: u64,
     duplicated: u64,
+    membership: Membership,
 }
 
 impl Network {
@@ -170,11 +175,14 @@ impl Network {
     /// Messages a node sends to itself (home == requester) are free and
     /// uncounted — Tempest protocols short-circuit local operations.
     ///
-    /// # Panics
-    /// Panics (with the [`DeliveryError`] diagnostic) if fault injection
-    /// exhausts the retransmission budget; protocols treat that as an
-    /// unrecoverable machine failure. Use [`Network::try_send`] to handle
-    /// it structurally.
+    /// If fault injection exhausts the retransmission budget, the sender
+    /// escalates to a node-death verdict: the unreachable receiver is
+    /// recorded in the [`Membership`] view (evidence: retries exhausted),
+    /// the sender pays a detection timeout, and the message is then
+    /// delivered to the receiver's restarted incarnation — fail-stop
+    /// crash-restart semantics instead of the structural panic this path
+    /// raised before membership existed. Use [`Network::try_send`] to
+    /// observe the exhaustion as a [`DeliveryError`] instead.
     pub fn send(
         &mut self,
         m: &mut Machine,
@@ -184,7 +192,8 @@ impl Network {
         with_block: bool,
     ) {
         if let Err(e) = self.try_send(m, from, to, kind, with_block) {
-            panic!("unrecoverable network failure: {e}");
+            self.declare_dead(m, from, &e);
+            self.deliver_one_way(m, from, to, MsgKind::Retry, with_block);
         }
     }
 
@@ -214,37 +223,7 @@ impl Network {
             // Delivered. The first attempt counts under its own kind; a
             // retransmission counts under Retry.
             let delivered = if attempt == 0 { kind } else { MsgKind::Retry };
-            let bytes = wire_bytes(&cost, with_block);
-            m.charge(from, CycleCat::MsgOverhead, Knob::MsgSend, 1);
-            m.charge(to, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
-            // Under a finite-bandwidth fabric the delivered bytes also
-            // serialize onto (and queue behind) the from->to link path;
-            // a no-op on the default unlimited network.
-            m.network_transfer(from, to, bytes);
-            let s = m.stats_mut(from);
-            s.msgs_sent += 1;
-            s.bytes_sent += bytes;
-            if with_block {
-                s.blocks_sent += 1;
-            }
-            let r = m.stats_mut(to);
-            r.msgs_recv += 1;
-            r.bytes_recv += bytes;
-            self.by_kind[delivered.index()] += 1;
-            self.bytes_by_kind[delivered.index()] += bytes;
-            self.total += 1;
-            m.record(Event::MsgSend {
-                from,
-                to,
-                kind: delivered.label(),
-                bytes,
-            });
-            m.record(Event::MsgRecv {
-                node: to,
-                from,
-                kind: delivered.label(),
-                bytes,
-            });
+            self.deliver_one_way(m, from, to, delivered, with_block);
             match outcome {
                 FaultOutcome::Duplicate => self.duplicate_delivery(m, from, to, &cost),
                 FaultOutcome::Delay(k) => m.advance_as(to, k, CycleCat::RetryBackoff),
@@ -254,6 +233,146 @@ impl Network {
         }
     }
 
+    /// The accounting of one delivered one-way message: both ends'
+    /// cycle charges, statistics, fabric serialization, per-kind counts
+    /// and trace events.
+    fn deliver_one_way(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        delivered: MsgKind,
+        with_block: bool,
+    ) {
+        let bytes = wire_bytes(m.cost(), with_block);
+        m.charge(from, CycleCat::MsgOverhead, Knob::MsgSend, 1);
+        m.charge(to, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
+        // Under a finite-bandwidth fabric the delivered bytes also
+        // serialize onto (and queue behind) the from->to link path;
+        // a no-op on the default unlimited network.
+        m.network_transfer(from, to, bytes);
+        let s = m.stats_mut(from);
+        s.msgs_sent += 1;
+        s.bytes_sent += bytes;
+        if with_block {
+            s.blocks_sent += 1;
+        }
+        let r = m.stats_mut(to);
+        r.msgs_recv += 1;
+        r.bytes_recv += bytes;
+        self.by_kind[delivered.index()] += 1;
+        self.bytes_by_kind[delivered.index()] += bytes;
+        self.total += 1;
+        m.record(Event::MsgSend {
+            from,
+            to,
+            kind: delivered.label(),
+            bytes,
+        });
+        m.record(Event::MsgRecv {
+            node: to,
+            from,
+            kind: delivered.label(),
+            bytes,
+        });
+    }
+
+    /// Escalates an exhausted retransmission budget into a node-death
+    /// verdict: `observer` pays the detection timeout that converts
+    /// suspicion into a verdict (the backoff waits themselves are already
+    /// on its clock under `retry_backoff`), the unreachable node's death
+    /// is logged in the membership view, and its crash counter ticks.
+    fn declare_dead(&mut self, m: &mut Machine, observer: NodeId, e: &DeliveryError) {
+        m.charge(observer, CycleCat::CrashDetect, Knob::RetryTimeout, 1);
+        m.stats_mut(e.to).crashes += 1;
+        let at = m.clock(observer);
+        self.membership.record(
+            e.to,
+            DeathEvidence::RetriesExhausted {
+                kind: e.kind,
+                attempts: e.attempts,
+            },
+            at,
+        );
+    }
+
+    /// The accounting of one delivered request leg: the requester's send
+    /// lands in its miss-stall bucket, the home pays handler overhead.
+    fn deliver_request(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        transaction: MsgKind,
+        stall: CycleCat,
+    ) {
+        let req_bytes = wire_bytes(m.cost(), false);
+        m.charge(from, stall, Knob::MsgSend, 1);
+        m.charge(to, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
+        m.network_transfer(from, to, req_bytes);
+        let s = m.stats_mut(from);
+        s.msgs_sent += 1;
+        s.bytes_sent += req_bytes;
+        let r = m.stats_mut(to);
+        r.msgs_recv += 1;
+        r.bytes_recv += req_bytes;
+        self.by_kind[transaction.index()] += 1;
+        self.bytes_by_kind[transaction.index()] += req_bytes;
+        self.total += 1;
+        m.record(Event::MsgSend {
+            from,
+            to,
+            kind: transaction.label(),
+            bytes: req_bytes,
+        });
+        m.record(Event::MsgRecv {
+            node: to,
+            from,
+            kind: transaction.label(),
+            bytes: req_bytes,
+        });
+    }
+
+    /// The accounting of one delivered reply leg: the requester's wait is
+    /// the round-trip latency minus the request-side send already charged.
+    fn deliver_reply(
+        &mut self,
+        m: &mut Machine,
+        from: NodeId,
+        to: NodeId,
+        transaction: MsgKind,
+        stall: CycleCat,
+        data_reply: bool,
+    ) {
+        let rep_bytes = wire_bytes(m.cost(), data_reply);
+        m.charge(from, stall, Knob::RemoteMissLessSend, 1);
+        m.network_transfer(to, from, rep_bytes);
+        let r = m.stats_mut(from);
+        r.msgs_recv += 1;
+        r.bytes_recv += rep_bytes;
+        let s = m.stats_mut(to);
+        s.msgs_sent += 1;
+        s.bytes_sent += rep_bytes;
+        if data_reply {
+            s.blocks_sent += 1;
+        }
+        self.by_kind[transaction.index()] += 1;
+        self.bytes_by_kind[transaction.index()] += rep_bytes;
+        self.total += 1;
+        m.record(Event::MsgSend {
+            from: to,
+            to: from,
+            kind: transaction.label(),
+            bytes: rep_bytes,
+        });
+        m.record(Event::MsgRecv {
+            node: from,
+            from: to,
+            kind: transaction.label(),
+            bytes: rep_bytes,
+        });
+    }
+
     /// Accounts a blocking request/reply pair: the requester pays the full
     /// `remote_miss` round-trip latency, the home pays its handler
     /// overhead, and both directions are counted. If `data_reply` the
@@ -261,9 +380,10 @@ impl Network {
     ///
     /// Local round-trips (`from == to`) are free and uncounted.
     ///
-    /// # Panics
-    /// Panics (with the [`DeliveryError`] diagnostic) if fault injection
-    /// exhausts the retransmission budget; see [`Network::try_request_reply`].
+    /// Exhausting the retransmission budget escalates to a node-death
+    /// verdict exactly as in [`Network::send`], after which the
+    /// transaction completes against the home's restarted incarnation;
+    /// see [`Network::try_request_reply`] for the fallible form.
     pub fn request_reply(
         &mut self,
         m: &mut Machine,
@@ -273,7 +393,10 @@ impl Network {
         data_reply: bool,
     ) {
         if let Err(e) = self.try_request_reply(m, from, to, kind, data_reply) {
-            panic!("unrecoverable network failure: {e}");
+            self.declare_dead(m, from, &e);
+            let stall = kind.stall_cat();
+            self.deliver_request(m, from, to, MsgKind::Retry, stall);
+            self.deliver_reply(m, from, to, MsgKind::Retry, stall, data_reply);
         }
     }
 
@@ -311,31 +434,7 @@ impl Network {
                 continue;
             }
             // The request arrived and the home handles it.
-            let req_bytes = wire_bytes(&cost, false);
-            m.charge(from, stall, Knob::MsgSend, 1);
-            m.charge(to, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
-            m.network_transfer(from, to, req_bytes);
-            let s = m.stats_mut(from);
-            s.msgs_sent += 1;
-            s.bytes_sent += req_bytes;
-            let r = m.stats_mut(to);
-            r.msgs_recv += 1;
-            r.bytes_recv += req_bytes;
-            self.by_kind[transaction.index()] += 1;
-            self.bytes_by_kind[transaction.index()] += req_bytes;
-            self.total += 1;
-            m.record(Event::MsgSend {
-                from,
-                to,
-                kind: transaction.label(),
-                bytes: req_bytes,
-            });
-            m.record(Event::MsgRecv {
-                node: to,
-                from,
-                kind: transaction.label(),
-                bytes: req_bytes,
-            });
+            self.deliver_request(m, from, to, transaction, stall);
             match req {
                 FaultOutcome::Duplicate => self.duplicate_delivery(m, from, to, &cost),
                 FaultOutcome::Delay(k) => m.advance_as(to, k, CycleCat::RetryBackoff),
@@ -362,33 +461,7 @@ impl Network {
             }
             // Reply delivered: the requester's wait is the round-trip
             // latency (minus the request-side send already charged).
-            let rep_bytes = wire_bytes(&cost, data_reply);
-            m.charge(from, stall, Knob::RemoteMissLessSend, 1);
-            m.network_transfer(to, from, rep_bytes);
-            let r = m.stats_mut(from);
-            r.msgs_recv += 1;
-            r.bytes_recv += rep_bytes;
-            let s = m.stats_mut(to);
-            s.msgs_sent += 1;
-            s.bytes_sent += rep_bytes;
-            if data_reply {
-                s.blocks_sent += 1;
-            }
-            self.by_kind[transaction.index()] += 1;
-            self.bytes_by_kind[transaction.index()] += rep_bytes;
-            self.total += 1;
-            m.record(Event::MsgSend {
-                from: to,
-                to: from,
-                kind: transaction.label(),
-                bytes: rep_bytes,
-            });
-            m.record(Event::MsgRecv {
-                node: from,
-                from: to,
-                kind: transaction.label(),
-                bytes: rep_bytes,
-            });
+            self.deliver_reply(m, from, to, transaction, stall, data_reply);
             match rep {
                 FaultOutcome::Duplicate => self.duplicate_delivery(m, to, from, &cost),
                 FaultOutcome::Delay(k) => m.advance_as(from, k, CycleCat::RetryBackoff),
@@ -572,6 +645,19 @@ impl Network {
     /// Duplicate deliveries detected (and nacked) under fault injection.
     pub fn duplicated(&self) -> u64 {
         self.duplicated
+    }
+
+    /// The membership view: node-death verdicts recorded by this
+    /// network's escalation paths (and by the runtime's barrier
+    /// detection, which posts through [`Network::membership_mut`]).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Mutable access to the membership view (for the runtime's
+    /// barrier-timeout and scheduled-crash verdicts).
+    pub fn membership_mut(&mut self) -> &mut Membership {
+        &mut self.membership
     }
 
     /// Resets all counters.
@@ -929,8 +1015,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unrecoverable network failure")]
-    fn infallible_send_panics_with_the_diagnostic() {
+    fn infallible_send_escalates_to_a_death_verdict_and_delivers() {
+        use crate::membership::DeathEvidence;
+        use lcm_sim::CycleCat;
         let always_drop = FaultConfig {
             drop_rate: 1.0,
             max_retries: 2,
@@ -939,6 +1026,35 @@ mod tests {
         let mut m = faulty_machine(always_drop);
         let mut net = Network::new();
         net.send(&mut m, NodeId(0), NodeId(1), MsgKind::Flush, false);
+        // The receiver was judged dead on retry exhaustion...
+        let deaths = net.membership().deaths();
+        assert_eq!(deaths.len(), 1);
+        assert_eq!(deaths[0].node, NodeId(1));
+        assert_eq!(deaths[0].epoch, 1);
+        assert_eq!(
+            deaths[0].evidence,
+            DeathEvidence::RetriesExhausted {
+                kind: "Flush",
+                attempts: 3,
+            }
+        );
+        assert_eq!(m.stats(NodeId(1)).crashes, 1);
+        assert_eq!(net.membership().view(4).incarnations, vec![0, 1, 0, 0]);
+        // ...the sender paid a detection timeout...
+        assert!(m.ledger().get(NodeId(0), CycleCat::CrashDetect) > 0);
+        // ...and the message still reached the restarted node.
+        assert_eq!(m.stats(NodeId(1)).msgs_recv, 1);
+        assert_eq!(net.count(MsgKind::Retry), 1);
+        assert_conserved(&m, &net);
+
+        // The blocking shape recovers the same way: verdict plus a
+        // completed round trip against the restarted home.
+        net.request_reply(&mut m, NodeId(2), NodeId(3), MsgKind::GetShared, true);
+        assert_eq!(net.membership().epoch(), 2);
+        assert_eq!(net.membership().deaths()[1].node, NodeId(3));
+        assert_eq!(m.stats(NodeId(2)).msgs_recv, 1, "reply delivered");
+        assert_eq!(m.stats(NodeId(3)).blocks_sent, 1);
+        assert_conserved(&m, &net);
     }
 
     #[test]

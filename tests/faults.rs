@@ -63,6 +63,8 @@ fn fault_schedule() -> impl proptest::strategy::Strategy<Value = FaultConfig> {
                 max_retries: 40,
                 stall_rate: stall_pc as f64 / 100.0,
                 stall_cycles,
+                crash_rate: 0.0,
+                crash_seed: 0,
             },
         )
 }
