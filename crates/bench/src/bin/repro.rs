@@ -28,10 +28,21 @@
 //! The `profile` section runs the cycle-attribution profiler on
 //! Stencil-dyn: a per-node cycle breakdown table (every simulated cycle
 //! attributed to a category, conservation-checked against the node
-//! clocks), the hottest blocks by stall cycles, and the message-kind
-//! histogram. `--trace FILE` additionally exports the LCM-mcc run's
-//! event stream as Chrome-trace JSON — load it at `ui.perfetto.dev` or
+//! clocks), the hottest blocks by stall cycles, the message-kind
+//! histogram, and a critical-path drill-down of a captured LCM-mcc run.
+//! `--trace FILE` additionally exports the LCM-mcc run's event stream as
+//! Chrome-trace JSON — load it at `ui.perfetto.dev` or
 //! `chrome://tracing`.
+//!
+//! The `critpath` section (not part of `all`: its captures run at
+//! finite link bandwidth) builds the happens-before DAG of each
+//! benchmark×system capture, extracts the critical path, attributes
+//! slack, and projects causal what-ifs that are validated against
+//! genuine replays under modified cost models. With `--csv DIR` the
+//! analysis is written to `critpath.csv`; `--flow-trace FILE` exports a
+//! Perfetto trace with send→recv flow arrows and a critical-path track.
+//! `repro critpath <file.lcmtrace>` runs the same analysis offline on
+//! any capture.
 //!
 //! Simulated cycles are this reproduction's "execution time"; the paper
 //! reports wall-clock seconds on a 32-node CM-5, so compare *shapes*
@@ -54,7 +65,7 @@ use lcm_apps::{
     execute, execute_traced, execute_with_cost, execute_with_faults, RunResult, SystemKind,
     Workload,
 };
-use lcm_bench::{explore, profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
+use lcm_bench::{critpath, explore, profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
 use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
 use lcm_replay::TraceFile;
 use lcm_sim::{CostModel, CrashPlan, CycleCat, FaultConfig, MachineConfig, NodeId, Stamped};
@@ -64,7 +75,7 @@ use std::time::Instant;
 /// Every runnable section, in help order. `contention`, `explore` and
 /// `bench` are valid names but not part of `all` (see the comments at
 /// their dispatch sites).
-const SECTIONS: [&str; 20] = [
+const SECTIONS: [&str; 21] = [
     "all",
     "table1",
     "fig2",
@@ -83,12 +94,14 @@ const SECTIONS: [&str; 20] = [
     "contention",
     "profile",
     "explore",
+    "critpath",
     "recovery",
     "bench",
 ];
 
 /// Known flags, for the unknown-flag error message.
-const FLAGS: &str = "--scale --jobs --csv --svg --faults --crash --trace --list-sections -h/--help";
+const FLAGS: &str = "--scale --jobs --csv --svg --faults --crash --trace --flow-trace \
+                     --list-sections -h/--help";
 
 fn list_sections() {
     eprintln!("sections (default: all):");
@@ -96,7 +109,8 @@ fn list_sections() {
         eprintln!("  {s}");
     }
     eprintln!("subcommands:");
-    eprintln!("  replay <file.lcmtrace>   validate and summarize a captured trace");
+    eprintln!("  replay <file.lcmtrace>     validate and summarize a captured trace");
+    eprintln!("  critpath <file.lcmtrace>   critical-path analysis of a captured trace");
 }
 
 fn main() {
@@ -107,6 +121,7 @@ fn main() {
     let mut fault_point: Option<(f64, u64)> = None;
     let mut crash_point: Option<(f64, u64)> = None;
     let mut trace_path: Option<PathBuf> = None;
+    let mut flow_trace_path: Option<PathBuf> = None;
     let mut jobs = lcm_sim::available_jobs();
     let mut what = Vec::new();
     let mut it = args.iter();
@@ -160,6 +175,13 @@ fn main() {
                 };
                 trace_path = Some(PathBuf::from(path));
             }
+            "--flow-trace" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--flow-trace requires a file path");
+                    std::process::exit(2);
+                };
+                flow_trace_path = Some(PathBuf::from(path));
+            }
             "--svg" => {
                 let Some(dir) = it.next() else {
                     eprintln!("--svg requires a directory");
@@ -192,8 +214,8 @@ fn main() {
             "-h" | "--help" => {
                 println!(
                     "repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--faults RATE:SEED] [--crash RATE:SEED] [--trace FILE] [--list-sections] \
-                     [SECTION…] | replay FILE"
+                     [--faults RATE:SEED] [--crash RATE:SEED] [--trace FILE] [--flow-trace FILE] \
+                     [--list-sections] [SECTION…] | replay FILE | critpath FILE"
                 );
                 list_sections();
                 return;
@@ -215,6 +237,13 @@ fn main() {
             std::process::exit(2);
         };
         run_replay_summary(std::path::Path::new(path));
+        return;
+    }
+    // `critpath FILE` is the offline subcommand; a bare `critpath` (or
+    // `critpath` among other section names) is the capture-and-analyze
+    // section below.
+    if what[0] == "critpath" && what.len() == 2 && !SECTIONS.contains(&what[1].as_str()) {
+        run_critpath_file(std::path::Path::new(&what[1]));
         return;
     }
     if let Some(bad) = what.iter().find(|w| !SECTIONS.contains(&w.as_str())) {
@@ -284,62 +313,51 @@ fn main() {
     if wants("races") {
         print_races(jobs);
     }
-    let faults_csv = if wants("faults") || fault_point.is_some() {
-        Some(print_faults(scale, fault_point, jobs))
-    } else {
-        None
-    };
-    let profile_csvs = if wants("profile") || trace_path.is_some() {
-        Some(print_profile(scale, trace_path.as_deref(), jobs))
-    } else {
-        None
-    };
+    let mut csvs = SectionCsvs::default();
+    if wants("faults") || fault_point.is_some() {
+        csvs.faults = Some(print_faults(scale, fault_point, jobs));
+    }
+    if wants("profile") || trace_path.is_some() {
+        csvs.profile = Some(print_profile(scale, trace_path.as_deref(), jobs));
+    }
     // `contention` is deliberately not part of `all`: finite link
     // bandwidth surfaces a new cycle category and changes every total,
     // and `all`'s stdout and CSVs are pinned byte-identical across
     // releases by the determinism tests.
-    let contention_csv = if what.iter().any(|w| w == "contention") {
-        Some(print_contention(scale, jobs))
-    } else {
-        None
-    };
+    if what.iter().any(|w| w == "contention") {
+        csvs.contention = Some(print_contention(scale, jobs));
+    }
     // `explore` is deliberately not part of `all` for the same reason as
     // `contention`: its grid spans finite bandwidths, and the byte-
     // identity determinism tests pin `all`'s output.
-    let explore_csv = if what.iter().any(|w| w == "explore") {
-        Some(print_explore(scale, jobs, csv_dir.as_deref()))
-    } else {
-        None
-    };
+    if what.iter().any(|w| w == "explore") {
+        csvs.explore = Some(print_explore(scale, jobs, csv_dir.as_deref()));
+    }
+    // `critpath` is deliberately not part of `all` for the same reason:
+    // its captures run at finite link bandwidth, so every total differs
+    // from the pinned `all` output.
+    if what.iter().any(|w| w == "critpath") || flow_trace_path.is_some() {
+        csvs.critpath = Some(print_critpath(scale, jobs, flow_trace_path.as_deref()));
+    }
     // `recovery` is deliberately not part of `all` for the same reason:
     // active crash plans add checkpoint/rollback cycles to every total.
     let mut sweep_failures: Vec<String> = Vec::new();
-    let recovery_csv = if what.iter().any(|w| w == "recovery") || crash_point.is_some() {
-        Some(print_recovery(
+    if what.iter().any(|w| w == "recovery") || crash_point.is_some() {
+        csvs.recovery = Some(print_recovery(
             scale,
             crash_point,
             jobs,
             csv_dir.as_deref(),
             &mut sweep_failures,
-        ))
-    } else {
-        None
-    };
+        ));
+    }
     // `bench` is deliberately not part of `all`: it re-runs whole
     // sections twice (serially and on the pool) to measure wall-clock.
     if what.iter().any(|w| w == "bench") {
         run_bench(scale, jobs, csv_dir.as_deref());
     }
     if let Some(dir) = csv_dir {
-        if let Err(e) = write_all_csv(
-            &dir,
-            suite.as_ref(),
-            faults_csv.as_deref(),
-            &profile_csvs,
-            contention_csv.as_deref(),
-            explore_csv.as_deref(),
-            recovery_csv.as_deref(),
-        ) {
+        if let Err(e) = write_all_csv(&dir, suite.as_ref(), &csvs) {
             eprintln!("{e}");
             std::process::exit(1);
         }
@@ -411,46 +429,70 @@ fn write_svg(dir: &std::path::Path, suite: &Suite) -> Result<(), String> {
     Ok(())
 }
 
+/// The per-section CSV payloads gathered by `main` for `--csv`, one
+/// field per section that renders a file.
+#[derive(Default)]
+struct SectionCsvs {
+    faults: Option<String>,
+    /// `(profile.csv, phases.csv)`.
+    profile: Option<(String, String)>,
+    contention: Option<String>,
+    explore: Option<String>,
+    recovery: Option<String>,
+    /// `(critpath.csv, messages.csv latency rows)`.
+    critpath: Option<(String, Vec<report::MsgLatencyRow>)>,
+}
+
 fn write_all_csv(
     dir: &std::path::Path,
     suite: Option<&Suite>,
-    faults_csv: Option<&str>,
-    profile_csvs: &Option<(String, String)>,
-    contention_csv: Option<&str>,
-    explore_csv: Option<&str>,
-    recovery_csv: Option<&str>,
+    csvs: &SectionCsvs,
 ) -> Result<(), String> {
     ensure_dir(dir)?;
+    let latency = csvs
+        .critpath
+        .as_ref()
+        .map_or(&[][..], |(_, l)| l.as_slice());
     if let Some(suite) = suite {
-        write_csv(dir, suite)?;
+        write_csv(dir, suite, latency)?;
     }
-    if let Some(faults) = faults_csv {
+    if let Some(faults) = &csvs.faults {
         write_file(dir.join("faults.csv"), faults)?;
     }
-    if let Some((profile, phases)) = profile_csvs {
+    if let Some((profile, phases)) = &csvs.profile {
         write_file(dir.join("profile.csv"), profile)?;
         write_file(dir.join("phases.csv"), phases)?;
     }
-    if let Some(contention) = contention_csv {
+    if let Some(contention) = &csvs.contention {
         write_file(dir.join("contention.csv"), contention)?;
     }
-    if let Some(explore) = explore_csv {
+    if let Some(explore) = &csvs.explore {
         write_file(dir.join("explore.csv"), explore)?;
     }
-    if let Some(recovery) = recovery_csv {
+    if let Some(recovery) = &csvs.recovery {
         write_file(dir.join("recovery.csv"), recovery)?;
+    }
+    if let Some((critpath, _)) = &csvs.critpath {
+        write_file(dir.join("critpath.csv"), critpath)?;
     }
     Ok(())
 }
 
-fn write_csv(dir: &std::path::Path, suite: &Suite) -> Result<(), String> {
+fn write_csv(
+    dir: &std::path::Path,
+    suite: &Suite,
+    latency: &[report::MsgLatencyRow],
+) -> Result<(), String> {
     // Rendering lives in `lcm_bench::report` so the determinism tests
     // check byte-identity against the exact strings written here.
     ensure_dir(dir)?;
     write_file(dir.join("table1.csv"), &report::table1_csv(suite))?;
     write_file(dir.join("fig2.csv"), &report::fig_csv(&suite.fig2()))?;
     write_file(dir.join("fig3.csv"), &report::fig_csv(&suite.fig3()))?;
-    write_file(dir.join("messages.csv"), &report::messages_csv(suite))?;
+    write_file(
+        dir.join("messages.csv"),
+        &report::messages_csv_with_latency(suite, latency),
+    )?;
     write_file(dir.join("network.csv"), &report::network_csv(suite))?;
     Ok(())
 }
@@ -1300,6 +1342,320 @@ fn run_replay_summary(path: &std::path::Path) {
     }
 }
 
+/// The `critpath` subcommand: parse a `.lcmtrace` and run the
+/// happens-before analysis offline. Unreadable or corrupt files are a
+/// usage-level failure (exit 2, like bad flags): the named format error
+/// goes to stderr.
+fn run_critpath_file(path: &std::path::Path) {
+    let file = match TraceFile::read_from(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("critpath: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{} (.lcmtrace v{})", path.display(), lcm_replay::VERSION);
+    for (k, v) in &file.metadata {
+        println!("  {k}: {v}");
+    }
+    println!("  nodes: {}   topology: {}", file.nodes, file.topology);
+    let cp = lcm_replay::analyze(&file);
+    if cp.path_length() != cp.makespan {
+        eprintln!(
+            "critpath: path length {} != makespan {} — the happens-before walk \
+             does not reproduce this capture",
+            cp.path_length(),
+            cp.makespan
+        );
+        std::process::exit(1);
+    }
+    if cp.unmatched_recvs > 0 || cp.unmatched_sends > 0 {
+        eprintln!(
+            "  note: {} recv(s) and {} send(s) had no FIFO partner (faulty capture?); \
+             program-order and barrier edges still cover the path",
+            cp.unmatched_recvs, cp.unmatched_sends
+        );
+    }
+    let whatifs = critpath::top_whatifs(&cp, 10);
+    print!("{}", critpath::critpath_report(&cp, &whatifs));
+}
+
+/// Link bandwidth (bytes/cycle) of the `critpath` section's captures:
+/// finite, so network contention exists and the on-path vs slack-hidden
+/// split has something to say about it.
+const CRITPATH_BANDWIDTH: u64 = 16;
+
+/// Chrome-trace export cap for `--flow-trace`: beyond this many capture
+/// events the JSON becomes unloadable, so the export keeps a prefix and
+/// says so on stderr.
+const FLOW_EXPORT_EVENTS: usize = 4_000_000;
+
+/// One analyzed capture of the `critpath` section. The edge list is
+/// already summarized (latency rows, optional flow JSON) and dropped by
+/// the worker, so nine captures' edges never coexist in memory.
+struct CritOut {
+    benchmark: &'static str,
+    system: SystemKind,
+    cp: lcm_replay::CritPath,
+    whatifs: Vec<critpath::WhatIfRow>,
+    latency: Vec<report::MsgLatencyRow>,
+    flow_json: Option<(String, usize)>,
+}
+
+/// Captures one benchmark×system execution at finite bandwidth, runs the
+/// happens-before analysis, and validates its what-if projections
+/// against genuine replays under modified cost models.
+fn compute_critpath_one(
+    bench: usize,
+    system: SystemKind,
+    scale: Scale,
+    nodes: usize,
+    scale_label: &str,
+    want_flow: bool,
+) -> Result<CritOut, String> {
+    let mut cost = CostModel::cm5();
+    cost.link_bandwidth_bytes_per_cycle = CRITPATH_BANDWIDTH;
+    let mc = MachineConfig::new(nodes).with_cost(cost);
+    let config = RuntimeConfig::default();
+    let cap = explore::CAPTURE_CAPACITY;
+    let (benchmark, file) = match bench {
+        0 => (
+            "Stencil-dyn",
+            explore::capture_with_machine(
+                "Stencil-dyn",
+                scale_label,
+                system,
+                mc,
+                config,
+                &fault_stencil(scale),
+                cap,
+            )?,
+        ),
+        1 => (
+            "Threshold",
+            explore::capture_with_machine(
+                "Threshold",
+                scale_label,
+                system,
+                mc,
+                config,
+                &fault_threshold(scale),
+                cap,
+            )?,
+        ),
+        _ => (
+            "Unstructured",
+            explore::capture_with_machine(
+                "Unstructured",
+                scale_label,
+                system,
+                mc,
+                config,
+                &contention_unstructured(scale),
+                cap,
+            )?,
+        ),
+    };
+    lcm_replay::validate(&file).map_err(|e| {
+        format!(
+            "{benchmark}/{}: capture failed validation: {e}",
+            system.label()
+        )
+    })?;
+    let mut cp = lcm_replay::analyze(&file);
+    if cp.path_length() != cp.makespan {
+        return Err(format!(
+            "{benchmark}/{}: path length {} != makespan {}",
+            system.label(),
+            cp.path_length(),
+            cp.makespan
+        ));
+    }
+    let mut whatifs = critpath::top_whatifs(&cp, 10);
+    // Exactly-checkable projection: zeroing `net_contention` must equal a
+    // genuine replay of the same trace at unlimited bandwidth, because no
+    // other charge in the stream depends on the link model. A mismatch
+    // means the analyzer's cost arithmetic diverged from the engine's —
+    // fail the section rather than print a wrong projection.
+    let mut bw0 = file.cost;
+    bw0.link_bandwidth_bytes_per_cycle = 0;
+    let r0 = lcm_replay::replay(&file, &bw0, file.topology);
+    let nc0 = cp.whatif(&[CycleCat::NetContention], 0);
+    if nc0 != r0.time {
+        return Err(format!(
+            "{benchmark}/{}: what-if net_contention x0% projects {nc0} cycles but a \
+             zero-bandwidth replay takes {}",
+            system.label(),
+            r0.time
+        ));
+    }
+    let note = format!("exact;replay={}", r0.time);
+    match whatifs.iter_mut().find(|w| w.item == "net_contention x0%") {
+        Some(w) => w.note = note,
+        None => whatifs.push(critpath::WhatIfRow {
+            item: "net_contention x0%".to_string(),
+            predicted: nc0,
+            note,
+        }),
+    }
+    // Tolerance-checked projection: doubling the remote-stall categories
+    // vs a genuine replay with `remote_miss` doubled. These diverge where
+    // the engine prices a charge by `remote_miss - msg_send` rather than
+    // proportionally (§4h documents the limit); the measured error is
+    // reported in the row's note.
+    let mut rm2 = file.cost;
+    rm2.remote_miss *= 2;
+    let r2 = lcm_replay::replay(&file, &rm2, file.topology);
+    let pred2 = cp.whatif(
+        &[CycleCat::ReadStallRemote, CycleCat::WriteStallRemote],
+        200,
+    );
+    let err2 = 100.0 * (pred2 as f64 - r2.time as f64) / r2.time as f64;
+    whatifs.push(critpath::WhatIfRow {
+        item: "remote_stalls x200%".to_string(),
+        predicted: pred2,
+        note: format!("replay={};err={err2:+.2}%", r2.time),
+    });
+    let latency = critpath::msg_latency_rows(benchmark, system.label(), &cp);
+    let flow_json =
+        (want_flow && benchmark == "Stencil-dyn" && system == SystemKind::LcmMcc).then(|| {
+            let cut = file.events.len().min(FLOW_EXPORT_EVENTS);
+            if cut < file.events.len() {
+                let max_seq = file.events[cut - 1].seq;
+                cp.edges
+                    .retain(|e| e.send_seq <= max_seq && e.recv_seq <= max_seq);
+            }
+            let (flows, path) = critpath::flow_annotations(&cp);
+            (
+                profile::chrome_trace_json_with_flows(
+                    &file.events[..cut],
+                    file.nodes,
+                    &[],
+                    &flows,
+                    &path,
+                ),
+                file.events.len() - cut,
+            )
+        });
+    cp.edges = Vec::new();
+    cp.edges.shrink_to_fit();
+    Ok(CritOut {
+        benchmark,
+        system,
+        cp,
+        whatifs,
+        latency,
+        flow_json,
+    })
+}
+
+/// The `critpath` section: capture every benchmark×system pair at finite
+/// bandwidth, run the happens-before analysis, print per-pair reports
+/// and the on-path vs slack-hidden headline table. Returns
+/// `(critpath.csv, messages.csv latency rows)`.
+fn print_critpath(
+    scale: Scale,
+    jobs: usize,
+    flow_path: Option<&std::path::Path>,
+) -> (String, Vec<report::MsgLatencyRow>) {
+    println!("== Critical path: happens-before analysis of captured executions ==");
+    println!("   each benchmark×system pair executes once in capture mode with");
+    println!("   {CRITPATH_BANDWIDTH} B/cy links; the happens-before walk reproduces the makespan");
+    println!("   bit-exactly, splits every ledger category into on-path vs slack-");
+    println!("   hidden cycles, and projects causal what-ifs (validated against");
+    println!("   genuine replays under modified cost models)");
+    let nodes = scale.nodes();
+    let scale_label = scale.to_string();
+    let want_flow = flow_path.is_some();
+    let t0 = Instant::now();
+    let items: Vec<(usize, SystemKind)> = (0..3)
+        .flat_map(|b| SystemKind::all().into_iter().map(move |s| (b, s)))
+        .collect();
+    let results = lcm_sim::par_map(jobs, items, |_, (bench, system)| {
+        compute_critpath_one(bench, system, scale, nodes, &scale_label, want_flow)
+    });
+    let mut outs: Vec<CritOut> = Vec::new();
+    for r in results {
+        match r {
+            Ok(o) => outs.push(o),
+            Err(e) => {
+                eprintln!("critpath: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!(
+        "   (wall-clock: capture+analyze {:.1}s)",
+        t0.elapsed().as_secs_f64()
+    );
+    for o in &outs {
+        println!("-- {} / {} --", o.benchmark, o.system.label());
+        print!("{}", critpath::critpath_report(&o.cp, &o.whatifs));
+        println!();
+    }
+    println!("net contention, on-path share (the flat ledger counts every stall;");
+    println!("only the on-path fraction actually bounds the run):");
+    println!("  {:<14} {:>24} {:>24}", "benchmark", "Stache", "LCM-mcc");
+    let cell = |bench: &str, sys: SystemKind| -> String {
+        outs.iter()
+            .find(|o| o.benchmark == bench && o.system == sys)
+            .map_or("-".to_string(), |o| {
+                let i = CycleCat::NetContention.index();
+                let (on, tot) = (o.cp.on_path_by_cat()[i], o.cp.total_by_cat()[i]);
+                if tot == 0 {
+                    "none".to_string()
+                } else {
+                    format!("{:.1}% of {tot}", 100.0 * on as f64 / tot as f64)
+                }
+            })
+    };
+    for bench in ["Stencil-dyn", "Threshold", "Unstructured"] {
+        println!(
+            "  {bench:<14} {:>24} {:>24}",
+            cell(bench, SystemKind::Stache),
+            cell(bench, SystemKind::LcmMcc)
+        );
+    }
+    println!();
+    let mut latency: Vec<report::MsgLatencyRow> = Vec::new();
+    let mut entries = Vec::new();
+    for o in outs {
+        if let (Some(path), Some((json, truncated))) = (flow_path, &o.flow_json) {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Err(e) = ensure_dir(parent) {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("failed to write flow trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            // The path varies between runs, so this goes to stderr like
+            // the other wall-clock/location notes (§4d byte-identity).
+            eprintln!(
+                "   flow-annotated Chrome-trace JSON written to {} — load it at \
+                 ui.perfetto.dev and follow the send→recv arrows",
+                path.display()
+            );
+            if *truncated > 0 {
+                eprintln!(
+                    "   (export truncated: {truncated} events past the first \
+                     {FLOW_EXPORT_EVENTS} were dropped, with their flow arrows)"
+                );
+            }
+        }
+        latency.extend(o.latency);
+        entries.push((
+            o.benchmark.to_string(),
+            o.system.label().to_string(),
+            o.cp,
+            o.whatifs,
+        ));
+    }
+    (critpath::critpath_csv(&entries), latency)
+}
+
 /// The cycle-attribution profile: Stencil-dyn on all three systems with
 /// tracing on, per-node cycle breakdowns, hottest blocks, and message
 /// histograms. Returns `(profile.csv, phases.csv)` contents; with
@@ -1346,6 +1702,35 @@ fn print_profile(
         }
         results.push(r);
     }
+    // Critical-path drill-down: one more LCM-mcc execution in capture
+    // mode, analyzed by the happens-before walk. The flat breakdown above
+    // counts every charged cycle; this splits each category into cycles
+    // on the critical path vs cycles hidden behind a slower node.
+    println!("-- critical-path drill-down (LCM-mcc, captured execution) --");
+    match explore::capture_workload(
+        "Stencil-dyn",
+        &scale.to_string(),
+        SystemKind::LcmMcc,
+        nodes,
+        RuntimeConfig::default(),
+        &profile_stencil(scale),
+        explore::CAPTURE_CAPACITY,
+    ) {
+        Ok(file) => {
+            let cp = lcm_replay::analyze(&file);
+            print!("{}", critpath::drilldown_table(&cp));
+            println!(
+                "  path length {} == makespan {} ({} epochs); run the `critpath` \
+                 section for slack histograms and what-ifs",
+                cp.path_length(),
+                cp.makespan,
+                cp.epochs.len()
+            );
+        }
+        // Deterministic for a given scale, so stdout stays --jobs-stable.
+        Err(e) => println!("  drill-down unavailable: {e}"),
+    }
+    println!();
     let entries: Vec<(&str, &RunResult)> = results.iter().map(|r| ("Stencil-dyn", r)).collect();
     (
         profile::profile_csv(&entries),

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod critpath;
 pub mod explore;
 pub mod profile;
 pub mod report;

@@ -42,6 +42,53 @@ fn visible_cats(r: &RunResult) -> Vec<CycleCat> {
         .collect()
 }
 
+/// Parses field `idx` (0-based) of a comma-separated `line` as `u64`,
+/// naming the offending line and field on failure instead of panicking —
+/// CSV tables round-trip through string form in several places, and a
+/// malformed line should produce a diagnosable error, not an `unwrap`
+/// backtrace.
+pub fn csv_field_u64(line: &str, idx: usize) -> Result<u64, String> {
+    let field = line
+        .split(',')
+        .nth(idx)
+        .ok_or_else(|| format!("CSV line has no field {idx}: {line:?}"))?;
+    field
+        .parse::<u64>()
+        .map_err(|e| format!("CSV field {idx} ({field:?}) is not a u64 ({e}): {line:?}"))
+}
+
+/// A matched send→recv message dependency, rendered as a Perfetto flow
+/// arrow between two thin slices on the endpoints' message rows.
+#[derive(Clone, Debug)]
+pub struct FlowArrow {
+    /// Sending node (pid of the arrow's tail).
+    pub from: u16,
+    /// Receiving node (pid of the arrow's head).
+    pub to: u16,
+    /// Protocol message kind label.
+    pub kind: &'static str,
+    /// Bytes on the wire.
+    pub bytes: u64,
+    /// Sender's clock at the send.
+    pub send_cycle: u64,
+    /// Receiver's clock at the handling.
+    pub recv_cycle: u64,
+}
+
+/// One slice on the synthetic critical-path track (pid `nodes + 2`):
+/// a path-resident epoch segment or a barrier join.
+#[derive(Clone, Debug)]
+pub struct PathSlice {
+    /// Slice name (e.g. `"apply @node3"` or `"barrier"`).
+    pub name: String,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles.
+    pub dur: u64,
+    /// Pre-rendered JSON object body for the slice's `args`.
+    pub args: String,
+}
+
 /// Renders a captured event stream as Chrome trace-event JSON.
 ///
 /// `nodes` sizes the per-node track metadata. Events with no acting node
@@ -63,6 +110,25 @@ pub fn chrome_trace_json_with_links(
     events: &[Stamped],
     nodes: usize,
     links: &[LinkUtil],
+) -> String {
+    chrome_trace_json_with_flows(events, nodes, links, &[], &[])
+}
+
+/// The full exporter: [`chrome_trace_json_with_links`] plus happens-
+/// before annotations from the critical-path analyzer. Each
+/// [`FlowArrow`] becomes a pair of 1-cycle slices on the endpoints'
+/// message rows (`tid` 1) joined by an `s`/`f` flow — Perfetto draws
+/// the arrow between them — and [`PathSlice`]s land on a dedicated
+/// "critical path" track with pid `nodes + 2`, so the path-resident
+/// segments read as one highlighted lane above the node tracks. With
+/// `flows` and `path` empty the output is byte-identical to
+/// [`chrome_trace_json_with_links`].
+pub fn chrome_trace_json_with_flows(
+    events: &[Stamped],
+    nodes: usize,
+    links: &[LinkUtil],
+    flows: &[FlowArrow],
+    path: &[PathSlice],
 ) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -185,6 +251,66 @@ pub fn chrome_trace_json_with_links(
             ),
         );
     }
+    for (id, f) in flows.iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":1,\
+                 \"ts\":{},\"dur\":1,\"args\":{{\"bytes\":{},\"to\":{}}}}}",
+                f.kind, f.from, f.send_cycle, f.bytes, f.to
+            ),
+        );
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{id},\
+                 \"pid\":{},\"tid\":1,\"ts\":{}}}",
+                f.from, f.send_cycle
+            ),
+        );
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":1,\
+                 \"ts\":{},\"dur\":1,\"args\":{{\"bytes\":{},\"from\":{}}}}}",
+                f.kind, f.to, f.recv_cycle, f.bytes, f.from
+            ),
+        );
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\
+                 \"id\":{id},\"pid\":{},\"tid\":1,\"ts\":{}}}",
+                f.to, f.recv_cycle
+            ),
+        );
+    }
+    if !path.is_empty() {
+        let cp = nodes + 2;
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{cp},\"tid\":0,\
+                 \"args\":{{\"name\":\"critical path\"}}}}"
+            ),
+        );
+        for s in path {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{cp},\"tid\":0,\
+                     \"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+                    s.name, s.start, s.dur, s.args
+                ),
+            );
+        }
+    }
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
 }
@@ -248,6 +374,67 @@ pub fn hottest_blocks(events: &[Stamped], cost: &CostModel, n: usize) -> Vec<(Bl
 /// The delivered-message histogram: count and wire bytes per kind, with
 /// a proportional bar. Kinds with zero traffic are omitted.
 pub fn message_histogram(r: &RunResult) -> String {
+    message_histogram_with_latency(r, &[])
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample: the smallest
+/// element with at least `p`% of the sample at or below it. `sorted`
+/// must be non-empty.
+pub fn percentile(sorted: &[i64], p: u64) -> i64 {
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Send→recv delivery latency samples per message kind, ascending-
+/// sorted, kinds in label order. Each [`Event::MsgRecv`] is paired FIFO
+/// with the earlier [`Event::MsgSend`] on the same `(from, to, kind)`
+/// channel; the delta of their cycle stamps is the delivery latency.
+/// Signed: the stamps are per-node logical clocks, so a fast receiver
+/// can handle a slow sender's message at an earlier clock reading.
+pub fn message_latencies(events: &[Stamped]) -> Vec<(&'static str, Vec<i64>)> {
+    let mut inflight: HashMap<(u16, u16, &'static str), std::collections::VecDeque<u64>> =
+        HashMap::new();
+    let mut by_kind: HashMap<&'static str, Vec<i64>> = HashMap::new();
+    for e in events {
+        let (Some((from, to)), Some(kind)) = (e.event.endpoints(), e.event.msg_kind()) else {
+            continue;
+        };
+        match e.event {
+            Event::MsgSend { .. } => {
+                inflight
+                    .entry((from.0, to.0, kind))
+                    .or_default()
+                    .push_back(e.cycle);
+            }
+            Event::MsgRecv { .. } => {
+                if let Some(send) = inflight
+                    .get_mut(&(from.0, to.0, kind))
+                    .and_then(|q| q.pop_front())
+                {
+                    by_kind
+                        .entry(kind)
+                        .or_default()
+                        .push(e.cycle as i64 - send as i64);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out: Vec<(&'static str, Vec<i64>)> = by_kind.into_iter().collect();
+    for (_, v) in &mut out {
+        v.sort_unstable();
+    }
+    out.sort_by_key(|&(k, _)| k);
+    out
+}
+
+/// [`message_histogram`] with p50/p95/p99 delivery-latency columns when
+/// the cycle-stamped event stream is available. Kinds whose messages
+/// were not captured (e.g. a ring-mode trace that dropped them) show
+/// `-`. With `events` empty — traces absent — the output is
+/// byte-identical to [`message_histogram`].
+pub fn message_histogram_with_latency(r: &RunResult, events: &[Stamped]) -> String {
+    let lat = message_latencies(events);
     let max = r.msg_kinds.iter().map(|&(_, n)| n).max().unwrap_or(0);
     let mut out = String::new();
     for (&(kind, count), &(_, bytes)) in r.msg_kinds.iter().zip(&r.msg_bytes) {
@@ -255,11 +442,28 @@ pub fn message_histogram(r: &RunResult) -> String {
             continue;
         }
         let bar = "#".repeat(((count * 40).div_ceil(max.max(1))) as usize);
-        let _ = writeln!(
-            out,
-            "{:<14} {count:>12} msgs {bytes:>14} B  {bar}",
-            kind.label()
-        );
+        if lat.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<14} {count:>12} msgs {bytes:>14} B  {bar}",
+                kind.label()
+            );
+        } else {
+            let cols = match lat.iter().find(|&&(k, _)| k == kind.label()) {
+                Some((_, v)) => format!(
+                    "p50 {:>8} p95 {:>8} p99 {:>8}",
+                    percentile(v, 50),
+                    percentile(v, 95),
+                    percentile(v, 99)
+                ),
+                None => format!("p50 {:>8} p95 {:>8} p99 {:>8}", "-", "-", "-"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<14} {count:>12} msgs {bytes:>14} B {cols}  {bar}",
+                kind.label()
+            );
+        }
     }
     out
 }
@@ -304,7 +508,7 @@ pub fn profile_report(r: &RunResult, events: &[Stamped], cost: &CostModel) -> St
             let _ = writeln!(out, "  block {:>8}: {cycles:>12} cycles", block.0);
         }
     }
-    let hist = message_histogram(r);
+    let hist = message_histogram_with_latency(r, events);
     if !hist.is_empty() {
         let _ = writeln!(out, "messages by kind:");
         out.push_str(&hist);
@@ -545,7 +749,7 @@ mod tests {
         let total: u64 = phases
             .lines()
             .skip(1)
-            .map(|l| l.split(',').nth(5).unwrap().parse::<u64>().unwrap())
+            .map(|l| csv_field_u64(l, 5).expect("well-formed phases.csv line"))
             .sum();
         assert_eq!(total, r.phases.last().unwrap().at);
     }
@@ -617,6 +821,114 @@ mod tests {
         assert!(csv.contains(",checkpoint,"));
         assert!(csv.contains(",rollback,"));
         assert!(csv.contains(",crash_detect,"));
+    }
+
+    #[test]
+    fn csv_field_errors_name_the_line_and_field() {
+        assert_eq!(csv_field_u64("a,b,42,d", 2), Ok(42));
+        let err = csv_field_u64("a,b", 5).expect_err("missing field");
+        assert!(err.contains("no field 5"), "unexpected: {err}");
+        assert!(err.contains("\"a,b\""), "names the line: {err}");
+        let err = csv_field_u64("x,-3,z", 1).expect_err("not a u64");
+        assert!(err.contains("field 1"), "unexpected: {err}");
+        assert!(err.contains("\"-3\""), "names the field: {err}");
+        assert!(err.contains("\"x,-3,z\""), "names the line: {err}");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let v: Vec<i64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 95), 95);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[-5, 3], 50), -5);
+        assert_eq!(percentile(&[-5, 3], 99), 3);
+    }
+
+    fn msg_pair(seq: u64, send_cycle: u64, recv_cycle: u64) -> [Stamped; 2] {
+        [
+            Stamped {
+                seq,
+                cycle: send_cycle,
+                event: Event::MsgSend {
+                    from: NodeId(0),
+                    to: NodeId(1),
+                    kind: "GetShared",
+                    bytes: 64,
+                },
+            },
+            Stamped {
+                seq: seq + 1,
+                cycle: recv_cycle,
+                event: Event::MsgRecv {
+                    node: NodeId(1),
+                    from: NodeId(0),
+                    kind: "GetShared",
+                    bytes: 64,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn message_latencies_pair_fifo_and_allow_negative_deltas() {
+        let mut events = Vec::new();
+        events.extend(msg_pair(0, 100, 150));
+        events.extend(msg_pair(2, 200, 180)); // receiver's clock ran behind
+        let lat = message_latencies(&events);
+        assert_eq!(lat.len(), 1);
+        assert_eq!(lat[0].0, "GetShared");
+        assert_eq!(lat[0].1, vec![-20, 50], "sorted, signed");
+    }
+
+    #[test]
+    fn histogram_gains_latency_columns_only_with_events() {
+        let (r, events) = traced_run(SystemKind::LcmMcc);
+        let plain = message_histogram(&r);
+        assert_eq!(
+            message_histogram_with_latency(&r, &[]),
+            plain,
+            "traces absent: byte-identical"
+        );
+        let with = message_histogram_with_latency(&r, &events);
+        assert_ne!(with, plain);
+        assert!(with.contains("p50"), "latency columns present");
+        assert!(with.contains("p99"));
+        assert_eq!(with.lines().count(), plain.lines().count());
+        let report = profile_report(&r, &events, &CostModel::cm5());
+        assert!(report.contains("p95"), "report histogram carries latency");
+    }
+
+    #[test]
+    fn flow_arrows_and_path_track_extend_the_trace_json() {
+        let flows = vec![FlowArrow {
+            from: 0,
+            to: 1,
+            kind: "GetShared",
+            bytes: 64,
+            send_cycle: 100,
+            recv_cycle: 150,
+        }];
+        let path = vec![PathSlice {
+            name: "apply @node1".to_string(),
+            start: 0,
+            dur: 500,
+            args: "\"epoch\":0,\"node\":1".to_string(),
+        }];
+        let json = chrome_trace_json_with_flows(&[], 4, &[], &flows, &path);
+        check_json(&json);
+        assert!(json.contains("\"ph\":\"s\""), "flow start");
+        assert!(json.contains("\"ph\":\"f\""), "flow finish");
+        assert!(json.contains("\"name\":\"critical path\""));
+        assert!(json.contains("apply @node1"));
+        assert!(json.contains("\"tid\":1"), "message rows");
+        // Empty annotations leave the exporter byte-identical.
+        assert_eq!(
+            chrome_trace_json_with_flows(&[], 4, &[], &[], &[]),
+            chrome_trace_json(&[], 4)
+        );
     }
 
     #[test]

@@ -37,21 +37,66 @@ pub fn fig_csv(rows: &[(Benchmark, SystemKind, u64)]) -> String {
     csv
 }
 
+/// One benchmark×system×kind delivery-latency summary, harvested from a
+/// captured trace by the critical-path analyzer's message matching.
+#[derive(Clone, Debug)]
+pub struct MsgLatencyRow {
+    /// Benchmark label (matches `messages.csv`'s `program` column).
+    pub program: String,
+    /// System label.
+    pub system: String,
+    /// Message kind label.
+    pub kind: String,
+    /// p50 / p95 / p99 send→recv cycle deltas (signed: per-node logical
+    /// clocks can put a recv's stamp before its send's).
+    pub p50: i64,
+    /// See `p50`.
+    pub p95: i64,
+    /// See `p50`.
+    pub p99: i64,
+}
+
 /// `messages.csv`: per-kind message counts and bytes for every run.
 pub fn messages_csv(suite: &Suite) -> String {
-    let mut csv = String::from("program,system,kind,count,bytes\n");
+    messages_csv_with_latency(suite, &[])
+}
+
+/// [`messages_csv`] with p50/p95/p99 delivery-latency columns filled in
+/// for the rows a captured trace covers (other rows keep the fields
+/// empty). With `latency` empty — no traces captured — the header and
+/// every row are byte-identical to [`messages_csv`], keeping committed
+/// artifacts stable.
+pub fn messages_csv_with_latency(suite: &Suite, latency: &[MsgLatencyRow]) -> String {
+    let mut csv = String::from("program,system,kind,count,bytes");
+    if !latency.is_empty() {
+        csv.push_str(",p50_latency,p95_latency,p99_latency");
+    }
+    csv.push('\n');
     for b in Benchmark::all() {
         for s in SystemKind::all() {
             let r = suite.result(b, s);
             for ((kind, n), (_, bytes)) in r.msg_kinds.iter().zip(&r.msg_bytes) {
                 if *n > 0 {
-                    let _ = writeln!(
+                    let _ = write!(
                         csv,
                         "{},{},{},{n},{bytes}",
                         b.label(),
                         s.label(),
                         kind.label()
                     );
+                    if !latency.is_empty() {
+                        match latency.iter().find(|l| {
+                            l.program == b.label()
+                                && l.system == s.label()
+                                && l.kind == kind.label()
+                        }) {
+                            Some(l) => {
+                                let _ = write!(csv, ",{},{},{}", l.p50, l.p95, l.p99);
+                            }
+                            None => csv.push_str(",,,"),
+                        }
+                    }
+                    csv.push('\n');
                 }
             }
         }
@@ -100,5 +145,38 @@ mod tests {
         // Every (benchmark, system) pair contributes exactly one network row.
         assert_eq!(network_csv(&suite).lines().count(), 1 + 6 * 3);
         assert!(messages_csv(&suite).len() > "program,system,kind,count,bytes\n".len());
+    }
+
+    #[test]
+    fn latency_columns_appear_only_when_rows_are_supplied() {
+        let suite = Suite::run(Scale::Smoke);
+        let plain = messages_csv(&suite);
+        assert_eq!(
+            messages_csv_with_latency(&suite, &[]),
+            plain,
+            "no traces: byte-identical"
+        );
+        // Build a latency row for whatever data line the table emits
+        // first, so the test tracks the suite rather than guessing at
+        // protocol traffic.
+        let first = plain.lines().nth(1).expect("suite has traffic");
+        let mut f = first.split(',');
+        let rows = vec![MsgLatencyRow {
+            program: f.next().unwrap().to_string(),
+            system: f.next().unwrap().to_string(),
+            kind: f.next().unwrap().to_string(),
+            p50: 10,
+            p95: 20,
+            p99: -5,
+        }];
+        let with = messages_csv_with_latency(&suite, &rows);
+        assert!(with
+            .starts_with("program,system,kind,count,bytes,p50_latency,p95_latency,p99_latency\n"));
+        assert_eq!(with.lines().count(), plain.lines().count());
+        assert!(with.contains(",10,20,-5"), "matched row gains values");
+        assert!(
+            with.lines().any(|l| l.ends_with(",,,")),
+            "unmatched rows stay empty"
+        );
     }
 }

@@ -17,11 +17,17 @@
 //! * [`validate`] — replays a file under its own capture-time cost
 //!   model and asserts the result reproduces the execution-driven run
 //!   exactly, proving the capture is complete.
+//! * [`analyze`] — constructs the happens-before DAG of a capture
+//!   (program order, message edges, barrier joins), extracts the
+//!   critical path with per-category/node/block/phase attribution,
+//!   computes slack, and projects causal what-ifs (see [`critpath`]).
 
 #![warn(missing_docs)]
 
+pub mod critpath;
 pub mod engine;
 pub mod format;
 
+pub use critpath::{analyze, analyze_under, CritPath, EpochSeg, MsgEdge, PhaseRow};
 pub use engine::{replay, validate, Replayed};
 pub use format::{PhaseIndexEntry, TraceFile, MAGIC, VERSION};

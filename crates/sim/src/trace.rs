@@ -290,6 +290,27 @@ impl Event {
             _ => None,
         }
     }
+
+    /// The `(sender, receiver)` endpoints for events that cross the
+    /// network ([`Event::MsgSend`], [`Event::MsgRecv`], [`Event::Xfer`]),
+    /// `None` otherwise. Always oriented sender → receiver, so a recv
+    /// pairs with its send by equal endpoints.
+    pub fn endpoints(&self) -> Option<(NodeId, NodeId)> {
+        match self {
+            Event::MsgSend { from, to, .. } | Event::Xfer { from, to, .. } => Some((*from, *to)),
+            Event::MsgRecv { node, from, .. } => Some((*from, *node)),
+            _ => None,
+        }
+    }
+
+    /// The protocol message kind label for [`Event::MsgSend`] and
+    /// [`Event::MsgRecv`], `None` otherwise.
+    pub fn msg_kind(&self) -> Option<&'static str> {
+        match self {
+            Event::MsgSend { kind, .. } | Event::MsgRecv { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
 }
 
 /// A recorded event with its stamp: a monotonic per-trace sequence number
@@ -879,5 +900,37 @@ mod tests {
         let s = Trace::disabled().summarize();
         assert_eq!(s, TraceSummary::default());
         assert!(s.hottest_blocks.is_empty());
+    }
+
+    #[test]
+    fn endpoints_orient_sender_to_receiver() {
+        let send = Event::MsgSend {
+            from: NodeId(3),
+            to: NodeId(5),
+            kind: "GetShared",
+            bytes: 64,
+        };
+        let recv = Event::MsgRecv {
+            node: NodeId(5),
+            from: NodeId(3),
+            kind: "GetShared",
+            bytes: 64,
+        };
+        let xfer = Event::Xfer {
+            from: NodeId(3),
+            to: NodeId(5),
+            bytes: 64,
+        };
+        assert_eq!(send.endpoints(), Some((NodeId(3), NodeId(5))));
+        assert_eq!(
+            recv.endpoints(),
+            send.endpoints(),
+            "recv pairs by endpoints"
+        );
+        assert_eq!(xfer.endpoints(), send.endpoints());
+        assert_eq!(Event::Barrier { at: 1 }.endpoints(), None);
+        assert_eq!(send.msg_kind(), Some("GetShared"));
+        assert_eq!(recv.msg_kind(), Some("GetShared"));
+        assert_eq!(xfer.msg_kind(), None, "transfers carry no protocol kind");
     }
 }
