@@ -17,6 +17,7 @@ pub mod jacobi;
 pub mod nbody;
 pub mod race;
 pub mod reduction;
+pub mod scale_sweep;
 pub mod sensitivity;
 pub mod stale_data;
 pub mod stencil;

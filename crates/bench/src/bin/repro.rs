@@ -75,7 +75,7 @@ use std::time::Instant;
 /// Every runnable section, in help order. `contention`, `explore` and
 /// `bench` are valid names but not part of `all` (see the comments at
 /// their dispatch sites).
-const SECTIONS: [&str; 21] = [
+const SECTIONS: [&str; 22] = [
     "all",
     "table1",
     "fig2",
@@ -96,6 +96,7 @@ const SECTIONS: [&str; 21] = [
     "explore",
     "critpath",
     "recovery",
+    "scale",
     "bench",
 ];
 
@@ -351,6 +352,12 @@ fn main() {
             &mut sweep_failures,
         ));
     }
+    // `scale` is deliberately not part of `all`: its grid runs machines
+    // of up to 1024 nodes across three directory backends, well outside
+    // the pinned 16/32-node `all` output.
+    if what.iter().any(|w| w == "scale") {
+        csvs.scale = Some(print_scale(jobs, csv_dir.as_deref()));
+    }
     // `bench` is deliberately not part of `all`: it re-runs whole
     // sections twice (serially and on the pool) to measure wall-clock.
     if what.iter().any(|w| w == "bench") {
@@ -439,6 +446,7 @@ struct SectionCsvs {
     contention: Option<String>,
     explore: Option<String>,
     recovery: Option<String>,
+    scale: Option<String>,
     /// `(critpath.csv, messages.csv latency rows)`.
     critpath: Option<(String, Vec<report::MsgLatencyRow>)>,
 }
@@ -471,6 +479,9 @@ fn write_all_csv(
     }
     if let Some(recovery) = &csvs.recovery {
         write_file(dir.join("recovery.csv"), recovery)?;
+    }
+    if let Some(scale) = &csvs.scale {
+        write_file(dir.join("scale.csv"), scale)?;
     }
     if let Some((critpath, _)) = &csvs.critpath {
         write_file(dir.join("critpath.csv"), critpath)?;
@@ -1288,6 +1299,201 @@ fn print_recovery(
     }
     match std::fs::write(&path, &json) {
         Ok(()) => println!("recovery overhead summary written to {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    println!();
+    csv
+}
+
+/// The kilonode scale sweep: five benchmarks × 3 systems × 3 directory
+/// backends across machines of 32→1024 nodes. Prints the divergence and
+/// backend-overhead summaries, writes `BENCH_scale.json`, and returns
+/// the CSV rows (byte-identical at any `--jobs`).
+fn print_scale(jobs: usize, csv_dir: Option<&std::path::Path>) -> String {
+    use lcm_apps::scale_sweep::{scale_benchmarks, sweep_scale, ScaleRow, SCALE_NODE_COUNTS};
+    use lcm_sim::DirBackend;
+    println!("== Scale: directory backends from the paper's 32 nodes to 1024 ==");
+    println!("   full-map invalidates exactly; limited-ptr entries that overflow their");
+    println!("   pointers broadcast to the whole machine; coarse-vec invalidates whole");
+    println!("   node groups. The defaults re-spend the old 64-bit budget, so all three");
+    println!("   are bit-identical up to 64 nodes and diverge only beyond the old wall.");
+    let t0 = Instant::now();
+    let rows = sweep_scale(&SCALE_NODE_COUNTS, jobs);
+    println!(
+        "   {} grid points in {:.1}s ({jobs} worker(s))\n",
+        rows.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut csv = String::from(
+        "benchmark,system,backend,nodes,cycles,misses,msgs,invalidations_sent,\
+         dir_overflows,spurious_invals,msg_overhead_cycles,digest\n",
+    );
+    let msg_overhead = |r: &lcm_apps::RunResult, nodes: usize| -> u64 {
+        (0..nodes)
+            .map(|n| r.ledger.get(NodeId(n as u16), CycleCat::MsgOverhead))
+            .sum()
+    };
+    for row in &rows {
+        let r = &row.result;
+        let msgs: u64 = r.msg_kinds.iter().map(|(_, c)| c).sum();
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:016x}\n",
+            row.benchmark.label(),
+            r.system.label(),
+            row.backend.label(),
+            row.nodes,
+            r.time,
+            r.misses(),
+            msgs,
+            r.totals.invalidations_sent,
+            r.totals.dir_overflows,
+            r.totals.spurious_invals,
+            msg_overhead(r, row.nodes),
+            r.digest(),
+        ));
+    }
+
+    let find = |b, nodes, sys, backend: DirBackend| -> &ScaleRow {
+        rows.iter()
+            .find(|r| {
+                r.benchmark == b
+                    && r.nodes == nodes
+                    && r.result.system == sys
+                    && r.backend == backend
+            })
+            .expect("grid is complete")
+    };
+
+    println!("   Stache vs LCM-mcc, full-map (cycles, ratio):");
+    println!(
+        "   {:<14} {:>6} {:>12} {:>12} {:>7}",
+        "benchmark", "nodes", "stache", "lcm-mcc", "ratio"
+    );
+    for b in scale_benchmarks() {
+        for &nodes in &SCALE_NODE_COUNTS {
+            let st = find(b, nodes, SystemKind::Stache, DirBackend::FullMap)
+                .result
+                .time;
+            let mcc = find(b, nodes, SystemKind::LcmMcc, DirBackend::FullMap)
+                .result
+                .time;
+            println!(
+                "   {:<14} {:>6} {:>12} {:>12} {:>6.2}x",
+                b.label(),
+                nodes,
+                st,
+                mcc,
+                st as f64 / mcc.max(1) as f64
+            );
+        }
+    }
+    println!();
+    println!("   backend overhead under Stache (cycles vs full-map; overflow costs):");
+    println!(
+        "   {:<14} {:>6} {:<12} {:>12} {:>8} {:>10} {:>12}",
+        "benchmark", "nodes", "backend", "cycles", "vs full", "overflows", "spurious"
+    );
+    for b in scale_benchmarks() {
+        for &nodes in &SCALE_NODE_COUNTS {
+            let full = find(b, nodes, SystemKind::Stache, DirBackend::FullMap)
+                .result
+                .time;
+            for backend in [
+                DirBackend::LimitedPtr { ptrs: 64 },
+                DirBackend::CoarseVec { bits: 64 },
+            ] {
+                let row = find(b, nodes, SystemKind::Stache, backend);
+                println!(
+                    "   {:<14} {:>6} {:<12} {:>12} {:>7.2}x {:>10} {:>12}",
+                    b.label(),
+                    nodes,
+                    backend.label(),
+                    row.result.time,
+                    row.result.time as f64 / full.max(1) as f64,
+                    row.result.totals.dir_overflows,
+                    row.result.totals.spurious_invals,
+                );
+            }
+        }
+    }
+
+    // BENCH_scale.json: the divergence trend and overflow totals, summed
+    // over benchmarks, for trend-tracking across releases.
+    let mut json = String::from("{\n  \"node_counts\": [");
+    json.push_str(
+        &SCALE_NODE_COUNTS
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n  \"divergence_full_map\": [\n");
+    for (i, &nodes) in SCALE_NODE_COUNTS.iter().enumerate() {
+        let sum = |sys| -> u64 {
+            scale_benchmarks()
+                .into_iter()
+                .map(|b| find(b, nodes, sys, DirBackend::FullMap).result.time)
+                .sum()
+        };
+        let st = sum(SystemKind::Stache);
+        let mcc = sum(SystemKind::LcmMcc);
+        json.push_str(&format!(
+            "    {{\"nodes\": {nodes}, \"stache_cycles\": {st}, \"lcm_mcc_cycles\": {mcc}, \
+             \"ratio\": {:.4}}}{}\n",
+            st as f64 / mcc.max(1) as f64,
+            if i + 1 < SCALE_NODE_COUNTS.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    json.push_str("  ],\n  \"backend_overhead_stache\": [\n");
+    let backends = [
+        DirBackend::LimitedPtr { ptrs: 64 },
+        DirBackend::CoarseVec { bits: 64 },
+    ];
+    for (bi, &backend) in backends.iter().enumerate() {
+        for (i, &nodes) in SCALE_NODE_COUNTS.iter().enumerate() {
+            let mut cycles = 0u64;
+            let mut full = 0u64;
+            let mut ovf = 0u64;
+            let mut spur = 0u64;
+            for b in scale_benchmarks() {
+                let row = find(b, nodes, SystemKind::Stache, backend);
+                cycles += row.result.time;
+                ovf += row.result.totals.dir_overflows;
+                spur += row.result.totals.spurious_invals;
+                full += find(b, nodes, SystemKind::Stache, DirBackend::FullMap)
+                    .result
+                    .time;
+            }
+            let last = bi + 1 == backends.len() && i + 1 == SCALE_NODE_COUNTS.len();
+            json.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"nodes\": {nodes}, \"cycles\": {cycles}, \
+                 \"vs_full_map\": {:.4}, \"dir_overflows\": {ovf}, \"spurious_invals\": {spur}}}{}\n",
+                backend.label(),
+                cycles as f64 / full.max(1) as f64,
+                if last { "" } else { "," },
+            ));
+        }
+    }
+    json.push_str("  ]\n}\n");
+    let path = csv_dir
+        .map(|d| d.join("BENCH_scale.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_scale.json"));
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = ensure_dir(parent) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nscale summary written to {}", path.display()),
         Err(e) => {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);

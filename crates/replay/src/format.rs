@@ -45,7 +45,11 @@ pub const MAGIC: &[u8; 8] = b"LCMTRACE";
 ///   categories (`checkpoint`, `rollback`, `crash_detect`) and three
 ///   stats fields (`checkpoints`, `checkpoint_bytes`, `crashes`) were
 ///   appended, so a version-1 reader would misparse the ledger.
-pub const VERSION: u16 = 2;
+/// * 3 — directory backends: two stats fields (`dir_overflows`,
+///   `spurious_invals`) appended to the unprefixed footer, and the
+///   header's node bound raised with [`lcm_sim::MAX_NODES`] from 64
+///   to 1024.
+pub const VERSION: u16 = 3;
 
 /// FNV-1a over a byte slice (the repo's standard fingerprint hash).
 fn fnv1a(bytes: &[u8]) -> u64 {

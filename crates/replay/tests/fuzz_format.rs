@@ -212,6 +212,79 @@ fn layout_guard_parses_a_hand_rolled_file() {
     assert!(f.events.is_empty());
 }
 
+/// A version-2 file (the pre-directory-backend format: 31 stats fields,
+/// 64-node bound) must be rejected by a version-3 reader with an error
+/// naming both versions — the footer is unprefixed, so misparsing it
+/// silently would corrupt every stats field after the 31st.
+#[test]
+fn older_version_is_rejected_naming_both_versions() {
+    let mut bytes = empty_file_bytes();
+    bytes[MAGIC.len()..MAGIC.len() + 2].copy_from_slice(&2u16.to_le_bytes());
+    reseal(&mut bytes);
+    let err = TraceFile::from_bytes(&bytes).expect_err("old version detected");
+    assert!(
+        err.contains("version 2") && err.contains(&format!("version {VERSION}")),
+        "error must name the file's version and the reader's: {err}"
+    );
+}
+
+/// A capture from a machine beyond the old 64-node wall round-trips:
+/// kilonode node ids in events, clocks and the ledger all survive.
+#[test]
+fn kilonode_capture_round_trips() {
+    let nodes = 1024;
+    let mut ledger = CycleLedger::new(nodes);
+    ledger.charge(NodeId(1023), CycleCat::Compute, 55);
+    let events = vec![
+        Stamped {
+            seq: 0,
+            cycle: 3,
+            event: Event::ReadMiss {
+                node: NodeId(1023),
+                block: lcm_sim::BlockId(9),
+                remote: true,
+            },
+        },
+        Stamped {
+            seq: 1,
+            cycle: 8,
+            event: Event::MsgSend {
+                from: NodeId(1023),
+                to: NodeId(512),
+                kind: "GetShared",
+                bytes: 48,
+            },
+        },
+    ];
+    let mut clocks = vec![0u64; nodes];
+    clocks[1023] = 55;
+    let f = TraceFile::from_capture(
+        nodes,
+        Topology::FatTree { arity: 4 },
+        CostModel::cm5(),
+        vec![("benchmark".into(), "kilonode".into())],
+        events,
+        clocks.clone(),
+        &ledger,
+        NodeStats::default(),
+    )
+    .expect("kilonode capture is valid");
+    let back = TraceFile::from_bytes(&f.to_bytes()).expect("kilonode file parses");
+    assert_eq!(back.nodes, nodes);
+    assert_eq!(back.clocks, clocks);
+    assert_eq!(back.ledger.get(NodeId(1023), CycleCat::Compute), 55);
+    assert_eq!(back.events.len(), 2);
+}
+
+/// The node bound rises with `lcm_sim::MAX_NODES`, not past it.
+#[test]
+fn node_count_beyond_max_nodes_is_rejected() {
+    let mut r = Raw::new(1025, 2);
+    r.no_metadata();
+    let err = TraceFile::from_bytes(&r.seal()).expect_err("oversized node count");
+    assert!(err.contains("implausible node count 1025"), "{err}");
+}
+
 // ---------------------------------------------------------------------
 // Absurd length prefixes: named errors, not multi-gigabyte allocations.
 // ---------------------------------------------------------------------

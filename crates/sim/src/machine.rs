@@ -22,10 +22,82 @@ use crate::trace::{Event, Trace};
 use std::fmt;
 
 /// Maximum machine size. Directory sharer sets throughout the protocol
-/// stack are single-word 64-bit masks (`lcm_stache::SharerSet`); a
-/// larger machine would silently alias sharers, so construction rejects
-/// it outright.
-pub const MAX_NODES: usize = 64;
+/// stack are fixed-capacity multi-word bitmasks (`lcm_stache::SharerSet`)
+/// sized for this many nodes; a larger machine would silently alias
+/// sharers, so construction rejects it outright.
+pub const MAX_NODES: usize = 1024;
+
+/// Directory sharer-set representation backend.
+///
+/// Selects what the simulated *hardware* (or protocol software) stores
+/// per directory entry, and therefore how precisely invalidations can be
+/// targeted. The simulator always tracks exact membership as its oracle;
+/// the backend governs the invalidation target set:
+///
+/// * [`DirBackend::FullMap`] — one presence bit per node: always
+///   precise, but entry storage grows linearly with machine size.
+/// * [`DirBackend::LimitedPtr`] — `ptrs` node pointers; an entry whose
+///   sharer count exceeds `ptrs` *overflows to broadcast* (DASH's
+///   `Dir_i B` scheme): invalidations go to every node until the entry
+///   is rebuilt from scratch.
+/// * [`DirBackend::CoarseVec`] — a `bits`-bit vector, each bit covering
+///   `ceil(nodes / bits)` consecutive nodes; invalidations go to every
+///   node of every group containing a sharer.
+///
+/// The defaults (`ptrs: 64`, `bits: 64`) re-spend exactly the storage
+/// budget of the original single-`u64` full map, which makes all three
+/// backends bit-identical on machines of ≤ 64 nodes (a 64-node set can
+/// neither overflow 64 pointers nor be coarsened by 64 bits) while
+/// genuinely over-invalidating at kilonode scale.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DirBackend {
+    /// Full bit-vector: one presence bit per node, always precise.
+    FullMap,
+    /// `ptrs` exact node pointers, overflowing to broadcast beyond.
+    LimitedPtr {
+        /// Pointer capacity before the entry falls back to broadcast.
+        ptrs: u16,
+    },
+    /// A `bits`-bit coarse vector over groups of consecutive nodes.
+    CoarseVec {
+        /// Vector width; each bit covers `ceil(nodes / bits)` nodes.
+        bits: u16,
+    },
+}
+
+impl DirBackend {
+    /// The three backends under their default parameters, in
+    /// presentation order.
+    pub fn all() -> [DirBackend; 3] {
+        [
+            DirBackend::FullMap,
+            DirBackend::LimitedPtr { ptrs: 64 },
+            DirBackend::CoarseVec { bits: 64 },
+        ]
+    }
+
+    /// Short stable label ("full-map", "limited-ptr", "coarse-vec").
+    pub fn label(self) -> &'static str {
+        match self {
+            DirBackend::FullMap => "full-map",
+            DirBackend::LimitedPtr { .. } => "limited-ptr",
+            DirBackend::CoarseVec { .. } => "coarse-vec",
+        }
+    }
+}
+
+impl Default for DirBackend {
+    /// Full-map: the always-precise representation.
+    fn default() -> DirBackend {
+        DirBackend::FullMap
+    }
+}
+
+impl fmt::Display for DirBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Identifier of a processing node (`0..nodes`).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -74,6 +146,10 @@ pub struct MachineConfig {
     /// any cost model. Off by default — ordinary runs record only the
     /// protocol-level events they always did.
     pub capture: bool,
+    /// Directory sharer-set representation (see [`DirBackend`]). The
+    /// default full-map backend reproduces the original precise
+    /// invalidation behavior at any size.
+    pub directory: DirBackend,
 }
 
 impl MachineConfig {
@@ -82,14 +158,14 @@ impl MachineConfig {
     ///
     /// # Panics
     /// Panics if `nodes == 0` or `nodes > `[`MAX_NODES`] (directory
-    /// sharer sets are 64-bit masks; an oversized machine would
-    /// silently alias sharers).
+    /// sharer sets are fixed-capacity bitmasks; an oversized machine
+    /// would silently alias sharers).
     pub fn new(nodes: usize) -> MachineConfig {
         assert!(nodes > 0, "a machine needs at least one node");
         assert!(
             nodes <= MAX_NODES,
             "a machine of {nodes} nodes exceeds the {MAX_NODES}-node limit \
-             (directory sharer sets are single-word 64-bit masks)"
+             (directory sharer sets are fixed-capacity {MAX_NODES}-bit masks)"
         );
         MachineConfig {
             nodes,
@@ -98,6 +174,7 @@ impl MachineConfig {
             faults: FaultConfig::default(),
             topology: Topology::default(),
             capture: false,
+            directory: DirBackend::default(),
         }
     }
 
@@ -135,6 +212,12 @@ impl MachineConfig {
         self.capture = true;
         self
     }
+
+    /// Replaces the directory sharer-set backend.
+    pub fn with_directory(mut self, directory: DirBackend) -> MachineConfig {
+        self.directory = directory;
+        self
+    }
 }
 
 impl Default for MachineConfig {
@@ -164,6 +247,9 @@ pub struct Machine {
     /// Capture mode: record the complete charge stream (see
     /// [`MachineConfig::with_capture`]).
     capture: bool,
+    /// Directory sharer-set backend the protocols above should build
+    /// their directories with (see [`DirBackend`]).
+    dir_backend: DirBackend,
     /// Per-node `(compute cycles, cache hits)` accumulated but not yet
     /// written to the trace as a [`Event::Work`] record. Clocks and
     /// ledger are bumped immediately; only the *record* is deferred, so
@@ -196,8 +282,17 @@ impl Machine {
             faults: FaultPlan::new(config.faults),
             fabric,
             capture: config.capture,
+            dir_backend: config.directory,
             pending: vec![(0, 0); config.nodes],
         }
+    }
+
+    /// The directory backend configured for this machine. Protocols that
+    /// maintain a sharer directory (Stache, and LCM through its embedded
+    /// Stache) construct their representation from this.
+    #[inline]
+    pub fn dir_backend(&self) -> DirBackend {
+        self.dir_backend
     }
 
     /// Number of nodes.
@@ -580,18 +675,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the 64-node limit")]
+    #[should_panic(expected = "exceeds the 1024-node limit")]
     fn oversized_machines_are_rejected_not_aliased() {
-        // Regression: sharer sets are 64-bit masks; a 65-node machine
-        // used to construct fine and silently alias node 64 onto the
-        // mask arithmetic downstream.
+        // Regression: sharer sets are fixed-capacity masks; an oversized
+        // machine used to construct fine and silently alias the first
+        // out-of-range node onto the mask arithmetic downstream.
         MachineConfig::new(MAX_NODES + 1);
     }
 
     #[test]
-    fn the_full_64_node_machine_still_constructs() {
+    fn the_full_1024_node_machine_still_constructs() {
         let m = Machine::new(MachineConfig::new(MAX_NODES));
-        assert_eq!(m.nodes(), 64);
+        assert_eq!(m.nodes(), 1024);
+    }
+
+    #[test]
+    fn dir_backend_defaults_to_full_map_and_is_configurable() {
+        let m = Machine::new(MachineConfig::new(4));
+        assert_eq!(m.dir_backend(), DirBackend::FullMap);
+        let m =
+            Machine::new(MachineConfig::new(4).with_directory(DirBackend::LimitedPtr { ptrs: 4 }));
+        assert_eq!(m.dir_backend(), DirBackend::LimitedPtr { ptrs: 4 });
+        let labels: Vec<&str> = DirBackend::all().iter().map(|b| b.label()).collect();
+        assert_eq!(labels, vec!["full-map", "limited-ptr", "coarse-vec"]);
+        assert_eq!(DirBackend::CoarseVec { bits: 64 }.to_string(), "coarse-vec");
     }
 
     #[test]

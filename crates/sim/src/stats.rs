@@ -84,6 +84,14 @@ pub struct NodeStats {
     /// Fail-stop crashes this node suffered and recovered from (crash
     /// schedules only).
     pub crashes: u64,
+    /// Directory entries at this home whose sharer-set representation
+    /// overflowed to broadcast (limited-pointer backends only; counted
+    /// once per entry per overflow episode).
+    pub dir_overflows: u64,
+    /// Invalidations this home sent to nodes that held no copy, because
+    /// an imprecise sharer representation (broadcast overflow or coarse
+    /// grouping) could not target more narrowly.
+    pub spurious_invals: u64,
 }
 
 impl NodeStats {
@@ -156,6 +164,8 @@ impl NodeStats {
         self.checkpoints += other.checkpoints;
         self.checkpoint_bytes += other.checkpoint_bytes;
         self.crashes += other.crashes;
+        self.dir_overflows += other.dir_overflows;
+        self.spurious_invals += other.spurious_invals;
     }
 
     /// Total injected-fault events observed by this node (retries,
@@ -165,7 +175,7 @@ impl NodeStats {
     }
 
     /// Number of counters in [`NodeStats::as_array`] order.
-    pub const FIELDS: usize = 31;
+    pub const FIELDS: usize = 33;
 
     /// The counters flattened into a fixed declaration-order array — the
     /// serialization form used by the `.lcmtrace` footer. Inverse of
@@ -204,6 +214,8 @@ impl NodeStats {
             self.checkpoints,
             self.checkpoint_bytes,
             self.crashes,
+            self.dir_overflows,
+            self.spurious_invals,
         ]
     }
 
@@ -241,6 +253,8 @@ impl NodeStats {
             checkpoints: a[28],
             checkpoint_bytes: a[29],
             crashes: a[30],
+            dir_overflows: a[31],
+            spurious_invals: a[32],
         }
     }
 }
@@ -302,6 +316,13 @@ impl std::fmt::Display for NodeStats {
                 self.checkpoints, self.checkpoint_bytes, self.crashes
             )?;
         }
+        if self.dir_overflows > 0 || self.spurious_invals > 0 {
+            write!(
+                f,
+                "\ndirectory: {} overflows to broadcast, {} spurious invalidations",
+                self.dir_overflows, self.spurious_invals
+            )?;
+        }
         Ok(())
     }
 }
@@ -361,6 +382,8 @@ mod tests {
             checkpoints: 29,
             checkpoint_bytes: 30,
             crashes: 31,
+            dir_overflows: 32,
+            spurious_invals: 33,
         };
         a.add(&b);
         a.add(&b);
@@ -378,6 +401,8 @@ mod tests {
         assert_eq!(a.checkpoints, 58);
         assert_eq!(a.checkpoint_bytes, 60);
         assert_eq!(a.crashes, 62);
+        assert_eq!(a.dir_overflows, 64);
+        assert_eq!(a.spurious_invals, 66);
         assert_eq!(a.fault_events(), 44 + 46 + 48 + 50);
     }
 
@@ -418,6 +443,8 @@ mod tests {
             checkpoints: 29,
             checkpoint_bytes: 30,
             crashes: 31,
+            dir_overflows: 32,
+            spurious_invals: 33,
         };
         let a = b.as_array();
         let distinct: std::collections::HashSet<_> = a.iter().collect();

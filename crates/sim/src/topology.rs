@@ -46,9 +46,11 @@ use crate::cost::CostModel;
 use crate::machine::NodeId;
 use std::fmt;
 
-/// Longest possible route: NI-tx + up/down a binary tree over 64 nodes
-/// (6 levels each way) + NI-rx.
-const MAX_PATH: usize = 14;
+/// Longest possible route: NI-tx, then up/down a binary tree over
+/// [`crate::MAX_NODES`] nodes (`ceil(log2(MAX_NODES))` levels each
+/// way), then NI-rx. Derived from the machine-size cap so kilonode
+/// fat trees route without truncation.
+const MAX_PATH: usize = 2 + 2 * (usize::BITS - (crate::MAX_NODES - 1).leading_zeros()) as usize;
 
 /// How node pairs map onto network links.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -524,5 +526,35 @@ mod tests {
         let (q, s) = f.transfer(NodeId(0), NodeId(63), 48, 0);
         assert_eq!(q, 0);
         assert!(s >= 1);
+    }
+
+    #[test]
+    fn binary_fat_tree_over_1024_nodes_fits_max_path() {
+        // The deepest tree the machine cap allows: arity 2 over
+        // MAX_NODES leaves needs 10 levels each way, and MAX_PATH is
+        // derived to fit exactly that plus the NI pair.
+        assert_eq!(MAX_PATH, 22);
+        let mut f = Fabric::new(
+            Topology::FatTree { arity: 2 },
+            crate::MAX_NODES,
+            &cost(1, 1, 1000),
+        );
+        assert_eq!(f.levels(), 10);
+        let (q, s) = f.transfer(NodeId(0), NodeId(1023), 48, 0);
+        assert_eq!(q, 0);
+        assert!(s >= 1);
+    }
+
+    #[test]
+    fn cm5_fat_tree_routes_at_kilonode_scale() {
+        let mut f = Fabric::new(Topology::FatTree { arity: 4 }, 1000, &cost(4, 0, 1000));
+        assert_eq!(f.levels(), 5);
+        // Cross-root route between non-power-of-arity distant leaves.
+        let (q, s) = f.transfer(NodeId(3), NodeId(997), 64, 0);
+        assert_eq!(q, 0);
+        assert!(s >= 1);
+        // A second message right behind it queues.
+        let (q2, _) = f.transfer(NodeId(3), NodeId(997), 64, 0);
+        assert!(q2 > 0);
     }
 }

@@ -1,15 +1,32 @@
-//! Full-map directory state.
+//! Directory state under a pluggable sharer-set representation.
 //!
 //! Each block's home node records who caches the block and with what
 //! rights. The directory enforces the classic single-writer/many-reader
 //! invariant of sequentially-consistent coherence; LCM relaxes exactly
 //! this invariant for its marked blocks by taking them *out* of the
 //! directory for the duration of a parallel phase (see `lcm-core`).
+//!
+//! The simulator always tracks *exact* membership — that is its oracle
+//! for tags and residency. What the modeled directory hardware can
+//! *represent* is chosen by [`lcm_sim::DirBackend`], and governs the
+//! **invalidation target set** ([`Directory::inval_targets`]):
+//!
+//! * full-map — targets are exactly the sharers;
+//! * limited-pointer — an entry that ever exceeded its pointer capacity
+//!   is sticky *overflowed*: targets become every node of the machine
+//!   (broadcast) until the entry is rebuilt from scratch (taken idle,
+//!   or re-created from an `Idle`/`Exclusive` state);
+//! * coarse-vector — targets are the sharers' group footprint: every
+//!   node of every `ceil(nodes/bits)`-sized bucket holding a sharer.
+//!
+//! Over-invalidation is correct (a spurious invalidation finds an
+//! already-invalid tag and is acked) but costs messages and handler
+//! cycles, which is exactly the scalability trade the backends model.
 
 use crate::sharers::SharerSet;
 use lcm_sim::hash::FastMap;
 use lcm_sim::mem::BlockId;
-use lcm_sim::NodeId;
+use lcm_sim::{DirBackend, NodeId};
 
 /// Directory state of one block.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -35,15 +52,44 @@ impl DirState {
 }
 
 /// The (logically distributed, physically one-map) directory.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Directory {
     entries: FastMap<BlockId, DirState>,
+    /// Shared entries whose limited-pointer representation has
+    /// overflowed to broadcast. Always empty under other backends.
+    overflowed: FastMap<BlockId, ()>,
+    backend: DirBackend,
+    nodes: usize,
+}
+
+impl Default for Directory {
+    /// A full-map directory sized for the machine cap — the
+    /// representation every test not exercising backends expects.
+    fn default() -> Directory {
+        Directory::with_backend(DirBackend::FullMap, crate::MAX_NODES)
+    }
 }
 
 impl Directory {
-    /// An empty directory (all blocks `Idle`).
+    /// An empty full-map directory (all blocks `Idle`).
     pub fn new() -> Directory {
         Directory::default()
+    }
+
+    /// An empty directory representing sharers with `backend` on a
+    /// machine of `nodes` nodes.
+    pub fn with_backend(backend: DirBackend, nodes: usize) -> Directory {
+        Directory {
+            entries: FastMap::default(),
+            overflowed: FastMap::default(),
+            backend,
+            nodes,
+        }
+    }
+
+    /// The backend this directory represents sharers with.
+    pub fn backend(&self) -> DirBackend {
+        self.backend
     }
 
     /// The state of `block`.
@@ -54,27 +100,91 @@ impl Directory {
 
     /// Sets the state of `block`. Storing `Idle` removes the entry.
     ///
+    /// Returns `true` when this update pushed a limited-pointer entry
+    /// *into* representation overflow (the caller charges the home's
+    /// `dir_overflows` counter). Overflow is sticky while the entry
+    /// stays `Shared` — real hardware has forgotten the membership and
+    /// cannot repopulate its pointers — and clears when the entry is
+    /// rebuilt from `Idle`/`Exclusive` or removed.
+    ///
     /// # Panics
     /// Panics (in debug builds) if a `Shared` state has no sharers.
     #[inline]
-    pub fn set(&mut self, block: BlockId, state: DirState) {
+    pub fn set(&mut self, block: BlockId, state: DirState) -> bool {
         if let DirState::Shared(s) = state {
             debug_assert!(!s.is_empty(), "Shared state must have sharers");
         }
         match state {
             DirState::Idle => {
                 self.entries.remove(&block);
+                self.overflowed.remove(&block);
+                false
             }
-            _ => {
+            DirState::Shared(s) => {
+                let was_shared = matches!(self.entries.get(&block), Some(DirState::Shared(_)));
+                let was_over = was_shared && self.overflowed.contains_key(&block);
+                let fits = match self.backend {
+                    DirBackend::LimitedPtr { ptrs } => s.count() <= u32::from(ptrs),
+                    _ => true,
+                };
+                let now_over = was_over || !fits;
                 self.entries.insert(block, state);
+                if now_over {
+                    self.overflowed.insert(block, ());
+                } else {
+                    self.overflowed.remove(&block);
+                }
+                now_over && !was_over
             }
+            DirState::Exclusive(_) => {
+                self.entries.insert(block, state);
+                self.overflowed.remove(&block);
+                false
+            }
+        }
+    }
+
+    /// True when `block`'s representation has overflowed to broadcast.
+    pub fn is_overflowed(&self, block: BlockId) -> bool {
+        self.overflowed.contains_key(&block)
+    }
+
+    /// Number of entries currently in representation overflow.
+    pub fn overflowed_entries(&self) -> usize {
+        self.overflowed.len()
+    }
+
+    /// The nodes an invalidation of `block` must be sent to under this
+    /// directory's representation: a superset of the actual holders
+    /// whenever the representation is imprecise, equal to them under
+    /// full-map (and under the other backends while they are precise).
+    pub fn inval_targets(&self, block: BlockId) -> SharerSet {
+        match self.state(block) {
+            DirState::Idle => SharerSet::empty(),
+            DirState::Exclusive(n) => SharerSet::single(n),
+            DirState::Shared(s) => match self.backend {
+                DirBackend::FullMap => s,
+                DirBackend::LimitedPtr { .. } => {
+                    if self.is_overflowed(block) {
+                        SharerSet::all_below(self.nodes)
+                    } else {
+                        s
+                    }
+                }
+                DirBackend::CoarseVec { bits } => {
+                    let group = self.nodes.div_ceil(usize::from(bits.max(1)));
+                    s.expand_groups(group, self.nodes)
+                }
+            },
         }
     }
 
     /// Removes and returns the state of `block`, leaving it `Idle`.
     /// Used by LCM to absorb a block's holders when it enters a
-    /// copy-on-write phase.
+    /// copy-on-write phase. Clears any representation overflow — the
+    /// entry is rebuilt from scratch on its next use.
     pub fn take(&mut self, block: BlockId) -> DirState {
+        self.overflowed.remove(&block);
         self.entries.remove(&block).unwrap_or(DirState::Idle)
     }
 
@@ -99,11 +209,16 @@ impl Directory {
 mod tests {
     use super::*;
 
+    fn set_of(nodes: &[u16]) -> SharerSet {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
     #[test]
     fn default_state_is_idle() {
         let d = Directory::new();
         assert_eq!(d.state(BlockId(7)), DirState::Idle);
         assert!(d.is_empty());
+        assert_eq!(d.backend(), DirBackend::FullMap);
     }
 
     #[test]
@@ -138,5 +253,74 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![NodeId(3)]
         );
+    }
+
+    #[test]
+    fn full_map_targets_are_exact() {
+        let mut d = Directory::with_backend(DirBackend::FullMap, 16);
+        let entered = d.set(BlockId(1), DirState::Shared(set_of(&[0, 5, 9])));
+        assert!(!entered);
+        assert_eq!(d.inval_targets(BlockId(1)), set_of(&[0, 5, 9]));
+        assert!(!d.is_overflowed(BlockId(1)));
+    }
+
+    #[test]
+    fn limited_ptr_overflows_to_broadcast_and_is_sticky() {
+        let mut d = Directory::with_backend(DirBackend::LimitedPtr { ptrs: 2 }, 8);
+        assert!(!d.set(BlockId(1), DirState::Shared(set_of(&[0, 1]))));
+        assert_eq!(d.inval_targets(BlockId(1)), set_of(&[0, 1]));
+        // Third sharer exceeds the two pointers: broadcast.
+        assert!(d.set(BlockId(1), DirState::Shared(set_of(&[0, 1, 2]))));
+        assert!(d.is_overflowed(BlockId(1)));
+        assert_eq!(d.inval_targets(BlockId(1)), SharerSet::all_below(8));
+        // Sticky: dropping back to two sharers does not regain precision
+        // (the hardware's pointers were lost at overflow) — and it is
+        // not a *new* overflow either.
+        assert!(!d.set(BlockId(1), DirState::Shared(set_of(&[0, 1]))));
+        assert!(d.is_overflowed(BlockId(1)));
+        assert_eq!(d.inval_targets(BlockId(1)), SharerSet::all_below(8));
+        assert_eq!(d.overflowed_entries(), 1);
+        // Rebuilding from Exclusive clears it.
+        d.set(BlockId(1), DirState::Exclusive(NodeId(3)));
+        assert!(!d.is_overflowed(BlockId(1)));
+        assert_eq!(d.inval_targets(BlockId(1)), set_of(&[3]));
+        // So does take().
+        assert!(d.set(BlockId(2), DirState::Shared(set_of(&[0, 1, 2, 3]))));
+        d.take(BlockId(2));
+        assert!(!d.is_overflowed(BlockId(2)));
+        assert_eq!(d.overflowed_entries(), 0);
+    }
+
+    #[test]
+    fn coarse_vec_targets_cover_groups() {
+        // 8 nodes over a 4-bit vector: groups of 2.
+        let mut d = Directory::with_backend(DirBackend::CoarseVec { bits: 4 }, 8);
+        d.set(BlockId(1), DirState::Shared(set_of(&[0, 5])));
+        assert_eq!(d.inval_targets(BlockId(1)), set_of(&[0, 1, 4, 5]));
+        assert!(
+            !d.is_overflowed(BlockId(1)),
+            "coarse vectors never overflow; they are born imprecise"
+        );
+        // Exclusive entries are a single pointer under every backend.
+        d.set(BlockId(2), DirState::Exclusive(NodeId(6)));
+        assert_eq!(d.inval_targets(BlockId(2)), set_of(&[6]));
+    }
+
+    #[test]
+    fn default_parameters_are_precise_up_to_64_nodes() {
+        // The defaults re-spend the old u64 budget: 64 pointers cannot
+        // overflow on a ≤64-node machine, and a 64-bit coarse vector
+        // over ≤64 nodes has one node per bit.
+        for backend in DirBackend::all() {
+            let mut d = Directory::with_backend(backend, 64);
+            let everyone = SharerSet::all_below(64);
+            let entered = d.set(BlockId(1), DirState::Shared(everyone));
+            assert!(!entered, "{backend}: no overflow at 64 nodes");
+            assert_eq!(
+                d.inval_targets(BlockId(1)),
+                everyone,
+                "{backend}: exact targets at 64 nodes"
+            );
+        }
     }
 }

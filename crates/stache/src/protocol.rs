@@ -55,11 +55,13 @@ pub struct Stache {
 }
 
 impl Stache {
-    /// Builds a Stache system for the given machine configuration.
+    /// Builds a Stache system for the given machine configuration. The
+    /// directory represents sharers with the configuration's
+    /// [`lcm_sim::DirBackend`] (full-map by default).
     ///
     /// # Panics
     /// Panics if the machine has more nodes than the directory supports
-    /// (64).
+    /// ([`MAX_NODES`]).
     pub fn new(config: MachineConfig) -> Stache {
         Stache::from_tempest(Tempest::new(config))
     }
@@ -83,7 +85,8 @@ impl Stache {
         s
     }
 
-    /// Builds a Stache system over an existing mechanism bundle.
+    /// Builds a Stache system over an existing mechanism bundle, with
+    /// the directory backend the machine was configured with.
     ///
     /// # Panics
     /// Panics if the machine has more nodes than the directory supports.
@@ -93,9 +96,10 @@ impl Stache {
             "directory supports at most {MAX_NODES} nodes"
         );
         let nodes = t.nodes();
+        let dir = Directory::with_backend(t.machine.dir_backend(), nodes);
         Stache {
             t,
-            dir: Directory::new(),
+            dir,
             policies: PolicyTable::new(),
             capacity: None,
             fifo: (0..nodes)
@@ -143,14 +147,14 @@ impl Stache {
             }
             DirState::Shared(mut sharers) => {
                 sharers.remove(node);
-                self.dir.set(
-                    victim,
-                    if sharers.is_empty() {
-                        DirState::Idle
-                    } else {
-                        DirState::Shared(sharers)
-                    },
-                );
+                if sharers.is_empty() {
+                    self.dir.set(victim, DirState::Idle);
+                } else {
+                    // A shrinking set cannot newly overflow, but the
+                    // charge-on-overflow path keeps every Shared store
+                    // uniform.
+                    self.set_shared(home, victim, sharers);
+                }
             }
             _ => {}
         }
@@ -243,8 +247,8 @@ impl Stache {
         }
         for (block, owner) in dirty {
             self.t.tags[owner.index()].set(block, Tag::ReadOnly);
-            self.dir
-                .set(block, DirState::Shared(SharerSet::single(owner)));
+            let home = self.t.home_of(block);
+            self.set_shared(home, block, SharerSet::single(owner));
         }
         img
     }
@@ -261,13 +265,15 @@ impl Stache {
 
     /// Invalidates every directory-tracked copy of `block` (tags cleared,
     /// invalidation costs and messages accounted at `home`'s initiative),
-    /// leaving the block `Idle`. Returns the number of copies invalidated.
+    /// leaving the block `Idle`. The invalidations go to the directory
+    /// *representation's* target set — a superset of the holders when the
+    /// entry is overflowed or coarse. Returns the number of actual copies
+    /// invalidated.
     pub fn invalidate_holders(&mut self, block: BlockId) -> u32 {
+        let targets = self.dir.inval_targets(block);
         let holders = self.dir.take(block).holders();
         let home = self.t.home_of(block);
-        for s in holders.iter() {
-            self.invalidate_one(home, s, block);
-        }
+        self.invalidate_targets(home, block, targets, holders);
         holders.count()
     }
 
@@ -286,7 +292,8 @@ impl Stache {
                 self.t.tags[s.index()].set(block, Tag::ReadOnly);
             }
         }
-        self.dir.set(block, DirState::Shared(sharers));
+        let home = self.t.home_of(block);
+        self.set_shared(home, block, sharers);
     }
 
     /// Sends one invalidation from `home` to `sharer` and processes it —
@@ -355,6 +362,69 @@ impl Stache {
         });
     }
 
+    /// Sends one invalidation from `home` to a node the directory's
+    /// *representation* names but that holds no copy — the
+    /// over-invalidation cost of an overflowed or coarse entry. The
+    /// target's tag is already Invalid; it acks, both ends pay handler
+    /// time, and the home's `spurious_invals` counter records the waste.
+    fn spurious_invalidate(&mut self, home: NodeId, target: NodeId, _block: BlockId) {
+        self.t.net.count_only(
+            &mut self.t.machine,
+            home,
+            target,
+            MsgKind::Invalidate,
+            false,
+        );
+        self.t
+            .net
+            .count_only(&mut self.t.machine, target, home, MsgKind::Ack, false);
+        if home != target {
+            self.t
+                .machine
+                .charge(target, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
+            self.t
+                .machine
+                .charge(target, CycleCat::MsgOverhead, Knob::Invalidate, 1);
+            self.t
+                .machine
+                .charge(home, CycleCat::MsgOverhead, Knob::MsgRecv, 1);
+        } else {
+            self.t
+                .machine
+                .charge(target, CycleCat::MsgOverhead, Knob::Invalidate, 1);
+        }
+        self.t.machine.stats_mut(home).spurious_invals += 1;
+    }
+
+    /// Invalidates every node in `targets`: the members of `holders`
+    /// through the real path (tag cleared, invalidation counted), the
+    /// rest — nodes only the representation implicates — through the
+    /// spurious path. `targets` must be a superset of `holders`.
+    fn invalidate_targets(
+        &mut self,
+        home: NodeId,
+        block: BlockId,
+        targets: SharerSet,
+        holders: SharerSet,
+    ) {
+        for s in targets.iter() {
+            if holders.contains(s) {
+                self.invalidate_one(home, s, block);
+            } else {
+                self.spurious_invalidate(home, s, block);
+            }
+        }
+    }
+
+    /// Stores a `Shared` directory state, charging the home's
+    /// `dir_overflows` counter when the update pushes the entry's
+    /// representation into broadcast overflow.
+    fn set_shared(&mut self, home: NodeId, block: BlockId, sharers: SharerSet) {
+        if self.dir.set(block, DirState::Shared(sharers)) {
+            self.t.machine.stats_mut(home).dir_overflows += 1;
+        }
+    }
+
     /// Handles a load fault: obtains a read-only copy for `node`.
     fn read_fault(&mut self, node: NodeId, block: BlockId) {
         let home = self.t.home_of(block);
@@ -401,7 +471,7 @@ impl Stache {
                 self.t.tags[owner.index()].set(block, Tag::ReadOnly);
                 let mut sharers = SharerSet::single(owner);
                 sharers.add(node);
-                self.dir.set(block, DirState::Shared(sharers));
+                self.set_shared(home, block, sharers);
                 self.t.machine.stats_mut(node).read_miss_remote += 1;
                 self.t.machine.record(Event::ReadMiss {
                     node,
@@ -438,7 +508,7 @@ impl Stache {
                 }
                 let mut sharers = other.holders();
                 sharers.add(node);
-                self.dir.set(block, DirState::Shared(sharers));
+                self.set_shared(home, block, sharers);
             }
         }
         self.t.tags[node.index()].set(block, Tag::ReadOnly);
@@ -498,12 +568,18 @@ impl Stache {
             DirState::Shared(sharers) => {
                 let held = sharers.contains(node);
                 let others = sharers.difference(SharerSet::single(node));
-                for s in others.iter() {
-                    self.invalidate_one(home, s, block);
-                }
+                // Invalidations go to the representation's target set
+                // (minus the writer): the real holders, plus — when the
+                // entry is overflowed or coarse — innocents whose acks
+                // the writer still waits for.
+                let targets = self
+                    .dir
+                    .inval_targets(block)
+                    .difference(SharerSet::single(node));
+                self.invalidate_targets(home, block, targets, others);
                 if held {
                     // Ownership upgrade; no data moves.
-                    let knob = if node == home && others.is_empty() {
+                    let knob = if node == home && targets.is_empty() {
                         Knob::LocalFill
                     } else {
                         Knob::Upgrade
@@ -513,7 +589,7 @@ impl Stache {
                     self.t.machine.record(Event::Upgrade { node, block });
                 } else if node == home {
                     // Fill locally, but wait out the invalidations if any.
-                    let knob = if others.is_empty() {
+                    let knob = if targets.is_empty() {
                         Knob::LocalFill
                     } else {
                         Knob::RemoteMiss
@@ -923,13 +999,108 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "64-node limit")]
+    #[should_panic(expected = "1024-node limit")]
     fn too_many_nodes_rejected() {
-        // The machine itself now rejects oversized configurations (the
-        // limit exists *because* of this directory's 64-bit sharer
+        // The machine itself rejects oversized configurations (the limit
+        // exists *because* of this directory's fixed-capacity sharer
         // masks); `from_tempest`'s own assert remains as defense in
         // depth for hand-built Tempest bundles.
-        Stache::new(MachineConfig::new(65));
+        Stache::new(MachineConfig::new(1025));
+    }
+
+    #[test]
+    fn kilonode_machine_reads_and_writes_coherently() {
+        let mut s = Stache::new(MachineConfig::new(1024));
+        let a = s.tempest_mut().alloc(4096, Placement::Interleaved, "t");
+        s.write_f32(NodeId(700), a, 7.0);
+        assert_eq!(s.read_f32(NodeId(1023), a), 7.0);
+        s.write_f32(NodeId(0), a, 8.0);
+        assert_eq!(s.tempest().tag(NodeId(700), a.block()), Tag::Invalid);
+        assert_eq!(s.tempest().tag(NodeId(1023), a.block()), Tag::Invalid);
+        s.verify_coherence_invariants().unwrap();
+    }
+
+    fn backend_system(nodes: usize, backend: lcm_sim::DirBackend) -> (Stache, Addr) {
+        let mut s = Stache::new(
+            MachineConfig::new(nodes)
+                .with_cost(CostModel::cm5())
+                .with_directory(backend),
+        );
+        let a = s.tempest_mut().alloc(4096, Placement::Interleaved, "t");
+        (s, a)
+    }
+
+    #[test]
+    fn limited_ptr_overflow_broadcasts_and_charges_spurious_invals() {
+        use lcm_sim::DirBackend;
+        let (mut s, a) = backend_system(8, DirBackend::LimitedPtr { ptrs: 2 });
+        let home = s.tempest().home_of(a.block());
+        // Three readers exceed the two pointers: the entry overflows.
+        s.read_f32(NodeId(1), a);
+        s.read_f32(NodeId(2), a);
+        s.read_f32(NodeId(3), a);
+        assert!(s.directory().is_overflowed(a.block()));
+        assert_eq!(s.tempest().machine.stats(home).dir_overflows, 1);
+        // The write must invalidate by broadcast: all 8 nodes minus the
+        // writer, of which 3 hold copies and 4 are spurious.
+        s.write_f32(NodeId(4), a, 1.0);
+        for n in [1, 2, 3] {
+            assert_eq!(s.tempest().tag(NodeId(n), a.block()), Tag::Invalid);
+        }
+        assert_eq!(s.tempest().machine.stats(home).invalidations_sent, 3);
+        assert_eq!(s.tempest().machine.stats(home).spurious_invals, 4);
+        // The rebuild to Exclusive cleared the overflow.
+        assert!(!s.directory().is_overflowed(a.block()));
+        assert_eq!(
+            s.directory().state(a.block()),
+            DirState::Exclusive(NodeId(4))
+        );
+        s.verify_coherence_invariants().unwrap();
+        assert_eq!(s.read_f32(NodeId(0), a), 1.0, "data survives broadcast");
+    }
+
+    #[test]
+    fn coarse_vec_over_invalidates_group_neighbors() {
+        use lcm_sim::DirBackend;
+        // 8 nodes on 4 bits: groups of 2. A single reader at node 5
+        // implicates its group-mate node 4.
+        let (mut s, a) = backend_system(8, DirBackend::CoarseVec { bits: 4 });
+        let home = s.tempest().home_of(a.block());
+        s.read_f32(NodeId(5), a);
+        s.write_f32(NodeId(2), a, 3.0);
+        assert_eq!(s.tempest().machine.stats(home).invalidations_sent, 1);
+        assert_eq!(s.tempest().machine.stats(home).spurious_invals, 1);
+        assert_eq!(s.tempest().machine.stats(home).dir_overflows, 0);
+        s.verify_coherence_invariants().unwrap();
+    }
+
+    #[test]
+    fn default_backends_match_full_map_exactly_at_small_scale() {
+        use lcm_sim::DirBackend;
+        // The default limited-pointer and coarse-vector parameters re-spend
+        // the old 64-bit budget, so at ≤64 nodes every backend produces the
+        // same clocks, stats and messages as the full map.
+        let mut runs = DirBackend::all().into_iter().map(|backend| {
+            let (mut s, a) = backend_system(8, backend);
+            for i in 0..8u16 {
+                s.write_f32(NodeId(i), a.offset(u64::from(i) * 4 % 64), i as f32);
+            }
+            for i in 0..8u16 {
+                s.read_f32(NodeId(7 - i), a.offset(u64::from(i) * 8 % 64));
+            }
+            let clocks: Vec<u64> = s
+                .tempest()
+                .machine
+                .node_ids()
+                .map(|n| s.tempest().machine.clock(n))
+                .collect();
+            let totals = s.tempest().machine.total_stats();
+            (clocks, totals)
+        });
+        let oracle = runs.next().unwrap();
+        for run in runs {
+            assert_eq!(run, oracle);
+        }
     }
 
     #[test]

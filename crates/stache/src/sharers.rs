@@ -1,48 +1,91 @@
 //! Compact sharer sets for directory state.
 //!
-//! The paper's machine has 32 processors; directories here support up to
-//! 64 via a single-word bitmask (a full-map directory, as in DASH-class
-//! machines the paper cites).
+//! The paper's machine has 32 processors; directories here track exact
+//! membership for up to [`MAX_NODES`] (1024) nodes via a fixed-capacity
+//! multi-word bitmask. The *representation* a simulated directory entry
+//! stores — full map, limited pointers, or a coarse vector — is chosen
+//! per machine by [`lcm_sim::DirBackend`] and governs invalidation
+//! targeting (see `crate::directory`); this set is the simulator's exact
+//! oracle underneath every backend.
 
 use lcm_sim::NodeId;
 use std::fmt;
 
-/// A set of nodes, stored as a 64-bit mask.
+/// Maximum node index representable in a [`SharerSet`] — the same
+/// limit [`lcm_sim::MAX_NODES`] enforces at machine construction.
+pub const MAX_NODES: usize = lcm_sim::MAX_NODES;
+
+/// Mask words backing a set (`MAX_NODES` bits).
+const WORDS: usize = MAX_NODES / 64;
+
+/// A set of nodes, stored as a fixed-capacity bitmask.
 ///
 /// The machine-wide node limit ([`lcm_sim::MAX_NODES`]) exists because
 /// of this mask: [`lcm_sim::MachineConfig::new`] rejects larger
-/// machines up front, so the capacity panic in [`SharerSet::add`] is a
-/// defense in depth rather than the first line.
+/// machines up front, so the capacity panics here are a defense in
+/// depth rather than the first line. Out-of-range handling is uniform:
+/// [`SharerSet::add`], [`SharerSet::remove`] and [`SharerSet::contains`]
+/// all panic on a node index `>= MAX_NODES` — an out-of-range node in
+/// any membership operation is a machine-construction bug, and a silent
+/// no-op would let it masquerade as an empty-set answer.
 ///
 /// ```
 /// use lcm_stache::SharerSet;
 /// use lcm_sim::NodeId;
 /// let mut s = SharerSet::empty();
 /// s.add(NodeId(3));
-/// s.add(NodeId(10));
+/// s.add(NodeId(999));
 /// assert_eq!(s.count(), 2);
 /// assert!(s.contains(NodeId(3)));
-/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(10)]);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(3), NodeId(999)]);
 /// ```
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
-pub struct SharerSet(u64);
+pub struct SharerSet([u64; WORDS]);
 
-/// Maximum node index representable in a [`SharerSet`] — the same
-/// limit [`lcm_sim::MAX_NODES`] enforces at machine construction.
-pub const MAX_NODES: usize = lcm_sim::MAX_NODES;
+#[inline]
+fn check(node: NodeId) -> (usize, u64) {
+    assert!(
+        node.index() < MAX_NODES,
+        "node {node} exceeds directory capacity"
+    );
+    (node.index() / 64, 1u64 << (node.index() % 64))
+}
 
 impl SharerSet {
     /// The empty set.
     #[inline]
     pub fn empty() -> SharerSet {
-        SharerSet(0)
+        SharerSet([0; WORDS])
     }
 
     /// A set containing only `node`.
+    ///
+    /// # Panics
+    /// Panics if `node.index() >= MAX_NODES`.
     #[inline]
     pub fn single(node: NodeId) -> SharerSet {
         let mut s = SharerSet::empty();
         s.add(node);
+        s
+    }
+
+    /// The set of every node below `nodes` — "broadcast" on a machine
+    /// of that size.
+    ///
+    /// # Panics
+    /// Panics if `nodes > MAX_NODES`.
+    pub fn all_below(nodes: usize) -> SharerSet {
+        assert!(
+            nodes <= MAX_NODES,
+            "a machine of {nodes} nodes exceeds directory capacity"
+        );
+        let mut s = SharerSet::empty();
+        for w in 0..nodes / 64 {
+            s.0[w] = u64::MAX;
+        }
+        if !nodes.is_multiple_of(64) {
+            s.0[nodes / 64] = (1u64 << (nodes % 64)) - 1;
+        }
         s
     }
 
@@ -52,71 +95,118 @@ impl SharerSet {
     /// Panics if `node.index() >= MAX_NODES`.
     #[inline]
     pub fn add(&mut self, node: NodeId) {
-        assert!(
-            node.index() < MAX_NODES,
-            "node {node} exceeds directory capacity"
-        );
-        self.0 |= 1 << node.index();
+        let (w, bit) = check(node);
+        self.0[w] |= bit;
     }
 
     /// Removes `node` if present.
+    ///
+    /// # Panics
+    /// Panics if `node.index() >= MAX_NODES` — consistent with
+    /// [`SharerSet::add`]; an absent in-range node is a quiet no-op, an
+    /// out-of-range one is a bug.
     #[inline]
     pub fn remove(&mut self, node: NodeId) {
-        if node.index() < MAX_NODES {
-            self.0 &= !(1 << node.index());
-        }
+        let (w, bit) = check(node);
+        self.0[w] &= !bit;
     }
 
     /// True when `node` is in the set.
+    ///
+    /// # Panics
+    /// Panics if `node.index() >= MAX_NODES` — consistent with
+    /// [`SharerSet::add`]/[`SharerSet::remove`].
     #[inline]
     pub fn contains(self, node: NodeId) -> bool {
-        node.index() < MAX_NODES && self.0 & (1 << node.index()) != 0
+        let (w, bit) = check(node);
+        self.0[w] & bit != 0
     }
 
     /// Number of members.
     #[inline]
     pub fn count(self) -> u32 {
-        self.0.count_ones()
+        self.0.iter().map(|w| w.count_ones()).sum()
     }
 
     /// True when the set has no members.
     #[inline]
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0.iter().all(|&w| w == 0)
     }
 
     /// Set union.
     #[inline]
     pub fn union(self, other: SharerSet) -> SharerSet {
-        SharerSet(self.0 | other.0)
+        let mut out = self;
+        for (w, o) in out.0.iter_mut().zip(other.0) {
+            *w |= o;
+        }
+        out
     }
 
     /// Set difference (`self` minus `other`).
     #[inline]
     pub fn difference(self, other: SharerSet) -> SharerSet {
-        SharerSet(self.0 & !other.0)
+        let mut out = self;
+        for (w, o) in out.0.iter_mut().zip(other.0) {
+            *w &= !o;
+        }
+        out
+    }
+
+    /// The members' group footprint expanded back to nodes: every node
+    /// of every `group`-sized bucket (of consecutive node indices,
+    /// clipped to `nodes`) that contains a member. This is the
+    /// coarse-vector invalidation target set; with `group == 1` it is
+    /// the set itself.
+    ///
+    /// # Panics
+    /// Panics if `group == 0` or `nodes > MAX_NODES`.
+    pub fn expand_groups(self, group: usize, nodes: usize) -> SharerSet {
+        assert!(group > 0, "coarse groups cover at least one node");
+        if group == 1 {
+            return self;
+        }
+        let mut out = SharerSet::empty();
+        for n in self.iter() {
+            let base = (n.index() / group) * group;
+            for i in base..(base + group).min(nodes) {
+                out.add(NodeId(i as u16));
+            }
+        }
+        out
     }
 
     /// Members in ascending node order.
     pub fn iter(self) -> Iter {
-        Iter(self.0)
+        Iter {
+            words: self.0,
+            w: 0,
+        }
     }
 }
 
 /// Iterator over the members of a [`SharerSet`].
 #[derive(Clone, Debug)]
-pub struct Iter(u64);
+pub struct Iter {
+    words: [u64; WORDS],
+    w: usize,
+}
 
 impl Iterator for Iter {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        if self.0 == 0 {
-            return None;
+        while self.w < WORDS {
+            if self.words[self.w] == 0 {
+                self.w += 1;
+                continue;
+            }
+            let i = self.words[self.w].trailing_zeros();
+            self.words[self.w] &= self.words[self.w] - 1;
+            return Some(NodeId((self.w * 64) as u16 + i as u16));
         }
-        let i = self.0.trailing_zeros();
-        self.0 &= self.0 - 1;
-        Some(NodeId(i as u16))
+        None
     }
 }
 
@@ -146,35 +236,57 @@ mod tests {
         assert!(s.is_empty());
         s.add(NodeId(0));
         s.add(NodeId(63));
+        s.add(NodeId(64));
+        s.add(NodeId(1023));
         assert!(s.contains(NodeId(0)) && s.contains(NodeId(63)));
-        assert_eq!(s.count(), 2);
+        assert!(s.contains(NodeId(64)) && s.contains(NodeId(1023)));
+        assert_eq!(s.count(), 4);
         s.remove(NodeId(0));
         assert!(!s.contains(NodeId(0)));
-        s.remove(NodeId(7)); // absent: no-op
-        assert_eq!(s.count(), 1);
+        s.remove(NodeId(7)); // absent but in range: no-op
+        assert_eq!(s.count(), 3);
     }
 
     #[test]
     #[should_panic(expected = "exceeds directory capacity")]
     fn add_beyond_capacity_panics() {
-        SharerSet::empty().add(NodeId(64));
+        SharerSet::empty().add(NodeId(1024));
     }
 
     #[test]
-    fn iter_is_ascending_and_complete() {
-        let s: SharerSet = [NodeId(5), NodeId(1), NodeId(31)].into_iter().collect();
+    #[should_panic(expected = "exceeds directory capacity")]
+    fn remove_beyond_capacity_panics() {
+        // Out-of-range handling is uniform across the mutators: remove
+        // used to silently no-op where add panicked.
+        SharerSet::empty().remove(NodeId(1024));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds directory capacity")]
+    fn contains_beyond_capacity_panics() {
+        SharerSet::empty().contains(NodeId(1024));
+    }
+
+    #[test]
+    fn iter_is_ascending_and_complete_across_words() {
+        let s: SharerSet = [NodeId(5), NodeId(1), NodeId(31), NodeId(700), NodeId(64)]
+            .into_iter()
+            .collect();
         assert_eq!(
             s.iter().collect::<Vec<_>>(),
-            vec![NodeId(1), NodeId(5), NodeId(31)]
+            vec![NodeId(1), NodeId(5), NodeId(31), NodeId(64), NodeId(700)]
         );
     }
 
     #[test]
     fn union_and_difference() {
-        let a: SharerSet = [NodeId(1), NodeId(2)].into_iter().collect();
+        let a: SharerSet = [NodeId(1), NodeId(2), NodeId(900)].into_iter().collect();
         let b: SharerSet = [NodeId(2), NodeId(3)].into_iter().collect();
-        assert_eq!(a.union(b).count(), 3);
-        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(a.union(b).count(), 4);
+        assert_eq!(
+            a.difference(b).iter().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(900)]
+        );
     }
 
     #[test]
@@ -182,5 +294,30 @@ mod tests {
         let s = SharerSet::single(NodeId(9));
         assert_eq!(s.count(), 1);
         assert!(format!("{s:?}").contains("n9"));
+    }
+
+    #[test]
+    fn all_below_spans_word_boundaries() {
+        assert_eq!(SharerSet::all_below(0).count(), 0);
+        assert_eq!(SharerSet::all_below(1).count(), 1);
+        assert_eq!(SharerSet::all_below(64).count(), 64);
+        assert_eq!(SharerSet::all_below(65).count(), 65);
+        assert_eq!(SharerSet::all_below(MAX_NODES).count(), MAX_NODES as u32);
+        assert!(SharerSet::all_below(100).contains(NodeId(99)));
+        assert!(!SharerSet::all_below(100).contains(NodeId(100)));
+    }
+
+    #[test]
+    fn expand_groups_covers_whole_buckets_and_clips() {
+        let s: SharerSet = [NodeId(5), NodeId(17)].into_iter().collect();
+        // Groups of 8 over 20 nodes: bucket [0,8) and clipped [16,20).
+        let e = s.expand_groups(8, 20);
+        assert_eq!(e.count(), 8 + 4);
+        assert!(e.contains(NodeId(0)) && e.contains(NodeId(7)));
+        assert!(e.contains(NodeId(16)) && e.contains(NodeId(19)));
+        assert!(!e.contains(NodeId(8)) && !e.contains(NodeId(20)));
+        // Group 1 is the identity: coarse vectors with one node per bit
+        // are exactly the full map.
+        assert_eq!(s.expand_groups(1, 20), s);
     }
 }
