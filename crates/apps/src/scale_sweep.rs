@@ -123,10 +123,22 @@ pub fn run_scale_point(
     backend: DirBackend,
     system: SystemKind,
 ) -> RunResult {
+    run_scale_point_cfg(b, nodes, backend, system, RuntimeConfig::default())
+}
+
+/// [`run_scale_point`] under an explicit runtime configuration — the
+/// hook the epoch-parallelism byte-identity tests use to run the same
+/// grid cell at several `sim_threads` settings.
+pub fn run_scale_point_cfg(
+    b: Benchmark,
+    nodes: usize,
+    backend: DirBackend,
+    system: SystemKind,
+    cfg: RuntimeConfig,
+) -> RunResult {
     let mc = MachineConfig::new(nodes)
         .with_cost(lcm_sim::CostModel::default())
         .with_directory(backend);
-    let cfg = RuntimeConfig::default();
     match scale_workload(b, nodes) {
         ScaleWorkload::Stencil(w) => execute_with_machine(system, mc, cfg, &w).1,
         ScaleWorkload::Adaptive(w) => execute_with_machine(system, mc, cfg, &w).1,
@@ -141,6 +153,21 @@ pub fn run_scale_point(
 /// order (benchmark, nodes, system, backend), so the result — and any
 /// CSV rendered from it — is byte-identical at every `jobs` value.
 pub fn sweep_scale(node_counts: &[usize], jobs: usize) -> Vec<ScaleRow> {
+    try_sweep_scale(node_counts, jobs).unwrap_or_else(|failures| {
+        panic!(
+            "{} scale point(s) failed:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        )
+    })
+}
+
+/// [`sweep_scale`], but a failed grid point does not tear down the
+/// sweep: every failure comes back tagged with its sweep key
+/// (`benchmark/system/backend@nodes`) and the `file:line`-prefixed
+/// panic message, so the offending configuration is identifiable from
+/// stderr alone.
+pub fn try_sweep_scale(node_counts: &[usize], jobs: usize) -> Result<Vec<ScaleRow>, Vec<String>> {
     let mut points = Vec::new();
     for b in scale_benchmarks() {
         for &nodes in node_counts {
@@ -151,13 +178,37 @@ pub fn sweep_scale(node_counts: &[usize], jobs: usize) -> Vec<ScaleRow> {
             }
         }
     }
-    lcm_sim::par_map(jobs, points, |_, (b, nodes, system, backend)| ScaleRow {
+    let keys: Vec<String> = points
+        .iter()
+        .map(|&(b, nodes, system, backend)| {
+            format!(
+                "{}/{}/{}@{nodes}",
+                b.label(),
+                system.label(),
+                backend.label()
+            )
+        })
+        .collect();
+    let results = lcm_sim::try_par_map(jobs, points, |_, (b, nodes, system, backend)| ScaleRow {
         benchmark: b,
         system,
         backend,
         nodes,
         result: run_scale_point(b, nodes, backend, system),
-    })
+    });
+    let mut rows = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for (key, r) in keys.into_iter().zip(results) {
+        match r {
+            Ok(row) => rows.push(row),
+            Err(e) => failures.push(format!("{key}: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(failures)
+    }
 }
 
 #[cfg(test)]

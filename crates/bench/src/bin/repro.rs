@@ -65,7 +65,10 @@ use lcm_apps::{
     execute, execute_traced, execute_with_cost, execute_with_faults, RunResult, SystemKind,
     Workload,
 };
-use lcm_bench::{critpath, explore, profile, report, BarChart, BenchReport, SweepEngine, SweepKey};
+use lcm_bench::{
+    critpath, explore, profile, report, BarChart, BenchReport, ParReport, ParTiming, SweepEngine,
+    SweepKey,
+};
 use lcm_cstar::{FlushPolicy, Partition, RuntimeConfig};
 use lcm_replay::TraceFile;
 use lcm_sim::{CostModel, CrashPlan, CycleCat, FaultConfig, MachineConfig, NodeId, Stamped};
@@ -75,7 +78,7 @@ use std::time::Instant;
 /// Every runnable section, in help order. `contention`, `explore` and
 /// `bench` are valid names but not part of `all` (see the comments at
 /// their dispatch sites).
-const SECTIONS: [&str; 22] = [
+const SECTIONS: [&str; 23] = [
     "all",
     "table1",
     "fig2",
@@ -98,11 +101,12 @@ const SECTIONS: [&str; 22] = [
     "recovery",
     "scale",
     "bench",
+    "par",
 ];
 
 /// Known flags, for the unknown-flag error message.
-const FLAGS: &str = "--scale --jobs --csv --svg --faults --crash --trace --flow-trace \
-                     --list-sections -h/--help";
+const FLAGS: &str = "--scale --jobs --sim-threads --csv --svg --faults --crash --trace \
+                     --flow-trace --list-sections -h/--help";
 
 fn list_sections() {
     eprintln!("sections (default: all):");
@@ -124,6 +128,7 @@ fn main() {
     let mut trace_path: Option<PathBuf> = None;
     let mut flow_trace_path: Option<PathBuf> = None;
     let mut jobs = lcm_sim::available_jobs();
+    let mut sim_threads = 1usize;
     let mut what = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -133,6 +138,15 @@ fn main() {
                     Some(n) if n >= 1 => n,
                     _ => {
                         eprintln!("--jobs requires a worker count >= 1");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--sim-threads" => {
+                sim_threads = match it.next().and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--sim-threads requires a thread count >= 1");
                         std::process::exit(2);
                     }
                 };
@@ -214,9 +228,10 @@ fn main() {
             }
             "-h" | "--help" => {
                 println!(
-                    "repro [--scale paper|medium|smoke] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--faults RATE:SEED] [--crash RATE:SEED] [--trace FILE] [--flow-trace FILE] \
-                     [--list-sections] [SECTION…] | replay FILE | critpath FILE"
+                    "repro [--scale paper|medium|smoke] [--jobs N] [--sim-threads N] [--csv DIR] \
+                     [--svg DIR] [--faults RATE:SEED] [--crash RATE:SEED] [--trace FILE] \
+                     [--flow-trace FILE] [--list-sections] [SECTION…] | replay FILE | \
+                     critpath FILE"
                 );
                 list_sections();
                 return;
@@ -260,13 +275,21 @@ fn main() {
     // missing suite is a compile-shape impossibility, not an `unwrap`.
     const SUITE_SECTIONS: [&str; 4] = ["table1", "fig2", "fig3", "claims"];
     let needs_suite = all || what.iter().any(|w| SUITE_SECTIONS.contains(&w.as_str()));
+    // `--sim-threads` routes every suite point through the epoch-parallel
+    // engine; the output is byte-identical to `--sim-threads 1` by
+    // construction (DESIGN.md §4j), which CI diffs.
+    let base_cfg = RuntimeConfig {
+        sim_threads,
+        ..RuntimeConfig::default()
+    };
     let suite = if needs_suite {
         eprintln!(
-            "running the benchmark suite at scale '{scale}' ({} processors, {jobs} worker(s))…",
+            "running the benchmark suite at scale '{scale}' ({} processors, {jobs} worker(s), \
+             {sim_threads} sim thread(s))…",
             scale.nodes()
         );
         let t0 = Instant::now();
-        let s = Suite::run_jobs(scale, jobs);
+        let s = Suite::run_jobs_cfg(scale, jobs, base_cfg);
         eprintln!("…done in {:.1}s\n", t0.elapsed().as_secs_f64());
         Some(s)
     } else {
@@ -362,6 +385,11 @@ fn main() {
     // sections twice (serially and on the pool) to measure wall-clock.
     if what.iter().any(|w| w == "bench") {
         run_bench(scale, jobs, csv_dir.as_deref());
+    }
+    // `par` is deliberately not part of `all`: it re-runs kilonode
+    // simulations twice (sim-threads 1 vs N) to measure wall-clock.
+    if what.iter().any(|w| w == "par") {
+        run_bench_par(scale, sim_threads, csv_dir.as_deref());
     }
     if let Some(dir) = csv_dir {
         if let Err(e) = write_all_csv(&dir, suite.as_ref(), &csvs) {
@@ -1313,7 +1341,7 @@ fn print_recovery(
 /// backend-overhead summaries, writes `BENCH_scale.json`, and returns
 /// the CSV rows (byte-identical at any `--jobs`).
 fn print_scale(jobs: usize, csv_dir: Option<&std::path::Path>) -> String {
-    use lcm_apps::scale_sweep::{scale_benchmarks, sweep_scale, ScaleRow, SCALE_NODE_COUNTS};
+    use lcm_apps::scale_sweep::{scale_benchmarks, try_sweep_scale, ScaleRow, SCALE_NODE_COUNTS};
     use lcm_sim::DirBackend;
     println!("== Scale: directory backends from the paper's 32 nodes to 1024 ==");
     println!("   full-map invalidates exactly; limited-ptr entries that overflow their");
@@ -1321,7 +1349,19 @@ fn print_scale(jobs: usize, csv_dir: Option<&std::path::Path>) -> String {
     println!("   node groups. The defaults re-spend the old 64-bit budget, so all three");
     println!("   are bit-identical up to 64 nodes and diverge only beyond the old wall.");
     let t0 = Instant::now();
-    let rows = sweep_scale(&SCALE_NODE_COUNTS, jobs);
+    // Failures come back tagged with their sweep key, so one bad grid
+    // point names itself instead of tearing the whole section down with
+    // an anonymous panic.
+    let rows = match try_sweep_scale(&SCALE_NODE_COUNTS, jobs) {
+        Ok(rows) => rows,
+        Err(failures) => {
+            eprintln!("scale: {} grid point(s) failed:", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    };
     println!(
         "   {} grid points in {:.1}s ({jobs} worker(s))\n",
         rows.len(),
@@ -2393,9 +2433,22 @@ fn print_races(jobs: usize) {
 /// and with the requested pool, cross-checks that both executions agree
 /// digest-for-digest, and writes the trajectory to `BENCH_sweep.json`
 /// (in `--csv DIR` when given, else the working directory).
-fn run_bench(scale: Scale, jobs: usize, csv_dir: Option<&std::path::Path>) {
+fn run_bench(scale: Scale, requested_jobs: usize, csv_dir: Option<&std::path::Path>) {
+    let mut report = BenchReport::new(&scale.to_string(), requested_jobs);
+    // Time the parallel legs at the *effective* worker count: running
+    // more workers than the host has cores measures oversubscription,
+    // not pool speedup, and used to report fictitious slowdowns on
+    // small hosts. Both counts land in BENCH_sweep.json.
+    let jobs = report.effective_jobs;
+    if report.oversubscribed() {
+        eprintln!(
+            "warning: --jobs {requested_jobs} exceeds the host's {} core(s); timing the \
+             parallel legs at {jobs} worker(s) (requested and effective counts are both \
+             recorded in BENCH_sweep.json)",
+            report.host_cores
+        );
+    }
     println!("== Wall-clock bench: serial vs --jobs {jobs}, scale '{scale}' ==");
-    let mut report = BenchReport::new(&scale.to_string(), jobs);
 
     let (serial_suite, pooled_suite) = report.time_section(
         "suite",
@@ -2521,10 +2574,21 @@ fn run_bench(scale: Scale, jobs: usize, csv_dir: Option<&std::path::Path>) {
         );
     }
 
-    report.time_section(
-        "profile",
-        || compute_profile_runs(scale, 1),
-        || compute_profile_runs(scale, jobs),
+    // Reduce to digests *inside* the timed closures: holding the first
+    // leg's multi-million-event trace buffers alive while the second leg
+    // allocates its own used to charge the pooled leg a fictitious
+    // memory-pressure slowdown (~4x on this section).
+    let profile_digests = |jobs: usize| {
+        compute_profile_runs(scale, jobs)
+            .iter()
+            .map(|(r, events)| (r.digest(), events.len()))
+            .collect::<Vec<_>>()
+    };
+    let (serial_prof, pooled_prof) =
+        report.time_section("profile", || profile_digests(1), || profile_digests(jobs));
+    assert_eq!(
+        serial_prof, pooled_prof,
+        "profile runs diverged between jobs=1 and jobs={jobs}"
     );
     report.time_section(
         "reduction",
@@ -2567,6 +2631,129 @@ fn run_bench(scale: Scale, jobs: usize, csv_dir: Option<&std::path::Path>) {
     }
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => println!("bench trajectory written to {}\n", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `par` section: intra-run epoch parallelism on kilonode machines.
+///
+/// Where `bench` parallelizes *across* independent sweep points
+/// (`--jobs`), this measures `--sim-threads`: host threads cooperating
+/// inside one simulation through the epoch-parallel engine (DESIGN.md
+/// §4j). Each benchmark runs once at `sim_threads = 1` and once at the
+/// effective thread count; the two runs must agree digest-for-digest —
+/// the engine's byte-identity contract — and the wall-clock trajectory
+/// is written to `BENCH_par.json`. On a single-core host the effective
+/// count clamps to 1 and the speedup honestly reads ~1.0x.
+fn run_bench_par(scale: Scale, sim_threads: usize, csv_dir: Option<&std::path::Path>) {
+    // A bare `repro par` (no --sim-threads) measures at the host's width.
+    let requested = if sim_threads > 1 {
+        sim_threads
+    } else {
+        lcm_sim::available_jobs()
+    };
+    let mut report = ParReport::new(&scale.to_string(), requested);
+    let eff = report.effective_sim_threads;
+    if report.oversubscribed() {
+        eprintln!(
+            "warning: --sim-threads {requested} exceeds the host's {} core(s); timing the \
+             parallel legs at {eff} thread(s) (requested and effective counts are both \
+             recorded in BENCH_par.json)",
+            report.host_cores
+        );
+    }
+    println!("== Intra-run parallelism: sim-threads 1 vs {eff}, scale '{scale}' ==");
+    println!("   one simulation, many host threads: the epoch-parallel engine runs each");
+    println!("   barrier epoch's invocations on a worker pool (shadow pass) and merges");
+    println!("   them in a deterministic replay — clocks, ledgers and digests are");
+    println!("   byte-identical to the sequential path, which this section asserts.");
+    if eff == 1 {
+        println!("   (single-core host: no parallelism available, expect ~1.0x)");
+    }
+
+    fn leg<W: Workload>(w: &W, nodes: usize, threads: usize) -> (u64, f64) {
+        let cfg = RuntimeConfig {
+            sim_threads: threads,
+            ..RuntimeConfig::default()
+        };
+        let t0 = Instant::now();
+        let (_, r) = execute(SystemKind::LcmMcc, nodes, cfg, w);
+        (r.digest(), t0.elapsed().as_secs_f64())
+    }
+
+    let mut record = |label: &str, nodes: usize, serial: (u64, f64), par: (u64, f64)| {
+        assert_eq!(
+            serial.0, par.0,
+            "par point {label}/{nodes} diverged between sim-threads 1 and {eff}"
+        );
+        report.runs.push(ParTiming {
+            benchmark: label.to_string(),
+            nodes,
+            serial_secs: serial.1,
+            parallel_secs: par.1,
+            digest_match: serial.0 == par.0,
+        });
+    };
+
+    // Kilonode points: big enough that per-epoch node-local work (not
+    // the sequential replay) dominates, as the engine needs to show a
+    // speedup; weak-scaled like the `scale` section.
+    let nodes = 256;
+    let iters = match scale {
+        Scale::Paper => 20,
+        Scale::Medium => 10,
+        Scale::Smoke => 3,
+    };
+    let st = Stencil {
+        rows: nodes,
+        cols: 256,
+        iters,
+        partition: Partition::Dynamic,
+    };
+    record(
+        "Stencil-dyn",
+        nodes,
+        leg(&st, nodes, 1),
+        leg(&st, nodes, eff),
+    );
+    let un = Unstructured {
+        nodes: 4 * nodes,
+        edges: 16 * nodes,
+        iters: 2 * iters,
+        seed: 42,
+    };
+    record(
+        "Unstructured",
+        nodes,
+        leg(&un, nodes, 1),
+        leg(&un, nodes, eff),
+    );
+
+    for r in &report.runs {
+        println!(
+            "  {:<14} {:>5} nodes   1-thread {:>8.2}s   {eff}-thread {:>8.2}s   speedup {:.2}x",
+            r.benchmark,
+            r.nodes,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup()
+        );
+    }
+    println!("  parallel runs agreed with sequential runs digest-for-digest");
+    let path = csv_dir
+        .map(|d| d.join("BENCH_par.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_par.json"));
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("failed to create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("par trajectory written to {}\n", path.display()),
         Err(e) => {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);

@@ -132,12 +132,21 @@ impl SectionTiming {
 
 /// The `repro bench` trajectory: per-section wall-clock at `jobs = 1`
 /// and `jobs = N`, serialized as `BENCH_sweep.json`.
+///
+/// The parallel legs run on `effective_jobs`, the requested worker count
+/// clamped to the host's `available_parallelism`: timing more workers
+/// than cores does not measure pool speedup, it measures oversubscription
+/// (a fictitious slowdown on small hosts). Both counts are recorded so
+/// the JSON is honest about what actually ran.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
     /// Scale the sections ran at.
     pub scale: String,
-    /// Worker count of the parallel runs.
+    /// Worker count the user asked for (`--jobs N`).
     pub jobs: usize,
+    /// Worker count the parallel legs actually ran on:
+    /// `min(jobs, host_cores)`, at least 1.
+    pub effective_jobs: usize,
     /// `available_parallelism` of the measuring host.
     pub host_cores: usize,
     /// One entry per timed section.
@@ -145,14 +154,23 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// An empty report for `jobs` workers at `scale`.
+    /// An empty report for `jobs` requested workers at `scale`. Clamps
+    /// the effective worker count to the host's cores.
     pub fn new(scale: &str, jobs: usize) -> Self {
+        let host_cores = lcm_sim::available_jobs();
         BenchReport {
             scale: scale.to_string(),
             jobs,
-            host_cores: lcm_sim::available_jobs(),
+            effective_jobs: jobs.min(host_cores).max(1),
+            host_cores,
             sections: Vec::new(),
         }
+    }
+
+    /// True when the user asked for more workers than the host has cores
+    /// (the parallel legs were clamped to [`BenchReport::effective_jobs`]).
+    pub fn oversubscribed(&self) -> bool {
+        self.jobs > self.effective_jobs
     }
 
     /// Times `serial` then `parallel` (in that order, so cache warm-up
@@ -197,7 +215,8 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut j = String::from("{\n");
         let _ = writeln!(j, "  \"scale\": \"{}\",", self.scale);
-        let _ = writeln!(j, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(j, "  \"jobs_requested\": {},", self.jobs);
+        let _ = writeln!(j, "  \"jobs_effective\": {},", self.effective_jobs);
         let _ = writeln!(j, "  \"host_cores\": {},", self.host_cores);
         j.push_str("  \"sections\": [\n");
         for (i, s) in self.sections.iter().enumerate() {
@@ -226,6 +245,101 @@ impl BenchReport {
             self.speedup()
         );
         j.push_str("}\n");
+        j
+    }
+}
+
+/// One benchmark's wall-clock under the epoch-parallel engine:
+/// `--sim-threads 1` vs `--sim-threads N` on the *same* simulation.
+#[derive(Clone, Debug)]
+pub struct ParTiming {
+    /// Benchmark label (e.g. `"Stencil-dyn/256"`).
+    pub benchmark: String,
+    /// Simulated machine nodes.
+    pub nodes: usize,
+    /// Wall-clock seconds at `sim_threads = 1`.
+    pub serial_secs: f64,
+    /// Wall-clock seconds at the report's effective thread count.
+    pub parallel_secs: f64,
+    /// Whether the two runs produced identical digests (they must).
+    pub digest_match: bool,
+}
+
+impl ParTiming {
+    /// Serial over parallel wall-clock (> 1 means the pool helped).
+    pub fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-9)
+    }
+}
+
+/// The `repro par` trajectory: intra-run epoch parallelism, serialized
+/// as `BENCH_par.json`.
+///
+/// Unlike [`BenchReport`] (which parallelizes *across* independent sweep
+/// points with `--jobs`), this measures `--sim-threads` — host threads
+/// cooperating *inside one simulation* — and records both the requested
+/// and the effective thread count so single-core hosts report an honest
+/// ~1.0x rather than a fictitious slowdown.
+#[derive(Clone, Debug)]
+pub struct ParReport {
+    /// Scale label the runs used.
+    pub scale: String,
+    /// Thread count the user asked for (`--sim-threads N`).
+    pub sim_threads: usize,
+    /// Thread count the parallel legs actually ran on:
+    /// `min(sim_threads, host_cores)`, at least 1.
+    pub effective_sim_threads: usize,
+    /// `available_parallelism` of the measuring host.
+    pub host_cores: usize,
+    /// One entry per timed benchmark.
+    pub runs: Vec<ParTiming>,
+}
+
+impl ParReport {
+    /// An empty report for `sim_threads` requested workers.
+    pub fn new(scale: &str, sim_threads: usize) -> Self {
+        let host_cores = lcm_sim::available_jobs();
+        ParReport {
+            scale: scale.to_string(),
+            sim_threads,
+            effective_sim_threads: sim_threads.min(host_cores).max(1),
+            host_cores,
+            runs: Vec::new(),
+        }
+    }
+
+    /// True when the requested thread count exceeded the host's cores.
+    pub fn oversubscribed(&self) -> bool {
+        self.sim_threads > self.effective_sim_threads
+    }
+
+    /// The `BENCH_par.json` document (stable key order, no deps).
+    pub fn to_json(&self) -> String {
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(j, "  \"sim_threads_requested\": {},", self.sim_threads);
+        let _ = writeln!(
+            j,
+            "  \"sim_threads_effective\": {},",
+            self.effective_sim_threads
+        );
+        let _ = writeln!(j, "  \"host_cores\": {},", self.host_cores);
+        j.push_str("  \"runs\": [\n");
+        for (i, r) in self.runs.iter().enumerate() {
+            let _ = write!(
+                j,
+                "    {{\"benchmark\": \"{}\", \"nodes\": {}, \"serial_secs\": {:.4}, \
+                 \"parallel_secs\": {:.4}, \"speedup\": {:.3}, \"digest_match\": {}}}",
+                r.benchmark,
+                r.nodes,
+                r.serial_secs,
+                r.parallel_secs,
+                r.speedup(),
+                r.digest_match
+            );
+            j.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("  ]\n}\n");
         j
     }
 }
@@ -315,10 +429,22 @@ mod tests {
         report.sections[0].parallel_secs = 0.5;
         let json = report.to_json();
         assert!(json.contains("\"scale\": \"smoke\""));
-        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"jobs_requested\": 4"));
+        assert!(json.contains(&format!("\"jobs_effective\": {}", report.effective_jobs)));
+        assert!(json.contains(&format!("\"host_cores\": {}", report.host_cores)));
         assert!(json.contains("\"section\": \"suite\""));
         assert!(json.contains("\"speedup\": 4.000"));
         assert!(json.ends_with("}\n"));
         assert!((report.speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effective_jobs_never_exceeds_host_cores() {
+        let report = BenchReport::new("smoke", usize::MAX);
+        assert_eq!(report.effective_jobs, report.host_cores.max(1));
+        assert!(report.oversubscribed() || report.host_cores == usize::MAX);
+        let one = BenchReport::new("smoke", 1);
+        assert_eq!(one.effective_jobs, 1);
+        assert!(!one.oversubscribed());
     }
 }

@@ -1,0 +1,285 @@
+//! Persistent worker pool for epoch-parallel simulation.
+//!
+//! One big simulation advances through thousands of barrier epochs, and
+//! each epoch's node-local work fans out as many short batch tasks. A
+//! `std::thread::scope` per epoch (what [`crate::par_map`] does per
+//! sweep point) would pay thread spawn/join on every epoch, so the
+//! epoch engine keeps a [`SimPool`]: workers spawn once, park on a
+//! condvar between jobs, and claim task indices from an atomic counter
+//! with lock-free slot discipline (see `crate::par`'s `SlotCell`
+//! contract — each index is claimed by exactly one participant).
+//!
+//! A job is a borrowed closure `&(dyn Fn(usize) + Sync)`; the submitter
+//! erases its lifetime to hand it across threads, which is sound
+//! because [`SimPool::run`] does not return until *every* participant
+//! (the caller included) has finished the job — no worker can observe
+//! the closure after `run` returns. Worker panics are caught per index
+//! with the same location-capturing machinery as `try_par_map`, and the
+//! lowest panicking index is reported deterministically.
+
+use crate::par::call_caught;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A worker panic surfaced from a [`SimPool`] job: the lowest panicking
+/// task index and its `file:line`-prefixed message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPanic {
+    /// The lowest task index whose closure panicked.
+    pub index: usize,
+    /// The report, `file.rs:line: message` when the hook saw the panic.
+    pub message: String,
+}
+
+impl fmt::Display for PoolPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {}: {}", self.index, self.message)
+    }
+}
+
+/// The current job, lifetime-erased. Only dereferenced while the
+/// submitting `run` call is blocked (see module docs).
+#[derive(Copy, Clone)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` and outlives every dereference (the
+// submitter blocks in `run` until all participants finish the job).
+unsafe impl Send for JobPtr {}
+
+struct State {
+    job: Option<JobPtr>,
+    /// Number of task indices in the current job.
+    n: usize,
+    /// Bumped once per published job; workers watch it to detect work.
+    epoch: u64,
+    /// Spawned workers that have not yet finished the current job.
+    remaining: usize,
+    shutdown: bool,
+    /// Lowest panicking index of the current job, with its message.
+    first_panic: Option<(usize, String)>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new job published, or shutdown.
+    work: Condvar,
+    /// Signals the submitter: all workers finished the job.
+    done: Condvar,
+    /// The task claim counter, reset before each job is published.
+    next: AtomicUsize,
+}
+
+/// A persistent pool of `threads - 1` parked workers; the caller of
+/// [`SimPool::run`] is the remaining participant. `SimPool::new(1)`
+/// spawns nothing and runs every job inline — the zero-overhead
+/// single-thread fallback.
+pub struct SimPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl fmt::Debug for SimPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl SimPool {
+    /// A pool with `threads` total participants (at least 1): the
+    /// submitting thread plus `threads - 1` spawned workers.
+    pub fn new(threads: usize) -> SimPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                n: 0,
+                epoch: 0,
+                remaining: 0,
+                shutdown: false,
+                first_panic: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            next: AtomicUsize::new(0),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        SimPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total participants (submitter + spawned workers).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one job: `f(i)` for every `i in 0..n`, spread over all
+    /// participants. Returns when every index has been processed and
+    /// every worker has quiesced; a panicking index does not stop the
+    /// others, and the lowest one is reported as `Err`.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize) + Sync)) -> Result<(), PoolPanic> {
+        // SAFETY (lifetime erasure): `f` stays borrowed for the whole
+        // call, and no participant touches the pointer after `remaining`
+        // hits 0 below — which this call waits for before returning.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            assert_eq!(st.remaining, 0, "SimPool::run is not reentrant");
+            self.shared.next.store(0, Ordering::Relaxed);
+            st.job = Some(job);
+            st.n = n;
+            st.epoch += 1;
+            st.remaining = self.handles.len();
+            st.first_panic = None;
+            self.shared.work.notify_all();
+        }
+        // The submitter participates in its own job.
+        run_slice(&self.shared, job, n);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining != 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        match st.first_panic.take() {
+            None => Ok(()),
+            Some((index, message)) => Err(PoolPanic { index, message }),
+        }
+    }
+}
+
+impl Drop for SimPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claims and runs task indices until the counter is exhausted,
+/// recording the lowest panicking index.
+fn run_slice(shared: &Shared, job: JobPtr, n: usize) {
+    loop {
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        // SAFETY: see `JobPtr` — the closure is alive for the whole job.
+        let f = unsafe { &*job.0 };
+        if let Err(caught) = call_caught(|| f(i)) {
+            let msg = caught.message();
+            let mut st = shared.state.lock().unwrap();
+            match &st.first_panic {
+                Some((j, _)) if *j <= i => {}
+                _ => st.first_panic = Some((i, msg)),
+            }
+        }
+    }
+}
+
+/// The spawned-worker loop: park until a new epoch (or shutdown) is
+/// published, run the job, report completion.
+fn worker_loop(shared: &Shared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let (job, n) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    last_epoch = st.epoch;
+                    break (st.job.expect("a published epoch carries a job"), st.n);
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        run_slice(shared, job, n);
+        let mut st = shared.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_index_runs_exactly_once_and_the_pool_is_reusable() {
+        let pool = SimPool::new(4);
+        for round in 0..3 {
+            let n = 100 + round;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = SimPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let sum = AtomicUsize::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn empty_jobs_complete() {
+        let pool = SimPool::new(3);
+        pool.run(0, &|_| unreachable!()).unwrap();
+        pool.run(0, &|_| unreachable!()).unwrap();
+    }
+
+    #[test]
+    fn lowest_panicking_index_is_reported_and_the_pool_survives() {
+        let pool = SimPool::new(3);
+        let err = pool
+            .run(10, &|i| {
+                if i % 4 == 2 {
+                    panic!("bad task {i}");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.index, 2, "{err}");
+        assert!(err.message.ends_with("bad task 2"), "{err}");
+        assert!(err.message.contains("epoch.rs:"), "{err}");
+        // Non-panicking indices all still ran, and the pool is reusable.
+        let ok = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ok.load(Ordering::Relaxed), 8);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod epoch;
 pub mod fault;
 pub mod hash;
 pub mod machine;
@@ -47,12 +48,13 @@ pub mod topology;
 pub mod trace;
 
 pub use cost::{CostModel, Knob};
+pub use epoch::{PoolPanic, SimPool};
 pub use fault::{
     CrashPlan, CrashPoint, DeliveryError, FaultConfig, FaultConfigError, FaultOutcome, FaultPlan,
 };
 pub use machine::{DirBackend, Machine, MachineConfig, NodeId, MAX_NODES};
 pub use mem::{Addr, BlockBuf, BlockId, PageId, WordMask};
-pub use par::{available_jobs, par_map, try_par_map};
+pub use par::{available_jobs, par_map, try_par_map, QuietPanic};
 pub use profile::{CycleCat, CycleLedger, PhaseSnapshot};
 pub use rng::Pcg32;
 pub use stats::NodeStats;

@@ -13,16 +13,94 @@
 //!
 //! A worker panic (e.g. the coherence sanitizer rejecting a harvest)
 //! propagates out of the scope when the threads join, exactly as it would
-//! have on the calling thread.
+//! have on the calling thread. [`try_par_map`] instead reports each
+//! failure as `Err("file.rs:line: message")` — the panic site is captured
+//! by a process-wide hook (installed once, chaining any previous hook)
+//! into a thread-local, because the location is only reachable from
+//! inside the hook, never from the `catch_unwind` payload.
+//!
+//! Result slots are plain `UnsafeCell`s, not mutexes: the claim counter
+//! hands each index to exactly one worker, so slot accesses are disjoint
+//! by construction, and the scope join orders every write before the
+//! collecting read. At sweep granularity the locks never mattered; the
+//! epoch-parallel engine ([`crate::epoch`]) dispatches thousands of
+//! short node batches per barrier epoch through the same claim
+//! discipline, where two lock round-trips per item would.
 
+use std::cell::{RefCell, UnsafeCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::Once;
 
 /// The host's available parallelism (the `--jobs` default), at least 1.
 pub fn available_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+thread_local! {
+    /// `file:line` of the most recent panic on this thread, captured by
+    /// the hook below. Taken (not just read) by [`call_caught`] so a
+    /// stale location can never be attributed to a later panic.
+    static LAST_PANIC_LOCATION: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// A panic payload the location hook swallows silently: thrown (with
+/// [`std::panic::panic_any`]) and always caught by infrastructure that
+/// uses unwinding as control flow — e.g. the epoch engine's shadow pass
+/// bailing out of a construct it cannot model — where the default
+/// hook's backtrace spew would be pure noise on a handled, expected
+/// path.
+pub struct QuietPanic;
+
+/// Installs the location-capturing panic hook, once per process,
+/// chaining whatever hook was installed before it (the default printer,
+/// or the test harness's capture hook).
+fn install_location_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<QuietPanic>().is_some() {
+                return;
+            }
+            let loc = info
+                .location()
+                .map(|l| format!("{}:{}", l.file(), l.line()));
+            LAST_PANIC_LOCATION.with(|c| *c.borrow_mut() = loc);
+            prev(info);
+        }));
+    });
+}
+
+/// A caught worker panic: the original payload (for re-raising with
+/// [`std::panic::resume_unwind`]) plus the `file:line` the hook captured.
+pub(crate) struct Caught {
+    pub(crate) payload: Box<dyn std::any::Any + Send + 'static>,
+    pub(crate) location: Option<String>,
+}
+
+impl Caught {
+    /// The human-readable report: `file.rs:line: message` when the hook
+    /// saw the panic, bare message otherwise.
+    pub(crate) fn message(&self) -> String {
+        let msg = panic_message(self.payload.as_ref());
+        match &self.location {
+            Some(loc) => format!("{loc}: {msg}"),
+            None => msg,
+        }
+    }
+}
+
+/// Runs `f`, converting a panic into a [`Caught`] carrying the payload
+/// and the panic site.
+pub(crate) fn call_caught<R>(f: impl FnOnce() -> R) -> Result<R, Caught> {
+    install_location_hook();
+    LAST_PANIC_LOCATION.with(|c| c.borrow_mut().take());
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| Caught {
+        payload,
+        location: LAST_PANIC_LOCATION.with(|c| c.borrow_mut().take()),
+    })
 }
 
 /// Applies `f` to every item on a pool of at most `jobs` worker threads,
@@ -47,18 +125,19 @@ where
     for outcome in run_pool(jobs, items, f) {
         match outcome {
             Ok(r) => out.push(r),
-            Err(payload) => std::panic::resume_unwind(payload),
+            Err(caught) => std::panic::resume_unwind(caught.payload),
         }
     }
     out
 }
 
 /// [`par_map`] with per-item failure isolation: a panicking item yields
-/// `Err(message)` in its slot while every other item still completes.
+/// `Err("file.rs:line: message")` in its slot while every other item
+/// still completes.
 ///
 /// The sweep drivers use this to finish a grid despite individual bad
-/// points, then report the failures and exit nonzero — instead of losing
-/// the whole sweep to its first panic.
+/// points, then report the failures (tagged with their sweep key) and
+/// exit nonzero — instead of losing the whole sweep to its first panic.
 pub fn try_par_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Result<R, String>>
 where
     T: Send,
@@ -67,12 +146,13 @@ where
 {
     run_pool(jobs, items, f)
         .into_iter()
-        .map(|outcome| outcome.map_err(|p| panic_message(p.as_ref())))
+        .map(|outcome| outcome.map_err(|c| c.message()))
         .collect()
 }
 
 /// The panic payload's human-readable message (`panic!` supplies a
-/// `&str` or `String`; anything else gets a fixed fallback).
+/// `&str` or `String`; anything else gets a fixed fallback — its origin
+/// is still pinned by the captured location).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -83,10 +163,29 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-type Outcome<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+type Outcome<R> = Result<R, Caught>;
+
+/// A result/task slot writable from worker threads without a lock.
+///
+/// Safety contract: the claim counter assigns each index to exactly one
+/// worker, so at most one thread ever touches a given cell during the
+/// scope, and the scope join (or, in [`crate::epoch::SimPool`], the
+/// job-completion handshake) orders those accesses before the owner's
+/// collecting read.
+pub(crate) struct SlotCell<T>(pub(crate) UnsafeCell<T>);
+
+// SAFETY: see the contract above — access is index-disjoint and
+// join-ordered, never concurrent on one cell.
+unsafe impl<T: Send> Sync for SlotCell<T> {}
+
+impl<T> SlotCell<T> {
+    pub(crate) fn new(v: T) -> SlotCell<T> {
+        SlotCell(UnsafeCell::new(v))
+    }
+}
 
 /// The shared pool: applies `f` to every item, capturing each result or
-/// panic payload in input order.
+/// panic in input order.
 fn run_pool<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Outcome<R>>
 where
     T: Send,
@@ -99,13 +198,12 @@ where
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))))
+            .map(|(i, item)| call_caught(|| f(i, item)))
             .collect();
     }
-    // Tasks and result slots are indexed; the per-slot mutexes are taken
-    // once each, far off any hot path (a sweep point runs for ms–s).
-    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<Outcome<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let tasks: Vec<SlotCell<Option<T>>> =
+        items.into_iter().map(|t| SlotCell::new(Some(t))).collect();
+    let slots: Vec<SlotCell<Option<Outcome<R>>>> = (0..n).map(|_| SlotCell::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -114,23 +212,20 @@ where
                 if i >= n {
                     break;
                 }
-                let item = tasks[i]
-                    .lock()
-                    .expect("task mutex never poisoned: held only to take")
-                    .take()
+                // SAFETY: `fetch_add` hands out index `i` to this worker
+                // alone, so these are the only accesses to `tasks[i]` and
+                // `slots[i]` until the scope joins.
+                let item = unsafe { (*tasks[i].0.get()).take() }
                     .expect("each index is claimed exactly once");
-                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item)));
-                *slots[i]
-                    .lock()
-                    .expect("slot mutex never poisoned: held only to store") = Some(r);
+                let r = call_caught(|| f(i, item));
+                unsafe { *slots[i].0.get() = Some(r) };
             });
         }
     });
     slots
         .into_iter()
         .map(|s| {
-            s.into_inner()
-                .expect("slot mutex unlocked after scope join")
+            s.0.into_inner()
                 .expect("every slot filled: workers drained the counter")
         })
         .collect()
@@ -180,11 +275,31 @@ mod tests {
             assert_eq!(out.len(), 8, "jobs={jobs}");
             for (i, r) in out.iter().enumerate() {
                 if i % 3 == 0 {
-                    assert_eq!(r.as_ref().unwrap_err(), &format!("bad point {i}"));
+                    let e = r.as_ref().unwrap_err();
+                    assert!(e.ends_with(&format!("bad point {i}")), "jobs={jobs}: {e:?}");
+                    assert!(e.contains("par.rs:"), "location prefix missing: {e:?}");
                 } else {
                     assert_eq!(r.as_ref().unwrap(), &(i * 10));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn try_par_map_locates_non_string_payloads() {
+        for jobs in [1, 4] {
+            let out = try_par_map(jobs, vec![0usize, 1], |_, x| {
+                if x == 1 {
+                    std::panic::panic_any(0xbad_usize);
+                }
+                x
+            });
+            let e = out[1].as_ref().unwrap_err();
+            assert!(
+                e.ends_with("worker panicked with a non-string payload"),
+                "jobs={jobs}: {e:?}"
+            );
+            assert!(e.contains("par.rs:"), "location prefix missing: {e:?}");
         }
     }
 

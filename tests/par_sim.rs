@@ -1,0 +1,198 @@
+//! Byte-identity of the epoch-parallel engine (DESIGN.md §4j).
+//!
+//! `RuntimeConfig::sim_threads` is a pure host-side throttle: however
+//! many worker threads cooperate on an epoch's shadow pass, the
+//! deterministic sequential replay drives the protocol machinery in
+//! exactly the order the classic `apply` loops would, so *everything* —
+//! digests, per-node clocks, cycle ledgers, rendered CSV bytes, and
+//! serialized `.lcmtrace` captures — must be identical byte for byte.
+//! These tests pin that contract across the scale grid (five benchmarks
+//! × three systems × three directory backends), at 64 and 1024 nodes,
+//! under combined network faults + fail-stop crashes, and through a
+//! finite-bandwidth capture.
+
+use lcm::apps::scale_sweep::{run_scale_point_cfg, scale_benchmarks};
+use lcm::prelude::*;
+use lcm_bench::explore;
+
+/// The thread counts checked against the `sim_threads = 1` baseline:
+/// one below and one above any plausible host core count, so both the
+/// "fewer threads than work" and "more threads than cores" schedules
+/// are exercised.
+const THREADS: [usize; 2] = [2, 8];
+
+fn cfg(threads: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        sim_threads: threads,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// A CSV row rendered the way the repro sections render theirs: if the
+/// underlying numbers are identical, so are the emitted bytes.
+fn csv_row(label: &str, r: &RunResult) -> String {
+    let msgs: u64 = r.msg_kinds.iter().map(|(_, c)| c).sum();
+    format!(
+        "{label},{},{},{},{},{:016x}\n",
+        r.time,
+        r.misses(),
+        msgs,
+        r.totals.invalidations_sent,
+        r.digest()
+    )
+}
+
+/// Everything observable must match, not just the digest.
+fn assert_identical(base: &RunResult, par: &RunResult, what: &str) {
+    assert_eq!(base.digest(), par.digest(), "{what}: digest diverged");
+    assert_eq!(base.time, par.time, "{what}: completion time diverged");
+    assert_eq!(base.clocks, par.clocks, "{what}: node clocks diverged");
+    assert_eq!(base.ledger, par.ledger, "{what}: cycle ledger diverged");
+    assert_eq!(
+        base.totals, par.totals,
+        "{what}: protocol counters diverged"
+    );
+    assert_eq!(base.phases, par.phases, "{what}: phase snapshots diverged");
+    assert_eq!(
+        csv_row("x", base),
+        csv_row("x", par),
+        "{what}: CSV bytes diverged"
+    );
+}
+
+/// The full scale grid — five benchmarks × three systems × three
+/// directory backends — at 64 nodes: every cell must be byte-identical
+/// at sim-threads 1, 2 and 8.
+#[test]
+fn scale_grid_is_byte_identical_across_sim_threads_at_64_nodes() {
+    for b in scale_benchmarks() {
+        for system in SystemKind::all() {
+            for backend in DirBackend::all() {
+                let base = run_scale_point_cfg(b, 64, backend, system, cfg(1));
+                for t in THREADS {
+                    let par = run_scale_point_cfg(b, 64, backend, system, cfg(t));
+                    assert_identical(
+                        &base,
+                        &par,
+                        &format!(
+                            "{}/{}/{}@64 sim-threads {t}",
+                            b.label(),
+                            system.label(),
+                            backend.label()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Kilonode spot checks: the engine's merge ordering must hold where
+/// the epoch plan is a thousand entries wide, on the backends that
+/// legitimately diverge from full-map up there.
+#[test]
+fn kilonode_points_are_byte_identical_across_sim_threads() {
+    for b in [Benchmark::StencilDyn, Benchmark::Unstructured] {
+        for backend in [DirBackend::FullMap, DirBackend::CoarseVec { bits: 64 }] {
+            let base = run_scale_point_cfg(b, 1024, backend, SystemKind::LcmMcc, cfg(1));
+            for t in THREADS {
+                let par = run_scale_point_cfg(b, 1024, backend, SystemKind::LcmMcc, cfg(t));
+                assert_identical(
+                    &base,
+                    &par,
+                    &format!(
+                        "{}/LCM-mcc/{}@1024 sim-threads {t}",
+                        b.label(),
+                        backend.label()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Combined network faults + fail-stop crashes: retries, rollbacks and
+/// re-executed phases all route through the same deterministic replay,
+/// so the fault path must be as thread-count-blind as the clean path.
+#[test]
+fn faults_and_crashes_are_byte_identical_across_sim_threads() {
+    let w = lcm::apps::stencil::Stencil {
+        rows: 24,
+        cols: 24,
+        iters: 3,
+        partition: Partition::Dynamic,
+    };
+    let hostile = FaultConfig {
+        drop_rate: 0.02,
+        dup_rate: 0.01,
+        delay_rate: 0.01,
+        max_delay: 64,
+        seed: 0xC0FFEE,
+        max_retries: 40,
+        stall_rate: 0.1,
+        stall_cycles: 500,
+        crash_rate: 0.2,
+        crash_seed: 11,
+    };
+    for system in SystemKind::all() {
+        let run = |t: usize| {
+            let config = RuntimeConfig {
+                checkpoint_every: 2,
+                ..cfg(t)
+            };
+            execute_with_faults(system, 8, hostile, config, &w)
+        };
+        let (out1, base) = run(1);
+        for t in THREADS {
+            let (out_t, par) = run(t);
+            assert_eq!(out1, out_t, "{system} output diverged at sim-threads {t}");
+            assert_identical(&base, &par, &format!("{system} faulty sim-threads {t}"));
+        }
+    }
+}
+
+/// A finite-bandwidth capture serializes byte-identically whatever the
+/// thread count: the trace events are recorded during the sequential
+/// replay, so the `.lcmtrace` bytes are part of the contract too.
+#[test]
+fn finite_bandwidth_capture_bytes_are_identical_across_sim_threads() {
+    let w = lcm::apps::unstructured::Unstructured::small();
+    let capture = |t: usize| {
+        let mut cost = CostModel::cm5();
+        cost.link_bandwidth_bytes_per_cycle = 16;
+        let mc = MachineConfig::new(16).with_cost(cost);
+        explore::capture_with_machine(
+            "Unstructured",
+            "par-test",
+            SystemKind::LcmMcc,
+            mc,
+            cfg(t),
+            &w,
+            explore::CAPTURE_CAPACITY,
+        )
+        .expect("capture succeeds")
+        .to_bytes()
+    };
+    let base = capture(1);
+    for t in THREADS {
+        assert_eq!(
+            base,
+            capture(t),
+            ".lcmtrace bytes diverged at sim-threads {t}"
+        );
+    }
+}
+
+/// The engine refuses nothing: a workload whose closure cannot run in
+/// the shadow pass (Adaptive's nested tree walks and allocation cursor)
+/// silently takes the classic sequential path and still matches.
+#[test]
+fn sequential_fallback_workloads_match_at_any_thread_count() {
+    let w = lcm::apps::adaptive::Adaptive::small(Partition::Dynamic);
+    let (out1, base) = execute(SystemKind::LcmMcc, 8, cfg(1), &w);
+    for t in THREADS {
+        let (out_t, par) = execute(SystemKind::LcmMcc, 8, cfg(t), &w);
+        assert_eq!(out1, out_t, "Adaptive output diverged at sim-threads {t}");
+        assert_identical(&base, &par, &format!("Adaptive sim-threads {t}"));
+    }
+}

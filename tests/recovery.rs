@@ -256,3 +256,57 @@ fn reductions_survive_crashes_exactly() {
         "a reduction drifted across crash rates: {sums:?}"
     );
 }
+
+/// A sweep grid containing an unrunnable point must not lose the
+/// healthy points, and the failure report must carry both the sweep key
+/// and the panic site (`file:line`) so the offending configuration is
+/// identifiable from stderr alone. This drives a *real* simulator panic
+/// (an invalid crash rate rejected inside `FaultPlan::new`) through the
+/// same `try_par_map` + key-tagging contract the scale and bench sweep
+/// drivers use.
+#[test]
+fn sweep_failures_carry_sweep_key_and_panic_location() {
+    let mut points: Vec<FaultConfig> = [0.0, 0.1, 0.4]
+        .into_iter()
+        .map(|rate| FaultConfig::crashes(rate, 9))
+        .collect();
+    // crash_rate 2.0 fails fault-plan validation inside the run itself.
+    points.push(FaultConfig::crashes(2.0, 9));
+    let keys: Vec<String> = points
+        .iter()
+        .map(|f| format!("stencil/LCM-mcc/crash-rate={}", f.crash_rate))
+        .collect();
+    let baseline = run_with_recovery(SystemKind::LcmMcc, points[0], 2)
+        .1
+        .digest();
+    for jobs in [1, 4] {
+        let results = lcm::sim::try_par_map(jobs, points.clone(), |_, faults| {
+            run_with_recovery(SystemKind::LcmMcc, faults, 2).1.digest()
+        });
+        let mut failures = Vec::new();
+        for (key, r) in keys.iter().zip(&results) {
+            match r {
+                Ok(digest) => {
+                    if key.ends_with("crash-rate=0") {
+                        assert_eq!(*digest, baseline, "jobs={jobs}: healthy point drifted");
+                    }
+                }
+                Err(e) => failures.push(format!("{key}: {e}")),
+            }
+        }
+        assert_eq!(failures.len(), 1, "jobs={jobs}: {failures:?}");
+        let report = &failures[0];
+        assert!(
+            report.starts_with("stencil/LCM-mcc/crash-rate=2:"),
+            "jobs={jobs}: sweep key missing: {report}"
+        );
+        assert!(
+            report.contains("fault.rs:"),
+            "jobs={jobs}: panic location missing: {report}"
+        );
+        assert!(
+            report.ends_with("crash_rate 2 outside [0, 1]"),
+            "jobs={jobs}: panic message lost: {report}"
+        );
+    }
+}
