@@ -52,9 +52,7 @@ pub fn sweep_remote_latency_jobs(
         "the sweep studies the dynamic contest"
     );
     lcm_sim::par_map(jobs, latencies.to_vec(), |_, lat| {
-        let mut cost = CostModel::cm5();
-        cost.remote_miss = lat;
-        cost.upgrade = (lat * 2 / 3).max(1);
+        let cost = CostModel::cm5().with_remote_latency(lat);
         let cfg = RuntimeConfig::default();
         let lcm = execute_with_cost(SystemKind::LcmMcc, nodes, cost, cfg, w).1;
         let stache = execute_with_cost(SystemKind::Stache, nodes, cost, cfg, w).1;

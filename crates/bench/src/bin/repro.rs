@@ -44,6 +44,16 @@
 //! `repro critpath <file.lcmtrace>` runs the same analysis offline on
 //! any capture.
 //!
+//! The `serve` section (not part of `all`: its grid runs at finite
+//! link bandwidth) self-checks the resident replay server of DESIGN.md
+//! §4k — batched answers vs a fresh sequential engine, differential
+//! re-pricing vs full replay, cached reruns returning the shared
+//! result, a real TCP roundtrip, and a corrupt-frame probe.
+//! `--listen ADDR` stays resident serving `--traces DIR` over TCP;
+//! `--bench` measures the cached / differential / cold-replay cost
+//! ladder plus closed-loop qps and p50/p99 latency, written to
+//! `BENCH_serve.json`. Any serve flag implies the section.
+//!
 //! Simulated cycles are this reproduction's "execution time"; the paper
 //! reports wall-clock seconds on a 32-node CM-5, so compare *shapes*
 //! (who wins, by what factor), not absolute values. Paper reference
@@ -78,7 +88,7 @@ use std::time::Instant;
 /// Every runnable section, in help order. `contention`, `explore` and
 /// `bench` are valid names but not part of `all` (see the comments at
 /// their dispatch sites).
-const SECTIONS: [&str; 23] = [
+const SECTIONS: [&str; 24] = [
     "all",
     "table1",
     "fig2",
@@ -102,11 +112,12 @@ const SECTIONS: [&str; 23] = [
     "scale",
     "bench",
     "par",
+    "serve",
 ];
 
 /// Known flags, for the unknown-flag error message.
 const FLAGS: &str = "--scale --jobs --sim-threads --csv --svg --faults --crash --trace \
-                     --flow-trace --list-sections -h/--help";
+                     --flow-trace --listen --traces --bench --list-sections -h/--help";
 
 fn list_sections() {
     eprintln!("sections (default: all):");
@@ -129,6 +140,9 @@ fn main() {
     let mut flow_trace_path: Option<PathBuf> = None;
     let mut jobs = lcm_sim::available_jobs();
     let mut sim_threads = 1usize;
+    let mut serve_listen: Option<String> = None;
+    let mut serve_traces: Option<PathBuf> = None;
+    let mut serve_bench = false;
     let mut what = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -197,6 +211,23 @@ fn main() {
                 };
                 flow_trace_path = Some(PathBuf::from(path));
             }
+            "--listen" => {
+                let Some(addr) = it.next() else {
+                    eprintln!("--listen requires an address (e.g. 127.0.0.1:7199)");
+                    std::process::exit(2);
+                };
+                serve_listen = Some(addr.clone());
+            }
+            "--traces" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--traces requires a directory of .lcmtrace files");
+                    std::process::exit(2);
+                };
+                serve_traces = Some(PathBuf::from(dir));
+            }
+            "--bench" => {
+                serve_bench = true;
+            }
             "--svg" => {
                 let Some(dir) = it.next() else {
                     eprintln!("--svg requires a directory");
@@ -230,8 +261,8 @@ fn main() {
                 println!(
                     "repro [--scale paper|medium|smoke] [--jobs N] [--sim-threads N] [--csv DIR] \
                      [--svg DIR] [--faults RATE:SEED] [--crash RATE:SEED] [--trace FILE] \
-                     [--flow-trace FILE] [--list-sections] [SECTION…] | replay FILE | \
-                     critpath FILE"
+                     [--flow-trace FILE] [--listen ADDR] [--traces DIR] [--bench] \
+                     [--list-sections] [SECTION…] | replay FILE | critpath FILE"
                 );
                 list_sections();
                 return;
@@ -390,6 +421,24 @@ fn main() {
     // simulations twice (sim-threads 1 vs N) to measure wall-clock.
     if what.iter().any(|w| w == "par") {
         run_bench_par(scale, sim_threads, csv_dir.as_deref());
+    }
+    // `serve` is deliberately not part of `all`: its self-check replays
+    // a finite-bandwidth grid (like `explore`), and `--listen` blocks
+    // as a resident server. The serve flags imply the section, like
+    // `--trace` implies `profile`.
+    if what.iter().any(|w| w == "serve")
+        || serve_listen.is_some()
+        || serve_bench
+        || serve_traces.is_some()
+    {
+        run_serve(
+            scale,
+            jobs,
+            serve_listen.as_deref(),
+            serve_traces.as_deref(),
+            serve_bench,
+            csv_dir.as_deref(),
+        );
     }
     if let Some(dir) = csv_dir {
         if let Err(e) = write_all_csv(&dir, suite.as_ref(), &csvs) {
@@ -771,8 +820,7 @@ where
         }
     }
     SweepEngine::new(jobs).run(points, |_, (system, bw)| {
-        let mut cost = CostModel::cm5();
-        cost.link_bandwidth_bytes_per_cycle = bw;
+        let cost = CostModel::cm5().with_link_bandwidth(bw);
         execute_with_cost(system, nodes, cost, RuntimeConfig::default(), w)
     })
 }
@@ -950,8 +998,9 @@ fn explore_one<W: Workload>(
     acc.traces += 1;
     acc.events += file.events.len();
     let t1 = Instant::now();
+    let handle = std::sync::Arc::new(file);
     acc.rows.extend(explore::explore_grid(
-        std::slice::from_ref(&file),
+        std::slice::from_ref(&handle),
         &EXPLORE_BANDWIDTHS,
         &EXPLORE_LATENCIES,
         jobs,
@@ -1546,7 +1595,10 @@ fn print_scale(jobs: usize, csv_dir: Option<&std::path::Path>) -> String {
 /// The `replay` subcommand: parse a `.lcmtrace`, validate it against its
 /// own footer, and summarize what it holds.
 fn run_replay_summary(path: &std::path::Path) {
-    let file = match TraceFile::read_from(path) {
+    // `open` shares one decoded handle per path: a summary of a trace
+    // already resident (e.g. loaded by a server in this process) costs
+    // no second decode.
+    let file = match TraceFile::open(path) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("{e}");
@@ -1593,7 +1645,7 @@ fn run_replay_summary(path: &std::path::Path) {
 /// usage-level failure (exit 2, like bad flags): the named format error
 /// goes to stderr.
 fn run_critpath_file(path: &std::path::Path) {
-    let file = match TraceFile::read_from(path) {
+    let file = match TraceFile::open(path) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("critpath: {e}");
@@ -1659,8 +1711,7 @@ fn compute_critpath_one(
     scale_label: &str,
     want_flow: bool,
 ) -> Result<CritOut, String> {
-    let mut cost = CostModel::cm5();
-    cost.link_bandwidth_bytes_per_cycle = CRITPATH_BANDWIDTH;
+    let cost = CostModel::cm5().with_link_bandwidth(CRITPATH_BANDWIDTH);
     let mc = MachineConfig::new(nodes).with_cost(cost);
     let config = RuntimeConfig::default();
     let cap = explore::CAPTURE_CAPACITY;
@@ -2555,7 +2606,7 @@ fn run_bench(scale: Scale, requested_jobs: usize, csv_dir: Option<&std::path::Pa
                 std::process::exit(1);
             });
             explore::explore_grid(
-                std::slice::from_ref(&file),
+                std::slice::from_ref(&std::sync::Arc::new(file)),
                 &EXPLORE_BANDWIDTHS,
                 &EXPLORE_LATENCIES,
                 jobs,
@@ -2754,6 +2805,512 @@ fn run_bench_par(scale: Scale, sim_threads: usize, csv_dir: Option<&std::path::P
     }
     match std::fs::write(&path, report.to_json()) {
         Ok(()) => println!("par trajectory written to {}\n", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+// ===================================================================== serve
+
+/// Captures the serve section's default trace set — the explore
+/// benchmarks (Reduction and Stencil-dyn across all three systems) —
+/// validating each capture, on `jobs` workers.
+fn serve_trace_set(scale: Scale, jobs: usize) -> Vec<(String, lcm_replay::TraceHandle)> {
+    let nodes = scale.nodes();
+    let scale_label = scale.to_string();
+    let red = ReductionSum(reduction_worksize(scale));
+    let sten = fault_stencil(scale);
+    let mut specs: Vec<(&str, SystemKind)> = Vec::new();
+    for system in SystemKind::all() {
+        specs.push(("Reduction", system));
+    }
+    for system in SystemKind::all() {
+        specs.push(("Stencil-dyn", system));
+    }
+    lcm_sim::par_map(jobs, specs, |_, (bench, system)| {
+        let capture = |w: &dyn Fn() -> Result<TraceFile, String>| {
+            w().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            })
+        };
+        let file = if bench == "Reduction" {
+            capture(&|| {
+                explore::capture_workload(
+                    bench,
+                    &scale_label,
+                    system,
+                    nodes,
+                    RuntimeConfig::default(),
+                    &red,
+                    explore::CAPTURE_CAPACITY,
+                )
+            })
+        } else {
+            capture(&|| {
+                explore::capture_workload(
+                    bench,
+                    &scale_label,
+                    system,
+                    nodes,
+                    RuntimeConfig::default(),
+                    &sten,
+                    explore::CAPTURE_CAPACITY,
+                )
+            })
+        };
+        if let Err(e) = lcm_replay::validate(&file) {
+            eprintln!("capture {bench}/{system} failed validation: {e}");
+            std::process::exit(1);
+        }
+        let name = format!("{}-{}", bench.to_lowercase(), system.label().to_lowercase());
+        (name, std::sync::Arc::new(file))
+    })
+}
+
+/// Loads every `.lcmtrace` in `dir` (sorted by name) through the shared
+/// decode-once handle cache.
+fn serve_load_dir(dir: &std::path::Path) -> Vec<(String, lcm_replay::TraceHandle)> {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("--traces {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "lcmtrace"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("--traces {}: no .lcmtrace files found", dir.display());
+        std::process::exit(1);
+    }
+    paths
+        .into_iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            let handle = TraceFile::open(&p).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            (name, handle)
+        })
+        .collect()
+}
+
+/// The full serve query grid: every loaded trace at every explore
+/// (bandwidth, latency) point, in fixed grid order.
+fn serve_grid(engine: &lcm_serve::ServeEngine) -> Vec<lcm_serve::Query> {
+    let mut queries = Vec::new();
+    for t in engine.traces() {
+        for &bw in &EXPLORE_BANDWIDTHS {
+            for &lat in &EXPLORE_LATENCIES {
+                queries.push(lcm_serve::Query {
+                    trace: t.name.clone(),
+                    cost: explore::grid_cost(bw, lat),
+                    topology: t.handle.topology,
+                    backend: lcm_sim::DirBackend::FullMap,
+                });
+            }
+        }
+    }
+    queries
+}
+
+/// The `serve` section. Three modes:
+///
+/// * default — a self-check: batched == sequential, differential ==
+///   full replay on every grid point, cached rerun byte-identical, and
+///   a real TCP roundtrip (including a corrupt frame answered with a
+///   named error) agreeing with the in-process engine.
+/// * `--bench` — a closed-loop load generator writing
+///   `BENCH_serve.json` (per-query cold/differential/cached costs and
+///   qps + p50/p99 across client counts).
+/// * `--listen ADDR` — a resident server until a client SHUTDOWN.
+///
+/// `--traces DIR` serves captured `.lcmtrace` files instead of
+/// capturing the default explore set.
+fn run_serve(
+    scale: Scale,
+    jobs: usize,
+    listen: Option<&str>,
+    traces_dir: Option<&std::path::Path>,
+    bench: bool,
+    csv_dir: Option<&std::path::Path>,
+) {
+    let t0 = Instant::now();
+    let traces = match traces_dir {
+        Some(dir) => serve_load_dir(dir),
+        None => serve_trace_set(scale, jobs),
+    };
+    let mut engine = lcm_serve::ServeEngine::new();
+    let mut events = 0usize;
+    for (name, handle) in traces {
+        events += handle.events.len();
+        engine.load(&name, handle);
+    }
+    let engine = std::sync::Arc::new(engine);
+    eprintln!(
+        "   (wall-clock: {} trace(s) loaded+indexed in {:.1}s)",
+        engine.traces().len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    if let Some(addr) = listen {
+        let server = lcm_serve::Server::start(addr, std::sync::Arc::clone(&engine), jobs)
+            .unwrap_or_else(|e| {
+                eprintln!("serve: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "lcm-serve: {} trace(s) ({events} events) resident on {}",
+            engine.traces().len(),
+            server.addr
+        );
+        for t in engine.traces() {
+            println!(
+                "  {:<24} {:>3} nodes   fingerprint {:#018x}",
+                t.name, t.handle.nodes, t.fingerprint
+            );
+        }
+        println!("(send a SHUTDOWN request to stop; protocol: crates/serve/src/proto.rs)");
+        server.wait();
+        return;
+    }
+
+    if bench {
+        run_serve_bench(scale, jobs, &engine, csv_dir);
+        return;
+    }
+
+    // ---- self-check: every identity the server's answers rest on.
+    println!("== lcm-serve self-check (scale '{scale}') ==");
+    let queries = serve_grid(&engine);
+    println!(
+        "   {} trace(s), {} grid queries (bandwidth x latency explore grid)",
+        engine.traces().len(),
+        queries.len()
+    );
+
+    let t1 = Instant::now();
+    let batched: Vec<_> = engine
+        .query_batch(jobs, &queries)
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|e| {
+                eprintln!("serve: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    eprintln!(
+        "   (wall-clock: cold batch {:.2}s)",
+        t1.elapsed().as_secs_f64()
+    );
+
+    // Batched == sequential, on a fresh engine so nothing is pre-cached.
+    let mut sequential = lcm_serve::ServeEngine::new();
+    for t in engine.traces() {
+        sequential.load(&t.name, std::sync::Arc::clone(&t.handle));
+    }
+    for (q, (br, _)) in queries.iter().zip(&batched) {
+        let (sr, _) = sequential.query(q).unwrap_or_else(|e| {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        });
+        if **br != *sr {
+            eprintln!(
+                "serve self-check FAILED: batched result diverges from sequential \
+                 for {} bw={} lat={}",
+                q.trace, q.cost.link_bandwidth_bytes_per_cycle, q.cost.remote_miss
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "   batched == sequential: {} points byte-identical",
+        queries.len()
+    );
+
+    // Differential == full event-walk replay, on every grid point.
+    let failures: Vec<String> = lcm_sim::par_map(jobs, queries.clone(), |_, q| {
+        engine.verify(&q).err().map(|e| {
+            format!(
+                "{} bw={} lat={}: {e}",
+                q.trace, q.cost.link_bandwidth_bytes_per_cycle, q.cost.remote_miss
+            )
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    if !failures.is_empty() {
+        eprintln!("serve self-check FAILED: differential replay diverged:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "   differential == full replay: {} points byte-identical",
+        queries.len()
+    );
+
+    // A cached rerun answers every point from the cache, byte-for-byte.
+    let rerun = engine.query_batch(jobs, &queries);
+    for ((q, (first, _)), again) in queries.iter().zip(&batched).zip(rerun) {
+        let (cached, class) = again.unwrap_or_else(|e| {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        });
+        if class != lcm_serve::QueryClass::Cached || !std::sync::Arc::ptr_eq(first, &cached) {
+            eprintln!(
+                "serve self-check FAILED: rerun of {} bw={} lat={} was not a cache hit",
+                q.trace, q.cost.link_bandwidth_bytes_per_cycle, q.cost.remote_miss
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("   cached rerun: {} points, all exact hits", queries.len());
+
+    // A real TCP roundtrip must agree with the in-process engine, and a
+    // corrupt frame must come back as a named error, not a panic.
+    let server = lcm_serve::Server::start("127.0.0.1:0", std::sync::Arc::clone(&engine), jobs)
+        .unwrap_or_else(|e| {
+            eprintln!("serve: {e}");
+            std::process::exit(1);
+        });
+    let addr = server.addr.to_string();
+    let mut client = lcm_serve::Client::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    });
+    let listed = client.list().unwrap_or_else(|e| {
+        eprintln!("serve: LIST failed: {e}");
+        std::process::exit(1);
+    });
+    if listed.len() != engine.traces().len() {
+        eprintln!(
+            "serve self-check FAILED: LIST returned {} traces, engine holds {}",
+            listed.len(),
+            engine.traces().len()
+        );
+        std::process::exit(1);
+    }
+    let over_wire = client.query_batch(&queries).unwrap_or_else(|e| {
+        eprintln!("serve: QUERY failed: {e}");
+        std::process::exit(1);
+    });
+    for ((q, (local, _)), wire) in queries.iter().zip(&batched).zip(&over_wire) {
+        if **local != wire.result {
+            eprintln!(
+                "serve self-check FAILED: TCP result diverges from in-process \
+                 for {} bw={} lat={}",
+                q.trace, q.cost.link_bandwidth_bytes_per_cycle, q.cost.remote_miss
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "   TCP roundtrip: LIST + {}-query batch byte-identical to in-process",
+        queries.len()
+    );
+    // Corrupt request on a raw socket: opcode 9 does not exist.
+    {
+        use std::io::Write as _;
+        let mut raw = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("serve: raw connect failed: {e}");
+            std::process::exit(1);
+        });
+        raw.write_all(&1u32.to_le_bytes())
+            .and_then(|()| raw.write_all(&[9u8]))
+            .unwrap_or_else(|e| {
+                eprintln!("serve: raw write failed: {e}");
+                std::process::exit(1);
+            });
+        let frame = lcm_serve::proto::read_frame(&mut raw)
+            .unwrap_or_else(|e| {
+                eprintln!("serve: corrupt-frame probe got no response: {e}");
+                std::process::exit(1);
+            })
+            .unwrap_or_else(|| {
+                eprintln!("serve: corrupt-frame probe: connection closed without a response");
+                std::process::exit(1);
+            });
+        match lcm_serve::proto::decode_query_response(&frame) {
+            Err(e) if e.contains("malformed request") => {
+                println!("   corrupt request: named error response ({e})");
+            }
+            other => {
+                eprintln!("serve self-check FAILED: corrupt frame got {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    client.shutdown().unwrap_or_else(|e| {
+        eprintln!("serve: SHUTDOWN failed: {e}");
+        std::process::exit(1);
+    });
+    server.wait();
+    println!("   shutdown: acknowledged and drained");
+    let (cached, neighbor, differential) = engine.stats.snapshot();
+    eprintln!(
+        "   (engine counters: {cached} cached, {neighbor} neighbor, \
+         {differential} differential)"
+    );
+    println!();
+}
+
+/// Percentile of a sorted latency sample (nearest-rank).
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The `serve --bench` load generator: per-query engine-path costs plus
+/// a closed-loop TCP sweep across client counts, written to
+/// `BENCH_serve.json`.
+fn run_serve_bench(
+    scale: Scale,
+    jobs: usize,
+    engine: &std::sync::Arc<lcm_serve::ServeEngine>,
+    csv_dir: Option<&std::path::Path>,
+) {
+    println!("== lcm-serve load bench (scale '{scale}', {jobs} pool worker(s)) ==");
+    let queries = serve_grid(engine);
+    let n = queries.len();
+
+    // Per-query engine paths, each averaged over the whole grid.
+    let time_pass = |f: &dyn Fn(&lcm_serve::Query)| {
+        let t = Instant::now();
+        for q in &queries {
+            f(q);
+        }
+        t.elapsed().as_secs_f64() * 1e6 / n as f64
+    };
+    let cold_full_us = time_pass(&|q| {
+        engine.query_full(q).unwrap_or_else(|e| {
+            eprintln!("serve bench: {e}");
+            std::process::exit(1);
+        });
+    });
+    let entry_of = |q: &lcm_serve::Query| {
+        engine
+            .traces()
+            .iter()
+            .find(|t| t.name == q.trace)
+            .expect("grid queries address loaded traces")
+    };
+    let differential_us = time_pass(&|q| {
+        engine.replay_differential(entry_of(q), q);
+    });
+    // Prime the cache, then time pure hits.
+    for q in &queries {
+        engine.query(q).unwrap_or_else(|e| {
+            eprintln!("serve bench: {e}");
+            std::process::exit(1);
+        });
+    }
+    let cached_us = time_pass(&|q| {
+        engine.query(q).unwrap_or_else(|e| {
+            eprintln!("serve bench: {e}");
+            std::process::exit(1);
+        });
+    });
+    println!(
+        "  per query: cold full replay {cold_full_us:.0}us   differential \
+         {differential_us:.0}us   cached {cached_us:.1}us"
+    );
+
+    // Closed-loop TCP sweep: N clients, each issuing single-query
+    // requests back-to-back over its own connection.
+    let server = lcm_serve::Server::start("127.0.0.1:0", std::sync::Arc::clone(engine), jobs)
+        .unwrap_or_else(|e| {
+            eprintln!("serve bench: {e}");
+            std::process::exit(1);
+        });
+    let addr = server.addr.to_string();
+    let reqs_per_client = match scale {
+        Scale::Smoke => 60,
+        _ => 240,
+    };
+    let mut sweep_rows = Vec::new();
+    for &clients in &[1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let mut all_lat: Vec<u64> = Vec::with_capacity(clients * reqs_per_client);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    let queries = &queries;
+                    s.spawn(move || {
+                        let mut cl = lcm_serve::Client::connect(&addr).unwrap_or_else(|e| {
+                            eprintln!("serve bench client: {e}");
+                            std::process::exit(1);
+                        });
+                        let mut lat = Vec::with_capacity(reqs_per_client);
+                        for i in 0..reqs_per_client {
+                            let q = &queries[(c + i) % queries.len()];
+                            let t = Instant::now();
+                            cl.query(q).unwrap_or_else(|e| {
+                                eprintln!("serve bench client: {e}");
+                                std::process::exit(1);
+                            });
+                            lat.push(t.elapsed().as_micros() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            for h in handles {
+                all_lat.extend(h.join().expect("bench client panicked"));
+            }
+        });
+        let wall = t.elapsed().as_secs_f64();
+        all_lat.sort_unstable();
+        let total = clients * reqs_per_client;
+        let qps = total as f64 / wall;
+        let p50 = percentile_us(&all_lat, 50.0);
+        let p99 = percentile_us(&all_lat, 99.0);
+        println!(
+            "  {clients} client(s): {total} requests in {wall:.2}s   {qps:>8.0} q/s   \
+             p50 {p50}us   p99 {p99}us"
+        );
+        sweep_rows.push(format!(
+            "    {{\"clients\": {clients}, \"requests\": {total}, \"qps\": {qps:.1}, \
+             \"p50_us\": {p50}, \"p99_us\": {p99}}}"
+        ));
+    }
+    server.stop();
+    let (cached, neighbor, differential) = engine.stats.snapshot();
+
+    let json = format!(
+        "{{\n  \"scale\": \"{scale}\",\n  \"jobs\": {jobs},\n  \"traces\": {},\n  \
+         \"grid_points\": {n},\n  \"per_query_us\": {{\"cold_full\": {cold_full_us:.1}, \
+         \"differential\": {differential_us:.1}, \"cached\": {cached_us:.2}}},\n  \
+         \"engine_counters\": {{\"cached\": {cached}, \"neighbor\": {neighbor}, \
+         \"differential\": {differential}}},\n  \"closed_loop\": [\n{}\n  ]\n}}\n",
+        engine.traces().len(),
+        sweep_rows.join(",\n"),
+    );
+    let path = csv_dir
+        .map(|d| d.join("BENCH_serve.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_serve.json"));
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("failed to create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("serve bench written to {}\n", path.display()),
         Err(e) => {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);

@@ -16,8 +16,10 @@
 
 use lcm_apps::{execute_captured, execute_with_machine, RunResult, SystemKind, Workload};
 use lcm_cstar::RuntimeConfig;
-use lcm_replay::{replay, TraceFile};
-use lcm_sim::{par_map, CostModel, CycleCat, CycleLedger, MachineConfig, NodeId};
+use lcm_replay::{TraceFile, TraceHandle};
+use lcm_serve::{Query, ServeEngine};
+use lcm_sim::{CostModel, CycleCat, CycleLedger, DirBackend, MachineConfig, NodeId};
+use std::sync::Arc;
 
 /// Default capture buffer: generous enough for the medium-scale
 /// benchmarks (a dropped event makes a capture useless for replay).
@@ -85,11 +87,7 @@ pub fn capture_with_machine<W: Workload>(
 /// link bandwidth replaced (the latency scales `upgrade` with it, as in
 /// the sensitivity sweep).
 pub fn grid_cost(bandwidth: u64, latency: u64) -> CostModel {
-    let mut cost = CostModel::cm5();
-    cost.remote_miss = latency;
-    cost.upgrade = (latency * 2 / 3).max(1);
-    cost.link_bandwidth_bytes_per_cycle = bandwidth;
-    cost
+    CostModel::cm5_grid(bandwidth, latency)
 }
 
 /// One re-priced grid point.
@@ -141,36 +139,62 @@ fn row(
 }
 
 /// Re-prices every captured trace at every (bandwidth, latency) grid
-/// point on a pool of `jobs` workers. Rows come back in fixed grid
-/// order — traces outermost, then bandwidths, then latencies — so the
-/// output is deterministic at any worker count.
+/// point. Rows come back in fixed grid order — traces outermost, then
+/// bandwidths, then latencies — so the output is deterministic at any
+/// worker count.
+///
+/// The sweep is a thin client of the `lcm-serve` engine: traces are
+/// loaded once, the grid is issued as one batch on `jobs` workers, and
+/// repeated or provably-equivalent points come from the result cache —
+/// byte-identical to a cold full replay (the serve test suite holds
+/// that identity on this very grid).
 pub fn explore_grid(
-    files: &[TraceFile],
+    files: &[TraceHandle],
     bandwidths: &[u64],
     latencies: &[u64],
     jobs: usize,
 ) -> Vec<ExploreRow> {
-    let mut points = Vec::with_capacity(files.len() * bandwidths.len() * latencies.len());
-    for file in files {
+    let mut engine = ServeEngine::new();
+    for (i, file) in files.iter().enumerate() {
+        engine.load(&format!("trace-{i}"), Arc::clone(file));
+    }
+    let mut queries = Vec::with_capacity(files.len() * bandwidths.len() * latencies.len());
+    let mut coords = Vec::with_capacity(queries.capacity());
+    for (i, file) in files.iter().enumerate() {
         for &bw in bandwidths {
             for &lat in latencies {
-                points.push((file, bw, lat));
+                queries.push(Query {
+                    trace: format!("trace-{i}"),
+                    cost: grid_cost(bw, lat),
+                    topology: file.topology,
+                    backend: DirBackend::FullMap,
+                });
+                coords.push((i, bw, lat));
             }
         }
     }
-    par_map(jobs, points, |_, (file, bw, lat)| {
-        let r = replay(file, &grid_cost(bw, lat), file.topology);
-        row(
-            file.meta("benchmark").unwrap_or("?"),
-            file.meta("system").unwrap_or("?"),
-            bw,
-            lat,
-            file.nodes,
-            r.time,
-            &r.ledger,
-            r.totals.bytes_sent,
-        )
-    })
+    let answers = engine.query_batch(jobs, &queries);
+    answers
+        .into_iter()
+        .zip(coords)
+        .map(|(answer, (i, bw, lat))| {
+            let (result, _) = answer.expect("grid queries address loaded traces");
+            let nodes = files[i].nodes;
+            ExploreRow {
+                benchmark: result.benchmark.clone(),
+                system: result.system.clone(),
+                bandwidth: bw,
+                latency: lat,
+                time: result.time,
+                contention: result.cat_total(CycleCat::NetContention),
+                barrier_wait: result.cat_total(CycleCat::BarrierWait),
+                bytes_sent: {
+                    debug_assert_eq!(nodes, result.nodes);
+                    result.totals().bytes_sent
+                },
+            }
+        })
+        .collect()
 }
 
 /// The execution-driven control: runs the *same* grid for one workload

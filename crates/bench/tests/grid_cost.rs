@@ -1,0 +1,35 @@
+//! Pins the explorer's grid mapping to the one shared helper.
+//!
+//! Every grid consumer (sensitivity sweeps, the contention section, the
+//! explorer, and the serve engine) prices `(bandwidth, latency)` points
+//! through [`lcm_sim::CostModel::cm5_grid`]; this test fails if the
+//! bench-side wrapper ever drifts from it, or if the mapping itself
+//! silently changes.
+
+use lcm_bench::explore;
+use lcm_sim::CostModel;
+
+#[test]
+fn grid_cost_is_the_shared_cm5_grid_mapping() {
+    for bw in [0u64, 64, 16, 4] {
+        for lat in [500u64, 3_000, 12_000] {
+            assert_eq!(
+                explore::grid_cost(bw, lat),
+                CostModel::cm5_grid(bw, lat),
+                "bw={bw} lat={lat}: grid_cost must be the shared mapping"
+            );
+        }
+    }
+    // The mapping itself, pinned at one representative point: latency
+    // sets the remote round trip, upgrades are two-thirds of it, the
+    // bandwidth knob passes through, everything else stays cm5.
+    let c = explore::grid_cost(16, 12_000);
+    assert_eq!(c.remote_miss, 12_000);
+    assert_eq!(c.upgrade, 8_000);
+    assert_eq!(c.link_bandwidth_bytes_per_cycle, 16);
+    let mut cm5 = CostModel::cm5();
+    cm5.remote_miss = c.remote_miss;
+    cm5.upgrade = c.upgrade;
+    cm5.link_bandwidth_bytes_per_cycle = c.link_bandwidth_bytes_per_cycle;
+    assert_eq!(c, cm5);
+}

@@ -30,4 +30,4 @@ pub mod format;
 
 pub use critpath::{analyze, analyze_under, CritPath, EpochSeg, MsgEdge, PhaseRow};
 pub use engine::{replay, validate, Replayed};
-pub use format::{PhaseIndexEntry, TraceFile, MAGIC, VERSION};
+pub use format::{cost_model_hash, PhaseIndexEntry, TraceFile, TraceHandle, MAGIC, VERSION};

@@ -1,0 +1,475 @@
+//! Differential re-pricing: a per-trace index that lets repeated
+//! what-if queries skip the full event walk.
+//!
+//! A full replay folds every captured event — for a medium-scale
+//! capture, millions of records — even though most of the stream is
+//! *linear* in the cost model: a segment of events between two
+//! synchronization points charges each node `Σ raw + Σ knob×units`,
+//! and those sums do not depend on the model at all. The [`DiffIndex`]
+//! precomputes them once per trace:
+//!
+//! * the stream is cut into **segments** at every [`Event::Barrier`] and
+//!   [`Event::PhaseMark`] — the only points where replay has to
+//!   materialize per-node clocks (barrier jumps and phase stamps read
+//!   the clock maximum);
+//! * each segment stores sparse per-`(node, category)` raw-cycle sums
+//!   and per-`(node, category, knob)` unit sums — re-pricing a segment
+//!   is one multiply per touched knob instead of one per event;
+//! * each segment keeps its [`Event::Xfer`]s in order, each annotated
+//!   with the *sender's* charge delta since that sender's previous
+//!   transfer, so a finite-bandwidth query can reconstruct the exact
+//!   sender clock the contention fabric saw without walking the
+//!   non-transfer events at all.
+//!
+//! [`replay_diff`] evaluates the index under an arbitrary cost model
+//! and topology and returns a [`Replayed`] that is byte-identical to
+//! [`lcm_replay::replay`] on the same inputs — clocks, every ledger
+//! cell, wire bytes, barrier count, phases and link utilization. The
+//! identity holds because every aggregation the index performs is a
+//! re-association of additions and shared multiplications the full
+//! engine performs term by term; tests and CI assert it on every grid
+//! point rather than trusting the argument.
+//!
+//! The index also records which knobs the trace actually exercises
+//! ([`DiffIndex::knob_units`]), which lets the serve cache answer a
+//! query that differs from a cached neighbor only in knobs this trace
+//! never charges — see [`DiffIndex::field_sensitive`].
+
+use lcm_replay::{Replayed, TraceFile};
+use lcm_sim::{CostModel, CycleCat, CycleLedger, Event, Fabric, Knob, NodeId, Topology};
+
+/// How a segment ends: the event that forced clocks to materialize.
+#[derive(Clone, Debug)]
+enum SegEnd {
+    /// A global barrier: clocks jump to `max + barrier_cost`.
+    Barrier,
+    /// A phase mark: the label is stamped with the clock maximum.
+    Phase(&'static str),
+    /// End of stream (no materializing event).
+    Stream,
+}
+
+/// One transfer inside a segment, with the sender-side charge delta
+/// accumulated since the same sender's previous transfer (or the
+/// segment start).
+#[derive(Clone, Debug)]
+struct SegXfer {
+    from: u16,
+    to: u16,
+    /// Captured wire bytes minus the capture-time header: the
+    /// model-independent part of the re-headered size.
+    adj_bytes: u64,
+    /// Raw (model-independent) cycles the sender accrued since its
+    /// previous transfer in this segment.
+    d_raw: u64,
+    /// Symbolic `(knob index, units)` the sender accrued since its
+    /// previous transfer in this segment.
+    d_sym: Vec<(u8, u64)>,
+}
+
+/// One barrier/phase-delimited slice of the stream, fully aggregated.
+#[derive(Clone, Debug)]
+struct Segment {
+    /// Sparse `(node, category, cycles)` raw-charge sums.
+    raw: Vec<(u16, u8, u64)>,
+    /// Sparse `(node, category, knob, units)` symbolic-charge sums.
+    sym: Vec<(u16, u8, u8, u64)>,
+    /// The segment's transfers, in stream order.
+    xfers: Vec<SegXfer>,
+    end: SegEnd,
+}
+
+/// The precomputed differential-replay index of one trace (see the
+/// module docs).
+#[derive(Clone, Debug)]
+pub struct DiffIndex {
+    nodes: usize,
+    /// `msg_header_bytes` of the capture-time model (already subtracted
+    /// from every [`SegXfer::adj_bytes`]).
+    capture_header: u64,
+    segments: Vec<Segment>,
+    /// Total transfers in the stream.
+    xfer_count: u64,
+    /// `Σ adj_bytes` over the whole stream (closed-form byte counters
+    /// for unlimited-bandwidth queries).
+    sum_adj_bytes: u64,
+    /// Total symbolic units per knob across the whole trace: which
+    /// prices this capture is sensitive to.
+    knob_units: [u64; Knob::COUNT],
+    barriers: u64,
+}
+
+/// Scratch accumulators reused across segments while building the
+/// index, so construction is O(stream) regardless of segment count.
+struct Builder {
+    /// Dense `node × category` raw sums + touched list.
+    raw_acc: Vec<u64>,
+    raw_touched: Vec<u32>,
+    /// Dense `node × category × knob` unit sums + touched list.
+    sym_acc: Vec<u64>,
+    sym_touched: Vec<u32>,
+    /// Per-sender pending deltas since that sender's last transfer.
+    pend_raw: Vec<u64>,
+    pend_sym: Vec<u64>,
+    pend_dirty: Vec<u16>,
+    xfers: Vec<SegXfer>,
+}
+
+impl Builder {
+    fn new(nodes: usize) -> Builder {
+        Builder {
+            raw_acc: vec![0; nodes * CycleCat::COUNT],
+            raw_touched: Vec::new(),
+            sym_acc: vec![0; nodes * CycleCat::COUNT * Knob::COUNT],
+            sym_touched: Vec::new(),
+            pend_raw: vec![0; nodes],
+            pend_sym: vec![0; nodes * Knob::COUNT],
+            pend_dirty: Vec::new(),
+            xfers: Vec::new(),
+        }
+    }
+
+    fn add_raw(&mut self, node: u16, cat: CycleCat, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let i = node as usize * CycleCat::COUNT + cat.index();
+        if self.raw_acc[i] == 0 {
+            self.raw_touched.push(i as u32);
+        }
+        self.raw_acc[i] += cycles;
+        if self.pend_raw[node as usize] == 0 && self.pend_sym_clean(node) {
+            self.pend_dirty.push(node);
+        }
+        self.pend_raw[node as usize] += cycles;
+    }
+
+    fn add_sym(&mut self, node: u16, cat: CycleCat, knob: Knob, units: u64) {
+        if units == 0 {
+            return;
+        }
+        let i = (node as usize * CycleCat::COUNT + cat.index()) * Knob::COUNT + knob.index();
+        if self.sym_acc[i] == 0 {
+            self.sym_touched.push(i as u32);
+        }
+        self.sym_acc[i] += units;
+        if self.pend_raw[node as usize] == 0 && self.pend_sym_clean(node) {
+            self.pend_dirty.push(node);
+        }
+        self.pend_sym[node as usize * Knob::COUNT + knob.index()] += units;
+    }
+
+    fn pend_sym_clean(&self, node: u16) -> bool {
+        let base = node as usize * Knob::COUNT;
+        self.pend_sym[base..base + Knob::COUNT]
+            .iter()
+            .all(|&u| u == 0)
+    }
+
+    /// Drains the sender's pending delta into a transfer annotation.
+    fn take_pending(&mut self, node: u16) -> (u64, Vec<(u8, u64)>) {
+        let raw = std::mem::take(&mut self.pend_raw[node as usize]);
+        let base = node as usize * Knob::COUNT;
+        let mut sym = Vec::new();
+        for k in 0..Knob::COUNT {
+            let u = std::mem::take(&mut self.pend_sym[base + k]);
+            if u > 0 {
+                sym.push((k as u8, u));
+            }
+        }
+        self.pend_dirty.retain(|&n| n != node);
+        (raw, sym)
+    }
+
+    /// Closes the current segment, returning it and resetting every
+    /// accumulator (only touched cells are cleared).
+    fn finish_segment(&mut self, end: SegEnd) -> Segment {
+        self.raw_touched.sort_unstable();
+        let mut raw = Vec::with_capacity(self.raw_touched.len());
+        for &i in &self.raw_touched {
+            let v = std::mem::take(&mut self.raw_acc[i as usize]);
+            if v > 0 {
+                let node = (i as usize / CycleCat::COUNT) as u16;
+                let cat = (i as usize % CycleCat::COUNT) as u8;
+                raw.push((node, cat, v));
+            }
+        }
+        self.raw_touched.clear();
+        self.sym_touched.sort_unstable();
+        let mut sym = Vec::with_capacity(self.sym_touched.len());
+        for &i in &self.sym_touched {
+            let v = std::mem::take(&mut self.sym_acc[i as usize]);
+            if v > 0 {
+                let nc = i as usize / Knob::COUNT;
+                let node = (nc / CycleCat::COUNT) as u16;
+                let cat = (nc % CycleCat::COUNT) as u8;
+                let knob = (i as usize % Knob::COUNT) as u8;
+                sym.push((node, cat, knob, v));
+            }
+        }
+        self.sym_touched.clear();
+        for n in std::mem::take(&mut self.pend_dirty) {
+            self.pend_raw[n as usize] = 0;
+            let base = n as usize * Knob::COUNT;
+            self.pend_sym[base..base + Knob::COUNT].fill(0);
+        }
+        debug_assert!(self.pend_raw.iter().all(|&v| v == 0));
+        Segment {
+            raw,
+            sym,
+            xfers: std::mem::take(&mut self.xfers),
+            end,
+        }
+    }
+}
+
+impl DiffIndex {
+    /// Builds the index from a decoded trace. One pass over the stream.
+    pub fn build(file: &TraceFile) -> DiffIndex {
+        let nodes = file.nodes;
+        let mut b = Builder::new(nodes);
+        let mut segments = Vec::with_capacity(file.phase_index.len() + 1);
+        let mut knob_units = [0u64; Knob::COUNT];
+        let mut xfer_count = 0u64;
+        let mut sum_adj_bytes = 0u64;
+        let mut barriers = 0u64;
+        for ev in &file.events {
+            match ev.event {
+                Event::Work { node, cycles, hits } => {
+                    b.add_raw(node.0, CycleCat::Compute, cycles);
+                    if hits > 0 {
+                        b.add_sym(node.0, CycleCat::Compute, Knob::CacheHit, hits);
+                        knob_units[Knob::CacheHit.index()] += hits;
+                    }
+                }
+                Event::Charge {
+                    node,
+                    cat,
+                    knob,
+                    units,
+                } => {
+                    b.add_sym(node.0, cat, knob, u64::from(units));
+                    knob_units[knob.index()] += u64::from(units);
+                }
+                Event::ChargeRaw { node, cat, cycles } => {
+                    b.add_raw(node.0, cat, cycles);
+                }
+                Event::Xfer { from, to, bytes } => {
+                    let adj = bytes.saturating_sub(file.cost.msg_header_bytes);
+                    let (d_raw, d_sym) = b.take_pending(from.0);
+                    b.xfers.push(SegXfer {
+                        from: from.0,
+                        to: to.0,
+                        adj_bytes: adj,
+                        d_raw,
+                        d_sym,
+                    });
+                    xfer_count += 1;
+                    sum_adj_bytes += adj;
+                }
+                Event::Barrier { .. } => {
+                    segments.push(b.finish_segment(SegEnd::Barrier));
+                    barriers += 1;
+                }
+                Event::PhaseMark { label } => {
+                    segments.push(b.finish_segment(SegEnd::Phase(label)));
+                }
+                // Observability records shape statistics, not clocks.
+                _ => {}
+            }
+        }
+        segments.push(b.finish_segment(SegEnd::Stream));
+        DiffIndex {
+            nodes,
+            capture_header: file.cost.msg_header_bytes,
+            segments,
+            xfer_count,
+            sum_adj_bytes,
+            knob_units,
+            barriers,
+        }
+    }
+
+    /// Total symbolic units charged per knob across the trace.
+    pub fn knob_units(&self) -> &[u64; Knob::COUNT] {
+        &self.knob_units
+    }
+
+    /// Number of transfers in the stream.
+    pub fn xfer_count(&self) -> u64 {
+        self.xfer_count
+    }
+
+    /// Number of global barriers in the stream.
+    pub fn barriers(&self) -> u64 {
+        self.barriers
+    }
+
+    /// Whether changing cost-model field `field` (in `.lcmtrace` wire
+    /// order — the order of [`lcm_replay::cost_model_hash`]) can change
+    /// *any* replay output for this trace, given the query's link
+    /// bandwidth. A field is insensitive when the trace charges zero
+    /// units on every knob that reads it and the structural consumers
+    /// (barriers, transfers, the contention fabric) are absent, which
+    /// is what lets the serve cache answer such a query from a
+    /// neighboring entry without replaying anything.
+    pub fn field_sensitive(&self, field: usize, bandwidth: u64) -> bool {
+        let knobs: &[Knob] = match field {
+            0 => &[Knob::CacheHit],
+            1 => &[Knob::LocalFill],
+            2 => &[Knob::LocalRefill],
+            3 => &[Knob::RemoteMiss, Knob::RemoteMissLessSend],
+            4 => &[Knob::MsgSend, Knob::RemoteMissLessSend],
+            5 => &[Knob::MsgRecv],
+            6 => &[Knob::BlockFlush],
+            7 => &[Knob::CleanCopyCreate],
+            8 => &[Knob::ReconcilePerVersion],
+            // barrier_base / barrier_per_level move every barrier jump.
+            9 | 10 => return self.barriers > 0,
+            11 => &[Knob::Invalidate],
+            12 => &[Knob::Upgrade],
+            13 => &[Knob::RetryTimeout],
+            // msg_header_bytes re-headers every wire byte counter (and,
+            // under finite bandwidth, every serialization delay).
+            14 => return self.xfer_count > 0,
+            // link_bandwidth toggles/rescales the contention fabric.
+            15 => return self.xfer_count > 0,
+            // NI occupancy and the backlog window only matter while a
+            // fabric exists and messages cross it.
+            16 | 17 => return bandwidth > 0 && self.xfer_count > 0,
+            _ => return true, // unknown field: assume sensitive
+        };
+        knobs.iter().any(|k| self.knob_units[k.index()] > 0)
+    }
+
+    /// Whether the topology can change any replay output under the
+    /// given link bandwidth (it only shapes the contention fabric).
+    pub fn topology_sensitive(&self, bandwidth: u64) -> bool {
+        bandwidth > 0 && self.xfer_count > 0
+    }
+}
+
+/// Re-prices the trace under `cost`/`topology` from the index alone —
+/// byte-identical to [`lcm_replay::replay`] on the same trace (module
+/// docs), without walking non-transfer events.
+pub fn replay_diff(
+    file: &TraceFile,
+    idx: &DiffIndex,
+    cost: &CostModel,
+    topology: Topology,
+) -> Replayed {
+    let nodes = idx.nodes;
+    debug_assert_eq!(nodes, file.nodes, "index built from a different trace");
+    debug_assert_eq!(
+        idx.capture_header, file.cost.msg_header_bytes,
+        "index built from a different trace"
+    );
+    let mut eval = [0u64; Knob::COUNT];
+    for k in Knob::all() {
+        eval[k.index()] = k.eval(cost);
+    }
+    let mut clocks = vec![0u64; nodes];
+    let mut ledger = CycleLedger::new(nodes);
+    let mut fabric =
+        (cost.link_bandwidth_bytes_per_cycle > 0).then(|| Fabric::new(topology, nodes, cost));
+    let mut barriers = 0u64;
+    let mut phases = Vec::with_capacity(file.phase_index.len());
+    let mut walked_bytes = 0u64;
+    let barrier_cost = cost.barrier_cost(nodes);
+    // Per-segment scratch for the fabric walk: the sender's evaluated
+    // in-segment charge prefix (`a_run`) and the contention accrued so
+    // far (`cont`). Only nodes in `touched` are dirty, so resetting
+    // between segments is O(touched), not O(nodes).
+    let mut a_run = vec![0u64; nodes];
+    let mut cont = vec![0u64; nodes];
+    let mut seen = vec![false; nodes];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for seg in &idx.segments {
+        if let Some(fabric) = &mut fabric {
+            for x in &seg.xfers {
+                let (from, to) = (x.from as usize, x.to as usize);
+                if !seen[from] {
+                    seen[from] = true;
+                    touched.push(from);
+                }
+                // The sender's clock at this transfer: segment start +
+                // evaluated charges since start + contention received.
+                let mut a = a_run[from] + x.d_raw;
+                for &(k, units) in &x.d_sym {
+                    a += eval[k as usize].saturating_mul(units);
+                }
+                a_run[from] = a;
+                let now = clocks[from] + a + cont[from];
+                let wire = x.adj_bytes.saturating_add(cost.msg_header_bytes);
+                walked_bytes += wire;
+                let (queue, ser) =
+                    fabric.transfer(NodeId(from as u16), NodeId(to as u16), wire, now);
+                let extra = queue + ser;
+                if extra > 0 {
+                    if !seen[to] {
+                        seen[to] = true;
+                        touched.push(to);
+                    }
+                    cont[to] += extra;
+                    ledger.charge(NodeId(to as u16), CycleCat::NetContention, extra);
+                }
+            }
+            // Fold the contention into the clocks before materializing,
+            // and reset the scratch for the next segment.
+            for &n in &touched {
+                clocks[n] += cont[n];
+                a_run[n] = 0;
+                cont[n] = 0;
+                seen[n] = false;
+            }
+            touched.clear();
+        }
+        // Fold the segment's aggregated charges.
+        for &(node, cat, cycles) in &seg.raw {
+            clocks[node as usize] += cycles;
+            ledger.charge(NodeId(node), CycleCat::all()[cat as usize], cycles);
+        }
+        for &(node, cat, knob, units) in &seg.sym {
+            let cycles = eval[knob as usize].saturating_mul(units);
+            clocks[node as usize] += cycles;
+            ledger.charge(NodeId(node), CycleCat::all()[cat as usize], cycles);
+        }
+        match seg.end {
+            SegEnd::Barrier => {
+                let max = clocks.iter().copied().max().unwrap_or(0);
+                let after = max + barrier_cost;
+                for (i, c) in clocks.iter_mut().enumerate() {
+                    ledger.charge(NodeId(i as u16), CycleCat::BarrierWait, after - *c);
+                    *c = after;
+                }
+                barriers += 1;
+            }
+            SegEnd::Phase(label) => {
+                phases.push((label, clocks.iter().copied().max().unwrap_or(0)));
+            }
+            SegEnd::Stream => {}
+        }
+    }
+
+    // Wire bytes: re-headered per transfer. With no fabric the walk was
+    // skipped, so use the closed form over the precomputed sums.
+    let bytes = if fabric.is_some() {
+        walked_bytes
+    } else {
+        idx.sum_adj_bytes + idx.xfer_count * cost.msg_header_bytes
+    };
+    let mut totals = file.totals.clone();
+    totals.bytes_sent = bytes;
+    totals.bytes_recv = bytes;
+    let links = fabric.map(|f| f.utilization()).unwrap_or_default();
+    Replayed {
+        time: clocks.iter().copied().max().unwrap_or(0),
+        clocks,
+        ledger,
+        barriers,
+        totals,
+        links,
+        phases,
+    }
+}

@@ -1,0 +1,785 @@
+//! The resident query engine: loaded traces, the result cache, and the
+//! batched what-if execution path shared by the in-process API, the
+//! explore sweep and the TCP server.
+
+use crate::diff::{replay_diff, DiffIndex};
+use lcm_replay::{cost_model_hash, replay, Replayed, TraceHandle};
+use lcm_sim::{par_map, CostModel, CycleCat, DirBackend, NodeId, NodeStats, Topology};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One what-if: re-price a loaded trace under this machine pricing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Name of a loaded trace (see [`ServeEngine::trace_names`]).
+    pub trace: String,
+    /// Cost model to re-price under.
+    pub cost: CostModel,
+    /// Topology of the replay contention fabric.
+    pub topology: Topology,
+    /// Directory backend of the queried machine. Replay explores
+    /// pricing, not policy, so the backend never changes the replayed
+    /// numbers — but it is part of the cache-key identity, so results
+    /// computed for different machines never alias.
+    pub backend: DirBackend,
+}
+
+/// The serve-cache key: one entry per distinct
+/// `(trace fingerprint, cost model, topology, backend)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    trace: u64,
+    cost: u64,
+    topo_tag: u8,
+    topo_param: u64,
+    backend_tag: u8,
+    backend_param: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for `query` against a trace with header
+    /// fingerprint `fingerprint`. The cost-model half is an FNV-1a hash
+    /// over *all* fields ([`lcm_replay::cost_model_hash`]), so any
+    /// single knob change misses.
+    pub fn new(fingerprint: u64, query: &Query) -> CacheKey {
+        let (topo_tag, topo_param) = match query.topology {
+            Topology::FatTree { arity } => (0u8, arity as u64),
+            Topology::Crossbar => (1, 0),
+            Topology::Flat => (2, 0),
+        };
+        let (backend_tag, backend_param) = match query.backend {
+            DirBackend::FullMap => (0u8, 0u64),
+            DirBackend::LimitedPtr { ptrs } => (1, u64::from(ptrs)),
+            DirBackend::CoarseVec { bits } => (2, u64::from(bits)),
+        };
+        CacheKey {
+            trace: fingerprint,
+            cost: cost_model_hash(&query.cost),
+            topo_tag,
+            topo_param,
+            backend_tag,
+            backend_param,
+        }
+    }
+}
+
+/// A re-priced run, flattened for comparison and the wire: every field
+/// a client needs to rebuild clocks, the full ledger and the stats.
+/// `PartialEq`/`Eq` make byte-identity assertions (differential vs
+/// full, cached vs cold, batched vs sequential) one comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Benchmark label from the trace metadata (`"?"` when absent).
+    pub benchmark: String,
+    /// System label from the trace metadata (`"?"` when absent).
+    pub system: String,
+    /// Node count of the captured machine.
+    pub nodes: usize,
+    /// Execution time under the query model (max node clock).
+    pub time: u64,
+    /// Global barriers in the stream.
+    pub barriers: u64,
+    /// Per-node clocks.
+    pub clocks: Vec<u64>,
+    /// The full cycle ledger, row-major: `nodes × CycleCat::COUNT`.
+    pub ledger: Vec<u64>,
+    /// Summed [`NodeStats`] as [`NodeStats::as_array`].
+    pub stats: Vec<u64>,
+    /// Phase boundaries: label and replayed time.
+    pub phases: Vec<(String, u64)>,
+}
+
+impl QueryResult {
+    fn from_replayed(benchmark: &str, system: &str, nodes: usize, r: &Replayed) -> QueryResult {
+        let mut ledger = Vec::with_capacity(nodes * CycleCat::COUNT);
+        for n in 0..nodes {
+            for cat in CycleCat::all() {
+                ledger.push(r.ledger.get(NodeId(n as u16), cat));
+            }
+        }
+        QueryResult {
+            benchmark: benchmark.to_string(),
+            system: system.to_string(),
+            nodes,
+            time: r.time,
+            barriers: r.barriers,
+            clocks: r.clocks.clone(),
+            ledger,
+            stats: r.totals.as_array().to_vec(),
+            phases: r
+                .phases
+                .iter()
+                .map(|(label, t)| (label.to_string(), *t))
+                .collect(),
+        }
+    }
+
+    /// Total cycles of one ledger category across all nodes.
+    pub fn cat_total(&self, cat: CycleCat) -> u64 {
+        (0..self.nodes)
+            .map(|n| self.ledger[n * CycleCat::COUNT + cat.index()])
+            .sum()
+    }
+
+    /// The summed protocol counters.
+    pub fn totals(&self) -> NodeStats {
+        let mut a = [0u64; NodeStats::FIELDS];
+        for (slot, v) in a.iter_mut().zip(&self.stats) {
+            *slot = *v;
+        }
+        NodeStats::from_array(a)
+    }
+
+    /// Renders the result as one `explore.csv`-format row under the
+    /// queried cost model (which supplies the grid coordinates).
+    pub fn csv_row(&self, cost: &CostModel) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{}\n",
+            self.benchmark,
+            self.system,
+            cost.link_bandwidth_bytes_per_cycle,
+            cost.remote_miss,
+            self.time,
+            self.cat_total(CycleCat::NetContention),
+            self.cat_total(CycleCat::BarrierWait),
+            self.totals().bytes_sent,
+        )
+    }
+}
+
+/// How the engine satisfied one query. Classes are advisory (a batch
+/// races its siblings for the cache), but the *result* is identical
+/// whichever path served it — neighbor reuse is only taken when the
+/// differing knobs provably cannot move any output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Exact cache-key hit.
+    Cached,
+    /// Served from a cached neighbor that differs only in knobs this
+    /// trace never charges.
+    Neighbor,
+    /// Re-priced through the differential index.
+    Differential,
+}
+
+/// Aggregate serve counters (monotonic; read with [`EngineStats::snapshot`]).
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Exact cache hits.
+    pub cached: AtomicU64,
+    /// Neighbor-reuse hits.
+    pub neighbor: AtomicU64,
+    /// Differential re-pricings.
+    pub differential: AtomicU64,
+}
+
+impl EngineStats {
+    /// `(cached, neighbor, differential)` at this instant.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.cached.load(Ordering::Relaxed),
+            self.neighbor.load(Ordering::Relaxed),
+            self.differential.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One loaded trace: the shared decoded file plus its differential
+/// index, built once at load time.
+pub struct TraceEntry {
+    /// Name queries address the trace by.
+    pub name: String,
+    /// The decoded trace (shared, decode-once — [`lcm_replay::TraceFile::open`]).
+    pub handle: TraceHandle,
+    /// Header fingerprint (machine config + cost model + metadata).
+    pub fingerprint: u64,
+    diff: DiffIndex,
+}
+
+struct CachedEntry {
+    cost: CostModel,
+    topology: Topology,
+    result: Arc<QueryResult>,
+}
+
+/// The resident engine: loaded traces, the result cache and counters.
+/// Shared across server connections and `par_map` workers by reference.
+#[derive(Default)]
+pub struct ServeEngine {
+    traces: Vec<TraceEntry>,
+    cache: Mutex<HashMap<CacheKey, CachedEntry>>,
+    /// Serve counters.
+    pub stats: EngineStats,
+}
+
+impl ServeEngine {
+    /// An engine with no traces loaded.
+    pub fn new() -> ServeEngine {
+        ServeEngine::default()
+    }
+
+    /// Loads a decoded trace under `name`, building its differential
+    /// index. Replaces any previous trace of the same name.
+    pub fn load(&mut self, name: &str, handle: TraceHandle) {
+        let diff = DiffIndex::build(&handle);
+        let fingerprint = handle.fingerprint();
+        self.traces.retain(|t| t.name != name);
+        self.traces.push(TraceEntry {
+            name: name.to_string(),
+            handle,
+            fingerprint,
+            diff,
+        });
+    }
+
+    /// The loaded traces, in load order.
+    pub fn traces(&self) -> &[TraceEntry] {
+        &self.traces
+    }
+
+    /// Names of the loaded traces, in load order.
+    pub fn trace_names(&self) -> Vec<&str> {
+        self.traces.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    fn entry(&self, name: &str) -> Result<&TraceEntry, String> {
+        self.traces.iter().find(|t| t.name == name).ok_or_else(|| {
+            format!(
+                "unknown trace {name:?} (loaded: {})",
+                self.trace_names().join(", ")
+            )
+        })
+    }
+
+    /// Answers one query: exact cache hit, neighbor reuse, or a
+    /// differential re-pricing (in that order). The returned result is
+    /// byte-identical regardless of which path served it.
+    pub fn query(&self, q: &Query) -> Result<(Arc<QueryResult>, QueryClass), String> {
+        let entry = self.entry(&q.trace)?;
+        let key = CacheKey::new(entry.fingerprint, q);
+        {
+            let cache = self.cache.lock().expect("serve cache poisoned");
+            if let Some(hit) = cache.get(&key) {
+                self.stats.cached.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(&hit.result), QueryClass::Cached));
+            }
+            if let Some(result) = self.find_neighbor(&cache, entry, q) {
+                self.stats.neighbor.fetch_add(1, Ordering::Relaxed);
+                drop(cache);
+                let mut cache = self.cache.lock().expect("serve cache poisoned");
+                cache.insert(
+                    key,
+                    CachedEntry {
+                        cost: q.cost,
+                        topology: q.topology,
+                        result: Arc::clone(&result),
+                    },
+                );
+                return Ok((result, QueryClass::Neighbor));
+            }
+        }
+        let result = Arc::new(self.replay_differential(entry, q));
+        self.stats.differential.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.cache.lock().expect("serve cache poisoned");
+        cache.insert(
+            key,
+            CachedEntry {
+                cost: q.cost,
+                topology: q.topology,
+                result: Arc::clone(&result),
+            },
+        );
+        Ok((result, QueryClass::Differential))
+    }
+
+    /// A cached result whose pricing provably agrees with `q` on this
+    /// trace: every differing cost field is one the trace charges zero
+    /// units on (and whose structural consumers are absent), and the
+    /// topology either matches or cannot matter.
+    fn find_neighbor(
+        &self,
+        cache: &HashMap<CacheKey, CachedEntry>,
+        entry: &TraceEntry,
+        q: &Query,
+    ) -> Option<Arc<QueryResult>> {
+        for (k, c) in cache.iter() {
+            if k.trace != entry.fingerprint {
+                continue;
+            }
+            let fields_agree = cost_fields_wire(&c.cost)
+                .iter()
+                .zip(&cost_fields_wire(&q.cost))
+                .enumerate()
+                .all(|(i, (a, b))| {
+                    a == b
+                        || (!entry
+                            .diff
+                            .field_sensitive(i, c.cost.link_bandwidth_bytes_per_cycle)
+                            && !entry
+                                .diff
+                                .field_sensitive(i, q.cost.link_bandwidth_bytes_per_cycle))
+                });
+            if !fields_agree {
+                continue;
+            }
+            let topo_agrees = c.topology == q.topology
+                || (!entry
+                    .diff
+                    .topology_sensitive(c.cost.link_bandwidth_bytes_per_cycle)
+                    && !entry
+                        .diff
+                        .topology_sensitive(q.cost.link_bandwidth_bytes_per_cycle));
+            if topo_agrees {
+                return Some(Arc::clone(&c.result));
+            }
+        }
+        None
+    }
+
+    /// Re-prices through the differential index, skipping the cache. In
+    /// debug builds the result is asserted byte-identical to a full
+    /// event-walk replay (release tests and CI assert the same over the
+    /// whole explore grid).
+    pub fn replay_differential(&self, entry: &TraceEntry, q: &Query) -> QueryResult {
+        let r = replay_diff(&entry.handle, &entry.diff, &q.cost, q.topology);
+        let result = QueryResult::from_replayed(
+            entry.handle.meta("benchmark").unwrap_or("?"),
+            entry.handle.meta("system").unwrap_or("?"),
+            entry.handle.nodes,
+            &r,
+        );
+        debug_assert_eq!(
+            result,
+            self.replay_full(entry, q),
+            "differential replay diverged from the full event walk"
+        );
+        result
+    }
+
+    /// The control path: a full event-walk replay, no index, no cache.
+    /// The bench harness measures differential and cached queries
+    /// against this.
+    pub fn replay_full(&self, entry: &TraceEntry, q: &Query) -> QueryResult {
+        let r = replay(&entry.handle, &q.cost, q.topology);
+        QueryResult::from_replayed(
+            entry.handle.meta("benchmark").unwrap_or("?"),
+            entry.handle.meta("system").unwrap_or("?"),
+            entry.handle.nodes,
+            &r,
+        )
+    }
+
+    /// Full-replay control for a named trace (cold path, cache
+    /// bypassed).
+    pub fn query_full(&self, q: &Query) -> Result<QueryResult, String> {
+        Ok(self.replay_full(self.entry(&q.trace)?, q))
+    }
+
+    /// Asserts the differential and full paths agree for `q`; returns
+    /// the first divergence as an error.
+    pub fn verify(&self, q: &Query) -> Result<(), String> {
+        let entry = self.entry(&q.trace)?;
+        let diff = replay_diff(&entry.handle, &entry.diff, &q.cost, q.topology);
+        let full = replay(&entry.handle, &q.cost, q.topology);
+        compare_replayed(&diff, &full, entry.handle.nodes)
+            .map_err(|e| format!("trace {:?}: {e}", q.trace))
+    }
+
+    /// Answers a batch on `jobs` workers via the shared `par_map` pool.
+    /// Results come back in input order and are byte-identical to
+    /// issuing the queries one at a time (classes may differ — the
+    /// batch races for the cache — but never the payload).
+    pub fn query_batch(
+        &self,
+        jobs: usize,
+        queries: &[Query],
+    ) -> Vec<Result<(Arc<QueryResult>, QueryClass), String>> {
+        par_map(jobs, queries.to_vec(), |_, q| self.query(&q))
+    }
+}
+
+/// The cost model's fields in `.lcmtrace` wire order (the order
+/// [`DiffIndex::field_sensitive`] indexes by).
+fn cost_fields_wire(c: &CostModel) -> [u64; 18] {
+    [
+        c.cache_hit,
+        c.local_fill,
+        c.local_refill,
+        c.remote_miss,
+        c.msg_send,
+        c.msg_recv,
+        c.block_flush,
+        c.clean_copy_create,
+        c.reconcile_per_version,
+        c.barrier_base,
+        c.barrier_per_level,
+        c.invalidate,
+        c.upgrade,
+        c.retry_timeout,
+        c.msg_header_bytes,
+        c.link_bandwidth_bytes_per_cycle,
+        c.ni_occupancy,
+        c.contention_window,
+    ]
+}
+
+/// Field-by-field comparison of two replays, naming the first
+/// divergence (byte-identity contract of the differential engine).
+pub fn compare_replayed(diff: &Replayed, full: &Replayed, nodes: usize) -> Result<(), String> {
+    if diff.time != full.time {
+        return Err(format!(
+            "time diverges: differential {}, full {}",
+            diff.time, full.time
+        ));
+    }
+    if diff.clocks != full.clocks {
+        let n = diff
+            .clocks
+            .iter()
+            .zip(&full.clocks)
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(format!(
+            "node {n} clock diverges: differential {}, full {}",
+            diff.clocks[n], full.clocks[n]
+        ));
+    }
+    for n in 0..nodes {
+        for cat in CycleCat::all() {
+            let (a, b) = (
+                diff.ledger.get(NodeId(n as u16), cat),
+                full.ledger.get(NodeId(n as u16), cat),
+            );
+            if a != b {
+                return Err(format!(
+                    "node {n} {} cycles diverge: differential {a}, full {b}",
+                    cat.label()
+                ));
+            }
+        }
+    }
+    if diff.barriers != full.barriers {
+        return Err(format!(
+            "barrier count diverges: differential {}, full {}",
+            diff.barriers, full.barriers
+        ));
+    }
+    if diff.totals != full.totals {
+        return Err(format!(
+            "stats diverge: differential sent/recv {}/{}, full {}/{}",
+            diff.totals.bytes_sent,
+            diff.totals.bytes_recv,
+            full.totals.bytes_sent,
+            full.totals.bytes_recv
+        ));
+    }
+    if diff.phases != full.phases {
+        return Err(format!(
+            "phases diverge: differential {:?}, full {:?}",
+            diff.phases, full.phases
+        ));
+    }
+    if diff.links != full.links {
+        return Err("link utilization diverges".to_string());
+    }
+    Ok(())
+}
+
+/// Convenience: a [`Query`] under default topology and backend.
+pub fn query(trace: &str, cost: CostModel) -> Query {
+    Query {
+        trace: trace.to_string(),
+        cost,
+        topology: Topology::default(),
+        backend: DirBackend::FullMap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_replay::TraceFile;
+    use lcm_sim::{CycleLedger, Event, Knob, Stamped};
+
+    /// A four-node synthetic capture exercising every differential
+    /// mechanism: raw and symbolic charges, repeat-sender transfers
+    /// (nonzero pending deltas), a barrier, a phase mark and a tail
+    /// segment with no materializing event.
+    fn synthetic() -> TraceHandle {
+        let cost = CostModel::cm5();
+        let nodes = 4;
+        let mut events: Vec<Stamped> = Vec::new();
+        let mut seq = 0u64;
+        let mut push = |events: &mut Vec<Stamped>, event: Event| {
+            events.push(Stamped {
+                seq,
+                cycle: seq,
+                event,
+            });
+            seq += 1;
+        };
+        let hdr = cost.msg_header_bytes;
+        push(
+            &mut events,
+            Event::Work {
+                node: NodeId(0),
+                cycles: 40,
+                hits: 3,
+            },
+        );
+        push(
+            &mut events,
+            Event::Charge {
+                node: NodeId(1),
+                cat: CycleCat::ReadStallRemote,
+                knob: Knob::RemoteMiss,
+                units: 2,
+            },
+        );
+        push(
+            &mut events,
+            Event::ChargeRaw {
+                node: NodeId(1),
+                cat: CycleCat::RetryBackoff,
+                cycles: 500,
+            },
+        );
+        push(
+            &mut events,
+            Event::Xfer {
+                from: NodeId(1),
+                to: NodeId(0),
+                bytes: hdr + 32,
+            },
+        );
+        push(
+            &mut events,
+            Event::Charge {
+                node: NodeId(1),
+                cat: CycleCat::MsgOverhead,
+                knob: Knob::MsgSend,
+                units: 1,
+            },
+        );
+        // Same sender again: the second transfer carries a pending delta.
+        push(
+            &mut events,
+            Event::Xfer {
+                from: NodeId(1),
+                to: NodeId(2),
+                bytes: hdr + 64,
+            },
+        );
+        push(
+            &mut events,
+            Event::Xfer {
+                from: NodeId(0),
+                to: NodeId(3),
+                bytes: hdr + 16,
+            },
+        );
+        push(&mut events, Event::Barrier { at: 0 });
+        push(
+            &mut events,
+            Event::Work {
+                node: NodeId(2),
+                cycles: 10,
+                hits: 0,
+            },
+        );
+        push(
+            &mut events,
+            Event::Charge {
+                node: NodeId(3),
+                cat: CycleCat::FlushReconcile,
+                knob: Knob::BlockFlush,
+                units: 4,
+            },
+        );
+        push(&mut events, Event::PhaseMark { label: "iter" });
+        // A transfer from an otherwise-silent segment position.
+        push(
+            &mut events,
+            Event::Xfer {
+                from: NodeId(3),
+                to: NodeId(0),
+                bytes: hdr + 8,
+            },
+        );
+        push(
+            &mut events,
+            Event::Work {
+                node: NodeId(2),
+                cycles: 7,
+                hits: 1,
+            },
+        );
+
+        let file = TraceFile::from_capture(
+            nodes,
+            Topology::default(),
+            cost,
+            vec![
+                ("benchmark".to_string(), "synthetic".to_string()),
+                ("system".to_string(), "lcm".to_string()),
+            ],
+            events,
+            vec![0; nodes],
+            &CycleLedger::new(nodes),
+            NodeStats::default(),
+        )
+        .expect("gap-free stream");
+        Arc::new(file)
+    }
+
+    fn engine() -> ServeEngine {
+        let mut e = ServeEngine::new();
+        e.load("synthetic", synthetic());
+        e
+    }
+
+    #[test]
+    fn differential_matches_full_on_every_model_and_topology() {
+        let e = engine();
+        let mut doubled = CostModel::cm5();
+        for f in [
+            &mut doubled.cache_hit,
+            &mut doubled.remote_miss,
+            &mut doubled.msg_send,
+            &mut doubled.block_flush,
+            &mut doubled.barrier_base,
+            &mut doubled.msg_header_bytes,
+        ] {
+            *f *= 2;
+        }
+        for cost in [
+            CostModel::cm5(),
+            CostModel::cm5_grid(16, 12_000),
+            CostModel::cm5_grid(0, 500),
+            CostModel::cm5_grid(1, 3_000),
+            doubled,
+        ] {
+            for topology in [
+                Topology::FatTree { arity: 4 },
+                Topology::Crossbar,
+                Topology::Flat,
+            ] {
+                let q = Query {
+                    trace: "synthetic".to_string(),
+                    cost,
+                    topology,
+                    backend: DirBackend::FullMap,
+                };
+                e.verify(&q).expect("differential == full");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_repeats_hit_the_cache_and_share_the_result() {
+        let e = engine();
+        let q = query("synthetic", CostModel::cm5_grid(16, 3_000));
+        let (first, class1) = e.query(&q).expect("cold");
+        assert_eq!(class1, QueryClass::Differential);
+        let (second, class2) = e.query(&q).expect("warm");
+        assert_eq!(class2, QueryClass::Cached);
+        assert!(Arc::ptr_eq(&first, &second), "cache must share the result");
+        assert_eq!(e.stats.snapshot(), (1, 0, 1));
+    }
+
+    #[test]
+    fn neighbor_reuse_is_byte_identical_and_gated_on_sensitivity() {
+        let e = engine();
+        let base = query("synthetic", CostModel::cm5_grid(16, 3_000));
+        let (first, _) = e.query(&base).expect("cold");
+        // invalidate is never charged by this trace: reusable.
+        let mut insens = base.clone();
+        insens.cost.invalidate += 999;
+        let (reused, class) = e.query(&insens).expect("neighbor");
+        assert_eq!(class, QueryClass::Neighbor);
+        assert!(Arc::ptr_eq(&first, &reused));
+        assert_eq!(
+            *reused,
+            e.query_full(&insens).expect("full"),
+            "reuse must be sound"
+        );
+        // remote_miss is charged: must re-price.
+        let mut sens = base.clone();
+        sens.cost.remote_miss += 1;
+        let (repriced, class) = e.query(&sens).expect("re-priced");
+        assert_eq!(class, QueryClass::Differential);
+        assert_ne!(repriced.time, first.time);
+    }
+
+    #[test]
+    fn backend_changes_the_key_but_reuses_the_result() {
+        let e = engine();
+        let base = query("synthetic", CostModel::cm5());
+        let (first, _) = e.query(&base).expect("cold");
+        let mut other = base.clone();
+        other.backend = DirBackend::LimitedPtr { ptrs: 4 };
+        let (reused, class) = e.query(&other).expect("backend variant");
+        assert_eq!(class, QueryClass::Neighbor, "replay ignores the backend");
+        assert!(Arc::ptr_eq(&first, &reused));
+        // ... but the variant got its own cache entry.
+        let (_, class) = e.query(&other).expect("warm");
+        assert_eq!(class, QueryClass::Cached);
+    }
+
+    #[test]
+    fn topology_reuse_requires_an_idle_fabric() {
+        let e = engine();
+        // Unlimited bandwidth: the fabric is off, topology cannot matter.
+        let base = query("synthetic", CostModel::cm5_grid(0, 3_000));
+        let (first, _) = e.query(&base).expect("cold");
+        let mut flat = base.clone();
+        flat.topology = Topology::Flat;
+        let (reused, class) = e.query(&flat).expect("no fabric");
+        assert_eq!(class, QueryClass::Neighbor);
+        assert!(Arc::ptr_eq(&first, &reused));
+        // Finite bandwidth: topology shapes contention, no reuse.
+        let narrow = query("synthetic", CostModel::cm5_grid(4, 3_000));
+        e.query(&narrow).expect("cold");
+        let mut narrow_flat = narrow.clone();
+        narrow_flat.topology = Topology::Flat;
+        let (_, class) = e.query(&narrow_flat).expect("re-priced");
+        assert_eq!(class, QueryClass::Differential);
+    }
+
+    #[test]
+    fn batched_equals_sequential() {
+        let queries: Vec<Query> = [0u64, 4, 16, 64]
+            .into_iter()
+            .flat_map(|bw| {
+                [500u64, 3_000, 12_000]
+                    .into_iter()
+                    .map(move |lat| query("synthetic", CostModel::cm5_grid(bw, lat)))
+            })
+            .collect();
+        let batched = engine();
+        let b: Vec<_> = batched
+            .query_batch(4, &queries)
+            .into_iter()
+            .map(|r| r.expect("batched"))
+            .collect();
+        let sequential = engine();
+        for (q, (br, _)) in queries.iter().zip(&b) {
+            let (sr, _) = sequential.query(q).expect("sequential");
+            assert_eq!(**br, *sr, "batched result diverges for {q:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_traces_are_named_errors() {
+        let e = engine();
+        let err = e
+            .query(&query("missing", CostModel::cm5()))
+            .expect_err("unknown");
+        assert!(err.contains("unknown trace"), "unexpected: {err}");
+        assert!(
+            err.contains("synthetic"),
+            "should list loaded traces: {err}"
+        );
+    }
+}

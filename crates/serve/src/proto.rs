@@ -1,0 +1,574 @@
+//! The `lcm-serve` wire protocol: length-prefixed binary frames over a
+//! byte stream (TCP in practice, any `Read + Write` in tests).
+//!
+//! Every frame is a little-endian `u32` payload length followed by the
+//! payload. Integers inside payloads are LEB128 varints (the same
+//! encoding `.lcmtrace` uses); strings are varint-length-prefixed UTF-8.
+//! Requests open with an opcode byte, responses with a status byte —
+//! `0` carries a result, `1` carries an error message. A malformed
+//! frame is a *named* decode error, never a panic: the server reports
+//! it in an error response and keeps serving.
+
+use crate::engine::{Query, QueryClass, QueryResult};
+use lcm_sim::{CostModel, DirBackend, Topology};
+use std::io::{Read, Write};
+
+/// Opcode: list the loaded traces.
+pub const OP_LIST: u8 = 0;
+/// Opcode: answer a batch of what-if queries.
+pub const OP_QUERY: u8 = 1;
+/// Opcode: shut the server down (responds, then stops accepting).
+pub const OP_SHUTDOWN: u8 = 2;
+
+/// Response status: the payload carries the result.
+pub const ST_OK: u8 = 0;
+/// Response status: the payload carries an error message.
+pub const ST_ERR: u8 = 1;
+
+/// Frames larger than this are rejected before allocation — a corrupt
+/// length prefix must not look like a 4 GiB read.
+pub const MAX_FRAME: usize = 1 << 26;
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// List loaded traces.
+    List,
+    /// Price a batch of queries, answered in order.
+    Query(Vec<Query>),
+    /// Stop the server.
+    Shutdown,
+}
+
+/// One query answer on the wire: the result plus how it was served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireResult {
+    /// The re-priced run.
+    pub result: QueryResult,
+    /// Which engine path served it (advisory; see [`QueryClass`]).
+    pub class: QueryClass,
+}
+
+/// A trace listing row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Name queries address the trace by.
+    pub name: String,
+    /// Node count of the captured machine.
+    pub nodes: u64,
+    /// Header fingerprint.
+    pub fingerprint: u64,
+}
+
+// ---------------------------------------------------------------- varints
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| "truncated varint".to_string())?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err("varint overflows u64".to_string());
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, String> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| "truncated string".to_string())?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| "string is not UTF-8".to_string())?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+// ------------------------------------------------------------ cost model
+
+/// The cost model's fields in wire order (the `.lcmtrace` header order).
+pub fn cost_to_fields(c: &CostModel) -> [u64; 18] {
+    [
+        c.cache_hit,
+        c.local_fill,
+        c.local_refill,
+        c.remote_miss,
+        c.msg_send,
+        c.msg_recv,
+        c.block_flush,
+        c.clean_copy_create,
+        c.reconcile_per_version,
+        c.barrier_base,
+        c.barrier_per_level,
+        c.invalidate,
+        c.upgrade,
+        c.retry_timeout,
+        c.msg_header_bytes,
+        c.link_bandwidth_bytes_per_cycle,
+        c.ni_occupancy,
+        c.contention_window,
+    ]
+}
+
+/// Rebuilds a cost model from its wire-order fields.
+pub fn cost_from_fields(f: &[u64; 18]) -> CostModel {
+    let mut c = CostModel::cm5();
+    c.cache_hit = f[0];
+    c.local_fill = f[1];
+    c.local_refill = f[2];
+    c.remote_miss = f[3];
+    c.msg_send = f[4];
+    c.msg_recv = f[5];
+    c.block_flush = f[6];
+    c.clean_copy_create = f[7];
+    c.reconcile_per_version = f[8];
+    c.barrier_base = f[9];
+    c.barrier_per_level = f[10];
+    c.invalidate = f[11];
+    c.upgrade = f[12];
+    c.retry_timeout = f[13];
+    c.msg_header_bytes = f[14];
+    c.link_bandwidth_bytes_per_cycle = f[15];
+    c.ni_occupancy = f[16];
+    c.contention_window = f[17];
+    c
+}
+
+fn put_query(buf: &mut Vec<u8>, q: &Query) {
+    put_str(buf, &q.trace);
+    for v in cost_to_fields(&q.cost) {
+        put_varint(buf, v);
+    }
+    match q.topology {
+        Topology::FatTree { arity } => {
+            buf.push(0);
+            put_varint(buf, arity as u64);
+        }
+        Topology::Crossbar => buf.push(1),
+        Topology::Flat => buf.push(2),
+    }
+    match q.backend {
+        DirBackend::FullMap => buf.push(0),
+        DirBackend::LimitedPtr { ptrs } => {
+            buf.push(1);
+            put_varint(buf, u64::from(ptrs));
+        }
+        DirBackend::CoarseVec { bits } => {
+            buf.push(2);
+            put_varint(buf, u64::from(bits));
+        }
+    }
+}
+
+fn get_byte(buf: &[u8], pos: &mut usize) -> Result<u8, String> {
+    let b = *buf.get(*pos).ok_or_else(|| "truncated frame".to_string())?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn get_query(buf: &[u8], pos: &mut usize) -> Result<Query, String> {
+    let trace = get_str(buf, pos)?;
+    let mut fields = [0u64; 18];
+    for f in &mut fields {
+        *f = get_varint(buf, pos)?;
+    }
+    let topology = match get_byte(buf, pos)? {
+        0 => {
+            let arity = get_varint(buf, pos)? as usize;
+            if arity < 2 {
+                return Err(format!("fat-tree arity {arity} is below 2"));
+            }
+            Topology::FatTree { arity }
+        }
+        1 => Topology::Crossbar,
+        2 => Topology::Flat,
+        t => return Err(format!("unknown topology tag {t}")),
+    };
+    let backend = match get_byte(buf, pos)? {
+        0 => DirBackend::FullMap,
+        1 => DirBackend::LimitedPtr {
+            ptrs: get_varint(buf, pos)? as u16,
+        },
+        2 => DirBackend::CoarseVec {
+            bits: get_varint(buf, pos)? as u16,
+        },
+        t => return Err(format!("unknown backend tag {t}")),
+    };
+    Ok(Query {
+        trace,
+        cost: cost_from_fields(&fields),
+        topology,
+        backend,
+    })
+}
+
+// -------------------------------------------------------------- requests
+
+/// Encodes a request payload (without the frame length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::List => buf.push(OP_LIST),
+        Request::Query(queries) => {
+            buf.push(OP_QUERY);
+            put_varint(&mut buf, queries.len() as u64);
+            for q in queries {
+                put_query(&mut buf, q);
+            }
+        }
+        Request::Shutdown => buf.push(OP_SHUTDOWN),
+    }
+    buf
+}
+
+/// Decodes a request payload; any malformation is a named error.
+pub fn decode_request(buf: &[u8]) -> Result<Request, String> {
+    let mut pos = 0usize;
+    let req = match get_byte(buf, &mut pos)? {
+        OP_LIST => Request::List,
+        OP_QUERY => {
+            let count = get_varint(buf, &mut pos)? as usize;
+            if count > 1 << 20 {
+                return Err(format!("query batch of {count} exceeds the frame limit"));
+            }
+            let mut queries = Vec::with_capacity(count);
+            for _ in 0..count {
+                queries.push(get_query(buf, &mut pos)?);
+            }
+            Request::Query(queries)
+        }
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(format!("unknown opcode {op}")),
+    };
+    if pos != buf.len() {
+        return Err(format!(
+            "{} trailing bytes after a complete request",
+            buf.len() - pos
+        ));
+    }
+    Ok(req)
+}
+
+// ------------------------------------------------------------- responses
+
+fn put_result(buf: &mut Vec<u8>, w: &WireResult) {
+    let r = &w.result;
+    put_str(buf, &r.benchmark);
+    put_str(buf, &r.system);
+    put_varint(buf, r.nodes as u64);
+    put_varint(buf, r.time);
+    put_varint(buf, r.barriers);
+    for &c in &r.clocks {
+        put_varint(buf, c);
+    }
+    for &v in &r.ledger {
+        put_varint(buf, v);
+    }
+    put_varint(buf, r.stats.len() as u64);
+    for &v in &r.stats {
+        put_varint(buf, v);
+    }
+    put_varint(buf, r.phases.len() as u64);
+    for (label, t) in &r.phases {
+        put_str(buf, label);
+        put_varint(buf, *t);
+    }
+    buf.push(match w.class {
+        QueryClass::Cached => 0,
+        QueryClass::Neighbor => 1,
+        QueryClass::Differential => 2,
+    });
+}
+
+fn get_result(buf: &[u8], pos: &mut usize) -> Result<WireResult, String> {
+    let benchmark = get_str(buf, pos)?;
+    let system = get_str(buf, pos)?;
+    let nodes = get_varint(buf, pos)? as usize;
+    if nodes > lcm_sim::MAX_NODES {
+        return Err(format!("node count {nodes} exceeds MAX_NODES"));
+    }
+    let time = get_varint(buf, pos)?;
+    let barriers = get_varint(buf, pos)?;
+    let mut clocks = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        clocks.push(get_varint(buf, pos)?);
+    }
+    let cells = nodes * lcm_sim::CycleCat::COUNT;
+    let mut ledger = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        ledger.push(get_varint(buf, pos)?);
+    }
+    let nstats = get_varint(buf, pos)? as usize;
+    if nstats > 256 {
+        return Err(format!("stats vector of {nstats} is malformed"));
+    }
+    let mut stats = Vec::with_capacity(nstats);
+    for _ in 0..nstats {
+        stats.push(get_varint(buf, pos)?);
+    }
+    let nphases = get_varint(buf, pos)? as usize;
+    if nphases > 1 << 20 {
+        return Err(format!("phase list of {nphases} is malformed"));
+    }
+    let mut phases = Vec::with_capacity(nphases);
+    for _ in 0..nphases {
+        let label = get_str(buf, pos)?;
+        let t = get_varint(buf, pos)?;
+        phases.push((label, t));
+    }
+    let class = match get_byte(buf, pos)? {
+        0 => QueryClass::Cached,
+        1 => QueryClass::Neighbor,
+        2 => QueryClass::Differential,
+        c => return Err(format!("unknown query class {c}")),
+    };
+    Ok(WireResult {
+        result: QueryResult {
+            benchmark,
+            system,
+            nodes,
+            time,
+            barriers,
+            clocks,
+            ledger,
+            stats,
+            phases,
+        },
+        class,
+    })
+}
+
+/// Encodes an OK query response.
+pub fn encode_query_ok(results: &[WireResult]) -> Vec<u8> {
+    let mut buf = vec![ST_OK];
+    put_varint(&mut buf, results.len() as u64);
+    for r in results {
+        put_result(&mut buf, r);
+    }
+    buf
+}
+
+/// Encodes an OK listing response.
+pub fn encode_list_ok(traces: &[TraceInfo]) -> Vec<u8> {
+    let mut buf = vec![ST_OK];
+    put_varint(&mut buf, traces.len() as u64);
+    for t in traces {
+        put_str(&mut buf, &t.name);
+        put_varint(&mut buf, t.nodes);
+        put_varint(&mut buf, t.fingerprint);
+    }
+    buf
+}
+
+/// Encodes an empty OK response (shutdown acknowledgement).
+pub fn encode_ok() -> Vec<u8> {
+    vec![ST_OK]
+}
+
+/// Encodes an error response.
+pub fn encode_err(msg: &str) -> Vec<u8> {
+    let mut buf = vec![ST_ERR];
+    put_str(&mut buf, msg);
+    buf
+}
+
+fn check_status(buf: &[u8], pos: &mut usize) -> Result<(), String> {
+    match get_byte(buf, pos)? {
+        ST_OK => Ok(()),
+        ST_ERR => Err(format!("server error: {}", get_str(buf, pos)?)),
+        s => Err(format!("unknown response status {s}")),
+    }
+}
+
+/// Decodes a query response into wire results (or the server's error).
+pub fn decode_query_response(buf: &[u8]) -> Result<Vec<WireResult>, String> {
+    let mut pos = 0usize;
+    check_status(buf, &mut pos)?;
+    let count = get_varint(buf, &mut pos)? as usize;
+    if count > 1 << 20 {
+        return Err(format!("result batch of {count} is malformed"));
+    }
+    let mut results = Vec::with_capacity(count);
+    for _ in 0..count {
+        results.push(get_result(buf, &mut pos)?);
+    }
+    Ok(results)
+}
+
+/// Decodes a listing response.
+pub fn decode_list_response(buf: &[u8]) -> Result<Vec<TraceInfo>, String> {
+    let mut pos = 0usize;
+    check_status(buf, &mut pos)?;
+    let count = get_varint(buf, &mut pos)? as usize;
+    if count > 1 << 20 {
+        return Err(format!("trace listing of {count} is malformed"));
+    }
+    let mut traces = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = get_str(buf, &mut pos)?;
+        let nodes = get_varint(buf, &mut pos)?;
+        let fingerprint = get_varint(buf, &mut pos)?;
+        traces.push(TraceInfo {
+            name,
+            nodes,
+            fingerprint,
+        });
+    }
+    Ok(traces)
+}
+
+/// Decodes an empty OK response (shutdown acknowledgement).
+pub fn decode_ok_response(buf: &[u8]) -> Result<(), String> {
+    let mut pos = 0usize;
+    check_status(buf, &mut pos)
+}
+
+// ---------------------------------------------------------------- frames
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), String> {
+    if payload.len() > MAX_FRAME {
+        return Err(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+            payload.len()
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| format!("writing frame: {e}"))
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is a clean EOF at a
+/// frame boundary (the peer hung up between requests).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, String> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(format!("reading frame length: {e}")),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| format!("reading {len}-byte frame: {e}"))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        Query {
+            trace: "jacobi.lcmtrace".to_string(),
+            cost: CostModel::cm5_grid(16, 3000),
+            topology: Topology::FatTree { arity: 4 },
+            backend: DirBackend::LimitedPtr { ptrs: 4 },
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        for req in [
+            Request::List,
+            Request::Shutdown,
+            Request::Query(vec![
+                sample_query(),
+                Query {
+                    topology: Topology::Flat,
+                    backend: DirBackend::CoarseVec { bits: 8 },
+                    ..sample_query()
+                },
+            ]),
+        ] {
+            let decoded = decode_request(&encode_request(&req)).expect("roundtrip");
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn query_response_roundtrips() {
+        let wire = WireResult {
+            result: QueryResult {
+                benchmark: "jacobi".to_string(),
+                system: "lcm".to_string(),
+                nodes: 2,
+                time: 12345,
+                barriers: 3,
+                clocks: vec![12000, 12345],
+                ledger: vec![7; 2 * lcm_sim::CycleCat::COUNT],
+                stats: vec![9; 33],
+                phases: vec![("iter".to_string(), 4000)],
+            },
+            class: QueryClass::Differential,
+        };
+        let decoded = decode_query_response(&encode_query_ok(std::slice::from_ref(&wire)))
+            .expect("roundtrip");
+        assert_eq!(decoded, vec![wire]);
+    }
+
+    #[test]
+    fn corrupt_frames_are_named_errors() {
+        assert!(decode_request(&[]).unwrap_err().contains("truncated"));
+        assert!(decode_request(&[9]).unwrap_err().contains("unknown opcode"));
+        // A QUERY whose payload stops mid-cost-model.
+        let mut buf = encode_request(&Request::Query(vec![sample_query()]));
+        buf.truncate(buf.len() / 2);
+        assert!(decode_request(&buf).is_err());
+        // Trailing garbage after a complete request.
+        let mut buf = encode_request(&Request::List);
+        buf.push(0);
+        assert!(decode_request(&buf).unwrap_err().contains("trailing"));
+        // An error response surfaces the server's message.
+        let err =
+            decode_query_response(&encode_err("unknown trace \"x\"")).expect_err("error response");
+        assert!(err.contains("unknown trace"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut &buf[..]).expect_err("rejected");
+        assert!(err.contains("exceeds"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn cost_fields_roundtrip_wire_order() {
+        let cost = CostModel::cm5_grid(64, 500);
+        assert_eq!(cost_from_fields(&cost_to_fields(&cost)), cost);
+    }
+}

@@ -1,0 +1,234 @@
+//! The resident TCP front end: accepts connections, decodes request
+//! frames, answers them from a shared [`ServeEngine`], and keeps
+//! serving across malformed requests (they get error responses, not
+//! panics).
+
+use crate::engine::ServeEngine;
+use crate::proto::{
+    decode_request, encode_err, encode_list_ok, encode_ok, encode_query_ok, write_frame, Request,
+    TraceInfo, WireResult, MAX_FRAME,
+};
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How often an idle connection wakes to check the stop flag. Idle
+/// connections must not pin a shutting-down server: SHUTDOWN has to
+/// complete even while other clients hold open, silent connections.
+const STOP_POLL: Duration = Duration::from_millis(50);
+
+/// A running server: the bound address and the handle to stop it.
+pub struct Server {
+    /// The address the listener actually bound (resolves `:0`).
+    pub addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` and serves `engine` until [`Server::stop`] (or a
+    /// client's SHUTDOWN request). Each connection gets a thread;
+    /// batches inside a connection run on `jobs` pool workers.
+    pub fn start(addr: &str, engine: Arc<ServeEngine>, jobs: usize) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        let bound = listener
+            .local_addr()
+            .map_err(|e| format!("resolving bound address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("setting nonblocking accept: {e}"))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = thread::spawn(move || {
+            let mut conns: Vec<thread::JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Responses are one frame: never trade latency
+                        // for coalescing (Nagle + delayed ACK stalls
+                        // every roundtrip by tens of milliseconds).
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(STOP_POLL));
+                        let engine = Arc::clone(&engine);
+                        let stop = Arc::clone(&accept_stop);
+                        conns.push(thread::spawn(move || {
+                            serve_connection(stream, &engine, jobs, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(5)),
+                }
+                conns.retain(|h| !h.is_finished());
+            }
+            for h in conns {
+                let _ = h.join();
+            }
+        });
+        Ok(Server {
+            addr: bound,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Stops accepting, waits for in-flight connections to drain.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    /// Blocks until the server stops on its own (a client's SHUTDOWN
+    /// request) — the resident `--listen` mode.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection until EOF, an unrecoverable I/O error, or
+/// SHUTDOWN. Decode failures answer with a named error and keep the
+/// connection open — a corrupt frame must not take the server down.
+fn serve_connection(mut stream: TcpStream, engine: &ServeEngine, jobs: usize, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame_polling(&mut stream, stop) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF between requests, or shutdown while idle
+            Err(e) => {
+                // A frame-layer error (oversized length, mid-frame EOF)
+                // is answered if the socket still works, then the
+                // connection is dropped: framing is no longer trusted.
+                let _ = write_frame(&mut stream, &encode_err(&e));
+                return;
+            }
+        };
+        let response = match decode_request(&payload) {
+            Err(e) => encode_err(&format!("malformed request: {e}")),
+            Ok(Request::List) => {
+                let traces: Vec<TraceInfo> = engine
+                    .traces()
+                    .iter()
+                    .map(|t| TraceInfo {
+                        name: t.name.clone(),
+                        nodes: t.handle.nodes as u64,
+                        fingerprint: t.fingerprint,
+                    })
+                    .collect();
+                encode_list_ok(&traces)
+            }
+            Ok(Request::Query(queries)) => {
+                let answers = engine.query_batch(jobs, &queries);
+                match answers
+                    .into_iter()
+                    .map(|a| {
+                        a.map(|(result, class)| WireResult {
+                            result: (*result).clone(),
+                            class,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()
+                {
+                    Ok(results) => encode_query_ok(&results),
+                    Err(e) => encode_err(&e),
+                }
+            }
+            Ok(Request::Shutdown) => {
+                let _ = write_frame(&mut stream, &encode_ok());
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// What [`read_exact_polling`] observed while filling a buffer.
+enum Fill {
+    /// The buffer was filled completely.
+    Full,
+    /// EOF arrived before the first byte (clean only at a frame boundary).
+    Eof,
+    /// The stop flag was raised before the fill completed.
+    Stopped,
+}
+
+/// [`crate::proto::read_frame`] for a stream with a read timeout: a
+/// timed-out read between frames loops back to check `stop`, so an idle
+/// connection can never pin a shutting-down server. Returns `Ok(None)`
+/// on clean EOF at a frame boundary or when `stop` is raised while no
+/// frame is in flight; shutdown mid-frame is an error (the server is
+/// stopping — the request is abandoned, not half-read).
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> Result<Option<Vec<u8>>, String> {
+    let mut header = [0u8; 4];
+    match read_exact_polling(stream, &mut header, stop)? {
+        Fill::Eof | Fill::Stopped => return Ok(None),
+        Fill::Full => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(format!(
+            "frame length {len} exceeds the {MAX_FRAME}-byte limit"
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    match read_exact_polling(stream, &mut payload, stop)? {
+        Fill::Full => Ok(Some(payload)),
+        Fill::Eof => Err("connection closed mid-frame".to_string()),
+        Fill::Stopped => Err("server shutting down mid-frame".to_string()),
+    }
+}
+
+/// Fills `buf`, retrying timed-out reads. EOF before the first byte
+/// short-circuits as [`Fill::Eof`]; a raised stop flag at any timeout
+/// short-circuits as [`Fill::Stopped`] (a stalled half-frame sender
+/// must not pin shutdown either); EOF mid-way is a framing error.
+fn read_exact_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> Result<Fill, String> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return Ok(Fill::Eof),
+            Ok(0) => return Err("connection closed mid-frame".to_string()),
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(Fill::Stopped);
+                }
+            }
+            Err(e) => return Err(format!("reading frame: {e}")),
+        }
+    }
+    Ok(Fill::Full)
+}

@@ -173,6 +173,35 @@ impl CostModel {
         }
     }
 
+    /// `self` with the remote-miss latency replaced and `upgrade` scaled
+    /// to ⅔ of it (floored at 1) — the one latency → cost-model mapping
+    /// every sweep (sensitivity, explore, serve) shares, so the sections
+    /// can never silently diverge.
+    ///
+    /// The ⅔ ratio mirrors cm5, where an ownership round-trip without a
+    /// data reply costs about two-thirds of a full remote miss.
+    pub fn with_remote_latency(mut self, latency: u64) -> CostModel {
+        self.remote_miss = latency;
+        self.upgrade = (latency * 2 / 3).max(1);
+        self
+    }
+
+    /// `self` with the leaf link bandwidth replaced (0 = unlimited, the
+    /// dormant default) — the bandwidth → cost-model mapping shared by
+    /// the contention, explore and serve sweeps.
+    pub fn with_link_bandwidth(mut self, bandwidth: u64) -> CostModel {
+        self.link_bandwidth_bytes_per_cycle = bandwidth;
+        self
+    }
+
+    /// The cm5 model at one (bandwidth, latency) grid point: the single
+    /// mapping behind every design-space grid in the repository.
+    pub fn cm5_grid(bandwidth: u64, latency: u64) -> CostModel {
+        CostModel::cm5()
+            .with_remote_latency(latency)
+            .with_link_bandwidth(bandwidth)
+    }
+
     /// Total barrier cost for a machine of `nodes` processors: the base
     /// plus one per-level charge for each of the combining tree's
     /// `ceil(log2(nodes))` levels. A tree over 3 leaves needs 2 levels,
@@ -398,6 +427,24 @@ mod tests {
         let mut odd = CostModel::free();
         odd.msg_send = 10;
         assert_eq!(Knob::RemoteMissLessSend.eval(&odd), 0);
+    }
+
+    #[test]
+    fn grid_mapping_is_pinned() {
+        let c = CostModel::cm5_grid(16, 12_000);
+        assert_eq!(c.remote_miss, 12_000);
+        assert_eq!(c.upgrade, 8_000);
+        assert_eq!(c.link_bandwidth_bytes_per_cycle, 16);
+        // Everything else stays cm5.
+        let mut cm5 = CostModel::cm5();
+        cm5.remote_miss = c.remote_miss;
+        cm5.upgrade = c.upgrade;
+        cm5.link_bandwidth_bytes_per_cycle = c.link_bandwidth_bytes_per_cycle;
+        assert_eq!(c, cm5);
+        // The upgrade ratio floors at 1 so a zero-latency grid point
+        // cannot produce a free ownership round-trip.
+        assert_eq!(CostModel::cm5().with_remote_latency(0).upgrade, 1);
+        assert_eq!(CostModel::cm5().with_remote_latency(1).upgrade, 1);
     }
 
     #[test]

@@ -149,9 +149,9 @@ fn trace_files_survive_disk() {
 
 #[test]
 fn explorer_is_deterministic_across_worker_counts() {
-    let files: Vec<TraceFile> = SystemKind::all()
+    let files: Vec<lcm_replay::TraceHandle> = SystemKind::all()
         .into_iter()
-        .map(|s| capture("Threshold", s, &Threshold::small()))
+        .map(|s| std::sync::Arc::new(capture("Threshold", s, &Threshold::small())))
         .collect();
     let bandwidths = [0, 16, 4];
     let latencies = [500, 3000, 12000];
@@ -186,7 +186,7 @@ fn replaying_a_grid_beats_reexecuting_it() {
     );
     let reexec_time = reexec_start.elapsed();
 
-    let file = capture("Stencil-dyn", system, &w);
+    let file = std::sync::Arc::new(capture("Stencil-dyn", system, &w));
     let replay_start = std::time::Instant::now();
     let replayed = explore::explore_grid(std::slice::from_ref(&file), &bandwidths, &latencies, 1);
     let replay_time = replay_start.elapsed();

@@ -1,0 +1,344 @@
+//! The serve-engine contract (DESIGN.md §4k).
+//!
+//! Four guarantees, end to end, over real captures:
+//!
+//! * **Cache-key soundness** — changing any single cost-model field,
+//!   the topology, or the directory backend changes the cache key, so
+//!   distinct machine pricings can never alias a cached result.
+//! * **Differential fidelity** — differential re-pricing is
+//!   byte-identical to a full event-walk replay on every point of the
+//!   explore grid (clocks, every ledger cell, stats, phases, links),
+//!   for all three memory systems, including finite-bandwidth points
+//!   where the contention fabric is live.
+//! * **Serving determinism** — batched answers equal sequential
+//!   answers byte-for-byte at any worker count, cached reruns return
+//!   the shared result, and neighbor reuse only fires when it provably
+//!   cannot change the answer.
+//! * **Protocol robustness** — a real TCP roundtrip agrees with the
+//!   in-process engine, and corrupt frames come back as named errors.
+
+use lcm_apps::threshold::Threshold;
+use lcm_apps::{SystemKind, Workload};
+use lcm_bench::explore;
+use lcm_cstar::RuntimeConfig;
+use lcm_replay::{TraceFile, TraceHandle};
+use lcm_serve::{query, CacheKey, Client, Query, QueryClass, ServeEngine, Server};
+use lcm_sim::{CostModel, DirBackend, Topology};
+use std::sync::Arc;
+
+const NODES: usize = 8;
+const CAPACITY: usize = 1 << 20;
+
+fn capture<W: Workload>(benchmark: &str, system: SystemKind, w: &W) -> TraceHandle {
+    Arc::new(
+        explore::capture_workload(
+            benchmark,
+            "smoke",
+            system,
+            NODES,
+            RuntimeConfig::default(),
+            w,
+            CAPACITY,
+        )
+        .expect("capture holds the whole stream"),
+    )
+}
+
+/// One engine holding a Threshold capture per memory system.
+fn engine() -> ServeEngine {
+    let mut e = ServeEngine::new();
+    for system in SystemKind::all() {
+        e.load(
+            system.label(),
+            capture("Threshold", system, &Threshold::small()),
+        );
+    }
+    e
+}
+
+/// The explore grid as serve queries against every loaded trace.
+fn grid(e: &ServeEngine) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for t in e.traces() {
+        for bw in [0u64, 64, 16, 4] {
+            for lat in [500u64, 3_000, 12_000] {
+                queries.push(Query {
+                    trace: t.name.clone(),
+                    cost: explore::grid_cost(bw, lat),
+                    topology: t.handle.topology,
+                    backend: DirBackend::FullMap,
+                });
+            }
+        }
+    }
+    queries
+}
+
+#[test]
+fn any_single_cost_field_change_changes_the_key() {
+    let base = query("t", CostModel::cm5());
+    let key = CacheKey::new(7, &base);
+    type Bump = Box<dyn Fn(&mut CostModel)>;
+    let mut fields: Vec<(&str, Bump)> = Vec::new();
+    macro_rules! field {
+        ($name:ident) => {
+            fields.push((
+                stringify!($name),
+                Box::new(|c: &mut CostModel| c.$name += 1),
+            ));
+        };
+    }
+    field!(cache_hit);
+    field!(local_fill);
+    field!(local_refill);
+    field!(remote_miss);
+    field!(msg_send);
+    field!(msg_recv);
+    field!(block_flush);
+    field!(clean_copy_create);
+    field!(reconcile_per_version);
+    field!(barrier_base);
+    field!(barrier_per_level);
+    field!(invalidate);
+    field!(upgrade);
+    field!(retry_timeout);
+    field!(msg_header_bytes);
+    field!(link_bandwidth_bytes_per_cycle);
+    field!(ni_occupancy);
+    field!(contention_window);
+    assert_eq!(fields.len(), 18, "every CostModel field must be covered");
+    for (name, bump) in fields {
+        let mut q = base.clone();
+        bump(&mut q.cost);
+        assert_ne!(
+            CacheKey::new(7, &q),
+            key,
+            "changing {name} must change the cache key"
+        );
+    }
+}
+
+#[test]
+fn topology_backend_and_trace_change_the_key() {
+    let base = query("t", CostModel::cm5());
+    let key = CacheKey::new(7, &base);
+    for topology in [
+        Topology::FatTree { arity: 2 },
+        Topology::FatTree { arity: 8 },
+        Topology::Crossbar,
+        Topology::Flat,
+    ] {
+        let q = Query {
+            topology,
+            ..base.clone()
+        };
+        assert_ne!(CacheKey::new(7, &q), key, "topology {topology} must rekey");
+    }
+    for backend in [
+        DirBackend::LimitedPtr { ptrs: 2 },
+        DirBackend::LimitedPtr { ptrs: 4 },
+        DirBackend::CoarseVec { bits: 8 },
+    ] {
+        let q = Query {
+            backend,
+            ..base.clone()
+        };
+        assert_ne!(
+            CacheKey::new(7, &q),
+            key,
+            "backend {} must rekey",
+            backend.label()
+        );
+    }
+    // Same query against a different trace fingerprint.
+    assert_ne!(CacheKey::new(8, &base), key, "fingerprint must rekey");
+    // And the same inputs must agree with themselves.
+    assert_eq!(CacheKey::new(7, &base.clone()), key);
+}
+
+#[test]
+fn differential_replay_is_byte_identical_across_the_grid() {
+    let e = engine();
+    let queries = grid(&e);
+    assert_eq!(queries.len(), 3 * 12, "three systems, twelve grid points");
+    for q in &queries {
+        e.verify(q).unwrap_or_else(|err| {
+            panic!(
+                "{} bw={} lat={}: {err}",
+                q.trace, q.cost.link_bandwidth_bytes_per_cycle, q.cost.remote_miss
+            )
+        });
+    }
+}
+
+#[test]
+fn batched_equals_sequential_at_any_worker_count() {
+    let queries = grid(&engine());
+    let sequential = engine();
+    let want: Vec<_> = queries
+        .iter()
+        .map(|q| sequential.query(q).expect("sequential").0)
+        .collect();
+    for jobs in [1usize, 2, 8] {
+        let batched = engine();
+        let got = batched.query_batch(jobs, &queries);
+        for ((q, w), g) in queries.iter().zip(&want).zip(got) {
+            let (g, _) = g.expect("batched");
+            assert_eq!(
+                *g, **w,
+                "jobs={jobs}: batched diverges from sequential for {} bw={} lat={}",
+                q.trace, q.cost.link_bandwidth_bytes_per_cycle, q.cost.remote_miss
+            );
+        }
+    }
+}
+
+#[test]
+fn cached_rerun_returns_the_shared_results() {
+    let e = engine();
+    let queries = grid(&e);
+    let cold: Vec<_> = e
+        .query_batch(2, &queries)
+        .into_iter()
+        .map(|r| r.expect("cold").0)
+        .collect();
+    for (q, first) in queries.iter().zip(&cold) {
+        let (again, class) = e.query(q).expect("warm");
+        assert_eq!(class, QueryClass::Cached, "{}: rerun must hit", q.trace);
+        assert!(Arc::ptr_eq(first, &again), "{}: rerun must share", q.trace);
+    }
+}
+
+#[test]
+fn neighbor_reuse_never_changes_an_answer() {
+    let e = engine();
+    for q in grid(&e) {
+        // Bump a price the capture may or may not exercise; whatever
+        // path serves it, the answer must equal a cold full replay.
+        let mut variant = q.clone();
+        variant.cost.retry_timeout += 17;
+        variant.cost.invalidate += 3;
+        let (got, _) = e.query(&variant).expect("variant");
+        assert_eq!(
+            *got,
+            e.query_full(&variant).expect("full"),
+            "{} bw={} lat={}: served answer diverges from a cold full replay",
+            variant.trace,
+            variant.cost.link_bandwidth_bytes_per_cycle,
+            variant.cost.remote_miss
+        );
+    }
+}
+
+#[test]
+fn tcp_roundtrip_agrees_with_the_in_process_engine() {
+    let engine = Arc::new(engine());
+    let queries = grid(&engine);
+    let server = Server::start("127.0.0.1:0", Arc::clone(&engine), 2).expect("bind");
+    let addr = server.addr.to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let listed = client.list().expect("LIST");
+    assert_eq!(listed.len(), engine.traces().len());
+    for (info, t) in listed.iter().zip(engine.traces()) {
+        assert_eq!(info.name, t.name);
+        assert_eq!(info.nodes as usize, t.handle.nodes);
+        assert_eq!(info.fingerprint, t.fingerprint);
+    }
+
+    let wire = client.query_batch(&queries).expect("QUERY");
+    for (q, w) in queries.iter().zip(&wire) {
+        let local = engine.query_full(q).expect("full");
+        assert_eq!(w.result, local, "{}: wire result diverges", q.trace);
+    }
+
+    // Unknown traces are server-side errors, not dead connections.
+    let err = client
+        .query(&query("no-such-trace", CostModel::cm5()))
+        .expect_err("unknown trace");
+    assert!(err.contains("unknown trace"), "unexpected: {err}");
+
+    // The connection still works after the error.
+    assert_eq!(client.list().expect("LIST after error").len(), 3);
+
+    client.shutdown().expect("SHUTDOWN");
+    server.wait();
+}
+
+#[test]
+fn corrupt_frames_get_named_errors_not_panics() {
+    use std::io::Write as _;
+    let engine = Arc::new(engine());
+    let server = Server::start("127.0.0.1:0", Arc::clone(&engine), 2).expect("bind");
+    let addr = server.addr.to_string();
+
+    // All three probe connections deliberately stay open until the end
+    // of the test: shutdown must complete even while idle clients hold
+    // silent connections (the server polls its stop flag rather than
+    // blocking forever in a read).
+
+    // Unknown opcode.
+    let mut raw1 = std::net::TcpStream::connect(&addr).expect("connect");
+    raw1.write_all(&1u32.to_le_bytes()).expect("len");
+    raw1.write_all(&[42u8]).expect("op");
+    let frame = lcm_serve::proto::read_frame(&mut raw1)
+        .expect("response")
+        .expect("frame");
+    let err = lcm_serve::proto::decode_query_response(&frame).expect_err("named error");
+    assert!(
+        err.contains("malformed request") && err.contains("unknown opcode"),
+        "unexpected: {err}"
+    );
+
+    // Truncated query payload: a QUERY header promising one query with
+    // no body behind it.
+    let mut raw2 = std::net::TcpStream::connect(&addr).expect("connect");
+    raw2.write_all(&2u32.to_le_bytes()).expect("len");
+    raw2.write_all(&[lcm_serve::proto::OP_QUERY, 1])
+        .expect("body");
+    let frame = lcm_serve::proto::read_frame(&mut raw2)
+        .expect("response")
+        .expect("frame");
+    let err = lcm_serve::proto::decode_query_response(&frame).expect_err("named error");
+    assert!(err.contains("malformed request"), "unexpected: {err}");
+
+    // An oversized frame length is refused without allocation; the
+    // server answers with the frame-layer error and drops the
+    // connection rather than trusting the stream again.
+    let mut raw3 = std::net::TcpStream::connect(&addr).expect("connect");
+    raw3.write_all(&u32::MAX.to_le_bytes()).expect("len");
+    let frame = lcm_serve::proto::read_frame(&mut raw3)
+        .expect("response")
+        .expect("frame");
+    let err = lcm_serve::proto::decode_query_response(&frame).expect_err("named error");
+    assert!(err.contains("exceeds"), "unexpected: {err}");
+
+    // The server survived all three: a healthy client still works, and
+    // SHUTDOWN drains with raw1/raw2 still connected.
+    let mut client = Client::connect(&addr).expect("connect");
+    assert_eq!(client.list().expect("LIST").len(), 3);
+    client.shutdown().expect("SHUTDOWN");
+    server.wait();
+    drop((raw1, raw2, raw3));
+}
+
+#[test]
+fn open_shares_one_decoded_handle_with_the_server() {
+    let dir = std::env::temp_dir().join(format!("lcm-serve-open-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("threshold.lcmtrace");
+    let file = capture("Threshold", SystemKind::LcmMcc, &Threshold::small());
+    file.write_to(&path).expect("write");
+
+    let a = TraceFile::open(&path).expect("open");
+    let b = TraceFile::open(&path).expect("reopen");
+    assert!(Arc::ptr_eq(&a, &b), "open must share one decoded handle");
+
+    let mut e = ServeEngine::new();
+    e.load("threshold", Arc::clone(&a));
+    let (r, _) = e
+        .query(&query("threshold", CostModel::cm5()))
+        .expect("query");
+    assert_eq!(r.nodes, NODES);
+    std::fs::remove_dir_all(&dir).ok();
+}
